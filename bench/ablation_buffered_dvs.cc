@@ -1,0 +1,63 @@
+// Extension: buffered DVS (Im et al., §2 of the paper). The serial link's
+// 50-100 ms per-transaction startup jitters when each frame's compute
+// phase can begin; without slack the constant speed must cover the worst
+// window, and the SA-1100's discrete levels round it up further. A small
+// input buffer absorbs the jitter — this sweep shows the required level
+// and the latency price as the buffer deepens, for mild (startup-jitter)
+// and harsh (bursty-arrival) traffic.
+#include <cstdio>
+#include <vector>
+
+#include "dvs/buffered.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+int main() {
+  using namespace deslp;
+  const cpu::CpuSpec& cpu = cpu::itsy_sa1100();
+  const Seconds d = seconds(2.3);
+  const Seconds send = seconds(0.085);
+  const double recv = 1.109;
+  const Cycles work = deslp::work(megahertz(206.4), seconds(1.1));
+
+  struct Traffic {
+    const char* name;
+    double jitter;  // peak-to-peak arrival perturbation (s)
+  };
+  std::printf("== Buffered DVS: required level vs buffer depth ==\n"
+              "   (100 frames, D = 2.3 s, whole-chain work = 1.1 s @206.4)\n\n");
+  for (const Traffic traffic :
+       {Traffic{"startup jitter (+-25 ms)", 0.05},
+        Traffic{"bursty arrivals (+-400 ms)", 0.8}}) {
+    std::printf("-- %s --\n\n", traffic.name);
+    std::vector<Seconds> arrivals;
+    Rng rng(17);
+    for (int f = 0; f < 100; ++f) {
+      const double j = rng.uniform(-0.5, 0.5) * traffic.jitter;
+      arrivals.push_back(
+          seconds(static_cast<double>(f) * d.value() + recv + j));
+    }
+    Table t({"buffer (frames)", "min speed (MHz)", "SA-1100 level",
+             "added latency (s)"});
+    for (int buffer : {0, 1, 2, 3, 4, 6, 8}) {
+      const dvs::BufferedAnalysis a =
+          dvs::buffered_min_speed(arrivals, work, d, send, buffer, cpu);
+      t.add_row({std::to_string(buffer),
+                 Table::num(to_megahertz(a.min_speed), 1),
+                 a.level >= 0
+                     ? Table::num(to_megahertz(cpu.level(a.level).frequency),
+                                  1)
+                     : "> 206.4 (infeasible)",
+                 Table::num(a.added_latency.value(), 1)});
+    }
+    std::printf("%s\n", t.render().c_str());
+  }
+  std::printf(
+      "Unbuffered, even the 50 ms startup jitter breaks the constant-speed\n"
+      "schedule (the event-driven pipeline instead absorbs it as sub-frame\n"
+      "deadline slips). One buffered frame pulls both cases down to the\n"
+      "long-run average demand (~98.7 MHz -> level 103.2), and deeper\n"
+      "buffers only buy latency — slack traded against delay, exactly\n"
+      "Im et al.'s proposal.\n");
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Extension: two-level intra-task DVS (§2's Shin et al. direction) applied
+#include <algorithm>
+#include <vector>
+// to the paper's partitioned pipeline. The selected partition leaves Node2
+// needing ~93 MHz, which the SA-1100 quantises up to 103.2; splitting its
+// PROC between 88.5 and 103.2 MHz fills the frame exactly and cuts the
+// computation charge. This bench quantifies the per-frame saving and the
+// projected lifetime extension of the first-failing node.
+#include <cstdio>
+
+#include "battery/kibam.h"
+#include "battery/load.h"
+#include "core/experiment.h"
+#include "dvs/split_level.h"
+#include "task/partition.h"
+#include "util/table.h"
+
+int main() {
+  using namespace deslp;
+  const cpu::CpuSpec& cpu = cpu::itsy_sa1100();
+  const atr::AtrProfile& profile = atr::itsy_atr_profile();
+  const net::LinkSpec link = net::itsy_serial_link();
+  const Seconds d = seconds(2.3);
+
+  const auto part = core::selected_two_node_partition(cpu, profile, link, d);
+
+  std::printf("== Two-level intra-task DVS on the partitioned pipeline ==\n\n");
+  Table t({"node", "demand (MHz)", "single level", "split",
+           "charge single (C)", "charge split (C)", "charge saving",
+           "dyn-energy saving"});
+  std::vector<std::vector<battery::LoadPhase>> split_cycles;
+  for (const auto& s : part.stages) {
+    const dvs::SplitSchedule split =
+        dvs::split_level_schedule(cpu, s.work, s.compute_budget);
+    const Coulombs single = dvs::single_level_compute_charge(
+        cpu, s.work, s.compute_budget, /*idle_level=*/0);
+    const Coulombs split_q = dvs::split_compute_charge(cpu, split);
+    std::string split_desc =
+        split.level_lo == split.level_hi
+            ? Table::num(to_megahertz(cpu.level(split.level_hi).frequency),
+                         1) + " only"
+            : Table::num(to_megahertz(cpu.level(split.level_lo).frequency),
+                         1) + " x " + Table::num(split.time_lo.value(), 2) +
+                  "s + " +
+                  Table::num(to_megahertz(cpu.level(split.level_hi)
+                                              .frequency),
+                             1) +
+                  " x " + Table::num(split.time_hi.value(), 2) + "s";
+    // CPU-centric view: only the dynamic (span) current counts.
+    const double dyn_single =
+        cpu.dynamic_current(cpu::Mode::kComp, s.min_level).value() *
+        cpu.time_for(s.work, s.min_level).value();
+    const double dyn_split =
+        cpu.dynamic_current(cpu::Mode::kComp, split.level_lo).value() *
+            split.time_lo.value() +
+        cpu.dynamic_current(cpu::Mode::kComp, split.level_hi).value() *
+            split.time_hi.value();
+    t.add_row({"Node" + std::to_string(s.stage + 1),
+               Table::num(to_megahertz(s.required_frequency), 1),
+               Table::num(to_megahertz(cpu.level(s.min_level).frequency), 1),
+               split_desc, Table::num(single.value(), 4),
+               Table::num(split_q.value(), 4),
+               Table::percent(1.0 - split_q / single, 1),
+               Table::percent(1.0 - dyn_split / dyn_single, 1)});
+
+    // Build the per-frame load cycle with the split PROC (comm/idle at
+    // level 0, as in 2A).
+    std::vector<battery::LoadPhase> cycle;
+    cycle.push_back({cpu.current(cpu::Mode::kComm, 0), s.recv_time});
+    if (split.time_lo.value() > 0.0)
+      cycle.push_back({cpu.current(cpu::Mode::kComp, split.level_lo),
+                       split.time_lo});
+    if (split.time_hi.value() > 0.0)
+      cycle.push_back({cpu.current(cpu::Mode::kComp, split.level_hi),
+                       split.time_hi});
+    cycle.push_back({cpu.current(cpu::Mode::kComm, 0), s.send_time});
+    const Seconds busy = s.recv_time + split.time_lo + split.time_hi +
+                         s.send_time;
+    if ((d - busy).value() > 0.0)
+      cycle.push_back({cpu.current(cpu::Mode::kIdle, 0), d - busy});
+    split_cycles.push_back(std::move(cycle));
+  }
+  std::printf("%s\n", t.render().c_str());
+
+  // Lifetime projection: first failure under 2A-style levels vs split.
+  auto lifetime_h = [](const std::vector<battery::LoadPhase>& cycle) {
+    auto b = battery::make_kibam_battery(battery::itsy_kibam_params());
+    return to_hours(battery::lifetime_under_cycle(*b, cycle).lifetime);
+  };
+  double first_split = 1e30;
+  for (const auto& cycle : split_cycles)
+    first_split = std::min(first_split, lifetime_h(cycle));
+
+  core::ExperimentSuite suite;
+  const auto specs = core::paper_experiments();
+  const auto r2a = suite.run(specs[5]);  // (2A)
+
+  std::printf("First-failure lifetime, 2A levels : %.2f h\n",
+              to_hours(r2a.battery_life));
+  std::printf("First-failure lifetime, split PROC: %.2f h (%+.1f%%)\n",
+              first_split,
+              (first_split / to_hours(r2a.battery_life) - 1.0) * 100.0);
+  std::printf(
+      "\nThe CPU-centric view (dynamic energy only, last column) promises a\n"
+      "clear win for the stretch — but at the battery, stretching PROC to\n"
+      "the deadline keeps the platform's base current flowing longer than\n"
+      "rounding up and idling, and the measured charge saving is ~zero or\n"
+      "negative. This is the paper's §1 gap between \"CPU-centric DVS\n"
+      "claims and actual attainable power savings\", reproduced on a\n"
+      "micro-decision.\n");
+  return 0;
+}

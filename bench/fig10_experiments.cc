@@ -1,0 +1,54 @@
+// Reproduces the paper's experimental results: §6.1-§6.7 and Fig. 10.
+//
+// Runs all eight experiments (0A, 0B, 1, 1A, 2, 2A, 2B, 2C) on the
+// calibrated Itsy models and prints, for each, the measured battery life
+// T, completed frames F, normalised life Tnorm = T/N, and normalised ratio
+// Rnorm = Tnorm/T(1) — side by side with the paper's reported values —
+// followed by an ASCII rendering of Fig. 10's two bar series.
+//
+//   --csv <path>       also write the experiment series as CSV
+//   --node-csv <path>  also write per-node details as CSV
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+
+#include "core/report.h"
+#include "util/flags.h"
+
+int main(int argc, char** argv) {
+  using namespace deslp;
+
+  Flags flags;
+  flags.add_string("csv", "", "write the experiment series to this CSV file");
+  flags.add_string("node-csv", "", "write per-node details to this CSV file");
+  if (!flags.parse(argc, argv)) return 1;
+
+  core::ExperimentSuite suite;
+  const auto results = suite.run_all(core::paper_experiments());
+
+  std::printf("== Experiments (paper vs this reproduction) ==\n");
+  std::printf("   D = %.1f s; T(N) = F(N) x D; Tnorm = T/N; "
+              "Rnorm = Tnorm/T(1)\n\n",
+              suite.options().frame_delay.value());
+  std::cout << core::render_summary_table(results) << '\n';
+
+  std::printf("== Fig. 10: absolute and normalized battery life (sim) ==\n\n");
+  std::cout << core::render_fig10_bars(results) << '\n';
+
+  std::printf("== Per-node detail ==\n\n");
+  std::cout << core::render_node_table(results);
+
+  const std::string csv_path = flags.get_string("csv");
+  if (!csv_path.empty()) {
+    std::ofstream os(csv_path);
+    core::write_results_csv(results, os);
+    std::printf("\n(wrote %s)\n", csv_path.c_str());
+  }
+  const std::string node_csv_path = flags.get_string("node-csv");
+  if (!node_csv_path.empty()) {
+    std::ofstream os(node_csv_path);
+    core::write_node_csv(results, os);
+    std::printf("(wrote %s)\n", node_csv_path.c_str());
+  }
+  return 0;
+}

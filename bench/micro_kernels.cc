@@ -1,0 +1,143 @@
+// google-benchmark microbenchmarks for the library's hot kernels: the FFT,
+// the battery-model steps, the DES engine, the PPP codec, and one full
+// experiment run. These guard the simulator's performance (a 17-hour
+// battery-death run must stay a sub-second simulation).
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "atr/fft.h"
+#include "atr/image.h"
+#include "atr/match.h"
+#include "atr/pipeline.h"
+#include "battery/kibam.h"
+#include "battery/rakhmatov.h"
+#include "core/experiment.h"
+#include "net/ppp.h"
+#include "sim/engine.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace deslp;
+
+void BM_Fft1d(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  std::vector<atr::Complex> data(n);
+  for (auto& c : data) c = atr::Complex(rng.uniform(-1, 1), 0.0);
+  for (auto _ : state) {
+    auto copy = data;
+    atr::fft(copy);
+    benchmark::DoNotOptimize(copy.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_Fft1d)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_Fft2d(benchmark::State& state) {
+  Rng rng(2);
+  atr::Image img(32, 32);
+  img.add_gaussian_noise(rng, 1.0f);
+  for (auto _ : state) {
+    auto spec = atr::fft2d(img);
+    benchmark::DoNotOptimize(spec.data().data());
+  }
+}
+BENCHMARK(BM_Fft2d);
+
+void BM_MatchedFilter(benchmark::State& state) {
+  Rng rng(3);
+  atr::SceneSpec scene;
+  scene.targets = {{64, 64, 1, 1.0}};
+  const atr::Image frame = atr::render_scene(scene, rng);
+  const auto s1 = atr::stage_target_detection(frame);
+  const auto spec = atr::roi_spectrum(s1.rois.at(0));
+  for (auto _ : state) {
+    auto m = atr::best_match(spec);
+    benchmark::DoNotOptimize(m);
+  }
+}
+BENCHMARK(BM_MatchedFilter);
+
+void BM_KibamDischargeStep(benchmark::State& state) {
+  auto battery = battery::make_kibam_battery(battery::itsy_kibam_params());
+  for (auto _ : state) {
+    battery->discharge(milliamps(80.0), seconds(1.0));
+    if (battery->empty()) battery->reset();
+  }
+}
+BENCHMARK(BM_KibamDischargeStep);
+
+void BM_RakhmatovDischargeStep(benchmark::State& state) {
+  auto battery =
+      battery::make_rakhmatov_battery(battery::itsy_rakhmatov_params());
+  for (auto _ : state) {
+    battery->discharge(milliamps(80.0), seconds(1.0));
+    if (battery->empty()) battery->reset();
+  }
+}
+BENCHMARK(BM_RakhmatovDischargeStep);
+
+void BM_KibamTimeToEmpty(benchmark::State& state) {
+  auto battery = battery::make_kibam_battery(battery::itsy_kibam_params());
+  battery->discharge(milliamps(80.0), hours(2.0));
+  for (auto _ : state) {
+    auto t = battery->time_to_empty(milliamps(65.0));
+    benchmark::DoNotOptimize(t);
+  }
+}
+BENCHMARK(BM_KibamTimeToEmpty);
+
+void BM_EngineEventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine engine;
+    long long fired = 0;
+    for (int i = 0; i < 10000; ++i)
+      engine.schedule_at(sim::Time{i * 1000}, [&fired] { ++fired; });
+    engine.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          10000);
+}
+BENCHMARK(BM_EngineEventThroughput);
+
+void BM_PppEncodeDecode(benchmark::State& state) {
+  Rng rng(4);
+  std::vector<std::uint8_t> payload(1024);
+  for (auto& b : payload) b = static_cast<std::uint8_t>(rng.below(256));
+  for (auto _ : state) {
+    auto frame = net::PppCodec::encode(payload);
+    auto back = net::PppCodec::decode(frame);
+    benchmark::DoNotOptimize(back);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          1024);
+}
+BENCHMARK(BM_PppEncodeDecode);
+
+void BM_FullExperiment1A(benchmark::State& state) {
+  core::ExperimentSuite suite;
+  const auto specs = core::paper_experiments();
+  for (auto _ : state) {
+    auto r = suite.run(specs[3]);  // (1A): an 8.8-simulated-hour DES run
+    benchmark::DoNotOptimize(r.frames);
+  }
+}
+BENCHMARK(BM_FullExperiment1A)->Unit(benchmark::kMillisecond);
+
+void BM_FullExperiment2C(benchmark::State& state) {
+  core::ExperimentSuite suite;
+  const auto specs = core::paper_experiments();
+  for (auto _ : state) {
+    auto r = suite.run(specs[7]);  // (2C): 17.8 simulated hours, 2 nodes
+    benchmark::DoNotOptimize(r.frames);
+  }
+}
+BENCHMARK(BM_FullExperiment2C)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,93 @@
+// The ATR algorithm itself, on real pixels: render a synthetic scene with
+// known targets, run the four functional blocks (Fig. 1), and compare the
+// recognised templates and estimated distances against ground truth.
+//
+//   $ ./atr_pipeline_demo [--targets=3] [--noise=0.05] [--seed=1]
+#include <cstdio>
+
+#include "atr/pgm.h"
+#include "atr/pipeline.h"
+#include "util/flags.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace deslp;
+
+  Flags flags;
+  flags.add_int("targets", 3, "number of targets to plant");
+  flags.add_double("noise", 0.03, "background noise sigma");
+  flags.add_int("seed", 1, "scene RNG seed");
+  flags.add_double("max-distance", 1.4,
+                   "farthest target range (render gain falls off as 1/d^2, "
+                   "so distant targets sink below the noise floor)");
+  flags.add_string("dump-prefix", "",
+                   "write <prefix>_scene.pgm and per-ROI "
+                   "<prefix>_corr<N>.pgm images");
+  if (!flags.parse(argc, argv)) return 1;
+
+  Rng rng(static_cast<std::uint64_t>(flags.get_int("seed")));
+  atr::SceneSpec spec;
+  spec.noise_sigma = static_cast<float>(flags.get_double("noise"));
+  const char* template_names[] = {"disk", "square", "cross"};
+  const long long n = flags.get_int("targets");
+  for (long long i = 0; i < n; ++i) {
+    atr::TargetTruth t;
+    t.x = 20 + static_cast<int>(rng.below(88));
+    t.y = 20 + static_cast<int>(rng.below(88));
+    t.template_id = static_cast<int>(rng.below(3));
+    t.distance = rng.uniform(0.8, flags.get_double("max-distance"));
+    spec.targets.push_back(t);
+  }
+
+  const atr::Image frame = atr::render_scene(spec, rng);
+  std::printf("Rendered %dx%d scene, %zu targets, noise sigma %.3f\n\n",
+              frame.width(), frame.height(), spec.targets.size(),
+              static_cast<double>(spec.noise_sigma));
+
+  // The four blocks, staged exactly as the distributed pipeline splits them.
+  const auto s1 = atr::stage_target_detection(frame);
+  std::printf("Target Detection : %zu region(s) of interest\n",
+              s1.detections.size());
+  const auto s2 = atr::stage_fft(s1);
+  std::printf("FFT              : %zu spectra of %dx%d\n", s2.spectra.size(),
+              s2.spectra.empty() ? 0 : s2.spectra[0].width(),
+              s2.spectra.empty() ? 0 : s2.spectra[0].height());
+  const auto s3 = atr::stage_ifft(s2);
+  std::printf("IFFT             : matched filtering done\n");
+
+  const std::string prefix = flags.get_string("dump-prefix");
+  if (!prefix.empty()) {
+    atr::write_pgm_file(frame, prefix + "_scene.pgm");
+    for (std::size_t i = 0; i < s3.surfaces.size(); ++i) {
+      for (std::size_t t = 0; t < s3.surfaces[i].size(); ++t) {
+        atr::write_pgm_file(s3.surfaces[i][t],
+                            prefix + "_corr" + std::to_string(i) + "_t" +
+                                std::to_string(t) + ".pgm");
+      }
+    }
+    std::printf("(wrote PGM dumps with prefix '%s')\n", prefix.c_str());
+  }
+  const auto result = atr::stage_compute_distance(s3, {});
+  std::printf("Compute Distance : %zu recognised target(s)\n\n",
+              result.targets.size());
+
+  Table out({"recognised at", "template", "score", "distance est."});
+  for (const auto& t : result.targets) {
+    out.add_row({"(" + std::to_string(t.detection.x) + ", " +
+                     std::to_string(t.detection.y) + ")",
+                 template_names[t.match.template_id],
+                 Table::num(t.match.score, 3),
+                 Table::num(t.range.distance, 2)});
+  }
+  std::printf("%s\n", out.render().c_str());
+
+  Table truth({"planted at", "template", "distance"});
+  for (const auto& t : spec.targets) {
+    truth.add_row({"(" + std::to_string(t.x) + ", " + std::to_string(t.y) +
+                       ")",
+                   template_names[t.template_id], Table::num(t.distance, 2)});
+  }
+  std::printf("Ground truth:\n%s", truth.render().c_str());
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Battery model explorer: the rate-capacity and recovery effects that
+// drive the paper's lifetime results, across the four model families.
+//
+//   $ ./battery_explorer [--capacity-mah=1000] [--high-ma=130] [--low-ma=40]
+//
+// Prints (a) delivered capacity vs constant discharge rate, and (b) the
+// recovery effect: a pulsed high/low load vs the equivalent constant
+// average load — the mechanism behind experiment (1A)'s 24% gain.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "battery/battery.h"
+#include "battery/kibam.h"
+#include "battery/load.h"
+#include "battery/rakhmatov.h"
+#include "util/flags.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace deslp;
+  using namespace deslp::battery;
+
+  Flags flags;
+  flags.add_double("capacity-mah", 1000.0, "nominal capacity (mAh)");
+  flags.add_double("high-ma", 130.0, "pulse high current (mA)");
+  flags.add_double("low-ma", 40.0, "pulse low current (mA)");
+  if (!flags.parse(argc, argv)) return 1;
+
+  const Coulombs cap = milliamp_hours(flags.get_double("capacity-mah"));
+  struct Model {
+    const char* name;
+    std::unique_ptr<Battery> battery;
+  };
+  std::vector<Model> models;
+  models.push_back({"ideal", make_ideal_battery(cap)});
+  models.push_back({"peukert(k=1.3)",
+                    make_peukert_battery(cap, 1.3, milliamps(100.0))});
+  models.push_back({"kibam(c=.3)",
+                    make_kibam_battery(KibamParams{cap, 0.3, 5e-4})});
+  models.push_back({"rakhmatov",
+                    make_rakhmatov_battery(RakhmatovParams{cap, 3e-4, 10})});
+
+  std::printf("== Delivered capacity (mAh) vs constant discharge rate ==\n\n");
+  Table t1({"model", "20 mA", "40 mA", "80 mA", "130 mA", "260 mA",
+            "520 mA"});
+  for (auto& m : models) {
+    std::vector<std::string> row{m.name};
+    for (double ma : {20.0, 40.0, 80.0, 130.0, 260.0, 520.0}) {
+      m.battery->reset();
+      const Seconds life = m.battery->time_to_empty(milliamps(ma));
+      row.push_back(
+          Table::num(to_milliamp_hours(charge(milliamps(ma), life)), 0));
+    }
+    t1.add_row(row);
+  }
+  std::printf("%s\n", t1.render().c_str());
+
+  const double hi = flags.get_double("high-ma");
+  const double lo = flags.get_double("low-ma");
+  // Time-weighted average of the pulse so the comparison draws the same
+  // total charge per cycle.
+  const double avg = (hi * 1.1 + lo * 1.2) / 2.3;
+  std::printf(
+      "== Recovery effect: %.0f/%.0f mA pulse (1.1 s / 1.2 s) vs constant "
+      "%.1f mA ==\n\n",
+      hi, lo, avg);
+  Table t2({"model", "pulsed life (h)", "const @peak (h)", "const @avg (h)",
+            "on-time vs const-peak"});
+  for (auto& m : models) {
+    m.battery->reset();
+    const LifetimeResult pulsed = lifetime_under_cycle(
+        *m.battery,
+        {{milliamps(hi), seconds(1.1)}, {milliamps(lo), seconds(1.2)}});
+    m.battery->reset();
+    const Seconds const_peak = m.battery->time_to_empty(milliamps(hi));
+    m.battery->reset();
+    const Seconds const_avg = m.battery->time_to_empty(milliamps(avg));
+    const double on_time = to_hours(pulsed.lifetime) * 1.1 / 2.3;
+    t2.add_row({m.name, Table::num(to_hours(pulsed.lifetime), 2),
+                Table::num(to_hours(const_peak), 2),
+                Table::num(to_hours(const_avg), 2),
+                Table::percent(on_time / to_hours(const_peak) - 1.0, 0)});
+  }
+  std::printf("%s", t2.render().c_str());
+  std::printf(
+      "\nTwo readings of the recovery effect:\n"
+      "  - Against a constant-PEAK discharge, every model sustains far more\n"
+      "    high-current on-time when the load pulses: the low phases let the\n"
+      "    nonlinear models refill their available charge.\n"
+      "  - Against the constant time-AVERAGED load, second-scale pulses are\n"
+      "    nearly equivalent for the two-well/diffusion models (their\n"
+      "    recovery time constants are ~30-55 min, so they average fast\n"
+      "    pulses), and memoryless Peukert is slightly worse (convexity).\n"
+      "    Experiment (1A)'s gain therefore comes from lowering the average\n"
+      "    draw into a friendlier part of the rate-capacity curve.\n");
+  return 0;
+}

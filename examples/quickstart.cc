@@ -1,0 +1,35 @@
+// Quickstart: run the paper's baseline experiment and one DVS technique,
+// and print the battery-lifetime metrics.
+//
+//   $ ./quickstart
+//
+// This is the smallest end-to-end use of the library: an ExperimentSuite
+// wires together the calibrated Itsy CPU model, the serial/PPP link, the
+// KiBaM battery, and the ATR workload profile; each ExperimentSpec selects
+// a technique.
+#include <cstdio>
+
+#include "core/experiment.h"
+
+int main() {
+  using namespace deslp;
+
+  // The suite with all-default models: SA-1100 CPU, 80 Kbps serial link,
+  // calibrated KiBaM battery, ATR profile, frame delay D = 2.3 s.
+  core::ExperimentSuite suite;
+
+  // Pick two of the paper's experiments: the baseline (single node, full
+  // speed) and DVS-during-I/O.
+  const auto specs = core::paper_experiments();
+  const auto baseline = suite.run(specs[2]);   // "(1)"
+  const auto dvs_io = suite.run(specs[3]);     // "(1A)"
+
+  std::printf("%-45s T = %5.2f h   F = %6lld frames\n",
+              baseline.title.c_str(), to_hours(baseline.battery_life),
+              baseline.frames);
+  std::printf("%-45s T = %5.2f h   F = %6lld frames\n", dvs_io.title.c_str(),
+              to_hours(dvs_io.battery_life), dvs_io.frames);
+  std::printf("\nDVS during I/O extends battery life by %.0f%%\n",
+              (dvs_io.battery_life / baseline.battery_life - 1.0) * 100.0);
+  return 0;
+}

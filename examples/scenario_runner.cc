@@ -1,0 +1,68 @@
+// Scenario runner: describe a distributed-DVS system in an INI file and
+// run it to battery death.
+//
+//   $ ./scenario_runner                           # built-in (2A) scenario
+//   $ ./scenario_runner path/to/scenario.ini
+//   $ ./scenario_runner --print-default > my.ini  # starting template
+//
+// See examples/scenarios/ for ready-made files (the paper's experiments
+// and a few variations).
+#include <cstdio>
+
+#include "core/scenario.h"
+#include "util/flags.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace deslp;
+
+  Flags flags;
+  flags.add_bool("print-default", false,
+                 "print the built-in scenario template and exit");
+  if (!flags.parse(argc, argv)) return 1;
+  if (flags.get_bool("print-default")) {
+    std::fputs(core::default_scenario_text().c_str(), stdout);
+    return 0;
+  }
+
+  std::string error;
+  std::optional<Config> config;
+  if (flags.positional().empty()) {
+    config = Config::parse(core::default_scenario_text(), &error);
+  } else {
+    config = Config::load(flags.positional()[0], &error);
+  }
+  if (!config) {
+    std::fprintf(stderr, "scenario: %s\n", error.c_str());
+    return 1;
+  }
+
+  const auto outcome = core::run_scenario(*config, &error);
+  if (!outcome) {
+    std::fprintf(stderr, "scenario: %s\n", error.c_str());
+    return 1;
+  }
+
+  std::printf("Scenario: %s\n\n", outcome->description.c_str());
+  std::printf("Battery life T      : %.2f h\n",
+              to_hours(outcome->battery_life));
+  std::printf("Frames completed F  : %lld\n",
+              outcome->run.frames_completed);
+  std::printf("Normalized life T/N : %.2f h\n\n",
+              to_hours(outcome->normalized_life));
+
+  Table t({"node", "died at (h)", "SoC left", "avg I (mA)", "comm (h)",
+           "comp (h)", "idle (h)", "rotations", "migrated"});
+  for (const auto& n : outcome->run.nodes) {
+    t.add_row({n.name,
+               n.died ? Table::num(to_hours(n.death_time), 2) : "alive",
+               Table::percent(n.final_soc),
+               Table::num(to_milliamps(n.average_current), 1),
+               Table::num(to_hours(n.comm_time), 2),
+               Table::num(to_hours(n.comp_time), 2),
+               Table::num(to_hours(n.idle_time), 2),
+               std::to_string(n.rotations), n.migrated ? "yes" : "no"});
+  }
+  std::printf("%s", t.render().c_str());
+  return 0;
+}

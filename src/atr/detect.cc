@@ -1,0 +1,68 @@
+#include "atr/detect.h"
+
+#include <algorithm>
+
+#include "atr/fft.h"
+#include "util/check.h"
+
+namespace deslp::atr {
+
+std::vector<Detection> detect_targets(const Image& frame,
+                                      const DetectOptions& options) {
+  DESLP_EXPECTS(options.max_targets > 0);
+  DESLP_EXPECTS(options.min_separation > 0);
+  const Image smooth = frame.box_blur3();
+  const float threshold = smooth.mean() + options.k_sigma * smooth.stddev();
+
+  // Collect local maxima above threshold.
+  std::vector<Detection> candidates;
+  for (int y = 1; y < smooth.height() - 1; ++y) {
+    for (int x = 1; x < smooth.width() - 1; ++x) {
+      const float v = smooth.at(x, y);
+      if (v < threshold) continue;
+      bool is_max = true;
+      for (int dy = -1; dy <= 1 && is_max; ++dy)
+        for (int dx = -1; dx <= 1; ++dx) {
+          if (dx == 0 && dy == 0) continue;
+          if (smooth.at(x + dx, y + dy) > v) {
+            is_max = false;
+            break;
+          }
+        }
+      if (is_max) candidates.push_back({x, y, v});
+    }
+  }
+
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Detection& a, const Detection& b) {
+              return a.response > b.response;
+            });
+
+  // Non-maximum suppression by minimum separation.
+  std::vector<Detection> kept;
+  const int sep2 = options.min_separation * options.min_separation;
+  for (const auto& c : candidates) {
+    bool suppressed = false;
+    for (const auto& k : kept) {
+      const int dx = c.x - k.x;
+      const int dy = c.y - k.y;
+      if (dx * dx + dy * dy < sep2) {
+        suppressed = true;
+        break;
+      }
+    }
+    if (!suppressed) {
+      kept.push_back(c);
+      if (static_cast<int>(kept.size()) >= options.max_targets) break;
+    }
+  }
+  return kept;
+}
+
+Image extract_roi(const Image& frame, const Detection& det,
+                  const DetectOptions& options) {
+  DESLP_EXPECTS(is_pow2(static_cast<std::size_t>(options.roi_size)));
+  return frame.crop(det.x, det.y, options.roi_size, options.roi_size);
+}
+
+}  // namespace deslp::atr

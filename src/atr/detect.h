@@ -1,0 +1,39 @@
+// Stage 1 of the ATR pipeline: target detection.
+//
+// Pre-smooth, threshold at mean + k*sigma, and greedily extract local
+// maxima with non-maximum suppression. Each detection yields a
+// power-of-two region of interest that the FFT stages consume.
+#pragma once
+
+#include <vector>
+
+#include "atr/image.h"
+
+namespace deslp::atr {
+
+struct Detection {
+  int x = 0;
+  int y = 0;
+  float response = 0.0f;  // smoothed intensity at the peak
+};
+
+struct DetectOptions {
+  /// Threshold = mean + k_sigma * stddev of the smoothed image.
+  float k_sigma = 4.0f;
+  /// Minimum separation between reported peaks (non-max suppression).
+  int min_separation = 12;
+  /// Upper bound on reported detections (strongest first).
+  int max_targets = 8;
+  /// ROI edge length handed to the FFT stage (power of two).
+  int roi_size = 32;
+};
+
+/// Detect candidate targets in `frame`; strongest first.
+[[nodiscard]] std::vector<Detection> detect_targets(
+    const Image& frame, const DetectOptions& options = {});
+
+/// Extract the ROI around one detection (zero-padded at frame edges).
+[[nodiscard]] Image extract_roi(const Image& frame, const Detection& det,
+                                const DetectOptions& options = {});
+
+}  // namespace deslp::atr

@@ -1,0 +1,23 @@
+#include "atr/distance.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace deslp::atr {
+
+DistanceEstimate estimate_distance(const MatchResult& match,
+                                   const DistanceOptions& options) {
+  DESLP_EXPECTS(options.reference_distance > 0.0);
+  DESLP_EXPECTS(options.score_floor > 0.0);
+  DistanceEstimate est;
+  est.confidence = match.score - options.score_floor;
+  if (match.template_id < 0 || match.score <= options.score_floor) {
+    est.distance = 0.0;
+    return est;
+  }
+  est.distance = options.reference_distance / std::sqrt(match.score);
+  return est;
+}
+
+}  // namespace deslp::atr

@@ -1,0 +1,28 @@
+// Stage 4 of the ATR pipeline: distance computation.
+//
+// Scenes render a target with amplitude 1/d^2 (inverse-square falloff) of a
+// unit-energy template, so the matched-filter peak score approximates
+// 1/d^2 and the range estimate is d = ref / sqrt(score).
+#pragma once
+
+#include "atr/match.h"
+
+namespace deslp::atr {
+
+struct DistanceEstimate {
+  double distance = 0.0;
+  /// Score margin over the reporting floor; <= 0 means "no target".
+  double confidence = 0.0;
+};
+
+struct DistanceOptions {
+  /// Calibration range at unit score.
+  double reference_distance = 1.0;
+  /// Scores at or below this are treated as noise (no target).
+  double score_floor = 0.05;
+};
+
+[[nodiscard]] DistanceEstimate estimate_distance(
+    const MatchResult& match, const DistanceOptions& options = {});
+
+}  // namespace deslp::atr

@@ -1,0 +1,142 @@
+#include "atr/fft.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/check.h"
+
+namespace deslp::atr {
+
+bool is_pow2(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+std::size_t next_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+namespace {
+
+void fft_impl(std::vector<Complex>& a, bool inverse) {
+  const std::size_t n = a.size();
+  DESLP_EXPECTS(is_pow2(n));
+
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle = (inverse ? 2.0 : -2.0) * std::numbers::pi /
+                         static_cast<double>(len);
+    const Complex wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      Complex w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const Complex u = a[i + k];
+        const Complex v = a[i + k + len / 2] * w;
+        a[i + k] = u + v;
+        a[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+
+  if (inverse) {
+    const double inv_n = 1.0 / static_cast<double>(n);
+    for (auto& x : a) x *= inv_n;
+  }
+}
+
+}  // namespace
+
+void fft(std::vector<Complex>& data) { fft_impl(data, /*inverse=*/false); }
+
+void ifft(std::vector<Complex>& data) { fft_impl(data, /*inverse=*/true); }
+
+Spectrum::Spectrum(int width, int height)
+    : width_(width),
+      height_(height),
+      data_(static_cast<std::size_t>(width) *
+            static_cast<std::size_t>(height)) {
+  DESLP_EXPECTS(width > 0 && height > 0);
+}
+
+Complex& Spectrum::at(int x, int y) {
+  DESLP_EXPECTS(x >= 0 && x < width_ && y >= 0 && y < height_);
+  return data_[static_cast<std::size_t>(y) * static_cast<std::size_t>(width_) +
+               static_cast<std::size_t>(x)];
+}
+
+Complex Spectrum::at(int x, int y) const {
+  DESLP_EXPECTS(x >= 0 && x < width_ && y >= 0 && y < height_);
+  return data_[static_cast<std::size_t>(y) * static_cast<std::size_t>(width_) +
+               static_cast<std::size_t>(x)];
+}
+
+Spectrum fft2d(const Image& img) {
+  DESLP_EXPECTS(is_pow2(static_cast<std::size_t>(img.width())));
+  DESLP_EXPECTS(is_pow2(static_cast<std::size_t>(img.height())));
+  Spectrum spec(img.width(), img.height());
+  for (int y = 0; y < img.height(); ++y)
+    for (int x = 0; x < img.width(); ++x)
+      spec.at(x, y) = Complex(static_cast<double>(img.at(x, y)), 0.0);
+
+  // Rows.
+  std::vector<Complex> row(static_cast<std::size_t>(spec.width()));
+  for (int y = 0; y < spec.height(); ++y) {
+    for (int x = 0; x < spec.width(); ++x) row[static_cast<std::size_t>(x)] =
+        spec.at(x, y);
+    fft(row);
+    for (int x = 0; x < spec.width(); ++x) spec.at(x, y) =
+        row[static_cast<std::size_t>(x)];
+  }
+  // Columns.
+  std::vector<Complex> col(static_cast<std::size_t>(spec.height()));
+  for (int x = 0; x < spec.width(); ++x) {
+    for (int y = 0; y < spec.height(); ++y) col[static_cast<std::size_t>(y)] =
+        spec.at(x, y);
+    fft(col);
+    for (int y = 0; y < spec.height(); ++y) spec.at(x, y) =
+        col[static_cast<std::size_t>(y)];
+  }
+  return spec;
+}
+
+Image ifft2d(const Spectrum& input) {
+  Spectrum spec = input;
+  std::vector<Complex> row(static_cast<std::size_t>(spec.width()));
+  for (int y = 0; y < spec.height(); ++y) {
+    for (int x = 0; x < spec.width(); ++x) row[static_cast<std::size_t>(x)] =
+        spec.at(x, y);
+    ifft(row);
+    for (int x = 0; x < spec.width(); ++x) spec.at(x, y) =
+        row[static_cast<std::size_t>(x)];
+  }
+  std::vector<Complex> col(static_cast<std::size_t>(spec.height()));
+  for (int x = 0; x < spec.width(); ++x) {
+    for (int y = 0; y < spec.height(); ++y) col[static_cast<std::size_t>(y)] =
+        spec.at(x, y);
+    ifft(col);
+    for (int y = 0; y < spec.height(); ++y) spec.at(x, y) =
+        col[static_cast<std::size_t>(y)];
+  }
+  Image out(spec.width(), spec.height());
+  for (int y = 0; y < spec.height(); ++y)
+    for (int x = 0; x < spec.width(); ++x)
+      out.at(x, y) = static_cast<float>(spec.at(x, y).real());
+  return out;
+}
+
+Spectrum multiply_conj(const Spectrum& a, const Spectrum& b) {
+  DESLP_EXPECTS(a.width() == b.width() && a.height() == b.height());
+  Spectrum out(a.width(), a.height());
+  for (std::size_t i = 0; i < a.data().size(); ++i)
+    out.data()[i] = a.data()[i] * std::conj(b.data()[i]);
+  return out;
+}
+
+}  // namespace deslp::atr

@@ -1,0 +1,65 @@
+// Radix-2 Cooley–Tukey FFT, 1-D and 2-D, implemented from scratch.
+//
+// The ATR pipeline's middle two blocks are an FFT and an IFFT (Fig. 1):
+// the region of interest is matched against the target templates in the
+// frequency domain. Sizes must be powers of two; the 2-D transform is
+// row-column.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "atr/image.h"
+
+namespace deslp::atr {
+
+using Complex = std::complex<double>;
+
+/// In-place 1-D FFT. `data.size()` must be a power of two.
+void fft(std::vector<Complex>& data);
+/// In-place 1-D inverse FFT (includes the 1/N normalisation).
+void ifft(std::vector<Complex>& data);
+
+/// True iff n is a positive power of two.
+[[nodiscard]] bool is_pow2(std::size_t n);
+/// Smallest power of two >= n.
+[[nodiscard]] std::size_t next_pow2(std::size_t n);
+
+/// 2-D complex spectrum, row-major, width*height entries.
+class Spectrum {
+ public:
+  Spectrum() = default;
+  Spectrum(int width, int height);
+
+  [[nodiscard]] int width() const { return width_; }
+  [[nodiscard]] int height() const { return height_; }
+
+  [[nodiscard]] Complex& at(int x, int y);
+  [[nodiscard]] Complex at(int x, int y) const;
+
+  [[nodiscard]] std::vector<Complex>& data() { return data_; }
+  [[nodiscard]] const std::vector<Complex>& data() const { return data_; }
+
+  /// Serialized wire size (two doubles per bin) — the FFT->IFFT payload of
+  /// the distributed pipeline.
+  [[nodiscard]] std::size_t byte_size() const {
+    return data_.size() * 2 * sizeof(double);
+  }
+
+ private:
+  int width_ = 0;
+  int height_ = 0;
+  std::vector<Complex> data_;
+};
+
+/// Forward 2-D FFT of a real image (dimensions must be powers of two).
+[[nodiscard]] Spectrum fft2d(const Image& img);
+/// Inverse 2-D FFT; returns the real part (imaginary residue is numerical
+/// noise for conjugate-symmetric spectra).
+[[nodiscard]] Image ifft2d(const Spectrum& spec);
+
+/// Pointwise multiply a by conj(b): the matched-filter product. Sizes must
+/// agree.
+[[nodiscard]] Spectrum multiply_conj(const Spectrum& a, const Spectrum& b);
+
+}  // namespace deslp::atr

@@ -1,0 +1,188 @@
+#include "atr/image.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace deslp::atr {
+
+Image::Image(int width, int height, float fill)
+    : width_(width),
+      height_(height),
+      data_(static_cast<std::size_t>(width) * static_cast<std::size_t>(height),
+            fill) {
+  DESLP_EXPECTS(width > 0 && height > 0);
+}
+
+float& Image::at(int x, int y) {
+  DESLP_EXPECTS(x >= 0 && x < width_ && y >= 0 && y < height_);
+  return data_[static_cast<std::size_t>(y) * static_cast<std::size_t>(width_) +
+               static_cast<std::size_t>(x)];
+}
+
+float Image::at(int x, int y) const {
+  DESLP_EXPECTS(x >= 0 && x < width_ && y >= 0 && y < height_);
+  return data_[static_cast<std::size_t>(y) * static_cast<std::size_t>(width_) +
+               static_cast<std::size_t>(x)];
+}
+
+float Image::at_or_zero(int x, int y) const {
+  if (x < 0 || x >= width_ || y < 0 || y >= height_) return 0.0f;
+  return at(x, y);
+}
+
+float Image::mean() const {
+  DESLP_EXPECTS(!data_.empty());
+  double acc = 0.0;
+  for (float v : data_) acc += static_cast<double>(v);
+  return static_cast<float>(acc / static_cast<double>(data_.size()));
+}
+
+float Image::stddev() const {
+  DESLP_EXPECTS(!data_.empty());
+  const double m = static_cast<double>(mean());
+  double acc = 0.0;
+  for (float v : data_) {
+    const double d = static_cast<double>(v) - m;
+    acc += d * d;
+  }
+  return static_cast<float>(
+      std::sqrt(acc / static_cast<double>(data_.size())));
+}
+
+float Image::max_value() const {
+  DESLP_EXPECTS(!data_.empty());
+  return *std::max_element(data_.begin(), data_.end());
+}
+
+Image Image::crop(int cx, int cy, int w, int h) const {
+  DESLP_EXPECTS(w > 0 && h > 0);
+  Image out(w, h);
+  const int x0 = cx - w / 2;
+  const int y0 = cy - h / 2;
+  for (int y = 0; y < h; ++y)
+    for (int x = 0; x < w; ++x) out.at(x, y) = at_or_zero(x0 + x, y0 + y);
+  return out;
+}
+
+Image Image::box_blur3() const {
+  Image out(width_, height_);
+  for (int y = 0; y < height_; ++y) {
+    for (int x = 0; x < width_; ++x) {
+      float acc = 0.0f;
+      for (int dy = -1; dy <= 1; ++dy)
+        for (int dx = -1; dx <= 1; ++dx) acc += at_or_zero(x + dx, y + dy);
+      out.at(x, y) = acc / 9.0f;
+    }
+  }
+  return out;
+}
+
+void Image::add_gaussian_noise(Rng& rng, float sigma) {
+  DESLP_EXPECTS(sigma >= 0.0f);
+  // Box-Muller on the deterministic PRNG.
+  for (std::size_t i = 0; i + 1 < data_.size(); i += 2) {
+    const double u1 = std::max(rng.uniform(), 1e-12);
+    const double u2 = rng.uniform();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    data_[i] += sigma * static_cast<float>(r * std::cos(6.283185307179586 * u2));
+    data_[i + 1] +=
+        sigma * static_cast<float>(r * std::sin(6.283185307179586 * u2));
+  }
+}
+
+void Image::add_patch(const Image& patch, int cx, int cy, float gain) {
+  const int x0 = cx - patch.width() / 2;
+  const int y0 = cy - patch.height() / 2;
+  for (int y = 0; y < patch.height(); ++y) {
+    for (int x = 0; x < patch.width(); ++x) {
+      const int tx = x0 + x;
+      const int ty = y0 + y;
+      if (tx < 0 || tx >= width_ || ty < 0 || ty >= height_) continue;
+      at(tx, ty) += gain * patch.at(x, y);
+    }
+  }
+}
+
+namespace {
+
+constexpr int kTemplateSize = 16;
+
+Image make_disk() {
+  Image t(kTemplateSize, kTemplateSize);
+  const float c = (kTemplateSize - 1) / 2.0f;
+  const float r = kTemplateSize * 0.32f;
+  for (int y = 0; y < kTemplateSize; ++y)
+    for (int x = 0; x < kTemplateSize; ++x) {
+      const float dx = static_cast<float>(x) - c;
+      const float dy = static_cast<float>(y) - c;
+      t.at(x, y) = (dx * dx + dy * dy <= r * r) ? 1.0f : 0.0f;
+    }
+  return t;
+}
+
+Image make_square() {
+  Image t(kTemplateSize, kTemplateSize);
+  for (int y = 4; y < kTemplateSize - 4; ++y)
+    for (int x = 4; x < kTemplateSize - 4; ++x) t.at(x, y) = 1.0f;
+  return t;
+}
+
+Image make_cross() {
+  Image t(kTemplateSize, kTemplateSize);
+  const int c0 = kTemplateSize / 2 - 2;
+  const int c1 = kTemplateSize / 2 + 2;
+  for (int y = 1; y < kTemplateSize - 1; ++y)
+    for (int x = c0; x < c1; ++x) {
+      t.at(x, y) = 1.0f;
+      t.at(y, x) = 1.0f;
+    }
+  return t;
+}
+
+Image normalise_energy(Image t) {
+  // Zero-mean, unit-energy: makes matched-filter scores comparable across
+  // templates.
+  const float m = t.mean();
+  double e = 0.0;
+  for (float& v : t.data()) {
+    v -= m;
+    e += static_cast<double>(v) * static_cast<double>(v);
+  }
+  const float scale = e > 0.0 ? static_cast<float>(1.0 / std::sqrt(e)) : 1.0f;
+  for (float& v : t.data()) v *= scale;
+  return t;
+}
+
+}  // namespace
+
+const std::vector<Image>& template_bank() {
+  static const std::vector<Image> bank = {
+      normalise_energy(make_disk()),
+      normalise_energy(make_square()),
+      normalise_energy(make_cross()),
+  };
+  return bank;
+}
+
+int template_size() { return kTemplateSize; }
+
+Image render_scene(const SceneSpec& spec, Rng& rng) {
+  DESLP_EXPECTS(spec.width > 0 && spec.height > 0);
+  Image img(spec.width, spec.height);
+  const auto& bank = template_bank();
+  for (const auto& target : spec.targets) {
+    DESLP_EXPECTS(target.template_id >= 0 &&
+                  target.template_id < static_cast<int>(bank.size()));
+    DESLP_EXPECTS(target.distance > 0.0);
+    const float gain =
+        static_cast<float>(1.0 / (target.distance * target.distance));
+    img.add_patch(bank[static_cast<std::size_t>(target.template_id)],
+                  target.x, target.y, gain);
+  }
+  img.add_gaussian_noise(rng, spec.noise_sigma);
+  return img;
+}
+
+}  // namespace deslp::atr

@@ -1,0 +1,78 @@
+// Grayscale float images and the synthetic scenes the ATR pipeline runs on.
+//
+// The paper's input is a camera/sensor frame containing pre-defined targets
+// (§3). We generate scenes with known ground truth: targets rendered from a
+// template bank at chosen positions and distances (amplitude falls off with
+// the square of distance), over Gaussian background noise — so detection
+// and distance estimation can be validated exactly.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace deslp::atr {
+
+class Image {
+ public:
+  Image() = default;
+  Image(int width, int height, float fill = 0.0f);
+
+  [[nodiscard]] int width() const { return width_; }
+  [[nodiscard]] int height() const { return height_; }
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+
+  [[nodiscard]] float& at(int x, int y);
+  [[nodiscard]] float at(int x, int y) const;
+  /// Zero outside the bounds (used by windowed reads near edges).
+  [[nodiscard]] float at_or_zero(int x, int y) const;
+
+  [[nodiscard]] const std::vector<float>& data() const { return data_; }
+  [[nodiscard]] std::vector<float>& data() { return data_; }
+
+  [[nodiscard]] float mean() const;
+  [[nodiscard]] float stddev() const;
+  [[nodiscard]] float max_value() const;
+
+  /// Extract a w x h window centred at (cx, cy), zero-padded at edges.
+  [[nodiscard]] Image crop(int cx, int cy, int w, int h) const;
+
+  /// 3x3 box blur (used by the detector's pre-smoothing).
+  [[nodiscard]] Image box_blur3() const;
+
+  void add_gaussian_noise(Rng& rng, float sigma);
+
+  /// Add `patch` centred at (cx, cy), scaled by `gain` (clipped at edges).
+  void add_patch(const Image& patch, int cx, int cy, float gain);
+
+ private:
+  int width_ = 0;
+  int height_ = 0;
+  std::vector<float> data_;
+};
+
+/// Ground truth for one rendered target.
+struct TargetTruth {
+  int x = 0;
+  int y = 0;
+  int template_id = 0;
+  double distance = 1.0;  // metres; render gain = 1 / distance^2
+};
+
+struct SceneSpec {
+  int width = 128;
+  int height = 128;
+  float noise_sigma = 0.05f;
+  std::vector<TargetTruth> targets;
+};
+
+/// Render a synthetic scene. Template ids index `template_bank()`.
+[[nodiscard]] Image render_scene(const SceneSpec& spec, Rng& rng);
+
+/// The pre-defined target templates the ATR matches against (§3: "filtered
+/// by templates"). Small unit-energy patches: disk, square, cross.
+[[nodiscard]] const std::vector<Image>& template_bank();
+[[nodiscard]] int template_size();
+
+}  // namespace deslp::atr

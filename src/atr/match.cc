@@ -1,0 +1,111 @@
+#include "atr/match.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "util/check.h"
+
+namespace deslp::atr {
+
+Spectrum roi_spectrum(const Image& roi) { return fft2d(roi); }
+
+const std::vector<Spectrum>& template_spectra(int roi_size) {
+  DESLP_EXPECTS(is_pow2(static_cast<std::size_t>(roi_size)));
+  DESLP_EXPECTS(roi_size >= template_size());
+  static std::map<int, std::vector<Spectrum>> cache;
+  auto it = cache.find(roi_size);
+  if (it != cache.end()) return it->second;
+
+  std::vector<Spectrum> spectra;
+  for (const Image& tmpl : template_bank()) {
+    // Embed the template at the origin (wrapped), so correlation peaks land
+    // at the target centre.
+    Image padded(roi_size, roi_size);
+    const int half = template_size() / 2;
+    for (int y = 0; y < template_size(); ++y)
+      for (int x = 0; x < template_size(); ++x) {
+        const int px = (x - half + roi_size) % roi_size;
+        const int py = (y - half + roi_size) % roi_size;
+        padded.at(px, py) = tmpl.at(x, y);
+      }
+    spectra.push_back(fft2d(padded));
+  }
+  return cache.emplace(roi_size, std::move(spectra)).first->second;
+}
+
+Image correlation_surface(const Spectrum& roi_spec, int template_id) {
+  const auto& spectra = template_spectra(roi_spec.width());
+  DESLP_EXPECTS(template_id >= 0 &&
+                template_id < static_cast<int>(spectra.size()));
+  DESLP_EXPECTS(roi_spec.width() == roi_spec.height());
+  return ifft2d(multiply_conj(
+      roi_spec, spectra[static_cast<std::size_t>(template_id)]));
+}
+
+PeakRefinement refine_peak(const Image& surface, int x, int y) {
+  PeakRefinement r;
+  r.value = static_cast<double>(surface.at(x, y));
+  auto axis_offset = [&](double lo, double mid, double hi) {
+    const double denom = lo - 2.0 * mid + hi;
+    if (denom >= -1e-12) return 0.0;  // flat or non-concave: no refinement
+    const double d = 0.5 * (lo - hi) / denom;
+    return std::clamp(d, -0.5, 0.5);
+  };
+  if (x > 0 && x + 1 < surface.width()) {
+    r.dx = axis_offset(surface.at(x - 1, y), surface.at(x, y),
+                       surface.at(x + 1, y));
+  }
+  if (y > 0 && y + 1 < surface.height()) {
+    r.dy = axis_offset(surface.at(x, y - 1), surface.at(x, y),
+                       surface.at(x, y + 1));
+  }
+  // Peak height of the fitted parabola f(d) = mid + b d + a d^2 with
+  // b = (hi - lo)/2, a = (lo - 2 mid + hi)/2 (separable approximation).
+  auto axis_gain = [&](double lo, double mid, double hi, double d) {
+    const double b = 0.5 * (hi - lo);
+    const double a = 0.5 * (lo - 2.0 * mid + hi);
+    return b * d + a * d * d;
+  };
+  double value = r.value;
+  if (x > 0 && x + 1 < surface.width())
+    value += axis_gain(surface.at(x - 1, y), surface.at(x, y),
+                       surface.at(x + 1, y), r.dx);
+  if (y > 0 && y + 1 < surface.height())
+    value += axis_gain(surface.at(x, y - 1), surface.at(x, y),
+                       surface.at(x, y + 1), r.dy);
+  r.value = value;
+  return r;
+}
+
+MatchResult best_match(const Spectrum& roi_spec) {
+  const auto& spectra = template_spectra(roi_spec.width());
+  MatchResult best;
+  Image best_surface;
+  for (int t = 0; t < static_cast<int>(spectra.size()); ++t) {
+    Image corr = correlation_surface(roi_spec, t);
+    bool improved = false;
+    for (int y = 0; y < corr.height(); ++y)
+      for (int x = 0; x < corr.width(); ++x) {
+        const double v = static_cast<double>(corr.at(x, y));
+        if (v > best.score) {
+          best.score = v;
+          best.template_id = t;
+          best.peak_x = x;
+          best.peak_y = y;
+          improved = true;
+        }
+      }
+    if (improved) best_surface = std::move(corr);
+  }
+  if (best.template_id >= 0) {
+    const PeakRefinement r =
+        refine_peak(best_surface, best.peak_x, best.peak_y);
+    best.refined_x = best.peak_x + r.dx;
+    best.refined_y = best.peak_y + r.dy;
+    best.refined_score = r.value;
+  }
+  return best;
+}
+
+}  // namespace deslp::atr

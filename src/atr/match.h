@@ -1,0 +1,56 @@
+// Stages 2-3 of the ATR pipeline: frequency-domain matched filtering.
+//
+// The ROI is transformed (FFT block), multiplied by the conjugate spectrum
+// of each template, and transformed back (IFFT block); the correlation
+// surface's peak gives the template match and sub-ROI position.
+#pragma once
+
+#include <vector>
+
+#include "atr/fft.h"
+#include "atr/image.h"
+
+namespace deslp::atr {
+
+struct MatchResult {
+  int template_id = -1;
+  /// Peak correlation value (template is unit-energy, so this approximates
+  /// the target's rendered amplitude times template energy overlap).
+  double score = 0.0;
+  /// Peak location inside the ROI (correlation-aligned: the target centre).
+  int peak_x = 0;
+  int peak_y = 0;
+  /// Sub-pixel refinement (quadratic fit around the integer peak).
+  double refined_x = 0.0;
+  double refined_y = 0.0;
+  double refined_score = 0.0;
+};
+
+/// Quadratic sub-pixel refinement of a correlation peak at (x, y): fits a
+/// parabola per axis through the three samples around the peak. Returns
+/// {dx, dy, value} with |dx|,|dy| <= 0.5; falls back to the integer peak
+/// at surface edges or degenerate (flat) neighbourhoods.
+struct PeakRefinement {
+  double dx = 0.0;
+  double dy = 0.0;
+  double value = 0.0;
+};
+[[nodiscard]] PeakRefinement refine_peak(const Image& surface, int x, int y);
+
+/// FFT block: spectrum of the ROI. Exposed separately because the
+/// distributed pipeline can split between the FFT and IFFT blocks (Fig. 8,
+/// scheme 3), shipping the spectrum over the wire.
+[[nodiscard]] Spectrum roi_spectrum(const Image& roi);
+
+/// Spectra of the template bank, padded to `roi_size` (cached per size).
+[[nodiscard]] const std::vector<Spectrum>& template_spectra(int roi_size);
+
+/// IFFT block + peak scan: correlate `roi_spec` against every template and
+/// return the best match.
+[[nodiscard]] MatchResult best_match(const Spectrum& roi_spec);
+
+/// Correlation surface against one template (for inspection/tests).
+[[nodiscard]] Image correlation_surface(const Spectrum& roi_spec,
+                                        int template_id);
+
+}  // namespace deslp::atr

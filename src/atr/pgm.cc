@@ -1,0 +1,129 @@
+#include "atr/pgm.h"
+
+#include <algorithm>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace deslp::atr {
+
+namespace {
+
+bool set_error(std::string* error, const char* message) {
+  if (error) *error = message;
+  return false;
+}
+
+/// Skip whitespace and `#` comment lines between header tokens.
+void skip_separators(std::istream& is) {
+  for (;;) {
+    const int c = is.peek();
+    if (c == '#') {
+      std::string line;
+      std::getline(is, line);
+    } else if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      is.get();
+    } else {
+      return;
+    }
+  }
+}
+
+bool read_header_int(std::istream& is, int* out) {
+  skip_separators(is);
+  int v = 0;
+  if (!(is >> v) || v <= 0) return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+void write_pgm(const Image& img, std::ostream& os) {
+  DESLP_EXPECTS(img.width() > 0 && img.height() > 0);
+  float lo = img.data()[0];
+  float hi = lo;
+  for (float v : img.data()) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  const float span = hi - lo;
+  os << "P5\n" << img.width() << ' ' << img.height() << "\n255\n";
+  for (int y = 0; y < img.height(); ++y) {
+    for (int x = 0; x < img.width(); ++x) {
+      const float v = img.at(x, y);
+      const int g = span > 0.0f
+                        ? static_cast<int>((v - lo) / span * 255.0f + 0.5f)
+                        : 128;
+      os.put(static_cast<char>(std::clamp(g, 0, 255)));
+    }
+  }
+}
+
+bool write_pgm_file(const Image& img, const std::string& path) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) return false;
+  write_pgm(img, os);
+  return static_cast<bool>(os);
+}
+
+std::optional<Image> read_pgm(std::istream& is, std::string* error) {
+  std::string magic;
+  is >> magic;
+  if (magic != "P5" && magic != "P2") {
+    set_error(error, "not a PGM (expected P5 or P2)");
+    return std::nullopt;
+  }
+  int width = 0, height = 0, maxval = 0;
+  if (!read_header_int(is, &width) || !read_header_int(is, &height) ||
+      !read_header_int(is, &maxval)) {
+    set_error(error, "malformed PGM header");
+    return std::nullopt;
+  }
+  if (maxval > 255) {
+    set_error(error, "only 8-bit PGM supported");
+    return std::nullopt;
+  }
+  Image img(width, height);
+  const float scale = 1.0f / static_cast<float>(maxval);
+  if (magic == "P5") {
+    is.get();  // the single separator after maxval
+    for (int y = 0; y < height; ++y) {
+      for (int x = 0; x < width; ++x) {
+        const int c = is.get();
+        if (c == EOF) {
+          set_error(error, "truncated P5 pixel data");
+          return std::nullopt;
+        }
+        img.at(x, y) = static_cast<float>(c) * scale;
+      }
+    }
+  } else {
+    for (int y = 0; y < height; ++y) {
+      for (int x = 0; x < width; ++x) {
+        int v = 0;
+        if (!(is >> v) || v < 0 || v > maxval) {
+          set_error(error, "malformed P2 pixel data");
+          return std::nullopt;
+        }
+        img.at(x, y) = static_cast<float>(v) * scale;
+      }
+    }
+  }
+  return img;
+}
+
+std::optional<Image> read_pgm_file(const std::string& path,
+                                   std::string* error) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    set_error(error, "cannot open file");
+    return std::nullopt;
+  }
+  return read_pgm(is, error);
+}
+
+}  // namespace deslp::atr

@@ -1,0 +1,28 @@
+// PGM (portable graymap) image I/O, so scenes, ROIs, and correlation
+// surfaces can be dumped for inspection and external frames can be fed to
+// the pipeline. Supports binary (P5) and ASCII (P2) variants, 8-bit depth.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "atr/image.h"
+
+namespace deslp::atr {
+
+/// Write `img` as binary PGM (P5). Pixel values are min-max normalised to
+/// 0..255 (a constant image maps to mid-grey).
+void write_pgm(const Image& img, std::ostream& os);
+/// Convenience: write to a file; returns false on I/O failure.
+bool write_pgm_file(const Image& img, const std::string& path);
+
+/// Read a P5 or P2 PGM into a float image scaled to [0, 1]. Returns
+/// nullopt (with `error` filled) on malformed input.
+[[nodiscard]] std::optional<Image> read_pgm(std::istream& is,
+                                            std::string* error = nullptr);
+[[nodiscard]] std::optional<Image> read_pgm_file(const std::string& path,
+                                                 std::string* error =
+                                                     nullptr);
+
+}  // namespace deslp::atr

@@ -1,0 +1,77 @@
+#include "atr/pipeline.h"
+
+namespace deslp::atr {
+
+Stage1Output stage_target_detection(const Image& frame, const AtrOptions& o) {
+  Stage1Output out;
+  out.detections = detect_targets(frame, o.detect);
+  out.rois.reserve(out.detections.size());
+  for (const auto& det : out.detections)
+    out.rois.push_back(extract_roi(frame, det, o.detect));
+  return out;
+}
+
+Stage2Output stage_fft(const Stage1Output& in) {
+  Stage2Output out;
+  out.detections = in.detections;
+  out.spectra.reserve(in.rois.size());
+  for (const auto& roi : in.rois) out.spectra.push_back(roi_spectrum(roi));
+  return out;
+}
+
+Stage3Output stage_ifft(const Stage2Output& in) {
+  Stage3Output out;
+  out.detections = in.detections;
+  out.surfaces.reserve(in.spectra.size());
+  const int templates =
+      static_cast<int>(template_bank().size());
+  for (const auto& spec : in.spectra) {
+    std::vector<Image> per_template;
+    per_template.reserve(static_cast<std::size_t>(templates));
+    for (int t = 0; t < templates; ++t)
+      per_template.push_back(correlation_surface(spec, t));
+    out.surfaces.push_back(std::move(per_template));
+  }
+  return out;
+}
+
+AtrResult stage_compute_distance(const Stage3Output& in, const AtrOptions& o) {
+  AtrResult out;
+  for (std::size_t i = 0; i < in.surfaces.size(); ++i) {
+    // Peak scan across every template's correlation surface.
+    MatchResult best;
+    for (int t = 0; t < static_cast<int>(in.surfaces[i].size()); ++t) {
+      const Image& corr = in.surfaces[i][static_cast<std::size_t>(t)];
+      for (int y = 0; y < corr.height(); ++y)
+        for (int x = 0; x < corr.width(); ++x) {
+          const double v = static_cast<double>(corr.at(x, y));
+          if (v > best.score) {
+            best.score = v;
+            best.template_id = t;
+            best.peak_x = x;
+            best.peak_y = y;
+          }
+        }
+    }
+    if (best.template_id >= 0) {
+      const PeakRefinement r = refine_peak(
+          in.surfaces[i][static_cast<std::size_t>(best.template_id)],
+          best.peak_x, best.peak_y);
+      best.refined_x = best.peak_x + r.dx;
+      best.refined_y = best.peak_y + r.dy;
+      best.refined_score = r.value;
+    }
+    const DistanceEstimate est = estimate_distance(best, o.distance);
+    if (est.confidence <= 0.0) continue;  // matched nothing but noise
+    out.targets.push_back(AtrTarget{in.detections[i], best, est});
+  }
+  return out;
+}
+
+AtrResult run_atr(const Image& frame, const AtrOptions& o) {
+  return stage_compute_distance(stage_ifft(stage_fft(
+                                    stage_target_detection(frame, o))),
+                                o);
+}
+
+}  // namespace deslp::atr

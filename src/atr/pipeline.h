@@ -1,0 +1,62 @@
+// The four-block ATR pipeline of Fig. 1, as real computation.
+//
+// The staged API mirrors the paper's functional blocks exactly —
+//   Target Detection -> FFT -> IFFT -> Compute Distance —
+// so the distributed experiments can split the chain at any block boundary
+// and ship a stage's output over the simulated network, while the
+// single-call `run_atr` runs everything locally.
+#pragma once
+
+#include <vector>
+
+#include "atr/detect.h"
+#include "atr/distance.h"
+#include "atr/match.h"
+
+namespace deslp::atr {
+
+/// Block 1 output: detections and their ROIs.
+struct Stage1Output {
+  std::vector<Detection> detections;
+  std::vector<Image> rois;
+};
+
+/// Block 2 output: per-ROI spectra.
+struct Stage2Output {
+  std::vector<Detection> detections;
+  std::vector<Spectrum> spectra;
+};
+
+/// Block 3 output: per-ROI correlation surfaces, one per template (the
+/// 7.5 KB payload of Fig. 6). The peak scan belongs to block 4.
+struct Stage3Output {
+  std::vector<Detection> detections;
+  std::vector<std::vector<Image>> surfaces;  // [roi][template]
+};
+
+/// Final result: one recognised target per surviving detection.
+struct AtrTarget {
+  Detection detection;
+  MatchResult match;
+  DistanceEstimate range;
+};
+struct AtrResult {
+  std::vector<AtrTarget> targets;
+};
+
+struct AtrOptions {
+  DetectOptions detect;
+  DistanceOptions distance;
+};
+
+[[nodiscard]] Stage1Output stage_target_detection(const Image& frame,
+                                                  const AtrOptions& o = {});
+[[nodiscard]] Stage2Output stage_fft(const Stage1Output& in);
+[[nodiscard]] Stage3Output stage_ifft(const Stage2Output& in);
+[[nodiscard]] AtrResult stage_compute_distance(const Stage3Output& in,
+                                               const AtrOptions& o = {});
+
+/// All four blocks locally.
+[[nodiscard]] AtrResult run_atr(const Image& frame, const AtrOptions& o = {});
+
+}  // namespace deslp::atr

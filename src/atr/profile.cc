@@ -1,0 +1,74 @@
+#include "atr/profile.h"
+
+#include <utility>
+
+#include "util/check.h"
+
+namespace deslp::atr {
+
+namespace {
+
+// Fig. 6 per-block times at the 206.4 MHz peak and inter-block payloads.
+constexpr double kPeakMhz = 206.4;
+constexpr double kBlockSecondsRaw[4] = {0.18, 0.19, 0.32, 0.53};
+constexpr double kBlockOutKb[4] = {0.6, 7.5, 7.5, 0.1};
+constexpr double kInputKb = 10.1;
+// §4.3 / §5.1: one whole iteration takes 1.1 s at 206.4 MHz.
+constexpr double kWholeSeconds = 1.10;
+
+AtrProfile make_profile(double scale) {
+  const char* names[4] = {"Target Detection", "FFT", "IFFT",
+                          "Compute Distance"};
+  std::vector<BlockProfile> blocks;
+  for (int i = 0; i < 4; ++i) {
+    blocks.push_back(BlockProfile{
+        names[i],
+        work(megahertz(kPeakMhz), seconds(kBlockSecondsRaw[i] * scale)),
+        kilobytes(kBlockOutKb[i]),
+    });
+  }
+  return AtrProfile{kilobytes(kInputKb), std::move(blocks)};
+}
+
+}  // namespace
+
+AtrProfile::AtrProfile(Bytes input, std::vector<BlockProfile> blocks)
+    : input_(input), blocks_(std::move(blocks)) {
+  DESLP_EXPECTS(!blocks_.empty());
+  DESLP_EXPECTS(input_.count() > 0);
+}
+
+const BlockProfile& AtrProfile::block(int i) const {
+  DESLP_EXPECTS(i >= 0 && i < block_count());
+  return blocks_[static_cast<std::size_t>(i)];
+}
+
+Bytes AtrProfile::input_of(int i) const {
+  DESLP_EXPECTS(i >= 0 && i < block_count());
+  return i == 0 ? input_ : blocks_[static_cast<std::size_t>(i - 1)].output;
+}
+
+Cycles AtrProfile::work_of_range(int first, int last) const {
+  DESLP_EXPECTS(first >= 0 && first <= last && last < block_count());
+  Cycles total{0.0};
+  for (int i = first; i <= last; ++i)
+    total += blocks_[static_cast<std::size_t>(i)].work;
+  return total;
+}
+
+Bytes AtrProfile::result_size() const { return blocks_.back().output; }
+
+const AtrProfile& paper_raw_profile() {
+  static const AtrProfile profile = make_profile(1.0);
+  return profile;
+}
+
+const AtrProfile& itsy_atr_profile() {
+  constexpr double kRawSum =
+      kBlockSecondsRaw[0] + kBlockSecondsRaw[1] + kBlockSecondsRaw[2] +
+      kBlockSecondsRaw[3];
+  static const AtrProfile profile = make_profile(kWholeSeconds / kRawSum);
+  return profile;
+}
+
+}  // namespace deslp::atr

@@ -1,0 +1,112 @@
+#include "atr/tracker.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace deslp::atr {
+
+Tracker::Tracker(TrackerOptions options) : options_(options) {
+  DESLP_EXPECTS(options_.gate_radius > 0.0);
+  DESLP_EXPECTS(options_.max_missed >= 1);
+  DESLP_EXPECTS(options_.confirm_hits >= 1);
+  DESLP_EXPECTS(options_.position_alpha > 0.0 &&
+                options_.position_alpha <= 1.0);
+  DESLP_EXPECTS(options_.distance_alpha > 0.0 &&
+                options_.distance_alpha <= 1.0);
+}
+
+void Tracker::update(const AtrResult& frame) {
+  ++frames_;
+  std::vector<bool> used(frame.targets.size(), false);
+
+  // Greedy global-nearest-neighbour: repeatedly take the closest
+  // (track, recognition) pair inside the gate.
+  std::vector<bool> extended(tracks_.size(), false);
+  for (;;) {
+    double best_d2 = options_.gate_radius * options_.gate_radius;
+    int best_track = -1;
+    int best_obs = -1;
+    for (std::size_t t = 0; t < tracks_.size(); ++t) {
+      if (extended[t]) continue;
+      const double px = tracks_[t].x + tracks_[t].vx;  // predicted
+      const double py = tracks_[t].y + tracks_[t].vy;
+      for (std::size_t o = 0; o < frame.targets.size(); ++o) {
+        if (used[o]) continue;
+        const auto& obs = frame.targets[o];
+        if (obs.match.template_id != tracks_[t].template_id) continue;
+        const double dx = obs.detection.x - px;
+        const double dy = obs.detection.y - py;
+        const double d2 = dx * dx + dy * dy;
+        if (d2 <= best_d2) {
+          best_d2 = d2;
+          best_track = static_cast<int>(t);
+          best_obs = static_cast<int>(o);
+        }
+      }
+    }
+    if (best_track < 0) break;
+
+    Track& tr = tracks_[static_cast<std::size_t>(best_track)];
+    const auto& obs = frame.targets[static_cast<std::size_t>(best_obs)];
+    const double a = options_.position_alpha;
+    const double nx = (1.0 - a) * (tr.x + tr.vx) + a * obs.detection.x;
+    const double ny = (1.0 - a) * (tr.y + tr.vy) + a * obs.detection.y;
+    tr.vx = 0.5 * tr.vx + 0.5 * (nx - tr.x);
+    tr.vy = 0.5 * tr.vy + 0.5 * (ny - tr.y);
+    tr.x = nx;
+    tr.y = ny;
+    tr.distance = (1.0 - options_.distance_alpha) * tr.distance +
+                  options_.distance_alpha * obs.range.distance;
+    tr.hits += 1;
+    tr.missed = 0;
+    extended[static_cast<std::size_t>(best_track)] = true;
+    used[static_cast<std::size_t>(best_obs)] = true;
+  }
+
+  // Age all tracks; count misses for the unextended ones.
+  for (std::size_t t = 0; t < tracks_.size(); ++t) {
+    tracks_[t].age += 1;
+    if (!extended[t]) {
+      tracks_[t].missed += 1;
+      // Coast on the velocity estimate while missing.
+      tracks_[t].x += tracks_[t].vx;
+      tracks_[t].y += tracks_[t].vy;
+    }
+  }
+
+  // Retire stale tracks.
+  const int max_missed = options_.max_missed;
+  const auto stale = [max_missed](const Track& t) {
+    return t.missed >= max_missed;
+  };
+  retired_ += static_cast<int>(
+      std::count_if(tracks_.begin(), tracks_.end(), stale));
+  std::erase_if(tracks_, stale);
+
+  // Spawn tentative tracks for unclaimed recognitions.
+  for (std::size_t o = 0; o < frame.targets.size(); ++o) {
+    if (used[o]) continue;
+    const auto& obs = frame.targets[o];
+    Track t;
+    t.id = next_id_++;
+    t.template_id = obs.match.template_id;
+    t.x = obs.detection.x;
+    t.y = obs.detection.y;
+    t.distance = obs.range.distance;
+    t.age = 1;
+    t.hits = 1;
+    tracks_.push_back(t);
+  }
+}
+
+std::vector<Track> Tracker::confirmed() const {
+  std::vector<Track> out;
+  for (const auto& t : tracks_)
+    if (t.hits >= options_.confirm_hits) out.push_back(t);
+  return out;
+}
+
+}  // namespace deslp::atr

@@ -1,0 +1,70 @@
+// Multi-frame, multi-target tracking on top of the per-frame ATR output.
+//
+// The paper's case study processes "only one image and one target at a
+// time, although a multi-frame, multi-target version of the algorithm is
+// also available" (§3). This is that version: recognised targets are
+// associated across frames by gated nearest-neighbour matching with a
+// constant-velocity prediction, positions and ranges are exponentially
+// smoothed, and tracks are confirmed after a few consistent sightings and
+// retired after consecutive misses.
+#pragma once
+
+#include <vector>
+
+#include "atr/pipeline.h"
+
+namespace deslp::atr {
+
+struct Track {
+  int id = 0;
+  int template_id = -1;
+  // Smoothed position (pixels) and per-frame velocity estimate.
+  double x = 0.0, y = 0.0;
+  double vx = 0.0, vy = 0.0;
+  // Smoothed range estimate.
+  double distance = 0.0;
+  // Frames since creation / sightings / consecutive misses.
+  int age = 0;
+  int hits = 0;
+  int missed = 0;
+};
+
+struct TrackerOptions {
+  /// Association gate: a recognition within this radius of a track's
+  /// predicted position can extend it (same template only).
+  double gate_radius = 14.0;
+  /// Retire a track after this many consecutive frames without a match.
+  int max_missed = 3;
+  /// Confirm (report) a track once it has this many sightings.
+  int confirm_hits = 2;
+  /// Exponential smoothing factors for position and range.
+  double position_alpha = 0.6;
+  double distance_alpha = 0.3;
+};
+
+class Tracker {
+ public:
+  explicit Tracker(TrackerOptions options = {});
+
+  /// Fold in one frame's recognitions. Association is greedy by distance
+  /// to the predicted positions, gated by radius and template identity.
+  void update(const AtrResult& frame);
+
+  /// All live tracks (confirmed or tentative).
+  [[nodiscard]] const std::vector<Track>& tracks() const { return tracks_; }
+  /// Confirmed tracks only.
+  [[nodiscard]] std::vector<Track> confirmed() const;
+
+  [[nodiscard]] long long frames_processed() const { return frames_; }
+  [[nodiscard]] int tracks_created() const { return next_id_; }
+  [[nodiscard]] int tracks_retired() const { return retired_; }
+
+ private:
+  TrackerOptions options_;
+  std::vector<Track> tracks_;
+  long long frames_ = 0;
+  int next_id_ = 0;
+  int retired_ = 0;
+};
+
+}  // namespace deslp::atr

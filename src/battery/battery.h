@@ -1,0 +1,73 @@
+// Battery models.
+//
+// The paper's central surprise — aggregate energy savings do not translate
+// into battery lifetime — rests on two nonlinear battery behaviours it
+// names explicitly (§6.3): the *rate-capacity effect* (high discharge
+// currents deliver less total charge) and the *recovery effect* (capacity
+// partially recovers when the load drops). This module provides four
+// models of increasing fidelity:
+//
+//   IdealBattery      linear coulomb counter (no nonlinearity; the "DVS
+//                     papers ignore batteries" baseline)
+//   PeukertBattery    rate-capacity effect only (Peukert's law)
+//   KibamBattery      kinetic battery model: two charge wells; exhibits both
+//                     rate-capacity and recovery effects; closed-form
+//                     constant-current stepping (exact, no ODE error)
+//   RakhmatovBattery  Rakhmatov–Vrudhula diffusion model; analytical
+//                     apparent-charge tracking with truncated series
+//
+// All models step under piecewise-constant current, which is exactly how
+// the simulated nodes drive them (current only changes at task-mode
+// boundaries).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "util/units.h"
+
+namespace deslp::battery {
+
+class Battery {
+ public:
+  virtual ~Battery() = default;
+
+  /// Draw constant current `i` for up to `dt`. Returns the duration actually
+  /// sustained: `dt` if the battery survives, else the exact time at which
+  /// it empties (after which the battery reports empty()).
+  virtual Seconds discharge(Amps i, Seconds dt) = 0;
+
+  /// True once the battery has cut off; all further discharge sustains 0 s.
+  [[nodiscard]] virtual bool empty() const = 0;
+
+  /// Time this battery could sustain constant current `i` from its present
+  /// state. Returns Seconds{infinity} for i == 0 on models that never cut
+  /// off at zero load.
+  [[nodiscard]] virtual Seconds time_to_empty(Amps i) const = 0;
+
+  /// Nominal (low-rate) charge remaining; a diagnostic, not a promise of
+  /// deliverable charge at high rates.
+  [[nodiscard]] virtual Coulombs nominal_remaining() const = 0;
+
+  /// Fraction of nominal capacity remaining, in [0, 1].
+  [[nodiscard]] virtual double state_of_charge() const = 0;
+
+  /// Restore the factory-fresh state.
+  virtual void reset() = 0;
+
+  [[nodiscard]] virtual std::string describe() const = 0;
+  [[nodiscard]] virtual std::unique_ptr<Battery> clone() const = 0;
+};
+
+/// Linear coulomb counter with nominal capacity `capacity`.
+[[nodiscard]] std::unique_ptr<Battery> make_ideal_battery(Coulombs capacity);
+
+/// Peukert's law battery: constant current I sustains
+///   t = (C / I) * (I_ref / I)^(k-1)
+/// i.e. delivered charge shrinks as I^(k-1) relative to the reference rate.
+/// k = 1 reduces to the ideal battery. No recovery effect.
+[[nodiscard]] std::unique_ptr<Battery> make_peukert_battery(Coulombs capacity,
+                                                            double k,
+                                                            Amps reference);
+
+}  // namespace deslp::battery

@@ -1,0 +1,113 @@
+#include "battery/calibrate.h"
+
+#include <cmath>
+
+#include "battery/battery.h"
+#include "util/check.h"
+#include "util/nelder_mead.h"
+
+namespace deslp::battery {
+
+namespace {
+
+double logit(double p) { return std::log(p / (1.0 - p)); }
+double sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+
+KibamParams decode_kibam(const std::vector<double>& x) {
+  return KibamParams{
+      .capacity = coulombs(std::exp(x[0])),
+      .c = sigmoid(x[1]),
+      .k_prime = std::exp(x[2]),
+  };
+}
+
+std::vector<double> encode_kibam(const KibamParams& p) {
+  return {std::log(p.capacity.value()), logit(p.c), std::log(p.k_prime)};
+}
+
+double weighted_sq_log_error(const std::vector<CalibrationCase>& cases,
+                             Battery& prototype,
+                             std::vector<Seconds>* modeled_out) {
+  double err = 0.0;
+  double total_weight = 0.0;
+  if (modeled_out) modeled_out->clear();
+  for (const auto& kase : cases) {
+    prototype.reset();
+    const LifetimeResult r = lifetime_under_cycle(prototype, kase.cycle);
+    if (modeled_out) modeled_out->push_back(r.lifetime);
+    DESLP_EXPECTS(kase.reference_lifetime.value() > 0.0);
+    const double log_ratio =
+        std::log(std::max(r.lifetime.value(), 1.0) /
+                 kase.reference_lifetime.value());
+    err += kase.weight * log_ratio * log_ratio;
+    total_weight += kase.weight;
+  }
+  DESLP_EXPECTS(total_weight > 0.0);
+  return err / total_weight;
+}
+
+}  // namespace
+
+KibamFit fit_kibam(const std::vector<CalibrationCase>& cases,
+                   const KibamParams& initial) {
+  DESLP_EXPECTS(!cases.empty());
+  auto objective = [&cases](const std::vector<double>& x) {
+    auto battery = make_kibam_battery(decode_kibam(x));
+    return weighted_sq_log_error(cases, *battery, nullptr);
+  };
+
+  NelderMeadOptions options;
+  options.max_iterations = 4000;
+  options.tolerance = 1e-10;
+  options.relative_step = 0.25;
+  const NelderMeadResult r =
+      nelder_mead(objective, encode_kibam(initial), options);
+
+  KibamFit fit;
+  fit.params = decode_kibam(r.x);
+  fit.iterations = r.iterations;
+  fit.converged = r.converged;
+  auto battery = make_kibam_battery(fit.params);
+  fit.rms_log_error =
+      std::sqrt(weighted_sq_log_error(cases, *battery, &fit.modeled));
+  return fit;
+}
+
+PeukertFit fit_peukert(const std::vector<CalibrationCase>& cases,
+                       Coulombs initial_capacity, double initial_k) {
+  DESLP_EXPECTS(!cases.empty());
+  // Reference current: weighted mean of the cases' average currents. Fixing
+  // it removes the scale degeneracy between capacity and reference.
+  double i_sum = 0.0, w_sum = 0.0;
+  for (const auto& kase : cases) {
+    i_sum += kase.weight * cycle_average_current(kase.cycle).value();
+    w_sum += kase.weight;
+  }
+  const Amps reference = amps(i_sum / w_sum);
+
+  auto objective = [&cases, reference](const std::vector<double>& x) {
+    // k >= 1 by construction: k = 1 + exp(x[1]) saturates the lower bound.
+    auto battery = make_peukert_battery(coulombs(std::exp(x[0])),
+                                        1.0 + std::exp(x[1]), reference);
+    return weighted_sq_log_error(cases, *battery, nullptr);
+  };
+
+  NelderMeadOptions options;
+  options.max_iterations = 3000;
+  options.relative_step = 0.25;
+  const NelderMeadResult r = nelder_mead(
+      objective,
+      {std::log(initial_capacity.value()), std::log(initial_k - 1.0 + 1e-6)},
+      options);
+
+  PeukertFit fit;
+  fit.capacity = coulombs(std::exp(r.x[0]));
+  fit.k = 1.0 + std::exp(r.x[1]);
+  fit.reference = reference;
+  auto battery = make_peukert_battery(fit.capacity, fit.k, reference);
+  fit.rms_log_error =
+      std::sqrt(weighted_sq_log_error(cases, *battery, &fit.modeled));
+  return fit;
+}
+
+}  // namespace deslp::battery

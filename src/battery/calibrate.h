@@ -1,0 +1,54 @@
+// Battery parameter calibration against reference (paper-measured)
+// lifetimes under known load cycles. See DESIGN.md §4: the paper's absolute
+// hours come from physical cells, so we fit the KiBaM (and, for the
+// ablation, Peukert) parameters to its reported lifetimes and document the
+// residuals rather than hand-picking constants.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "battery/kibam.h"
+#include "battery/load.h"
+#include "util/units.h"
+
+namespace deslp::battery {
+
+struct CalibrationCase {
+  std::string label;               // e.g. "(1A) DVS during I/O"
+  std::vector<LoadPhase> cycle;    // repeating load profile of one node
+  Seconds reference_lifetime;      // the paper's measured battery life
+  double weight = 1.0;
+};
+
+struct KibamFit {
+  KibamParams params;
+  /// Weighted RMS of log(T_model / T_reference) across the cases.
+  double rms_log_error = 0.0;
+  /// Per-case modelled lifetime, same order as the input cases.
+  std::vector<Seconds> modeled;
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Fit KiBaM (capacity, c, k') to the cases by Nelder–Mead on the weighted
+/// squared log-lifetime error. `initial` seeds the search; the parameters
+/// are optimised in log/logit space so the constraints (capacity > 0,
+/// 0 < c < 1, k' > 0) hold by construction.
+KibamFit fit_kibam(const std::vector<CalibrationCase>& cases,
+                   const KibamParams& initial);
+
+struct PeukertFit {
+  Coulombs capacity;
+  double k = 1.0;
+  Amps reference;
+  double rms_log_error = 0.0;
+  std::vector<Seconds> modeled;
+};
+
+/// Fit a Peukert battery (capacity, exponent) to the same cases; the
+/// reference current is fixed to the weighted mean case current.
+PeukertFit fit_peukert(const std::vector<CalibrationCase>& cases,
+                       Coulombs initial_capacity, double initial_k);
+
+}  // namespace deslp::battery

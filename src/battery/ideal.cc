@@ -1,0 +1,76 @@
+#include <limits>
+#include <memory>
+#include <sstream>
+
+#include "battery/battery.h"
+#include "util/check.h"
+
+namespace deslp::battery {
+
+namespace {
+
+class IdealBattery final : public Battery {
+ public:
+  explicit IdealBattery(Coulombs capacity)
+      : capacity_(capacity), remaining_(capacity) {
+    DESLP_EXPECTS(capacity.value() > 0.0);
+  }
+
+  Seconds discharge(Amps i, Seconds dt) override {
+    DESLP_EXPECTS(i.value() >= 0.0);
+    DESLP_EXPECTS(dt.value() >= 0.0);
+    if (empty()) return seconds(0.0);
+    if (i.value() == 0.0) return dt;
+    const Seconds tte = discharge_time(remaining_, i);
+    const Seconds sustained = tte < dt ? tte : dt;
+    remaining_ -= charge(i, sustained);
+    if (remaining_.value() < kEpsilon) remaining_ = coulombs(0.0);
+    return sustained;
+  }
+
+  [[nodiscard]] bool empty() const override {
+    return remaining_.value() <= 0.0;
+  }
+
+  [[nodiscard]] Seconds time_to_empty(Amps i) const override {
+    DESLP_EXPECTS(i.value() >= 0.0);
+    if (empty()) return seconds(0.0);
+    if (i.value() == 0.0)
+      return seconds(std::numeric_limits<double>::infinity());
+    return discharge_time(remaining_, i);
+  }
+
+  [[nodiscard]] Coulombs nominal_remaining() const override {
+    return remaining_;
+  }
+
+  [[nodiscard]] double state_of_charge() const override {
+    return remaining_ / capacity_;
+  }
+
+  void reset() override { remaining_ = capacity_; }
+
+  [[nodiscard]] std::string describe() const override {
+    std::ostringstream os;
+    os << "ideal(" << to_milliamp_hours(capacity_) << " mAh)";
+    return os.str();
+  }
+
+  [[nodiscard]] std::unique_ptr<Battery> clone() const override {
+    return std::make_unique<IdealBattery>(*this);
+  }
+
+ private:
+  static constexpr double kEpsilon = 1e-12;
+
+  Coulombs capacity_;
+  Coulombs remaining_;
+};
+
+}  // namespace
+
+std::unique_ptr<Battery> make_ideal_battery(Coulombs capacity) {
+  return std::make_unique<IdealBattery>(capacity);
+}
+
+}  // namespace deslp::battery

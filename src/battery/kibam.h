@@ -1,0 +1,42 @@
+// Kinetic Battery Model (KiBaM), Manwell & McGowan.
+//
+// Charge is split between an *available* well (fraction c of capacity,
+// feeds the load directly) and a *bound* well (fraction 1-c) that refills
+// the available well at a rate proportional to the difference in well
+// heights. This reproduces both effects the paper leans on:
+//   - rate-capacity: at high current the available well empties before the
+//     bound well can keep up, so less total charge is delivered;
+//   - recovery: during rests, bound charge flows over and the battery
+//     "regains" capacity (paper §6.3's explanation of experiment 1A).
+//
+// Constant-current intervals are advanced with the exact closed-form
+// solution of the two-well ODE system, so stepping introduces no
+// integration error regardless of step length.
+#pragma once
+
+#include <memory>
+
+#include "battery/battery.h"
+#include "util/units.h"
+
+namespace deslp::battery {
+
+struct KibamParams {
+  /// Total nominal capacity (both wells).
+  Coulombs capacity;
+  /// Fraction of capacity in the available well, in (0, 1).
+  double c = 0.5;
+  /// Rate constant k' of the closed-form solution (1/s); larger means the
+  /// bound well replenishes faster (weaker rate-capacity effect).
+  double k_prime = 1e-3;
+};
+
+/// Itsy's 4 V Li-ion pack, parameters calibrated against the paper's
+/// measured battery lifetimes (see bench/calibration_report and
+/// EXPERIMENTS.md for the fit and residuals).
+[[nodiscard]] KibamParams itsy_kibam_params();
+
+[[nodiscard]] std::unique_ptr<Battery> make_kibam_battery(
+    const KibamParams& params);
+
+}  // namespace deslp::battery

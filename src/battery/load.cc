@@ -1,0 +1,62 @@
+#include "battery/load.h"
+
+#include "util/check.h"
+
+namespace deslp::battery {
+
+LifetimeResult lifetime_under_cycle(Battery& battery,
+                                    const std::vector<LoadPhase>& cycle,
+                                    Seconds max_time) {
+  DESLP_EXPECTS(!cycle.empty());
+  DESLP_EXPECTS(cycle_period(cycle).value() > 0.0);
+  bool any_load = false;
+  for (const auto& p : cycle) {
+    DESLP_EXPECTS(p.current.value() >= 0.0);
+    DESLP_EXPECTS(p.duration.value() >= 0.0);
+    if (p.current.value() > 0.0 && p.duration.value() > 0.0) any_load = true;
+  }
+  DESLP_EXPECTS(any_load);
+
+  LifetimeResult result{seconds(0.0), 0};
+  while (result.lifetime < max_time && !battery.empty()) {
+    bool cycle_complete = true;
+    for (const auto& phase : cycle) {
+      const Seconds sustained = battery.discharge(phase.current,
+                                                  phase.duration);
+      result.lifetime += sustained;
+      // A battery that empties exactly at a phase boundary still finished
+      // the phase; the cycle only breaks when time was actually lost.
+      // Sub-nanosecond shortfalls are rounding, not lost time.
+      if (sustained.value() + 1e-9 < phase.duration.value()) {
+        cycle_complete = false;
+        break;
+      }
+      if (result.lifetime >= max_time) {
+        cycle_complete = false;
+        break;
+      }
+    }
+    if (cycle_complete) ++result.complete_cycles;
+  }
+  return result;
+}
+
+Amps cycle_average_current(const std::vector<LoadPhase>& cycle) {
+  DESLP_EXPECTS(!cycle.empty());
+  double q = 0.0;
+  double t = 0.0;
+  for (const auto& p : cycle) {
+    q += p.current.value() * p.duration.value();
+    t += p.duration.value();
+  }
+  DESLP_EXPECTS(t > 0.0);
+  return amps(q / t);
+}
+
+Seconds cycle_period(const std::vector<LoadPhase>& cycle) {
+  double t = 0.0;
+  for (const auto& p : cycle) t += p.duration.value();
+  return seconds(t);
+}
+
+}  // namespace deslp::battery

@@ -1,0 +1,40 @@
+// Piecewise-constant load profiles and direct (non-DES) lifetime
+// evaluation. Used by the calibration fitter and the battery tests, where
+// the full node simulation would be overkill: a load cycle is replayed
+// against a battery until cutoff.
+#pragma once
+
+#include <vector>
+
+#include "battery/battery.h"
+#include "util/units.h"
+
+namespace deslp::battery {
+
+struct LoadPhase {
+  Amps current;
+  Seconds duration;
+};
+
+struct LifetimeResult {
+  /// Total time until battery cutoff.
+  Seconds lifetime;
+  /// Number of *complete* cycles sustained before cutoff.
+  long long complete_cycles = 0;
+};
+
+/// Replay `cycle` (repeating) against `battery` until it empties or
+/// `max_time` elapses. The battery is mutated (drained); callers that need
+/// it again should clone first. The cycle must have positive total duration
+/// and at least one phase with positive current.
+LifetimeResult lifetime_under_cycle(Battery& battery,
+                                    const std::vector<LoadPhase>& cycle,
+                                    Seconds max_time = hours(10000.0));
+
+/// Average current of one cycle (time-weighted).
+[[nodiscard]] Amps cycle_average_current(const std::vector<LoadPhase>& cycle);
+
+/// Total duration of one cycle.
+[[nodiscard]] Seconds cycle_period(const std::vector<LoadPhase>& cycle);
+
+}  // namespace deslp::battery

@@ -1,0 +1,92 @@
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <sstream>
+
+#include "battery/battery.h"
+#include "util/check.h"
+
+namespace deslp::battery {
+
+namespace {
+
+// Peukert's law, expressed as an "effective current": drawing I costs charge
+// at rate I * (I / I_ref)^(k-1) against the nominal capacity, so a constant
+// load I sustains t = C / I_eff. Rate-capacity effect only; a rest neither
+// recovers nor loses capacity.
+class PeukertBattery final : public Battery {
+ public:
+  PeukertBattery(Coulombs capacity, double k, Amps reference)
+      : capacity_(capacity), k_(k), ref_(reference), remaining_(capacity) {
+    DESLP_EXPECTS(capacity.value() > 0.0);
+    DESLP_EXPECTS(k >= 1.0);
+    DESLP_EXPECTS(reference.value() > 0.0);
+  }
+
+  Seconds discharge(Amps i, Seconds dt) override {
+    DESLP_EXPECTS(i.value() >= 0.0);
+    DESLP_EXPECTS(dt.value() >= 0.0);
+    if (empty()) return seconds(0.0);
+    if (i.value() == 0.0) return dt;
+    const Amps eff = effective(i);
+    const Seconds tte = discharge_time(remaining_, eff);
+    const Seconds sustained = tte < dt ? tte : dt;
+    remaining_ -= charge(eff, sustained);
+    if (remaining_.value() < kEpsilon) remaining_ = coulombs(0.0);
+    return sustained;
+  }
+
+  [[nodiscard]] bool empty() const override {
+    return remaining_.value() <= 0.0;
+  }
+
+  [[nodiscard]] Seconds time_to_empty(Amps i) const override {
+    DESLP_EXPECTS(i.value() >= 0.0);
+    if (empty()) return seconds(0.0);
+    if (i.value() == 0.0)
+      return seconds(std::numeric_limits<double>::infinity());
+    return discharge_time(remaining_, effective(i));
+  }
+
+  [[nodiscard]] Coulombs nominal_remaining() const override {
+    return remaining_;
+  }
+
+  [[nodiscard]] double state_of_charge() const override {
+    return remaining_ / capacity_;
+  }
+
+  void reset() override { remaining_ = capacity_; }
+
+  [[nodiscard]] std::string describe() const override {
+    std::ostringstream os;
+    os << "peukert(" << to_milliamp_hours(capacity_) << " mAh, k=" << k_
+       << ", ref=" << to_milliamps(ref_) << " mA)";
+    return os.str();
+  }
+
+  [[nodiscard]] std::unique_ptr<Battery> clone() const override {
+    return std::make_unique<PeukertBattery>(*this);
+  }
+
+ private:
+  static constexpr double kEpsilon = 1e-12;
+
+  [[nodiscard]] Amps effective(Amps i) const {
+    return Amps{i.value() * std::pow(i / ref_, k_ - 1.0)};
+  }
+
+  Coulombs capacity_;
+  double k_;
+  Amps ref_;
+  Coulombs remaining_;
+};
+
+}  // namespace
+
+std::unique_ptr<Battery> make_peukert_battery(Coulombs capacity, double k,
+                                              Amps reference) {
+  return std::make_unique<PeukertBattery>(capacity, k, reference);
+}
+
+}  // namespace deslp::battery

@@ -1,0 +1,40 @@
+// Rakhmatov–Vrudhula diffusion battery model.
+//
+// Models the one-dimensional diffusion of the electro-active species: the
+// "apparent" charge drawn from the battery is the delivered charge plus a
+// transient unavailable component
+//     sigma(t) = \int_0^t i dτ + 2 Σ_{m=1..∞} \int_0^t i e^{-β²m²(t-τ)} dτ ,
+// and the battery cuts off when sigma reaches the capacity parameter α.
+// During rests the exponential terms decay — charge near the electrode
+// re-equalises — which is the recovery effect.
+//
+// The convolution integrals are tracked incrementally per series term, so
+// stepping a piecewise-constant load is O(terms) per step with no history.
+#pragma once
+
+#include <memory>
+
+#include "battery/battery.h"
+#include "util/units.h"
+
+namespace deslp::battery {
+
+struct RakhmatovParams {
+  /// Capacity parameter α: apparent charge at cutoff.
+  Coulombs alpha;
+  /// Diffusion rate β² (1/s). Larger = faster re-equalisation = closer to
+  /// an ideal battery.
+  double beta_squared = 1e-3;
+  /// Number of series terms retained (10 is the value Rakhmatov & Vrudhula
+  /// report as sufficient).
+  int terms = 10;
+};
+
+/// Parameters matched to the same Itsy pack as `itsy_kibam_params()`, used
+/// by the battery-model ablation.
+[[nodiscard]] RakhmatovParams itsy_rakhmatov_params();
+
+[[nodiscard]] std::unique_ptr<Battery> make_rakhmatov_battery(
+    const RakhmatovParams& params);
+
+}  // namespace deslp::battery

@@ -1,0 +1,81 @@
+#include "core/calibration.h"
+
+#include "battery/kibam.h"
+#include "core/experiment.h"
+#include "task/plan.h"
+#include "util/check.h"
+
+namespace deslp::core {
+
+std::vector<battery::CalibrationCase> paper_calibration_cases(
+    const cpu::CpuSpec& cpu, const atr::AtrProfile& profile,
+    const net::LinkSpec& link, Seconds frame_delay) {
+  const int top = cpu.top_level();
+  const int half = cpu::sa1100_level_mhz(103.2);
+  net::SerialLink timer(link);
+  const Seconds recv_frame = timer.expected_transaction_time(profile.input());
+  const Seconds send_result =
+      timer.expected_transaction_time(profile.result_size());
+
+  std::vector<battery::CalibrationCase> cases;
+
+  auto add = [&](const char* label, const task::NodePlan& plan,
+                 double paper_hours) {
+    DESLP_EXPECTS(plan.feasible(cpu));
+    cases.push_back(battery::CalibrationCase{
+        label, plan.load_cycle(cpu), hours(paper_hours), 1.0});
+  };
+
+  // (0A)/(0B): continuous computation, no I/O, no deadline.
+  task::NodePlan no_io;
+  no_io.work = profile.total_work();
+  no_io.comp_level = no_io.comm_level = no_io.idle_level = top;
+  no_io.frame_delay = seconds(0.0);
+  add("(0A) no I/O @206.4", no_io, 3.4);
+  no_io.comp_level = no_io.comm_level = no_io.idle_level = half;
+  add("(0B) no I/O @103.2", no_io, 12.9);
+
+  // (1): whole algorithm + host I/O at full speed.
+  task::NodePlan baseline;
+  baseline.recv_time = recv_frame;
+  baseline.send_time = send_result;
+  baseline.work = profile.total_work();
+  baseline.comp_level = baseline.comm_level = baseline.idle_level = top;
+  baseline.frame_delay = frame_delay;
+  add("(1) baseline", baseline, 6.13);
+
+  // (1A): same, with the wire at the lowest level.
+  task::NodePlan dvs_io = baseline;
+  dvs_io.comm_level = 0;
+  dvs_io.idle_level = 0;
+  add("(1A) DVS during I/O", dvs_io, 7.6);
+
+  // (2)/(2A): Node2 of the selected two-node partition is the first
+  // battery to fail and so sets the measured lifetime.
+  const task::PartitionAnalysis part =
+      selected_two_node_partition(cpu, profile, link, frame_delay);
+  DESLP_EXPECTS(part.feasible());
+  const task::StageAnalysis& node2 = part.stages[1];
+  task::NodePlan plan2;
+  plan2.recv_time = node2.recv_time;
+  plan2.send_time = node2.send_time;
+  plan2.work = node2.work;
+  plan2.comp_level = plan2.comm_level = plan2.idle_level = node2.min_level;
+  plan2.frame_delay = frame_delay;
+  add("(2) partitioned, Node2", plan2, 14.1);
+
+  task::NodePlan plan2a = plan2;
+  plan2a.comm_level = 0;
+  plan2a.idle_level = 0;
+  add("(2A) partitioned + DVS I/O, Node2", plan2a, 14.44);
+
+  return cases;
+}
+
+battery::KibamFit calibrate_itsy_battery() {
+  const auto cases = paper_calibration_cases(
+      cpu::itsy_sa1100(), atr::itsy_atr_profile(), net::itsy_serial_link());
+  return battery::fit_kibam(cases, battery::itsy_kibam_params());
+}
+
+}  // namespace deslp::core

@@ -1,0 +1,27 @@
+// Builds the battery-calibration cases from the paper's measured lifetimes
+// (DESIGN.md §4): each statically-scheduled experiment's per-frame load
+// cycle, derived from the same NodePlan machinery the simulator uses, paired
+// with the battery life the paper reports for it.
+#pragma once
+
+#include <vector>
+
+#include "atr/profile.h"
+#include "battery/calibrate.h"
+#include "cpu/cpu.h"
+#include "net/link.h"
+#include "util/units.h"
+
+namespace deslp::core {
+
+/// The six statically-scheduled anchors: (0A), (0B), (1), (1A), and the
+/// first-failing Node2 of (2) and (2A). The dynamic experiments (2B, 2C)
+/// are validation, not calibration.
+[[nodiscard]] std::vector<battery::CalibrationCase> paper_calibration_cases(
+    const cpu::CpuSpec& cpu, const atr::AtrProfile& profile,
+    const net::LinkSpec& link, Seconds frame_delay = seconds(2.3));
+
+/// Fit KiBaM to the paper anchors starting from the shipped parameters.
+[[nodiscard]] battery::KibamFit calibrate_itsy_battery();
+
+}  // namespace deslp::core

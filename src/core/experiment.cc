@@ -1,0 +1,224 @@
+#include "core/experiment.h"
+
+#include <utility>
+
+#include "battery/kibam.h"
+#include "battery/load.h"
+#include "net/link.h"
+#include "task/plan.h"
+#include "util/check.h"
+
+namespace deslp::core {
+
+namespace {
+
+void apply_defaults(ExperimentSuite::Options& o) {
+  if (o.cpu == nullptr) o.cpu = &cpu::itsy_sa1100();
+  if (o.profile == nullptr) o.profile = &atr::itsy_atr_profile();
+  if (!o.battery_factory) {
+    o.battery_factory = [] {
+      return battery::make_kibam_battery(battery::itsy_kibam_params());
+    };
+  }
+}
+
+}  // namespace
+
+ExperimentSuite::ExperimentSuite(Options options)
+    : options_(std::move(options)) {
+  apply_defaults(options_);
+  DESLP_EXPECTS(options_.frame_delay.value() > 0.0);
+}
+
+ExperimentResult ExperimentSuite::run(const ExperimentSpec& spec) const {
+  ExperimentResult result;
+  result.id = spec.id;
+  result.title = spec.title;
+  result.paper = spec.paper;
+
+  if (spec.kind == ExperimentSpec::Kind::kNoIo) {
+    // §6.1: continuous computation with local data — no network, no frame
+    // deadline. The load is a single constant-current phase per frame, so
+    // the analytic battery path is exact and fast.
+    result.node_count = 1;
+    task::NodePlan plan;
+    plan.recv_time = seconds(0.0);
+    plan.send_time = seconds(0.0);
+    plan.work = options_.profile->total_work();
+    plan.comp_level = spec.no_io_level;
+    plan.comm_level = spec.no_io_level;
+    plan.idle_level = spec.no_io_level;
+    plan.frame_delay = seconds(0.0);
+    auto battery = options_.battery_factory();
+    const battery::LifetimeResult lr = battery::lifetime_under_cycle(
+        *battery, plan.load_cycle(*options_.cpu));
+    result.frames = lr.complete_cycles;
+    result.battery_life = lr.lifetime;
+    result.normalized_life = lr.lifetime;
+    return result;
+  }
+
+  // Pipeline experiment on the DES.
+  const int stages = static_cast<int>(spec.stage_levels.size());
+  DESLP_EXPECTS(stages >= 1);
+  SystemConfig sys;
+  sys.cpu = options_.cpu;
+  sys.profile = options_.profile;
+  sys.link = options_.link;
+  sys.battery_factory = options_.battery_factory;
+  sys.frame_delay = options_.frame_delay;
+  if (stages == 1) {
+    sys.partition = task::Partition({0}, options_.profile->block_count());
+  } else {
+    const task::PartitionAnalysis analysis = selected_two_node_partition(
+        *options_.cpu, *options_.profile, options_.link,
+        options_.frame_delay);
+    DESLP_EXPECTS(stages == analysis.partition.stage_count());
+    sys.partition = analysis.partition;
+  }
+  sys.stage_levels = spec.stage_levels;
+  sys.use_acks = spec.use_acks;
+  sys.migrated_levels = spec.migrated_levels;
+  sys.rotation_period = spec.rotation_period;
+  sys.max_frames = options_.max_frames;
+  sys.seed = options_.seed;
+
+  PipelineSystem system(std::move(sys));
+  result.details = system.run();
+  result.node_count = stages;
+  result.frames = result.details.frames_completed;
+  // §4.5: T(N) = F(N) * D (pipeline startup ignored, as in the paper).
+  result.battery_life =
+      options_.frame_delay * static_cast<double>(result.frames);
+  result.normalized_life =
+      result.battery_life * (1.0 / static_cast<double>(stages));
+  return result;
+}
+
+std::vector<ExperimentResult> ExperimentSuite::run_all(
+    const std::vector<ExperimentSpec>& specs,
+    const std::string& baseline_id) const {
+  std::vector<ExperimentResult> results;
+  results.reserve(specs.size());
+  for (const auto& spec : specs) results.push_back(run(spec));
+
+  double baseline_hours = 0.0;
+  for (const auto& r : results)
+    if (r.id == baseline_id) baseline_hours = to_hours(r.battery_life);
+  if (baseline_hours > 0.0) {
+    for (auto& r : results) {
+      // The no-I/O experiments are not comparable (§6.1); leave them at 0.
+      if (r.id == "0A" || r.id == "0B") continue;
+      r.rnorm = to_hours(r.normalized_life) / baseline_hours;
+    }
+  }
+  return results;
+}
+
+task::PartitionAnalysis selected_two_node_partition(
+    const cpu::CpuSpec& cpu, const atr::AtrProfile& profile,
+    const net::LinkSpec& link, Seconds frame_delay) {
+  const auto analyses =
+      task::analyze_all_partitions(profile, 2, cpu, link, frame_delay);
+  const int best = task::best_partition_index(analyses);
+  DESLP_EXPECTS(best >= 0);
+  return analyses[static_cast<std::size_t>(best)];
+}
+
+std::vector<ExperimentSpec> paper_experiments(const cpu::CpuSpec& cpu,
+                                              const atr::AtrProfile& profile,
+                                              const net::LinkSpec& link,
+                                              Seconds frame_delay) {
+  const int top = cpu.top_level();
+  const int half = cpu::sa1100_level_mhz(103.2);
+
+  // §5.3 partition analysis gives the per-stage minimum feasible levels
+  // (59 and 103.2 MHz on the Itsy profile; asserted by the tests).
+  const task::PartitionAnalysis part =
+      selected_two_node_partition(cpu, profile, link, frame_delay);
+  DESLP_EXPECTS(part.feasible());
+  const int lv1 = part.stages[0].min_level;
+  const int lv2 = part.stages[1].min_level;
+
+  std::vector<ExperimentSpec> specs;
+
+  {
+    ExperimentSpec s;
+    s.id = "0A";
+    s.title = "No I/O, full speed (206.4 MHz)";
+    s.kind = ExperimentSpec::Kind::kNoIo;
+    s.no_io_level = top;
+    s.paper = {3.4, 11500, 0.0};
+    specs.push_back(s);
+  }
+  {
+    ExperimentSpec s;
+    s.id = "0B";
+    s.title = "No I/O, half speed (103.2 MHz)";
+    s.kind = ExperimentSpec::Kind::kNoIo;
+    s.no_io_level = half;
+    s.paper = {12.9, 22500, 0.0};
+    specs.push_back(s);
+  }
+  {
+    ExperimentSpec s;
+    s.id = "1";
+    s.title = "Baseline: single node with I/O @206.4 MHz";
+    s.stage_levels = {{top, top, top}};
+    s.paper = {6.13, 9600, 1.00};
+    specs.push_back(s);
+  }
+  {
+    ExperimentSpec s;
+    s.id = "1A";
+    s.title = "DVS during I/O (59 MHz on the wire)";
+    s.stage_levels = {{top, 0, 0}};
+    s.paper = {7.6, 11900, 1.24};
+    specs.push_back(s);
+  }
+  {
+    ExperimentSpec s;
+    s.id = "2";
+    s.title = "Distributed DVS by partitioning (59 + 103.2 MHz)";
+    s.stage_levels = {{lv1, lv1, lv1}, {lv2, lv2, lv2}};
+    s.paper = {14.1, 22100, 1.15};
+    specs.push_back(s);
+  }
+  {
+    ExperimentSpec s;
+    s.id = "2A";
+    s.title = "Distributed DVS during I/O";
+    s.stage_levels = {{lv1, 0, 0}, {lv2, 0, 0}};
+    s.paper = {14.44, 22600, 1.18};
+    specs.push_back(s);
+  }
+  {
+    ExperimentSpec s;
+    s.id = "2B";
+    s.title = "Distributed DVS with power-failure recovery (73.7 + 118)";
+    // §6.6: the extra ack transactions force both nodes one step up.
+    s.stage_levels = {{cpu::sa1100_level_mhz(73.7), 0, 0},
+                      {cpu::sa1100_level_mhz(118.0), 0, 0}};
+    s.use_acks = true;
+    s.migrated_levels = {top, 0, 0};
+    s.paper = {15.72, 24500, 1.28};
+    specs.push_back(s);
+  }
+  {
+    ExperimentSpec s;
+    s.id = "2C";
+    s.title = "Distributed DVS with node rotation (every 100 frames)";
+    s.stage_levels = {{lv1, 0, 0}, {lv2, 0, 0}};
+    s.rotation_period = 100;
+    s.paper = {17.82, 27900, 1.45};
+    specs.push_back(s);
+  }
+  return specs;
+}
+
+std::vector<ExperimentSpec> paper_experiments() {
+  return paper_experiments(cpu::itsy_sa1100(), atr::itsy_atr_profile(),
+                           net::itsy_serial_link());
+}
+
+}  // namespace deslp::core

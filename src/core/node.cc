@@ -1,0 +1,162 @@
+#include "core/node.h"
+
+#include <utility>
+
+#include "util/check.h"
+#include "util/log.h"
+
+namespace deslp::core {
+
+Node::Node(sim::Engine& engine, net::Hub& hub, sim::Trace& trace,
+           Config config, std::unique_ptr<battery::Battery> battery)
+    : engine_(engine),
+      hub_(hub),
+      trace_(trace),
+      config_(std::move(config)),
+      battery_(std::move(battery)),
+      monitor_(config_.name, config_.pack_voltage),
+      mailbox_(hub.attach(config_.address)) {
+  DESLP_EXPECTS(config_.cpu != nullptr);
+  DESLP_EXPECTS(battery_ != nullptr);
+}
+
+void Node::die(const std::string& reason) {
+  if (!alive_) return;
+  alive_ = false;
+  death_time_ = engine_.now();
+  hub_.set_failed(config_.address, true);
+  trace_.add_mark({config_.name, "battery-dead (" + reason + ")",
+                   death_time_});
+  log::info(config_.name, " battery exhausted at ",
+            to_hours(sim::to_seconds(death_time_)), " h (", reason, ")");
+}
+
+Seconds Node::drain(cpu::Mode mode, int level, Amps current, Seconds dt,
+                    const char* kind, const std::string& detail) {
+  DESLP_EXPECTS(alive_);
+  const Seconds sustained = battery_->discharge(current, dt);
+  monitor_.record(mode, level, current, sustained, engine_.now(),
+                  battery_->state_of_charge());
+  if (trace_.recording()) {
+    trace_.add_span({config_.name, kind, engine_.now(),
+                     engine_.now() + sim::from_seconds(sustained), detail});
+  }
+  return sustained;
+}
+
+Seconds Node::switch_cost(int level) {
+  if (!config_.model_dvs_switch_cost) return seconds(0.0);
+  if (last_level_ == level) return seconds(0.0);
+  const Seconds cost =
+      last_level_ < 0 ? seconds(0.0) : config_.cpu->dvs_switch_latency();
+  last_level_ = level;
+  return cost;
+}
+
+sim::ValueTask<bool> Node::busy(cpu::Mode mode, int level, Seconds duration,
+                                const char* kind, std::string detail) {
+  DESLP_EXPECTS(duration.value() >= 0.0);
+  if (!alive_) co_return false;
+  const Seconds total = duration + switch_cost(level);
+  const Amps current = config_.cpu->current(mode, level);
+  const Seconds sustained = drain(mode, level, current, total, kind, detail);
+  co_await engine_.delay(sustained);
+  if (sustained < total) {
+    die(kind);
+    co_return false;
+  }
+  co_return true;
+}
+
+sim::ValueTask<bool> Node::send(net::Message msg, int level) {
+  if (!alive_) co_return false;
+  msg.src = config_.address;
+  // Pre-check against the *expected* wire time: a node that cannot survive
+  // the transaction must not deliver it (the peer's TCP stream would be cut
+  // mid-frame). The jittered actual time can differ by up to +/-25 ms; the
+  // discrepancy can only affect the dying node's final frame.
+  const Amps current = config_.cpu->current(cpu::Mode::kComm, level);
+  const Seconds expected =
+      hub_.expected_wire_time(config_.address, msg.size);
+  if (battery_->time_to_empty(current) < expected) {
+    const bool survived = co_await busy(cpu::Mode::kComm, level, expected,
+                                        "SEND", "died mid-send");
+    DESLP_ENSURES(!survived);
+    co_return false;
+  }
+  const Seconds wire_time = hub_.begin_send(msg);
+  co_return co_await busy(
+      cpu::Mode::kComm, level, wire_time, "SEND",
+      std::string(net::msg_kind_name(msg.kind)) + "->" +
+          std::to_string(msg.dst));
+}
+
+sim::ValueTask<std::optional<net::Message>> Node::recv(int idle_level,
+                                                       int comm_level,
+                                                       Seconds timeout) {
+  if (!alive_) co_return std::nullopt;
+
+  // Idle-wait for a delivery, with a death watch: if the battery would
+  // empty under idle current before anything arrives, the node dies at
+  // exactly that moment (the watch closes the mailbox via the hub, which
+  // wakes this coroutine).
+  const sim::Time wait_start = engine_.now();
+  const Amps idle_current =
+      config_.cpu->current(cpu::Mode::kIdle, idle_level);
+  const Seconds idle_tte = battery_->time_to_empty(idle_current);
+  sim::EventHandle death_watch;
+  // Cap at ~3 simulated years: beyond that the watch cannot fire within
+  // any experiment, and the nanosecond clock would overflow.
+  if (idle_tte.value() < 1e8) {
+    death_watch = engine_.schedule_after(
+        sim::from_seconds(idle_tte), [this, idle_level, idle_current,
+                                      idle_tte] {
+          drain(cpu::Mode::kIdle, idle_level, idle_current, idle_tte,
+                "IDLE", "idle until battery death");
+          die("idle");
+        });
+  }
+
+  std::optional<net::Delivery> delivery;
+  if (timeout.value() > 0.0) {
+    delivery = co_await mailbox_.recv_timeout(sim::from_seconds(timeout));
+  } else {
+    delivery = co_await mailbox_.recv();
+  }
+  death_watch.cancel();
+  if (!alive_) co_return std::nullopt;
+
+  // Account the idle time actually spent waiting.
+  const Seconds waited = sim::to_seconds(engine_.now() - wait_start);
+  if (waited.value() > 0.0) {
+    const Seconds sustained = drain(cpu::Mode::kIdle, idle_level,
+                                    idle_current, waited, "IDLE", "wait");
+    DESLP_ENSURES(sustained >= waited - microseconds(1.0));
+  }
+  if (!delivery) co_return std::nullopt;  // timeout or mailbox closed
+
+  // Read the transaction off the wire.
+  const bool ok =
+      co_await busy(cpu::Mode::kComm, comm_level, delivery->wire_time,
+                    "RECV",
+                    std::string(net::msg_kind_name(delivery->msg.kind)) +
+                        "<-" + std::to_string(delivery->msg.src));
+  if (!ok) co_return std::nullopt;
+  co_return delivery->msg;
+}
+
+sim::ValueTask<bool> Node::idle(int level, Seconds duration,
+                                const char* kind) {
+  if (!alive_) co_return false;
+  const Amps current = config_.cpu->current(cpu::Mode::kIdle, level);
+  const Seconds sustained = drain(cpu::Mode::kIdle, level, current, duration,
+                                  kind, {});
+  co_await engine_.delay(sustained);
+  if (sustained < duration) {
+    die("idle");
+    co_return false;
+  }
+  co_return true;
+}
+
+}  // namespace deslp::core

@@ -1,0 +1,100 @@
+// A simulated Itsy node: voltage-scalable CPU + battery + serial port +
+// power monitor, exposed to behaviour coroutines as awaitable building
+// blocks (`busy`, `send`, `recv`, `idle_until`).
+//
+// Liveness contract: every awaitable drains the battery for exactly the
+// simulated time it occupies; the moment the battery empties the node dies
+// — mid-computation, mid-transfer, or while idling — and every subsequent
+// awaitable completes immediately with a failure result. Death closes the
+// node's mailbox and marks it failed at the hub, so peers observe exactly
+// what the paper's nodes observe: silence.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "battery/battery.h"
+#include "cpu/cpu.h"
+#include "net/hub.h"
+#include "power/monitor.h"
+#include "sim/engine.h"
+#include "sim/task.h"
+#include "sim/trace.h"
+
+namespace deslp::core {
+
+class Node {
+ public:
+  struct Config {
+    net::Address address = 1;
+    std::string name = "Node1";
+    const cpu::CpuSpec* cpu = nullptr;
+    Volts pack_voltage = volts(4.0);  // Itsy's 4 V Li-ion pack
+    /// Account the SA-1100 PLL relock time on level changes.
+    bool model_dvs_switch_cost = true;
+  };
+
+  Node(sim::Engine& engine, net::Hub& hub, sim::Trace& trace, Config config,
+       std::unique_ptr<battery::Battery> battery);
+
+  // --- awaitable building blocks -----------------------------------------
+
+  /// Occupy the CPU in `mode` at `level` for `duration`, draining the
+  /// battery. Returns false if the node died before completing.
+  sim::ValueTask<bool> busy(cpu::Mode mode, int level, Seconds duration,
+                            const char* kind, std::string detail = {});
+
+  /// One outbound transaction: the port is busy in comm mode at `level`
+  /// for the jittered wire time. Returns false if the node died.
+  sim::ValueTask<bool> send(net::Message msg, int level);
+
+  /// Wait (idling at `idle_level`) for the next delivery, then read it off
+  /// the wire (comm mode at `comm_level`). `timeout` > 0 bounds the idle
+  /// wait. Returns nullopt on timeout, closed mailbox, or death.
+  sim::ValueTask<std::optional<net::Message>> recv(int idle_level,
+                                                   int comm_level,
+                                                   Seconds timeout =
+                                                       seconds(0.0));
+
+  /// Idle at `level` for `duration`. Returns false if the node died.
+  sim::ValueTask<bool> idle(int level, Seconds duration,
+                            const char* kind = "IDLE");
+
+  // --- state ---------------------------------------------------------------
+
+  [[nodiscard]] bool alive() const { return alive_; }
+  /// Simulated time of death (valid once !alive()).
+  [[nodiscard]] sim::Time death_time() const { return death_time_; }
+
+  [[nodiscard]] net::Address address() const { return config_.address; }
+  [[nodiscard]] const std::string& name() const { return config_.name; }
+  [[nodiscard]] const cpu::CpuSpec& cpu() const { return *config_.cpu; }
+  [[nodiscard]] const battery::Battery& battery() const { return *battery_; }
+  [[nodiscard]] const power::PowerMonitor& monitor() const { return monitor_; }
+  [[nodiscard]] power::PowerMonitor& monitor() { return monitor_; }
+  [[nodiscard]] sim::Engine& engine() { return engine_; }
+  [[nodiscard]] net::Hub& hub() { return hub_; }
+
+ private:
+  void die(const std::string& reason);
+  /// Drain `current` for `dt` (no simulated time passes here); returns the
+  /// sustained duration and kills the node when the battery empties.
+  Seconds drain(cpu::Mode mode, int level, Amps current, Seconds dt,
+                const char* kind, const std::string& detail);
+  /// Account a pending DVS transition to `level` (PLL relock cost).
+  Seconds switch_cost(int level);
+
+  sim::Engine& engine_;
+  net::Hub& hub_;
+  sim::Trace& trace_;
+  Config config_;
+  std::unique_ptr<battery::Battery> battery_;
+  power::PowerMonitor monitor_;
+  sim::Channel<net::Delivery>& mailbox_;
+  bool alive_ = true;
+  sim::Time death_time_;
+  int last_level_ = -1;
+};
+
+}  // namespace deslp::core

@@ -1,0 +1,186 @@
+#include "core/optimizer.h"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+#include <utility>
+
+#include "battery/kibam.h"
+#include "battery/load.h"
+#include "util/check.h"
+
+namespace deslp::core {
+
+std::string Evaluation::label(const atr::AtrProfile& profile) const {
+  std::ostringstream os;
+  os << config.partition.label(profile) << " @ ";
+  for (std::size_t i = 0; i < config.comp_levels.size(); ++i) {
+    if (i) os << '+';
+    os << config.comp_levels[i];
+  }
+  os << (config.dvs_during_io ? " dvs-io" : " plain");
+  return os.str();
+}
+
+DesignSpace::DesignSpace(OptimizerOptions options)
+    : options_(std::move(options)) {
+  if (options_.cpu == nullptr) options_.cpu = &cpu::itsy_sa1100();
+  if (options_.profile == nullptr) options_.profile = &atr::itsy_atr_profile();
+  if (!options_.battery_factory) {
+    options_.battery_factory = [] {
+      return battery::make_kibam_battery(battery::itsy_kibam_params());
+    };
+  }
+  DESLP_EXPECTS(options_.frame_delay.value() > 0.0);
+  DESLP_EXPECTS(!options_.stage_counts.empty());
+}
+
+task::NodePlan DesignSpace::plan_for(const task::StageAnalysis& stage,
+                                     int comp_level,
+                                     bool dvs_during_io) const {
+  task::NodePlan plan;
+  plan.recv_time = stage.recv_time;
+  plan.send_time = stage.send_time;
+  plan.work = stage.work;
+  plan.comp_level = comp_level;
+  plan.comm_level = dvs_during_io ? 0 : comp_level;
+  plan.idle_level = dvs_during_io ? 0 : comp_level;
+  plan.frame_delay = options_.frame_delay;
+  return plan;
+}
+
+Evaluation DesignSpace::evaluate(const Configuration& config) const {
+  const auto analysis = task::analyze_partition(
+      *options_.profile, config.partition, *options_.cpu, options_.link,
+      options_.frame_delay);
+  DESLP_EXPECTS(config.comp_levels.size() == analysis.stages.size());
+
+  Evaluation ev{config, false, joules(0.0), {}, seconds(0.0), seconds(0.0)};
+  ev.uptime = seconds(std::numeric_limits<double>::infinity());
+
+  double joules_per_frame = 0.0;
+  for (std::size_t s = 0; s < analysis.stages.size(); ++s) {
+    const int level = config.comp_levels[s];
+    DESLP_EXPECTS(level >= 0 && level < options_.cpu->level_count());
+    const task::NodePlan plan =
+        plan_for(analysis.stages[s], level, config.dvs_during_io);
+    if (!plan.feasible(*options_.cpu)) return ev;  // feasible stays false
+
+    // Per-frame energy: sum of V * I * dt over the plan's phases.
+    for (const auto& phase : plan.load_cycle(*options_.cpu)) {
+      joules_per_frame +=
+          energy(electrical_power(options_.pack_voltage, phase.current),
+                 phase.duration)
+              .value();
+    }
+    auto battery = options_.battery_factory();
+    const battery::LifetimeResult life =
+        battery::lifetime_under_cycle(*battery,
+                                      plan.load_cycle(*options_.cpu));
+    ev.node_lifetimes.push_back(life.lifetime);
+    ev.uptime = std::min(ev.uptime, life.lifetime);
+  }
+  ev.feasible = true;
+  ev.energy_per_frame = joules(joules_per_frame);
+  ev.normalized_uptime =
+      ev.uptime * (1.0 / static_cast<double>(analysis.stages.size()));
+  return ev;
+}
+
+std::vector<Evaluation> DesignSpace::enumerate() const {
+  std::vector<Evaluation> out;
+  for (int stages : options_.stage_counts) {
+    const auto analyses = task::analyze_all_partitions(
+        *options_.profile, stages, *options_.cpu, options_.link,
+        options_.frame_delay);
+    for (const auto& a : analyses) {
+      if (!a.feasible()) continue;
+      // Per-stage candidate levels: min feasible .. min + headroom.
+      std::vector<std::vector<int>> candidates;
+      for (const auto& s : a.stages) {
+        std::vector<int> levels;
+        const int top = std::min(options_.cpu->level_count() - 1,
+                                 s.min_level + options_.level_headroom);
+        for (int l = s.min_level; l <= top; ++l) levels.push_back(l);
+        candidates.push_back(std::move(levels));
+      }
+      // Cartesian product over stages.
+      std::vector<std::size_t> idx(candidates.size(), 0);
+      for (;;) {
+        Configuration config{a.partition, {}, true};
+        for (std::size_t s = 0; s < idx.size(); ++s)
+          config.comp_levels.push_back(candidates[s][idx[s]]);
+        for (bool dvs_io : options_.explore_dvs_io
+                               ? std::vector<bool>{true, false}
+                               : std::vector<bool>{true}) {
+          config.dvs_during_io = dvs_io;
+          Evaluation ev = evaluate(config);
+          if (ev.feasible) out.push_back(std::move(ev));
+        }
+        // Advance the odometer.
+        std::size_t d = 0;
+        while (d < idx.size() && ++idx[d] == candidates[d].size()) {
+          idx[d] = 0;
+          ++d;
+        }
+        if (d == idx.size()) break;
+      }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+const Evaluation& pick(const std::vector<Evaluation>& evals,
+                       bool (*better)(const Evaluation&, const Evaluation&)) {
+  DESLP_EXPECTS(!evals.empty());
+  const Evaluation* best = &evals.front();
+  for (const auto& e : evals)
+    if (better(e, *best)) best = &e;
+  return *best;
+}
+
+}  // namespace
+
+Evaluation DesignSpace::best_energy() const {
+  const auto evals = enumerate();
+  return pick(evals, [](const Evaluation& a, const Evaluation& b) {
+    return a.energy_per_frame < b.energy_per_frame;
+  });
+}
+
+Evaluation DesignSpace::best_uptime() const {
+  const auto evals = enumerate();
+  return pick(evals, [](const Evaluation& a, const Evaluation& b) {
+    return a.uptime > b.uptime;
+  });
+}
+
+Evaluation DesignSpace::best_normalized_uptime() const {
+  const auto evals = enumerate();
+  return pick(evals, [](const Evaluation& a, const Evaluation& b) {
+    return a.normalized_uptime > b.normalized_uptime;
+  });
+}
+
+std::vector<Evaluation> DesignSpace::pareto_front(
+    std::vector<Evaluation> evaluations) {
+  std::sort(evaluations.begin(), evaluations.end(),
+            [](const Evaluation& a, const Evaluation& b) {
+              if (a.energy_per_frame != b.energy_per_frame)
+                return a.energy_per_frame < b.energy_per_frame;
+              return a.uptime > b.uptime;
+            });
+  std::vector<Evaluation> front;
+  double best_uptime = -1.0;
+  for (auto& e : evaluations) {
+    if (e.uptime.value() > best_uptime) {
+      best_uptime = e.uptime.value();
+      front.push_back(std::move(e));
+    }
+  }
+  return front;
+}
+
+}  // namespace deslp::core

@@ -1,0 +1,96 @@
+// Design-space search over (partition, per-stage DVS levels, DVS-during-
+// I/O), quantifying the paper's central thesis: the configuration that
+// minimises *global energy* is not the one that maximises *uptime* when
+// every node carries its own battery (§1, §6.5).
+//
+// Each candidate configuration is evaluated analytically: per-node frame
+// plans expand to battery load cycles, global energy is the per-frame sum
+// across nodes, and uptime is the first battery to cut off (which is what
+// stalls the pipeline, per §6.4).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "atr/profile.h"
+#include "battery/battery.h"
+#include "cpu/cpu.h"
+#include "net/link.h"
+#include "task/partition.h"
+#include "task/plan.h"
+
+namespace deslp::core {
+
+struct Configuration {
+  task::Partition partition;
+  /// Per-stage computation level (comm/idle are at level 0 when
+  /// dvs_during_io, else at the computation level).
+  std::vector<int> comp_levels;
+  bool dvs_during_io = true;
+};
+
+struct Evaluation {
+  Configuration config;
+  bool feasible = false;
+  /// Energy drawn from all batteries per frame (at the pack voltage).
+  Joules energy_per_frame;
+  /// Analytic lifetime of each node's battery under its steady frame plan.
+  std::vector<Seconds> node_lifetimes;
+  /// Uptime = first failure = min over nodes.
+  Seconds uptime;
+  /// Uptime normalised per battery (the paper's Tnorm).
+  Seconds normalized_uptime;
+
+  [[nodiscard]] std::string label(const atr::AtrProfile& profile) const;
+};
+
+struct OptimizerOptions {
+  const cpu::CpuSpec* cpu = nullptr;           // default itsy_sa1100()
+  const atr::AtrProfile* profile = nullptr;    // default itsy_atr_profile()
+  net::LinkSpec link;
+  Volts pack_voltage = volts(4.0);
+  std::function<std::unique_ptr<battery::Battery>()> battery_factory;
+  Seconds frame_delay = seconds(2.3);
+  /// Stage counts to explore (a k-stage partition needs k nodes).
+  std::vector<int> stage_counts = {1, 2};
+  /// Per stage, explore levels from the minimum feasible up to this many
+  /// steps above it (the levels below are infeasible, the ones far above
+  /// are dominated for energy but can matter for uptime).
+  int level_headroom = 10;
+  bool explore_dvs_io = true;
+};
+
+class DesignSpace {
+ public:
+  explicit DesignSpace(OptimizerOptions options);
+
+  /// Evaluate one configuration analytically.
+  [[nodiscard]] Evaluation evaluate(const Configuration& config) const;
+
+  /// Enumerate and evaluate every feasible configuration in the space.
+  [[nodiscard]] std::vector<Evaluation> enumerate() const;
+
+  /// The global-energy-minimal feasible configuration.
+  [[nodiscard]] Evaluation best_energy() const;
+  /// The uptime-maximal feasible configuration.
+  [[nodiscard]] Evaluation best_uptime() const;
+  /// The normalised-uptime-maximal feasible configuration.
+  [[nodiscard]] Evaluation best_normalized_uptime() const;
+
+  /// Pareto front over (energy_per_frame asc, uptime desc).
+  [[nodiscard]] static std::vector<Evaluation> pareto_front(
+      std::vector<Evaluation> evaluations);
+
+  [[nodiscard]] const OptimizerOptions& options() const { return options_; }
+
+ private:
+  [[nodiscard]] task::NodePlan plan_for(const task::StageAnalysis& stage,
+                                        int comp_level,
+                                        bool dvs_during_io) const;
+
+  OptimizerOptions options_;
+};
+
+}  // namespace deslp::core

@@ -1,0 +1,106 @@
+#include "core/report.h"
+
+#include <ostream>
+#include <sstream>
+
+#include "util/csv.h"
+#include "util/table.h"
+
+namespace deslp::core {
+
+namespace {
+
+std::string bar(double hours, double scale) {
+  const int n = static_cast<int>(hours * scale + 0.5);
+  return std::string(static_cast<std::size_t>(n > 0 ? n : 0), '#');
+}
+
+}  // namespace
+
+std::string render_summary_table(
+    const std::vector<ExperimentResult>& results) {
+  Table t({"exp", "title", "T paper (h)", "T sim (h)", "F paper", "F sim",
+           "Rnorm paper", "Rnorm sim"});
+  for (const auto& r : results) {
+    t.add_row({r.id, r.title, Table::num(r.paper.battery_life_hours, 2),
+               Table::num(to_hours(r.battery_life), 2),
+               Table::num(r.paper.frames, 0), std::to_string(r.frames),
+               r.paper.rnorm > 0 ? Table::percent(r.paper.rnorm) : "-",
+               r.rnorm > 0 ? Table::percent(r.rnorm) : "-"});
+  }
+  return t.render();
+}
+
+std::string render_node_table(const std::vector<ExperimentResult>& results) {
+  Table t({"exp", "node", "died", "death (h)", "SoC left", "avg I (mA)",
+           "comm (h)", "comp (h)", "idle (h)", "rotations", "migrated"});
+  for (const auto& r : results) {
+    for (const auto& n : r.details.nodes) {
+      t.add_row({r.id, n.name, n.died ? "yes" : "no",
+                 n.died ? Table::num(to_hours(n.death_time), 2) : "-",
+                 Table::percent(n.final_soc),
+                 Table::num(to_milliamps(n.average_current), 1),
+                 Table::num(to_hours(n.comm_time), 2),
+                 Table::num(to_hours(n.comp_time), 2),
+                 Table::num(to_hours(n.idle_time), 2),
+                 std::to_string(n.rotations), n.migrated ? "yes" : "no"});
+    }
+  }
+  return t.render();
+}
+
+std::string render_fig10_bars(const std::vector<ExperimentResult>& results) {
+  std::ostringstream os;
+  for (const auto& r : results) {
+    if (r.id == "0A" || r.id == "0B") continue;
+    char line[256];
+    std::snprintf(line, sizeof line, "(%-2s) absolute   %5.2f h |%s\n",
+                  r.id.c_str(), to_hours(r.battery_life),
+                  bar(to_hours(r.battery_life), 3.0).c_str());
+    os << line;
+    std::snprintf(line, sizeof line,
+                  "     normalized %5.2f h |%s  Rnorm=%s\n",
+                  to_hours(r.normalized_life),
+                  bar(to_hours(r.normalized_life), 3.0).c_str(),
+                  Table::percent(r.rnorm).c_str());
+    os << line;
+  }
+  return os.str();
+}
+
+void write_results_csv(const std::vector<ExperimentResult>& results,
+                       std::ostream& os) {
+  CsvWriter csv(os, {"id", "title", "nodes", "frames", "T_h", "Tnorm_h",
+                     "rnorm", "paper_T_h", "paper_frames", "paper_rnorm"});
+  for (const auto& r : results) {
+    csv.add_row({r.id, r.title, std::to_string(r.node_count),
+                 std::to_string(r.frames),
+                 Table::num(to_hours(r.battery_life), 4),
+                 Table::num(to_hours(r.normalized_life), 4),
+                 Table::num(r.rnorm, 4),
+                 Table::num(r.paper.battery_life_hours, 4),
+                 Table::num(r.paper.frames, 0),
+                 Table::num(r.paper.rnorm, 4)});
+  }
+}
+
+void write_node_csv(const std::vector<ExperimentResult>& results,
+                    std::ostream& os) {
+  CsvWriter csv(os, {"id", "node", "died", "death_h", "final_soc",
+                     "avg_current_mA", "comm_h", "comp_h", "idle_h",
+                     "rotations", "migrated"});
+  for (const auto& r : results) {
+    for (const auto& n : r.details.nodes) {
+      csv.add_row({r.id, n.name, n.died ? "1" : "0",
+                   Table::num(n.died ? to_hours(n.death_time) : 0.0, 4),
+                   Table::num(n.final_soc, 4),
+                   Table::num(to_milliamps(n.average_current), 2),
+                   Table::num(to_hours(n.comm_time), 4),
+                   Table::num(to_hours(n.comp_time), 4),
+                   Table::num(to_hours(n.idle_time), 4),
+                   std::to_string(n.rotations), n.migrated ? "1" : "0"});
+    }
+  }
+}
+
+}  // namespace deslp::core

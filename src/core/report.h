@@ -1,0 +1,37 @@
+// Shared result reporting: the Fig. 10 style experiment table, per-node
+// detail, and CSV export so the series can be re-plotted outside the
+// terminal. Used by bench/fig10_experiments and the scenario runner.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+
+namespace deslp::core {
+
+/// The paper-vs-simulation summary table (T, F, Rnorm columns).
+[[nodiscard]] std::string render_summary_table(
+    const std::vector<ExperimentResult>& results);
+
+/// Per-node detail table (death time, SoC, residency, rotations...).
+[[nodiscard]] std::string render_node_table(
+    const std::vector<ExperimentResult>& results);
+
+/// ASCII Fig. 10: absolute and normalised bars with Rnorm annotations,
+/// excluding the no-I/O experiments as the paper does.
+[[nodiscard]] std::string render_fig10_bars(
+    const std::vector<ExperimentResult>& results);
+
+/// CSV with one row per experiment:
+/// id,title,nodes,frames,T_h,Tnorm_h,rnorm,paper_T_h,paper_frames,
+/// paper_rnorm.
+void write_results_csv(const std::vector<ExperimentResult>& results,
+                       std::ostream& os);
+
+/// CSV with one row per node per experiment.
+void write_node_csv(const std::vector<ExperimentResult>& results,
+                    std::ostream& os);
+
+}  // namespace deslp::core

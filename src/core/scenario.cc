@@ -1,0 +1,257 @@
+#include "core/scenario.h"
+
+#include <sstream>
+
+#include "battery/kibam.h"
+#include "battery/rakhmatov.h"
+#include "core/experiment.h"
+#include "task/partition.h"
+
+namespace deslp::core {
+
+namespace {
+
+bool fail(std::string* error, const std::string& message) {
+  if (error) *error = message;
+  return false;
+}
+
+bool build_link(const Config& cfg, net::LinkSpec* link, std::string* error) {
+  const std::string preset = cfg.get_string("link", "preset", "itsy");
+  if (preset == "itsy") {
+    *link = net::itsy_serial_link();
+  } else if (preset != "custom") {
+    return fail(error, "[link] preset must be 'itsy' or 'custom'");
+  }
+  link->effective_rate = kilobits_per_second(
+      cfg.get_double("link", "effective_kbps",
+                     link->effective_rate.value() / 1000.0));
+  link->line_rate = kilobits_per_second(
+      cfg.get_double("link", "line_kbps", link->line_rate.value() / 1000.0));
+  link->startup_min = milliseconds(
+      cfg.get_double("link", "startup_min_ms",
+                     to_milliseconds(link->startup_min)));
+  link->startup_max = milliseconds(
+      cfg.get_double("link", "startup_max_ms",
+                     to_milliseconds(link->startup_max)));
+  if (link->effective_rate > link->line_rate)
+    return fail(error, "[link] effective_kbps exceeds line_kbps");
+  if (link->startup_min > link->startup_max)
+    return fail(error, "[link] startup_min_ms exceeds startup_max_ms");
+  return true;
+}
+
+bool build_battery(const Config& cfg,
+                   std::function<std::unique_ptr<battery::Battery>()>* out,
+                   std::string* description, std::string* error) {
+  const std::string model = cfg.get_string("battery", "model", "kibam");
+  if (model == "kibam") {
+    battery::KibamParams p = battery::itsy_kibam_params();
+    p.capacity = milliamp_hours(
+        cfg.get_double("battery", "capacity_mah",
+                       to_milliamp_hours(p.capacity)));
+    p.c = cfg.get_double("battery", "c", p.c);
+    p.k_prime = cfg.get_double("battery", "k_prime", p.k_prime);
+    *out = [p] { return battery::make_kibam_battery(p); };
+  } else if (model == "rakhmatov") {
+    battery::RakhmatovParams p = battery::itsy_rakhmatov_params();
+    p.alpha = milliamp_hours(cfg.get_double(
+        "battery", "capacity_mah", to_milliamp_hours(p.alpha)));
+    p.beta_squared = cfg.get_double("battery", "beta2", p.beta_squared);
+    *out = [p] { return battery::make_rakhmatov_battery(p); };
+  } else if (model == "ideal") {
+    const Coulombs cap =
+        milliamp_hours(cfg.get_double("battery", "capacity_mah", 1096.0));
+    *out = [cap] { return battery::make_ideal_battery(cap); };
+  } else if (model == "peukert") {
+    const Coulombs cap =
+        milliamp_hours(cfg.get_double("battery", "capacity_mah", 1096.0));
+    const double k = cfg.get_double("battery", "peukert_k", 1.3);
+    const Amps ref =
+        milliamps(cfg.get_double("battery", "reference_ma", 100.0));
+    if (k < 1.0) return fail(error, "[battery] peukert_k must be >= 1");
+    *out = [cap, k, ref] {
+      return battery::make_peukert_battery(cap, k, ref);
+    };
+  } else {
+    return fail(error, "[battery] unknown model '" + model + "'");
+  }
+  *description = model;
+  return true;
+}
+
+}  // namespace
+
+std::optional<ScenarioOutcome> run_scenario(const Config& cfg,
+                                            std::string* error) {
+  SystemConfig sys;
+  sys.cpu = &cpu::itsy_sa1100();
+  sys.profile = &atr::itsy_atr_profile();
+  sys.frame_delay = seconds(cfg.get_double("system", "frame_delay", 2.3));
+  sys.max_frames = cfg.get_int("system", "max_frames", 2'000'000);
+  sys.seed = static_cast<std::uint64_t>(cfg.get_int("system", "seed", 42));
+  if (sys.frame_delay.value() <= 0.0) {
+    if (error) *error = "[system] frame_delay must be positive";
+    return std::nullopt;
+  }
+
+  if (!build_link(cfg, &sys.link, error)) return std::nullopt;
+  std::string battery_desc;
+  if (!build_battery(cfg, &sys.battery_factory, &battery_desc, error))
+    return std::nullopt;
+
+  // Partition: explicit cut list, or the best partition at `stages`.
+  const int stages =
+      static_cast<int>(cfg.get_int("pipeline", "stages", 2));
+  const int blocks = sys.profile->block_count();
+  if (stages < 1 || stages > blocks) {
+    if (error) *error = "[pipeline] stages must be in [1, 4]";
+    return std::nullopt;
+  }
+  std::optional<task::PartitionAnalysis> analysis;
+  if (cfg.has("pipeline", "cuts")) {
+    std::vector<int> first{0};
+    for (double c : cfg.get_double_list("pipeline", "cuts"))
+      first.push_back(static_cast<int>(c));
+    if (static_cast<int>(first.size()) != stages) {
+      if (error) *error = "[pipeline] cuts must list stages-1 first-blocks";
+      return std::nullopt;
+    }
+    for (std::size_t i = 1; i < first.size(); ++i) {
+      if (first[i] <= first[i - 1] || first[i] >= blocks) {
+        if (error) *error = "[pipeline] cuts must be increasing block indices";
+        return std::nullopt;
+      }
+    }
+    analysis = task::analyze_partition(*sys.profile,
+                                       task::Partition(first, blocks),
+                                       *sys.cpu, sys.link, sys.frame_delay);
+  } else {
+    const auto all = task::analyze_all_partitions(
+        *sys.profile, stages, *sys.cpu, sys.link, sys.frame_delay);
+    const int best = task::best_partition_index(all);
+    if (best < 0) {
+      if (error)
+        *error = "no feasible " + std::to_string(stages) +
+                 "-stage partition at this frame delay / link";
+      return std::nullopt;
+    }
+    analysis = all[static_cast<std::size_t>(best)];
+  }
+  if (!analysis->feasible()) {
+    if (error) *error = "[pipeline] the requested partition is infeasible";
+    return std::nullopt;
+  }
+  sys.partition = analysis->partition;
+
+  // Levels: explicit MHz list or minimum feasible.
+  const bool dvs_io = cfg.get_bool("pipeline", "dvs_during_io", true);
+  std::vector<int> comp_levels;
+  if (cfg.has("pipeline", "levels_mhz")) {
+    const auto mhz_list = cfg.get_double_list("pipeline", "levels_mhz");
+    if (static_cast<int>(mhz_list.size()) != stages) {
+      if (error) *error = "[pipeline] levels_mhz must list one level per stage";
+      return std::nullopt;
+    }
+    for (double mhz : mhz_list)
+      comp_levels.push_back(cpu::sa1100_level_mhz(mhz));
+  } else {
+    for (const auto& s : analysis->stages) comp_levels.push_back(s.min_level);
+  }
+  for (int s = 0; s < stages; ++s) {
+    const int lv = comp_levels[static_cast<std::size_t>(s)];
+    if (lv < analysis->stages[static_cast<std::size_t>(s)].min_level) {
+      if (error)
+        *error = "stage " + std::to_string(s) +
+                 " level is below the minimum feasible clock";
+      return std::nullopt;
+    }
+    sys.stage_levels.push_back({lv, dvs_io ? 0 : lv, dvs_io ? 0 : lv});
+  }
+
+  // Optional variable workload (see SystemConfig::WorkloadVariation).
+  if (cfg.has("workload", "min_scale") || cfg.has("workload", "max_scale")) {
+    sys.workload.enabled = true;
+    sys.workload.min_scale = cfg.get_double("workload", "min_scale", 1.0);
+    sys.workload.max_scale = cfg.get_double("workload", "max_scale", 1.0);
+    if (sys.workload.min_scale <= 0.0 ||
+        sys.workload.min_scale > sys.workload.max_scale) {
+      if (error) *error = "[workload] needs 0 < min_scale <= max_scale";
+      return std::nullopt;
+    }
+    if (sys.workload.max_scale > 1.0) {
+      if (error)
+        *error = "[workload] max_scale > 1 would exceed the worst-case "
+                 "levels; size levels_mhz for the peak instead";
+      return std::nullopt;
+    }
+  }
+  sys.adaptive_levels = cfg.get_bool("workload", "adaptive", false);
+
+  sys.use_acks = cfg.get_bool("technique", "acks", false);
+  sys.rotation_period = cfg.get_int("technique", "rotation_period", 0);
+  if (sys.use_acks && sys.rotation_period > 0) {
+    if (error)
+      *error = "[technique] acks and rotation_period are mutually exclusive";
+    return std::nullopt;
+  }
+  if (sys.rotation_period > 0 && stages < 2) {
+    if (error) *error = "[technique] rotation needs at least 2 stages";
+    return std::nullopt;
+  }
+  sys.migrated_levels = {sys.cpu->top_level(), 0, 0};
+
+  const auto config_errors = cfg.consume_errors();
+  if (!config_errors.empty()) {
+    if (error) *error = config_errors.front();
+    return std::nullopt;
+  }
+
+  ScenarioOutcome outcome;
+  {
+    std::ostringstream os;
+    os << analysis->partition.label(*sys.profile) << " @ ";
+    for (int s = 0; s < stages; ++s) {
+      if (s) os << " + ";
+      os << to_megahertz(
+          sys.cpu->level(comp_levels[static_cast<std::size_t>(s)]).frequency)
+         << " MHz";
+    }
+    os << (dvs_io ? ", DVS during I/O" : "") << ", battery=" << battery_desc;
+    if (sys.use_acks) os << ", failure recovery";
+    if (sys.rotation_period > 0)
+      os << ", rotation every " << sys.rotation_period << " frames";
+    outcome.description = os.str();
+  }
+
+  const Seconds frame_delay = sys.frame_delay;
+  PipelineSystem system(std::move(sys));
+  outcome.run = system.run();
+  outcome.battery_life =
+      frame_delay * static_cast<double>(outcome.run.frames_completed);
+  outcome.normalized_life =
+      outcome.battery_life * (1.0 / static_cast<double>(stages));
+  return outcome;
+}
+
+std::string default_scenario_text() {
+  return R"(# Default scenario: the paper's experiment (2A) shape.
+[system]
+frame_delay = 2.3
+
+[link]
+preset = itsy
+
+[battery]
+model = kibam
+
+[pipeline]
+stages = 2
+dvs_during_io = true
+
+[technique]
+rotation_period = 0
+)";
+}
+
+}  // namespace deslp::core

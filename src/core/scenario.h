@@ -1,0 +1,50 @@
+// Declarative scenario files: build and run a complete distributed-DVS
+// system from an INI description (link, battery model, partition, levels,
+// technique), so downstream users can explore configurations without
+// writing C++. See examples/scenarios/*.ini and examples/scenario_runner.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "core/system.h"
+#include "util/config.h"
+
+namespace deslp::core {
+
+struct ScenarioOutcome {
+  /// Human-readable description of what was built (levels, partition,
+  /// battery, technique).
+  std::string description;
+  RunResult run;
+  /// The paper's T metric: frames * frame delay.
+  Seconds battery_life;
+  Seconds normalized_life;
+};
+
+/// Scenario schema (all sections/keys optional; defaults reproduce the
+/// paper's experiment (2A)):
+///
+///   [system]    frame_delay, max_frames, seed
+///   [link]      preset=itsy | effective_kbps, line_kbps,
+///               startup_min_ms, startup_max_ms
+///   [battery]   model=ideal|peukert|kibam|rakhmatov, capacity_mah,
+///               c, k_prime (kibam), beta2 (rakhmatov),
+///               peukert_k, reference_ma (peukert)
+///   [pipeline]  stages, cuts (comma list of first-block indices,
+///               omitting stage 0), levels_mhz (comma list or empty for
+///               minimum feasible), dvs_during_io
+///   [workload]  min_scale, max_scale (per-frame work variation in
+///               (0, 1]), adaptive (per-frame minimum-feasible levels)
+///   [technique] acks, rotation_period
+///
+/// Returns nullopt with `error` filled on contradictory or infeasible
+/// configurations.
+[[nodiscard]] std::optional<ScenarioOutcome> run_scenario(
+    const Config& config, std::string* error = nullptr);
+
+/// The built-in default scenario text (experiment 2A's shape), used by the
+/// runner when no file is given and by tests.
+[[nodiscard]] std::string default_scenario_text();
+
+}  // namespace deslp::core

@@ -1,0 +1,378 @@
+#include "core/system.h"
+
+#include <utility>
+
+#include "util/check.h"
+#include "util/log.h"
+
+namespace deslp::core {
+
+PipelineSystem::PipelineSystem(SystemConfig config)
+    : config_(std::move(config)),
+      hub_(engine_, config_.link, milliseconds(5.0), config_.seed) {
+  DESLP_EXPECTS(config_.cpu != nullptr);
+  DESLP_EXPECTS(config_.profile != nullptr);
+  DESLP_EXPECTS(config_.battery_factory != nullptr);
+  DESLP_EXPECTS(config_.partition.has_value());
+  DESLP_EXPECTS(config_.frame_delay.value() > 0.0);
+  const int stages = config_.partition->stage_count();
+  DESLP_EXPECTS(static_cast<int>(config_.stage_levels.size()) == stages);
+  DESLP_EXPECTS(!(config_.use_acks && config_.rotation_period > 0));
+  DESLP_EXPECTS(config_.rotation_period == 0 || stages >= 2);
+
+  DESLP_EXPECTS(!config_.workload.enabled ||
+                (config_.workload.min_scale > 0.0 &&
+                 config_.workload.min_scale <= config_.workload.max_scale));
+
+  trace_.set_recording(config_.record_trace);
+  host_mailbox_ = &hub_.attach(net::kHostAddress);
+
+  // Static per-stage compute budgets for the adaptive level choice.
+  net::SerialLink timer(config_.link);
+  for (int s = 0; s < stages; ++s) {
+    const auto& p = *config_.partition;
+    const Bytes in = config_.profile->input_of(p.first_of(s));
+    const Bytes out = config_.profile->block(p.last_of(s)).output;
+    stage_budgets_.push_back(config_.frame_delay -
+                             timer.expected_transaction_time(in) -
+                             timer.expected_transaction_time(out));
+  }
+
+  for (int i = 0; i < stages; ++i) {
+    Node::Config nc;
+    nc.address = i + 1;
+    nc.name = "Node" + std::to_string(i + 1);
+    nc.cpu = config_.cpu;
+    nc.pack_voltage = config_.pack_voltage;
+    nodes_.push_back(std::make_unique<Node>(engine_, hub_, trace_, nc,
+                                            config_.battery_factory()));
+    StageState st;
+    st.role = i;
+    stage_states_.push_back(st);
+  }
+}
+
+PipelineSystem::~PipelineSystem() = default;
+
+net::Address PipelineSystem::holder_of(int role, long long era) const {
+  const int n = node_count();
+  const long long idx =
+      ((static_cast<long long>(role) - era) % n + n) % n;
+  return static_cast<net::Address>(idx) + 1;
+}
+
+Cycles PipelineSystem::stage_work(int stage) const {
+  const auto& p = *config_.partition;
+  return config_.profile->work_of_range(p.first_of(stage), p.last_of(stage));
+}
+
+Bytes PipelineSystem::stage_output(int stage) const {
+  return config_.profile->block(config_.partition->last_of(stage)).output;
+}
+
+const dvs::LevelAssignment& PipelineSystem::levels_of(int stage) const {
+  DESLP_EXPECTS(stage >= 0 &&
+                stage < static_cast<int>(config_.stage_levels.size()));
+  return config_.stage_levels[static_cast<std::size_t>(stage)];
+}
+
+double PipelineSystem::work_scale(long long frame) const {
+  if (!config_.workload.enabled) return 1.0;
+  // splitmix64 of (frame, seed): deterministic, stage-independent.
+  std::uint64_t z = static_cast<std::uint64_t>(frame) + config_.seed +
+                    0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  const double u = static_cast<double>(z >> 11) * 0x1.0p-53;
+  return config_.workload.min_scale +
+         (config_.workload.max_scale - config_.workload.min_scale) * u;
+}
+
+int PipelineSystem::comp_level_for(int stage, long long frame) const {
+  const int configured = levels_of(stage).comp_level;
+  if (!config_.adaptive_levels) return configured;
+  const Cycles scaled = stage_work(stage) * work_scale(frame);
+  const Seconds budget = stage_budgets_[static_cast<std::size_t>(stage)];
+  if (budget.value() <= 0.0) return config_.cpu->top_level();
+  const int level = config_.cpu->min_level_for(scaled, budget);
+  return level >= 0 ? level : config_.cpu->top_level();
+}
+
+sim::Task PipelineSystem::host_source() {
+  const long long rotation = config_.rotation_period;
+  for (long long f = 0; f < config_.max_frames && !stop_sourcing_; ++f) {
+    const long long era = rotation > 0 ? f / rotation : 0;
+    const net::Address dest =
+        source_override_ >= 0 ? source_override_ : holder_of(0, era);
+    net::Message m;
+    m.src = net::kHostAddress;
+    m.dst = dest;
+    m.kind = net::MsgKind::kData;
+    m.frame = f;
+    m.stage = 0;
+    m.size = config_.profile->input();
+    ++frames_sent_;
+    hub_.begin_send(m);  // the host is mains-powered; only pacing matters
+    co_await engine_.delay(config_.frame_delay);
+  }
+}
+
+sim::Task PipelineSystem::host_sink() {
+  for (;;) {
+    auto delivery = co_await host_mailbox_->recv();
+    if (!delivery) co_return;
+    const net::Message& msg = delivery->msg;
+    if (msg.kind == net::MsgKind::kControl) {
+      // A survivor announces it has taken over the whole pipeline (§5.4);
+      // subsequent frames go to it.
+      source_override_ = msg.src;
+      trace_.add_mark({"Host", "redirect-source->" + std::to_string(msg.src),
+                       engine_.now()});
+      continue;
+    }
+    if (msg.kind != net::MsgKind::kData) continue;
+    ++frames_completed_;
+    last_completion_ = engine_.now();
+    if (frames_completed_ >= config_.max_frames) {
+      stop_sourcing_ = true;
+      engine_.stop();
+      co_return;
+    }
+  }
+}
+
+sim::Task PipelineSystem::watchdog() {
+  const sim::Dur window = sim::from_seconds(
+      config_.frame_delay * config_.stall_frames);
+  for (;;) {
+    co_await engine_.delay(window);
+    bool all_dead = true;
+    for (const auto& n : nodes_)
+      if (n->alive()) all_dead = false;
+    const sim::Time last_activity = last_completion_;
+    const bool stalled =
+        frames_sent_ > 0 && (engine_.now() - last_activity) >= window;
+    if (all_dead || stalled) {
+      engine_.stop();
+      co_return;
+    }
+  }
+}
+
+sim::ValueTask<bool> PipelineSystem::process_and_forward(Node& node,
+                                                         StageState& st,
+                                                         long long frame) {
+  const int n = node_count();
+
+  if (st.migrated) {
+    // §5.4 post-migration: the survivor runs the entire chain.
+    const auto& lv = config_.migrated_levels;
+    const Cycles whole = config_.profile->total_work() * work_scale(frame);
+    if (!co_await node.busy(cpu::Mode::kComp, lv.comp_level,
+                            node.cpu().time_for(whole, lv.comp_level), "PROC",
+                            "whole chain, frame " + std::to_string(frame)))
+      co_return false;
+    net::Message out;
+    out.dst = net::kHostAddress;
+    out.kind = net::MsgKind::kData;
+    out.frame = frame;
+    out.stage = n - 1;
+    out.size = config_.profile->result_size();
+    co_return co_await node.send(out, lv.comm_level);
+  }
+
+  const auto& lv = levels_of(st.role);
+  const int proc_level = comp_level_for(st.role, frame);
+  if (!co_await node.busy(
+          cpu::Mode::kComp, proc_level,
+          node.cpu().time_for(stage_work(st.role) * work_scale(frame),
+                              proc_level),
+          "PROC",
+          "stage " + std::to_string(st.role) + ", frame " +
+              std::to_string(frame)))
+    co_return false;
+
+  const long long rotation = config_.rotation_period;
+  const bool rotate =
+      rotation > 0 && (frame + st.role) % rotation == rotation - 1;
+
+  if (rotate && st.role < n - 1) {
+    // Fig. 9: keep the intermediate result, run the next role's share too,
+    // forward its output, and adopt the next role. The eliminated
+    // SEND/RECV pair pays for the reconfiguration (§5.5).
+    const int next = st.role + 1;
+    const auto& lv2 = levels_of(next);
+    const int next_level = comp_level_for(next, frame);
+    if (!co_await node.busy(
+            cpu::Mode::kComp, next_level,
+            node.cpu().time_for(stage_work(next) * work_scale(frame),
+                                next_level),
+            "PROC",
+            "rotation: stage " + std::to_string(next) + ", frame " +
+                std::to_string(frame)))
+      co_return false;
+    st.role = next;
+    st.era += 1;
+    st.rotations += 1;
+    trace_.add_mark({node.name(), "rotate->role" + std::to_string(st.role),
+                     engine_.now()});
+    net::Message out;
+    out.dst = next == n - 1 ? net::kHostAddress : holder_of(next + 1, st.era);
+    out.kind = net::MsgKind::kData;
+    out.frame = frame;
+    out.stage = next;
+    out.size = stage_output(next);
+    co_return co_await node.send(out, lv2.comm_level);
+  }
+
+  // Normal forwarding of this stage's output.
+  net::Message out;
+  out.dst =
+      st.role == n - 1 ? net::kHostAddress : holder_of(st.role + 1, st.era);
+  out.kind = net::MsgKind::kData;
+  out.frame = frame;
+  out.stage = st.role;
+  out.size = stage_output(st.role);
+  const net::Address downstream = out.dst;
+  if (!co_await node.send(out, lv.comm_level)) co_return false;
+
+  if (config_.use_acks && downstream != net::kHostAddress && !st.peer_dead) {
+    // §5.4: every inter-node transaction is acknowledged; a timeout flags
+    // the downstream node as failed and migrates its share here. The
+    // timeout is a fixed deadline from the end of the send: reading an
+    // unrelated frame off the wire while waiting must not rearm it.
+    const sim::Time ack_deadline =
+        engine_.now() + sim::from_seconds(config_.ack_timeout);
+    for (;;) {
+      const Seconds remaining =
+          sim::to_seconds(ack_deadline - engine_.now());
+      std::optional<net::Message> reply;
+      if (remaining.value() > 0.0)
+        reply = co_await node.recv(lv.idle_level, lv.comm_level, remaining);
+      if (!node.alive()) co_return false;
+      if (!reply) {
+        st.peer_dead = true;
+        st.migrated = true;
+        trace_.add_mark({node.name(), "peer-timeout: migrating",
+                         engine_.now()});
+        log::info(node.name(), " detected downstream failure; migrating");
+        net::Message ctrl;
+        ctrl.dst = net::kHostAddress;
+        ctrl.kind = net::MsgKind::kControl;
+        ctrl.frame = frame;
+        ctrl.size = config_.ack_size;
+        ctrl.note = "migrated";
+        co_return co_await node.send(ctrl, lv.comm_level);
+      }
+      if (reply->kind == net::MsgKind::kAck) break;
+      // A data frame slipped in while waiting; stash it for the main loop.
+      st.stash.push_back(*reply);
+    }
+  }
+
+  if (rotate && st.role == n - 1) {
+    // The last role becomes the first: skip one RECV (the reconfiguration
+    // slot of Fig. 9) and start pulling frames from the host.
+    st.role = 0;
+    st.era += 1;
+    st.rotations += 1;
+    trace_.add_mark({node.name(), "rotate->role0", engine_.now()});
+  }
+  co_return true;
+}
+
+sim::Task PipelineSystem::node_behavior(int node_index) {
+  Node& node = *nodes_[static_cast<std::size_t>(node_index)];
+  StageState& st = stage_states_[static_cast<std::size_t>(node_index)];
+
+  while (node.alive()) {
+    const auto& lv =
+        st.migrated ? config_.migrated_levels : levels_of(st.role);
+
+    std::optional<net::Message> msg;
+    if (!st.stash.empty()) {
+      msg = st.stash.front();
+      st.stash.pop_front();
+    } else {
+      // Upstream failure detection (§5.4): stages fed by another node watch
+      // for silence when the ack protocol is active.
+      const bool watch_upstream =
+          config_.use_acks && st.role > 0 && !st.migrated && !st.peer_dead;
+      const Seconds timeout =
+          watch_upstream ? config_.frame_delay * 3.0 : seconds(0.0);
+      msg = co_await node.recv(lv.idle_level, lv.comm_level, timeout);
+      if (!node.alive()) co_return;
+      if (!msg) {
+        if (watch_upstream) {
+          const net::Address upstream = holder_of(st.role - 1, st.era);
+          if (hub_.failed(upstream)) {
+            st.peer_dead = true;
+            st.migrated = true;
+            trace_.add_mark({node.name(), "upstream-dead: migrating",
+                             engine_.now()});
+            net::Message ctrl;
+            ctrl.dst = net::kHostAddress;
+            ctrl.kind = net::MsgKind::kControl;
+            ctrl.size = config_.ack_size;
+            ctrl.note = "migrated";
+            if (!co_await node.send(ctrl, lv.comm_level)) co_return;
+          }
+          continue;  // re-arm the wait either way
+        }
+        co_return;  // mailbox closed: we are dead
+      }
+    }
+
+    if (msg->kind == net::MsgKind::kAck) continue;  // stale ack
+    if (msg->kind == net::MsgKind::kControl) continue;
+
+    // Acknowledge inter-node data (§5.4).
+    if (config_.use_acks && msg->src != net::kHostAddress && !st.migrated) {
+      net::Message ack;
+      ack.dst = msg->src;
+      ack.kind = net::MsgKind::kAck;
+      ack.frame = msg->frame;
+      ack.size = config_.ack_size;
+      if (!co_await node.send(ack, lv.comm_level)) co_return;
+    }
+
+    if (!co_await process_and_forward(node, st, msg->frame)) co_return;
+  }
+}
+
+RunResult PipelineSystem::run() {
+  engine_.spawn(host_source());
+  engine_.spawn(host_sink());
+  engine_.spawn(watchdog());
+  for (int i = 0; i < node_count(); ++i) engine_.spawn(node_behavior(i));
+  engine_.run();
+
+  RunResult result;
+  result.frames_sent = frames_sent_;
+  result.frames_completed = frames_completed_;
+  result.last_completion = sim::to_seconds(last_completion_);
+  result.sim_end = sim::to_seconds(engine_.now());
+  for (int i = 0; i < node_count(); ++i) {
+    const Node& node = *nodes_[static_cast<std::size_t>(i)];
+    const StageState& st = stage_states_[static_cast<std::size_t>(i)];
+    NodeReport r;
+    r.name = node.name();
+    r.address = node.address();
+    r.died = !node.alive();
+    r.death_time = r.died ? sim::to_seconds(node.death_time()) : seconds(0.0);
+    r.final_soc = node.battery().state_of_charge();
+    r.charge_used = node.monitor().total_charge();
+    r.energy_used = node.monitor().total_energy();
+    r.comm_time = node.monitor().totals(cpu::Mode::kComm).time;
+    r.comp_time = node.monitor().totals(cpu::Mode::kComp).time;
+    r.idle_time = node.monitor().totals(cpu::Mode::kIdle).time;
+    r.average_current = node.monitor().average_current();
+    r.rotations = st.rotations;
+    r.migrated = st.migrated;
+    result.nodes.push_back(std::move(r));
+  }
+  return result;
+}
+
+}  // namespace deslp::core

@@ -1,0 +1,181 @@
+// The distributed ATR pipeline (§3, Figs. 2/3/9) and its four techniques.
+//
+// A PipelineSystem wires up: a host (external source and sink, paced at the
+// frame delay D), N Itsy nodes in a pipeline, and the serial-link hub. The
+// node behaviour implements, per configuration:
+//   - plain pipelining with per-stage DVS levels        (experiments 1..2A)
+//   - per-transaction acks + timeout failure detection
+//     + workload migration to the surviving node        (experiment 2B)
+//   - node rotation every R frames (Fig. 9)             (experiment 2C)
+//
+// Everything runs on the deterministic DES engine; the run ends when the
+// pipeline has made no progress for a stall window (battery death) or a
+// frame quota is reached.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "atr/profile.h"
+#include "battery/battery.h"
+#include "core/node.h"
+#include "cpu/cpu.h"
+#include "dvs/policy.h"
+#include "net/hub.h"
+#include "sim/engine.h"
+#include "sim/trace.h"
+#include "task/partition.h"
+
+namespace deslp::core {
+
+/// Everything that defines one run.
+struct SystemConfig {
+  const cpu::CpuSpec* cpu = nullptr;
+  const atr::AtrProfile* profile = nullptr;
+  net::LinkSpec link;
+  Volts pack_voltage = volts(4.0);
+  /// Factory for each node's battery (each node gets its own pack).
+  std::function<std::unique_ptr<battery::Battery>()> battery_factory;
+
+  /// Frame delay D; the host emits one frame every D.
+  Seconds frame_delay = seconds(2.3);
+  /// Blocks-to-stages assignment; stage count = node count.
+  std::optional<task::Partition> partition;
+  /// Per-stage DVS levels (comp/comm/idle), same order as stages.
+  std::vector<dvs::LevelAssignment> stage_levels;
+
+  /// §5.4: acknowledge every inter-node DATA transaction; a timeout marks
+  /// the peer dead and migrates its blocks.
+  bool use_acks = false;
+  Seconds ack_timeout = seconds(2.0);
+  Bytes ack_size = bytes(64);
+  /// Level assignment after migration (survivor runs the whole chain).
+  dvs::LevelAssignment migrated_levels{10, 0, 0};
+
+  /// §5.5: rotate node roles every `rotation_period` frames (0 = off).
+  long long rotation_period = 0;
+
+  /// §3's relaxation, implemented as the paper leaves for future work:
+  /// per-frame computation varies (e.g. with the number of detected
+  /// targets). Each frame's work is scaled by a deterministic draw from
+  /// [min_scale, max_scale] shared by every stage of that frame.
+  struct WorkloadVariation {
+    bool enabled = false;
+    double min_scale = 1.0;
+    double max_scale = 1.0;
+  };
+  WorkloadVariation workload;
+  /// Choose each frame's computation level adaptively — the minimum
+  /// feasible for that frame's actual work within the stage's static
+  /// compute budget — instead of the configured worst-case level. Falls
+  /// back to the top level when even it cannot meet the budget (the
+  /// event-driven pipeline then absorbs the slip).
+  bool adaptive_levels = false;
+
+  /// Stop conditions.
+  long long max_frames = 2'000'000;
+  /// Stall window, in frame delays, after which the run is declared over.
+  double stall_frames = 25.0;
+
+  /// Record per-span trace data (timeline examples; off for lifetime runs).
+  bool record_trace = false;
+  std::uint64_t seed = 42;
+};
+
+struct NodeReport {
+  std::string name;
+  net::Address address = 0;
+  bool died = false;
+  Seconds death_time;
+  double final_soc = 1.0;
+  Coulombs charge_used;
+  Joules energy_used;
+  Seconds comm_time, comp_time, idle_time;
+  Amps average_current;
+  long long rotations = 0;
+  bool migrated = false;  // took over the whole chain (2B)
+};
+
+struct RunResult {
+  long long frames_sent = 0;
+  long long frames_completed = 0;
+  /// Simulated time of the last completed frame.
+  Seconds last_completion;
+  /// Simulated time the run ended (stall/quota).
+  Seconds sim_end;
+  std::vector<NodeReport> nodes;
+};
+
+class PipelineSystem {
+ public:
+  explicit PipelineSystem(SystemConfig config);
+  ~PipelineSystem();
+  PipelineSystem(const PipelineSystem&) = delete;
+  PipelineSystem& operator=(const PipelineSystem&) = delete;
+
+  /// Build nodes, spawn behaviours, and run to completion.
+  RunResult run();
+
+  /// Trace of the run (populated when config.record_trace).
+  [[nodiscard]] const sim::Trace& trace() const { return trace_; }
+
+ private:
+  struct StageState {
+    int role = 0;           // pipeline role currently held
+    long long era = 0;      // rotations performed
+    long long rotations = 0;
+    bool migrated = false;
+    bool peer_dead = false;
+    /// Data frames that arrived while waiting for an ack (already paid for
+    /// on the wire; consumed by the main loop next).
+    std::deque<net::Message> stash;
+  };
+
+  [[nodiscard]] int node_count() const {
+    return static_cast<int>(nodes_.size());
+  }
+  /// Address of the node holding `role` in `era` (rotation bookkeeping).
+  [[nodiscard]] net::Address holder_of(int role, long long era) const;
+  [[nodiscard]] Cycles stage_work(int stage) const;
+  [[nodiscard]] Bytes stage_output(int stage) const;
+  [[nodiscard]] const dvs::LevelAssignment& levels_of(int stage) const;
+  /// Deterministic per-frame work multiplier (1.0 when variation is off).
+  [[nodiscard]] double work_scale(long long frame) const;
+  /// Computation level for `stage` on `frame`: configured, or adaptive.
+  [[nodiscard]] int comp_level_for(int stage, long long frame) const;
+
+  sim::Task host_source();
+  sim::Task host_sink();
+  sim::Task watchdog();
+  sim::Task node_behavior(int node_index);
+
+  /// One frame's PROC+SEND tail shared by the normal and migrated paths;
+  /// returns false when the node died. Defined in system.cc.
+  sim::ValueTask<bool> process_and_forward(Node& node, StageState& st,
+                                           long long frame);
+
+  SystemConfig config_;
+  sim::Engine engine_;
+  sim::Trace trace_;
+  net::Hub hub_;
+  sim::Channel<net::Delivery>* host_mailbox_ = nullptr;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<StageState> stage_states_;
+
+  /// Static per-stage compute budgets (D minus expected wire times), used
+  /// by the adaptive level choice.
+  std::vector<Seconds> stage_budgets_;
+
+  long long frames_sent_ = 0;
+  long long frames_completed_ = 0;
+  sim::Time last_completion_;
+  bool stop_sourcing_ = false;
+  /// Host-side routing override after a migration announcement (2B).
+  net::Address source_override_ = -1;
+};
+
+}  // namespace deslp::core

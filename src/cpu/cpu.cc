@@ -1,0 +1,126 @@
+#include "cpu/cpu.h"
+
+#include <cmath>
+#include <utility>
+
+#include "util/check.h"
+
+namespace deslp::cpu {
+
+const char* mode_name(Mode m) {
+  switch (m) {
+    case Mode::kIdle:
+      return "idle";
+    case Mode::kComm:
+      return "comm";
+    case Mode::kComp:
+      return "comp";
+  }
+  return "?";
+}
+
+CpuSpec::CpuSpec(std::string name, std::vector<OperatingPoint> levels,
+                 ModeCurrentModel idle, ModeCurrentModel comm,
+                 ModeCurrentModel comp, Seconds dvs_switch_latency)
+    : name_(std::move(name)),
+      levels_(std::move(levels)),
+      models_{idle, comm, comp},
+      dvs_switch_latency_(dvs_switch_latency) {
+  DESLP_EXPECTS(!levels_.empty());
+  for (std::size_t i = 1; i < levels_.size(); ++i)
+    DESLP_EXPECTS(levels_[i].frequency > levels_[i - 1].frequency);
+}
+
+const OperatingPoint& CpuSpec::level(int idx) const {
+  DESLP_EXPECTS(idx >= 0 && idx < level_count());
+  return levels_[static_cast<std::size_t>(idx)];
+}
+
+Amps CpuSpec::current(Mode mode, int idx) const {
+  const OperatingPoint& op = level(idx);
+  const OperatingPoint& top = levels_.back();
+  const double f_ratio = op.frequency / top.frequency;
+  const double v_ratio = op.voltage / top.voltage;
+  const ModeCurrentModel& m = models_[static_cast<int>(mode)];
+  return m.base + m.span * (f_ratio * v_ratio * v_ratio);
+}
+
+Amps CpuSpec::dynamic_current(Mode mode, int idx) const {
+  return current(mode, idx) - base_current(mode);
+}
+
+Amps CpuSpec::base_current(Mode mode) const {
+  return models_[static_cast<int>(mode)].base;
+}
+
+Seconds CpuSpec::time_for(Cycles work, int idx) const {
+  DESLP_EXPECTS(work.value() >= 0.0);
+  return execution_time(work, level(idx).frequency);
+}
+
+Cycles CpuSpec::work_in(Seconds t, int idx) const {
+  DESLP_EXPECTS(t.value() >= 0.0);
+  return deslp::work(level(idx).frequency, t);
+}
+
+int CpuSpec::min_level_for_frequency(Hertz f) const {
+  // Relative epsilon: a demand computed as work/budget that lands exactly
+  // on a table frequency must select it despite rounding.
+  for (int i = 0; i < level_count(); ++i)
+    if (level(i).frequency.value() * (1.0 + 1e-9) >= f.value()) return i;
+  return -1;
+}
+
+int CpuSpec::min_level_for(Cycles work, Seconds budget) const {
+  DESLP_EXPECTS(budget.value() > 0.0);
+  return min_level_for_frequency(required_frequency(work, budget));
+}
+
+Hertz CpuSpec::required_frequency(Cycles work, Seconds budget) {
+  DESLP_EXPECTS(budget.value() > 0.0);
+  return Hertz{work.value() / budget.value()};
+}
+
+const CpuSpec& itsy_sa1100() {
+  // Frequency/voltage table exactly as printed on the Fig. 7 axis.
+  // Current model fitted to the anchors the paper states outright:
+  //   comm @206.4 MHz = 110 mA and comm @59 MHz = 40 mA  (§6.3),
+  //   comm @103.2 MHz ~ 55 mA                            (§6.5; the fitted
+  //                                                       curve gives 53.5),
+  //   computation tops the chart at ~130 mA, idle bottoms at ~30 mA
+  //   ("three curves range from 30 mA to 130 mA", §4.4).
+  static const CpuSpec spec{
+      "Itsy SA-1100",
+      {
+          {megahertz(59.0), volts(0.919)},
+          {megahertz(73.7), volts(0.978)},
+          {megahertz(88.5), volts(1.067)},
+          {megahertz(103.2), volts(1.067)},
+          {megahertz(118.0), volts(1.126)},
+          {megahertz(132.7), volts(1.156)},
+          {megahertz(147.5), volts(1.156)},
+          {megahertz(162.2), volts(1.215)},
+          {megahertz(176.9), volts(1.304)},
+          {megahertz(191.7), volts(1.363)},
+          {megahertz(206.4), volts(1.393)},
+      },
+      /*idle=*/{milliamps(25.0), milliamps(40.0)},
+      /*comm=*/{milliamps(30.1), milliamps(79.9)},
+      /*comp=*/{milliamps(36.4), milliamps(93.6)},
+      // SA-1100 PLL relock time; the paper treats switches as free next to
+      // the 50-100 ms transaction startup, and so do the experiments.
+      /*dvs_switch_latency=*/microseconds(150.0),
+  };
+  return spec;
+}
+
+int sa1100_level_mhz(double mhz) {
+  const CpuSpec& spec = itsy_sa1100();
+  for (int i = 0; i < spec.level_count(); ++i) {
+    if (std::abs(to_megahertz(spec.level(i).frequency) - mhz) < 0.05) return i;
+  }
+  DESLP_EXPECTS(!"sa1100_level_mhz: no such frequency level");
+  return -1;
+}
+
+}  // namespace deslp::cpu

@@ -1,0 +1,103 @@
+// Voltage-scalable CPU model.
+//
+// A `CpuSpec` is a table of DVS operating points (frequency/voltage pairs)
+// plus a per-mode current model. The paper's platform is the StrongARM
+// SA-1100 in the Itsy pocket computer: 11 frequency levels from 59 to
+// 206.4 MHz (the hardware exposes 43 voltage DAC codes; the 11 operating
+// points used in the paper's Fig. 7 are reproduced here). Performance
+// degrades linearly with clock rate (paper §4.3), so task time is
+// cycles / frequency.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/units.h"
+
+namespace deslp::cpu {
+
+/// CPU activity mode; these are the three curves of the paper's Fig. 7.
+enum class Mode { kIdle = 0, kComm = 1, kComp = 2 };
+
+[[nodiscard]] const char* mode_name(Mode m);
+
+struct OperatingPoint {
+  Hertz frequency;
+  Volts voltage;
+};
+
+/// Net current draw model for one mode, fitted to Fig. 7:
+///   I(level) = base + span * (f/f_top) * (V/V_top)^2
+/// The f*V^2 term is the CMOS dynamic-power shape the paper's §1 cites; the
+/// base term covers the rest of the node (DRAM refresh, regulators, serial
+/// transceiver) which Itsy's battery also feeds.
+struct ModeCurrentModel {
+  Amps base;
+  Amps span;
+};
+
+class CpuSpec {
+ public:
+  CpuSpec(std::string name, std::vector<OperatingPoint> levels,
+          ModeCurrentModel idle, ModeCurrentModel comm, ModeCurrentModel comp,
+          Seconds dvs_switch_latency);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] int level_count() const {
+    return static_cast<int>(levels_.size());
+  }
+  [[nodiscard]] const OperatingPoint& level(int idx) const;
+  [[nodiscard]] int top_level() const { return level_count() - 1; }
+  [[nodiscard]] Hertz max_frequency() const {
+    return levels_.back().frequency;
+  }
+
+  /// Net battery current in `mode` at operating point `idx`.
+  [[nodiscard]] Amps current(Mode mode, int idx) const;
+
+  /// The frequency/voltage-dependent part of `current` alone (the span
+  /// term) — what a CPU-centric DVS analysis counts; the base term is the
+  /// platform's static draw (DRAM, regulators, transceiver).
+  [[nodiscard]] Amps dynamic_current(Mode mode, int idx) const;
+  [[nodiscard]] Amps base_current(Mode mode) const;
+
+  /// Time to retire `work` cycles at level `idx`.
+  [[nodiscard]] Seconds time_for(Cycles work, int idx) const;
+
+  /// Cycles retired in `t` at level `idx`.
+  [[nodiscard]] Cycles work_in(Seconds t, int idx) const;
+
+  /// Lowest level whose frequency is >= `f` (exact matches included);
+  /// returns -1 when even the top level is too slow.
+  [[nodiscard]] int min_level_for_frequency(Hertz f) const;
+
+  /// Lowest level that retires `work` cycles within `budget`;
+  /// returns -1 when infeasible even at the top level.
+  [[nodiscard]] int min_level_for(Cycles work, Seconds budget) const;
+
+  /// The frequency a (possibly hypothetical, beyond-top) processor would
+  /// need to retire `work` in `budget`. Used to report Fig. 8's infeasible
+  /// ">206.4 MHz" partitioning scheme.
+  [[nodiscard]] static Hertz required_frequency(Cycles work, Seconds budget);
+
+  [[nodiscard]] Seconds dvs_switch_latency() const {
+    return dvs_switch_latency_;
+  }
+
+ private:
+  std::string name_;
+  std::vector<OperatingPoint> levels_;
+  ModeCurrentModel models_[3];
+  Seconds dvs_switch_latency_;
+};
+
+/// The Itsy's SA-1100, calibrated to the paper (see sa1100.cc for the
+/// anchor points taken from Fig. 7 and §6).
+[[nodiscard]] const CpuSpec& itsy_sa1100();
+
+/// Index of the SA-1100 level with the given MHz rating (e.g. 59, 103.2,
+/// 206.4). Aborts if no level matches within 0.05 MHz — the paper only ever
+/// names exact table frequencies.
+[[nodiscard]] int sa1100_level_mhz(double mhz);
+
+}  // namespace deslp::cpu

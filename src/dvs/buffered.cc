@@ -1,0 +1,37 @@
+#include "dvs/buffered.h"
+
+#include "util/check.h"
+
+namespace deslp::dvs {
+
+BufferedAnalysis buffered_min_speed(const std::vector<Seconds>& arrivals,
+                                    Cycles work_per_frame,
+                                    Seconds frame_delay, Seconds send_time,
+                                    int buffer_frames,
+                                    const cpu::CpuSpec& cpu) {
+  DESLP_EXPECTS(!arrivals.empty());
+  DESLP_EXPECTS(work_per_frame.value() > 0.0);
+  DESLP_EXPECTS(frame_delay.value() > 0.0);
+  DESLP_EXPECTS(buffer_frames >= 0);
+
+  BufferedAnalysis out;
+  out.added_latency = frame_delay * static_cast<double>(buffer_frames);
+  for (std::size_t i = 0; i < arrivals.size(); ++i) {
+    Job job;
+    job.arrival = arrivals[i].value();
+    job.deadline = (static_cast<double>(i) + 1.0 +
+                    static_cast<double>(buffer_frames)) *
+                       frame_delay.value() -
+                   send_time.value();
+    DESLP_EXPECTS(job.deadline > job.arrival);
+    job.work = work_per_frame.value();
+    job.id = static_cast<int>(i);
+    out.jobs.push_back(job);
+  }
+  const ConstantSpeedResult c = min_constant_speed(out.jobs);
+  out.min_speed = hertz(c.speed);
+  out.level = cpu.min_level_for_frequency(out.min_speed);
+  return out;
+}
+
+}  // namespace deslp::dvs

@@ -1,0 +1,36 @@
+// Buffered DVS (the technique family of Im et al. [4] in the paper's §2):
+// inserting a B-frame buffer in front of the processor relaxes each
+// frame's deadline by B frame delays, letting a constant-speed processor
+// absorb arrival jitter and run closer to the long-run average demand —
+// at the price of B*D added end-to-end latency.
+#pragma once
+
+#include <vector>
+
+#include "cpu/cpu.h"
+#include "dvs/yao.h"
+#include "util/units.h"
+
+namespace deslp::dvs {
+
+struct BufferedAnalysis {
+  /// Minimum feasible constant speed (Hz) with the buffer in place.
+  Hertz min_speed;
+  /// Lowest DVS level sustaining it (-1 if above the top level).
+  int level = -1;
+  /// Added end-to-end latency: buffer_frames * frame_delay.
+  Seconds added_latency;
+  /// The jobs used (for further analysis, e.g. yao_schedule()).
+  std::vector<Job> jobs;
+};
+
+/// Analyse a horizon of frames whose compute phases become available at
+/// `arrivals[i]` (absolute seconds; typically i*D + recv_time + jitter) and
+/// whose un-buffered deadlines are (i+1)*D - send_time. A buffer of
+/// `buffer_frames` shifts every deadline right by that many frame delays.
+[[nodiscard]] BufferedAnalysis buffered_min_speed(
+    const std::vector<Seconds>& arrivals, Cycles work_per_frame,
+    Seconds frame_delay, Seconds send_time, int buffer_frames,
+    const cpu::CpuSpec& cpu);
+
+}  // namespace deslp::dvs

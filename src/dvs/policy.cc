@@ -1,0 +1,95 @@
+#include "dvs/policy.h"
+
+#include "util/check.h"
+
+namespace deslp::dvs {
+
+namespace {
+
+class FixedPolicy final : public Policy {
+ public:
+  explicit FixedPolicy(int level) : level_(level) {}
+
+  LevelAssignment assign(const cpu::CpuSpec& cpu,
+                         const FrameContext&) const override {
+    DESLP_EXPECTS(level_ >= 0 && level_ < cpu.level_count());
+    return {level_, level_, level_};
+  }
+
+  [[nodiscard]] std::string name() const override {
+    return "fixed(level=" + std::to_string(level_) + ")";
+  }
+  [[nodiscard]] std::unique_ptr<Policy> clone() const override {
+    return std::make_unique<FixedPolicy>(*this);
+  }
+
+ private:
+  int level_;
+};
+
+class DvsDuringIoPolicy final : public Policy {
+ public:
+  explicit DvsDuringIoPolicy(int comp_level) : comp_level_(comp_level) {}
+
+  LevelAssignment assign(const cpu::CpuSpec& cpu,
+                         const FrameContext&) const override {
+    DESLP_EXPECTS(comp_level_ >= 0 && comp_level_ < cpu.level_count());
+    return {comp_level_, 0, 0};
+  }
+
+  [[nodiscard]] std::string name() const override {
+    return "dvs-during-io(comp=" + std::to_string(comp_level_) + ")";
+  }
+  [[nodiscard]] std::unique_ptr<Policy> clone() const override {
+    return std::make_unique<DvsDuringIoPolicy>(*this);
+  }
+
+ private:
+  int comp_level_;
+};
+
+class MinFeasiblePolicy final : public Policy {
+ public:
+  explicit MinFeasiblePolicy(bool dvs_during_io)
+      : dvs_during_io_(dvs_during_io) {}
+
+  LevelAssignment assign(const cpu::CpuSpec& cpu,
+                         const FrameContext& ctx) const override {
+    int comp = cpu.top_level();
+    if (ctx.frame_delay.value() > 0.0) {
+      const Seconds budget =
+          ctx.frame_delay - ctx.recv_time - ctx.send_time;
+      DESLP_EXPECTS(budget.value() > 0.0);
+      comp = cpu.min_level_for(ctx.work, budget);
+      DESLP_EXPECTS(comp >= 0);
+    }
+    const int io = dvs_during_io_ ? 0 : comp;
+    return {comp, io, io};
+  }
+
+  [[nodiscard]] std::string name() const override {
+    return dvs_during_io_ ? "min-feasible+dvs-io" : "min-feasible";
+  }
+  [[nodiscard]] std::unique_ptr<Policy> clone() const override {
+    return std::make_unique<MinFeasiblePolicy>(*this);
+  }
+
+ private:
+  bool dvs_during_io_;
+};
+
+}  // namespace
+
+std::unique_ptr<Policy> make_fixed_policy(int level) {
+  return std::make_unique<FixedPolicy>(level);
+}
+
+std::unique_ptr<Policy> make_dvs_during_io_policy(int comp_level) {
+  return std::make_unique<DvsDuringIoPolicy>(comp_level);
+}
+
+std::unique_ptr<Policy> make_min_feasible_policy(bool dvs_during_io) {
+  return std::make_unique<MinFeasiblePolicy>(dvs_during_io);
+}
+
+}  // namespace deslp::dvs

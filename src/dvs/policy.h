@@ -1,0 +1,61 @@
+// DVS policies: how a node picks operating points for its per-frame
+// segments. These correspond to the paper's techniques:
+//   fixed            baseline (§5.1) — everything at one level;
+//   dvs-during-io    §5.2 — communication and idle at the lowest level,
+//                    computation at the configured level;
+//   min-feasible     §5.3 — computation at the lowest level that still
+//                    meets the frame delay, given the I/O times.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "cpu/cpu.h"
+#include "util/units.h"
+
+namespace deslp::dvs {
+
+struct LevelAssignment {
+  int comp_level = 0;
+  int comm_level = 0;
+  int idle_level = 0;
+};
+
+/// The static per-frame context a policy assigns levels for.
+struct FrameContext {
+  Cycles work;
+  Seconds recv_time;
+  Seconds send_time;
+  /// Zero disables the deadline (continuous operation).
+  Seconds frame_delay;
+};
+
+class Policy {
+ public:
+  virtual ~Policy() = default;
+
+  /// Pick levels for the context. Aborts if the context is infeasible at
+  /// the top level — callers must partition feasibly first (§5.3 analysis).
+  [[nodiscard]] virtual LevelAssignment assign(
+      const cpu::CpuSpec& cpu, const FrameContext& ctx) const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+  [[nodiscard]] virtual std::unique_ptr<Policy> clone() const = 0;
+};
+
+/// Everything (comp/comm/idle) at `level`.
+[[nodiscard]] std::unique_ptr<Policy> make_fixed_policy(int level);
+
+/// Computation at `comp_level`; communication and idle at the lowest level
+/// (the paper's measurement: wire time does not increase at a lower clock,
+/// §6.3).
+[[nodiscard]] std::unique_ptr<Policy> make_dvs_during_io_policy(
+    int comp_level);
+
+/// Computation at the minimum feasible level for the context;
+/// communication/idle at the lowest level when `dvs_during_io` is set,
+/// else at the computation level.
+[[nodiscard]] std::unique_ptr<Policy> make_min_feasible_policy(
+    bool dvs_during_io);
+
+}  // namespace deslp::dvs

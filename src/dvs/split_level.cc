@@ -1,0 +1,82 @@
+#include "dvs/split_level.h"
+
+#include "util/check.h"
+
+namespace deslp::dvs {
+
+SplitSchedule split_level_schedule(const cpu::CpuSpec& cpu, Cycles work,
+                                   Seconds budget) {
+  DESLP_EXPECTS(work.value() >= 0.0);
+  DESLP_EXPECTS(budget.value() > 0.0);
+  SplitSchedule s;
+
+  const Hertz ideal = cpu::CpuSpec::required_frequency(work, budget);
+  const int hi = cpu.min_level_for_frequency(ideal);
+  if (hi < 0) return s;  // infeasible even at the top level
+  s.feasible = true;
+
+  if (hi == 0 || cpu.time_for(work, hi) >= budget * (1.0 - 1e-12)) {
+    // Demand lands at/below the bottom level or exactly on a table entry:
+    // a single level already fills (or underfills, at level 0) the budget.
+    s.level_lo = s.level_hi = hi;
+    s.cycles_hi = work;
+    s.time_hi = cpu.time_for(work, hi);
+    return s;
+  }
+
+  const int lo = hi - 1;
+  const double f_lo = cpu.level(lo).frequency.value();
+  const double f_hi = cpu.level(hi).frequency.value();
+  // Solve t_lo + t_hi = budget, f_lo*t_lo + f_hi*t_hi = work:
+  //   t_hi = (work - f_lo * budget) / (f_hi - f_lo).
+  const double t_hi =
+      (work.value() - f_lo * budget.value()) / (f_hi - f_lo);
+  DESLP_ENSURES(t_hi >= 0.0 && t_hi <= budget.value() * (1.0 + 1e-12));
+  s.level_lo = lo;
+  s.level_hi = hi;
+  s.time_hi = seconds(t_hi);
+  s.time_lo = budget - s.time_hi;
+  s.cycles_hi = deslp::work(cpu.level(hi).frequency, s.time_hi);
+  s.cycles_lo = work - s.cycles_hi;
+  return s;
+}
+
+Amps split_average_current(const cpu::CpuSpec& cpu,
+                           const SplitSchedule& schedule, cpu::Mode mode,
+                           Seconds budget, int idle_level) {
+  DESLP_EXPECTS(schedule.feasible);
+  const double busy =
+      schedule.time_lo.value() + schedule.time_hi.value();
+  DESLP_EXPECTS(busy <= budget.value() * (1.0 + 1e-9));
+  double q = cpu.current(mode, schedule.level_lo).value() *
+                 schedule.time_lo.value() +
+             cpu.current(mode, schedule.level_hi).value() *
+                 schedule.time_hi.value();
+  const double slack = budget.value() - busy;
+  if (slack > 0.0)
+    q += cpu.current(cpu::Mode::kIdle, idle_level).value() * slack;
+  return amps(q / budget.value());
+}
+
+Coulombs split_compute_charge(const cpu::CpuSpec& cpu,
+                              const SplitSchedule& schedule) {
+  DESLP_EXPECTS(schedule.feasible);
+  return charge(cpu.current(cpu::Mode::kComp, schedule.level_lo),
+                schedule.time_lo) +
+         charge(cpu.current(cpu::Mode::kComp, schedule.level_hi),
+                schedule.time_hi);
+}
+
+Coulombs single_level_compute_charge(const cpu::CpuSpec& cpu, Cycles work,
+                                     Seconds budget, int idle_level) {
+  const int level = cpu.min_level_for(work, budget);
+  DESLP_EXPECTS(level >= 0);
+  const Seconds busy = cpu.time_for(work, level);
+  Coulombs q = charge(cpu.current(cpu::Mode::kComp, level), busy);
+  const Seconds slack = budget - busy;
+  if (slack.value() > 0.0)
+    q += charge(cpu.current(cpu::Mode::kIdle, idle_level), slack);
+  return q;
+}
+
+}  // namespace deslp::dvs

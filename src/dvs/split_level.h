@@ -1,0 +1,53 @@
+// Two-level intra-task DVS (the technique family of Shin et al. [8] in the
+// paper's §2): when the ideal frequency for a task lies between two table
+// entries, running part of the work at the level just below and the rest at
+// the level just above finishes exactly on the deadline and — for any
+// convex power curve — costs no more energy than rounding the whole task up
+// to the higher level. On the Itsy profile this matters: the partitioned
+// Node2 needs 93.1 MHz but the SA-1100 only offers 88.5 and 103.2.
+#pragma once
+
+#include "cpu/cpu.h"
+#include "util/units.h"
+
+namespace deslp::dvs {
+
+struct SplitSchedule {
+  /// True when the work fits the budget at all (at the top level).
+  bool feasible = false;
+  /// Levels straddling the ideal frequency (lo == hi when the demand lands
+  /// exactly on a table entry or below the bottom level).
+  int level_lo = 0;
+  int level_hi = 0;
+  /// Time spent at each level; t_lo + t_hi <= budget, with equality unless
+  /// the schedule degenerates to a single level with slack.
+  Seconds time_lo;
+  Seconds time_hi;
+  /// Work retired at each level (cycles_lo + cycles_hi == work).
+  Cycles cycles_lo;
+  Cycles cycles_hi;
+};
+
+/// Compute the deadline-filling two-level split of `work` over `budget`.
+[[nodiscard]] SplitSchedule split_level_schedule(const cpu::CpuSpec& cpu,
+                                                 Cycles work, Seconds budget);
+
+/// Average current of a schedule in `mode` (time-weighted over the budget,
+/// idling at `idle_level` for any slack).
+[[nodiscard]] Amps split_average_current(const cpu::CpuSpec& cpu,
+                                         const SplitSchedule& schedule,
+                                         cpu::Mode mode, Seconds budget,
+                                         int idle_level);
+
+/// Charge drawn per frame by the schedule's computation phases alone.
+[[nodiscard]] Coulombs split_compute_charge(const cpu::CpuSpec& cpu,
+                                            const SplitSchedule& schedule);
+
+/// Charge drawn per frame when the whole task instead runs at the single
+/// minimum feasible level and idles out the slack (the paper's scheme).
+[[nodiscard]] Coulombs single_level_compute_charge(const cpu::CpuSpec& cpu,
+                                                   Cycles work,
+                                                   Seconds budget,
+                                                   int idle_level);
+
+}  // namespace deslp::dvs

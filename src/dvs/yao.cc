@@ -1,0 +1,207 @@
+#include "dvs/yao.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "util/check.h"
+
+namespace deslp::dvs {
+
+namespace {
+
+/// Sorted, disjoint blocked (already-scheduled) intervals.
+class BlockedSet {
+ public:
+  void add(double a, double b) {
+    DESLP_EXPECTS(b >= a);
+    intervals_.emplace_back(a, b);
+    std::sort(intervals_.begin(), intervals_.end());
+    // Merge overlaps.
+    std::vector<std::pair<double, double>> merged;
+    for (const auto& iv : intervals_) {
+      if (!merged.empty() && iv.first <= merged.back().second) {
+        merged.back().second = std::max(merged.back().second, iv.second);
+      } else {
+        merged.push_back(iv);
+      }
+    }
+    intervals_ = std::move(merged);
+  }
+
+  /// Total blocked length within [a, b].
+  [[nodiscard]] double overlap(double a, double b) const {
+    double total = 0.0;
+    for (const auto& [lo, hi] : intervals_) {
+      const double x = std::max(a, lo);
+      const double y = std::min(b, hi);
+      if (y > x) total += y - x;
+    }
+    return total;
+  }
+
+  /// Sub-intervals of [a, b] that are NOT blocked.
+  [[nodiscard]] std::vector<std::pair<double, double>> gaps(double a,
+                                                            double b) const {
+    std::vector<std::pair<double, double>> out;
+    double cursor = a;
+    for (const auto& [lo, hi] : intervals_) {
+      if (hi <= a || lo >= b) continue;
+      if (lo > cursor) out.emplace_back(cursor, std::min(lo, b));
+      cursor = std::max(cursor, hi);
+      if (cursor >= b) break;
+    }
+    if (cursor < b) out.emplace_back(cursor, b);
+    return out;
+  }
+
+ private:
+  std::vector<std::pair<double, double>> intervals_;
+};
+
+}  // namespace
+
+YaoSchedule::YaoSchedule(std::vector<SpeedSegment> segments)
+    : segments_(std::move(segments)) {
+  std::sort(segments_.begin(), segments_.end(),
+            [](const SpeedSegment& a, const SpeedSegment& b) {
+              return a.begin < b.begin;
+            });
+  for (std::size_t i = 0; i < segments_.size(); ++i) {
+    DESLP_EXPECTS(segments_[i].end >= segments_[i].begin);
+    DESLP_EXPECTS(segments_[i].speed >= 0.0);
+    if (i > 0) DESLP_EXPECTS(segments_[i].begin >= segments_[i - 1].end);
+  }
+}
+
+double YaoSchedule::speed_at(double t) const {
+  for (const auto& s : segments_)
+    if (t >= s.begin && t < s.end) return s.speed;
+  return 0.0;
+}
+
+double YaoSchedule::max_speed() const {
+  double m = 0.0;
+  for (const auto& s : segments_) m = std::max(m, s.speed);
+  return m;
+}
+
+double YaoSchedule::total_work() const {
+  double w = 0.0;
+  for (const auto& s : segments_) w += s.speed * (s.end - s.begin);
+  return w;
+}
+
+double YaoSchedule::energy(double exponent) const {
+  DESLP_EXPECTS(exponent >= 1.0);
+  double e = 0.0;
+  for (const auto& s : segments_)
+    e += std::pow(s.speed, exponent) * (s.end - s.begin);
+  return e;
+}
+
+YaoSchedule yao_schedule(std::vector<Job> jobs) {
+  for (const auto& j : jobs) {
+    DESLP_EXPECTS(j.deadline > j.arrival);
+    DESLP_EXPECTS(j.work >= 0.0);
+  }
+  // Drop zero-work jobs; they never affect the schedule.
+  std::erase_if(jobs, [](const Job& j) { return j.work == 0.0; });
+
+  std::vector<SpeedSegment> segments;
+  BlockedSet blocked;
+  std::vector<bool> done(jobs.size(), false);
+  std::size_t remaining = jobs.size();
+
+  while (remaining > 0) {
+    // Find the critical interval among unscheduled jobs: the candidate
+    // boundaries are job arrivals and deadlines; the usable length of
+    // [a, d] excludes already-blocked time (this is YDS's timeline
+    // compression, kept in original coordinates).
+    double best_g = -1.0;
+    double best_a = 0.0, best_d = 0.0;
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      if (done[i]) continue;
+      for (std::size_t j = 0; j < jobs.size(); ++j) {
+        if (done[j]) continue;
+        const double a = jobs[i].arrival;
+        const double d = jobs[j].deadline;
+        if (d <= a) continue;
+        double w = 0.0;
+        for (std::size_t k = 0; k < jobs.size(); ++k) {
+          if (done[k]) continue;
+          if (jobs[k].arrival >= a && jobs[k].deadline <= d) w += jobs[k].work;
+        }
+        if (w == 0.0) continue;
+        const double usable = (d - a) - blocked.overlap(a, d);
+        DESLP_ENSURES(usable > 0.0);  // contained jobs need usable time
+        const double g = w / usable;
+        if (g > best_g) {
+          best_g = g;
+          best_a = a;
+          best_d = d;
+        }
+      }
+    }
+    DESLP_ENSURES(best_g > 0.0);
+
+    // Emit the unblocked parts of the critical interval at the critical
+    // speed, then retire the contained jobs and block the interval.
+    for (const auto& [lo, hi] : blocked.gaps(best_a, best_d))
+      segments.push_back(SpeedSegment{lo, hi, best_g});
+    for (std::size_t k = 0; k < jobs.size(); ++k) {
+      if (done[k]) continue;
+      if (jobs[k].arrival >= best_a && jobs[k].deadline <= best_d) {
+        done[k] = true;
+        --remaining;
+      }
+    }
+    blocked.add(best_a, best_d);
+  }
+
+  // Coalesce adjacent segments with equal speed for a tidy result.
+  std::sort(segments.begin(), segments.end(),
+            [](const SpeedSegment& a, const SpeedSegment& b) {
+              return a.begin < b.begin;
+            });
+  std::vector<SpeedSegment> tidy;
+  for (const auto& s : segments) {
+    if (!tidy.empty() && tidy.back().end == s.begin &&
+        tidy.back().speed == s.speed) {
+      tidy.back().end = s.end;
+    } else {
+      tidy.push_back(s);
+    }
+  }
+  return YaoSchedule{std::move(tidy)};
+}
+
+ConstantSpeedResult min_constant_speed(const std::vector<Job>& jobs,
+                                       double exponent) {
+  // The minimum constant speed is the peak intensity over all intervals
+  // (the first critical interval's g).
+  double best_g = 0.0;
+  double total_work = 0.0;
+  for (const auto& ji : jobs) {
+    total_work += ji.work;
+    for (const auto& jj : jobs) {
+      const double a = ji.arrival;
+      const double d = jj.deadline;
+      if (d <= a) continue;
+      double w = 0.0;
+      for (const auto& jk : jobs)
+        if (jk.arrival >= a && jk.deadline <= d) w += jk.work;
+      best_g = std::max(best_g, w / (d - a));
+    }
+  }
+  ConstantSpeedResult out;
+  out.speed = best_g;
+  if (best_g > 0.0) {
+    out.busy_time = total_work / best_g;
+    out.energy = std::pow(best_g, exponent) * out.busy_time;
+  }
+  return out;
+}
+
+}  // namespace deslp::dvs

@@ -1,0 +1,72 @@
+// Yao–Demers–Shenker optimal offline voltage schedule (FOCS'95), the
+// foundational model the paper's related work starts from (§2, [10]).
+//
+// Given jobs with arrival times, deadlines, and work, the algorithm
+// repeatedly extracts the *critical interval* — the interval [a, d]
+// maximising intensity g(I) = (work of jobs contained in I) / |I| — runs
+// those jobs at exactly that speed (EDF inside the interval), removes them,
+// and compresses time. The resulting piecewise-constant speed function
+// minimises total energy for any convex power-speed curve.
+//
+// Used by the ablation benches to bound how much a clairvoyant per-frame
+// schedule could beat the paper's constant-speed assignments.
+#pragma once
+
+#include <vector>
+
+namespace deslp::dvs {
+
+struct Job {
+  double arrival = 0.0;
+  double deadline = 0.0;
+  double work = 0.0;  // cycles (any consistent unit)
+  int id = 0;
+};
+
+struct SpeedSegment {
+  double begin = 0.0;
+  double end = 0.0;
+  double speed = 0.0;  // work units per time unit
+};
+
+class YaoSchedule {
+ public:
+  explicit YaoSchedule(std::vector<SpeedSegment> segments);
+
+  [[nodiscard]] const std::vector<SpeedSegment>& segments() const {
+    return segments_;
+  }
+
+  /// Speed at time t (0 outside all segments).
+  [[nodiscard]] double speed_at(double t) const;
+
+  /// Peak speed — the minimum top frequency a processor needs.
+  [[nodiscard]] double max_speed() const;
+
+  /// Total work scheduled.
+  [[nodiscard]] double total_work() const;
+
+  /// Energy under power = speed^exponent (exponent 3 ~ f * V^2 with V
+  /// proportional to f).
+  [[nodiscard]] double energy(double exponent = 3.0) const;
+
+ private:
+  std::vector<SpeedSegment> segments_;
+};
+
+/// Compute the optimal schedule. Jobs must have deadline > arrival and
+/// work >= 0.
+[[nodiscard]] YaoSchedule yao_schedule(std::vector<Job> jobs);
+
+/// Energy of running the same jobs at one constant speed chosen as the
+/// minimum feasible constant speed (for comparison against the optimum).
+/// Returns {speed, energy(exponent)}.
+struct ConstantSpeedResult {
+  double speed = 0.0;
+  double energy = 0.0;
+  double busy_time = 0.0;
+};
+[[nodiscard]] ConstantSpeedResult min_constant_speed(
+    const std::vector<Job>& jobs, double exponent = 3.0);
+
+}  // namespace deslp::dvs

@@ -1,0 +1,96 @@
+#include "net/hub.h"
+
+#include "util/check.h"
+
+namespace deslp::net {
+
+const char* msg_kind_name(MsgKind k) {
+  switch (k) {
+    case MsgKind::kData:
+      return "DATA";
+    case MsgKind::kAck:
+      return "ACK";
+    case MsgKind::kControl:
+      return "CTRL";
+  }
+  return "?";
+}
+
+Hub::Hub(sim::Engine& engine, LinkSpec link_spec, Seconds forward_latency,
+         std::uint64_t seed)
+    : engine_(engine),
+      link_spec_(link_spec),
+      forward_latency_(forward_latency),
+      seed_(seed) {
+  DESLP_EXPECTS(forward_latency.value() >= 0.0);
+}
+
+sim::Channel<Delivery>& Hub::attach(Address addr) {
+  DESLP_EXPECTS(endpoints_.find(addr) == endpoints_.end());
+  Endpoint& ep = endpoints_[addr];
+  ep.mailbox = std::make_unique<sim::Channel<Delivery>>(engine_);
+  ep.link = std::make_unique<SerialLink>(
+      link_spec_, seed_ + static_cast<std::uint64_t>(addr) * 7919);
+  return *ep.mailbox;
+}
+
+Hub::Endpoint& Hub::endpoint(Address addr) {
+  auto it = endpoints_.find(addr);
+  DESLP_EXPECTS(it != endpoints_.end());
+  return it->second;
+}
+
+const Hub::Endpoint* Hub::find(Address addr) const {
+  auto it = endpoints_.find(addr);
+  return it == endpoints_.end() ? nullptr : &it->second;
+}
+
+Seconds Hub::begin_send(const Message& msg) {
+  DESLP_EXPECTS(msg.src != msg.dst);
+  Endpoint& src = endpoint(msg.src);
+  const Seconds wire_time = src.link->transaction_time(msg.size);
+
+  ++stats_.transactions;
+  stats_.payload_routed += msg.size;
+
+  const Endpoint* dst = find(msg.dst);
+  if (dst == nullptr || dst->failed) {
+    ++stats_.dropped_to_failed;
+    return wire_time;
+  }
+  // Cut-through: the receiver's window opens one forward latency later.
+  sim::Channel<Delivery>* mailbox = dst->mailbox.get();
+  const Message delivered = msg;
+  engine_.schedule_after(
+      sim::from_seconds(forward_latency_), [this, mailbox, delivered,
+                                            wire_time] {
+        // Re-check failure at delivery time: the destination may have died
+        // while the bytes were in flight.
+        if (endpoints_[delivered.dst].failed) {
+          ++stats_.dropped_to_failed;
+          return;
+        }
+        mailbox->send(Delivery{delivered, engine_.now(), wire_time});
+      });
+  return wire_time;
+}
+
+Seconds Hub::expected_wire_time(Address src, Bytes payload) const {
+  const Endpoint* ep = find(src);
+  DESLP_EXPECTS(ep != nullptr);
+  return ep->link->expected_transaction_time(payload);
+}
+
+void Hub::set_failed(Address addr, bool failed) {
+  Endpoint& ep = endpoint(addr);
+  ep.failed = failed;
+  if (failed) ep.mailbox->close();
+}
+
+bool Hub::failed(Address addr) const {
+  const Endpoint* ep = find(addr);
+  DESLP_EXPECTS(ep != nullptr);
+  return ep->failed;
+}
+
+}  // namespace deslp::net

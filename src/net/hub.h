@@ -1,0 +1,77 @@
+// Host hub: the star topology of Fig. 5.
+//
+// Every Itsy node hangs off the host computer on its own serial/PPP link;
+// the host runs IP forwarding so nodes address each other transparently.
+// The hub routes messages between endpoints with cut-through semantics: the
+// receiver's wire window starts one forward-latency after the sender's, so
+// SEND(i) and RECV(i+1) overlap as in the paper's Fig. 3 timing diagram.
+//
+// Energy/timing contract with the node layer: the *sender* calls
+// `begin_send` at transaction start and must then keep its port busy for
+// the returned wire time; the *receiver* pulls a Delivery from its mailbox
+// and must keep its port busy for `Delivery::wire_time` before acting on
+// the message.
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "net/link.h"
+#include "net/message.h"
+#include "sim/channel.h"
+#include "sim/engine.h"
+
+namespace deslp::net {
+
+struct HubStats {
+  long long transactions = 0;
+  long long dropped_to_failed = 0;
+  Bytes payload_routed;
+};
+
+class Hub {
+ public:
+  Hub(sim::Engine& engine, LinkSpec link_spec,
+      Seconds forward_latency = milliseconds(5.0), std::uint64_t seed = 42);
+
+  /// Register endpoint `addr` and get its receive mailbox. Each address may
+  /// be attached once.
+  sim::Channel<Delivery>& attach(Address addr);
+
+  /// Start a transaction from msg.src to msg.dst. Returns the wire time the
+  /// sender must stay busy for. The delivery lands in the destination
+  /// mailbox after the forward latency (dropped if the destination has
+  /// failed or never attached).
+  Seconds begin_send(const Message& msg);
+
+  /// Wire time a send of `payload` from `src` would take, without starting
+  /// one (consumes no PRNG draw).
+  [[nodiscard]] Seconds expected_wire_time(Address src, Bytes payload) const;
+
+  /// Mark/unmark an endpoint as failed. Messages routed to a failed
+  /// endpoint vanish (its PPP peer is gone).
+  void set_failed(Address addr, bool failed);
+  [[nodiscard]] bool failed(Address addr) const;
+
+  [[nodiscard]] const HubStats& stats() const { return stats_; }
+  [[nodiscard]] const LinkSpec& link_spec() const { return link_spec_; }
+
+ private:
+  struct Endpoint {
+    std::unique_ptr<sim::Channel<Delivery>> mailbox;
+    std::unique_ptr<SerialLink> link;  // the node's own serial line
+    bool failed = false;
+  };
+
+  Endpoint& endpoint(Address addr);
+  [[nodiscard]] const Endpoint* find(Address addr) const;
+
+  sim::Engine& engine_;
+  LinkSpec link_spec_;
+  Seconds forward_latency_;
+  std::uint64_t seed_;
+  std::map<Address, Endpoint> endpoints_;
+  HubStats stats_;
+};
+
+}  // namespace deslp::net

@@ -1,0 +1,55 @@
+#include "net/link.h"
+
+#include "util/check.h"
+
+namespace deslp::net {
+
+LinkSpec itsy_serial_link() { return LinkSpec{}; }
+
+LinkSpec i2c_fast_link() {
+  LinkSpec spec;
+  spec.line_rate = kilobits_per_second(400.0);
+  // 9 bits per octet on the wire plus addressing: ~73% goodput.
+  spec.effective_rate = kilobits_per_second(292.0);
+  spec.startup_min = milliseconds(1.0);
+  spec.startup_max = milliseconds(3.0);
+  return spec;
+}
+
+LinkSpec can_link(double kbps) {
+  LinkSpec spec;
+  spec.line_rate = kilobits_per_second(kbps);
+  // 8-byte payloads in ~130-bit frames with stuffing: ~50% goodput.
+  spec.effective_rate = kilobits_per_second(kbps * 0.5);
+  spec.startup_min = milliseconds(0.5);
+  spec.startup_max = milliseconds(2.0);
+  return spec;
+}
+
+SerialLink::SerialLink(LinkSpec spec, std::uint64_t seed)
+    : spec_(spec), rng_(seed) {
+  DESLP_EXPECTS(spec_.line_rate.value() > 0.0);
+  DESLP_EXPECTS(spec_.effective_rate.value() > 0.0);
+  DESLP_EXPECTS(spec_.effective_rate <= spec_.line_rate);
+  DESLP_EXPECTS(spec_.startup_min.value() >= 0.0);
+  DESLP_EXPECTS(spec_.startup_min <= spec_.startup_max);
+}
+
+Seconds SerialLink::payload_time(Bytes payload) const {
+  DESLP_EXPECTS(payload.count() >= 0);
+  return transfer_time(payload, spec_.effective_rate);
+}
+
+Seconds SerialLink::transaction_time(Bytes payload) {
+  const Seconds startup{rng_.uniform(spec_.startup_min.value(),
+                                     spec_.startup_max.value())};
+  return startup + payload_time(payload);
+}
+
+Seconds SerialLink::expected_transaction_time(Bytes payload) const {
+  const Seconds startup =
+      (spec_.startup_min + spec_.startup_max) * 0.5;
+  return startup + payload_time(payload);
+}
+
+}  // namespace deslp::net

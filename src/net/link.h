@@ -1,0 +1,62 @@
+// Serial link timing model.
+//
+// The paper's platform (§4.2-4.3): PPP over RS-232 at a line rate of
+// 115.2 Kbps, measured effective data rate ≈ 80 Kbps, and a 50-100 ms
+// startup cost for every communication transaction. A transaction's wire
+// time is therefore
+//     startup + payload_bits / effective_rate .
+// Startup is drawn uniformly from [startup_min, startup_max] with a
+// deterministic per-link PRNG so runs replay exactly.
+#pragma once
+
+#include "util/rng.h"
+#include "util/units.h"
+
+namespace deslp::net {
+
+struct LinkSpec {
+  /// Raw UART line rate (115.2 Kbps on Itsy).
+  BitsPerSecond line_rate = kilobits_per_second(115.2);
+  /// Measured goodput after PPP/TCP overhead (≈80 Kbps on Itsy).
+  BitsPerSecond effective_rate = kilobits_per_second(80.0);
+  /// Per-transaction startup window (connection establishment, §4.3).
+  Seconds startup_min = milliseconds(50.0);
+  Seconds startup_max = milliseconds(100.0);
+};
+
+/// The Itsy serial/PPP link as profiled in the paper.
+[[nodiscard]] LinkSpec itsy_serial_link();
+
+/// I2C fast mode (400 Kbps line): the other low-power interconnect the
+/// paper's §1 names. ~73% goodput after addressing/ack bits; short
+/// transaction setup (no PPP/TCP handshake).
+[[nodiscard]] LinkSpec i2c_fast_link();
+
+/// CAN 2.0 at `kbps` (125/250/500 typical, §1's other example): ~50%
+/// goodput after arbitration/framing/stuffing of 8-byte frames; short
+/// setup.
+[[nodiscard]] LinkSpec can_link(double kbps = 250.0);
+
+class SerialLink {
+ public:
+  explicit SerialLink(LinkSpec spec, std::uint64_t seed = 1);
+
+  [[nodiscard]] const LinkSpec& spec() const { return spec_; }
+
+  /// Pure payload clocking time at the effective rate (no startup).
+  [[nodiscard]] Seconds payload_time(Bytes payload) const;
+
+  /// Total wire time of one transaction: jittered startup + payload time.
+  /// Each call consumes one PRNG draw (deterministic sequence per link).
+  [[nodiscard]] Seconds transaction_time(Bytes payload);
+
+  /// Transaction time with the expected (midpoint) startup; used by the
+  /// static schedule analysis, which cannot consume PRNG draws.
+  [[nodiscard]] Seconds expected_transaction_time(Bytes payload) const;
+
+ private:
+  LinkSpec spec_;
+  Rng rng_;
+};
+
+}  // namespace deslp::net

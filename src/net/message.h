@@ -1,0 +1,50 @@
+// Message and delivery types carried over the simulated serial network.
+//
+// A Message is what the application layers exchange; its `size` is the
+// wire payload that determines transfer time and communication energy.
+// A Delivery wraps a message with its wire timing as seen by the receiver.
+#pragma once
+
+#include <string>
+
+#include "sim/time.h"
+#include "util/units.h"
+
+namespace deslp::net {
+
+/// Node addresses. The host computer (external source/sink and PPP hub) is
+/// address 0; Itsy nodes are 1..N.
+using Address = int;
+inline constexpr Address kHostAddress = 0;
+
+enum class MsgKind {
+  kData,     // frame payload (raw image or intermediate result)
+  kAck,      // transport acknowledgment (§5.4 failure-recovery scheme)
+  kControl,  // control plane (failure reports, rotation coordination)
+};
+
+[[nodiscard]] const char* msg_kind_name(MsgKind k);
+
+struct Message {
+  Address src = -1;
+  Address dst = -1;
+  MsgKind kind = MsgKind::kData;
+  /// Frame index the payload belongs to (-1 for pure control traffic).
+  long long frame = -1;
+  /// Pipeline stage whose output this payload is (0 = raw input frame).
+  int stage = 0;
+  /// Wire payload size.
+  Bytes size;
+  /// Free-form annotation, e.g. "failure:2" piggybacked failure reports.
+  std::string note;
+};
+
+/// A message as it arrives at the receiving port: reading it off the wire
+/// keeps the receiver's serial port busy for `wire_time`.
+struct Delivery {
+  Message msg;
+  sim::Time wire_start;
+  Seconds wire_time;
+};
+
+}  // namespace deslp::net

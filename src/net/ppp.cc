@@ -1,0 +1,170 @@
+#include "net/ppp.h"
+
+#include <array>
+
+#include "util/check.h"
+
+namespace deslp::net {
+
+namespace {
+
+bool needs_escape(std::uint8_t b) {
+  // Escape the flag, the escape byte itself, and ASCII control characters
+  // (RFC 1662 default async-control-character-map FFFFFFFF).
+  return b == PppCodec::kFlag || b == PppCodec::kEscape || b < 0x20;
+}
+
+const std::array<std::uint16_t, 256>& fcs_table() {
+  static const std::array<std::uint16_t, 256> table = [] {
+    std::array<std::uint16_t, 256> t{};
+    for (std::uint16_t b = 0; b < 256; ++b) {
+      std::uint16_t v = b;
+      for (int i = 0; i < 8; ++i)
+        v = static_cast<std::uint16_t>((v & 1) ? (v >> 1) ^ 0x8408 : v >> 1);
+      t[b] = v;
+    }
+    return t;
+  }();
+  return table;
+}
+
+void push_escaped(std::vector<std::uint8_t>& out, std::uint8_t b) {
+  if (needs_escape(b)) {
+    out.push_back(PppCodec::kEscape);
+    out.push_back(b ^ PppCodec::kXor);
+  } else {
+    out.push_back(b);
+  }
+}
+
+}  // namespace
+
+std::uint16_t PppCodec::fcs16(std::span<const std::uint8_t> data) {
+  std::uint16_t fcs = 0xFFFF;
+  for (std::uint8_t b : data)
+    fcs = static_cast<std::uint16_t>((fcs >> 8) ^ fcs_table()[(fcs ^ b) & 0xFF]);
+  return static_cast<std::uint16_t>(~fcs);
+}
+
+std::vector<std::uint8_t> PppCodec::encode(
+    std::span<const std::uint8_t> payload) {
+  std::vector<std::uint8_t> out;
+  out.reserve(payload.size() + payload.size() / 4 + 8);
+  out.push_back(kFlag);
+  for (std::uint8_t b : payload) push_escaped(out, b);
+  const std::uint16_t fcs = fcs16(payload);
+  push_escaped(out, static_cast<std::uint8_t>(fcs & 0xFF));
+  push_escaped(out, static_cast<std::uint8_t>(fcs >> 8));
+  out.push_back(kFlag);
+  return out;
+}
+
+std::optional<std::vector<std::uint8_t>> PppCodec::decode(
+    std::span<const std::uint8_t> frame) {
+  if (frame.size() < 2 || frame.front() != kFlag || frame.back() != kFlag)
+    return std::nullopt;
+  std::vector<std::uint8_t> body;
+  body.reserve(frame.size());
+  bool escaped = false;
+  for (std::size_t i = 1; i + 1 < frame.size(); ++i) {
+    const std::uint8_t b = frame[i];
+    if (escaped) {
+      body.push_back(b ^ kXor);
+      escaped = false;
+    } else if (b == kEscape) {
+      escaped = true;
+    } else if (b == kFlag) {
+      return std::nullopt;  // unexpected flag inside the frame
+    } else {
+      body.push_back(b);
+    }
+  }
+  if (escaped) return std::nullopt;          // truncated escape sequence
+  if (body.size() < 2) return std::nullopt;  // no room for the FCS
+  const std::uint16_t got =
+      static_cast<std::uint16_t>(body[body.size() - 2] |
+                                 (body[body.size() - 1] << 8));
+  body.resize(body.size() - 2);
+  if (fcs16(body) != got) return std::nullopt;
+  return body;
+}
+
+std::size_t PppCodec::encoded_size(std::span<const std::uint8_t> payload) {
+  std::size_t n = 2;  // flags
+  for (std::uint8_t b : payload) n += needs_escape(b) ? 2u : 1u;
+  const std::uint16_t fcs = fcs16(payload);
+  n += needs_escape(static_cast<std::uint8_t>(fcs & 0xFF)) ? 2u : 1u;
+  n += needs_escape(static_cast<std::uint8_t>(fcs >> 8)) ? 2u : 1u;
+  return n;
+}
+
+double PppCodec::expected_expansion(std::size_t payload_size) {
+  DESLP_EXPECTS(payload_size > 0);
+  // 34 of 256 byte values are escaped (0x00-0x1F, 0x7D, 0x7E): each costs
+  // one extra wire byte. Two FCS bytes behave like payload; two flags are
+  // fixed overhead.
+  const double p_escape = 34.0 / 256.0;
+  const double n = static_cast<double>(payload_size);
+  return ((n + 2.0) * (1.0 + p_escape) + 2.0) / n;
+}
+
+std::optional<std::vector<std::uint8_t>> PppDeframer::feed(std::uint8_t byte) {
+  if (byte == PppCodec::kFlag) {
+    if (!in_frame_) {
+      in_frame_ = true;
+      buffer_.clear();
+      escaped_ = false;
+      return std::nullopt;
+    }
+    // Closing flag (which also opens the next frame).
+    if (buffer_.empty() && !escaped_) {
+      // Back-to-back flags: stay in frame, nothing accumulated.
+      return std::nullopt;
+    }
+    std::vector<std::uint8_t> body;
+    bool ok = !escaped_ && buffer_.size() >= 2;
+    if (ok) {
+      body.assign(buffer_.begin(), buffer_.end() - 2);
+      const std::uint16_t got = static_cast<std::uint16_t>(
+          buffer_[buffer_.size() - 2] | (buffer_[buffer_.size() - 1] << 8));
+      ok = PppCodec::fcs16(body) == got;
+    }
+    buffer_.clear();
+    escaped_ = false;
+    in_frame_ = true;  // the same flag opens the next frame
+    if (ok) {
+      ++frames_ok_;
+      return body;
+    }
+    ++frames_bad_;
+    return std::nullopt;
+  }
+
+  if (!in_frame_) return std::nullopt;  // inter-frame garbage
+  if (byte == PppCodec::kEscape) {
+    if (escaped_) {  // escape-escape is a protocol error; drop the frame
+      in_frame_ = false;
+      buffer_.clear();
+      escaped_ = false;
+      ++frames_bad_;
+      return std::nullopt;
+    }
+    escaped_ = true;
+    return std::nullopt;
+  }
+  if (escaped_) {
+    buffer_.push_back(byte ^ PppCodec::kXor);
+    escaped_ = false;
+  } else {
+    buffer_.push_back(byte);
+  }
+  return std::nullopt;
+}
+
+void PppDeframer::reset() {
+  buffer_.clear();
+  in_frame_ = false;
+  escaped_ = false;
+}
+
+}  // namespace deslp::net

@@ -1,0 +1,99 @@
+#include "net/reliable.h"
+#include <algorithm>
+
+#include <utility>
+
+#include "util/check.h"
+
+namespace deslp::net {
+
+ReliablePeer::ReliablePeer(sim::Engine& engine, ReliableOptions options,
+                           WireSend wire)
+    : engine_(engine),
+      options_(options),
+      wire_(std::move(wire)),
+      received_(engine) {
+  DESLP_EXPECTS(options_.rto.value() > 0.0);
+  DESLP_EXPECTS(options_.window >= 1);
+  DESLP_EXPECTS(wire_ != nullptr);
+}
+
+void ReliablePeer::send(std::vector<std::uint8_t> payload) {
+  DESLP_EXPECTS(!presumed_dead_);
+  send_queue_.push_back(std::move(payload));
+  pump();
+}
+
+void ReliablePeer::pump() {
+  while (!send_queue_.empty() && inflight_.size() < options_.window) {
+    Segment seg;
+    seg.type = Segment::Type::kData;
+    seg.seq = next_seq_++;
+    seg.payload = std::move(send_queue_.front());
+    send_queue_.pop_front();
+    inflight_.push_back(seg);
+    ++stats_.data_sent;
+    wire_(seg);
+  }
+  if (!inflight_.empty() && !timer_.pending()) arm_timer();
+}
+
+void ReliablePeer::arm_timer() {
+  const int shift = std::min(retries_, options_.backoff_cap);
+  const Seconds timeout =
+      options_.rto * static_cast<double>(1LL << (shift < 0 ? 0 : shift));
+  timer_ = engine_.schedule_after(sim::from_seconds(timeout),
+                                  [this] { on_timeout(); });
+}
+
+void ReliablePeer::on_timeout() {
+  if (inflight_.empty() || presumed_dead_) return;
+  ++retries_;
+  if (options_.max_retries > 0 && retries_ > options_.max_retries) {
+    presumed_dead_ = true;
+    if (on_dead_) on_dead_();
+    return;
+  }
+  // Go-Back-N: resend the whole window.
+  for (const Segment& seg : inflight_) {
+    ++stats_.data_retx;
+    wire_(seg);
+  }
+  arm_timer();
+}
+
+void ReliablePeer::on_wire(const Segment& segment) {
+  if (presumed_dead_) return;
+  if (segment.type == Segment::Type::kAck) {
+    // Cumulative ack: everything below segment.seq is delivered.
+    bool advanced = false;
+    while (!inflight_.empty() && inflight_.front().seq < segment.seq) {
+      inflight_.pop_front();
+      advanced = true;
+    }
+    if (advanced) {
+      retries_ = 0;
+      timer_.cancel();
+      if (!inflight_.empty()) arm_timer();
+      pump();
+    }
+    return;
+  }
+
+  // Data segment.
+  if (segment.seq == expected_seq_) {
+    ++expected_seq_;
+    received_.send(segment.payload);
+  } else {
+    ++stats_.dup_received;
+  }
+  // Always (re-)ack the cumulative position; lost acks are recovered by the
+  // duplicate-data path.
+  Segment ack;
+  ack.type = Segment::Type::kAck;
+  ack.seq = expected_seq_;
+  ++stats_.acks_sent;
+  wire_(ack);
+}
+
+}  // namespace deslp::net

@@ -1,0 +1,111 @@
+// Reliable in-order transport over an unreliable datagram wire.
+//
+// The paper runs "generic TCP/IP sockets" over the PPP links (§3) and its
+// failure-recovery scheme (§5.4) rests on per-transaction acknowledgments
+// with retransmission timeouts. This is a compact Go-Back-N ARQ providing
+// exactly those semantics: cumulative acks, a single retransmission timer,
+// in-order exactly-once delivery under arbitrary drop, duplication, and
+// reordering of segments.
+//
+// The wire is injected as a callback so tests can model loss; the
+// experiment layer uses the protocol's accounting (segments sent, acks,
+// retransmissions) to charge communication time and energy.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "sim/channel.h"
+#include "sim/engine.h"
+#include "util/units.h"
+
+namespace deslp::net {
+
+struct Segment {
+  enum class Type { kData, kAck };
+  Type type = Type::kData;
+  /// Data: sequence number of this payload. Ack: next expected sequence
+  /// (cumulative).
+  std::uint64_t seq = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+struct ReliableOptions {
+  /// Base retransmission timeout.
+  Seconds rto = milliseconds(300.0);
+  /// Go-Back-N sender window (1 = stop-and-wait).
+  std::uint64_t window = 4;
+  /// Give up and declare the peer dead after this many consecutive
+  /// retransmissions of the same oldest segment (0 = never).
+  int max_retries = 0;
+  /// Exponential backoff: the effective timeout doubles per consecutive
+  /// retry up to rto * 2^backoff_cap (prevents flooding a wire slower
+  /// than the retransmission rate). 0 disables backoff.
+  int backoff_cap = 6;
+};
+
+struct ReliableStats {
+  long long data_sent = 0;     // first transmissions
+  long long data_retx = 0;     // retransmissions
+  long long acks_sent = 0;
+  long long dup_received = 0;  // out-of-window / duplicate data segments
+};
+
+/// One endpoint of a reliable bidirectional association. Create one peer on
+/// each side and cross-wire their `wire` callbacks (through whatever lossy
+/// medium the caller models).
+class ReliablePeer {
+ public:
+  using WireSend = std::function<void(const Segment&)>;
+  using DeadCallback = std::function<void()>;
+
+  ReliablePeer(sim::Engine& engine, ReliableOptions options, WireSend wire);
+
+  /// Queue a payload for reliable transmission.
+  void send(std::vector<std::uint8_t> payload);
+
+  /// In-order exactly-once delivery of the peer's payloads.
+  sim::Channel<std::vector<std::uint8_t>>& received() { return received_; }
+
+  /// Deliver a segment that survived the wire.
+  void on_wire(const Segment& segment);
+
+  /// True when every queued payload has been acknowledged.
+  [[nodiscard]] bool idle() const {
+    return send_queue_.empty() && inflight_.empty();
+  }
+
+  /// Invoked when max_retries is exceeded (failure detection, §5.4).
+  void set_dead_callback(DeadCallback cb) { on_dead_ = std::move(cb); }
+  [[nodiscard]] bool peer_presumed_dead() const { return presumed_dead_; }
+
+  [[nodiscard]] const ReliableStats& stats() const { return stats_; }
+
+ private:
+  void pump();             // move queued payloads into the window
+  void arm_timer();
+  void on_timeout();
+
+  sim::Engine& engine_;
+  ReliableOptions options_;
+  WireSend wire_;
+  DeadCallback on_dead_;
+
+  // Sender state.
+  std::uint64_t next_seq_ = 0;                  // next new sequence number
+  std::deque<std::vector<std::uint8_t>> send_queue_;
+  std::deque<Segment> inflight_;                // window, oldest first
+  sim::EventHandle timer_;
+  int retries_ = 0;
+  bool presumed_dead_ = false;
+
+  // Receiver state.
+  std::uint64_t expected_seq_ = 0;
+  sim::Channel<std::vector<std::uint8_t>> received_;
+
+  ReliableStats stats_;
+};
+
+}  // namespace deslp::net

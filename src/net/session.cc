@@ -1,0 +1,119 @@
+#include "net/session.h"
+#include <algorithm>
+
+#include <utility>
+
+#include "util/check.h"
+
+namespace deslp::net {
+
+namespace {
+
+// Per-chunk marker prepended to each transport payload: a message larger
+// than the MTU is segmented, and the marker says whether the chunk closes
+// the message.
+constexpr std::uint8_t kMoreChunks = 0x00;
+constexpr std::uint8_t kFinalChunk = 0x01;
+
+}  // namespace
+
+PppSession::PppSession(sim::Engine& engine, SessionOptions options)
+    : engine_(engine), options_(options), received_(engine) {
+  DESLP_EXPECTS(options_.mtu >= 2);
+}
+
+std::vector<std::uint8_t> PppSession::encode_segment(const Segment& segment) {
+  std::vector<std::uint8_t> out;
+  out.reserve(11 + segment.payload.size());
+  out.push_back(segment.type == Segment::Type::kData ? 0x01 : 0x02);
+  for (int shift = 0; shift < 64; shift += 8)
+    out.push_back(static_cast<std::uint8_t>(segment.seq >> shift));
+  const std::size_t len = segment.payload.size();
+  DESLP_EXPECTS(len <= 0xFFFF);
+  out.push_back(static_cast<std::uint8_t>(len & 0xFF));
+  out.push_back(static_cast<std::uint8_t>(len >> 8));
+  out.insert(out.end(), segment.payload.begin(), segment.payload.end());
+  return out;
+}
+
+std::optional<Segment> PppSession::decode_segment(
+    const std::vector<std::uint8_t>& bytes) {
+  if (bytes.size() < 11) return std::nullopt;
+  Segment seg;
+  if (bytes[0] == 0x01) {
+    seg.type = Segment::Type::kData;
+  } else if (bytes[0] == 0x02) {
+    seg.type = Segment::Type::kAck;
+  } else {
+    return std::nullopt;
+  }
+  seg.seq = 0;
+  for (int i = 0; i < 8; ++i)
+    seg.seq |= static_cast<std::uint64_t>(bytes[1 + static_cast<std::size_t>(
+                                                      i)])
+               << (8 * i);
+  const std::size_t len = static_cast<std::size_t>(bytes[9]) |
+                          (static_cast<std::size_t>(bytes[10]) << 8);
+  if (bytes.size() != 11 + len) return std::nullopt;
+  seg.payload.assign(bytes.begin() + 11, bytes.end());
+  return seg;
+}
+
+void PppSession::attach_uarts(Uart& tx, Uart& rx) {
+  DESLP_EXPECTS(tx_ == nullptr);
+  tx_ = &tx;
+  transport_.emplace(engine_, options_.reliable, [this](const Segment& seg) {
+    tx_->transmit(PppCodec::encode(encode_segment(seg)));
+  });
+  rx.connect([this](std::uint8_t byte) { receive_byte(byte); });
+  engine_.spawn(reassembly_loop());
+}
+
+void PppSession::send_message(std::vector<std::uint8_t> message) {
+  DESLP_EXPECTS(transport_.has_value());
+  // Segment into MTU-sized chunks, each led by a continuation marker.
+  const std::size_t chunk_payload = options_.mtu - 1;
+  std::size_t offset = 0;
+  do {
+    const std::size_t n =
+        std::min(chunk_payload, message.size() - offset);
+    std::vector<std::uint8_t> chunk;
+    chunk.reserve(n + 1);
+    const bool final_chunk = offset + n == message.size();
+    chunk.push_back(final_chunk ? kFinalChunk : kMoreChunks);
+    chunk.insert(chunk.end(), message.begin() + static_cast<std::ptrdiff_t>(
+                                                    offset),
+                 message.begin() + static_cast<std::ptrdiff_t>(offset + n));
+    transport_->send(std::move(chunk));
+    offset += n;
+  } while (offset < message.size());
+}
+
+void PppSession::receive_byte(std::uint8_t byte) {
+  auto frame = deframer_.feed(byte);
+  if (!frame) return;
+  auto segment = decode_segment(*frame);
+  if (!segment) return;  // malformed header: drop like a bad FCS
+  transport_->on_wire(*segment);
+}
+
+sim::Task PppSession::reassembly_loop() {
+  for (;;) {
+    auto chunk = co_await transport_->received().recv();
+    if (!chunk) co_return;
+    DESLP_ENSURES(!chunk->empty());
+    const bool final_chunk = (*chunk)[0] == kFinalChunk;
+    partial_.insert(partial_.end(), chunk->begin() + 1, chunk->end());
+    if (final_chunk) {
+      received_.send(std::move(partial_));
+      partial_.clear();
+    }
+  }
+}
+
+const ReliableStats& PppSession::transport_stats() const {
+  DESLP_EXPECTS(transport_.has_value());
+  return transport_->stats();
+}
+
+}  // namespace deslp::net

@@ -1,0 +1,39 @@
+#include "net/uart.h"
+
+#include <utility>
+
+#include "util/check.h"
+
+namespace deslp::net {
+
+Uart::Uart(sim::Engine& engine, BitsPerSecond line_rate)
+    : engine_(engine), line_rate_(line_rate) {
+  DESLP_EXPECTS(line_rate.value() > 0.0);
+}
+
+void Uart::connect(ByteHandler on_receive) {
+  on_receive_ = std::move(on_receive);
+}
+
+Seconds Uart::byte_time() const {
+  // 8N1: start bit + 8 data bits + stop bit per octet.
+  return Seconds{10.0 / line_rate_.value()};
+}
+
+sim::Time Uart::idle_at() const {
+  return tx_free_ > engine_.now() ? tx_free_ : engine_.now();
+}
+
+void Uart::transmit(const std::vector<std::uint8_t>& bytes) {
+  DESLP_EXPECTS(on_receive_ != nullptr);
+  const sim::Dur per_byte = sim::from_seconds(byte_time());
+  sim::Time at = idle_at();
+  for (std::uint8_t b : bytes) {
+    at = at + per_byte;
+    engine_.schedule_at(at, [this, b] { on_receive_(b); });
+    ++bytes_sent_;
+  }
+  tx_free_ = at;
+}
+
+}  // namespace deslp::net

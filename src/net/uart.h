@@ -1,0 +1,48 @@
+// Byte-timed serial line (UART). Transmission is serialized at the line
+// rate: each queued byte arrives at the peer one byte-time after the
+// previous one. This is the bottom of the byte-level stack (UART -> PPP
+// framing -> reliable transport) used to validate the abstract LinkSpec's
+// effective-rate assumption from first principles.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/engine.h"
+#include "util/units.h"
+
+namespace deslp::net {
+
+class Uart {
+ public:
+  /// `on_receive` is the peer's byte handler, invoked at each byte's
+  /// arrival time.
+  using ByteHandler = std::function<void(std::uint8_t)>;
+
+  Uart(sim::Engine& engine, BitsPerSecond line_rate);
+
+  void connect(ByteHandler on_receive);
+
+  /// Queue bytes for transmission. Bytes go out back-to-back after
+  /// whatever is already queued; the call itself is instantaneous (the
+  /// sender's CPU cost is modelled elsewhere).
+  void transmit(const std::vector<std::uint8_t>& bytes);
+
+  /// When the transmitter drains, given current queue.
+  [[nodiscard]] sim::Time idle_at() const;
+
+  /// Octet time on the wire (10 bit times: 8N1 framing).
+  [[nodiscard]] Seconds byte_time() const;
+
+  [[nodiscard]] long long bytes_sent() const { return bytes_sent_; }
+
+ private:
+  sim::Engine& engine_;
+  BitsPerSecond line_rate_;
+  ByteHandler on_receive_;
+  sim::Time tx_free_;  // when the transmitter is next free
+  long long bytes_sent_ = 0;
+};
+
+}  // namespace deslp::net

@@ -1,0 +1,75 @@
+#include "power/monitor.h"
+
+#include <ostream>
+#include <utility>
+
+#include "util/check.h"
+#include "util/csv.h"
+#include "util/table.h"
+
+namespace deslp::power {
+
+PowerMonitor::PowerMonitor(std::string actor, Volts pack_voltage)
+    : actor_(std::move(actor)), pack_voltage_(pack_voltage) {
+  DESLP_EXPECTS(pack_voltage_.value() > 0.0);
+}
+
+void PowerMonitor::record(cpu::Mode mode, int level, Amps current,
+                          Seconds duration, sim::Time at, double soc_after) {
+  DESLP_EXPECTS(current.value() >= 0.0);
+  DESLP_EXPECTS(duration.value() >= 0.0);
+  if (duration.value() == 0.0) return;
+  ModeTotals& t = totals_[static_cast<int>(mode)];
+  t.time += duration;
+  t.charge += charge(current, duration);
+  t.energy += energy(electrical_power(pack_voltage_, current), duration);
+  if (tracing_)
+    trace_.push_back(TraceRow{at, mode, level, current, duration, soc_after});
+}
+
+const ModeTotals& PowerMonitor::totals(cpu::Mode mode) const {
+  return totals_[static_cast<int>(mode)];
+}
+
+Seconds PowerMonitor::total_time() const {
+  Seconds t;
+  for (const auto& m : totals_) t += m.time;
+  return t;
+}
+
+Coulombs PowerMonitor::total_charge() const {
+  Coulombs q;
+  for (const auto& m : totals_) q += m.charge;
+  return q;
+}
+
+Joules PowerMonitor::total_energy() const {
+  Joules e;
+  for (const auto& m : totals_) e += m.energy;
+  return e;
+}
+
+Amps PowerMonitor::average_current() const {
+  const Seconds t = total_time();
+  if (t.value() <= 0.0) return amps(0.0);
+  return Amps{total_charge().value() / t.value()};
+}
+
+void PowerMonitor::write_trace_csv(std::ostream& os) const {
+  CsvWriter csv(os, {"time_s", "mode", "level", "current_mA", "duration_s",
+                     "soc"});
+  for (const auto& row : trace_) {
+    csv.add_row({Table::num(sim::to_seconds(row.at).value(), 6),
+                 cpu::mode_name(row.mode), std::to_string(row.level),
+                 Table::num(to_milliamps(row.current), 3),
+                 Table::num(row.duration.value(), 6),
+                 Table::num(row.soc, 6)});
+  }
+}
+
+void PowerMonitor::reset() {
+  for (auto& m : totals_) m = ModeTotals{};
+  trace_.clear();
+}
+
+}  // namespace deslp::power

@@ -1,0 +1,66 @@
+// Power instrumentation, modelled on Itsy's built-in power monitor (§4.4):
+// per-mode residency, charge, and energy accounting for one node, plus an
+// optional segment trace for discharge plots.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cpu/cpu.h"
+#include "sim/time.h"
+#include "util/units.h"
+
+namespace deslp::power {
+
+struct ModeTotals {
+  Seconds time;
+  Coulombs charge;
+  Joules energy;
+};
+
+struct TraceRow {
+  sim::Time at;
+  cpu::Mode mode = cpu::Mode::kIdle;
+  int level = 0;
+  Amps current;
+  Seconds duration;
+  /// Battery state of charge after the segment, in [0, 1].
+  double soc = 1.0;
+};
+
+class PowerMonitor {
+ public:
+  PowerMonitor(std::string actor, Volts pack_voltage);
+
+  /// Account one constant-current segment. `soc_after` is the battery's
+  /// state of charge when the segment ends (recorded in the trace).
+  void record(cpu::Mode mode, int level, Amps current, Seconds duration,
+              sim::Time at, double soc_after);
+
+  [[nodiscard]] const std::string& actor() const { return actor_; }
+  [[nodiscard]] const ModeTotals& totals(cpu::Mode mode) const;
+  [[nodiscard]] Seconds total_time() const;
+  [[nodiscard]] Coulombs total_charge() const;
+  [[nodiscard]] Joules total_energy() const;
+  /// Charge-weighted mean current over the recorded history.
+  [[nodiscard]] Amps average_current() const;
+
+  /// Segment tracing is off by default (lifetime runs record ~10^5
+  /// segments); enable for examples and plots.
+  void set_tracing(bool on) { tracing_ = on; }
+  [[nodiscard]] const std::vector<TraceRow>& trace() const { return trace_; }
+
+  /// Write the trace as CSV (time_s, mode, level, current_mA, soc).
+  void write_trace_csv(std::ostream& os) const;
+
+  void reset();
+
+ private:
+  std::string actor_;
+  Volts pack_voltage_;
+  ModeTotals totals_[3];
+  bool tracing_ = false;
+  std::vector<TraceRow> trace_;
+};
+
+}  // namespace deslp::power

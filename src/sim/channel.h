@@ -1,0 +1,118 @@
+// FIFO message channel between simulation processes.
+//
+// `send` never blocks (the simulated transports model backpressure in time,
+// not in buffer space); `recv` suspends until a value, a timeout, or close.
+// Delivery resumes receivers through the event queue at the current time so
+// that coroutine stacks never nest.
+#pragma once
+
+#include <coroutine>
+#include <deque>
+#include <optional>
+#include <utility>
+
+#include "sim/engine.h"
+#include "util/check.h"
+
+namespace deslp::sim {
+
+template <typename T>
+class Channel {
+ public:
+  explicit Channel(Engine& engine) : engine_(&engine) {}
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  /// Enqueue a value; wakes the oldest waiting receiver, if any.
+  void send(T value) {
+    DESLP_EXPECTS(!closed_);
+    if (!waiters_.empty()) {
+      Waiter* w = waiters_.front();
+      waiters_.pop_front();
+      w->value = std::move(value);
+      complete(w);
+      return;
+    }
+    queue_.push_back(std::move(value));
+  }
+
+  /// Close the channel: pending and future receives complete with nullopt
+  /// once the buffered values are drained.
+  void close() {
+    if (closed_) return;
+    closed_ = true;
+    while (!waiters_.empty()) {
+      Waiter* w = waiters_.front();
+      waiters_.pop_front();
+      complete(w);
+    }
+  }
+
+  [[nodiscard]] bool closed() const { return closed_; }
+  [[nodiscard]] std::size_t buffered() const { return queue_.size(); }
+
+  /// Awaitable receive. Yields nullopt if the channel is closed and empty.
+  auto recv() { return RecvAwaiter{this, Dur{0}, /*has_timeout=*/false}; }
+
+  /// Awaitable receive with timeout. Yields nullopt on timeout or close.
+  auto recv_timeout(Dur timeout) {
+    return RecvAwaiter{this, timeout, /*has_timeout=*/true};
+  }
+
+ private:
+  struct Waiter {
+    std::coroutine_handle<> handle;
+    std::optional<T> value;
+    EventHandle timer;
+  };
+
+  struct RecvAwaiter : Waiter {
+    Channel* ch;
+    Dur timeout;
+    bool has_timeout;
+
+    RecvAwaiter(Channel* c, Dur t, bool ht)
+        : ch(c), timeout(t), has_timeout(ht) {}
+
+    bool await_ready() {
+      if (!ch->queue_.empty()) {
+        this->value = std::move(ch->queue_.front());
+        ch->queue_.pop_front();
+        return true;
+      }
+      return ch->closed_;
+    }
+    void await_suspend(std::coroutine_handle<> h) {
+      this->handle = h;
+      ch->waiters_.push_back(this);
+      if (has_timeout) {
+        this->timer = ch->engine_->schedule_after(timeout, [this] {
+          ch->remove_waiter(this);
+          this->handle.resume();
+        });
+      }
+    }
+    std::optional<T> await_resume() { return std::move(this->value); }
+  };
+
+  void complete(Waiter* w) {
+    w->timer.cancel();
+    engine_->schedule_after(Dur{0}, [w] { w->handle.resume(); });
+  }
+
+  void remove_waiter(Waiter* w) {
+    for (auto it = waiters_.begin(); it != waiters_.end(); ++it) {
+      if (*it == w) {
+        waiters_.erase(it);
+        return;
+      }
+    }
+  }
+
+  Engine* engine_;
+  std::deque<T> queue_;
+  std::deque<Waiter*> waiters_;
+  bool closed_ = false;
+};
+
+}  // namespace deslp::sim

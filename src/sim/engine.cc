@@ -1,0 +1,57 @@
+#include "sim/engine.h"
+
+#include <utility>
+
+namespace deslp::sim {
+
+EventHandle Engine::schedule_at(Time at, std::function<void()> fn) {
+  DESLP_EXPECTS(at >= now_);
+  auto cancelled = std::make_shared<bool>(false);
+  queue_.push(Entry{at, next_seq_++, std::move(fn), cancelled});
+  return EventHandle{cancelled};
+}
+
+void Engine::spawn(Task task) {
+  DESLP_EXPECTS(task.valid());
+  processes_.push_back(std::move(task));
+  processes_.back().start();
+}
+
+bool Engine::step() {
+  while (!queue_.empty()) {
+    Entry e = queue_.top();
+    queue_.pop();
+    if (*e.cancelled) continue;
+    DESLP_ENSURES(e.at >= now_);
+    now_ = e.at;
+    e.fn();
+    return true;
+  }
+  return false;
+}
+
+Time Engine::run() {
+  stop_requested_ = false;
+  while (!stop_requested_ && step()) {
+  }
+  return now_;
+}
+
+Time Engine::run_until(Time deadline) {
+  stop_requested_ = false;
+  while (!stop_requested_ && !queue_.empty()) {
+    // Skip cancelled entries without advancing the clock.
+    if (*queue_.top().cancelled) {
+      queue_.pop();
+      continue;
+    }
+    if (queue_.top().at > deadline) break;
+    step();
+  }
+  if (now_ < deadline && queue_.empty()) {
+    // Queue drained before the deadline; clock stays at the last event.
+  }
+  return now_;
+}
+
+}  // namespace deslp::sim

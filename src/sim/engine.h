@@ -1,0 +1,118 @@
+// Discrete-event simulation engine: a virtual clock, a cancellable event
+// queue, and ownership of the coroutine processes that make up a simulated
+// system. Single-threaded and fully deterministic: simultaneous events fire
+// in scheduling order.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/task.h"
+#include "sim/time.h"
+#include "util/check.h"
+
+namespace deslp::sim {
+
+class Engine;
+
+/// Handle to a scheduled event; allows cancellation before it fires.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// Cancel the event if it has not fired yet. Safe to call repeatedly or on
+  /// a default-constructed handle.
+  void cancel() {
+    if (auto s = state_.lock()) *s = true;
+  }
+
+  /// True while the event can still fire (scheduled, not yet executed, not
+  /// cancelled). A cancelled event reports not-pending immediately even
+  /// though its tombstone is still queued.
+  [[nodiscard]] bool pending() const {
+    auto s = state_.lock();
+    return s != nullptr && !*s;
+  }
+
+ private:
+  friend class Engine;
+  explicit EventHandle(std::weak_ptr<bool> cancelled)
+      : state_(std::move(cancelled)) {}
+
+  std::weak_ptr<bool> state_;
+};
+
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  [[nodiscard]] Time now() const { return now_; }
+
+  /// Schedule `fn` to run at absolute time `at` (must not be in the past).
+  EventHandle schedule_at(Time at, std::function<void()> fn);
+  /// Schedule `fn` to run after `d`.
+  EventHandle schedule_after(Dur d, std::function<void()> fn) {
+    return schedule_at(now_ + d, std::move(fn));
+  }
+
+  /// Hand a top-level process to the engine. It starts immediately (runs
+  /// until its first suspension) and is owned by the engine.
+  void spawn(Task task);
+
+  /// Run until the event queue is empty. Returns the final time.
+  Time run();
+  /// Run until `deadline` (events at exactly `deadline` fire). The clock is
+  /// left at min(deadline, time of last event) — callers that need the clock
+  /// pinned to the deadline should schedule a no-op there.
+  Time run_until(Time deadline);
+
+  /// Request that run()/run_until() return after the current event.
+  void stop() { stop_requested_ = true; }
+
+  [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
+
+  /// Awaitable: suspend the calling process for `d`.
+  auto delay(Dur d) {
+    struct Awaiter {
+      Engine* engine;
+      Dur dur;
+      bool await_ready() const noexcept { return dur.nanos() <= 0; }
+      void await_suspend(std::coroutine_handle<> h) {
+        engine->schedule_after(dur, [h] { h.resume(); });
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this, d};
+  }
+  auto delay(Seconds s) { return delay(from_seconds(s)); }
+
+ private:
+  struct Entry {
+    Time at;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    std::shared_ptr<bool> cancelled;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  bool step();
+
+  Time now_;
+  std::uint64_t next_seq_ = 0;
+  bool stop_requested_ = false;
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  std::vector<Task> processes_;
+};
+
+}  // namespace deslp::sim

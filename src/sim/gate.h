@@ -1,0 +1,50 @@
+// Latched broadcast condition ("gate"): processes wait until the gate opens;
+// opening resumes every waiter. Once open, waits complete immediately until
+// reset. Used for pipeline start barriers and failure notifications.
+#pragma once
+
+#include <coroutine>
+#include <deque>
+
+#include "sim/engine.h"
+
+namespace deslp::sim {
+
+class Gate {
+ public:
+  explicit Gate(Engine& engine) : engine_(&engine) {}
+  Gate(const Gate&) = delete;
+  Gate& operator=(const Gate&) = delete;
+
+  void open() {
+    if (open_) return;
+    open_ = true;
+    for (auto h : waiters_)
+      engine_->schedule_after(Dur{0}, [h] { h.resume(); });
+    waiters_.clear();
+  }
+
+  /// Close the gate again; subsequent waits block until the next open().
+  void reset() { open_ = false; }
+
+  [[nodiscard]] bool is_open() const { return open_; }
+
+  auto wait() {
+    struct Awaiter {
+      Gate* gate;
+      bool await_ready() const noexcept { return gate->open_; }
+      void await_suspend(std::coroutine_handle<> h) {
+        gate->waiters_.push_back(h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this};
+  }
+
+ private:
+  Engine* engine_;
+  std::deque<std::coroutine_handle<>> waiters_;
+  bool open_ = false;
+};
+
+}  // namespace deslp::sim

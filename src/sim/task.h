@@ -1,0 +1,172 @@
+// Coroutine task type for simulation processes.
+//
+// A `Task` is a lazily-started coroutine. Top-level tasks are handed to
+// `Engine::spawn`, which starts and owns them; child tasks are awaited from
+// a parent (`co_await child()`) and resume the parent on completion via
+// symmetric transfer. Exceptions escaping a process indicate a simulation
+// bug and terminate.
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <optional>
+#include <utility>
+
+#include "util/check.h"
+
+namespace deslp::sim {
+
+class [[nodiscard]] Task {
+ public:
+  struct promise_type {
+    std::coroutine_handle<> continuation;
+
+    Task get_return_object() {
+      return Task{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+
+    struct FinalAwaiter {
+      bool await_ready() noexcept { return false; }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<promise_type> h) noexcept {
+        auto cont = h.promise().continuation;
+        return cont ? cont : std::noop_coroutine();
+      }
+      void await_resume() noexcept {}
+    };
+    FinalAwaiter final_suspend() noexcept { return {}; }
+
+    void return_void() {}
+    [[noreturn]] void unhandled_exception() { std::terminate(); }
+  };
+
+  Task() = default;
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  Task(Task&& o) noexcept : handle_(std::exchange(o.handle_, nullptr)) {}
+  Task& operator=(Task&& o) noexcept {
+    if (this != &o) {
+      destroy();
+      handle_ = std::exchange(o.handle_, nullptr);
+    }
+    return *this;
+  }
+  ~Task() { destroy(); }
+
+  [[nodiscard]] bool valid() const { return handle_ != nullptr; }
+  [[nodiscard]] bool done() const {
+    DESLP_EXPECTS(handle_ != nullptr);
+    return handle_.done();
+  }
+
+  /// Start (or continue) the coroutine. Used by the engine for top-level
+  /// tasks; child tasks are started by awaiting them instead.
+  void start() {
+    DESLP_EXPECTS(handle_ != nullptr && !handle_.done());
+    handle_.resume();
+  }
+
+  /// Awaiting a Task starts it and resumes the awaiter when it finishes.
+  auto operator co_await() && noexcept {
+    struct Awaiter {
+      std::coroutine_handle<promise_type> child;
+      bool await_ready() noexcept { return !child || child.done(); }
+      std::coroutine_handle<> await_suspend(std::coroutine_handle<> cont) {
+        child.promise().continuation = cont;
+        return child;  // symmetric transfer: start the child now
+      }
+      void await_resume() noexcept {}
+    };
+    return Awaiter{handle_};
+  }
+
+ private:
+  explicit Task(std::coroutine_handle<promise_type> h) : handle_(h) {}
+
+  void destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = nullptr;
+    }
+  }
+
+  std::coroutine_handle<promise_type> handle_;
+};
+
+/// Value-returning child coroutine: `T v = co_await some_value_task();`.
+/// Lazily started like Task; only awaitable (no top-level spawn), so
+/// completion always resumes the awaiter and the result is consumed exactly
+/// once.
+template <typename T>
+class [[nodiscard]] ValueTask {
+ public:
+  struct promise_type {
+    std::coroutine_handle<> continuation;
+    std::optional<T> value;
+
+    ValueTask get_return_object() {
+      return ValueTask{
+          std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+
+    struct FinalAwaiter {
+      bool await_ready() noexcept { return false; }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<promise_type> h) noexcept {
+        auto cont = h.promise().continuation;
+        return cont ? cont : std::noop_coroutine();
+      }
+      void await_resume() noexcept {}
+    };
+    FinalAwaiter final_suspend() noexcept { return {}; }
+
+    void return_value(T v) { value = std::move(v); }
+    [[noreturn]] void unhandled_exception() { std::terminate(); }
+  };
+
+  ValueTask() = default;
+  ValueTask(const ValueTask&) = delete;
+  ValueTask& operator=(const ValueTask&) = delete;
+  ValueTask(ValueTask&& o) noexcept
+      : handle_(std::exchange(o.handle_, nullptr)) {}
+  ValueTask& operator=(ValueTask&& o) noexcept {
+    if (this != &o) {
+      destroy();
+      handle_ = std::exchange(o.handle_, nullptr);
+    }
+    return *this;
+  }
+  ~ValueTask() { destroy(); }
+
+  auto operator co_await() && noexcept {
+    struct Awaiter {
+      std::coroutine_handle<promise_type> child;
+      bool await_ready() noexcept { return !child || child.done(); }
+      std::coroutine_handle<> await_suspend(std::coroutine_handle<> cont) {
+        child.promise().continuation = cont;
+        return child;
+      }
+      T await_resume() {
+        DESLP_ENSURES(child.promise().value.has_value());
+        return std::move(*child.promise().value);
+      }
+    };
+    return Awaiter{handle_};
+  }
+
+ private:
+  explicit ValueTask(std::coroutine_handle<promise_type> h) : handle_(h) {}
+
+  void destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = nullptr;
+    }
+  }
+
+  std::coroutine_handle<promise_type> handle_;
+};
+
+}  // namespace deslp::sim

@@ -1,0 +1,63 @@
+// Simulated time. The kernel's clock is an integral nanosecond counter so
+// that event ordering is exact and runs replay identically; conversions to
+// the physical `Seconds` quantity are provided for the power/battery layer.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+
+#include "util/units.h"
+
+namespace deslp::sim {
+
+/// A point in simulated time (nanoseconds since simulation start).
+class Time {
+ public:
+  constexpr Time() = default;
+  constexpr explicit Time(std::int64_t ns) : ns_(ns) {}
+
+  [[nodiscard]] constexpr std::int64_t nanos() const { return ns_; }
+  constexpr auto operator<=>(const Time&) const = default;
+
+ private:
+  std::int64_t ns_ = 0;
+};
+
+/// A span of simulated time (nanoseconds).
+class Dur {
+ public:
+  constexpr Dur() = default;
+  constexpr explicit Dur(std::int64_t ns) : ns_(ns) {}
+
+  [[nodiscard]] constexpr std::int64_t nanos() const { return ns_; }
+  constexpr auto operator<=>(const Dur&) const = default;
+
+  constexpr Dur operator+(Dur o) const { return Dur{ns_ + o.ns_}; }
+  constexpr Dur operator-(Dur o) const { return Dur{ns_ - o.ns_}; }
+  constexpr Dur operator*(std::int64_t k) const { return Dur{ns_ * k}; }
+
+ private:
+  std::int64_t ns_ = 0;
+};
+
+constexpr Time operator+(Time t, Dur d) { return Time{t.nanos() + d.nanos()}; }
+constexpr Time operator-(Time t, Dur d) { return Time{t.nanos() - d.nanos()}; }
+constexpr Dur operator-(Time a, Time b) { return Dur{a.nanos() - b.nanos()}; }
+
+constexpr Dur nanoseconds(std::int64_t ns) { return Dur{ns}; }
+constexpr Dur microseconds_dur(std::int64_t us) { return Dur{us * 1000}; }
+constexpr Dur milliseconds_dur(std::int64_t ms) { return Dur{ms * 1000000}; }
+constexpr Dur seconds_dur(std::int64_t s) { return Dur{s * 1000000000}; }
+
+/// Convert a physical duration to simulated ticks (rounded to nearest ns).
+constexpr Dur from_seconds(Seconds s) {
+  return Dur{static_cast<std::int64_t>(s.value() * 1e9 + 0.5)};
+}
+constexpr Seconds to_seconds(Dur d) {
+  return Seconds{static_cast<double>(d.nanos()) * 1e-9};
+}
+constexpr Seconds to_seconds(Time t) {
+  return Seconds{static_cast<double>(t.nanos()) * 1e-9};
+}
+
+}  // namespace deslp::sim

@@ -1,0 +1,83 @@
+#include "sim/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace deslp::sim {
+
+void Trace::add_span(Span span) {
+  DESLP_EXPECTS(span.end >= span.begin);
+  if (!recording_) return;
+  spans_.push_back(std::move(span));
+}
+
+void Trace::add_mark(Mark mark) { marks_.push_back(std::move(mark)); }
+
+std::vector<Span> Trace::spans_for(const std::string& actor) const {
+  std::vector<Span> out;
+  for (const auto& s : spans_)
+    if (s.actor == actor) out.push_back(s);
+  return out;
+}
+
+std::vector<Mark> Trace::marks_for(const std::string& actor) const {
+  std::vector<Mark> out;
+  for (const auto& m : marks_)
+    if (m.actor == actor) out.push_back(m);
+  return out;
+}
+
+Dur Trace::time_in(const std::string& actor, const std::string& kind,
+                   Time from, Time to) const {
+  std::int64_t total = 0;
+  for (const auto& s : spans_) {
+    if (s.actor != actor || s.kind != kind) continue;
+    const std::int64_t b = std::max(s.begin.nanos(), from.nanos());
+    const std::int64_t e = std::min(s.end.nanos(), to.nanos());
+    if (e > b) total += e - b;
+  }
+  return Dur{total};
+}
+
+std::string Trace::render(std::size_t max_rows) const {
+  struct Row {
+    Time at;
+    std::string text;
+  };
+  std::vector<Row> rows;
+  rows.reserve(spans_.size() + marks_.size());
+  char buf[256];
+  for (const auto& s : spans_) {
+    std::snprintf(buf, sizeof buf, "%10.3fs  %-8s %-7s %6.3fs  %s",
+                  to_seconds(s.begin).value(), s.actor.c_str(), s.kind.c_str(),
+                  to_seconds(s.end - s.begin).value(), s.detail.c_str());
+    rows.push_back({s.begin, buf});
+  }
+  for (const auto& m : marks_) {
+    std::snprintf(buf, sizeof buf, "%10.3fs  %-8s * %s",
+                  to_seconds(m.at).value(), m.actor.c_str(), m.label.c_str());
+    rows.push_back({m.at, buf});
+  }
+  std::stable_sort(rows.begin(), rows.end(),
+                   [](const Row& a, const Row& b) { return a.at < b.at; });
+  std::ostringstream os;
+  std::size_t shown = 0;
+  for (const auto& r : rows) {
+    if (shown++ >= max_rows) {
+      os << "... (" << rows.size() - max_rows << " more rows)\n";
+      break;
+    }
+    os << r.text << '\n';
+  }
+  return os.str();
+}
+
+void Trace::clear() {
+  spans_.clear();
+  marks_.clear();
+}
+
+}  // namespace deslp::sim

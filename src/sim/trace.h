@@ -1,0 +1,59 @@
+// Activity trace: a record of what each actor (node, link, host) was doing
+// and when. Used for the example timelines and inspected by integration
+// tests to validate schedules against the paper's timing diagrams
+// (Figs. 2, 3, 9).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace deslp::sim {
+
+struct Span {
+  std::string actor;
+  std::string kind;  // e.g. "RECV", "PROC", "SEND", "IDLE", "RECONF"
+  Time begin;
+  Time end;
+  std::string detail;
+};
+
+struct Mark {
+  std::string actor;
+  std::string label;  // e.g. "battery-dead", "rotation", "frame-done"
+  Time at;
+};
+
+class Trace {
+ public:
+  /// Recording can be disabled for long lifetime runs to avoid accumulating
+  /// millions of spans; marks are always kept (they are rare).
+  void set_recording(bool on) { recording_ = on; }
+  [[nodiscard]] bool recording() const { return recording_; }
+
+  void add_span(Span span);
+  void add_mark(Mark mark);
+
+  [[nodiscard]] const std::vector<Span>& spans() const { return spans_; }
+  [[nodiscard]] const std::vector<Mark>& marks() const { return marks_; }
+
+  [[nodiscard]] std::vector<Span> spans_for(const std::string& actor) const;
+  [[nodiscard]] std::vector<Mark> marks_for(const std::string& actor) const;
+
+  /// Total time `actor` spent in spans of `kind` within [from, to).
+  [[nodiscard]] Dur time_in(const std::string& actor, const std::string& kind,
+                            Time from, Time to) const;
+
+  /// Render a human-readable event list (sorted by time) for examples.
+  [[nodiscard]] std::string render(std::size_t max_rows = 80) const;
+
+  void clear();
+
+ private:
+  bool recording_ = true;
+  std::vector<Span> spans_;
+  std::vector<Mark> marks_;
+};
+
+}  // namespace deslp::sim

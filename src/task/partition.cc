@@ -1,0 +1,173 @@
+#include "task/partition.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "util/check.h"
+
+namespace deslp::task {
+
+Partition::Partition(std::vector<int> first_block, int block_count)
+    : first_block_(std::move(first_block)), block_count_(block_count) {
+  DESLP_EXPECTS(!first_block_.empty());
+  DESLP_EXPECTS(first_block_.front() == 0);
+  DESLP_EXPECTS(block_count_ >= static_cast<int>(first_block_.size()));
+  for (std::size_t i = 1; i < first_block_.size(); ++i)
+    DESLP_EXPECTS(first_block_[i] > first_block_[i - 1]);
+  DESLP_EXPECTS(first_block_.back() < block_count_);
+}
+
+int Partition::first_of(int stage) const {
+  DESLP_EXPECTS(stage >= 0 && stage < stage_count());
+  return first_block_[static_cast<std::size_t>(stage)];
+}
+
+int Partition::last_of(int stage) const {
+  DESLP_EXPECTS(stage >= 0 && stage < stage_count());
+  return stage + 1 < stage_count()
+             ? first_block_[static_cast<std::size_t>(stage) + 1] - 1
+             : block_count_ - 1;
+}
+
+int Partition::stage_of(int block) const {
+  DESLP_EXPECTS(block >= 0 && block < block_count_);
+  for (int s = stage_count() - 1; s >= 0; --s)
+    if (first_of(s) <= block) return s;
+  DESLP_ENSURES(false);
+  return -1;
+}
+
+std::string Partition::label(const atr::AtrProfile& profile) const {
+  std::string out;
+  for (int s = 0; s < stage_count(); ++s) {
+    out += '(';
+    for (int b = first_of(s); b <= last_of(s); ++b) {
+      if (b > first_of(s)) out += " + ";
+      out += profile.block(b).name;
+    }
+    out += ')';
+    if (s + 1 < stage_count()) out += ' ';
+  }
+  return out;
+}
+
+std::vector<Partition> enumerate_partitions(int block_count, int stage_count) {
+  DESLP_EXPECTS(block_count >= 1);
+  DESLP_EXPECTS(stage_count >= 1 && stage_count <= block_count);
+  std::vector<Partition> out;
+  // Choose stage_count-1 cut positions from {1, ..., block_count-1}.
+  std::vector<int> cuts(static_cast<std::size_t>(stage_count) - 1);
+  // Initialise to the lexicographically first combination.
+  for (std::size_t i = 0; i < cuts.size(); ++i)
+    cuts[i] = static_cast<int>(i) + 1;
+  for (;;) {
+    std::vector<int> first{0};
+    first.insert(first.end(), cuts.begin(), cuts.end());
+    out.emplace_back(std::move(first), block_count);
+    // Next combination.
+    int i = static_cast<int>(cuts.size()) - 1;
+    while (i >= 0 &&
+           cuts[static_cast<std::size_t>(i)] ==
+               block_count - static_cast<int>(cuts.size()) + i) {
+      --i;
+    }
+    if (i < 0) break;
+    ++cuts[static_cast<std::size_t>(i)];
+    for (std::size_t j = static_cast<std::size_t>(i) + 1; j < cuts.size(); ++j)
+      cuts[j] = cuts[j - 1] + 1;
+  }
+  return out;
+}
+
+bool PartitionAnalysis::feasible() const {
+  return std::all_of(stages.begin(), stages.end(),
+                     [](const StageAnalysis& s) { return s.min_level >= 0; });
+}
+
+Bytes PartitionAnalysis::node_payload(int stage) const {
+  DESLP_EXPECTS(stage >= 0 && stage < static_cast<int>(stages.size()));
+  const StageAnalysis& s = stages[static_cast<std::size_t>(stage)];
+  return s.recv_payload + s.send_payload;
+}
+
+Bytes PartitionAnalysis::total_internal_payload() const {
+  // Payloads on node-to-node hops: everything except the external RECV of
+  // stage 0 and the external SEND of the last stage.
+  Bytes total{0};
+  for (std::size_t s = 0; s + 1 < stages.size(); ++s)
+    total += stages[s].send_payload;
+  return total;
+}
+
+Hertz PartitionAnalysis::peak_required_frequency() const {
+  Hertz peak{0.0};
+  for (const auto& s : stages)
+    peak = std::max(peak, s.required_frequency);
+  return peak;
+}
+
+PartitionAnalysis analyze_partition(const atr::AtrProfile& profile,
+                                    const Partition& partition,
+                                    const cpu::CpuSpec& cpu,
+                                    const net::LinkSpec& link,
+                                    Seconds frame_delay) {
+  DESLP_EXPECTS(partition.block_count() == profile.block_count());
+  DESLP_EXPECTS(frame_delay.value() > 0.0);
+  PartitionAnalysis out{partition, {}};
+  net::SerialLink timer(link);
+  for (int s = 0; s < partition.stage_count(); ++s) {
+    StageAnalysis sa;
+    sa.stage = s;
+    sa.first_block = partition.first_of(s);
+    sa.last_block = partition.last_of(s);
+    sa.work = profile.work_of_range(sa.first_block, sa.last_block);
+    sa.recv_payload = profile.input_of(sa.first_block);
+    sa.send_payload = profile.block(sa.last_block).output;
+    sa.recv_time = timer.expected_transaction_time(sa.recv_payload);
+    sa.send_time = timer.expected_transaction_time(sa.send_payload);
+    sa.compute_budget = frame_delay - sa.recv_time - sa.send_time;
+    if (sa.compute_budget.value() <= 0.0) {
+      sa.required_frequency =
+          Hertz{std::numeric_limits<double>::infinity()};
+      sa.min_level = -1;
+    } else {
+      sa.required_frequency =
+          cpu::CpuSpec::required_frequency(sa.work, sa.compute_budget);
+      sa.min_level = cpu.min_level_for_frequency(sa.required_frequency);
+    }
+    out.stages.push_back(sa);
+  }
+  return out;
+}
+
+std::vector<PartitionAnalysis> analyze_all_partitions(
+    const atr::AtrProfile& profile, int stage_count, const cpu::CpuSpec& cpu,
+    const net::LinkSpec& link, Seconds frame_delay) {
+  std::vector<PartitionAnalysis> out;
+  for (const Partition& p :
+       enumerate_partitions(profile.block_count(), stage_count))
+    out.push_back(analyze_partition(profile, p, cpu, link, frame_delay));
+  return out;
+}
+
+int best_partition_index(const std::vector<PartitionAnalysis>& analyses) {
+  int best = -1;
+  for (int i = 0; i < static_cast<int>(analyses.size()); ++i) {
+    const auto& a = analyses[static_cast<std::size_t>(i)];
+    if (!a.feasible()) continue;
+    if (best < 0) {
+      best = i;
+      continue;
+    }
+    const auto& b = analyses[static_cast<std::size_t>(best)];
+    if (a.total_internal_payload() < b.total_internal_payload() ||
+        (a.total_internal_payload() == b.total_internal_payload() &&
+         a.peak_required_frequency() < b.peak_required_frequency())) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace deslp::task

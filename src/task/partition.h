@@ -1,0 +1,95 @@
+// Pipeline partitioning of the ATR block chain (§5.3, Fig. 8).
+//
+// A partition assigns each of the chain's blocks to one pipeline stage;
+// stages are contiguous, non-empty runs (the chain's data dependencies are
+// linear). For each stage the static analysis computes its RECV/SEND
+// payloads and expected wire times, the compute budget left inside the
+// frame delay D, and the minimum feasible DVS level — including the
+// "needs > 206.4 MHz" infeasible case of Fig. 8's third scheme.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "atr/profile.h"
+#include "cpu/cpu.h"
+#include "net/link.h"
+#include "util/units.h"
+
+namespace deslp::task {
+
+/// Contiguous split of `block_count` blocks into `stage_count` stages.
+class Partition {
+ public:
+  /// `first_block[s]` is the first chain block of stage s; stage s runs
+  /// blocks [first_block[s], first_block[s+1]) and the last stage runs to
+  /// the end of the chain.
+  Partition(std::vector<int> first_block, int block_count);
+
+  [[nodiscard]] int stage_count() const {
+    return static_cast<int>(first_block_.size());
+  }
+  [[nodiscard]] int block_count() const { return block_count_; }
+  [[nodiscard]] int first_of(int stage) const;
+  [[nodiscard]] int last_of(int stage) const;
+  /// Which stage runs chain block `b`.
+  [[nodiscard]] int stage_of(int block) const;
+
+  /// "(Target Detect.) (FFT + IFFT + Comp. Distance)" style label.
+  [[nodiscard]] std::string label(const atr::AtrProfile& profile) const;
+
+ private:
+  std::vector<int> first_block_;
+  int block_count_;
+};
+
+/// All ways to split `block_count` blocks into `stage_count` contiguous
+/// non-empty stages (C(block_count-1, stage_count-1) of them).
+[[nodiscard]] std::vector<Partition> enumerate_partitions(int block_count,
+                                                          int stage_count);
+
+struct StageAnalysis {
+  int stage = 0;
+  int first_block = 0;
+  int last_block = 0;
+  Cycles work;
+  Bytes recv_payload;
+  Bytes send_payload;
+  Seconds recv_time;       // expected transaction time
+  Seconds send_time;       // expected transaction time
+  Seconds compute_budget;  // D - recv_time - send_time (may be negative)
+  Hertz required_frequency;
+  /// Minimum feasible DVS level, or -1 if infeasible on this CPU.
+  int min_level = -1;
+};
+
+struct PartitionAnalysis {
+  Partition partition;
+  std::vector<StageAnalysis> stages;
+  [[nodiscard]] bool feasible() const;
+  /// Total wire payload a stage's node handles per frame (RECV + SEND),
+  /// the "comm. payload" column of Fig. 8.
+  [[nodiscard]] Bytes node_payload(int stage) const;
+  [[nodiscard]] Bytes total_internal_payload() const;
+  /// Highest required frequency across stages (partition difficulty).
+  [[nodiscard]] Hertz peak_required_frequency() const;
+};
+
+/// Analyse one partition under frame delay `frame_delay`. Wire times use
+/// the link's expected (midpoint-startup) transaction cost.
+[[nodiscard]] PartitionAnalysis analyze_partition(
+    const atr::AtrProfile& profile, const Partition& partition,
+    const cpu::CpuSpec& cpu, const net::LinkSpec& link, Seconds frame_delay);
+
+/// Analyse every `stage_count`-way partition of the chain.
+[[nodiscard]] std::vector<PartitionAnalysis> analyze_all_partitions(
+    const atr::AtrProfile& profile, int stage_count, const cpu::CpuSpec& cpu,
+    const net::LinkSpec& link, Seconds frame_delay);
+
+/// The paper's selection rule (§5.3): among feasible partitions prefer the
+/// least internal communication, then the lowest peak required frequency.
+/// Returns the index into `analyses`, or -1 if none is feasible.
+[[nodiscard]] int best_partition_index(
+    const std::vector<PartitionAnalysis>& analyses);
+
+}  // namespace deslp::task

@@ -1,0 +1,47 @@
+#include "task/plan.h"
+
+#include "util/check.h"
+
+namespace deslp::task {
+
+Seconds NodePlan::compute_time(const cpu::CpuSpec& cpu) const {
+  return cpu.time_for(work, comp_level);
+}
+
+Seconds NodePlan::busy_time(const cpu::CpuSpec& cpu) const {
+  return recv_time + compute_time(cpu) + send_time;
+}
+
+Seconds NodePlan::idle_time(const cpu::CpuSpec& cpu) const {
+  if (frame_delay.value() <= 0.0) return seconds(0.0);  // continuous mode
+  const Seconds idle = frame_delay - busy_time(cpu);
+  return idle.value() > 0.0 ? idle : seconds(0.0);
+}
+
+bool NodePlan::feasible(const cpu::CpuSpec& cpu) const {
+  if (frame_delay.value() <= 0.0) return true;
+  return busy_time(cpu) <= frame_delay;
+}
+
+std::vector<battery::LoadPhase> NodePlan::load_cycle(
+    const cpu::CpuSpec& cpu) const {
+  std::vector<battery::LoadPhase> cycle;
+  if (recv_time.value() > 0.0)
+    cycle.push_back({cpu.current(cpu::Mode::kComm, comm_level), recv_time});
+  const Seconds comp = compute_time(cpu);
+  if (comp.value() > 0.0)
+    cycle.push_back({cpu.current(cpu::Mode::kComp, comp_level), comp});
+  if (send_time.value() > 0.0)
+    cycle.push_back({cpu.current(cpu::Mode::kComm, comm_level), send_time});
+  const Seconds idle = idle_time(cpu);
+  if (idle.value() > 0.0)
+    cycle.push_back({cpu.current(cpu::Mode::kIdle, idle_level), idle});
+  DESLP_ENSURES(!cycle.empty());
+  return cycle;
+}
+
+Amps NodePlan::average_current(const cpu::CpuSpec& cpu) const {
+  return battery::cycle_average_current(load_cycle(cpu));
+}
+
+}  // namespace deslp::task

@@ -1,0 +1,54 @@
+// Per-node frame plans: the serialized RECV -> PROC -> SEND schedule of
+// Fig. 2, annotated with the DVS levels each segment runs at.
+//
+// A plan is the *static* description of what a node does every frame
+// delay D. It serves two masters kept deliberately consistent:
+//   - the analytical path: a plan expands into a battery `LoadPhase` cycle
+//     for direct lifetime evaluation and calibration;
+//   - the dynamic path: the DES node executes the same plan frame by frame
+//     (and the two agree exactly for static experiments — an invariant the
+//     integration tests check).
+#pragma once
+
+#include <vector>
+
+#include "battery/load.h"
+#include "cpu/cpu.h"
+#include "util/units.h"
+
+namespace deslp::task {
+
+struct NodePlan {
+  /// Expected wire times of the node's per-frame transactions. Zero means
+  /// "no such transaction" (e.g. the no-I/O experiments 0A/0B).
+  Seconds recv_time;
+  Seconds send_time;
+  /// Cycle budget of the node's PROC share.
+  Cycles work;
+  /// DVS level during PROC.
+  int comp_level = 0;
+  /// DVS level during RECV/SEND (the DVS-during-I/O technique sets this to
+  /// the lowest level; plain schemes leave it at comp_level).
+  int comm_level = 0;
+  /// DVS level while idle inside the frame slot.
+  int idle_level = 0;
+  /// The frame delay D; zero disables the deadline (continuous operation,
+  /// experiments 0A/0B).
+  Seconds frame_delay;
+
+  [[nodiscard]] Seconds compute_time(const cpu::CpuSpec& cpu) const;
+  /// Busy time per frame: recv + compute + send.
+  [[nodiscard]] Seconds busy_time(const cpu::CpuSpec& cpu) const;
+  /// Idle remainder of the frame slot (>= 0 for feasible plans; checked).
+  [[nodiscard]] Seconds idle_time(const cpu::CpuSpec& cpu) const;
+  [[nodiscard]] bool feasible(const cpu::CpuSpec& cpu) const;
+
+  /// The per-frame battery load cycle: comm(recv), comp, comm(send), idle.
+  [[nodiscard]] std::vector<battery::LoadPhase> load_cycle(
+      const cpu::CpuSpec& cpu) const;
+
+  /// Time-weighted average current over one frame.
+  [[nodiscard]] Amps average_current(const cpu::CpuSpec& cpu) const;
+};
+
+}  // namespace deslp::task

@@ -1,0 +1,31 @@
+// Contract-checking macros in the spirit of the C++ Core Guidelines'
+// Expects/Ensures. Violations are programming errors: they abort with a
+// diagnostic rather than throwing, because simulation state is not
+// recoverable once an invariant is broken.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace deslp::detail {
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line) {
+  std::fprintf(stderr, "deslp: %s violated: (%s) at %s:%d\n", kind, expr, file,
+               line);
+  std::abort();
+}
+
+}  // namespace deslp::detail
+
+/// Precondition check: argument/state requirements at function entry.
+#define DESLP_EXPECTS(cond)                                                  \
+  ((cond) ? static_cast<void>(0)                                            \
+          : ::deslp::detail::contract_failure("precondition", #cond,        \
+                                              __FILE__, __LINE__))
+
+/// Postcondition / internal invariant check.
+#define DESLP_ENSURES(cond)                                                  \
+  ((cond) ? static_cast<void>(0)                                            \
+          : ::deslp::detail::contract_failure("invariant", #cond, __FILE__, \
+                                              __LINE__))

@@ -1,0 +1,185 @@
+#include "util/config.h"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+
+namespace deslp {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  const auto begin = s.find_first_not_of(" \t\r");
+  if (begin == std::string::npos) return "";
+  const auto end = s.find_last_not_of(" \t\r");
+  return s.substr(begin, end - begin + 1);
+}
+
+std::string strip_comment(const std::string& line) {
+  const auto pos = line.find_first_of("#;");
+  return pos == std::string::npos ? line : line.substr(0, pos);
+}
+
+}  // namespace
+
+std::optional<Config> Config::parse(const std::string& text,
+                                    std::string* error) {
+  Config cfg;
+  std::istringstream in(text);
+  std::string raw;
+  std::string section;
+  int line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    const std::string line = trim(strip_comment(raw));
+    if (line.empty()) continue;
+    if (line.front() == '[') {
+      if (line.back() != ']' || line.size() < 3) {
+        if (error)
+          *error = "line " + std::to_string(line_no) +
+                   ": malformed section header '" + line + "'";
+        return std::nullopt;
+      }
+      section = trim(line.substr(1, line.size() - 2));
+      cfg.data_[section];  // empty sections are valid
+      continue;
+    }
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) {
+      if (error)
+        *error = "line " + std::to_string(line_no) + ": expected key = value";
+      return std::nullopt;
+    }
+    const std::string key = trim(line.substr(0, eq));
+    const std::string value = trim(line.substr(eq + 1));
+    if (key.empty()) {
+      if (error)
+        *error = "line " + std::to_string(line_no) + ": empty key";
+      return std::nullopt;
+    }
+    auto& sec = cfg.data_[section];
+    if (sec.count(key)) {
+      if (error)
+        *error = "line " + std::to_string(line_no) + ": duplicate key '" +
+                 key + "' in [" + section + "]";
+      return std::nullopt;
+    }
+    sec[key] = value;
+  }
+  return cfg;
+}
+
+std::optional<Config> Config::load(const std::string& path,
+                                   std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error) *error = "cannot open '" + path + "'";
+    return std::nullopt;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse(buf.str(), error);
+}
+
+bool Config::has(const std::string& section, const std::string& key) const {
+  const auto sec = data_.find(section);
+  return sec != data_.end() && sec->second.count(key) > 0;
+}
+
+std::string Config::get_string(const std::string& section,
+                               const std::string& key,
+                               const std::string& fallback) const {
+  const auto sec = data_.find(section);
+  if (sec == data_.end()) return fallback;
+  const auto it = sec->second.find(key);
+  return it == sec->second.end() ? fallback : it->second;
+}
+
+double Config::get_double(const std::string& section, const std::string& key,
+                          double fallback) const {
+  if (!has(section, key)) return fallback;
+  const std::string v = get_string(section, key, "");
+  double out = 0.0;
+  const auto [ptr, ec] = std::from_chars(v.data(), v.data() + v.size(), out);
+  if (ec != std::errc{} || ptr != v.data() + v.size()) {
+    errors_.push_back("[" + section + "] " + key + ": bad number '" + v +
+                      "'");
+    return fallback;
+  }
+  return out;
+}
+
+long long Config::get_int(const std::string& section, const std::string& key,
+                          long long fallback) const {
+  if (!has(section, key)) return fallback;
+  const std::string v = get_string(section, key, "");
+  long long out = 0;
+  const auto [ptr, ec] = std::from_chars(v.data(), v.data() + v.size(), out);
+  if (ec != std::errc{} || ptr != v.data() + v.size()) {
+    errors_.push_back("[" + section + "] " + key + ": bad integer '" + v +
+                      "'");
+    return fallback;
+  }
+  return out;
+}
+
+bool Config::get_bool(const std::string& section, const std::string& key,
+                      bool fallback) const {
+  if (!has(section, key)) return fallback;
+  const std::string v = get_string(section, key, "");
+  if (v == "true" || v == "yes" || v == "on" || v == "1") return true;
+  if (v == "false" || v == "no" || v == "off" || v == "0") return false;
+  errors_.push_back("[" + section + "] " + key + ": bad boolean '" + v + "'");
+  return fallback;
+}
+
+std::vector<double> Config::get_double_list(
+    const std::string& section, const std::string& key,
+    std::vector<double> fallback) const {
+  if (!has(section, key)) return fallback;
+  const std::string v = get_string(section, key, "");
+  std::vector<double> out;
+  std::size_t pos = 0;
+  while (pos <= v.size()) {
+    const auto comma = v.find(',', pos);
+    const std::string item =
+        trim(v.substr(pos, comma == std::string::npos ? std::string::npos
+                                                      : comma - pos));
+    if (!item.empty()) {
+      double d = 0.0;
+      const auto [ptr, ec] =
+          std::from_chars(item.data(), item.data() + item.size(), d);
+      if (ec != std::errc{} || ptr != item.data() + item.size()) {
+        errors_.push_back("[" + section + "] " + key + ": bad list item '" +
+                          item + "'");
+        return fallback;
+      }
+      out.push_back(d);
+    }
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+std::vector<std::string> Config::consume_errors() const {
+  std::vector<std::string> out = std::move(errors_);
+  errors_.clear();
+  return out;
+}
+
+std::vector<std::string> Config::sections() const {
+  std::vector<std::string> out;
+  for (const auto& [name, _] : data_) out.push_back(name);
+  return out;
+}
+
+std::vector<std::string> Config::keys(const std::string& section) const {
+  std::vector<std::string> out;
+  const auto sec = data_.find(section);
+  if (sec == data_.end()) return out;
+  for (const auto& [key, _] : sec->second) out.push_back(key);
+  return out;
+}
+
+}  // namespace deslp

@@ -1,0 +1,59 @@
+// Minimal INI-style configuration reader for the scenario runner: sections
+// in brackets, `key = value` pairs, `#`/`;` comments, case-sensitive keys.
+// Typed accessors convert on demand and report missing keys/bad values as
+// errors collected per call.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace deslp {
+
+class Config {
+ public:
+  /// Parse from text. Returns nullopt and fills `error` on malformed input
+  /// (unterminated section header, missing '=', duplicate keys).
+  static std::optional<Config> parse(const std::string& text,
+                                     std::string* error = nullptr);
+  /// Parse a file; nullopt with `error` set when unreadable or malformed.
+  static std::optional<Config> load(const std::string& path,
+                                    std::string* error = nullptr);
+
+  [[nodiscard]] bool has(const std::string& section,
+                         const std::string& key) const;
+
+  /// Typed getters: return the default when absent; abort the program on a
+  /// present-but-malformed value is avoided — malformed values are
+  /// reported through get_errors() and the default is returned.
+  [[nodiscard]] std::string get_string(const std::string& section,
+                                       const std::string& key,
+                                       const std::string& fallback) const;
+  [[nodiscard]] double get_double(const std::string& section,
+                                  const std::string& key,
+                                  double fallback) const;
+  [[nodiscard]] long long get_int(const std::string& section,
+                                  const std::string& key,
+                                  long long fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& section,
+                              const std::string& key, bool fallback) const;
+  /// Comma-separated list of doubles.
+  [[nodiscard]] std::vector<double> get_double_list(
+      const std::string& section, const std::string& key,
+      std::vector<double> fallback = {}) const;
+
+  /// Conversion problems encountered by the getters so far (value text
+  /// that failed to parse); cleared by consume_errors().
+  [[nodiscard]] std::vector<std::string> consume_errors() const;
+
+  [[nodiscard]] std::vector<std::string> sections() const;
+  [[nodiscard]] std::vector<std::string> keys(
+      const std::string& section) const;
+
+ private:
+  std::map<std::string, std::map<std::string, std::string>> data_;
+  mutable std::vector<std::string> errors_;
+};
+
+}  // namespace deslp

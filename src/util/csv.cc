@@ -1,0 +1,42 @@
+#include "util/csv.h"
+
+#include <ostream>
+#include <utility>
+
+#include "util/check.h"
+
+namespace deslp {
+
+CsvWriter::CsvWriter(std::ostream& os, std::vector<std::string> header)
+    : os_(os), columns_(header.size()) {
+  DESLP_EXPECTS(columns_ > 0);
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (i) os_ << ',';
+    os_ << escape(header[i]);
+  }
+  os_ << '\n';
+}
+
+void CsvWriter::add_row(const std::vector<std::string>& cells) {
+  DESLP_EXPECTS(cells.size() == columns_);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) os_ << ',';
+    os_ << escape(cells[i]);
+  }
+  os_ << '\n';
+  ++rows_;
+}
+
+std::string CsvWriter::escape(const std::string& field) {
+  bool needs_quote = field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quote) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace deslp

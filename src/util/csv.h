@@ -1,0 +1,30 @@
+// CSV writer for exporting discharge traces, sweeps, and experiment series
+// so the paper's figures can be re-plotted from the bench output.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace deslp {
+
+/// Streaming CSV writer with RFC-4180-style quoting. Rows must match the
+/// header width; this is checked.
+class CsvWriter {
+ public:
+  CsvWriter(std::ostream& os, std::vector<std::string> header);
+
+  void add_row(const std::vector<std::string>& cells);
+
+  /// Escape one field (quote when it contains comma/quote/newline).
+  static std::string escape(const std::string& field);
+
+  [[nodiscard]] std::size_t rows_written() const { return rows_; }
+
+ private:
+  std::ostream& os_;
+  std::size_t columns_;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace deslp

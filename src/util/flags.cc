@@ -1,0 +1,192 @@
+#include "util/flags.h"
+
+#include <charconv>
+#include <cstdio>
+#include <sstream>
+#include <utility>
+
+#include "util/check.h"
+
+namespace deslp {
+
+namespace {
+
+bool parse_bool(std::string_view text, bool& out) {
+  if (text == "true" || text == "1" || text == "yes" || text == "on") {
+    out = true;
+    return true;
+  }
+  if (text == "false" || text == "0" || text == "no" || text == "off") {
+    out = false;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+void Flags::add_string(std::string name, std::string default_value,
+                       std::string help) {
+  DESLP_EXPECTS(find(name) == nullptr);
+  flags_.push_back({std::move(name), Kind::kString, std::move(default_value),
+                    std::move(help)});
+}
+
+void Flags::add_double(std::string name, double default_value,
+                       std::string help) {
+  DESLP_EXPECTS(find(name) == nullptr);
+  std::ostringstream os;
+  os << default_value;
+  flags_.push_back({std::move(name), Kind::kDouble, os.str(), std::move(help)});
+}
+
+void Flags::add_int(std::string name, long long default_value,
+                    std::string help) {
+  DESLP_EXPECTS(find(name) == nullptr);
+  flags_.push_back({std::move(name), Kind::kInt, std::to_string(default_value),
+                    std::move(help)});
+}
+
+void Flags::add_bool(std::string name, bool default_value, std::string help) {
+  DESLP_EXPECTS(find(name) == nullptr);
+  flags_.push_back({std::move(name), Kind::kBool,
+                    default_value ? "true" : "false", std::move(help)});
+}
+
+Flags::Flag* Flags::find(std::string_view name) {
+  for (auto& f : flags_)
+    if (f.name == name) return &f;
+  return nullptr;
+}
+
+const Flags::Flag* Flags::find(std::string_view name) const {
+  for (const auto& f : flags_)
+    if (f.name == name) return &f;
+  return nullptr;
+}
+
+bool Flags::parse(int argc, const char* const* argv) {
+  DESLP_EXPECTS(argc >= 1);
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(usage(argv[0]).c_str(), stdout);
+      return false;
+    }
+    if (!arg.starts_with("--")) {
+      positional_.emplace_back(arg);
+      continue;
+    }
+    arg.remove_prefix(2);
+    std::string_view name = arg;
+    std::optional<std::string_view> value;
+    if (auto eq = arg.find('='); eq != std::string_view::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+    }
+
+    Flag* flag = find(name);
+    bool negated = false;
+    if (flag == nullptr && name.starts_with("no-")) {
+      flag = find(name.substr(3));
+      negated = flag != nullptr && flag->kind == Kind::kBool;
+      if (!negated) flag = nullptr;
+    }
+    if (flag == nullptr) {
+      std::fprintf(stderr, "unknown flag --%.*s\n%s",
+                   static_cast<int>(name.size()), name.data(),
+                   usage(argv[0]).c_str());
+      return false;
+    }
+
+    if (flag->kind == Kind::kBool) {
+      if (negated) {
+        flag->value = "false";
+      } else if (value) {
+        bool b = false;
+        if (!parse_bool(*value, b)) {
+          std::fprintf(stderr, "flag --%s: bad boolean '%.*s'\n",
+                       flag->name.c_str(), static_cast<int>(value->size()),
+                       value->data());
+          return false;
+        }
+        flag->value = b ? "true" : "false";
+      } else {
+        flag->value = "true";
+      }
+      continue;
+    }
+
+    if (!value) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "flag --%s: missing value\n", flag->name.c_str());
+        return false;
+      }
+      value = argv[++i];
+    }
+    if (flag->kind == Kind::kDouble) {
+      double v = 0;
+      auto [ptr, ec] =
+          std::from_chars(value->data(), value->data() + value->size(), v);
+      if (ec != std::errc{} || ptr != value->data() + value->size()) {
+        std::fprintf(stderr, "flag --%s: bad number '%.*s'\n",
+                     flag->name.c_str(), static_cast<int>(value->size()),
+                     value->data());
+        return false;
+      }
+    } else if (flag->kind == Kind::kInt) {
+      long long v = 0;
+      auto [ptr, ec] =
+          std::from_chars(value->data(), value->data() + value->size(), v);
+      if (ec != std::errc{} || ptr != value->data() + value->size()) {
+        std::fprintf(stderr, "flag --%s: bad integer '%.*s'\n",
+                     flag->name.c_str(), static_cast<int>(value->size()),
+                     value->data());
+        return false;
+      }
+    }
+    flag->value.assign(value->data(), value->size());
+  }
+  return true;
+}
+
+std::string Flags::get_string(std::string_view name) const {
+  const Flag* f = find(name);
+  DESLP_EXPECTS(f != nullptr);
+  return f->value;
+}
+
+double Flags::get_double(std::string_view name) const {
+  const Flag* f = find(name);
+  DESLP_EXPECTS(f != nullptr && f->kind == Kind::kDouble);
+  double v = 0;
+  auto [ptr, ec] =
+      std::from_chars(f->value.data(), f->value.data() + f->value.size(), v);
+  DESLP_ENSURES(ec == std::errc{});
+  (void)ptr;
+  return v;
+}
+
+long long Flags::get_int(std::string_view name) const {
+  const Flag* f = find(name);
+  DESLP_EXPECTS(f != nullptr && f->kind == Kind::kInt);
+  return std::stoll(f->value);
+}
+
+bool Flags::get_bool(std::string_view name) const {
+  const Flag* f = find(name);
+  DESLP_EXPECTS(f != nullptr && f->kind == Kind::kBool);
+  return f->value == "true";
+}
+
+std::string Flags::usage(std::string_view program) const {
+  std::ostringstream os;
+  os << "usage: " << program << " [flags]\n";
+  for (const auto& f : flags_) {
+    os << "  --" << f.name << " (default: " << f.value << ")\n      " << f.help
+       << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace deslp

@@ -1,0 +1,54 @@
+// Tiny command-line flag parser for the examples and bench harnesses.
+// Supports `--name=value`, `--name value`, and boolean `--name` /
+// `--no-name`. Unknown flags are an error; `--help` prints registered flags.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace deslp {
+
+class Flags {
+ public:
+  /// Register flags before parse(). `help` appears in usage output.
+  void add_string(std::string name, std::string default_value,
+                  std::string help);
+  void add_double(std::string name, double default_value, std::string help);
+  void add_int(std::string name, long long default_value, std::string help);
+  void add_bool(std::string name, bool default_value, std::string help);
+
+  /// Parse argv. Returns false (after printing a diagnostic to stderr) on
+  /// unknown flags or malformed values; returns false with usage printed to
+  /// stdout when --help is present. Positional arguments are collected.
+  bool parse(int argc, const char* const* argv);
+
+  [[nodiscard]] std::string get_string(std::string_view name) const;
+  [[nodiscard]] double get_double(std::string_view name) const;
+  [[nodiscard]] long long get_int(std::string_view name) const;
+  [[nodiscard]] bool get_bool(std::string_view name) const;
+
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+  [[nodiscard]] std::string usage(std::string_view program) const;
+
+ private:
+  enum class Kind { kString, kDouble, kInt, kBool };
+  struct Flag {
+    std::string name;
+    Kind kind;
+    std::string value;  // canonical textual value
+    std::string help;
+  };
+
+  Flag* find(std::string_view name);
+  [[nodiscard]] const Flag* find(std::string_view name) const;
+
+  std::vector<Flag> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace deslp

@@ -1,0 +1,47 @@
+#include "util/log.h"
+
+#include <cstdio>
+#include <utility>
+
+namespace deslp::log {
+
+namespace {
+
+Level g_level = Level::kWarn;
+Sink g_sink;
+
+const char* level_name(Level lvl) {
+  switch (lvl) {
+    case Level::kDebug:
+      return "DEBUG";
+    case Level::kInfo:
+      return "INFO";
+    case Level::kWarn:
+      return "WARN";
+    case Level::kError:
+      return "ERROR";
+    case Level::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_level(Level level) { g_level = level; }
+
+Level level() { return g_level; }
+
+void set_sink(Sink sink) { g_sink = std::move(sink); }
+
+void write(Level lvl, std::string_view message) {
+  if (lvl < g_level) return;
+  if (g_sink) {
+    g_sink(lvl, message);
+    return;
+  }
+  std::fprintf(stderr, "[%s] %.*s\n", level_name(lvl),
+               static_cast<int>(message.size()), message.data());
+}
+
+}  // namespace deslp::log

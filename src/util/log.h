@@ -1,0 +1,56 @@
+// Minimal leveled logger. The simulator is deterministic and single-threaded,
+// so the logger is intentionally simple: a global level, printf-style
+// formatting via std::format-like streams, and an optional sink override used
+// by tests to capture output.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace deslp::log {
+
+enum class Level : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold; messages below it are discarded.
+void set_level(Level level);
+Level level();
+
+/// Redirect log output (default writes to stderr). Pass nullptr to restore.
+using Sink = std::function<void(Level, std::string_view)>;
+void set_sink(Sink sink);
+
+/// Emit one message at `level`.
+void write(Level level, std::string_view message);
+
+namespace detail {
+
+template <typename... Args>
+void emit(Level lvl, const Args&... args) {
+  if (lvl < level()) return;
+  std::ostringstream os;
+  (os << ... << args);
+  write(lvl, os.str());
+}
+
+}  // namespace detail
+
+template <typename... Args>
+void debug(const Args&... args) {
+  detail::emit(Level::kDebug, args...);
+}
+template <typename... Args>
+void info(const Args&... args) {
+  detail::emit(Level::kInfo, args...);
+}
+template <typename... Args>
+void warn(const Args&... args) {
+  detail::emit(Level::kWarn, args...);
+}
+template <typename... Args>
+void error(const Args&... args) {
+  detail::emit(Level::kError, args...);
+}
+
+}  // namespace deslp::log

@@ -1,0 +1,113 @@
+#include "util/nelder_mead.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "util/check.h"
+
+namespace deslp {
+
+NelderMeadResult nelder_mead(
+    const std::function<double(const std::vector<double>&)>& f,
+    std::vector<double> x0, const NelderMeadOptions& opt) {
+  DESLP_EXPECTS(!x0.empty());
+  const std::size_t n = x0.size();
+
+  // Vertices and their objective values, kept sorted best-first.
+  std::vector<std::vector<double>> verts;
+  std::vector<double> vals;
+  verts.reserve(n + 1);
+  verts.push_back(x0);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto v = x0;
+    const double step =
+        v[i] != 0.0 ? opt.relative_step * std::abs(v[i]) : opt.absolute_step;
+    v[i] += step;
+    verts.push_back(std::move(v));
+  }
+  vals.reserve(n + 1);
+  for (const auto& v : verts) vals.push_back(f(v));
+
+  auto order = [&] {
+    std::vector<std::size_t> idx(verts.size());
+    for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+    std::sort(idx.begin(), idx.end(),
+              [&](std::size_t a, std::size_t b) { return vals[a] < vals[b]; });
+    std::vector<std::vector<double>> nv;
+    std::vector<double> nf;
+    nv.reserve(idx.size());
+    nf.reserve(idx.size());
+    for (std::size_t i : idx) {
+      nv.push_back(std::move(verts[i]));
+      nf.push_back(vals[i]);
+    }
+    verts = std::move(nv);
+    vals = std::move(nf);
+  };
+  order();
+
+  NelderMeadResult result;
+  int iter = 0;
+  for (; iter < opt.max_iterations; ++iter) {
+    if (std::abs(vals.back() - vals.front()) <=
+        opt.tolerance * (std::abs(vals.front()) + opt.tolerance)) {
+      result.converged = true;
+      break;
+    }
+
+    // Centroid of all but the worst vertex.
+    std::vector<double> centroid(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t d = 0; d < n; ++d)
+        centroid[d] += verts[i][d] / static_cast<double>(n);
+
+    auto blend = [&](double coeff) {
+      std::vector<double> p(n);
+      for (std::size_t d = 0; d < n; ++d)
+        p[d] = centroid[d] + coeff * (centroid[d] - verts.back()[d]);
+      return p;
+    };
+
+    auto reflected = blend(opt.reflection);
+    const double fr = f(reflected);
+    if (fr < vals.front()) {
+      auto expanded = blend(opt.reflection * opt.expansion);
+      const double fe = f(expanded);
+      if (fe < fr) {
+        verts.back() = std::move(expanded);
+        vals.back() = fe;
+      } else {
+        verts.back() = std::move(reflected);
+        vals.back() = fr;
+      }
+    } else if (fr < vals[n - 1]) {
+      verts.back() = std::move(reflected);
+      vals.back() = fr;
+    } else {
+      auto contracted = blend(fr < vals.back() ? opt.contraction
+                                               : -opt.contraction);
+      const double fc = f(contracted);
+      if (fc < std::min(fr, vals.back())) {
+        verts.back() = std::move(contracted);
+        vals.back() = fc;
+      } else {
+        // Shrink toward the best vertex.
+        for (std::size_t i = 1; i <= n; ++i) {
+          for (std::size_t d = 0; d < n; ++d)
+            verts[i][d] =
+                verts[0][d] + opt.shrink * (verts[i][d] - verts[0][d]);
+          vals[i] = f(verts[i]);
+        }
+      }
+    }
+    order();
+  }
+
+  result.x = verts.front();
+  result.value = vals.front();
+  result.iterations = iter;
+  return result;
+}
+
+}  // namespace deslp

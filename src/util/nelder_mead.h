@@ -1,0 +1,40 @@
+// Derivative-free Nelder–Mead simplex minimiser, used to calibrate the
+// battery model parameters against the paper's measured lifetimes
+// (DESIGN.md §4). Deterministic: the initial simplex is built from fixed
+// per-dimension steps, no randomness involved.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace deslp {
+
+struct NelderMeadOptions {
+  int max_iterations = 2000;
+  /// Convergence: stop when the simplex's objective spread falls below this.
+  double tolerance = 1e-9;
+  /// Initial simplex step per dimension, relative to |x0[i]| (absolute step
+  /// `absolute_step` is used where x0[i] == 0).
+  double relative_step = 0.10;
+  double absolute_step = 1e-3;
+  // Standard NM coefficients.
+  double reflection = 1.0;
+  double expansion = 2.0;
+  double contraction = 0.5;
+  double shrink = 0.5;
+};
+
+struct NelderMeadResult {
+  std::vector<double> x;
+  double value = 0.0;
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Minimise `f` starting from `x0`. `f` must be defined everywhere the
+/// simplex may wander; clamp inside the objective if the domain is bounded.
+NelderMeadResult nelder_mead(
+    const std::function<double(const std::vector<double>&)>& f,
+    std::vector<double> x0, const NelderMeadOptions& options = {});
+
+}  // namespace deslp

@@ -1,0 +1,74 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace deslp {
+
+void RunningStats::add(double x) { add_weighted(x, 1.0); }
+
+void RunningStats::add_weighted(double x, double weight) {
+  DESLP_EXPECTS(weight > 0.0);
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  w_ += weight;
+  const double delta = x - mean_;
+  mean_ += delta * (weight / w_);
+  m2_ += weight * delta * (x - mean_);
+}
+
+double RunningStats::mean() const {
+  DESLP_EXPECTS(n_ > 0);
+  return mean_;
+}
+
+double RunningStats::variance() const {
+  DESLP_EXPECTS(n_ > 0);
+  return m2_ / w_;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::min() const {
+  DESLP_EXPECTS(n_ > 0);
+  return min_;
+}
+
+double RunningStats::max() const {
+  DESLP_EXPECTS(n_ > 0);
+  return max_;
+}
+
+double percentile(std::vector<double> values, double p) {
+  DESLP_EXPECTS(!values.empty());
+  DESLP_EXPECTS(p >= 0.0 && p <= 100.0);
+  std::sort(values.begin(), values.end());
+  if (values.size() == 1) return values.front();
+  const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] + frac * (values[hi] - values[lo]);
+}
+
+double rms_relative_error(const std::vector<double>& reference,
+                          const std::vector<double>& measured) {
+  DESLP_EXPECTS(reference.size() == measured.size());
+  DESLP_EXPECTS(!reference.empty());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    DESLP_EXPECTS(reference[i] != 0.0);
+    const double rel = (measured[i] - reference[i]) / reference[i];
+    acc += rel * rel;
+  }
+  return std::sqrt(acc / static_cast<double>(reference.size()));
+}
+
+}  // namespace deslp

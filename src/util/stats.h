@@ -1,0 +1,43 @@
+// Small online statistics accumulators used by the power monitor and the
+// benchmark harnesses.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace deslp {
+
+/// Welford online mean/variance accumulator; numerically stable.
+class RunningStats {
+ public:
+  void add(double x);
+  /// Weighted sample (e.g. time-weighted current samples).
+  void add_weighted(double x, double weight);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double total_weight() const { return w_; }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] bool empty() const { return n_ == 0; }
+
+ private:
+  std::size_t n_ = 0;
+  double w_ = 0.0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Percentile over a sample vector (linear interpolation, p in [0,100]).
+double percentile(std::vector<double> values, double p);
+
+/// Root-mean-square relative error between paired series, used by the
+/// battery calibration report (paper lifetime vs simulated lifetime).
+double rms_relative_error(const std::vector<double>& reference,
+                          const std::vector<double>& measured);
+
+}  // namespace deslp

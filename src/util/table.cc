@@ -1,0 +1,92 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <charconv>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+#include "util/check.h"
+
+namespace deslp {
+
+namespace {
+
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  double v = 0;
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc{}) return false;
+  // Allow a trailing unit suffix of at most 5 chars ("%", " h", " mA", ...).
+  return static_cast<std::size_t>(ptr - s.data()) + 5 >= s.size();
+}
+
+std::string pad(const std::string& s, std::size_t width, bool right_align) {
+  DESLP_EXPECTS(s.size() <= width);
+  std::string out;
+  if (right_align) out.append(width - s.size(), ' ');
+  out += s;
+  if (!right_align) out.append(width - s.size(), ' ');
+  return out;
+}
+
+}  // namespace
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  DESLP_EXPECTS(!header_.empty());
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  DESLP_EXPECTS(cells.size() <= header_.size());
+  cells.resize(header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::percent(double ratio, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f%%", precision, ratio * 100.0);
+  return buf;
+}
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    widths[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  std::ostringstream os;
+  auto rule = [&] {
+    os << '+';
+    for (std::size_t w : widths) os << std::string(w + 2, '-') << '+';
+    os << '\n';
+  };
+  auto line = [&](const std::vector<std::string>& cells, bool is_header) {
+    os << '|';
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      bool right = !is_header && looks_numeric(cells[c]);
+      os << ' ' << pad(cells[c], widths[c], right) << " |";
+    }
+    os << '\n';
+  };
+  rule();
+  line(header_, /*is_header=*/true);
+  rule();
+  for (const auto& row : rows_) line(row, /*is_header=*/false);
+  rule();
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Table& t) {
+  return os << t.render();
+}
+
+}  // namespace deslp

@@ -1,0 +1,39 @@
+// ASCII table renderer used by the benchmark harnesses to print the paper's
+// tables and figures as aligned monospace tables.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace deslp {
+
+/// Column-aligned text table. Cells are strings; numeric helpers format with
+/// fixed precision. Rendering right-aligns cells that parse as numbers and
+/// left-aligns everything else.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append a row; it may have fewer cells than the header (padded blank).
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: format a double with `precision` digits after the point.
+  static std::string num(double v, int precision = 2);
+  /// Format as a percentage ("145%").
+  static std::string percent(double ratio, int precision = 0);
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+  [[nodiscard]] std::size_t columns() const { return header_.size(); }
+
+  /// Render with box-drawing separators to a string.
+  [[nodiscard]] std::string render() const;
+
+  friend std::ostream& operator<<(std::ostream& os, const Table& t);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace deslp

@@ -1,0 +1,180 @@
+// Strong unit types for the physical quantities the simulator trades in.
+//
+// Each quantity is a thin wrapper over `double` (or `std::int64_t` for data
+// sizes) with a tag type, so that a frequency cannot be passed where a
+// voltage is expected. Same-unit arithmetic and scalar scaling are provided;
+// the handful of physically meaningful cross-unit operations (P = V*I,
+// Q = I*t, E = P*t, ...) are free functions defined at the bottom.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+
+namespace deslp {
+
+/// Generic strong double quantity. `Tag` makes distinct instantiations
+/// incompatible; `Self` is the CRTP-style concrete type used for operator
+/// return types.
+template <typename Tag>
+class Quantity {
+ public:
+  constexpr Quantity() = default;
+  constexpr explicit Quantity(double v) : v_(v) {}
+
+  [[nodiscard]] constexpr double value() const { return v_; }
+
+  constexpr auto operator<=>(const Quantity&) const = default;
+
+  constexpr Quantity operator+(Quantity o) const { return Quantity{v_ + o.v_}; }
+  constexpr Quantity operator-(Quantity o) const { return Quantity{v_ - o.v_}; }
+  constexpr Quantity operator-() const { return Quantity{-v_}; }
+  constexpr Quantity operator*(double s) const { return Quantity{v_ * s}; }
+  constexpr Quantity operator/(double s) const { return Quantity{v_ / s}; }
+  /// Ratio of two like quantities is dimensionless.
+  constexpr double operator/(Quantity o) const { return v_ / o.v_; }
+
+  constexpr Quantity& operator+=(Quantity o) {
+    v_ += o.v_;
+    return *this;
+  }
+  constexpr Quantity& operator-=(Quantity o) {
+    v_ -= o.v_;
+    return *this;
+  }
+  constexpr Quantity& operator*=(double s) {
+    v_ *= s;
+    return *this;
+  }
+
+ private:
+  double v_ = 0.0;
+};
+
+template <typename Tag>
+constexpr Quantity<Tag> operator*(double s, Quantity<Tag> q) {
+  return q * s;
+}
+
+struct SecondsTag {};
+struct HertzTag {};
+struct VoltsTag {};
+struct AmpsTag {};
+struct CoulombsTag {};
+struct JoulesTag {};
+struct WattsTag {};
+struct CyclesTag {};
+
+/// Wall-clock / simulated durations, in seconds.
+using Seconds = Quantity<SecondsTag>;
+/// Clock frequency, in hertz.
+using Hertz = Quantity<HertzTag>;
+/// Supply voltage, in volts.
+using Volts = Quantity<VoltsTag>;
+/// Electrical current, in amperes.
+using Amps = Quantity<AmpsTag>;
+/// Electrical charge, in coulombs (1 mAh = 3.6 C).
+using Coulombs = Quantity<CoulombsTag>;
+/// Energy, in joules.
+using Joules = Quantity<JoulesTag>;
+/// Power, in watts.
+using Watts = Quantity<WattsTag>;
+/// CPU work, in clock cycles (double: cycle counts can exceed 2^53 only after
+/// ~4 years of 206 MHz simulated time, far past any experiment here).
+using Cycles = Quantity<CyclesTag>;
+
+// --- Construction helpers -------------------------------------------------
+
+constexpr Seconds seconds(double s) { return Seconds{s}; }
+constexpr Seconds milliseconds(double ms) { return Seconds{ms * 1e-3}; }
+constexpr Seconds microseconds(double us) { return Seconds{us * 1e-6}; }
+constexpr Seconds hours(double h) { return Seconds{h * 3600.0}; }
+constexpr Hertz hertz(double hz) { return Hertz{hz}; }
+constexpr Hertz megahertz(double mhz) { return Hertz{mhz * 1e6}; }
+constexpr Volts volts(double v) { return Volts{v}; }
+constexpr Amps amps(double a) { return Amps{a}; }
+constexpr Amps milliamps(double ma) { return Amps{ma * 1e-3}; }
+constexpr Coulombs coulombs(double c) { return Coulombs{c}; }
+constexpr Coulombs milliamp_hours(double mah) { return Coulombs{mah * 3.6}; }
+constexpr Joules joules(double j) { return Joules{j}; }
+constexpr Watts watts(double w) { return Watts{w}; }
+constexpr Cycles cycles(double c) { return Cycles{c}; }
+
+// --- Readout helpers ------------------------------------------------------
+
+constexpr double to_hours(Seconds s) { return s.value() / 3600.0; }
+constexpr double to_milliseconds(Seconds s) { return s.value() * 1e3; }
+constexpr double to_megahertz(Hertz f) { return f.value() / 1e6; }
+constexpr double to_milliamps(Amps i) { return i.value() * 1e3; }
+constexpr double to_milliamp_hours(Coulombs q) { return q.value() / 3.6; }
+
+// --- Physically meaningful cross-unit operations ---------------------------
+
+/// P = V * I
+constexpr Watts electrical_power(Volts v, Amps i) { return Watts{v.value() * i.value()}; }
+/// Q = I * t
+constexpr Coulombs charge(Amps i, Seconds t) {
+  return Coulombs{i.value() * t.value()};
+}
+/// E = P * t
+constexpr Joules energy(Watts p, Seconds t) {
+  return Joules{p.value() * t.value()};
+}
+/// t = Q / I
+constexpr Seconds discharge_time(Coulombs q, Amps i) {
+  return Seconds{q.value() / i.value()};
+}
+/// t = cycles / f
+constexpr Seconds execution_time(Cycles c, Hertz f) {
+  return Seconds{c.value() / f.value()};
+}
+/// cycles = f * t
+constexpr Cycles work(Hertz f, Seconds t) {
+  return Cycles{f.value() * t.value()};
+}
+
+// --- Data sizes -----------------------------------------------------------
+
+/// Payload sizes in bytes. Integral: serial links transfer whole octets.
+class Bytes {
+ public:
+  constexpr Bytes() = default;
+  constexpr explicit Bytes(std::int64_t n) : n_(n) {}
+
+  [[nodiscard]] constexpr std::int64_t count() const { return n_; }
+  constexpr auto operator<=>(const Bytes&) const = default;
+
+  constexpr Bytes operator+(Bytes o) const { return Bytes{n_ + o.n_}; }
+  constexpr Bytes operator-(Bytes o) const { return Bytes{n_ - o.n_}; }
+  constexpr Bytes& operator+=(Bytes o) {
+    n_ += o.n_;
+    return *this;
+  }
+
+ private:
+  std::int64_t n_ = 0;
+};
+
+constexpr Bytes bytes(std::int64_t n) { return Bytes{n}; }
+constexpr Bytes kilobytes(double kb) {
+  return Bytes{static_cast<std::int64_t>(kb * 1024.0)};
+}
+constexpr double to_kilobytes(Bytes b) {
+  return static_cast<double>(b.count()) / 1024.0;
+}
+
+/// Bit rate of a link, in bits per second.
+struct BitsPerSecondTag {};
+using BitsPerSecond = Quantity<BitsPerSecondTag>;
+constexpr BitsPerSecond bits_per_second(double bps) {
+  return BitsPerSecond{bps};
+}
+constexpr BitsPerSecond kilobits_per_second(double kbps) {
+  return BitsPerSecond{kbps * 1000.0};
+}
+/// Time to clock `b` bytes through a link at rate `r` (8 bits per octet,
+/// framing overhead handled by the caller).
+constexpr Seconds transfer_time(Bytes b, BitsPerSecond r) {
+  return Seconds{static_cast<double>(b.count()) * 8.0 / r.value()};
+}
+
+}  // namespace deslp

@@ -1,0 +1,422 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+
+#include "atr/detect.h"
+#include "atr/distance.h"
+#include "atr/fft.h"
+#include "atr/image.h"
+#include "atr/match.h"
+#include "atr/pipeline.h"
+#include "atr/profile.h"
+#include "util/rng.h"
+
+namespace deslp::atr {
+namespace {
+
+// --- image ------------------------------------------------------------------
+
+TEST(Image, BasicAccessors) {
+  Image img(8, 4, 0.5f);
+  EXPECT_EQ(img.width(), 8);
+  EXPECT_EQ(img.height(), 4);
+  EXPECT_EQ(img.size(), 32u);
+  img.at(3, 2) = 2.0f;
+  EXPECT_FLOAT_EQ(img.at(3, 2), 2.0f);
+  EXPECT_FLOAT_EQ(img.at_or_zero(-1, 0), 0.0f);
+  EXPECT_FLOAT_EQ(img.at_or_zero(8, 0), 0.0f);
+}
+
+TEST(Image, Statistics) {
+  Image img(2, 2);
+  img.at(0, 0) = 1.0f;
+  img.at(1, 0) = 2.0f;
+  img.at(0, 1) = 3.0f;
+  img.at(1, 1) = 4.0f;
+  EXPECT_FLOAT_EQ(img.mean(), 2.5f);
+  EXPECT_FLOAT_EQ(img.max_value(), 4.0f);
+  EXPECT_NEAR(img.stddev(), std::sqrt(1.25), 1e-6);
+}
+
+TEST(Image, CropCentersAndZeroPads) {
+  Image img(16, 16);
+  img.at(8, 8) = 1.0f;
+  const Image roi = img.crop(8, 8, 4, 4);
+  EXPECT_FLOAT_EQ(roi.at(2, 2), 1.0f);  // centre maps to (w/2, h/2)
+  const Image edge = img.crop(0, 0, 8, 8);
+  EXPECT_FLOAT_EQ(edge.at(0, 0), 0.0f);  // off-image region zero-padded
+}
+
+TEST(Image, BoxBlurPreservesMass) {
+  Rng rng(5);
+  Image img(16, 16, 1.0f);
+  const Image blurred = img.box_blur3();
+  // Interior of a constant image stays constant.
+  EXPECT_NEAR(blurred.at(8, 8), 1.0f, 1e-6);
+  // Edges lose the out-of-bounds contribution.
+  EXPECT_NEAR(blurred.at(0, 0), 4.0f / 9.0f, 1e-6);
+}
+
+TEST(Image, NoiseHasRequestedSigma) {
+  Rng rng(17);
+  Image img(64, 64);
+  img.add_gaussian_noise(rng, 0.1f);
+  EXPECT_NEAR(img.mean(), 0.0f, 0.01);
+  EXPECT_NEAR(img.stddev(), 0.1f, 0.01);
+}
+
+TEST(Image, TemplateBankIsUnitEnergyZeroMean) {
+  for (const Image& t : template_bank()) {
+    double sum = 0.0, energy = 0.0;
+    for (float v : t.data()) {
+      sum += static_cast<double>(v);
+      energy += static_cast<double>(v) * static_cast<double>(v);
+    }
+    EXPECT_NEAR(sum, 0.0, 1e-4);
+    EXPECT_NEAR(energy, 1.0, 1e-4);
+  }
+}
+
+// --- fft -----------------------------------------------------------------------
+
+TEST(Fft, PowerOfTwoHelpers) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(64));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(12));
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(17), 32u);
+}
+
+TEST(Fft, ImpulseGivesFlatSpectrum) {
+  std::vector<Complex> data(8, Complex(0, 0));
+  data[0] = Complex(1, 0);
+  fft(data);
+  for (const auto& c : data) {
+    EXPECT_NEAR(c.real(), 1.0, 1e-12);
+    EXPECT_NEAR(c.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(Fft, DcGivesSingleBin) {
+  std::vector<Complex> data(16, Complex(1, 0));
+  fft(data);
+  EXPECT_NEAR(data[0].real(), 16.0, 1e-9);
+  for (std::size_t i = 1; i < data.size(); ++i)
+    EXPECT_NEAR(std::abs(data[i]), 0.0, 1e-9);
+}
+
+TEST(Fft, RoundTripIsIdentity) {
+  Rng rng(9);
+  std::vector<Complex> data(128);
+  for (auto& c : data) c = Complex(rng.uniform(-1, 1), rng.uniform(-1, 1));
+  auto original = data;
+  fft(data);
+  ifft(data);
+  for (std::size_t i = 0; i < data.size(); ++i)
+    EXPECT_NEAR(std::abs(data[i] - original[i]), 0.0, 1e-9);
+}
+
+TEST(Fft, ParsevalHolds) {
+  Rng rng(10);
+  std::vector<Complex> data(64);
+  double time_energy = 0.0;
+  for (auto& c : data) {
+    c = Complex(rng.uniform(-1, 1), rng.uniform(-1, 1));
+    time_energy += std::norm(c);
+  }
+  fft(data);
+  double freq_energy = 0.0;
+  for (const auto& c : data) freq_energy += std::norm(c);
+  EXPECT_NEAR(freq_energy, time_energy * 64.0, 1e-6);
+}
+
+TEST(Fft, Linearity) {
+  Rng rng(11);
+  std::vector<Complex> a(32), b(32), sum(32);
+  for (std::size_t i = 0; i < 32; ++i) {
+    a[i] = Complex(rng.uniform(-1, 1), 0);
+    b[i] = Complex(rng.uniform(-1, 1), 0);
+    sum[i] = a[i] + 2.0 * b[i];
+  }
+  fft(a);
+  fft(b);
+  fft(sum);
+  for (std::size_t i = 0; i < 32; ++i)
+    EXPECT_NEAR(std::abs(sum[i] - (a[i] + 2.0 * b[i])), 0.0, 1e-9);
+}
+
+TEST(Fft2d, RoundTripOnImage) {
+  Rng rng(13);
+  Image img(32, 32);
+  img.add_gaussian_noise(rng, 1.0f);
+  const Image back = ifft2d(fft2d(img));
+  for (int y = 0; y < 32; ++y)
+    for (int x = 0; x < 32; ++x)
+      EXPECT_NEAR(back.at(x, y), img.at(x, y), 1e-4);
+}
+
+TEST(Fft2d, MultiplyConjIsCrossCorrelation) {
+  // Correlating a shifted impulse against an origin impulse peaks at the
+  // shift.
+  Image a(16, 16), b(16, 16);
+  a.at(5, 3) = 1.0f;
+  b.at(0, 0) = 1.0f;
+  const Image corr = ifft2d(multiply_conj(fft2d(a), fft2d(b)));
+  int px = -1, py = -1;
+  float best = -1.0f;
+  for (int y = 0; y < 16; ++y)
+    for (int x = 0; x < 16; ++x)
+      if (corr.at(x, y) > best) {
+        best = corr.at(x, y);
+        px = x;
+        py = y;
+      }
+  EXPECT_EQ(px, 5);
+  EXPECT_EQ(py, 3);
+}
+
+// --- detection --------------------------------------------------------------------
+
+TEST(Detect, FindsPlantedTargets) {
+  Rng rng(21);
+  SceneSpec spec;
+  spec.targets = {{40, 40, 0, 1.0}, {90, 70, 1, 1.2}};
+  const Image frame = render_scene(spec, rng);
+  const auto detections = detect_targets(frame);
+  ASSERT_GE(detections.size(), 2u);
+  // Each planted target has a detection within a few pixels.
+  for (const auto& truth : spec.targets) {
+    bool found = false;
+    for (const auto& d : detections) {
+      if (std::abs(d.x - truth.x) <= 3 && std::abs(d.y - truth.y) <= 3)
+        found = true;
+    }
+    EXPECT_TRUE(found) << "target at (" << truth.x << "," << truth.y << ")";
+  }
+}
+
+TEST(Detect, EmptySceneYieldsNoDetections) {
+  Rng rng(22);
+  SceneSpec spec;  // no targets
+  spec.noise_sigma = 0.05f;
+  const Image frame = render_scene(spec, rng);
+  // A stricter threshold than the default 4-sigma: smoothed Gaussian noise
+  // over ~16k pixels produces the occasional 4-sigma excursion, which the
+  // later matched-filter stage would reject; at 5.5 sigma the detector
+  // itself must stay silent.
+  DetectOptions opt;
+  opt.k_sigma = 5.5f;
+  EXPECT_TRUE(detect_targets(frame, opt).empty());
+}
+
+TEST(Detect, NonMaxSuppressionSeparatesPeaks) {
+  Rng rng(23);
+  SceneSpec spec;
+  spec.targets = {{40, 40, 0, 1.0}, {44, 40, 0, 1.0}};  // 4 px apart
+  const Image frame = render_scene(spec, rng);
+  DetectOptions opt;
+  opt.min_separation = 12;
+  const auto detections = detect_targets(frame, opt);
+  EXPECT_EQ(detections.size(), 1u);  // merged by NMS
+}
+
+TEST(Detect, RoiExtractionIsPow2) {
+  Rng rng(24);
+  SceneSpec spec;
+  spec.targets = {{64, 64, 0, 1.0}};
+  const Image frame = render_scene(spec, rng);
+  const auto detections = detect_targets(frame);
+  ASSERT_FALSE(detections.empty());
+  const Image roi = extract_roi(frame, detections[0]);
+  EXPECT_EQ(roi.width(), 32);
+  EXPECT_EQ(roi.height(), 32);
+}
+
+// --- matching ----------------------------------------------------------------------
+
+TEST(Match, IdentifiesCorrectTemplate) {
+  Rng rng(31);
+  for (int tid = 0; tid < 3; ++tid) {
+    SceneSpec spec;
+    spec.targets = {{64, 64, tid, 1.0}};
+    const Image frame = render_scene(spec, rng);
+    const auto s1 = stage_target_detection(frame);
+    ASSERT_FALSE(s1.rois.empty());
+    const MatchResult m = best_match(roi_spectrum(s1.rois[0]));
+    EXPECT_EQ(m.template_id, tid) << "template " << tid;
+    EXPECT_GT(m.score, 0.5);
+  }
+}
+
+TEST(Match, PeakNearRoiCenter) {
+  Rng rng(32);
+  SceneSpec spec;
+  spec.targets = {{60, 60, 0, 1.0}};
+  const Image frame = render_scene(spec, rng);
+  const auto s1 = stage_target_detection(frame);
+  ASSERT_FALSE(s1.rois.empty());
+  const MatchResult m = best_match(roi_spectrum(s1.rois[0]));
+  // The ROI is centred on the detection, so the correlation peak sits near
+  // the ROI centre (16, 16).
+  EXPECT_NEAR(m.peak_x, 16, 3);
+  EXPECT_NEAR(m.peak_y, 16, 3);
+}
+
+// --- distance ----------------------------------------------------------------------
+
+TEST(Distance, InverseSquareLawRecoversRange) {
+  Rng rng(41);
+  for (double d : {1.0, 1.5, 2.0}) {
+    SceneSpec spec;
+    spec.noise_sigma = 0.02f;
+    spec.targets = {{64, 64, 0, d}};
+    const Image frame = render_scene(spec, rng);
+    DetectOptions det;
+    det.k_sigma = 3.0f;
+    AtrOptions opt;
+    opt.detect = det;
+    const AtrResult r = run_atr(frame, opt);
+    ASSERT_FALSE(r.targets.empty()) << "d=" << d;
+    EXPECT_NEAR(r.targets[0].range.distance, d, d * 0.15) << "d=" << d;
+  }
+}
+
+TEST(Distance, NoTargetBelowFloor) {
+  MatchResult weak;
+  weak.template_id = 1;
+  weak.score = 0.01;
+  const DistanceEstimate est = estimate_distance(weak);
+  EXPECT_LE(est.confidence, 0.0);
+  EXPECT_DOUBLE_EQ(est.distance, 0.0);
+}
+
+
+// --- sub-pixel peak refinement ------------------------------------------------------
+
+TEST(Refine, ExactQuadraticPeakRecovered) {
+  // Sample a known parabola peaked at (5.3, 7.8) and check the refinement
+  // recovers the fractional offset and peak height.
+  Image surface(16, 16);
+  const double px = 5.3, py = 7.8, h = 2.0;
+  for (int y = 0; y < 16; ++y)
+    for (int x = 0; x < 16; ++x) {
+      const double dx = x - px, dy = y - py;
+      surface.at(x, y) =
+          static_cast<float>(h - 0.1 * dx * dx - 0.2 * dy * dy);
+    }
+  const PeakRefinement r = refine_peak(surface, 5, 8);
+  EXPECT_NEAR(5.0 + r.dx, px, 1e-3);
+  EXPECT_NEAR(8.0 + r.dy, py, 1e-3);
+  EXPECT_NEAR(r.value, h, 1e-3);
+}
+
+TEST(Refine, IntegerPeakHasZeroOffset) {
+  Image surface(8, 8);
+  surface.at(4, 4) = 1.0f;
+  surface.at(3, 4) = 0.5f;
+  surface.at(5, 4) = 0.5f;
+  surface.at(4, 3) = 0.5f;
+  surface.at(4, 5) = 0.5f;
+  const PeakRefinement r = refine_peak(surface, 4, 4);
+  EXPECT_NEAR(r.dx, 0.0, 1e-9);
+  EXPECT_NEAR(r.dy, 0.0, 1e-9);
+  EXPECT_NEAR(r.value, 1.0, 1e-9);
+}
+
+TEST(Refine, EdgePeakFallsBackToInteger) {
+  Image surface(8, 8);
+  surface.at(0, 0) = 1.0f;
+  const PeakRefinement r = refine_peak(surface, 0, 0);
+  EXPECT_DOUBLE_EQ(r.dx, 0.0);
+  EXPECT_DOUBLE_EQ(r.dy, 0.0);
+  EXPECT_NEAR(r.value, 1.0, 1e-9);
+}
+
+TEST(Refine, FlatNeighbourhoodNoRefinement) {
+  Image surface(8, 8, 0.5f);
+  const PeakRefinement r = refine_peak(surface, 4, 4);
+  EXPECT_DOUBLE_EQ(r.dx, 0.0);
+  EXPECT_DOUBLE_EQ(r.dy, 0.0);
+}
+
+TEST(Refine, MatchResultCarriesRefinedFields) {
+  Rng rng(61);
+  SceneSpec spec;
+  spec.targets = {{64, 64, 0, 1.0}};
+  const Image frame = render_scene(spec, rng);
+  const auto s1 = stage_target_detection(frame);
+  ASSERT_FALSE(s1.rois.empty());
+  const MatchResult m = best_match(roi_spectrum(s1.rois[0]));
+  EXPECT_GE(m.refined_score, m.score * 0.999);
+  EXPECT_NEAR(m.refined_x, m.peak_x, 0.5 + 1e-9);
+  EXPECT_NEAR(m.refined_y, m.peak_y, 0.5 + 1e-9);
+}
+
+// --- staged pipeline vs monolithic ----------------------------------------------------
+
+TEST(Pipeline, StagedEqualsMonolithic) {
+  Rng rng(51);
+  SceneSpec spec;
+  spec.targets = {{40, 80, 2, 1.3}};
+  const Image frame = render_scene(spec, rng);
+  const AtrResult staged = stage_compute_distance(
+      stage_ifft(stage_fft(stage_target_detection(frame))), {});
+  const AtrResult mono = run_atr(frame);
+  ASSERT_EQ(staged.targets.size(), mono.targets.size());
+  for (std::size_t i = 0; i < staged.targets.size(); ++i) {
+    EXPECT_EQ(staged.targets[i].match.template_id,
+              mono.targets[i].match.template_id);
+    EXPECT_DOUBLE_EQ(staged.targets[i].range.distance,
+                     mono.targets[i].range.distance);
+  }
+}
+
+// --- profile -----------------------------------------------------------------------
+
+TEST(Profile, PaperRawMatchesFig6) {
+  const AtrProfile& p = paper_raw_profile();
+  ASSERT_EQ(p.block_count(), 4);
+  EXPECT_EQ(p.block(0).name, "Target Detection");
+  EXPECT_EQ(p.block(3).name, "Compute Distance");
+  // Times at 206.4 MHz.
+  EXPECT_NEAR(execution_time(p.block(0).work, megahertz(206.4)).value(),
+              0.18, 1e-9);
+  EXPECT_NEAR(execution_time(p.block(3).work, megahertz(206.4)).value(),
+              0.53, 1e-9);
+  // Payloads.
+  EXPECT_NEAR(to_kilobytes(p.input()), 10.1, 0.01);
+  EXPECT_NEAR(to_kilobytes(p.block(0).output), 0.6, 0.01);
+  EXPECT_NEAR(to_kilobytes(p.block(1).output), 7.5, 0.01);
+  EXPECT_NEAR(to_kilobytes(p.result_size()), 0.1, 0.01);
+}
+
+TEST(Profile, NormalizedTotalIsWholeAlgorithmTime) {
+  const AtrProfile& p = itsy_atr_profile();
+  EXPECT_NEAR(execution_time(p.total_work(), megahertz(206.4)).value(), 1.10,
+              1e-9);
+  // Ratios between blocks are preserved from Fig. 6.
+  const double r = p.block(3).work / p.block(0).work;
+  EXPECT_NEAR(r, 0.53 / 0.18, 1e-9);
+}
+
+TEST(Profile, InputOfChainsBlocks) {
+  const AtrProfile& p = paper_raw_profile();
+  EXPECT_EQ(p.input_of(0), p.input());
+  EXPECT_EQ(p.input_of(1), p.block(0).output);
+  EXPECT_EQ(p.input_of(3), p.block(2).output);
+}
+
+TEST(Profile, WorkOfRangeAddsUp) {
+  const AtrProfile& p = paper_raw_profile();
+  EXPECT_DOUBLE_EQ(
+      p.work_of_range(0, 3).value(),
+      (p.block(0).work + p.block(1).work + p.block(2).work + p.block(3).work)
+          .value());
+  EXPECT_DOUBLE_EQ(p.work_of_range(1, 2).value(),
+                   (p.block(1).work + p.block(2).work).value());
+}
+
+}  // namespace
+}  // namespace deslp::atr

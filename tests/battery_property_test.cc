@@ -1,0 +1,158 @@
+// Property tests that must hold for EVERY battery model: monotonicity in
+// load, pointwise dominance, exact step accounting, reset/clone semantics.
+// Parameterised over the four model families and a sweep of currents.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "battery/battery.h"
+#include "battery/kibam.h"
+#include "battery/load.h"
+#include "battery/rakhmatov.h"
+#include "util/rng.h"
+
+namespace deslp::battery {
+namespace {
+
+struct ModelCase {
+  std::string name;
+  std::function<std::unique_ptr<Battery>()> make;
+};
+
+class BatteryModelTest : public ::testing::TestWithParam<ModelCase> {};
+
+TEST_P(BatteryModelTest, FreshBatteryIsFull) {
+  auto b = GetParam().make();
+  EXPECT_FALSE(b->empty());
+  EXPECT_NEAR(b->state_of_charge(), 1.0, 1e-9);
+  EXPECT_GT(b->nominal_remaining().value(), 0.0);
+}
+
+TEST_P(BatteryModelTest, LifetimeMonotoneDecreasingInCurrent) {
+  auto b = GetParam().make();
+  double prev = b->time_to_empty(milliamps(20.0)).value();
+  for (double ma : {40.0, 80.0, 160.0, 320.0, 640.0}) {
+    const double t = b->time_to_empty(milliamps(ma)).value();
+    EXPECT_LT(t, prev) << "at " << ma << " mA";
+    prev = t;
+  }
+}
+
+TEST_P(BatteryModelTest, TimeToEmptyConsistentWithDischarge) {
+  auto b = GetParam().make();
+  const Seconds tte = b->time_to_empty(milliamps(150.0));
+  const Seconds sustained = b->discharge(milliamps(150.0), tte * 2.0);
+  EXPECT_NEAR(sustained.value(), tte.value(),
+              std::max(1e-6, tte.value() * 1e-5));
+  EXPECT_TRUE(b->empty());
+}
+
+TEST_P(BatteryModelTest, SplitStepsEqualOneStep) {
+  // Drawing I for t in many small steps must land in the same state as one
+  // big step (piecewise-constant stepping must be exact, not integrated).
+  auto a = GetParam().make();
+  auto b = GetParam().make();
+  a->discharge(milliamps(120.0), seconds(1000.0));
+  for (int i = 0; i < 1000; ++i) b->discharge(milliamps(120.0), seconds(1.0));
+  EXPECT_NEAR(a->nominal_remaining().value(), b->nominal_remaining().value(),
+              std::abs(a->nominal_remaining().value()) * 1e-7 + 1e-9);
+  EXPECT_NEAR(a->time_to_empty(milliamps(120.0)).value(),
+              b->time_to_empty(milliamps(120.0)).value(), 1e-3);
+}
+
+TEST_P(BatteryModelTest, PointwiseLowerLoadLastsAtLeastAsLong) {
+  // Profile B's current is <= profile A's at every instant => B's lifetime
+  // must be >= A's. (This is the physics behind T(1A) >= T(1).)
+  auto a = GetParam().make();
+  auto b = GetParam().make();
+  const LifetimeResult ra = lifetime_under_cycle(
+      *a, {{milliamps(130.0), seconds(1.1)}, {milliamps(110.0),
+                                              seconds(1.2)}});
+  const LifetimeResult rb = lifetime_under_cycle(
+      *b, {{milliamps(130.0), seconds(1.1)}, {milliamps(40.0),
+                                              seconds(1.2)}});
+  EXPECT_GE(rb.lifetime.value(), ra.lifetime.value() * 0.999);
+}
+
+TEST_P(BatteryModelTest, DeadBatterySustainsNothing) {
+  auto b = GetParam().make();
+  b->discharge(amps(1.0), hours(1000.0));
+  EXPECT_TRUE(b->empty());
+  EXPECT_DOUBLE_EQ(b->discharge(milliamps(1.0), seconds(10.0)).value(), 0.0);
+  EXPECT_DOUBLE_EQ(b->time_to_empty(milliamps(1.0)).value(), 0.0);
+}
+
+TEST_P(BatteryModelTest, ResetRestoresInitialState) {
+  auto b = GetParam().make();
+  const double t0 = b->time_to_empty(milliamps(100.0)).value();
+  b->discharge(milliamps(100.0), hours(2.0));
+  b->reset();
+  EXPECT_FALSE(b->empty());
+  EXPECT_NEAR(b->time_to_empty(milliamps(100.0)).value(), t0, t0 * 1e-9);
+}
+
+TEST_P(BatteryModelTest, CloneMatchesThenDiverges) {
+  auto a = GetParam().make();
+  a->discharge(milliamps(100.0), seconds(500.0));
+  auto b = a->clone();
+  EXPECT_NEAR(a->time_to_empty(milliamps(100.0)).value(),
+              b->time_to_empty(milliamps(100.0)).value(), 1e-6);
+  a->discharge(milliamps(100.0), seconds(500.0));
+  EXPECT_GT(b->time_to_empty(milliamps(100.0)).value(),
+            a->time_to_empty(milliamps(100.0)).value());
+}
+
+TEST_P(BatteryModelTest, DescribeIsNonEmpty) {
+  EXPECT_FALSE(GetParam().make()->describe().empty());
+}
+
+TEST_P(BatteryModelTest, RandomisedScheduleNeverOverdraws) {
+  // Under an arbitrary load schedule the battery delivers at most its
+  // nominal capacity, and state_of_charge stays within [0, 1].
+  auto b = GetParam().make();
+  Rng rng(99);
+  double delivered = 0.0;
+  for (int i = 0; i < 500 && !b->empty(); ++i) {
+    const double ma = rng.uniform(0.0, 400.0);
+    const double dt = rng.uniform(0.1, 30.0);
+    const Seconds sustained = b->discharge(milliamps(ma), seconds(dt));
+    delivered += ma * 1e-3 * sustained.value();
+    EXPECT_GE(b->state_of_charge(), -1e-9);
+    EXPECT_LE(b->state_of_charge(), 1.0 + 1e-9);
+  }
+  // Peukert can deliver above nominal when segments run below the
+  // reference current, so this is a runaway guard, not a tight bound.
+  EXPECT_LE(delivered, milliamp_hours(5000.0).value());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModels, BatteryModelTest,
+    ::testing::Values(
+        ModelCase{"ideal",
+                  [] { return make_ideal_battery(milliamp_hours(1000.0)); }},
+        ModelCase{"peukert",
+                  [] {
+                    return make_peukert_battery(milliamp_hours(1000.0), 1.3,
+                                                milliamps(100.0));
+                  }},
+        ModelCase{"kibam",
+                  [] {
+                    return make_kibam_battery(
+                        KibamParams{milliamp_hours(1000.0), 0.3, 5e-4});
+                  }},
+        ModelCase{"kibam_itsy",
+                  [] { return make_kibam_battery(itsy_kibam_params()); }},
+        ModelCase{"rakhmatov",
+                  [] {
+                    return make_rakhmatov_battery(
+                        RakhmatovParams{milliamp_hours(1000.0), 3e-4, 10});
+                  }}),
+    [](const ::testing::TestParamInfo<ModelCase>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace deslp::battery

@@ -1,0 +1,307 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "battery/battery.h"
+#include "battery/calibrate.h"
+#include "battery/kibam.h"
+#include "battery/load.h"
+#include "battery/rakhmatov.h"
+
+namespace deslp::battery {
+namespace {
+
+// --- ideal ------------------------------------------------------------------
+
+TEST(IdealBattery, ExactCoulombCounting) {
+  auto b = make_ideal_battery(milliamp_hours(100.0));
+  EXPECT_DOUBLE_EQ(b->state_of_charge(), 1.0);
+  b->discharge(milliamps(100.0), hours(0.5));
+  EXPECT_NEAR(b->state_of_charge(), 0.5, 1e-12);
+  EXPECT_NEAR(to_milliamp_hours(b->nominal_remaining()), 50.0, 1e-9);
+}
+
+TEST(IdealBattery, DiesAtExactTime) {
+  auto b = make_ideal_battery(milliamp_hours(100.0));
+  const Seconds sustained = b->discharge(milliamps(100.0), hours(2.0));
+  EXPECT_NEAR(to_hours(sustained), 1.0, 1e-9);
+  EXPECT_TRUE(b->empty());
+  EXPECT_DOUBLE_EQ(b->discharge(milliamps(10.0), hours(1.0)).value(), 0.0);
+}
+
+TEST(IdealBattery, TimeToEmptyMatchesCapacityOverCurrent) {
+  auto b = make_ideal_battery(milliamp_hours(200.0));
+  EXPECT_NEAR(to_hours(b->time_to_empty(milliamps(50.0))), 4.0, 1e-9);
+  EXPECT_TRUE(std::isinf(b->time_to_empty(amps(0.0)).value()));
+}
+
+TEST(IdealBattery, RateIndependentCapacity) {
+  // No rate-capacity effect: delivered charge is the same at any current.
+  for (double ma : {10.0, 100.0, 1000.0}) {
+    auto b = make_ideal_battery(milliamp_hours(100.0));
+    const Seconds life = b->time_to_empty(milliamps(ma));
+    EXPECT_NEAR(to_milliamp_hours(charge(milliamps(ma), life)), 100.0, 1e-6);
+  }
+}
+
+TEST(IdealBattery, ResetRestoresFullCharge) {
+  auto b = make_ideal_battery(milliamp_hours(100.0));
+  b->discharge(milliamps(100.0), hours(10.0));
+  EXPECT_TRUE(b->empty());
+  b->reset();
+  EXPECT_FALSE(b->empty());
+  EXPECT_DOUBLE_EQ(b->state_of_charge(), 1.0);
+}
+
+// --- peukert ----------------------------------------------------------------
+
+TEST(PeukertBattery, ReferenceCurrentDeliversNominalCapacity) {
+  auto b = make_peukert_battery(milliamp_hours(100.0), 1.3,
+                                milliamps(100.0));
+  EXPECT_NEAR(to_hours(b->time_to_empty(milliamps(100.0))), 1.0, 1e-9);
+}
+
+TEST(PeukertBattery, HigherRateDeliversLess) {
+  auto b = make_peukert_battery(milliamp_hours(100.0), 1.3,
+                                milliamps(100.0));
+  // At 2x the reference current, lifetime is (1/2)^k of the nominal hour.
+  const double expected_hours = std::pow(0.5, 1.3);
+  EXPECT_NEAR(to_hours(b->time_to_empty(milliamps(200.0))), expected_hours,
+              1e-9);
+  // And at half the rate it delivers more than nominal.
+  EXPECT_GT(to_hours(b->time_to_empty(milliamps(50.0))), 2.0);
+}
+
+TEST(PeukertBattery, KEqualsOneIsIdeal) {
+  auto p = make_peukert_battery(milliamp_hours(100.0), 1.0, milliamps(50.0));
+  auto i = make_ideal_battery(milliamp_hours(100.0));
+  for (double ma : {20.0, 80.0, 320.0}) {
+    EXPECT_NEAR(p->time_to_empty(milliamps(ma)).value(),
+                i->time_to_empty(milliamps(ma)).value(), 1e-6);
+  }
+}
+
+TEST(PeukertBattery, NoRecoveryDuringRest) {
+  auto b = make_peukert_battery(milliamp_hours(100.0), 1.3,
+                                milliamps(100.0));
+  b->discharge(milliamps(100.0), hours(0.5));
+  const double before = b->state_of_charge();
+  b->discharge(amps(0.0), hours(5.0));
+  EXPECT_DOUBLE_EQ(b->state_of_charge(), before);
+}
+
+// --- kibam --------------------------------------------------------------------
+
+KibamParams test_params() {
+  return KibamParams{milliamp_hours(1000.0), 0.3, 5e-4};
+}
+
+TEST(KibamBattery, ChargeConservationDuringDischarge) {
+  auto b = make_kibam_battery(test_params());
+  const Coulombs before = b->nominal_remaining();
+  b->discharge(milliamps(100.0), hours(1.0));
+  const Coulombs after = b->nominal_remaining();
+  EXPECT_NEAR(to_milliamp_hours(before - after), 100.0, 1e-6);
+}
+
+TEST(KibamBattery, RecoveryEffectDuringRest) {
+  // Drain hard, then rest: the *available* charge recovers (total does
+  // not), visible as a longer time-to-empty after the rest.
+  auto b = make_kibam_battery(test_params());
+  b->discharge(milliamps(500.0), hours(0.5));
+  const Seconds before_rest = b->time_to_empty(milliamps(500.0));
+  b->discharge(amps(0.0), hours(2.0));
+  const Seconds after_rest = b->time_to_empty(milliamps(500.0));
+  EXPECT_GT(after_rest.value(), before_rest.value() * 1.2);
+  // Total charge is unchanged by the rest.
+}
+
+TEST(KibamBattery, RateCapacityEffect) {
+  // Delivered charge shrinks with the discharge rate.
+  auto lo = make_kibam_battery(test_params());
+  auto hi = make_kibam_battery(test_params());
+  const Seconds t_lo = lo->time_to_empty(milliamps(50.0));
+  const Seconds t_hi = hi->time_to_empty(milliamps(500.0));
+  const double delivered_lo = to_milliamp_hours(charge(milliamps(50.0), t_lo));
+  const double delivered_hi =
+      to_milliamp_hours(charge(milliamps(500.0), t_hi));
+  EXPECT_GT(delivered_lo, delivered_hi * 1.5);
+}
+
+TEST(KibamBattery, ClosedFormMatchesEulerIntegration) {
+  // The closed form must agree with a fine explicit-Euler integration of
+  //   dy1/dt = -I + k'(c*y2 - (1-c)*y1) ... expressed via well heights.
+  const KibamParams p = test_params();
+  auto b = make_kibam_battery(p);
+  const double current = 0.2;  // amps
+  const double dt_total = 900.0;
+
+  // Euler with 1 ms steps.
+  double y1 = p.capacity.value() * p.c;
+  double y2 = p.capacity.value() * (1.0 - p.c);
+  const double h = 0.001;
+  for (double t = 0.0; t < dt_total; t += h) {
+    const double h1 = y1 / p.c;
+    const double h2 = y2 / (1.0 - p.c);
+    const double flow = p.k_prime * p.c * (1.0 - p.c) * (h2 - h1);
+    y1 += h * (-current + flow);
+    y2 += h * (-flow);
+  }
+
+  b->discharge(amps(current), seconds(dt_total));
+  const double total_closed = b->nominal_remaining().value();
+  EXPECT_NEAR(total_closed, y1 + y2, p.capacity.value() * 1e-6);
+  // Check y1 specifically through time_to_empty at a huge current (which
+  // is ~ y1 / I when I dwarfs the refill rate).
+  const double tte = b->time_to_empty(amps(100.0)).value();
+  EXPECT_NEAR(tte * 100.0, y1, y1 * 0.02);
+}
+
+TEST(KibamBattery, DischargeReturnsExactDeathTime) {
+  auto b = make_kibam_battery(test_params());
+  const Seconds tte = b->time_to_empty(milliamps(300.0));
+  const Seconds sustained =
+      b->discharge(milliamps(300.0), tte + hours(5.0));
+  EXPECT_NEAR(sustained.value(), tte.value(), tte.value() * 1e-6);
+  EXPECT_TRUE(b->empty());
+}
+
+TEST(KibamBattery, PulsedOutlivesConstantPeak) {
+  // A 50% duty cycle at 400 mA must deliver more total charge than
+  // constant 400 mA (recovery during the off phases).
+  auto pulsed = make_kibam_battery(test_params());
+  auto constant = make_kibam_battery(test_params());
+  const LifetimeResult lp = lifetime_under_cycle(
+      *pulsed, {{milliamps(400.0), seconds(10.0)},
+                {amps(0.0), seconds(10.0)}});
+  const Seconds tc = constant->time_to_empty(milliamps(400.0));
+  // On-time of the pulsed run exceeds the constant lifetime.
+  EXPECT_GT(lp.lifetime.value() / 2.0, tc.value());
+}
+
+TEST(KibamBattery, CloneIsIndependent) {
+  auto a = make_kibam_battery(test_params());
+  a->discharge(milliamps(100.0), hours(1.0));
+  auto b = a->clone();
+  a->discharge(milliamps(100.0), hours(1.0));
+  EXPECT_GT(b->nominal_remaining().value(), a->nominal_remaining().value());
+}
+
+// --- rakhmatov ------------------------------------------------------------------
+
+RakhmatovParams rv_params() {
+  return RakhmatovParams{milliamp_hours(1000.0), 3e-4, 10};
+}
+
+TEST(RakhmatovBattery, LowRateDeliversNearAlpha) {
+  auto b = make_rakhmatov_battery(rv_params());
+  const Seconds t = b->time_to_empty(milliamps(10.0));
+  EXPECT_NEAR(to_milliamp_hours(charge(milliamps(10.0), t)), 1000.0, 30.0);
+}
+
+TEST(RakhmatovBattery, RateCapacityEffect) {
+  auto b = make_rakhmatov_battery(rv_params());
+  const Seconds t = b->time_to_empty(milliamps(500.0));
+  EXPECT_LT(to_milliamp_hours(charge(milliamps(500.0), t)), 950.0);
+}
+
+TEST(RakhmatovBattery, RecoveryDuringRest) {
+  auto b = make_rakhmatov_battery(rv_params());
+  b->discharge(milliamps(200.0), hours(0.5));
+  ASSERT_FALSE(b->empty());
+  const double soc_loaded = b->state_of_charge();
+  b->discharge(amps(0.0), hours(2.0));
+  EXPECT_GT(b->state_of_charge(), soc_loaded);
+}
+
+TEST(RakhmatovBattery, DeathIsLatched) {
+  auto b = make_rakhmatov_battery(rv_params());
+  b->discharge(amps(2.0), hours(10.0));
+  EXPECT_TRUE(b->empty());
+  // A long rest does not resurrect a cut-off node.
+  b->discharge(amps(0.0), hours(10.0));
+  EXPECT_TRUE(b->empty());
+}
+
+// --- load profiles ----------------------------------------------------------------
+
+TEST(Load, CycleAverageAndPeriod) {
+  const std::vector<LoadPhase> cycle{{milliamps(100.0), seconds(1.0)},
+                                     {milliamps(50.0), seconds(3.0)}};
+  EXPECT_NEAR(to_milliamps(cycle_average_current(cycle)), 62.5, 1e-9);
+  EXPECT_DOUBLE_EQ(cycle_period(cycle).value(), 4.0);
+}
+
+TEST(Load, LifetimeCountsCompleteCycles) {
+  auto b = make_ideal_battery(milliamp_hours(10.0));
+  // One cycle consumes 100 mA * 36 s = 1 mAh; exactly 10 cycles fit.
+  const LifetimeResult r = lifetime_under_cycle(
+      *b, {{milliamps(100.0), seconds(36.0)}});
+  EXPECT_EQ(r.complete_cycles, 10);
+  EXPECT_NEAR(r.lifetime.value(), 360.0, 1e-6);
+}
+
+TEST(Load, PartialFinalCycleNotCounted) {
+  auto b = make_ideal_battery(milliamp_hours(10.0));
+  const LifetimeResult r = lifetime_under_cycle(
+      *b, {{milliamps(100.0), seconds(100.0)}});  // 3.6 cycles
+  EXPECT_EQ(r.complete_cycles, 3);
+}
+
+TEST(Load, RespectsMaxTime) {
+  auto b = make_ideal_battery(milliamp_hours(1e9));
+  const LifetimeResult r = lifetime_under_cycle(
+      *b, {{milliamps(1.0), seconds(1.0)}}, seconds(100.0));
+  EXPECT_LE(r.lifetime.value(), 101.0);
+}
+
+// --- calibration -------------------------------------------------------------------
+
+TEST(Calibrate, RecoversSyntheticKibamParameters) {
+  // Generate reference lifetimes from a known battery, then fit from a
+  // perturbed start: the fit must reproduce the reference lifetimes.
+  const KibamParams truth{milliamp_hours(800.0), 0.25, 8e-4};
+  std::vector<CalibrationCase> cases;
+  const std::vector<std::vector<LoadPhase>> profiles = {
+      {{milliamps(120.0), seconds(1.1)}},
+      {{milliamps(120.0), seconds(1.1)}, {milliamps(40.0), seconds(1.2)}},
+      {{milliamps(60.0), seconds(2.0)}, {milliamps(30.0), seconds(0.3)}},
+      {{milliamps(200.0), seconds(0.5)}, {amps(0.0), seconds(1.8)}},
+  };
+  for (std::size_t i = 0; i < profiles.size(); ++i) {
+    auto b = make_kibam_battery(truth);
+    const LifetimeResult r = lifetime_under_cycle(*b, profiles[i]);
+    cases.push_back(CalibrationCase{"case" + std::to_string(i), profiles[i],
+                                    r.lifetime, 1.0});
+  }
+  const KibamParams start{milliamp_hours(1500.0), 0.5, 3e-4};
+  const KibamFit fit = fit_kibam(cases, start);
+  EXPECT_LT(fit.rms_log_error, 0.01);
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    EXPECT_NEAR(fit.modeled[i].value(), cases[i].reference_lifetime.value(),
+                cases[i].reference_lifetime.value() * 0.02);
+  }
+}
+
+TEST(Calibrate, PeukertFitIsReasonableOnRateOnlyData) {
+  // Cases generated from a true Peukert battery must be fit almost exactly.
+  auto truth = [&](double ma) {
+    auto b = make_peukert_battery(milliamp_hours(500.0), 1.25,
+                                  milliamps(100.0));
+    return b->time_to_empty(milliamps(ma));
+  };
+  std::vector<CalibrationCase> cases;
+  for (double ma : {40.0, 80.0, 160.0, 320.0}) {
+    cases.push_back(CalibrationCase{
+        "I=" + std::to_string(ma),
+        {{milliamps(ma), seconds(1.0)}},
+        truth(ma),
+        1.0});
+  }
+  const PeukertFit fit = fit_peukert(cases, milliamp_hours(300.0), 1.1);
+  EXPECT_LT(fit.rms_log_error, 0.02);
+  EXPECT_NEAR(fit.k, 1.25, 0.05);
+}
+
+}  // namespace
+}  // namespace deslp::battery

@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include "util/config.h"
+
+namespace deslp {
+namespace {
+
+TEST(Config, ParsesSectionsKeysAndComments) {
+  const auto cfg = Config::parse(R"(
+# top comment
+[alpha]
+name = value with spaces   ; trailing comment
+count = 42
+
+[beta]
+rate = 2.5
+flag = true
+list = 1, 2.5, 3
+)");
+  ASSERT_TRUE(cfg.has_value());
+  EXPECT_TRUE(cfg->has("alpha", "name"));
+  EXPECT_EQ(cfg->get_string("alpha", "name", ""), "value with spaces");
+  EXPECT_EQ(cfg->get_int("alpha", "count", 0), 42);
+  EXPECT_DOUBLE_EQ(cfg->get_double("beta", "rate", 0.0), 2.5);
+  EXPECT_TRUE(cfg->get_bool("beta", "flag", false));
+  EXPECT_EQ(cfg->get_double_list("beta", "list"),
+            (std::vector<double>{1.0, 2.5, 3.0}));
+  EXPECT_TRUE(cfg->consume_errors().empty());
+}
+
+TEST(Config, FallbacksForMissingKeys) {
+  const auto cfg = Config::parse("[s]\nk = 1\n");
+  ASSERT_TRUE(cfg.has_value());
+  EXPECT_EQ(cfg->get_string("s", "absent", "dflt"), "dflt");
+  EXPECT_EQ(cfg->get_int("absent_section", "k", 7), 7);
+  EXPECT_FALSE(cfg->has("s", "absent"));
+}
+
+TEST(Config, MalformedValuesReportedNotFatal) {
+  const auto cfg = Config::parse("[s]\nnum = abc\nflag = maybe\n");
+  ASSERT_TRUE(cfg.has_value());
+  EXPECT_DOUBLE_EQ(cfg->get_double("s", "num", 9.0), 9.0);
+  EXPECT_TRUE(cfg->get_bool("s", "flag", true));
+  const auto errors = cfg->consume_errors();
+  EXPECT_EQ(errors.size(), 2u);
+  EXPECT_TRUE(cfg->consume_errors().empty());  // consumed
+}
+
+TEST(Config, ParseErrors) {
+  std::string error;
+  EXPECT_FALSE(Config::parse("[unterminated\n", &error).has_value());
+  EXPECT_NE(error.find("line 1"), std::string::npos);
+  EXPECT_FALSE(Config::parse("[s]\nno equals sign\n", &error).has_value());
+  EXPECT_FALSE(Config::parse("[s]\nk = 1\nk = 2\n", &error).has_value());
+  EXPECT_NE(error.find("duplicate"), std::string::npos);
+  EXPECT_FALSE(Config::parse("[s]\n= bare\n", &error).has_value());
+}
+
+TEST(Config, KeysOutsideAnySectionUseEmptySectionName) {
+  const auto cfg = Config::parse("global = 3\n[s]\nk = 1\n");
+  ASSERT_TRUE(cfg.has_value());
+  EXPECT_EQ(cfg->get_int("", "global", 0), 3);
+}
+
+TEST(Config, SectionAndKeyEnumeration) {
+  const auto cfg = Config::parse("[b]\nx = 1\ny = 2\n[a]\nz = 3\n");
+  ASSERT_TRUE(cfg.has_value());
+  EXPECT_EQ(cfg->sections(), (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(cfg->keys("b"), (std::vector<std::string>{"x", "y"}));
+  EXPECT_TRUE(cfg->keys("missing").empty());
+}
+
+TEST(Config, LoadMissingFileFails) {
+  std::string error;
+  EXPECT_FALSE(Config::load("/nonexistent/path.ini", &error).has_value());
+  EXPECT_NE(error.find("cannot open"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace deslp

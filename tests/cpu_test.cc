@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "cpu/cpu.h"
+
+namespace deslp::cpu {
+namespace {
+
+TEST(Sa1100, ElevenLevelsWithPaperEndpoints) {
+  const CpuSpec& c = itsy_sa1100();
+  EXPECT_EQ(c.level_count(), 11);
+  EXPECT_NEAR(to_megahertz(c.level(0).frequency), 59.0, 1e-9);
+  EXPECT_NEAR(to_megahertz(c.level(10).frequency), 206.4, 1e-9);
+  EXPECT_DOUBLE_EQ(c.level(0).voltage.value(), 0.919);
+  EXPECT_DOUBLE_EQ(c.level(10).voltage.value(), 1.393);
+}
+
+TEST(Sa1100, FrequenciesStrictlyIncreasing) {
+  const CpuSpec& c = itsy_sa1100();
+  for (int i = 1; i < c.level_count(); ++i)
+    EXPECT_GT(c.level(i).frequency, c.level(i - 1).frequency);
+}
+
+TEST(Sa1100, LevelLookupByMhz) {
+  EXPECT_EQ(sa1100_level_mhz(59.0), 0);
+  EXPECT_EQ(sa1100_level_mhz(73.7), 1);
+  EXPECT_EQ(sa1100_level_mhz(103.2), 3);
+  EXPECT_EQ(sa1100_level_mhz(118.0), 4);
+  EXPECT_EQ(sa1100_level_mhz(206.4), 10);
+}
+
+// The current model must hit the anchors the paper states outright (§6.3,
+// §6.5, §4.4); tolerances are a couple of mA.
+TEST(Sa1100, CurrentModelMatchesPaperAnchors) {
+  const CpuSpec& c = itsy_sa1100();
+  EXPECT_NEAR(to_milliamps(c.current(Mode::kComm, 10)), 110.0, 2.0);
+  EXPECT_NEAR(to_milliamps(c.current(Mode::kComm, 0)), 40.0, 2.0);
+  EXPECT_NEAR(to_milliamps(c.current(Mode::kComm, 3)), 55.0, 2.5);
+  EXPECT_NEAR(to_milliamps(c.current(Mode::kComp, 10)), 130.0, 2.0);
+  // "Three curves range from 30 mA to 130 mA".
+  EXPECT_NEAR(to_milliamps(c.current(Mode::kIdle, 0)), 30.0, 2.0);
+}
+
+TEST(Sa1100, ComputationDominates) {
+  const CpuSpec& c = itsy_sa1100();
+  for (int i = 0; i < c.level_count(); ++i) {
+    EXPECT_GT(c.current(Mode::kComp, i), c.current(Mode::kComm, i));
+    EXPECT_GT(c.current(Mode::kComm, i), c.current(Mode::kIdle, i));
+  }
+}
+
+TEST(Sa1100, CurrentsIncreaseWithLevel) {
+  const CpuSpec& c = itsy_sa1100();
+  for (Mode m : {Mode::kIdle, Mode::kComm, Mode::kComp})
+    for (int i = 1; i < c.level_count(); ++i)
+      EXPECT_GT(c.current(m, i), c.current(m, i - 1));
+}
+
+TEST(CpuSpec, TimeScalesLinearlyWithClock) {
+  const CpuSpec& c = itsy_sa1100();
+  const Cycles w = work(megahertz(206.4), seconds(1.1));
+  EXPECT_NEAR(c.time_for(w, 10).value(), 1.1, 1e-12);
+  EXPECT_NEAR(c.time_for(w, 3).value(), 1.1 * 206.4 / 103.2, 1e-12);
+  EXPECT_NEAR(c.time_for(w, 0).value(), 1.1 * 206.4 / 59.0, 1e-12);
+}
+
+TEST(CpuSpec, WorkInInvertsTimeFor) {
+  const CpuSpec& c = itsy_sa1100();
+  const Cycles w = c.work_in(seconds(2.0), 4);
+  EXPECT_NEAR(c.time_for(w, 4).value(), 2.0, 1e-12);
+}
+
+TEST(CpuSpec, MinLevelForFrequency) {
+  const CpuSpec& c = itsy_sa1100();
+  EXPECT_EQ(c.min_level_for_frequency(megahertz(1.0)), 0);
+  EXPECT_EQ(c.min_level_for_frequency(megahertz(59.0)), 0);
+  EXPECT_EQ(c.min_level_for_frequency(megahertz(59.1)), 1);
+  EXPECT_EQ(c.min_level_for_frequency(megahertz(206.4)), 10);
+  EXPECT_EQ(c.min_level_for_frequency(megahertz(206.5)), -1);
+}
+
+TEST(CpuSpec, MinLevelForWorkAndBudget) {
+  const CpuSpec& c = itsy_sa1100();
+  const Cycles w = work(megahertz(103.2), seconds(1.0));
+  EXPECT_EQ(c.min_level_for(w, seconds(1.0)), 3);      // exactly 103.2 MHz
+  EXPECT_EQ(c.min_level_for(w, seconds(10.0)), 0);     // lots of slack
+  EXPECT_EQ(c.min_level_for(w, seconds(0.4)), -1);     // needs 258 MHz
+}
+
+TEST(CpuSpec, RequiredFrequencyReportsInfeasibleDemands) {
+  // Fig. 8 scheme 3: the paper reports Node1 would need ~380 MHz.
+  const Hertz f = CpuSpec::required_frequency(
+      work(megahertz(206.4), seconds(0.69)), seconds(0.36));
+  EXPECT_NEAR(to_megahertz(f), 206.4 * 0.69 / 0.36, 1e-6);
+  EXPECT_GT(f, itsy_sa1100().max_frequency());
+}
+
+TEST(CpuSpec, DvsSwitchLatencyIsSmall) {
+  EXPECT_GT(itsy_sa1100().dvs_switch_latency().value(), 0.0);
+  EXPECT_LT(itsy_sa1100().dvs_switch_latency().value(), 0.001);
+}
+
+}  // namespace
+}  // namespace deslp::cpu

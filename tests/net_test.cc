@@ -1,0 +1,290 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/hub.h"
+#include "net/link.h"
+#include "net/message.h"
+#include "net/ppp.h"
+#include "sim/engine.h"
+#include "sim/task.h"
+#include "util/rng.h"
+
+namespace deslp::net {
+namespace {
+
+// --- serial link --------------------------------------------------------------
+
+TEST(SerialLink, PayloadTimeUsesEffectiveRate) {
+  SerialLink link(itsy_serial_link());
+  // 10.1 KB at 80 Kbps = 10342.4 * 8 / 80000 s.
+  EXPECT_NEAR(link.payload_time(kilobytes(10.1)).value(),
+              10342.0 * 8.0 / 80000.0, 1e-3);
+}
+
+TEST(SerialLink, TransactionIncludesStartupWithinBounds) {
+  SerialLink link(itsy_serial_link(), /*seed=*/7);
+  for (int i = 0; i < 200; ++i) {
+    const Seconds t = link.transaction_time(bytes(0));
+    EXPECT_GE(t.value(), 0.050 - 1e-12);
+    EXPECT_LE(t.value(), 0.100 + 1e-12);
+  }
+}
+
+TEST(SerialLink, ExpectedTransactionUsesMidpointStartup) {
+  SerialLink link(itsy_serial_link());
+  EXPECT_NEAR(link.expected_transaction_time(bytes(0)).value(), 0.075,
+              1e-12);
+  // The paper's Fig. 6: 0.6 KB costs ~0.16 s, 10.1 KB ~1.1 s.
+  EXPECT_NEAR(link.expected_transaction_time(kilobytes(0.6)).value(), 0.136,
+              0.03);
+  EXPECT_NEAR(link.expected_transaction_time(kilobytes(10.1)).value(), 1.11,
+              0.05);
+}
+
+TEST(SerialLink, DeterministicPerSeed) {
+  SerialLink a(itsy_serial_link(), 3), b(itsy_serial_link(), 3);
+  for (int i = 0; i < 32; ++i)
+    EXPECT_EQ(a.transaction_time(bytes(100)).value(),
+              b.transaction_time(bytes(100)).value());
+}
+
+
+TEST(SerialLink, AlternateInterconnectPresets) {
+  // The paper's Â§1 names I2C and CAN as the realistic low-power buses.
+  const LinkSpec i2c = i2c_fast_link();
+  EXPECT_DOUBLE_EQ(i2c.line_rate.value(), 400000.0);
+  EXPECT_LT(i2c.effective_rate.value(), i2c.line_rate.value());
+  EXPECT_LT(i2c.startup_max.value(), 0.01);  // no PPP/TCP handshake
+
+  const LinkSpec can = can_link(250.0);
+  EXPECT_DOUBLE_EQ(can.line_rate.value(), 250000.0);
+  EXPECT_DOUBLE_EQ(can.effective_rate.value(), 125000.0);
+  // A 10.1 KB frame over CAN-250 beats the Itsy serial link on payload
+  // time but pays per-transaction cost far less.
+  SerialLink link(can);
+  EXPECT_LT(link.expected_transaction_time(kilobytes(10.1)).value(), 1.0);
+}
+
+// --- PPP codec -------------------------------------------------------------------
+
+TEST(Ppp, Fcs16KnownBehaviour) {
+  // FCS of empty data, then self-consistency: RFC 1662's "good FCS" check —
+  // the FCS over (data + fcs_lo + fcs_hi) equals the constant 0xF0B8 before
+  // complement; equivalently decode() accepts what encode() produced.
+  const std::vector<std::uint8_t> data{'H', 'e', 'l', 'l', 'o'};
+  const std::uint16_t fcs = PppCodec::fcs16(data);
+  std::vector<std::uint8_t> with_fcs = data;
+  with_fcs.push_back(static_cast<std::uint8_t>(fcs & 0xFF));
+  with_fcs.push_back(static_cast<std::uint8_t>(fcs >> 8));
+  // Per RFC 1662 the FCS over data+FCS (without final complement inside)
+  // is the magic residue; validate via decode path instead:
+  const auto frame = PppCodec::encode(data);
+  const auto back = PppCodec::decode(frame);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, data);
+}
+
+TEST(Ppp, EncodeEscapesFlagAndEscapeBytes) {
+  const std::vector<std::uint8_t> data{0x7E, 0x7D, 0x41};
+  const auto frame = PppCodec::encode(data);
+  // Interior of the frame must contain no raw flag bytes.
+  for (std::size_t i = 1; i + 1 < frame.size(); ++i)
+    EXPECT_NE(frame[i], PppCodec::kFlag);
+  const auto back = PppCodec::decode(frame);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, data);
+}
+
+TEST(Ppp, DecodeRejectsCorruptedFrames) {
+  const std::vector<std::uint8_t> data{1, 2, 3, 4, 5};
+  auto frame = PppCodec::encode(data);
+  auto corrupted = frame;
+  corrupted[3] ^= 0x01;  // flip a payload bit -> FCS mismatch
+  EXPECT_FALSE(PppCodec::decode(corrupted).has_value());
+  // Truncated frame.
+  frame.pop_back();
+  EXPECT_FALSE(PppCodec::decode(frame).has_value());
+  // Garbage without flags.
+  EXPECT_FALSE(PppCodec::decode(data).has_value());
+}
+
+TEST(Ppp, EncodedSizePredictsEncodeExactly) {
+  Rng rng(12);
+  for (int round = 0; round < 50; ++round) {
+    std::vector<std::uint8_t> data(rng.below(200) + 1);
+    for (auto& b : data) b = static_cast<std::uint8_t>(rng.below(256));
+    EXPECT_EQ(PppCodec::encoded_size(data), PppCodec::encode(data).size());
+  }
+}
+
+TEST(Ppp, RoundTripRandomPayloads) {
+  Rng rng(34);
+  for (int round = 0; round < 200; ++round) {
+    std::vector<std::uint8_t> data(rng.below(300) + 1);
+    for (auto& b : data) b = static_cast<std::uint8_t>(rng.below(256));
+    const auto back = PppCodec::decode(PppCodec::encode(data));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, data);
+  }
+}
+
+TEST(Ppp, ExpectedExpansionMatchesMeasured) {
+  Rng rng(56);
+  double measured = 0.0;
+  const int rounds = 300;
+  const std::size_t n = 256;
+  for (int round = 0; round < rounds; ++round) {
+    std::vector<std::uint8_t> data(n);
+    for (auto& b : data) b = static_cast<std::uint8_t>(rng.below(256));
+    measured += static_cast<double>(PppCodec::encode(data).size()) /
+                static_cast<double>(n);
+  }
+  measured /= rounds;
+  EXPECT_NEAR(measured, PppCodec::expected_expansion(n), 0.01);
+}
+
+TEST(PppDeframer, ExtractsBackToBackFrames) {
+  PppDeframer d;
+  const std::vector<std::uint8_t> a{1, 2, 3};
+  const std::vector<std::uint8_t> b{4, 5};
+  std::vector<std::uint8_t> wire;
+  for (auto byte : PppCodec::encode(a)) wire.push_back(byte);
+  for (auto byte : PppCodec::encode(b)) wire.push_back(byte);
+  std::vector<std::vector<std::uint8_t>> frames;
+  for (auto byte : wire)
+    if (auto f = d.feed(byte)) frames.push_back(*f);
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_EQ(frames[0], a);
+  EXPECT_EQ(frames[1], b);
+  EXPECT_EQ(d.frames_ok(), 2u);
+}
+
+TEST(PppDeframer, SkipsInterFrameGarbageAndBadFrames) {
+  PppDeframer d;
+  const std::vector<std::uint8_t> a{9, 8, 7};
+  std::vector<std::uint8_t> wire{0x41, 0x42};  // garbage before any flag
+  auto good = PppCodec::encode(a);
+  auto bad = good;
+  bad[2] ^= 0xFF;  // corrupt
+  for (auto byte : bad) wire.push_back(byte);
+  for (auto byte : good) wire.push_back(byte);
+  std::vector<std::vector<std::uint8_t>> frames;
+  for (auto byte : wire)
+    if (auto f = d.feed(byte)) frames.push_back(*f);
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0], a);
+  EXPECT_GE(d.frames_bad(), 1u);
+}
+
+// --- hub ---------------------------------------------------------------------------
+
+struct RecvLog {
+  std::vector<Delivery> got;
+};
+
+sim::Task drain_mailbox(sim::Channel<Delivery>& mb, RecvLog& log) {
+  for (;;) {
+    auto d = co_await mb.recv();
+    if (!d) co_return;
+    log.got.push_back(*d);
+  }
+}
+
+TEST(Hub, RoutesBetweenEndpoints) {
+  sim::Engine e;
+  Hub hub(e, itsy_serial_link());
+  auto& mb0 = hub.attach(0);
+  auto& mb1 = hub.attach(1);
+  (void)mb0;
+  RecvLog log;
+  e.spawn(drain_mailbox(mb1, log));
+
+  Message m;
+  m.src = 0;
+  m.dst = 1;
+  m.kind = MsgKind::kData;
+  m.frame = 7;
+  m.size = kilobytes(1.0);
+  const Seconds wire = hub.begin_send(m);
+  EXPECT_GT(wire.value(), 0.05);
+  e.run();
+  ASSERT_EQ(log.got.size(), 1u);
+  EXPECT_EQ(log.got[0].msg.frame, 7);
+  EXPECT_DOUBLE_EQ(log.got[0].wire_time.value(), wire.value());
+  // Cut-through: delivery lands one forward latency after send start.
+  EXPECT_NEAR(sim::to_seconds(log.got[0].wire_start).value(), 0.005, 1e-9);
+  EXPECT_EQ(hub.stats().transactions, 1);
+}
+
+TEST(Hub, DropsMessagesToFailedEndpoint) {
+  sim::Engine e;
+  Hub hub(e, itsy_serial_link());
+  hub.attach(0);
+  auto& mb1 = hub.attach(1);
+  RecvLog log;
+  e.spawn(drain_mailbox(mb1, log));
+  hub.set_failed(1, true);
+  Message m;
+  m.src = 0;
+  m.dst = 1;
+  m.size = bytes(10);
+  hub.begin_send(m);
+  e.run();
+  EXPECT_TRUE(log.got.empty());
+  EXPECT_EQ(hub.stats().dropped_to_failed, 1);
+  EXPECT_TRUE(hub.failed(1));
+}
+
+TEST(Hub, FailureClosesMailbox) {
+  sim::Engine e;
+  Hub hub(e, itsy_serial_link());
+  auto& mb1 = hub.attach(1);
+  RecvLog log;
+  bool done = false;
+  e.spawn([](sim::Channel<Delivery>& mb, bool& flag) -> sim::Task {
+    auto d = co_await mb.recv();
+    EXPECT_FALSE(d.has_value());
+    flag = true;
+  }(mb1, done));
+  e.schedule_at(sim::Time{1000}, [&] { hub.set_failed(1, true); });
+  e.run();
+  EXPECT_TRUE(done);
+}
+
+TEST(Hub, DropsWhenDestinationDiesInFlight) {
+  sim::Engine e;
+  Hub hub(e, itsy_serial_link());
+  hub.attach(0);
+  auto& mb1 = hub.attach(1);
+  RecvLog log;
+  e.spawn(drain_mailbox(mb1, log));
+  Message m;
+  m.src = 0;
+  m.dst = 1;
+  m.size = bytes(10);
+  hub.begin_send(m);
+  // Fail the destination before the 5 ms forward latency elapses.
+  e.schedule_at(sim::Time{1'000'000}, [&] { hub.set_failed(1, true); });
+  e.run();
+  EXPECT_TRUE(log.got.empty());
+}
+
+TEST(Hub, ExpectedWireTimeIsDeterministic) {
+  sim::Engine e;
+  Hub hub(e, itsy_serial_link());
+  hub.attach(3);
+  const Seconds a = hub.expected_wire_time(3, kilobytes(10.1));
+  const Seconds b = hub.expected_wire_time(3, kilobytes(10.1));
+  EXPECT_DOUBLE_EQ(a.value(), b.value());
+  EXPECT_NEAR(a.value(), 0.075 + 10342.0 * 8.0 / 80000.0, 1e-3);
+}
+
+TEST(Hub, MessageKindNames) {
+  EXPECT_STREQ(msg_kind_name(MsgKind::kData), "DATA");
+  EXPECT_STREQ(msg_kind_name(MsgKind::kAck), "ACK");
+  EXPECT_STREQ(msg_kind_name(MsgKind::kControl), "CTRL");
+}
+
+}  // namespace
+}  // namespace deslp::net

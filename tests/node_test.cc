@@ -1,0 +1,224 @@
+// Tests for the Node building blocks: battery-accurate busy/send/recv and
+// the death semantics (the node dies at the exact instant its battery
+// empties, mid-activity or mid-wait).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+
+#include "battery/battery.h"
+#include "core/node.h"
+#include "net/hub.h"
+#include "sim/engine.h"
+#include "sim/trace.h"
+
+namespace deslp::core {
+namespace {
+
+struct Fixture {
+  sim::Engine engine;
+  sim::Trace trace;
+  net::Hub hub{engine, net::itsy_serial_link()};
+  sim::Channel<net::Delivery>* host_mailbox = nullptr;
+  std::unique_ptr<Node> node;
+
+  explicit Fixture(double battery_mah = 1000.0,
+                   bool model_switch_cost = false) {
+    host_mailbox = &hub.attach(net::kHostAddress);
+    Node::Config cfg;
+    cfg.address = 1;
+    cfg.name = "Node1";
+    cfg.cpu = &cpu::itsy_sa1100();
+    cfg.model_dvs_switch_cost = model_switch_cost;
+    node = std::make_unique<Node>(
+        engine, hub, trace, cfg,
+        battery::make_ideal_battery(milliamp_hours(battery_mah)));
+  }
+};
+
+TEST(Node, BusyDrainsBatteryAndAdvancesTime) {
+  Fixture f;
+  bool ok = false;
+  f.engine.spawn([](Fixture& fx, bool& result) -> sim::Task {
+    result = co_await fx.node->busy(cpu::Mode::kComp, 10, hours(1.0),
+                                    "PROC");
+  }(f, ok));
+  f.engine.run();
+  EXPECT_TRUE(ok);
+  EXPECT_TRUE(f.node->alive());
+  EXPECT_NEAR(sim::to_seconds(f.engine.now()).value(), 3600.0, 1e-6);
+  // Ideal battery: exactly I_comp(top) * 1 h drawn.
+  const double expected_mah =
+      to_milliamps(cpu::itsy_sa1100().current(cpu::Mode::kComp, 10));
+  EXPECT_NEAR(to_milliamp_hours(f.node->monitor().total_charge()),
+              expected_mah, 0.01);
+}
+
+TEST(Node, BusyKillsNodeAtExactBatteryDeath) {
+  Fixture f(/*battery_mah=*/130.0);  // dies in ~1 h at 130 mA comp current
+  bool ok = true;
+  f.engine.spawn([](Fixture& fx, bool& result) -> sim::Task {
+    result = co_await fx.node->busy(cpu::Mode::kComp, 10, hours(10.0),
+                                    "PROC");
+  }(f, ok));
+  f.engine.run();
+  EXPECT_FALSE(ok);
+  EXPECT_FALSE(f.node->alive());
+  const double death_h = to_hours(sim::to_seconds(f.node->death_time()));
+  const double expected_h =
+      130.0 /
+      to_milliamps(cpu::itsy_sa1100().current(cpu::Mode::kComp, 10));
+  EXPECT_NEAR(death_h, expected_h, 1e-6);
+  EXPECT_TRUE(f.hub.failed(1));
+  // Subsequent operations fail fast.
+  bool second = true;
+  f.engine.spawn([](Fixture& fx, bool& result) -> sim::Task {
+    result = co_await fx.node->busy(cpu::Mode::kIdle, 0, seconds(1.0), "X");
+  }(f, second));
+  f.engine.run();
+  EXPECT_FALSE(second);
+}
+
+TEST(Node, SendDeliversToDestinationMailbox) {
+  Fixture f;
+  bool sent = false;
+  std::optional<net::Delivery> got;
+  f.engine.spawn([](Fixture& fx, bool& result) -> sim::Task {
+    net::Message m;
+    m.dst = net::kHostAddress;
+    m.kind = net::MsgKind::kData;
+    m.frame = 3;
+    m.size = kilobytes(1.0);
+    result = co_await fx.node->send(m, 0);
+  }(f, sent));
+  f.engine.spawn([](Fixture& fx,
+                    std::optional<net::Delivery>& out) -> sim::Task {
+    out = co_await fx.host_mailbox->recv();
+  }(f, got));
+  f.engine.run();
+  EXPECT_TRUE(sent);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->msg.frame, 3);
+  EXPECT_EQ(got->msg.src, 1);  // stamped by the node
+  // The node was busy in comm mode for the wire time.
+  EXPECT_NEAR(f.node->monitor().totals(cpu::Mode::kComm).time.value(),
+              got->wire_time.value(), 1e-9);
+}
+
+TEST(Node, DyingSenderDoesNotDeliver) {
+  // Battery with barely any charge: the send cannot complete, so nothing
+  // must arrive at the destination.
+  Fixture f(/*battery_mah=*/0.001);
+  bool sent = true;
+  std::optional<net::Delivery> got;
+  f.engine.spawn([](Fixture& fx, bool& result) -> sim::Task {
+    net::Message m;
+    m.dst = net::kHostAddress;
+    m.size = kilobytes(10.0);
+    result = co_await fx.node->send(m, 10);
+  }(f, sent));
+  f.engine.spawn([](Fixture& fx,
+                    std::optional<net::Delivery>& out) -> sim::Task {
+    out = co_await fx.host_mailbox->recv();
+  }(f, got));
+  f.engine.run();
+  EXPECT_FALSE(sent);
+  EXPECT_FALSE(f.node->alive());
+  EXPECT_FALSE(got.has_value());
+}
+
+TEST(Node, RecvWaitsIdlesAndReadsWire) {
+  Fixture f;
+  std::optional<net::Message> got;
+  f.engine.spawn([](Fixture& fx,
+                    std::optional<net::Message>& out) -> sim::Task {
+    out = co_await fx.node->recv(/*idle_level=*/0, /*comm_level=*/0);
+  }(f, got));
+  // Host sends after 10 s of idling.
+  f.engine.schedule_at(sim::Time{10'000'000'000}, [&f] {
+    net::Message m;
+    m.src = net::kHostAddress;
+    m.dst = 1;
+    m.kind = net::MsgKind::kData;
+    m.frame = 42;
+    m.size = kilobytes(10.1);
+    f.hub.begin_send(m);
+  });
+  f.engine.run();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->frame, 42);
+  // ~10 s of idle current at level 0 was charged.
+  EXPECT_NEAR(f.node->monitor().totals(cpu::Mode::kIdle).time.value(), 10.0,
+              0.1);
+  // And the wire time in comm mode (1.03-1.14 s for 10.1 KB).
+  const double comm = f.node->monitor().totals(cpu::Mode::kComm).time.value();
+  EXPECT_GT(comm, 1.0);
+  EXPECT_LT(comm, 1.2);
+}
+
+TEST(Node, RecvTimeoutReturnsNullopt) {
+  Fixture f;
+  std::optional<net::Message> got;
+  bool finished = false;
+  f.engine.spawn([](Fixture& fx, std::optional<net::Message>& out,
+                    bool& done) -> sim::Task {
+    out = co_await fx.node->recv(0, 0, seconds(5.0));
+    done = true;
+  }(f, got, finished));
+  f.engine.run();
+  EXPECT_TRUE(finished);
+  EXPECT_FALSE(got.has_value());
+  EXPECT_TRUE(f.node->alive());
+  EXPECT_NEAR(sim::to_seconds(f.engine.now()).value(), 5.0, 1e-6);
+  EXPECT_NEAR(f.node->monitor().totals(cpu::Mode::kIdle).time.value(), 5.0,
+              1e-6);
+}
+
+TEST(Node, IdleDeathWatchKillsWaitingNode) {
+  // 30 mA idle current, 0.03 mAh battery -> dies after ~3.6 s of waiting.
+  Fixture f(/*battery_mah=*/0.03);
+  std::optional<net::Message> got;
+  bool finished = false;
+  f.engine.spawn([](Fixture& fx, std::optional<net::Message>& out,
+                    bool& done) -> sim::Task {
+    out = co_await fx.node->recv(0, 0);
+    done = true;
+  }(f, got, finished));
+  f.engine.run();
+  EXPECT_TRUE(finished);
+  EXPECT_FALSE(got.has_value());
+  EXPECT_FALSE(f.node->alive());
+  const double idle_ma =
+      to_milliamps(cpu::itsy_sa1100().current(cpu::Mode::kIdle, 0));
+  EXPECT_NEAR(sim::to_seconds(f.node->death_time()).value(),
+              0.03 / idle_ma * 3600.0, 1e-3);
+}
+
+TEST(Node, IdleHelperAccountsIdleTime) {
+  Fixture f;
+  bool ok = false;
+  f.engine.spawn([](Fixture& fx, bool& result) -> sim::Task {
+    result = co_await fx.node->idle(0, seconds(7.5));
+  }(f, ok));
+  f.engine.run();
+  EXPECT_TRUE(ok);
+  EXPECT_NEAR(f.node->monitor().totals(cpu::Mode::kIdle).time.value(), 7.5,
+              1e-9);
+}
+
+TEST(Node, DvsSwitchCostAccountedOnLevelChange) {
+  Fixture f(1000.0, /*model_switch_cost=*/true);
+  f.engine.spawn([](Fixture& fx) -> sim::Task {
+    (void)co_await fx.node->busy(cpu::Mode::kComp, 10, seconds(1.0), "A");
+    (void)co_await fx.node->busy(cpu::Mode::kComp, 10, seconds(1.0), "B");
+    (void)co_await fx.node->busy(cpu::Mode::kComp, 0, seconds(1.0), "C");
+  }(f));
+  f.engine.run();
+  // First busy: no prior level -> no cost; second: same level -> no cost;
+  // third: one switch -> one PLL relock.
+  const double switch_s = cpu::itsy_sa1100().dvs_switch_latency().value();
+  EXPECT_NEAR(f.node->monitor().total_time().value(), 3.0 + switch_s, 1e-9);
+}
+
+}  // namespace
+}  // namespace deslp::core

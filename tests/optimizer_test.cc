@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/optimizer.h"
+
+namespace deslp::core {
+namespace {
+
+OptimizerOptions small_space() {
+  OptimizerOptions opt;
+  opt.stage_counts = {1, 2};
+  opt.level_headroom = 10;
+  return opt;
+}
+
+TEST(DesignSpace, EvaluateMatchesPlanFeasibility) {
+  DesignSpace space(small_space());
+  // The whole chain on one node needs the top level; anything lower is
+  // infeasible.
+  Configuration top{task::Partition({0}, 4), {10}, true};
+  EXPECT_TRUE(space.evaluate(top).feasible);
+  Configuration slow{task::Partition({0}, 4), {9}, true};
+  EXPECT_FALSE(space.evaluate(slow).feasible);
+}
+
+TEST(DesignSpace, EnergyVsLevelIsShallowWithRaceToIdle) {
+  // The SA-1100 current model carries a sizeable base (platform) current,
+  // so running PROC faster and idling longer at the bottom level can cost
+  // *less* than running just-fast-enough — the classic race-to-idle
+  // trade-off. The energy-vs-level curve is therefore shallow and may
+  // invert near the top; characterise the envelope instead of assuming
+  // monotonicity.
+  DesignSpace space(small_space());
+  const task::Partition part({0, 1}, 4);
+  double lo = 1e30, hi = 0.0;
+  for (int level = 3; level <= 10; ++level) {
+    const auto ev = space.evaluate(Configuration{part, {0, level}, true});
+    ASSERT_TRUE(ev.feasible) << level;
+    lo = std::min(lo, ev.energy_per_frame.value());
+    hi = std::max(hi, ev.energy_per_frame.value());
+  }
+  EXPECT_LT(hi / lo, 1.20);
+  // Without DVS during I/O the idle/comm segments also scale with the
+  // level and the spread widens in the expected direction.
+  const auto min_lv = space.evaluate(Configuration{part, {0, 3}, false});
+  const auto max_lv = space.evaluate(Configuration{part, {0, 10}, false});
+  EXPECT_LT(min_lv.energy_per_frame.value(),
+            max_lv.energy_per_frame.value());
+}
+
+TEST(DesignSpace, DvsDuringIoSavesEnergy) {
+  DesignSpace space(small_space());
+  const task::Partition part({0}, 4);
+  const auto with = space.evaluate(Configuration{part, {10}, true});
+  const auto without = space.evaluate(Configuration{part, {10}, false});
+  ASSERT_TRUE(with.feasible);
+  ASSERT_TRUE(without.feasible);
+  EXPECT_LT(with.energy_per_frame.value(), without.energy_per_frame.value());
+  EXPECT_GT(with.uptime.value(), without.uptime.value());
+}
+
+TEST(DesignSpace, EnumerationIsNonEmptyAndAllFeasible) {
+  DesignSpace space(small_space());
+  const auto evals = space.enumerate();
+  EXPECT_GT(evals.size(), 50u);
+  for (const auto& e : evals) {
+    EXPECT_TRUE(e.feasible);
+    EXPECT_EQ(e.node_lifetimes.size(),
+              e.config.comp_levels.size());
+    EXPECT_GT(e.energy_per_frame.value(), 0.0);
+  }
+}
+
+TEST(DesignSpace, GlobalEnergyMinimumIsNotUptimeMaximum) {
+  // The paper's thesis on this workload: the single-node configuration
+  // minimises global energy, but a two-node partition maximises uptime.
+  DesignSpace space(small_space());
+  const auto e_min = space.best_energy();
+  const auto u_max = space.best_uptime();
+  EXPECT_EQ(e_min.config.comp_levels.size(), 1u);
+  EXPECT_EQ(u_max.config.comp_levels.size(), 2u);
+  EXPECT_GT(u_max.uptime.value(), e_min.uptime.value() * 1.5);
+  EXPECT_GT(u_max.energy_per_frame.value(), e_min.energy_per_frame.value());
+}
+
+TEST(DesignSpace, NormalizedUptimePrefersFewBatteries) {
+  // Dividing by N, the single node wins on this workload (Rnorm(2) was
+  // only 115% in the paper against a much longer single-node baseline
+  // denominator here).
+  DesignSpace space(small_space());
+  const auto n_max = space.best_normalized_uptime();
+  EXPECT_EQ(n_max.config.comp_levels.size(), 1u);
+}
+
+TEST(DesignSpace, ParetoFrontIsMonotone) {
+  DesignSpace space(small_space());
+  const auto front = DesignSpace::pareto_front(space.enumerate());
+  ASSERT_GE(front.size(), 2u);
+  for (std::size_t i = 1; i < front.size(); ++i) {
+    EXPECT_GE(front[i].energy_per_frame.value(),
+              front[i - 1].energy_per_frame.value());
+    EXPECT_GT(front[i].uptime.value(), front[i - 1].uptime.value());
+  }
+}
+
+TEST(DesignSpace, ParetoFrontDominatesEverything) {
+  DesignSpace space(small_space());
+  const auto evals = space.enumerate();
+  const auto front = DesignSpace::pareto_front(evals);
+  for (const auto& e : evals) {
+    bool dominated_or_on_front = false;
+    for (const auto& f : front) {
+      if (f.energy_per_frame.value() <= e.energy_per_frame.value() + 1e-12 &&
+          f.uptime.value() >= e.uptime.value() - 1e-12) {
+        dominated_or_on_front = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(dominated_or_on_front);
+  }
+}
+
+TEST(DesignSpace, LabelIsHumanReadable) {
+  DesignSpace space(small_space());
+  const auto ev = space.evaluate(
+      Configuration{task::Partition({0, 1}, 4), {0, 3}, true});
+  const std::string label = ev.label(atr::itsy_atr_profile());
+  EXPECT_NE(label.find("Target Detection"), std::string::npos);
+  EXPECT_NE(label.find("0+3"), std::string::npos);
+  EXPECT_NE(label.find("dvs-io"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace deslp::core

@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "atr/pgm.h"
+#include "util/rng.h"
+
+namespace deslp::atr {
+namespace {
+
+TEST(Pgm, WriteHasValidHeader) {
+  Image img(4, 2);
+  img.at(0, 0) = 0.0f;
+  img.at(3, 1) = 1.0f;
+  std::ostringstream os;
+  write_pgm(img, os);
+  const std::string out = os.str();
+  EXPECT_EQ(out.substr(0, 3), "P5\n");
+  EXPECT_NE(out.find("4 2"), std::string::npos);
+  EXPECT_NE(out.find("255"), std::string::npos);
+}
+
+TEST(Pgm, RoundTripPreservesStructure) {
+  Rng rng(3);
+  Image img(16, 12);
+  img.add_gaussian_noise(rng, 1.0f);
+  std::stringstream ss;
+  write_pgm(img, ss);
+  const auto back = read_pgm(ss);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->width(), 16);
+  EXPECT_EQ(back->height(), 12);
+  // Values are min-max normalised on write, so compare rank correlation:
+  // the brightest/darkest pixels must map to the extremes.
+  int max_x = 0, max_y = 0;
+  float best = -1e30f;
+  for (int y = 0; y < 12; ++y)
+    for (int x = 0; x < 16; ++x)
+      if (img.at(x, y) > best) {
+        best = img.at(x, y);
+        max_x = x;
+        max_y = y;
+      }
+  EXPECT_NEAR(back->at(max_x, max_y), 1.0f, 1e-6);
+}
+
+TEST(Pgm, ConstantImageMapsToMidGrey) {
+  Image img(3, 3, 0.7f);
+  std::stringstream ss;
+  write_pgm(img, ss);
+  const auto back = read_pgm(ss);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_NEAR(back->at(1, 1), 128.0f / 255.0f, 1e-6);
+}
+
+TEST(Pgm, ReadsAsciiP2) {
+  std::stringstream ss("P2\n# comment line\n3 2\n10\n0 5 10\n10 5 0\n");
+  const auto img = read_pgm(ss);
+  ASSERT_TRUE(img.has_value());
+  EXPECT_EQ(img->width(), 3);
+  EXPECT_EQ(img->height(), 2);
+  EXPECT_FLOAT_EQ(img->at(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(img->at(1, 0), 0.5f);
+  EXPECT_FLOAT_EQ(img->at(2, 0), 1.0f);
+}
+
+TEST(Pgm, RejectsMalformedInput) {
+  std::string error;
+  {
+    std::stringstream ss("P6\n1 1\n255\nx");
+    EXPECT_FALSE(read_pgm(ss, &error).has_value());
+    EXPECT_NE(error.find("P5 or P2"), std::string::npos);
+  }
+  {
+    std::stringstream ss("P5\n0 2\n255\n");
+    EXPECT_FALSE(read_pgm(ss, &error).has_value());
+  }
+  {
+    std::stringstream ss("P5\n2 2\n255\nab");  // truncated pixels
+    EXPECT_FALSE(read_pgm(ss, &error).has_value());
+    EXPECT_NE(error.find("truncated"), std::string::npos);
+  }
+  {
+    std::stringstream ss("P5\n2 2\n70000\n");  // 16-bit unsupported
+    EXPECT_FALSE(read_pgm(ss, &error).has_value());
+  }
+}
+
+TEST(Pgm, FileRoundTrip) {
+  Image img(8, 8);
+  img.at(4, 4) = 1.0f;
+  const std::string path = "/tmp/deslp_pgm_test.pgm";
+  ASSERT_TRUE(write_pgm_file(img, path));
+  const auto back = read_pgm_file(path);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->width(), 8);
+  EXPECT_NEAR(back->at(4, 4), 1.0f, 1e-6);
+}
+
+TEST(Pgm, MissingFileFails) {
+  std::string error;
+  EXPECT_FALSE(read_pgm_file("/nonexistent.pgm", &error).has_value());
+  EXPECT_NE(error.find("cannot open"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace deslp::atr

@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "power/monitor.h"
+
+namespace deslp::power {
+namespace {
+
+TEST(PowerMonitor, AccumulatesPerModeTotals) {
+  PowerMonitor m("Node1", volts(4.0));
+  m.record(cpu::Mode::kComp, 10, milliamps(130.0), seconds(1.1),
+           sim::Time{0}, 0.99);
+  m.record(cpu::Mode::kComm, 10, milliamps(110.0), seconds(1.2),
+           sim::Time{1'100'000'000}, 0.98);
+  m.record(cpu::Mode::kComp, 10, milliamps(130.0), seconds(1.1),
+           sim::Time{2'300'000'000}, 0.97);
+
+  EXPECT_NEAR(m.totals(cpu::Mode::kComp).time.value(), 2.2, 1e-12);
+  EXPECT_NEAR(m.totals(cpu::Mode::kComm).time.value(), 1.2, 1e-12);
+  EXPECT_NEAR(m.totals(cpu::Mode::kIdle).time.value(), 0.0, 1e-12);
+  EXPECT_NEAR(m.total_time().value(), 3.4, 1e-12);
+  // Charge: 0.13*2.2 + 0.11*1.2 C.
+  EXPECT_NEAR(m.total_charge().value(), 0.13 * 2.2 + 0.11 * 1.2, 1e-9);
+  // Energy at 4 V.
+  EXPECT_NEAR(m.total_energy().value(), 4.0 * (0.13 * 2.2 + 0.11 * 1.2),
+              1e-9);
+}
+
+TEST(PowerMonitor, AverageCurrentIsTimeWeighted) {
+  PowerMonitor m("n", volts(4.0));
+  m.record(cpu::Mode::kComp, 0, milliamps(100.0), seconds(1.0), sim::Time{0},
+           1.0);
+  m.record(cpu::Mode::kIdle, 0, milliamps(40.0), seconds(3.0), sim::Time{0},
+           1.0);
+  EXPECT_NEAR(to_milliamps(m.average_current()), 55.0, 1e-9);
+}
+
+TEST(PowerMonitor, ZeroTimeAverageIsZero) {
+  PowerMonitor m("n", volts(4.0));
+  EXPECT_DOUBLE_EQ(m.average_current().value(), 0.0);
+}
+
+TEST(PowerMonitor, TraceOnlyWhenEnabled) {
+  PowerMonitor m("n", volts(4.0));
+  m.record(cpu::Mode::kComp, 1, milliamps(50.0), seconds(1.0), sim::Time{0},
+           0.9);
+  EXPECT_TRUE(m.trace().empty());
+  m.set_tracing(true);
+  m.record(cpu::Mode::kComp, 1, milliamps(50.0), seconds(1.0), sim::Time{0},
+           0.9);
+  ASSERT_EQ(m.trace().size(), 1u);
+  EXPECT_EQ(m.trace()[0].level, 1);
+  EXPECT_DOUBLE_EQ(m.trace()[0].soc, 0.9);
+}
+
+TEST(PowerMonitor, ZeroDurationSegmentsIgnored) {
+  PowerMonitor m("n", volts(4.0));
+  m.set_tracing(true);
+  m.record(cpu::Mode::kComm, 0, milliamps(50.0), seconds(0.0), sim::Time{0},
+           1.0);
+  EXPECT_TRUE(m.trace().empty());
+  EXPECT_DOUBLE_EQ(m.total_time().value(), 0.0);
+}
+
+TEST(PowerMonitor, CsvExportHasHeaderAndRows) {
+  PowerMonitor m("n", volts(4.0));
+  m.set_tracing(true);
+  m.record(cpu::Mode::kComm, 2, milliamps(55.0), seconds(0.5), sim::Time{0},
+           0.8);
+  std::ostringstream os;
+  m.write_trace_csv(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("time_s,mode,level,current_mA,duration_s,soc"),
+            std::string::npos);
+  EXPECT_NE(out.find("comm"), std::string::npos);
+  EXPECT_NE(out.find("55.000"), std::string::npos);
+}
+
+TEST(PowerMonitor, ResetClearsEverything) {
+  PowerMonitor m("n", volts(4.0));
+  m.set_tracing(true);
+  m.record(cpu::Mode::kComp, 0, milliamps(100.0), seconds(1.0), sim::Time{0},
+           0.5);
+  m.reset();
+  EXPECT_DOUBLE_EQ(m.total_time().value(), 0.0);
+  EXPECT_TRUE(m.trace().empty());
+}
+
+}  // namespace
+}  // namespace deslp::power

@@ -1,0 +1,211 @@
+// Property tests for the Go-Back-N reliable transport: exactly-once,
+// in-order delivery under randomized loss/duplication/reordering, and
+// timeout-based failure detection (§5.4's mechanism).
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "net/reliable.h"
+#include "sim/engine.h"
+#include "util/rng.h"
+
+namespace deslp::net {
+namespace {
+
+std::vector<std::uint8_t> payload_for(int i) {
+  return {static_cast<std::uint8_t>(i & 0xFF),
+          static_cast<std::uint8_t>((i >> 8) & 0xFF)};
+}
+
+/// A lossy wire: delivers each segment to the destination peer after a
+/// random delay, possibly dropping or duplicating it.
+struct LossyWire {
+  sim::Engine& engine;
+  Rng rng;
+  double drop_rate;
+  double dup_rate;
+  ReliablePeer* dst = nullptr;
+
+  LossyWire(sim::Engine& e, std::uint64_t seed, double drop, double dup)
+      : engine(e), rng(seed), drop_rate(drop), dup_rate(dup) {}
+
+  void send(const Segment& seg) {
+    if (rng.chance(drop_rate)) return;
+    deliver_later(seg);
+    if (rng.chance(dup_rate)) deliver_later(seg);
+  }
+
+  void deliver_later(Segment seg) {
+    const double delay_ms = rng.uniform(1.0, 80.0);  // reorders segments
+    engine.schedule_after(
+        sim::from_seconds(milliseconds(delay_ms)),
+        [this, seg = std::move(seg)] { dst->on_wire(seg); });
+  }
+};
+
+sim::Task collect(ReliablePeer& peer,
+                  std::vector<std::vector<std::uint8_t>>& got,
+                  std::size_t expect) {
+  while (got.size() < expect) {
+    auto v = co_await peer.received().recv();
+    if (!v) co_return;
+    got.push_back(*v);
+  }
+}
+
+struct LossCase {
+  std::uint64_t seed;
+  double drop;
+  double dup;
+};
+
+class ReliableLossTest : public ::testing::TestWithParam<LossCase> {};
+
+TEST_P(ReliableLossTest, InOrderExactlyOnceDelivery) {
+  const LossCase lc = GetParam();
+  sim::Engine engine;
+  ReliableOptions opt;
+  opt.rto = milliseconds(250.0);
+  opt.window = 4;
+
+  auto wire_ab = std::make_unique<LossyWire>(engine, lc.seed, lc.drop, lc.dup);
+  auto wire_ba =
+      std::make_unique<LossyWire>(engine, lc.seed ^ 0xABCD, lc.drop, lc.dup);
+  ReliablePeer a(engine, opt, [&w = *wire_ab](const Segment& s) { w.send(s); });
+  ReliablePeer b(engine, opt, [&w = *wire_ba](const Segment& s) { w.send(s); });
+  wire_ab->dst = &b;
+  wire_ba->dst = &a;
+
+  constexpr int kMessages = 60;
+  std::vector<std::vector<std::uint8_t>> got;
+  engine.spawn(collect(b, got, kMessages));
+  for (int i = 0; i < kMessages; ++i) a.send(payload_for(i));
+  engine.run();
+
+  ASSERT_EQ(got.size(), static_cast<std::size_t>(kMessages));
+  for (int i = 0; i < kMessages; ++i) EXPECT_EQ(got[static_cast<std::size_t>(i)], payload_for(i));
+  EXPECT_TRUE(a.idle());
+  if (lc.drop > 0.0) EXPECT_GT(a.stats().data_retx, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LossMatrix, ReliableLossTest,
+    ::testing::Values(LossCase{1, 0.0, 0.0}, LossCase{2, 0.1, 0.0},
+                      LossCase{3, 0.3, 0.0}, LossCase{4, 0.0, 0.2},
+                      LossCase{5, 0.2, 0.2}, LossCase{6, 0.45, 0.1},
+                      LossCase{7, 0.1, 0.5}, LossCase{8, 0.25, 0.25}));
+
+TEST(Reliable, NoLossMeansNoRetransmissions) {
+  sim::Engine engine;
+  ReliableOptions opt;
+  ReliablePeer* bp = nullptr;
+  ReliablePeer* ap = nullptr;
+  ReliablePeer a(engine, opt, [&](const Segment& s) {
+    engine.schedule_after(sim::Dur{1000}, [&, s] { bp->on_wire(s); });
+  });
+  ReliablePeer b(engine, opt, [&](const Segment& s) {
+    engine.schedule_after(sim::Dur{1000}, [&, s] { ap->on_wire(s); });
+  });
+  ap = &a;
+  bp = &b;
+  std::vector<std::vector<std::uint8_t>> got;
+  engine.spawn(collect(b, got, 10));
+  for (int i = 0; i < 10; ++i) a.send(payload_for(i));
+  engine.run();
+  EXPECT_EQ(a.stats().data_sent, 10);
+  EXPECT_EQ(a.stats().data_retx, 0);
+  EXPECT_EQ(b.stats().dup_received, 0);
+}
+
+TEST(Reliable, DeadPeerDetectedAfterMaxRetries) {
+  sim::Engine engine;
+  ReliableOptions opt;
+  opt.rto = milliseconds(100.0);
+  opt.max_retries = 3;
+  opt.backoff_cap = 0;  // fixed timeout for exact timing
+  bool declared_dead = false;
+  // Wire to nowhere: the peer is gone.
+  ReliablePeer a(engine, opt, [](const Segment&) {});
+  a.set_dead_callback([&] { declared_dead = true; });
+  a.send(payload_for(1));
+  engine.run();
+  EXPECT_TRUE(declared_dead);
+  EXPECT_TRUE(a.peer_presumed_dead());
+  // Detection took (max_retries + 1) * rto.
+  EXPECT_NEAR(sim::to_seconds(engine.now()).value(), 0.4, 1e-6);
+}
+
+TEST(Reliable, ExponentialBackoffSlowsRetransmissions) {
+  sim::Engine engine;
+  ReliableOptions opt;
+  opt.rto = milliseconds(100.0);
+  opt.backoff_cap = 3;
+  std::vector<double> send_times;
+  ReliablePeer a(engine, opt, [&](const Segment& s) {
+    if (s.type == Segment::Type::kData)
+      send_times.push_back(sim::to_seconds(engine.now()).value());
+  });
+  a.send(payload_for(1));
+  engine.run_until(sim::Time{3'000'000'000});  // 3 s, acks never come
+  // Gaps double: 0.1, 0.2, 0.4, 0.8, then capped at 0.8.
+  ASSERT_GE(send_times.size(), 5u);
+  EXPECT_NEAR(send_times[1] - send_times[0], 0.1, 1e-9);
+  EXPECT_NEAR(send_times[2] - send_times[1], 0.2, 1e-9);
+  EXPECT_NEAR(send_times[3] - send_times[2], 0.4, 1e-9);
+  EXPECT_NEAR(send_times[4] - send_times[3], 0.8, 1e-9);
+}
+
+TEST(Reliable, WindowLimitsInflightSegments) {
+  sim::Engine engine;
+  ReliableOptions opt;
+  opt.window = 2;
+  int sent_on_wire = 0;
+  ReliablePeer a(engine, opt, [&](const Segment& s) {
+    if (s.type == Segment::Type::kData) ++sent_on_wire;
+  });
+  for (int i = 0; i < 10; ++i) a.send(payload_for(i));
+  // No acks ever arrive: only the window's worth of first transmissions.
+  EXPECT_EQ(sent_on_wire, 2);
+}
+
+TEST(Reliable, CumulativeAckAdvancesWindow) {
+  sim::Engine engine;
+  ReliableOptions opt;
+  opt.window = 2;
+  std::vector<Segment> wire_log;
+  ReliablePeer a(engine, opt,
+                 [&](const Segment& s) { wire_log.push_back(s); });
+  for (int i = 0; i < 4; ++i) a.send(payload_for(i));
+  EXPECT_EQ(wire_log.size(), 2u);
+  Segment ack;
+  ack.type = Segment::Type::kAck;
+  ack.seq = 2;  // acks segments 0 and 1 cumulatively
+  a.on_wire(ack);
+  EXPECT_EQ(wire_log.size(), 4u);
+  EXPECT_EQ(wire_log[2].seq, 2u);
+  EXPECT_EQ(wire_log[3].seq, 3u);
+}
+
+TEST(Reliable, ReceiverReacksDuplicates) {
+  sim::Engine engine;
+  ReliableOptions opt;
+  std::vector<Segment> wire_log;
+  ReliablePeer b(engine, opt,
+                 [&](const Segment& s) { wire_log.push_back(s); });
+  Segment data;
+  data.type = Segment::Type::kData;
+  data.seq = 0;
+  data.payload = payload_for(0);
+  b.on_wire(data);
+  b.on_wire(data);  // duplicate
+  ASSERT_EQ(wire_log.size(), 2u);
+  EXPECT_EQ(wire_log[0].type, Segment::Type::kAck);
+  EXPECT_EQ(wire_log[0].seq, 1u);
+  EXPECT_EQ(wire_log[1].seq, 1u);
+  EXPECT_EQ(b.stats().dup_received, 1);
+}
+
+}  // namespace
+}  // namespace deslp::net

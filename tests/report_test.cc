@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/report.h"
+
+namespace deslp::core {
+namespace {
+
+std::vector<ExperimentResult> sample_results() {
+  std::vector<ExperimentResult> results;
+  ExperimentResult r1;
+  r1.id = "1";
+  r1.title = "Baseline";
+  r1.node_count = 1;
+  r1.frames = 1000;
+  r1.battery_life = hours(2.0);
+  r1.normalized_life = hours(2.0);
+  r1.rnorm = 1.0;
+  r1.paper = {6.13, 9600, 1.0};
+  NodeReport n1;
+  n1.name = "Node1";
+  n1.died = true;
+  n1.death_time = hours(2.0);
+  n1.final_soc = 0.25;
+  n1.average_current = milliamps(100.0);
+  r1.details.nodes.push_back(n1);
+  results.push_back(r1);
+
+  ExperimentResult r2;
+  r2.id = "2C";
+  r2.title = "Rotation";
+  r2.node_count = 2;
+  r2.frames = 4000;
+  r2.battery_life = hours(8.0);
+  r2.normalized_life = hours(4.0);
+  r2.rnorm = 2.0;
+  r2.paper = {17.82, 27900, 1.45};
+  NodeReport n2 = n1;
+  n2.rotations = 40;
+  r2.details.nodes = {n2, n2};
+  results.push_back(r2);
+
+  ExperimentResult r0;
+  r0.id = "0A";
+  r0.title = "No IO";
+  r0.frames = 500;
+  r0.battery_life = hours(1.0);
+  r0.normalized_life = hours(1.0);
+  results.push_back(r0);
+  return results;
+}
+
+TEST(Report, SummaryTableHasAllRows) {
+  const std::string out = render_summary_table(sample_results());
+  EXPECT_NE(out.find("Baseline"), std::string::npos);
+  EXPECT_NE(out.find("Rotation"), std::string::npos);
+  EXPECT_NE(out.find("2.00"), std::string::npos);   // T sim
+  EXPECT_NE(out.find("200%"), std::string::npos);   // Rnorm
+  EXPECT_NE(out.find("17.82"), std::string::npos);  // paper T
+}
+
+TEST(Report, NodeTableListsEveryNode) {
+  const std::string out = render_node_table(sample_results());
+  // r1 has one node, r2 two.
+  std::size_t count = 0;
+  for (std::size_t pos = out.find("Node1"); pos != std::string::npos;
+       pos = out.find("Node1", pos + 1))
+    ++count;
+  EXPECT_EQ(count, 3u);
+  EXPECT_NE(out.find("25%"), std::string::npos);
+}
+
+TEST(Report, Fig10BarsExcludeNoIoExperiments) {
+  const std::string out = render_fig10_bars(sample_results());
+  EXPECT_NE(out.find("(1 )"), std::string::npos);
+  EXPECT_NE(out.find("(2C)"), std::string::npos);
+  EXPECT_EQ(out.find("0A"), std::string::npos);
+  EXPECT_NE(out.find("Rnorm=200%"), std::string::npos);
+}
+
+TEST(Report, ResultsCsvRoundTripsValues) {
+  std::ostringstream os;
+  write_results_csv(sample_results(), os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("id,title,nodes,frames"), std::string::npos);
+  EXPECT_NE(out.find("2C,Rotation,2,4000,8.0000,4.0000,2.0000"),
+            std::string::npos);
+  // Three data rows + header.
+  std::size_t lines = 0;
+  for (char c : out)
+    if (c == '\n') ++lines;
+  EXPECT_EQ(lines, 4u);
+}
+
+TEST(Report, NodeCsvHasRowPerNode) {
+  std::ostringstream os;
+  write_node_csv(sample_results(), os);
+  std::size_t lines = 0;
+  for (char c : os.str())
+    if (c == '\n') ++lines;
+  EXPECT_EQ(lines, 4u);  // header + 3 node rows
+}
+
+}  // namespace
+}  // namespace deslp::core

@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include "core/scenario.h"
+
+namespace deslp::core {
+namespace {
+
+Config parse(const std::string& text) {
+  auto cfg = Config::parse(text);
+  EXPECT_TRUE(cfg.has_value());
+  return *cfg;
+}
+
+TEST(Scenario, DefaultScenarioReproduces2A) {
+  const auto outcome = run_scenario(parse(default_scenario_text()));
+  ASSERT_TRUE(outcome.has_value());
+  // (2A): 14.29 h on the calibrated models.
+  EXPECT_NEAR(to_hours(outcome->battery_life), 14.29, 0.3);
+  EXPECT_NE(outcome->description.find("59 MHz"), std::string::npos);
+  EXPECT_NE(outcome->description.find("103.2 MHz"), std::string::npos);
+}
+
+TEST(Scenario, RotationScenarioMatchesExperiment2C) {
+  auto cfg = parse(R"(
+[pipeline]
+stages = 2
+[technique]
+rotation_period = 100
+)");
+  const auto outcome = run_scenario(cfg);
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_NEAR(to_hours(outcome->battery_life), 17.80, 0.3);
+  ASSERT_EQ(outcome->run.nodes.size(), 2u);
+  EXPECT_GT(outcome->run.nodes[0].rotations, 100);
+}
+
+TEST(Scenario, ExplicitLevelsAndCuts) {
+  auto cfg = parse(R"(
+[pipeline]
+stages = 2
+cuts = 2
+levels_mhz = 206.4, 118.0
+)");
+  const auto outcome = run_scenario(cfg);
+  ASSERT_TRUE(outcome.has_value());
+  // (TD+FFT)(IFFT+CD) at 206.4/118.
+  EXPECT_NE(outcome->description.find("Target Detection + FFT)"),
+            std::string::npos);
+  EXPECT_NE(outcome->description.find("206.4 MHz"), std::string::npos);
+}
+
+TEST(Scenario, SingleNodeBaseline) {
+  auto cfg = parse(R"(
+[pipeline]
+stages = 1
+dvs_during_io = false
+)");
+  const auto outcome = run_scenario(cfg);
+  ASSERT_TRUE(outcome.has_value());
+  // Experiment (1): ~4.76 h.
+  EXPECT_NEAR(to_hours(outcome->battery_life), 4.76, 0.2);
+}
+
+TEST(Scenario, RejectsInfeasibleLevels) {
+  std::string error;
+  auto cfg = parse(R"(
+[pipeline]
+stages = 2
+levels_mhz = 59.0, 59.0
+)");
+  EXPECT_FALSE(run_scenario(cfg, &error).has_value());
+  EXPECT_NE(error.find("below the minimum feasible"), std::string::npos);
+}
+
+TEST(Scenario, RejectsContradictoryTechniques) {
+  std::string error;
+  auto cfg = parse(R"(
+[pipeline]
+stages = 2
+[technique]
+acks = true
+rotation_period = 10
+)");
+  EXPECT_FALSE(run_scenario(cfg, &error).has_value());
+  EXPECT_NE(error.find("mutually exclusive"), std::string::npos);
+}
+
+TEST(Scenario, RejectsInfeasibleLink) {
+  std::string error;
+  auto cfg = parse(R"(
+[link]
+preset = custom
+line_kbps = 40
+effective_kbps = 30
+)");
+  EXPECT_FALSE(run_scenario(cfg, &error).has_value());
+  EXPECT_NE(error.find("no feasible"), std::string::npos);
+}
+
+TEST(Scenario, ReportsBadValues) {
+  std::string error;
+  auto cfg = parse(R"(
+[system]
+frame_delay = abc
+)");
+  EXPECT_FALSE(run_scenario(cfg, &error).has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(Scenario, CustomBatteryModels) {
+  for (const char* model : {"ideal", "peukert", "kibam", "rakhmatov"}) {
+    auto cfg = parse(std::string(R"(
+[battery]
+model = )") + model + R"(
+capacity_mah = 30
+[pipeline]
+stages = 1
+)");
+    const auto outcome = run_scenario(cfg);
+    ASSERT_TRUE(outcome.has_value()) << model;
+    EXPECT_NE(outcome->description.find(model), std::string::npos);
+    EXPECT_GT(outcome->run.frames_completed, 10) << model;
+  }
+}
+
+
+TEST(Scenario, VariableWorkloadSection) {
+  auto cfg = parse(R"(
+[battery]
+capacity_mah = 60
+[pipeline]
+stages = 1
+[workload]
+min_scale = 0.4
+adaptive = true
+)");
+  const auto outcome = run_scenario(cfg);
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_GT(outcome->run.frames_completed, 60);
+
+  std::string error;
+  auto bad = parse("[workload]\nmin_scale = 1.5\n");
+  EXPECT_FALSE(run_scenario(bad, &error).has_value());
+  EXPECT_NE(error.find("max_scale"), std::string::npos);
+}
+
+TEST(Scenario, ShippedScenarioFilesAreValid) {
+  for (const char* path :
+       {"examples/scenarios/rotation.ini", "examples/scenarios/recovery.ini",
+        "examples/scenarios/fast_link_ideal_battery.ini"}) {
+    std::string error;
+    auto cfg = Config::load(std::string(PROJECT_SOURCE_DIR) + "/" + path,
+                            &error);
+    ASSERT_TRUE(cfg.has_value()) << path << ": " << error;
+    // Shrink the battery so the full run stays fast.
+    auto text_cfg = *cfg;
+    (void)text_cfg;
+    const auto outcome = run_scenario(*cfg, &error);
+    ASSERT_TRUE(outcome.has_value()) << path << ": " << error;
+    EXPECT_GT(outcome->run.frames_completed, 100) << path;
+  }
+}
+
+}  // namespace
+}  // namespace deslp::core

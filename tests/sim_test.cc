@@ -1,0 +1,299 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/channel.h"
+#include "sim/engine.h"
+#include "sim/gate.h"
+#include "sim/task.h"
+#include "sim/time.h"
+#include "sim/trace.h"
+
+namespace deslp::sim {
+namespace {
+
+// --- time ---------------------------------------------------------------------
+
+TEST(SimTime, Arithmetic) {
+  const Time t{1000};
+  EXPECT_EQ((t + Dur{500}).nanos(), 1500);
+  EXPECT_EQ((t - Dur{500}).nanos(), 500);
+  EXPECT_EQ((Time{3000} - Time{1000}).nanos(), 2000);
+  EXPECT_LT(Time{1}, Time{2});
+}
+
+TEST(SimTime, SecondsConversionRoundTrips) {
+  EXPECT_EQ(from_seconds(seconds(1.5)).nanos(), 1'500'000'000);
+  EXPECT_DOUBLE_EQ(to_seconds(Dur{2'300'000'000}).value(), 2.3);
+  EXPECT_EQ(from_seconds(milliseconds(0.0000005)).nanos(), 1);  // rounds
+}
+
+// --- engine --------------------------------------------------------------------
+
+TEST(Engine, FiresEventsInTimeOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule_at(Time{300}, [&] { order.push_back(3); });
+  e.schedule_at(Time{100}, [&] { order.push_back(1); });
+  e.schedule_at(Time{200}, [&] { order.push_back(2); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(e.now(), Time{300});
+}
+
+TEST(Engine, SimultaneousEventsFifoByScheduleOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule_at(Time{100}, [&] { order.push_back(1); });
+  e.schedule_at(Time{100}, [&] { order.push_back(2); });
+  e.schedule_at(Time{100}, [&] { order.push_back(3); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Engine, CancelledEventDoesNotFire) {
+  Engine e;
+  bool fired = false;
+  EventHandle h = e.schedule_at(Time{100}, [&] { fired = true; });
+  EXPECT_TRUE(h.pending());
+  h.cancel();
+  e.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Engine, EventsScheduledFromEventsRun) {
+  Engine e;
+  int depth = 0;
+  e.schedule_at(Time{10}, [&] {
+    ++depth;
+    e.schedule_after(Dur{10}, [&] { ++depth; });
+  });
+  e.run();
+  EXPECT_EQ(depth, 2);
+  EXPECT_EQ(e.now(), Time{20});
+}
+
+TEST(Engine, RunUntilStopsAtDeadline) {
+  Engine e;
+  int count = 0;
+  for (int i = 1; i <= 10; ++i)
+    e.schedule_at(Time{i * 100}, [&] { ++count; });
+  e.run_until(Time{500});
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(e.pending_events(), 5u);
+}
+
+TEST(Engine, StopEndsRunEarly) {
+  Engine e;
+  int count = 0;
+  e.schedule_at(Time{100}, [&] {
+    ++count;
+    e.stop();
+  });
+  e.schedule_at(Time{200}, [&] { ++count; });
+  e.run();
+  EXPECT_EQ(count, 1);
+}
+
+// --- coroutines -------------------------------------------------------------------
+
+Task counting_process(Engine& e, std::vector<double>& at) {
+  at.push_back(to_seconds(e.now()).value());
+  co_await e.delay(seconds(1.0));
+  at.push_back(to_seconds(e.now()).value());
+  co_await e.delay(seconds(0.5));
+  at.push_back(to_seconds(e.now()).value());
+}
+
+TEST(Coroutines, DelaysAdvanceVirtualTime) {
+  Engine e;
+  std::vector<double> at;
+  e.spawn(counting_process(e, at));
+  e.run();
+  ASSERT_EQ(at.size(), 3u);
+  EXPECT_DOUBLE_EQ(at[0], 0.0);
+  EXPECT_DOUBLE_EQ(at[1], 1.0);
+  EXPECT_DOUBLE_EQ(at[2], 1.5);
+}
+
+ValueTask<int> add_after_delay(Engine& e, int a, int b) {
+  co_await e.delay(seconds(1.0));
+  co_return a + b;
+}
+
+Task parent_process(Engine& e, int& result) {
+  result = co_await add_after_delay(e, 2, 3);
+}
+
+TEST(Coroutines, ValueTaskReturnsThroughAwait) {
+  Engine e;
+  int result = 0;
+  e.spawn(parent_process(e, result));
+  e.run();
+  EXPECT_EQ(result, 5);
+  EXPECT_EQ(to_seconds(e.now()).value(), 1.0);
+}
+
+Task nested_child(Engine& e, std::vector<std::string>& log) {
+  log.push_back("child-start");
+  co_await e.delay(seconds(2.0));
+  log.push_back("child-end");
+}
+
+Task nested_parent(Engine& e, std::vector<std::string>& log) {
+  log.push_back("parent-start");
+  co_await nested_child(e, log);
+  log.push_back("parent-end");
+}
+
+TEST(Coroutines, NestedTasksSequence) {
+  Engine e;
+  std::vector<std::string> log;
+  e.spawn(nested_parent(e, log));
+  e.run();
+  EXPECT_EQ(log, (std::vector<std::string>{"parent-start", "child-start",
+                                           "child-end", "parent-end"}));
+}
+
+// --- channel ----------------------------------------------------------------------
+
+Task producer(Engine& e, Channel<int>& ch, int n) {
+  for (int i = 0; i < n; ++i) {
+    co_await e.delay(seconds(1.0));
+    ch.send(i);
+  }
+  ch.close();
+}
+
+Task consumer(Channel<int>& ch, std::vector<int>& got) {
+  for (;;) {
+    auto v = co_await ch.recv();
+    if (!v) co_return;
+    got.push_back(*v);
+  }
+}
+
+TEST(Channel, DeliversInOrderAndCloses) {
+  Engine e;
+  Channel<int> ch(e);
+  std::vector<int> got;
+  e.spawn(consumer(ch, got));
+  e.spawn(producer(e, ch, 5));
+  e.run();
+  EXPECT_EQ(got, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Channel, BuffersWhenNoReceiver) {
+  Engine e;
+  Channel<int> ch(e);
+  ch.send(7);
+  ch.send(8);
+  EXPECT_EQ(ch.buffered(), 2u);
+  std::vector<int> got;
+  e.spawn(consumer(ch, got));
+  ch.close();
+  e.run();
+  EXPECT_EQ(got, (std::vector<int>{7, 8}));
+}
+
+Task timeout_consumer(Channel<int>& ch, Dur timeout,
+                      std::vector<std::optional<int>>& got) {
+  got.push_back(co_await ch.recv_timeout(timeout));
+  got.push_back(co_await ch.recv_timeout(timeout));
+}
+
+TEST(Channel, RecvTimeoutExpiresThenSucceeds) {
+  Engine e;
+  Channel<int> ch(e);
+  std::vector<std::optional<int>> got;
+  e.spawn(timeout_consumer(ch, seconds_dur(2), got));
+  // Nothing for 2 s -> first recv times out; value at t=3 s -> second gets it.
+  e.schedule_at(Time{3'000'000'000}, [&] { ch.send(42); });
+  e.run();
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_FALSE(got[0].has_value());
+  ASSERT_TRUE(got[1].has_value());
+  EXPECT_EQ(*got[1], 42);
+}
+
+TEST(Channel, CloseWakesWaiter) {
+  Engine e;
+  Channel<int> ch(e);
+  std::vector<int> got;
+  e.spawn(consumer(ch, got));
+  e.schedule_at(Time{100}, [&] { ch.close(); });
+  e.run();
+  EXPECT_TRUE(got.empty());
+  EXPECT_TRUE(ch.closed());
+}
+
+// --- gate -------------------------------------------------------------------------
+
+Task gate_waiter(Gate& g, Engine& e, std::vector<double>& woke) {
+  co_await g.wait();
+  woke.push_back(to_seconds(e.now()).value());
+}
+
+TEST(Gate, OpenWakesAllWaiters) {
+  Engine e;
+  Gate g(e);
+  std::vector<double> woke;
+  e.spawn(gate_waiter(g, e, woke));
+  e.spawn(gate_waiter(g, e, woke));
+  e.schedule_at(Time{5'000'000'000}, [&] { g.open(); });
+  e.run();
+  ASSERT_EQ(woke.size(), 2u);
+  EXPECT_DOUBLE_EQ(woke[0], 5.0);
+  EXPECT_DOUBLE_EQ(woke[1], 5.0);
+}
+
+TEST(Gate, OpenGatePassesImmediately) {
+  Engine e;
+  Gate g(e);
+  g.open();
+  std::vector<double> woke;
+  e.spawn(gate_waiter(g, e, woke));
+  e.run();
+  ASSERT_EQ(woke.size(), 1u);
+  EXPECT_DOUBLE_EQ(woke[0], 0.0);
+}
+
+// --- trace ------------------------------------------------------------------------
+
+TEST(Trace, AccumulatesSpansAndMarks) {
+  Trace t;
+  t.add_span({"Node1", "PROC", Time{0}, Time{1'000'000'000}, "frame 0"});
+  t.add_span({"Node1", "SEND", Time{1'000'000'000}, Time{1'500'000'000}, ""});
+  t.add_span({"Node2", "PROC", Time{0}, Time{2'000'000'000}, ""});
+  t.add_mark({"Node1", "died", Time{1'500'000'000}});
+  EXPECT_EQ(t.spans().size(), 3u);
+  EXPECT_EQ(t.spans_for("Node1").size(), 2u);
+  EXPECT_EQ(t.marks_for("Node1").size(), 1u);
+  EXPECT_EQ(t.time_in("Node1", "PROC", Time{0}, Time{10'000'000'000}).nanos(),
+            1'000'000'000);
+  // Clipping.
+  EXPECT_EQ(t.time_in("Node2", "PROC", Time{500'000'000},
+                      Time{1'000'000'000}).nanos(),
+            500'000'000);
+}
+
+TEST(Trace, RecordingOffDropsSpansKeepsMarks) {
+  Trace t;
+  t.set_recording(false);
+  t.add_span({"a", "b", Time{0}, Time{1}, ""});
+  t.add_mark({"a", "m", Time{0}});
+  EXPECT_TRUE(t.spans().empty());
+  EXPECT_EQ(t.marks().size(), 1u);
+}
+
+TEST(Trace, RenderSortsByTime) {
+  Trace t;
+  t.add_span({"B", "X", Time{2'000'000'000}, Time{3'000'000'000}, ""});
+  t.add_span({"A", "Y", Time{1'000'000'000}, Time{2'000'000'000}, ""});
+  const std::string out = t.render();
+  EXPECT_LT(out.find("A"), out.find("B"));
+}
+
+}  // namespace
+}  // namespace deslp::sim

@@ -1,0 +1,124 @@
+// Randomized configuration fuzz for the pipeline system: random feasible
+// partitions, level assignments, rotation periods, ack settings, and
+// battery sizes must always satisfy the run invariants — no crashes, no
+// phantom frames, deterministic replay, conserved charge accounting.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "battery/kibam.h"
+#include "core/experiment.h"
+#include "core/system.h"
+#include "task/partition.h"
+#include "util/rng.h"
+
+namespace deslp::core {
+namespace {
+
+SystemConfig random_config(Rng& rng) {
+  SystemConfig sys;
+  sys.cpu = &cpu::itsy_sa1100();
+  sys.profile = &atr::itsy_atr_profile();
+  sys.link = net::itsy_serial_link();
+  const double mah = rng.uniform(5.0, 60.0);
+  sys.battery_factory = [mah] {
+    return battery::make_kibam_battery(
+        battery::KibamParams{milliamp_hours(mah), 0.3, 5e-4});
+  };
+  sys.frame_delay = seconds(2.3);
+  const int stages = 1 + static_cast<int>(rng.below(3));  // 1..3
+
+  // Pick a random *feasible* partition of that depth.
+  const auto analyses = task::analyze_all_partitions(
+      *sys.profile, stages, *sys.cpu, sys.link, sys.frame_delay);
+  std::vector<const task::PartitionAnalysis*> feasible;
+  for (const auto& a : analyses)
+    if (a.feasible()) feasible.push_back(&a);
+  if (feasible.empty()) return random_config(rng);  // retry another depth
+  const auto& a = *feasible[rng.below(feasible.size())];
+  sys.partition = a.partition;
+  for (const auto& s : a.stages) {
+    // Any level from the minimum feasible to the top.
+    const int span = sys.cpu->level_count() - s.min_level;
+    const int comp =
+        s.min_level + static_cast<int>(rng.below(
+                          static_cast<std::uint64_t>(span)));
+    const bool dvs_io = rng.chance(0.5);
+    sys.stage_levels.push_back({comp, dvs_io ? 0 : comp, dvs_io ? 0 : comp});
+  }
+  if (stages >= 2) {
+    if (rng.chance(0.4)) {
+      sys.rotation_period = 1 + static_cast<long long>(rng.below(200));
+    } else if (rng.chance(0.5)) {
+      sys.use_acks = true;
+      sys.migrated_levels = {sys.cpu->top_level(), 0, 0};
+    }
+  }
+  sys.max_frames = 3000;
+  sys.seed = rng();
+  return sys;
+}
+
+class PipelineFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PipelineFuzz, InvariantsHoldUnderRandomConfigurations) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 4; ++round) {
+    SystemConfig sys = random_config(rng);
+    const std::size_t stages = sys.stage_levels.size();
+    const double mah_total_guard = 70.0 * 3.6;  // coulombs upper bound/node
+
+    PipelineSystem system(std::move(sys));
+    const RunResult r = system.run();
+
+    // No phantom frames: completions never exceed what the host sent.
+    EXPECT_LE(r.frames_completed, r.frames_sent);
+    EXPECT_GE(r.frames_completed, 0);
+    EXPECT_EQ(r.nodes.size(), stages);
+    for (const auto& n : r.nodes) {
+      // Charge accounting is bounded by the battery that was installed.
+      EXPECT_LE(n.charge_used.value(), mah_total_guard * 1.01);
+      EXPECT_GE(n.final_soc, -1e-9);
+      EXPECT_LE(n.final_soc, 1.0 + 1e-9);
+      // A dead node died within the run.
+      if (n.died) {
+        EXPECT_GT(n.death_time.value(), 0.0);
+        EXPECT_LE(n.death_time.value(), r.sim_end.value() + 1e-6);
+      }
+      // Residency adds up to no more than the run length, plus at most
+      // one in-flight segment (accounting happens at segment start, and
+      // the watchdog may stop the engine mid-segment).
+      EXPECT_LE((n.comm_time + n.comp_time + n.idle_time).value(),
+                r.sim_end.value() + 3.0);
+    }
+    // Time only moves forward.
+    EXPECT_LE(r.last_completion.value(), r.sim_end.value() + 1e-9);
+  }
+}
+
+TEST_P(PipelineFuzz, RunsAreDeterministic) {
+  Rng rng(GetParam() ^ 0xD5D5D5D5ULL);
+  SystemConfig sys = random_config(rng);
+  SystemConfig copy = sys;  // same everything, incl. seed
+  PipelineSystem sys_a(std::move(sys));
+  PipelineSystem sys_b(std::move(copy));
+  const RunResult a = sys_a.run();
+  const RunResult b = sys_b.run();
+  EXPECT_EQ(a.frames_completed, b.frames_completed);
+  EXPECT_EQ(a.frames_sent, b.frames_sent);
+  EXPECT_DOUBLE_EQ(a.sim_end.value(), b.sim_end.value());
+  ASSERT_EQ(a.nodes.size(), b.nodes.size());
+  for (std::size_t i = 0; i < a.nodes.size(); ++i) {
+    EXPECT_EQ(a.nodes[i].died, b.nodes[i].died);
+    EXPECT_DOUBLE_EQ(a.nodes[i].charge_used.value(),
+                     b.nodes[i].charge_used.value());
+    EXPECT_EQ(a.nodes[i].rotations, b.nodes[i].rotations);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PipelineFuzz,
+                         ::testing::Values(11ULL, 22ULL, 33ULL, 44ULL, 55ULL,
+                                           66ULL, 77ULL, 88ULL));
+
+}  // namespace
+}  // namespace deslp::core

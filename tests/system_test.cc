@@ -1,0 +1,343 @@
+// Integration tests for the PipelineSystem behaviours: schedule shape
+// against the paper's timing diagrams, DES-vs-analytic agreement, rotation
+// mechanics (Fig. 9), and failure recovery (§5.4).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "battery/battery.h"
+#include "battery/kibam.h"
+#include "battery/load.h"
+#include "core/experiment.h"
+#include "core/system.h"
+#include "task/plan.h"
+
+namespace deslp::core {
+namespace {
+
+SystemConfig base_config() {
+  SystemConfig sys;
+  sys.cpu = &cpu::itsy_sa1100();
+  sys.profile = &atr::itsy_atr_profile();
+  sys.link = net::itsy_serial_link();
+  sys.battery_factory = [] {
+    return battery::make_ideal_battery(milliamp_hours(1e9));  // effectively
+                                                              // infinite
+  };
+  sys.frame_delay = seconds(2.3);
+  return sys;
+}
+
+TEST(System, SingleNodeBaselineSustainsFrameRate) {
+  SystemConfig sys = base_config();
+  sys.partition = task::Partition({0}, 4);
+  sys.stage_levels = {{10, 10, 10}};
+  sys.max_frames = 200;
+  PipelineSystem system(std::move(sys));
+  const RunResult r = system.run();
+  EXPECT_EQ(r.frames_completed, 200);
+  // 200 frames at one per 2.3 s: last completion near 200 * 2.3.
+  EXPECT_NEAR(r.last_completion.value(), 200 * 2.3, 2.5);
+  ASSERT_EQ(r.nodes.size(), 1u);
+  EXPECT_FALSE(r.nodes[0].died);
+  // Almost no idle in the baseline (busy ~2.295 of every 2.3 s).
+  EXPECT_LT(r.nodes[0].idle_time.value() / r.nodes[0].comm_time.value(),
+            0.05);
+}
+
+TEST(System, TwoNodePipelineKeepsThroughputAndOverlaps) {
+  SystemConfig sys = base_config();
+  const auto part = selected_two_node_partition(*sys.cpu, *sys.profile,
+                                                sys.link);
+  sys.partition = part.partition;
+  const int lv1 = part.stages[0].min_level;
+  const int lv2 = part.stages[1].min_level;
+  sys.stage_levels = {{lv1, lv1, lv1}, {lv2, lv2, lv2}};
+  sys.max_frames = 100;
+  PipelineSystem system(std::move(sys));
+  const RunResult r = system.run();
+  EXPECT_EQ(r.frames_completed, 100);
+  // Pipeline startup adds ~1 frame of latency; throughput stays 1/D.
+  EXPECT_NEAR(r.last_completion.value(), 100 * 2.3, 2.0 * 2.3 + 1.0);
+}
+
+TEST(System, DesMatchesAnalyticLifetimeForStaticSchedule) {
+  // Experiment (1)-shaped run on a small battery: the DES lifetime (frames
+  // * D) must match the analytic load-cycle lifetime within the startup
+  // jitter tolerance.
+  const double mah = 40.0;
+  SystemConfig sys = base_config();
+  sys.battery_factory = [mah] {
+    return battery::make_kibam_battery(
+        battery::KibamParams{milliamp_hours(mah), 0.3, 5e-4});
+  };
+  sys.partition = task::Partition({0}, 4);
+  sys.stage_levels = {{10, 10, 10}};
+  PipelineSystem system(std::move(sys));
+  const RunResult r = system.run();
+
+  net::SerialLink timer(net::itsy_serial_link());
+  task::NodePlan plan;
+  plan.recv_time = timer.expected_transaction_time(kilobytes(10.1));
+  plan.send_time = timer.expected_transaction_time(kilobytes(0.1));
+  plan.work = atr::itsy_atr_profile().total_work();
+  plan.comp_level = plan.comm_level = plan.idle_level = 10;
+  plan.frame_delay = seconds(2.3);
+  auto b = battery::make_kibam_battery(
+      battery::KibamParams{milliamp_hours(mah), 0.3, 5e-4});
+  const battery::LifetimeResult analytic =
+      battery::lifetime_under_cycle(*b, plan.load_cycle(*sys.cpu));
+
+  EXPECT_NEAR(static_cast<double>(r.frames_completed),
+              static_cast<double>(analytic.complete_cycles),
+              static_cast<double>(analytic.complete_cycles) * 0.02 + 2.0);
+}
+
+TEST(System, RotationBalancesRolesExactly) {
+  SystemConfig sys = base_config();
+  const auto part = selected_two_node_partition(*sys.cpu, *sys.profile,
+                                                sys.link);
+  sys.partition = part.partition;
+  sys.stage_levels = {{part.stages[0].min_level, 0, 0},
+                      {part.stages[1].min_level, 0, 0}};
+  sys.rotation_period = 10;
+  sys.max_frames = 100;
+  PipelineSystem system(std::move(sys));
+  const RunResult r = system.run();
+  EXPECT_EQ(r.frames_completed, 100);
+  ASSERT_EQ(r.nodes.size(), 2u);
+  // Every node changes role once per rotation window: 100 frames / period
+  // 10 -> ~10 rotations each.
+  EXPECT_NEAR(static_cast<double>(r.nodes[0].rotations), 10.0, 1.0);
+  EXPECT_NEAR(static_cast<double>(r.nodes[1].rotations), 10.0, 1.0);
+  // Both nodes spent similar time computing (roles alternated).
+  EXPECT_NEAR(r.nodes[0].comp_time.value(), r.nodes[1].comp_time.value(),
+              0.25 * r.nodes[0].comp_time.value());
+}
+
+TEST(System, RotationPreservesThroughput) {
+  // §5.5: "There is no performance loss" — same completions with and
+  // without rotation over the same horizon.
+  auto run_with_period = [](long long period) {
+    SystemConfig sys = base_config();
+    const auto part = selected_two_node_partition(*sys.cpu, *sys.profile,
+                                                  sys.link);
+    sys.partition = part.partition;
+    sys.stage_levels = {{part.stages[0].min_level, 0, 0},
+                        {part.stages[1].min_level, 0, 0}};
+    sys.rotation_period = period;
+    sys.max_frames = 120;
+    PipelineSystem system(std::move(sys));
+    return system.run();
+  };
+  const RunResult with = run_with_period(10);
+  const RunResult without = run_with_period(0);
+  EXPECT_EQ(with.frames_completed, without.frames_completed);
+  EXPECT_NEAR(with.last_completion.value(), without.last_completion.value(),
+              3.0 * 2.3);
+}
+
+TEST(System, RecoveryMigratesAfterDownstreamDeath) {
+  SystemConfig sys = base_config();
+  const auto part = selected_two_node_partition(*sys.cpu, *sys.profile,
+                                                sys.link);
+  sys.partition = part.partition;
+  sys.stage_levels = {{cpu::sa1100_level_mhz(73.7), 0, 0},
+                      {cpu::sa1100_level_mhz(118.0), 0, 0}};
+  sys.use_acks = true;
+  sys.migrated_levels = {sys.cpu->top_level(), 0, 0};
+  // Node batteries sized so Node2 (the heavy stage) dies quickly while
+  // Node1 carries on.
+  sys.battery_factory = [] {
+    return battery::make_kibam_battery(
+        battery::KibamParams{milliamp_hours(30.0), 0.3, 5e-4});
+  };
+  PipelineSystem system(std::move(sys));
+  const RunResult r = system.run();
+  ASSERT_EQ(r.nodes.size(), 2u);
+  EXPECT_TRUE(r.nodes[1].died);               // Node2 first
+  EXPECT_TRUE(r.nodes[0].migrated);           // Node1 took over
+  EXPECT_TRUE(r.nodes[0].died);               // and eventually died too
+  EXPECT_GT(r.nodes[0].death_time.value(), r.nodes[1].death_time.value());
+  // Completions continued past Node2's death.
+  EXPECT_GT(r.last_completion.value(), r.nodes[1].death_time.value() + 2.3);
+}
+
+TEST(System, RecoveryHandlesUpstreamDeathWithHostRedirect) {
+  // The mirror failure: Node1 (the stage fed by the host) dies first.
+  // Node2 must detect the upstream silence, migrate, announce itself to
+  // the host, and receive redirected frames.
+  SystemConfig sys = base_config();
+  const auto part = selected_two_node_partition(*sys.cpu, *sys.profile,
+                                                sys.link);
+  sys.partition = part.partition;
+  sys.stage_levels = {{cpu::sa1100_level_mhz(73.7), 0, 0},
+                      {cpu::sa1100_level_mhz(118.0), 0, 0}};
+  sys.use_acks = true;
+  sys.migrated_levels = {sys.cpu->top_level(), 0, 0};
+  // Node1 gets a tiny battery, Node2 a large one.
+  int built = 0;
+  sys.battery_factory = [&built] {
+    const double mah = built++ == 0 ? 3.0 : 60.0;
+    return battery::make_kibam_battery(
+        battery::KibamParams{milliamp_hours(mah), 0.3, 5e-4});
+  };
+  PipelineSystem system(std::move(sys));
+  const RunResult r = system.run();
+  ASSERT_EQ(r.nodes.size(), 2u);
+  EXPECT_TRUE(r.nodes[0].died);
+  EXPECT_TRUE(r.nodes[1].migrated);
+  // Node2 produced whole-chain results after Node1's death.
+  EXPECT_GT(r.last_completion.value(),
+            r.nodes[0].death_time.value() + 3 * 2.3);
+  EXPECT_GT(r.frames_completed, 10);
+}
+
+TEST(System, WithoutRecoveryPipelineStallsAtFirstDeath) {
+  SystemConfig sys = base_config();
+  const auto part = selected_two_node_partition(*sys.cpu, *sys.profile,
+                                                sys.link);
+  sys.partition = part.partition;
+  const int lv1 = part.stages[0].min_level;
+  const int lv2 = part.stages[1].min_level;
+  sys.stage_levels = {{lv1, lv1, lv1}, {lv2, lv2, lv2}};
+  sys.battery_factory = [] {
+    return battery::make_kibam_battery(
+        battery::KibamParams{milliamp_hours(30.0), 0.3, 5e-4});
+  };
+  PipelineSystem system(std::move(sys));
+  const RunResult r = system.run();
+  ASSERT_EQ(r.nodes.size(), 2u);
+  EXPECT_TRUE(r.nodes[1].died);
+  // The paper's observation: the pipeline stalls while Node1 still has
+  // plenty of charge.
+  EXPECT_GT(r.nodes[0].final_soc, 0.3);
+  EXPECT_LT(r.last_completion.value(), r.nodes[1].death_time.value() + 2.5);
+}
+
+TEST(System, ThreeNodeRotationGeneralizes) {
+  // §5.5's procedure is defined for N nodes; run it on the best 3-stage
+  // partition: throughput holds, all three nodes rotate once per window,
+  // and their computation loads converge.
+  SystemConfig sys = base_config();
+  const auto analyses = task::analyze_all_partitions(
+      *sys.profile, 3, *sys.cpu, sys.link, sys.frame_delay);
+  const int best = task::best_partition_index(analyses);
+  ASSERT_GE(best, 0);
+  const auto& a = analyses[static_cast<std::size_t>(best)];
+  sys.partition = a.partition;
+  for (const auto& s : a.stages)
+    sys.stage_levels.push_back({s.min_level, 0, 0});
+  sys.rotation_period = 9;
+  sys.max_frames = 180;
+  PipelineSystem system(std::move(sys));
+  const RunResult r = system.run();
+  EXPECT_EQ(r.frames_completed, 180);
+  ASSERT_EQ(r.nodes.size(), 3u);
+  // 180 frames / period 9 -> ~20 rotations per node.
+  for (const auto& n : r.nodes)
+    EXPECT_NEAR(static_cast<double>(n.rotations), 20.0, 2.0) << n.name;
+  // Computation time balances across the three nodes (each cycles through
+  // every role).
+  const double c0 = r.nodes[0].comp_time.value();
+  for (const auto& n : r.nodes)
+    EXPECT_NEAR(n.comp_time.value(), c0, 0.35 * c0) << n.name;
+  // Throughput: last completion near 180 * D (pipeline depth slack).
+  EXPECT_NEAR(r.last_completion.value(), 180 * 2.3, 4 * 2.3);
+}
+
+
+TEST(System, VariableWorkloadScalesDeterministically) {
+  SystemConfig sys = base_config();
+  sys.partition = task::Partition({0}, 4);
+  sys.stage_levels = {{10, 0, 0}};
+  sys.workload.enabled = true;
+  sys.workload.min_scale = 0.5;
+  sys.workload.max_scale = 1.0;
+  sys.max_frames = 50;
+  sys.record_trace = true;
+  SystemConfig copy = sys;
+  PipelineSystem a(std::move(sys));
+  PipelineSystem b(std::move(copy));
+  const RunResult ra = a.run();
+  const RunResult rb = b.run();
+  EXPECT_EQ(ra.frames_completed, 50);
+  // Same seed -> identical runs.
+  EXPECT_DOUBLE_EQ(ra.nodes[0].comp_time.value(),
+                   rb.nodes[0].comp_time.value());
+  // Scaled work: total PROC time strictly below the fixed-work 50 * 1.1 s.
+  EXPECT_LT(ra.nodes[0].comp_time.value(), 50 * 1.1 * 0.999);
+  EXPECT_GT(ra.nodes[0].comp_time.value(), 50 * 1.1 * 0.45);
+}
+
+TEST(System, AdaptiveLevelsMeetThroughputAndSaveCharge) {
+  auto run_one = [](bool adaptive) {
+    SystemConfig sys = base_config();
+    sys.partition = task::Partition({0}, 4);
+    sys.stage_levels = {{10, 0, 0}};
+    sys.workload.enabled = true;
+    sys.workload.min_scale = 0.3;
+    sys.workload.max_scale = 1.0;
+    sys.adaptive_levels = adaptive;
+    sys.max_frames = 200;
+    PipelineSystem system(std::move(sys));
+    return system.run();
+  };
+  const RunResult fixed = run_one(false);
+  const RunResult adaptive = run_one(true);
+  // Throughput is preserved either way.
+  EXPECT_EQ(fixed.frames_completed, 200);
+  EXPECT_EQ(adaptive.frames_completed, 200);
+  // Adaptive draws less charge for the same completed work.
+  EXPECT_LT(adaptive.nodes[0].charge_used.value(),
+            fixed.nodes[0].charge_used.value());
+}
+
+TEST(System, AdaptiveWithoutVariationMatchesMinFeasible) {
+  // With constant work, the adaptive choice equals the static minimum
+  // feasible level every frame; a single node needs the top level.
+  SystemConfig sys = base_config();
+  sys.partition = task::Partition({0}, 4);
+  sys.stage_levels = {{10, 0, 0}};
+  sys.adaptive_levels = true;
+  sys.max_frames = 20;
+  sys.record_trace = true;
+  PipelineSystem system(std::move(sys));
+  const RunResult r = system.run();
+  EXPECT_EQ(r.frames_completed, 20);
+  // PROC time equals 20 frames at 206.4 MHz, plus one PLL relock per
+  // frame (the wire runs at level 0, so each PROC switches levels).
+  EXPECT_NEAR(r.nodes[0].comp_time.value(),
+              20 * (1.1 + cpu::itsy_sa1100().dvs_switch_latency().value()),
+              1e-6);
+}
+
+TEST(System, TraceRecordsScheduleShape) {
+  SystemConfig sys = base_config();
+  sys.partition = task::Partition({0}, 4);
+  sys.stage_levels = {{10, 10, 10}};
+  sys.max_frames = 5;
+  sys.record_trace = true;
+  PipelineSystem system(std::move(sys));
+  (void)system.run();
+  const auto& trace = system.trace();
+  // Fig. 2: RECV -> PROC -> SEND serialized per frame.
+  const auto spans = trace.spans_for("Node1");
+  ASSERT_GE(spans.size(), 15u);
+  int recv = 0, proc = 0, send = 0;
+  for (const auto& s : spans) {
+    if (s.kind == "RECV") ++recv;
+    if (s.kind == "PROC") ++proc;
+    if (s.kind == "SEND") ++send;
+  }
+  EXPECT_EQ(recv, 5);
+  EXPECT_EQ(proc, 5);
+  EXPECT_EQ(send, 5);
+  // PROC time per frame is 1.1 s at the top level.
+  const sim::Dur proc_time = trace.time_in(
+      "Node1", "PROC", sim::Time{0}, sim::Time{1'000'000'000'000});
+  EXPECT_NEAR(sim::to_seconds(proc_time).value(), 5 * 1.1, 1e-6);
+}
+
+}  // namespace
+}  // namespace deslp::core

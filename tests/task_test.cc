@@ -1,0 +1,221 @@
+#include <gtest/gtest.h>
+
+#include "atr/profile.h"
+#include "cpu/cpu.h"
+#include "net/link.h"
+#include "task/partition.h"
+#include "task/plan.h"
+
+namespace deslp::task {
+namespace {
+
+using cpu::itsy_sa1100;
+using cpu::sa1100_level_mhz;
+
+// --- partition structure -------------------------------------------------------
+
+TEST(Partition, StageRanges) {
+  Partition p({0, 1}, 4);  // (block0) (blocks 1..3)
+  EXPECT_EQ(p.stage_count(), 2);
+  EXPECT_EQ(p.first_of(0), 0);
+  EXPECT_EQ(p.last_of(0), 0);
+  EXPECT_EQ(p.first_of(1), 1);
+  EXPECT_EQ(p.last_of(1), 3);
+  EXPECT_EQ(p.stage_of(0), 0);
+  EXPECT_EQ(p.stage_of(1), 1);
+  EXPECT_EQ(p.stage_of(3), 1);
+}
+
+TEST(Partition, SingleStageCoversAll) {
+  Partition p({0}, 4);
+  EXPECT_EQ(p.stage_count(), 1);
+  EXPECT_EQ(p.last_of(0), 3);
+}
+
+TEST(Partition, LabelNamesBlocks) {
+  Partition p({0, 1}, 4);
+  const std::string label = p.label(atr::paper_raw_profile());
+  EXPECT_EQ(label, "(Target Detection) (FFT + IFFT + Compute Distance)");
+}
+
+TEST(Partition, EnumerationCounts) {
+  // C(n-1, k-1) contiguous partitions of n blocks into k stages.
+  EXPECT_EQ(enumerate_partitions(4, 1).size(), 1u);
+  EXPECT_EQ(enumerate_partitions(4, 2).size(), 3u);
+  EXPECT_EQ(enumerate_partitions(4, 3).size(), 3u);
+  EXPECT_EQ(enumerate_partitions(4, 4).size(), 1u);
+  EXPECT_EQ(enumerate_partitions(6, 3).size(), 10u);
+}
+
+TEST(Partition, EnumerationIsExhaustiveAndValid) {
+  const auto parts = enumerate_partitions(5, 3);
+  for (const auto& p : parts) {
+    EXPECT_EQ(p.stage_count(), 3);
+    // Stages tile [0, 5) contiguously.
+    EXPECT_EQ(p.first_of(0), 0);
+    for (int s = 0; s + 1 < 3; ++s)
+      EXPECT_EQ(p.last_of(s) + 1, p.first_of(s + 1));
+    EXPECT_EQ(p.last_of(2), 4);
+  }
+}
+
+// --- Fig. 8 analysis --------------------------------------------------------------
+
+class Fig8Test : public ::testing::Test {
+ protected:
+  const atr::AtrProfile& profile_ = atr::itsy_atr_profile();
+  const cpu::CpuSpec& cpu_ = itsy_sa1100();
+  const net::LinkSpec link_ = net::itsy_serial_link();
+  const Seconds d_ = seconds(2.3);
+};
+
+TEST_F(Fig8Test, SchemeOneIsFeasibleAtPaperLevels) {
+  // (Target Detect.) (FFT + IFFT + Comp. Distance) -> 59 and 103.2 MHz.
+  const auto a =
+      analyze_partition(profile_, Partition({0, 1}, 4), cpu_, link_, d_);
+  ASSERT_TRUE(a.feasible());
+  EXPECT_EQ(a.stages[0].min_level, sa1100_level_mhz(59.0));
+  EXPECT_EQ(a.stages[1].min_level, sa1100_level_mhz(103.2));
+}
+
+TEST_F(Fig8Test, SchemeOnePayloadsMatchPaper) {
+  const auto a =
+      analyze_partition(profile_, Partition({0, 1}, 4), cpu_, link_, d_);
+  // Fig. 8: Node1 handles 10.7 KB (10.1 in + 0.6 out), Node2 0.7 KB.
+  EXPECT_NEAR(to_kilobytes(a.node_payload(0)), 10.7, 0.05);
+  EXPECT_NEAR(to_kilobytes(a.node_payload(1)), 0.7, 0.05);
+  EXPECT_NEAR(to_kilobytes(a.total_internal_payload()), 0.6, 0.01);
+}
+
+TEST_F(Fig8Test, SchemeTwoNeedsHighClockRates) {
+  // (TD + FFT) (IFFT + CD): both nodes must run much faster because of the
+  // 7.5 KB internal transfer (paper: 191.7 / 132.7 MHz).
+  const auto a =
+      analyze_partition(profile_, Partition({0, 2}, 4), cpu_, link_, d_);
+  EXPECT_NEAR(to_kilobytes(a.total_internal_payload()), 7.5, 0.01);
+  ASSERT_TRUE(a.feasible());
+  EXPECT_GE(a.stages[0].min_level, sa1100_level_mhz(162.2));
+  EXPECT_GE(a.stages[1].min_level, sa1100_level_mhz(103.2));
+}
+
+TEST_F(Fig8Test, SchemeThreeIsInfeasible) {
+  // (TD + FFT + IFFT) (CD): Node1 would need > 206.4 MHz.
+  const auto a =
+      analyze_partition(profile_, Partition({0, 3}, 4), cpu_, link_, d_);
+  EXPECT_FALSE(a.feasible());
+  EXPECT_EQ(a.stages[0].min_level, -1);
+  EXPECT_GT(a.stages[0].required_frequency, cpu_.max_frequency());
+  // Node2 alone would be fine at a low level.
+  EXPECT_LE(a.stages[1].min_level, sa1100_level_mhz(88.5));
+}
+
+TEST_F(Fig8Test, PaperRawProfileEchoesThe380MhzClaim) {
+  // With Fig. 6's raw block times the paper says scheme 3 needs ~380 MHz.
+  const auto a = analyze_partition(atr::paper_raw_profile(),
+                                   Partition({0, 3}, 4), cpu_, link_, d_);
+  EXPECT_FALSE(a.feasible());
+  const double mhz = to_megahertz(a.stages[0].required_frequency);
+  EXPECT_GT(mhz, 300.0);
+  EXPECT_LT(mhz, 460.0);
+}
+
+TEST_F(Fig8Test, BestPartitionIsSchemeOne) {
+  const auto all = analyze_all_partitions(profile_, 2, cpu_, link_, d_);
+  ASSERT_EQ(all.size(), 3u);
+  const int best = best_partition_index(all);
+  ASSERT_GE(best, 0);
+  EXPECT_EQ(all[static_cast<std::size_t>(best)].partition.first_of(1), 1);
+}
+
+TEST_F(Fig8Test, BestPartitionIndexHandlesAllInfeasible) {
+  // With an impossibly tight frame delay nothing is feasible.
+  const auto all =
+      analyze_all_partitions(profile_, 2, cpu_, link_, seconds(0.2));
+  EXPECT_EQ(best_partition_index(all), -1);
+}
+
+TEST_F(Fig8Test, StageAnalysisBudgetsAreConsistent) {
+  const auto a =
+      analyze_partition(profile_, Partition({0, 1}, 4), cpu_, link_, d_);
+  for (const auto& s : a.stages) {
+    EXPECT_NEAR(
+        (s.recv_time + s.send_time + s.compute_budget).value(), 2.3, 1e-9);
+    EXPECT_GT(s.work.value(), 0.0);
+  }
+}
+
+// --- node plans -------------------------------------------------------------------
+
+TEST(NodePlan, BusyAndIdlePartitionTheFrame) {
+  NodePlan plan;
+  plan.recv_time = seconds(1.1);
+  plan.send_time = seconds(0.1);
+  plan.work = work(megahertz(206.4), seconds(0.9));
+  plan.comp_level = itsy_sa1100().top_level();
+  plan.frame_delay = seconds(2.3);
+  EXPECT_TRUE(plan.feasible(itsy_sa1100()));
+  EXPECT_NEAR(plan.busy_time(itsy_sa1100()).value(), 2.1, 1e-9);
+  EXPECT_NEAR(plan.idle_time(itsy_sa1100()).value(), 0.2, 1e-9);
+}
+
+TEST(NodePlan, InfeasibleWhenBusyExceedsFrame) {
+  NodePlan plan;
+  plan.recv_time = seconds(1.1);
+  plan.send_time = seconds(0.1);
+  plan.work = work(megahertz(206.4), seconds(1.5));
+  plan.comp_level = itsy_sa1100().top_level();
+  plan.frame_delay = seconds(2.3);
+  EXPECT_FALSE(plan.feasible(itsy_sa1100()));
+  EXPECT_DOUBLE_EQ(plan.idle_time(itsy_sa1100()).value(), 0.0);
+}
+
+TEST(NodePlan, LoadCycleSegmentsAndCurrents) {
+  const cpu::CpuSpec& c = itsy_sa1100();
+  NodePlan plan;
+  plan.recv_time = seconds(1.1);
+  plan.send_time = seconds(0.1);
+  plan.work = work(megahertz(206.4), seconds(0.9));
+  plan.comp_level = c.top_level();
+  plan.comm_level = 0;  // DVS during I/O
+  plan.idle_level = 0;
+  plan.frame_delay = seconds(2.3);
+  const auto cycle = plan.load_cycle(c);
+  ASSERT_EQ(cycle.size(), 4u);  // recv, comp, send, idle
+  EXPECT_DOUBLE_EQ(cycle[0].current.value(),
+                   c.current(cpu::Mode::kComm, 0).value());
+  EXPECT_DOUBLE_EQ(cycle[1].current.value(),
+                   c.current(cpu::Mode::kComp, c.top_level()).value());
+  EXPECT_DOUBLE_EQ(cycle[3].current.value(),
+                   c.current(cpu::Mode::kIdle, 0).value());
+  double total = 0.0;
+  for (const auto& ph : cycle) total += ph.duration.value();
+  EXPECT_NEAR(total, 2.3, 1e-9);
+}
+
+TEST(NodePlan, ContinuousModeHasNoIdle) {
+  NodePlan plan;
+  plan.work = work(megahertz(206.4), seconds(1.1));
+  plan.comp_level = itsy_sa1100().top_level();
+  plan.frame_delay = seconds(0.0);
+  const auto cycle = plan.load_cycle(itsy_sa1100());
+  ASSERT_EQ(cycle.size(), 1u);
+  EXPECT_NEAR(cycle[0].duration.value(), 1.1, 1e-9);
+}
+
+TEST(NodePlan, AverageCurrentIsTimeWeighted) {
+  const cpu::CpuSpec& c = itsy_sa1100();
+  NodePlan plan;
+  plan.recv_time = seconds(1.15);
+  plan.send_time = seconds(0.0);
+  plan.work = work(c.level(10).frequency, seconds(1.15));
+  plan.comp_level = 10;
+  plan.comm_level = 10;
+  plan.frame_delay = seconds(2.3);
+  const double expect =
+      0.5 * (c.current(cpu::Mode::kComm, 10).value() +
+             c.current(cpu::Mode::kComp, 10).value());
+  EXPECT_NEAR(plan.average_current(c).value(), expect, 1e-9);
+}
+
+}  // namespace
+}  // namespace deslp::task

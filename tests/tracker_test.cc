@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "atr/tracker.h"
+#include "util/rng.h"
+
+namespace deslp::atr {
+namespace {
+
+/// Synthesize one frame's AtrResult directly (unit tests of the tracker
+/// shouldn't depend on the detector's noise behaviour; the end-to-end test
+/// below runs the real pipeline).
+AtrResult observations(
+    const std::vector<std::tuple<int, int, int, double>>& targets) {
+  AtrResult r;
+  for (const auto& [x, y, tmpl, dist] : targets) {
+    AtrTarget t;
+    t.detection = {x, y, 1.0f};
+    t.match.template_id = tmpl;
+    t.match.score = 1.0 / (dist * dist);
+    t.range.distance = dist;
+    t.range.confidence = 1.0;
+    r.targets.push_back(t);
+  }
+  return r;
+}
+
+TEST(Tracker, SingleMovingTargetKeepsOneTrack) {
+  Tracker tracker;
+  for (int f = 0; f < 10; ++f)
+    tracker.update(observations({{40 + 3 * f, 50 + 2 * f, 0, 1.2}}));
+  ASSERT_EQ(tracker.tracks().size(), 1u);
+  const Track& t = tracker.tracks()[0];
+  EXPECT_EQ(t.id, 0);
+  EXPECT_EQ(tracker.tracks_created(), 1);
+  EXPECT_EQ(t.hits, 10);
+  // Position tracks the motion and the velocity estimate converges.
+  EXPECT_NEAR(t.x, 40 + 3 * 9, 3.0);
+  EXPECT_NEAR(t.y, 50 + 2 * 9, 3.0);
+  EXPECT_NEAR(t.vx, 3.0, 1.0);
+  EXPECT_NEAR(t.vy, 2.0, 1.0);
+}
+
+TEST(Tracker, TwoSeparatedTargetsKeepDistinctTracks) {
+  Tracker tracker;
+  for (int f = 0; f < 8; ++f)
+    tracker.update(observations(
+        {{30 + 2 * f, 30, 0, 1.0}, {100 - 2 * f, 100, 1, 1.5}}));
+  ASSERT_EQ(tracker.tracks().size(), 2u);
+  EXPECT_EQ(tracker.tracks_created(), 2);
+  // Template identity is preserved per track.
+  int templates[2] = {tracker.tracks()[0].template_id,
+                      tracker.tracks()[1].template_id};
+  EXPECT_NE(templates[0], templates[1]);
+}
+
+TEST(Tracker, TemplateIdentityGatesAssociation) {
+  Tracker tracker;
+  tracker.update(observations({{50, 50, 0, 1.0}}));
+  // Same position, different template: must spawn a new track, not extend.
+  tracker.update(observations({{50, 50, 1, 1.0}}));
+  EXPECT_EQ(tracker.tracks_created(), 2);
+}
+
+TEST(Tracker, MissingTargetCoastsThenRetires) {
+  TrackerOptions opt;
+  opt.max_missed = 3;
+  Tracker tracker(opt);
+  for (int f = 0; f < 5; ++f)
+    tracker.update(observations({{40 + 3 * f, 50, 0, 1.0}}));
+  ASSERT_EQ(tracker.tracks().size(), 1u);
+  // Target vanishes: the track coasts for max_missed frames, then retires.
+  tracker.update(observations({}));
+  ASSERT_EQ(tracker.tracks().size(), 1u);
+  EXPECT_EQ(tracker.tracks()[0].missed, 1);
+  const double coasted_x = tracker.tracks()[0].x;
+  EXPECT_GT(coasted_x, 40 + 3 * 4);  // kept moving on its velocity
+  tracker.update(observations({}));
+  tracker.update(observations({}));
+  EXPECT_TRUE(tracker.tracks().empty());
+  EXPECT_EQ(tracker.tracks_retired(), 1);
+}
+
+TEST(Tracker, ReappearingWithinGateResumesTrack) {
+  TrackerOptions opt;
+  opt.max_missed = 4;
+  Tracker tracker(opt);
+  for (int f = 0; f < 5; ++f)
+    tracker.update(observations({{40 + 3 * f, 50, 0, 1.0}}));
+  tracker.update(observations({}));  // one dropped frame
+  // Reappears where the motion predicts (x ~ 40+3*6).
+  tracker.update(observations({{40 + 3 * 6, 50, 0, 1.0}}));
+  ASSERT_EQ(tracker.tracks().size(), 1u);
+  EXPECT_EQ(tracker.tracks()[0].id, 0);
+  EXPECT_EQ(tracker.tracks_created(), 1);
+  EXPECT_EQ(tracker.tracks()[0].missed, 0);
+}
+
+TEST(Tracker, ConfirmationThreshold) {
+  TrackerOptions opt;
+  opt.confirm_hits = 3;
+  Tracker tracker(opt);
+  tracker.update(observations({{40, 50, 0, 1.0}}));
+  EXPECT_TRUE(tracker.confirmed().empty());
+  tracker.update(observations({{41, 50, 0, 1.0}}));
+  EXPECT_TRUE(tracker.confirmed().empty());
+  tracker.update(observations({{42, 50, 0, 1.0}}));
+  EXPECT_EQ(tracker.confirmed().size(), 1u);
+}
+
+TEST(Tracker, DistanceIsSmoothed) {
+  TrackerOptions opt;
+  opt.distance_alpha = 0.3;
+  Tracker tracker(opt);
+  tracker.update(observations({{40, 50, 0, 1.0}}));
+  tracker.update(observations({{40, 50, 0, 2.0}}));  // noisy jump
+  ASSERT_EQ(tracker.tracks().size(), 1u);
+  EXPECT_NEAR(tracker.tracks()[0].distance, 0.7 * 1.0 + 0.3 * 2.0, 1e-9);
+}
+
+TEST(Tracker, EndToEndOnRenderedFrames) {
+  // The full loop: render a moving target, run the real ATR per frame,
+  // feed the tracker. The track follows the ground-truth motion.
+  Rng rng(77);
+  Tracker tracker;
+  const int frames = 8;
+  for (int f = 0; f < frames; ++f) {
+    SceneSpec spec;
+    spec.noise_sigma = 0.03f;
+    spec.targets = {{30 + 6 * f, 60, 0, 1.0}};
+    const AtrResult result = run_atr(render_scene(spec, rng));
+    tracker.update(result);
+  }
+  ASSERT_EQ(tracker.tracks().size(), 1u);
+  const Track& t = tracker.tracks()[0];
+  EXPECT_EQ(t.template_id, 0);
+  EXPECT_GE(t.hits, frames - 1);  // at most one missed detection tolerated
+  EXPECT_NEAR(t.x, 30 + 6 * (frames - 1), 5.0);
+  EXPECT_NEAR(t.vx, 6.0, 2.0);
+  EXPECT_NEAR(t.distance, 1.0, 0.25);
+}
+
+}  // namespace
+}  // namespace deslp::atr

@@ -1,0 +1,305 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "util/csv.h"
+#include "util/flags.h"
+#include "util/log.h"
+#include "util/nelder_mead.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "util/units.h"
+
+namespace deslp {
+namespace {
+
+// --- units ------------------------------------------------------------------
+
+TEST(Units, ConstructionAndReadout) {
+  EXPECT_DOUBLE_EQ(hours(2.0).value(), 7200.0);
+  EXPECT_DOUBLE_EQ(to_hours(seconds(7200.0)), 2.0);
+  EXPECT_DOUBLE_EQ(milliseconds(50.0).value(), 0.05);
+  EXPECT_DOUBLE_EQ(to_megahertz(megahertz(206.4)), 206.4);
+  EXPECT_DOUBLE_EQ(to_milliamps(milliamps(110.0)), 110.0);
+  EXPECT_DOUBLE_EQ(to_milliamp_hours(milliamp_hours(930.0)), 930.0);
+}
+
+TEST(Units, Arithmetic) {
+  EXPECT_EQ(seconds(1.0) + seconds(2.0), seconds(3.0));
+  EXPECT_EQ(seconds(5.0) - seconds(2.0), seconds(3.0));
+  EXPECT_EQ(seconds(2.0) * 3.0, seconds(6.0));
+  EXPECT_EQ(3.0 * seconds(2.0), seconds(6.0));
+  EXPECT_DOUBLE_EQ(seconds(6.0) / seconds(2.0), 3.0);
+  EXPECT_LT(seconds(1.0), seconds(2.0));
+}
+
+TEST(Units, CrossUnitOperations) {
+  EXPECT_DOUBLE_EQ(electrical_power(volts(4.0), milliamps(100.0)).value(),
+                   0.4);
+  EXPECT_DOUBLE_EQ(charge(milliamps(100.0), hours(1.0)).value(), 360.0);
+  EXPECT_DOUBLE_EQ(to_milliamp_hours(charge(milliamps(100.0), hours(1.0))),
+                   100.0);
+  EXPECT_DOUBLE_EQ(
+      discharge_time(milliamp_hours(100.0), milliamps(100.0)).value(),
+      3600.0);
+  // 1.1 s at 206.4 MHz is 227.04 Mcycles; back at half clock it takes 2.2 s.
+  const Cycles w = work(megahertz(206.4), seconds(1.1));
+  EXPECT_NEAR(w.value(), 227.04e6, 1.0);
+  EXPECT_NEAR(execution_time(w, megahertz(103.2)).value(), 2.2, 1e-12);
+}
+
+TEST(Units, BytesAndTransferTime) {
+  EXPECT_EQ(kilobytes(10.0).count(), 10240);
+  EXPECT_DOUBLE_EQ(to_kilobytes(bytes(5120)), 5.0);
+  EXPECT_EQ(bytes(100) + bytes(28), bytes(128));
+  // 10 KB at 80 Kbps: 81920 bits / 80000 bps = 1.024 s.
+  EXPECT_NEAR(
+      transfer_time(kilobytes(10.0), kilobits_per_second(80.0)).value(),
+      1.024, 1e-9);
+}
+
+// --- table -------------------------------------------------------------------
+
+TEST(Table, RendersAlignedRows) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1.50"});
+  t.add_row({"b", "20.00"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| alpha |"), std::string::npos);
+  EXPECT_NE(out.find("| name  | value |"), std::string::npos);
+  // Numeric cells right-align.
+  EXPECT_NE(out.find("|  1.50 |"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, NumberFormatting) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(2.0, 0), "2");
+  EXPECT_EQ(Table::percent(1.45), "145%");
+  EXPECT_EQ(Table::percent(0.155, 1), "15.5%");
+}
+
+TEST(Table, ShortRowsArePadded) {
+  Table t({"a", "b", "c"});
+  t.add_row({"x"});
+  EXPECT_EQ(t.columns(), 3u);
+  EXPECT_NE(t.render().find("| x |"), std::string::npos);
+}
+
+// --- csv ----------------------------------------------------------------------
+
+TEST(Csv, WritesHeaderAndRows) {
+  std::ostringstream os;
+  CsvWriter csv(os, {"a", "b"});
+  csv.add_row({"1", "2"});
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+  EXPECT_EQ(csv.rows_written(), 1u);
+}
+
+TEST(Csv, EscapesSpecialCharacters) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvWriter::escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+// --- rng -----------------------------------------------------------------------
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a() == b()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = r.uniform(0.05, 0.1);
+    EXPECT_GE(v, 0.05);
+    EXPECT_LT(v, 0.1);
+  }
+}
+
+TEST(Rng, UniformMeanIsCentered) {
+  Rng r(11);
+  double acc = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) acc += r.uniform();
+  EXPECT_NEAR(acc / n, 0.5, 0.01);
+}
+
+TEST(Rng, BelowCoversRange) {
+  Rng r(3);
+  bool seen[5] = {};
+  for (int i = 0; i < 200; ++i) seen[r.below(5)] = true;
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+// --- stats ----------------------------------------------------------------------
+
+TEST(Stats, MeanAndVariance) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_EQ(s.count(), 8u);
+}
+
+TEST(Stats, WeightedMean) {
+  RunningStats s;
+  s.add_weighted(10.0, 1.0);
+  s.add_weighted(20.0, 3.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 17.5);
+  EXPECT_DOUBLE_EQ(s.total_weight(), 4.0);
+}
+
+TEST(Stats, Percentile) {
+  std::vector<double> v{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 25), 2.0);
+}
+
+TEST(Stats, RmsRelativeError) {
+  EXPECT_DOUBLE_EQ(rms_relative_error({10.0, 10.0}, {10.0, 10.0}), 0.0);
+  EXPECT_NEAR(rms_relative_error({10.0}, {11.0}), 0.1, 1e-12);
+}
+
+// --- flags -----------------------------------------------------------------------
+
+TEST(Flags, ParsesAllKinds) {
+  Flags f;
+  f.add_string("name", "default", "a string");
+  f.add_double("rate", 1.5, "a double");
+  f.add_int("count", 10, "an int");
+  f.add_bool("verbose", false, "a bool");
+  const char* argv[] = {"prog",       "--name=x",  "--rate", "2.5",
+                        "--count=42", "--verbose", "pos1"};
+  ASSERT_TRUE(f.parse(7, argv));
+  EXPECT_EQ(f.get_string("name"), "x");
+  EXPECT_DOUBLE_EQ(f.get_double("rate"), 2.5);
+  EXPECT_EQ(f.get_int("count"), 42);
+  EXPECT_TRUE(f.get_bool("verbose"));
+  ASSERT_EQ(f.positional().size(), 1u);
+  EXPECT_EQ(f.positional()[0], "pos1");
+}
+
+TEST(Flags, DefaultsSurviveNoArgs) {
+  Flags f;
+  f.add_double("rate", 1.5, "");
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(f.parse(1, argv));
+  EXPECT_DOUBLE_EQ(f.get_double("rate"), 1.5);
+}
+
+TEST(Flags, NegatedBool) {
+  Flags f;
+  f.add_bool("feature", true, "");
+  const char* argv[] = {"prog", "--no-feature"};
+  ASSERT_TRUE(f.parse(2, argv));
+  EXPECT_FALSE(f.get_bool("feature"));
+}
+
+TEST(Flags, RejectsUnknownFlag) {
+  Flags f;
+  f.add_bool("x", false, "");
+  const char* argv[] = {"prog", "--bogus"};
+  EXPECT_FALSE(f.parse(2, argv));
+}
+
+TEST(Flags, RejectsBadNumber) {
+  Flags f;
+  f.add_double("rate", 1.0, "");
+  const char* argv[] = {"prog", "--rate=abc"};
+  EXPECT_FALSE(f.parse(2, argv));
+}
+
+
+// --- log -------------------------------------------------------------------------
+
+TEST(Log, SinkCapturesMessagesAtOrAboveLevel) {
+  std::vector<std::pair<log::Level, std::string>> captured;
+  log::set_sink([&](log::Level lvl, std::string_view msg) {
+    captured.emplace_back(lvl, std::string(msg));
+  });
+  log::set_level(log::Level::kInfo);
+  log::debug("dropped ", 1);
+  log::info("kept ", 42);
+  log::warn("also kept");
+  log::set_sink(nullptr);
+  log::set_level(log::Level::kWarn);  // restore defaults
+  ASSERT_EQ(captured.size(), 2u);
+  EXPECT_EQ(captured[0].second, "kept 42");
+  EXPECT_EQ(captured[0].first, log::Level::kInfo);
+  EXPECT_EQ(captured[1].second, "also kept");
+}
+
+TEST(Log, OffLevelSilencesEverything) {
+  int count = 0;
+  log::set_sink([&](log::Level, std::string_view) { ++count; });
+  log::set_level(log::Level::kOff);
+  log::error("not even errors");
+  log::set_sink(nullptr);
+  log::set_level(log::Level::kWarn);
+  EXPECT_EQ(count, 0);
+}
+
+// --- nelder-mead --------------------------------------------------------------------
+
+TEST(NelderMead, MinimisesQuadratic) {
+  auto f = [](const std::vector<double>& x) {
+    return (x[0] - 3.0) * (x[0] - 3.0) + (x[1] + 1.0) * (x[1] + 1.0);
+  };
+  const auto r = nelder_mead(f, {0.0, 0.0});
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.x[0], 3.0, 1e-4);
+  EXPECT_NEAR(r.x[1], -1.0, 1e-4);
+  EXPECT_NEAR(r.value, 0.0, 1e-7);
+}
+
+TEST(NelderMead, MinimisesRosenbrock) {
+  auto f = [](const std::vector<double>& x) {
+    const double a = 1.0 - x[0];
+    const double b = x[1] - x[0] * x[0];
+    return a * a + 100.0 * b * b;
+  };
+  NelderMeadOptions opt;
+  opt.max_iterations = 10000;
+  const auto r = nelder_mead(f, {-1.2, 1.0}, opt);
+  EXPECT_NEAR(r.x[0], 1.0, 1e-3);
+  EXPECT_NEAR(r.x[1], 1.0, 1e-3);
+}
+
+TEST(NelderMead, OneDimensional) {
+  auto f = [](const std::vector<double>& x) {
+    return std::cosh(x[0] - 2.0);
+  };
+  const auto r = nelder_mead(f, {10.0});
+  EXPECT_NEAR(r.x[0], 2.0, 1e-4);
+}
+
+TEST(NelderMead, Deterministic) {
+  auto f = [](const std::vector<double>& x) {
+    return x[0] * x[0] + 0.5 * x[1] * x[1];
+  };
+  const auto a = nelder_mead(f, {5.0, -7.0});
+  const auto b = nelder_mead(f, {5.0, -7.0});
+  EXPECT_EQ(a.iterations, b.iterations);
+  EXPECT_EQ(a.x, b.x);
+}
+
+}  // namespace
+}  // namespace deslp
