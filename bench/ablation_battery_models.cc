@@ -4,21 +4,33 @@
 // conclusions that survive even an ideal battery (rotation wins, Node2
 // dies first) are load-balancing facts; the ones that need a nonlinear
 // model (the size of the DVS-during-I/O gain) are battery physics.
+//
+//   --jobs N   run the model x experiment grid on N worker threads
+//              (0 = all cores, 1 = sequential; output byte-identical)
 #include <cstdio>
 #include <functional>
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "battery/kibam.h"
 #include "battery/rakhmatov.h"
+#include "core/batch.h"
 #include "core/experiment.h"
+#include "util/flags.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace deslp;
   using battery::Battery;
+
+  Flags flags;
+  flags.add_int("jobs", 0,
+                "worker threads for the model x experiment grid (0 = all "
+                "cores, 1 = sequential; output identical)");
+  if (!flags.parse(argc, argv)) return 1;
 
   const Coulombs cap = battery::itsy_kibam_params().capacity;
   struct Model {
@@ -40,20 +52,38 @@ int main() {
        }},
   };
 
+  // Flatten the model x pipeline-experiment grid into one batch so every
+  // run is a single item; results come back in grid order and the table
+  // assembly below stays sequential (byte-identical for any --jobs).
+  std::vector<core::ExperimentSpec> pipeline_specs;
+  for (const auto& spec : core::paper_experiments())
+    if (spec.kind == core::ExperimentSpec::Kind::kPipeline)
+      pipeline_specs.push_back(spec);
+  std::vector<std::unique_ptr<core::ExperimentSuite>> suites;
+  for (const auto& m : models) {
+    core::ExperimentSuite::Options opt;
+    opt.battery_factory = m.factory;
+    suites.push_back(std::make_unique<core::ExperimentSuite>(opt));
+  }
+  core::BatchRunner runner(
+      core::BatchOptions{.jobs = static_cast<int>(flags.get_int("jobs"))});
+  const auto grid = runner.map<core::ExperimentResult>(
+      models.size() * pipeline_specs.size(), [&](std::size_t i) {
+        const std::size_t model = i / pipeline_specs.size();
+        const std::size_t spec = i % pipeline_specs.size();
+        return suites[model]->run(pipeline_specs[spec]);
+      });
+
   const char* ids[] = {"1", "1A", "2", "2A", "2B", "2C"};
   std::printf("== Battery-model ablation: T (h) per experiment ==\n\n");
   Table t({"model", "1", "1A", "2", "2A", "2B", "2C", "2C rank",
            "1A gain"});
-  for (const auto& m : models) {
-    core::ExperimentSuite::Options opt;
-    opt.battery_factory = m.factory;
-    core::ExperimentSuite suite(opt);
+  for (std::size_t m = 0; m < models.size(); ++m) {
     std::map<std::string, core::ExperimentResult> res;
-    for (const auto& spec : core::paper_experiments())
-      if (spec.kind == core::ExperimentSpec::Kind::kPipeline)
-        res[spec.id] = suite.run(spec);
+    for (std::size_t s = 0; s < pipeline_specs.size(); ++s)
+      res[pipeline_specs[s].id] = grid[m * pipeline_specs.size() + s];
 
-    std::vector<std::string> row{m.name};
+    std::vector<std::string> row{models[m].name};
     bool rotation_best = true;
     for (const char* id : ids) {
       row.push_back(Table::num(to_hours(res[id].battery_life), 2));

@@ -3,14 +3,20 @@
 // per-node load and first-failure lifetime, then cross-checks the best of
 // each depth on the full DES. Answers: does adding a third node (and its
 // battery) buy anything, given the paper's normalised metric divides by N?
+//
+//   --jobs N   project the partitions on N worker threads (0 = all cores,
+//              1 = sequential; output is byte-identical either way)
 #include <cstdio>
+#include <utility>
 #include <vector>
 
 #include "battery/kibam.h"
 #include "battery/load.h"
+#include "core/batch.h"
 #include "core/experiment.h"
 #include "task/partition.h"
 #include "task/plan.h"
+#include "util/flags.h"
 #include "util/table.h"
 
 namespace {
@@ -49,39 +55,57 @@ Projection project(const task::PartitionAnalysis& a, const cpu::CpuSpec& cpu) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  Flags flags;
+  flags.add_int("jobs", 0,
+                "worker threads for the projection sweep (0 = all cores, "
+                "1 = sequential; output identical)");
+  if (!flags.parse(argc, argv)) return 1;
+
   const cpu::CpuSpec& cpu = cpu::itsy_sa1100();
   const atr::AtrProfile& profile = atr::itsy_atr_profile();
   const net::LinkSpec link = net::itsy_serial_link();
   const double t1_hours = 4.76;  // suite baseline, for Rnorm context
 
+  // Collect every (depth, partition) pair first, in display order; the
+  // analytic projections then fan out while row assembly stays sequential,
+  // so the rendered table is byte-identical for every --jobs value.
+  std::vector<std::pair<int, task::PartitionAnalysis>> entries;
+  for (int stages : {1, 2, 3, 4}) {
+    for (auto& a : task::analyze_all_partitions(profile, stages, cpu, link,
+                                                seconds(2.3)))
+      entries.emplace_back(stages, std::move(a));
+  }
+  core::BatchRunner runner(
+      core::BatchOptions{.jobs = static_cast<int>(flags.get_int("jobs"))});
+  const auto projections = runner.map<Projection>(
+      entries.size(),
+      [&](std::size_t i) { return project(entries[i].second, cpu); });
+
   std::printf("== All pipeline partitions: projected first-failure lifetime "
               "==\n   (analytic KiBaM, DVS during I/O, D = 2.3 s)\n\n");
   Table t({"stages", "partition", "levels (MHz)", "worst node (mA)",
            "first failure (h)", "Tnorm (h)"});
-  for (int stages : {1, 2, 3, 4}) {
-    const auto analyses =
-        task::analyze_all_partitions(profile, stages, cpu, link,
-                                     seconds(2.3));
-    for (const auto& a : analyses) {
-      const Projection p = project(a, cpu);
-      std::string levels;
-      for (const auto& s : a.stages) {
-        if (!levels.empty()) levels += " + ";
-        levels += s.min_level >= 0
-                      ? Table::num(
-                            to_megahertz(cpu.level(s.min_level).frequency),
-                            0)
-                      : std::string(">max");
-      }
-      t.add_row({std::to_string(stages), a.partition.label(profile), levels,
-                 p.feasible ? Table::num(p.worst_ma, 1) : "-",
-                 p.feasible ? Table::num(p.first_failure_hours, 2) : "-",
-                 p.feasible ? Table::num(p.first_failure_hours /
-                                             static_cast<double>(stages),
-                                         2)
-                            : "infeasible"});
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const int stages = entries[i].first;
+    const task::PartitionAnalysis& a = entries[i].second;
+    const Projection& p = projections[i];
+    std::string levels;
+    for (const auto& s : a.stages) {
+      if (!levels.empty()) levels += " + ";
+      levels += s.min_level >= 0
+                    ? Table::num(
+                          to_megahertz(cpu.level(s.min_level).frequency),
+                          0)
+                    : std::string(">max");
     }
+    t.add_row({std::to_string(stages), a.partition.label(profile), levels,
+               p.feasible ? Table::num(p.worst_ma, 1) : "-",
+               p.feasible ? Table::num(p.first_failure_hours, 2) : "-",
+               p.feasible ? Table::num(p.first_failure_hours /
+                                           static_cast<double>(stages),
+                                       2)
+                          : "infeasible"});
   }
   std::printf("%s\n", t.render().c_str());
 

@@ -3,19 +3,47 @@
 // insensitive to the period across two orders of magnitude (the battery's
 // recovery time constant is much longer than any reasonable period) until
 // the period approaches the whole lifetime, where balancing degrades.
+//
+//   --jobs N   run the sweep on N worker threads (0 = all cores,
+//              1 = sequential; output is byte-identical either way)
 #include <cstdio>
 #include <vector>
 
+#include "core/batch.h"
 #include "core/experiment.h"
+#include "util/flags.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace deslp;
+
+  Flags flags;
+  flags.add_int("jobs", 0,
+                "worker threads for the sweep (0 = all cores, 1 = "
+                "sequential; output identical)");
+  if (!flags.parse(argc, argv)) return 1;
 
   core::ExperimentSuite suite;
   const auto specs = core::paper_experiments();
-  core::ExperimentSpec rotation = specs[7];  // "(2C)"
-  const auto base_2a = suite.run(specs[5]);  // "(2A)": no rotation
+  const std::vector<long long> periods = {1,   5,   10,   25,   50,
+                                          100, 250, 1000, 4000, 10000};
+
+  // Batch item 0 is the no-rotation baseline (2A); items 1..N are the 2C
+  // variants in period order. Rows are assembled sequentially afterwards,
+  // so the table is identical for every --jobs value.
+  std::vector<core::ExperimentSpec> runs;
+  runs.push_back(specs[5]);  // "(2A)": no rotation
+  for (long long period : periods) {
+    core::ExperimentSpec rotation = specs[7];  // "(2C)"
+    rotation.rotation_period = period;
+    rotation.id = "2C/" + std::to_string(period);
+    runs.push_back(rotation);
+  }
+  core::BatchRunner runner(
+      core::BatchOptions{.jobs = static_cast<int>(flags.get_int("jobs"))});
+  const auto results = runner.map<core::ExperimentResult>(
+      runs.size(), [&](std::size_t i) { return suite.run(runs[i]); });
+  const core::ExperimentResult& base_2a = results[0];
 
   std::printf("== Rotation period sweep (experiment 2C variants) ==\n\n");
   Table t({"period (frames)", "T (h)", "F", "Node1 SoC left",
@@ -24,12 +52,9 @@ int main() {
              std::to_string(base_2a.frames),
              Table::percent(base_2a.details.nodes[0].final_soc),
              Table::percent(base_2a.details.nodes[1].final_soc), "-"});
-  for (long long period : {1LL, 5LL, 10LL, 25LL, 50LL, 100LL, 250LL, 1000LL,
-                           4000LL, 10000LL}) {
-    rotation.rotation_period = period;
-    rotation.id = "2C/" + std::to_string(period);
-    const auto r = suite.run(rotation);
-    t.add_row({std::to_string(period),
+  for (std::size_t i = 0; i < periods.size(); ++i) {
+    const auto& r = results[i + 1];
+    t.add_row({std::to_string(periods[i]),
                Table::num(to_hours(r.battery_life), 2),
                std::to_string(r.frames),
                Table::percent(r.details.nodes[0].final_soc),

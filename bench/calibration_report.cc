@@ -5,16 +5,27 @@
 // the same fit for the Peukert model (which lacks the recovery effect) for
 // contrast. The fitted KiBaM values are the ones shipped in
 // battery::itsy_kibam_params().
+//
+//   --jobs N   evaluate the objective's calibration cases on N worker
+//              threads (0 = all cores, 1 = sequential; identical fit)
 #include <cstdio>
 #include <iostream>
 
 #include "battery/calibrate.h"
 #include "battery/kibam.h"
 #include "core/calibration.h"
+#include "util/flags.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace deslp;
+
+  Flags flags;
+  flags.add_int("jobs", 0,
+                "worker threads for the calibration objective (0 = all "
+                "cores, 1 = sequential; fit identical)");
+  if (!flags.parse(argc, argv)) return 1;
+  const int jobs = static_cast<int>(flags.get_int("jobs"));
 
   const auto cases = core::paper_calibration_cases(
       cpu::itsy_sa1100(), atr::itsy_atr_profile(), net::itsy_serial_link());
@@ -33,7 +44,7 @@ int main() {
   std::cout << loads << '\n';
 
   const battery::KibamFit fit =
-      battery::fit_kibam(cases, battery::itsy_kibam_params());
+      battery::fit_kibam(cases, battery::itsy_kibam_params(), jobs);
   std::printf("KiBaM fit: capacity=%.1f mAh, c=%.4f, k'=%.3e /s\n",
               to_milliamp_hours(fit.params.capacity), fit.params.c,
               fit.params.k_prime);
@@ -42,7 +53,7 @@ int main() {
               fit.rms_log_error);
 
   const battery::PeukertFit pfit =
-      battery::fit_peukert(cases, milliamp_hours(900.0), 1.3);
+      battery::fit_peukert(cases, milliamp_hours(900.0), 1.3, jobs);
   std::printf("Peukert fit (no recovery): capacity=%.1f mAh, k=%.3f "
               "(ref %.1f mA), rms-log-error=%.4f\n\n",
               to_milliamp_hours(pfit.capacity), pfit.k,

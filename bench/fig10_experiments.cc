@@ -8,6 +8,9 @@
 //
 //   --csv <path>       also write the experiment series as CSV
 //   --node-csv <path>  also write per-node details as CSV
+//   --jobs N           run the experiments on N worker threads
+//                      (0 = all cores, 1 = sequential; same results)
+//   --timing           print the per-run wall-clock table
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -21,9 +24,15 @@ int main(int argc, char** argv) {
   Flags flags;
   flags.add_string("csv", "", "write the experiment series to this CSV file");
   flags.add_string("node-csv", "", "write per-node details to this CSV file");
+  flags.add_int("jobs", 0,
+                "worker threads for the batch (0 = all cores, 1 = "
+                "sequential; results identical)");
+  flags.add_bool("timing", false, "print the per-run wall-clock table");
   if (!flags.parse(argc, argv)) return 1;
 
-  core::ExperimentSuite suite;
+  core::ExperimentSuite::Options options;
+  options.jobs = static_cast<int>(flags.get_int("jobs"));
+  core::ExperimentSuite suite(options);
   const auto results = suite.run_all(core::paper_experiments());
 
   std::printf("== Experiments (paper vs this reproduction) ==\n");
@@ -37,6 +46,12 @@ int main(int argc, char** argv) {
 
   std::printf("== Per-node detail ==\n\n");
   std::cout << core::render_node_table(results);
+
+  if (flags.get_bool("timing")) {
+    std::printf("\n== Per-run wall clock (host, --jobs %lld) ==\n\n",
+                flags.get_int("jobs"));
+    std::cout << core::render_timing_table(results);
+  }
 
   const std::string csv_path = flags.get_string("csv");
   if (!csv_path.empty()) {

@@ -4,7 +4,7 @@
 // guarantee a locally near-optimal configuration" made browsable.
 //
 //   $ ./design_space_explorer [--stages=1,2] [--headroom=10]
-//                             [--frame-delay=2.3] [--top=10]
+//                             [--frame-delay=2.3] [--top=10] [--jobs=0]
 #include <cstdio>
 #include <algorithm>
 #include <string>
@@ -21,11 +21,15 @@ int main(int argc, char** argv) {
   flags.add_int("headroom", 10, "levels above minimum-feasible to explore");
   flags.add_double("frame-delay", 2.3, "frame delay D (s)");
   flags.add_int("top", 10, "rows of the uptime ranking to print");
+  flags.add_int("jobs", 0,
+                "worker threads for the evaluation sweep (0 = all cores, "
+                "1 = sequential; results identical)");
   if (!flags.parse(argc, argv)) return 1;
 
   core::OptimizerOptions opt;
   opt.frame_delay = seconds(flags.get_double("frame-delay"));
   opt.level_headroom = static_cast<int>(flags.get_int("headroom"));
+  opt.jobs = static_cast<int>(flags.get_int("jobs"));
   opt.stage_counts.clear();
   {
     const std::string s = flags.get_string("stages");

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <mutex>
 #include <utility>
 
 #include "util/check.h"
@@ -13,7 +14,12 @@ Spectrum roi_spectrum(const Image& roi) { return fft2d(roi); }
 const std::vector<Spectrum>& template_spectra(int roi_size) {
   DESLP_EXPECTS(is_pow2(static_cast<std::size_t>(roi_size)));
   DESLP_EXPECTS(roi_size >= template_size());
+  // Guarded: batch runs may fan ATR work across threads, and std::map
+  // find/emplace race otherwise. Node stability keeps returned references
+  // valid after later inserts.
+  static std::mutex cache_mutex;
   static std::map<int, std::vector<Spectrum>> cache;
+  std::lock_guard<std::mutex> lock(cache_mutex);
   auto it = cache.find(roi_size);
   if (it != cache.end()) return it->second;
 

@@ -1,10 +1,12 @@
 #include "battery/calibrate.h"
 
 #include <cmath>
+#include <memory>
 
 #include "battery/battery.h"
 #include "util/check.h"
 #include "util/nelder_mead.h"
+#include "util/thread_pool.h"
 
 namespace deslp::battery {
 
@@ -25,35 +27,59 @@ std::vector<double> encode_kibam(const KibamParams& p) {
   return {std::log(p.capacity.value()), logit(p.c), std::log(p.k_prime)};
 }
 
-double weighted_sq_log_error(const std::vector<CalibrationCase>& cases,
-                             Battery& prototype,
-                             std::vector<Seconds>* modeled_out) {
-  double err = 0.0;
-  double total_weight = 0.0;
-  if (modeled_out) modeled_out->clear();
-  for (const auto& kase : cases) {
-    prototype.reset();
-    const LifetimeResult r = lifetime_under_cycle(prototype, kase.cycle);
-    if (modeled_out) modeled_out->push_back(r.lifetime);
+/// Objective: each case gets its *own* battery instance (no shared mutable
+/// state), so the cases evaluate independently — sequentially, or fanned
+/// out on `pool`. The error sum is accumulated in case order afterwards,
+/// so the objective value is bit-identical for every jobs count.
+double weighted_sq_log_error(
+    const std::vector<CalibrationCase>& cases,
+    const std::function<std::unique_ptr<Battery>()>& make_battery,
+    util::ThreadPool* pool, std::vector<Seconds>* modeled_out) {
+  std::vector<double> case_error(cases.size(), 0.0);
+  std::vector<Seconds> modeled(cases.size());
+  auto evaluate = [&](std::size_t i) {
+    const CalibrationCase& kase = cases[i];
     DESLP_EXPECTS(kase.reference_lifetime.value() > 0.0);
+    auto battery = make_battery();
+    const LifetimeResult r = lifetime_under_cycle(*battery, kase.cycle);
+    modeled[i] = r.lifetime;
     const double log_ratio =
         std::log(std::max(r.lifetime.value(), 1.0) /
                  kase.reference_lifetime.value());
-    err += kase.weight * log_ratio * log_ratio;
-    total_weight += kase.weight;
+    case_error[i] = kase.weight * log_ratio * log_ratio;
+  };
+  if (pool != nullptr) {
+    pool->parallel_for(cases.size(), evaluate);
+  } else {
+    for (std::size_t i = 0; i < cases.size(); ++i) evaluate(i);
   }
+  double err = 0.0;
+  double total_weight = 0.0;
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    err += case_error[i];
+    total_weight += cases[i].weight;
+  }
+  if (modeled_out) *modeled_out = std::move(modeled);
   DESLP_EXPECTS(total_weight > 0.0);
   return err / total_weight;
+}
+
+std::unique_ptr<util::ThreadPool> make_pool(int jobs) {
+  if (jobs == 1) return nullptr;
+  return std::make_unique<util::ThreadPool>(jobs);
 }
 
 }  // namespace
 
 KibamFit fit_kibam(const std::vector<CalibrationCase>& cases,
-                   const KibamParams& initial) {
+                   const KibamParams& initial, int jobs) {
   DESLP_EXPECTS(!cases.empty());
-  auto objective = [&cases](const std::vector<double>& x) {
-    auto battery = make_kibam_battery(decode_kibam(x));
-    return weighted_sq_log_error(cases, *battery, nullptr);
+  const auto pool = make_pool(jobs);
+  auto objective = [&cases, &pool](const std::vector<double>& x) {
+    const KibamParams params = decode_kibam(x);
+    return weighted_sq_log_error(
+        cases, [&params] { return make_kibam_battery(params); }, pool.get(),
+        nullptr);
   };
 
   NelderMeadOptions options;
@@ -67,15 +93,17 @@ KibamFit fit_kibam(const std::vector<CalibrationCase>& cases,
   fit.params = decode_kibam(r.x);
   fit.iterations = r.iterations;
   fit.converged = r.converged;
-  auto battery = make_kibam_battery(fit.params);
-  fit.rms_log_error =
-      std::sqrt(weighted_sq_log_error(cases, *battery, &fit.modeled));
+  fit.rms_log_error = std::sqrt(weighted_sq_log_error(
+      cases, [&fit] { return make_kibam_battery(fit.params); }, pool.get(),
+      &fit.modeled));
   return fit;
 }
 
 PeukertFit fit_peukert(const std::vector<CalibrationCase>& cases,
-                       Coulombs initial_capacity, double initial_k) {
+                       Coulombs initial_capacity, double initial_k,
+                       int jobs) {
   DESLP_EXPECTS(!cases.empty());
+  const auto pool = make_pool(jobs);
   // Reference current: weighted mean of the cases' average currents. Fixing
   // it removes the scale degeneracy between capacity and reference.
   double i_sum = 0.0, w_sum = 0.0;
@@ -85,11 +113,14 @@ PeukertFit fit_peukert(const std::vector<CalibrationCase>& cases,
   }
   const Amps reference = amps(i_sum / w_sum);
 
-  auto objective = [&cases, reference](const std::vector<double>& x) {
+  auto objective = [&cases, &pool, reference](const std::vector<double>& x) {
     // k >= 1 by construction: k = 1 + exp(x[1]) saturates the lower bound.
-    auto battery = make_peukert_battery(coulombs(std::exp(x[0])),
-                                        1.0 + std::exp(x[1]), reference);
-    return weighted_sq_log_error(cases, *battery, nullptr);
+    const Coulombs capacity = coulombs(std::exp(x[0]));
+    const double k = 1.0 + std::exp(x[1]);
+    return weighted_sq_log_error(
+        cases,
+        [&] { return make_peukert_battery(capacity, k, reference); },
+        pool.get(), nullptr);
   };
 
   NelderMeadOptions options;
@@ -104,9 +135,12 @@ PeukertFit fit_peukert(const std::vector<CalibrationCase>& cases,
   fit.capacity = coulombs(std::exp(r.x[0]));
   fit.k = 1.0 + std::exp(r.x[1]);
   fit.reference = reference;
-  auto battery = make_peukert_battery(fit.capacity, fit.k, reference);
-  fit.rms_log_error =
-      std::sqrt(weighted_sq_log_error(cases, *battery, &fit.modeled));
+  fit.rms_log_error = std::sqrt(weighted_sq_log_error(
+      cases,
+      [&fit] {
+        return make_peukert_battery(fit.capacity, fit.k, fit.reference);
+      },
+      pool.get(), &fit.modeled));
   return fit;
 }
 

@@ -34,9 +34,13 @@ struct KibamFit {
 /// Fit KiBaM (capacity, c, k') to the cases by Nelder–Mead on the weighted
 /// squared log-lifetime error. `initial` seeds the search; the parameters
 /// are optimised in log/logit space so the constraints (capacity > 0,
-/// 0 < c < 1, k' > 0) hold by construction.
+/// 0 < c < 1, k' > 0) hold by construction. `jobs` fans the objective's
+/// per-case lifetime evaluations across worker threads (1 = sequential,
+/// 0 = all hardware threads); the fit is bit-identical for every value
+/// because each case owns its battery and the error accumulates in case
+/// order.
 KibamFit fit_kibam(const std::vector<CalibrationCase>& cases,
-                   const KibamParams& initial);
+                   const KibamParams& initial, int jobs = 1);
 
 struct PeukertFit {
   Coulombs capacity;
@@ -47,8 +51,10 @@ struct PeukertFit {
 };
 
 /// Fit a Peukert battery (capacity, exponent) to the same cases; the
-/// reference current is fixed to the weighted mean case current.
+/// reference current is fixed to the weighted mean case current. `jobs`
+/// as in fit_kibam.
 PeukertFit fit_peukert(const std::vector<CalibrationCase>& cases,
-                       Coulombs initial_capacity, double initial_k);
+                       Coulombs initial_capacity, double initial_k,
+                       int jobs = 1);
 
 }  // namespace deslp::battery

@@ -1,0 +1,41 @@
+#include "core/batch.h"
+
+namespace deslp::core {
+
+BatchRunner::BatchRunner(BatchOptions options) {
+  jobs_ = options.jobs == 0 ? util::ThreadPool::default_thread_count()
+                            : options.jobs;
+  if (jobs_ < 1) jobs_ = 1;
+  if (jobs_ > 1) pool_ = std::make_unique<util::ThreadPool>(jobs_);
+}
+
+BatchRunner::~BatchRunner() = default;
+
+void BatchRunner::run(std::size_t n,
+                      const std::function<void(std::size_t)>& fn) {
+  wall_ms_.assign(n, 0.0);
+  auto timed = [this, &fn](std::size_t i) {
+    const auto start = std::chrono::steady_clock::now();
+    fn(i);
+    const auto end = std::chrono::steady_clock::now();
+    wall_ms_[i] =
+        std::chrono::duration<double, std::milli>(end - start).count();
+  };
+  if (pool_ == nullptr) {
+    for (std::size_t i = 0; i < n; ++i) timed(i);
+    return;
+  }
+  pool_->parallel_for(n, timed);
+}
+
+std::vector<ExperimentResult> run_experiments(
+    const ExperimentSuite& suite, const std::vector<ExperimentSpec>& specs,
+    BatchRunner& runner, const std::string& baseline_id) {
+  auto results = runner.map<ExperimentResult>(
+      specs.size(),
+      [&suite, &specs](std::size_t i) { return suite.run(specs[i]); });
+  fill_rnorm(results, baseline_id);
+  return results;
+}
+
+}  // namespace deslp::core

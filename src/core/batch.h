@@ -1,0 +1,83 @@
+// Batch execution of independent simulation runs across worker threads.
+//
+// Every multi-configuration driver in the repo (the experiment suite, the
+// ablation sweeps, the design-space explorer, the calibration objective)
+// has the same shape: N independent, deterministic runs whose results are
+// consumed in a fixed order. BatchRunner fans those runs out across a
+// util::ThreadPool while guaranteeing results identical to the sequential
+// path.
+//
+// Determinism contract (see DESIGN.md §6): each run must own its world —
+// its own sim::Engine, its own RNG seeded from the run's spec, its own
+// battery instances from a thread-safe factory — so no mutable state
+// crosses threads. Results land in index order; per-run wall-clock is
+// captured on the side (host time, never fed back into the simulation).
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/experiment.h"
+#include "util/thread_pool.h"
+
+namespace deslp::core {
+
+struct BatchOptions {
+  /// Worker threads: 1 runs inline on the calling thread (the reference
+  /// sequential path, no pool constructed); 0 uses every hardware thread;
+  /// N>1 uses N workers.
+  int jobs = 0;
+};
+
+class BatchRunner {
+ public:
+  explicit BatchRunner(BatchOptions options = {});
+  ~BatchRunner();
+  BatchRunner(const BatchRunner&) = delete;
+  BatchRunner& operator=(const BatchRunner&) = delete;
+
+  /// Effective worker count (>= 1).
+  [[nodiscard]] int jobs() const { return jobs_; }
+
+  /// Run fn(0) .. fn(n-1), inline when jobs()==1, else on the pool.
+  /// Blocks until all items finish; the lowest-index exception is
+  /// rethrown. Captures per-item wall-clock into last_wall_ms().
+  void run(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// run() into a result vector: out[i] = fn(i), index order. T need not
+  /// be default-constructible (results are emplaced into optional slots).
+  template <typename T>
+  std::vector<T> map(std::size_t n, const std::function<T(std::size_t)>& fn) {
+    std::vector<std::optional<T>> slots(n);
+    run(n, [&slots, &fn](std::size_t i) { slots[i].emplace(fn(i)); });
+    std::vector<T> out;
+    out.reserve(n);
+    for (auto& slot : slots) out.push_back(std::move(*slot));
+    return out;
+  }
+
+  /// Host wall-clock (ms) of each item from the most recent run()/map(),
+  /// in item order.
+  [[nodiscard]] const std::vector<double>& last_wall_ms() const {
+    return wall_ms_;
+  }
+
+ private:
+  int jobs_ = 1;
+  std::unique_ptr<util::ThreadPool> pool_;  // null when jobs_ == 1
+  std::vector<double> wall_ms_;
+};
+
+/// ExperimentSuite::run_all through a BatchRunner: same results, same
+/// order, Rnorm filled against `baseline_id`, plus per-run wall_ms.
+[[nodiscard]] std::vector<ExperimentResult> run_experiments(
+    const ExperimentSuite& suite, const std::vector<ExperimentSpec>& specs,
+    BatchRunner& runner, const std::string& baseline_id = "1");
+
+}  // namespace deslp::core

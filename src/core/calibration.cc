@@ -72,10 +72,10 @@ std::vector<battery::CalibrationCase> paper_calibration_cases(
   return cases;
 }
 
-battery::KibamFit calibrate_itsy_battery() {
+battery::KibamFit calibrate_itsy_battery(int jobs) {
   const auto cases = paper_calibration_cases(
       cpu::itsy_sa1100(), atr::itsy_atr_profile(), net::itsy_serial_link());
-  return battery::fit_kibam(cases, battery::itsy_kibam_params());
+  return battery::fit_kibam(cases, battery::itsy_kibam_params(), jobs);
 }
 
 }  // namespace deslp::core

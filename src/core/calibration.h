@@ -22,6 +22,9 @@ namespace deslp::core {
     const net::LinkSpec& link, Seconds frame_delay = seconds(2.3));
 
 /// Fit KiBaM to the paper anchors starting from the shipped parameters.
-[[nodiscard]] battery::KibamFit calibrate_itsy_battery();
+/// `jobs` fans the Nelder–Mead objective's per-anchor evaluations across
+/// worker threads (1 = sequential, 0 = all hardware threads) with
+/// bit-identical fits.
+[[nodiscard]] battery::KibamFit calibrate_itsy_battery(int jobs = 1);
 
 }  // namespace deslp::core

@@ -1,12 +1,15 @@
 #include "core/experiment.h"
 
+#include <chrono>
 #include <utility>
 
 #include "battery/kibam.h"
 #include "battery/load.h"
+#include "core/batch.h"
 #include "net/link.h"
 #include "task/plan.h"
 #include "util/check.h"
+#include "util/log.h"
 
 namespace deslp::core {
 
@@ -31,6 +34,7 @@ ExperimentSuite::ExperimentSuite(Options options)
 }
 
 ExperimentResult ExperimentSuite::run(const ExperimentSpec& spec) const {
+  const auto wall_start = std::chrono::steady_clock::now();
   ExperimentResult result;
   result.id = spec.id;
   result.title = spec.title;
@@ -55,6 +59,9 @@ ExperimentResult ExperimentSuite::run(const ExperimentSpec& spec) const {
     result.frames = lr.complete_cycles;
     result.battery_life = lr.lifetime;
     result.normalized_life = lr.lifetime;
+    result.wall_ms = std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - wall_start)
+                         .count();
     return result;
   }
 
@@ -92,27 +99,40 @@ ExperimentResult ExperimentSuite::run(const ExperimentSpec& spec) const {
       options_.frame_delay * static_cast<double>(result.frames);
   result.normalized_life =
       result.battery_life * (1.0 / static_cast<double>(stages));
+  result.wall_ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - wall_start)
+                       .count();
   return result;
 }
 
 std::vector<ExperimentResult> ExperimentSuite::run_all(
     const std::vector<ExperimentSpec>& specs,
     const std::string& baseline_id) const {
-  std::vector<ExperimentResult> results;
-  results.reserve(specs.size());
-  for (const auto& spec : specs) results.push_back(run(spec));
+  BatchRunner runner(BatchOptions{.jobs = options_.jobs});
+  return run_experiments(*this, specs, runner, baseline_id);
+}
 
-  double baseline_hours = 0.0;
+void fill_rnorm(std::vector<ExperimentResult>& results,
+                const std::string& baseline_id) {
+  const ExperimentResult* baseline = nullptr;
   for (const auto& r : results)
-    if (r.id == baseline_id) baseline_hours = to_hours(r.battery_life);
-  if (baseline_hours > 0.0) {
-    for (auto& r : results) {
-      // The no-I/O experiments are not comparable (§6.1); leave them at 0.
-      if (r.id == "0A" || r.id == "0B") continue;
-      r.rnorm = to_hours(r.normalized_life) / baseline_hours;
-    }
+    if (r.id == baseline_id) baseline = &r;
+  if (baseline == nullptr) {
+    log::warn("run_all: baseline id '", baseline_id,
+              "' matched no experiment; every Rnorm left at 0");
+    return;
   }
-  return results;
+  const double baseline_hours = to_hours(baseline->battery_life);
+  if (baseline_hours <= 0.0) {
+    log::warn("run_all: baseline '", baseline_id,
+              "' has zero battery life; every Rnorm left at 0");
+    return;
+  }
+  for (auto& r : results) {
+    // The no-I/O experiments are not comparable (§6.1); leave them at 0.
+    if (r.id == "0A" || r.id == "0B") continue;
+    r.rnorm = to_hours(r.normalized_life) / baseline_hours;
+  }
 }
 
 task::PartitionAnalysis selected_two_node_partition(

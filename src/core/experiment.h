@@ -58,6 +58,9 @@ struct ExperimentResult {
   Seconds normalized_life;  // T / N
   /// Rnorm vs the suite's baseline "(1)"; 0 until run_all fills it in.
   double rnorm = 0.0;
+  /// Host wall-clock spent simulating this run, in milliseconds (side
+  /// channel for throughput reporting; never fed back into the model).
+  double wall_ms = 0.0;
   PaperReference paper;
   /// DES details (node reports etc.); empty for the analytic kNoIo runs.
   RunResult details;
@@ -73,6 +76,11 @@ class ExperimentSuite {
     Seconds frame_delay = seconds(2.3);
     long long max_frames = 2'000'000;
     std::uint64_t seed = 42;
+    /// Worker threads for run_all: 1 = sequential (reference path), 0 =
+    /// all hardware threads, N>1 = N workers. Runs are independent, so the
+    /// results are identical for every value; `battery_factory` must be
+    /// thread-safe when jobs != 1 (constructing a fresh battery is).
+    int jobs = 1;
   };
 
   ExperimentSuite() : ExperimentSuite(Options{}) {}
@@ -80,8 +88,10 @@ class ExperimentSuite {
 
   [[nodiscard]] ExperimentResult run(const ExperimentSpec& spec) const;
 
-  /// Run a set of experiments and fill in Rnorm against the experiment with
-  /// id `baseline_id` (which must be present).
+  /// Run a set of experiments — in parallel when options().jobs != 1,
+  /// with results identical to the sequential path — and fill in Rnorm
+  /// against the experiment with id `baseline_id`. A baseline_id matching
+  /// no spec is loudly logged (log::warn) and leaves every rnorm at 0.
   [[nodiscard]] std::vector<ExperimentResult> run_all(
       const std::vector<ExperimentSpec>& specs,
       const std::string& baseline_id = "1") const;
@@ -91,6 +101,12 @@ class ExperimentSuite {
  private:
   Options options_;
 };
+
+/// Fill each result's Rnorm against the result with id `baseline_id`
+/// (shared by the sequential and batch paths). Logs a warning and leaves
+/// every rnorm at 0 when the baseline is missing or has zero lifetime.
+void fill_rnorm(std::vector<ExperimentResult>& results,
+                const std::string& baseline_id);
 
 /// Build the paper's eight experiments. The two-node partition and its
 /// 59/103.2 MHz levels are *derived* from the §5.3 analysis on the profile,

@@ -7,6 +7,7 @@
 
 #include "battery/kibam.h"
 #include "battery/load.h"
+#include "core/batch.h"
 #include "util/check.h"
 
 namespace deslp::core {
@@ -88,7 +89,11 @@ Evaluation DesignSpace::evaluate(const Configuration& config) const {
 }
 
 std::vector<Evaluation> DesignSpace::enumerate() const {
-  std::vector<Evaluation> out;
+  // Candidate generation is cheap and stays sequential so the candidate
+  // order — and therefore the output order — is fixed; the analytic
+  // evaluations are the expensive part and fan out across the batch
+  // runner's workers (options_.jobs; identical results for any value).
+  std::vector<Configuration> candidates_out;
   for (int stages : options_.stage_counts) {
     const auto analyses = task::analyze_all_partitions(
         *options_.profile, stages, *options_.cpu, options_.link,
@@ -114,8 +119,7 @@ std::vector<Evaluation> DesignSpace::enumerate() const {
                                ? std::vector<bool>{true, false}
                                : std::vector<bool>{true}) {
           config.dvs_during_io = dvs_io;
-          Evaluation ev = evaluate(config);
-          if (ev.feasible) out.push_back(std::move(ev));
+          candidates_out.push_back(config);
         }
         // Advance the odometer.
         std::size_t d = 0;
@@ -127,6 +131,17 @@ std::vector<Evaluation> DesignSpace::enumerate() const {
       }
     }
   }
+
+  BatchRunner runner(BatchOptions{.jobs = options_.jobs});
+  auto evaluations = runner.map<Evaluation>(
+      candidates_out.size(),
+      [this, &candidates_out](std::size_t i) {
+        return evaluate(candidates_out[i]);
+      });
+  std::vector<Evaluation> out;
+  out.reserve(evaluations.size());
+  for (auto& ev : evaluations)
+    if (ev.feasible) out.push_back(std::move(ev));
   return out;
 }
 

@@ -60,6 +60,11 @@ struct OptimizerOptions {
   /// are dominated for energy but can matter for uptime).
   int level_headroom = 10;
   bool explore_dvs_io = true;
+  /// Worker threads for enumerate(): 1 = sequential (reference path),
+  /// 0 = all hardware threads. Candidate evaluation is independent per
+  /// configuration, so the enumeration order and results are identical
+  /// for every value.
+  int jobs = 1;
 };
 
 class DesignSpace {

@@ -49,6 +49,21 @@ std::string render_node_table(const std::vector<ExperimentResult>& results) {
   return t.render();
 }
 
+std::string render_timing_table(const std::vector<ExperimentResult>& results) {
+  double total_ms = 0.0;
+  for (const auto& r : results) total_ms += r.wall_ms;
+  Table t({"exp", "wall (ms)", "sim-s per wall-s", "share"});
+  for (const auto& r : results) {
+    const double sim_rate = r.wall_ms > 0.0
+                                ? r.battery_life.value() / (r.wall_ms / 1e3)
+                                : 0.0;
+    t.add_row({r.id, Table::num(r.wall_ms, 1), Table::num(sim_rate, 0),
+               total_ms > 0.0 ? Table::percent(r.wall_ms / total_ms) : "-"});
+  }
+  t.add_row({"total", Table::num(total_ms, 1), "", ""});
+  return t.render();
+}
+
 std::string render_fig10_bars(const std::vector<ExperimentResult>& results) {
   std::ostringstream os;
   for (const auto& r : results) {

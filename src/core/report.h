@@ -19,6 +19,12 @@ namespace deslp::core {
 [[nodiscard]] std::string render_node_table(
     const std::vector<ExperimentResult>& results);
 
+/// Per-run host wall-clock table (run time, simulated-seconds-per-second
+/// throughput, share of the batch). Kept out of the default tables and
+/// CSVs so batch output stays byte-identical across --jobs values.
+[[nodiscard]] std::string render_timing_table(
+    const std::vector<ExperimentResult>& results);
+
 /// ASCII Fig. 10: absolute and normalised bars with Rnorm annotations,
 /// excluding the no-I/O experiments as the paper does.
 [[nodiscard]] std::string render_fig10_bars(

@@ -80,12 +80,19 @@ void ReliablePeer::on_wire(const Segment& segment) {
     return;
   }
 
-  // Data segment.
+  // Data segment. Anything below the cumulative position is a duplicate
+  // (retransmission or wire-level copy of a delivered segment); anything
+  // above it is a reordered/future segment Go-Back-N drops and recovers by
+  // retransmission. §5.4's failure detection reads the two counters
+  // separately: duplicates indicate lost acks, out-of-order drops indicate
+  // lost data.
   if (segment.seq == expected_seq_) {
     ++expected_seq_;
     received_.send(segment.payload);
-  } else {
+  } else if (segment.seq < expected_seq_) {
     ++stats_.dup_received;
+  } else {
+    ++stats_.ooo_dropped;
   }
   // Always (re-)ack the cumulative position; lost acks are recovered by the
   // duplicate-data path.

@@ -50,7 +50,15 @@ struct ReliableStats {
   long long data_sent = 0;     // first transmissions
   long long data_retx = 0;     // retransmissions
   long long acks_sent = 0;
-  long long dup_received = 0;  // out-of-window / duplicate data segments
+  /// Data segments below the cumulative position: already-delivered
+  /// payloads seen again (retransmission after a lost ack, or a wire-level
+  /// duplicate). Re-acked, never redelivered.
+  long long dup_received = 0;
+  /// Data segments above the cumulative position: reordered or
+  /// gap-following segments Go-Back-N drops (the sender's timeout
+  /// retransmits them in order). Distinct from duplication — §5.4's
+  /// failure analysis must not conflate the two.
+  long long ooo_dropped = 0;
 };
 
 /// One endpoint of a reliable bidirectional association. Create one peer on

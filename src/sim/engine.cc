@@ -48,9 +48,8 @@ Time Engine::run_until(Time deadline) {
     if (queue_.top().at > deadline) break;
     step();
   }
-  if (now_ < deadline && queue_.empty()) {
-    // Queue drained before the deadline; clock stays at the last event.
-  }
+  // Whether the queue drained or the next event lies past the deadline,
+  // the clock stays at the last fired event: min(deadline, last event).
   return now_;
 }
 

@@ -16,8 +16,16 @@ std::string trim(const std::string& s) {
 }
 
 std::string strip_comment(const std::string& line) {
-  const auto pos = line.find_first_of("#;");
-  return pos == std::string::npos ? line : line.substr(0, pos);
+  // `#`/`;` opens a comment only at line start or after whitespace, so
+  // values like `label = run#3` survive intact while `key = v  ; note`
+  // still sheds its trailing comment.
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if ((c == '#' || c == ';') &&
+        (i == 0 || line[i - 1] == ' ' || line[i - 1] == '\t'))
+      return line.substr(0, i);
+  }
+  return line;
 }
 
 }  // namespace

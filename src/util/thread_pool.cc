@@ -1,0 +1,101 @@
+#include "util/thread_pool.h"
+
+#include <utility>
+
+#include "util/check.h"
+
+namespace deslp::util {
+
+int ThreadPool::default_thread_count() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+ThreadPool::ThreadPool(int threads) {
+  const int n = threads <= 0 ? default_thread_count() : threads;
+  workers_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_available_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> fn) {
+  DESLP_EXPECTS(fn != nullptr);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    DESLP_EXPECTS(!stopping_);
+    queue_.push_back(std::move(fn));
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(lock,
+                           [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    std::exception_ptr error;
+    try {
+      task();
+    } catch (...) {
+      error = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (error && !first_error_) first_error_ = error;
+      --active_;
+      if (queue_.empty() && active_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::wait_idle() {
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    all_done_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+    error = std::exchange(first_error_, nullptr);
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  // Per-index exception slots: distinct indices, no sharing, so the only
+  // synchronisation needed is the pool's own completion barrier.
+  std::vector<std::exception_ptr> errors(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    submit([&fn, &errors, i] {
+      try {
+        fn(i);
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    });
+  }
+  try {
+    wait_idle();
+  } catch (...) {
+    // Already captured per index; the index-ordered choice below wins.
+  }
+  for (const auto& e : errors)
+    if (e) std::rethrow_exception(e);
+}
+
+}  // namespace deslp::util

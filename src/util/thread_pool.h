@@ -1,0 +1,70 @@
+// Fixed-size worker-thread pool for embarrassingly-parallel batch work.
+//
+// The simulator itself stays single-threaded and deterministic; the pool
+// exists one level up, where many *independent* simulations (experiment
+// sweeps, design-space enumeration, calibration objectives) are fanned out
+// across cores. No work stealing, no dependencies, no external libraries:
+// a locked queue and a condition variable are plenty for jobs that each
+// run for milliseconds to seconds.
+//
+// Determinism contract: the pool never reorders *results*. parallel_for
+// indexes its work items, so callers write into pre-sized slots and
+// observe exactly the sequential outcome regardless of completion order;
+// the first exception (by item index, not by time) is rethrown.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace deslp::util {
+
+class ThreadPool {
+ public:
+  /// `threads` <= 0 selects hardware_concurrency() (at least 1).
+  explicit ThreadPool(int threads = 0);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] int thread_count() const {
+    return static_cast<int>(workers_.size());
+  }
+
+  /// Enqueue one task. Tasks must not block on other tasks (no
+  /// dependencies); an exception escaping a task is captured and rethrown
+  /// by wait_idle().
+  void submit(std::function<void()> fn);
+
+  /// Block until every submitted task has finished. Rethrows the first
+  /// captured task exception, if any. Prefer parallel_for, whose exception
+  /// choice is deterministic (by index, not by completion time).
+  void wait_idle();
+
+  /// Run fn(0) .. fn(n-1) across the pool and block until all complete.
+  /// Item i's exception (lowest i wins) is rethrown after all items have
+  /// settled, so no work is silently half-done.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// hardware_concurrency() with a floor of 1.
+  [[nodiscard]] static int default_thread_count();
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  std::exception_ptr first_error_;
+  std::size_t active_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace deslp::util

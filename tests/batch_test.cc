@@ -1,0 +1,146 @@
+// ThreadPool and BatchRunner: the parallel batch path must complete all
+// work, propagate failures deterministically, and — the contract the whole
+// PR rests on — produce results bitwise identical to the sequential path
+// for any --jobs value (DESIGN.md §6).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/batch.h"
+#include "core/experiment.h"
+#include "util/thread_pool.h"
+
+namespace deslp {
+namespace {
+
+// --- ThreadPool ---------------------------------------------------------------
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  util::ThreadPool pool(4);
+  EXPECT_EQ(pool.thread_count(), 4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) pool.submit([&count] { ++count; });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleIsReusable) {
+  util::ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.submit([&count] { ++count; });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 1);
+  pool.submit([&count] { ++count; });
+  pool.submit([&count] { ++count; });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 3);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  util::ThreadPool pool(3);
+  std::vector<int> hits(1000, 0);
+  pool.parallel_for(hits.size(), [&hits](std::size_t i) { ++hits[i]; });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 1000);
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPool, ParallelForRethrowsLowestIndexException) {
+  util::ThreadPool pool(4);
+  std::vector<int> done(64, 0);
+  try {
+    pool.parallel_for(done.size(), [&done](std::size_t i) {
+      if (i == 7 || i == 40) throw std::runtime_error("item " +
+                                                      std::to_string(i));
+      done[i] = 1;
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "item 7");  // by index, not by completion time
+  }
+  // Every non-throwing item still ran: a failure never half-finishes a batch.
+  EXPECT_EQ(std::accumulate(done.begin(), done.end(), 0), 62);
+}
+
+TEST(ThreadPool, ZeroThreadsMeansHardwareConcurrency) {
+  util::ThreadPool pool(0);
+  EXPECT_EQ(pool.thread_count(), util::ThreadPool::default_thread_count());
+  EXPECT_GE(pool.thread_count(), 1);
+}
+
+// --- BatchRunner --------------------------------------------------------------
+
+TEST(BatchRunner, SequentialWhenJobsIsOne) {
+  core::BatchRunner runner(core::BatchOptions{.jobs = 1});
+  EXPECT_EQ(runner.jobs(), 1);
+  std::vector<std::size_t> order;
+  runner.run(5, [&order](std::size_t i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(runner.last_wall_ms().size(), 5u);
+}
+
+TEST(BatchRunner, MapPreservesIndexOrderForAnyJobs) {
+  core::BatchRunner seq(core::BatchOptions{.jobs = 1});
+  core::BatchRunner par(core::BatchOptions{.jobs = 4});
+  EXPECT_EQ(par.jobs(), 4);
+  const std::function<std::string(std::size_t)> fn = [](std::size_t i) {
+    return "item-" + std::to_string(i * i);
+  };
+  const auto a = seq.map<std::string>(50, fn);
+  const auto b = par.map<std::string>(50, fn);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a[7], "item-49");
+}
+
+TEST(BatchRunner, MapWorksForNonDefaultConstructibleTypes) {
+  struct NoDefault {
+    explicit NoDefault(int x) : value(x) {}
+    int value;
+  };
+  core::BatchRunner runner(core::BatchOptions{.jobs = 2});
+  const auto out = runner.map<NoDefault>(
+      8, [](std::size_t i) { return NoDefault(static_cast<int>(i) + 1); });
+  ASSERT_EQ(out.size(), 8u);
+  EXPECT_EQ(out[7].value, 8);
+}
+
+// --- The determinism contract, end to end -------------------------------------
+
+// The full 0A-2C paper suite, sequential vs eight workers: every field the
+// reproduction reports must match exactly (not approximately).
+TEST(BatchRunner, FullSuiteIdenticalAcrossJobCounts) {
+  const auto specs = core::paper_experiments();
+
+  core::ExperimentSuite::Options seq_opt;
+  seq_opt.jobs = 1;
+  core::ExperimentSuite seq_suite(seq_opt);
+  const auto seq = seq_suite.run_all(specs);
+
+  core::ExperimentSuite::Options par_opt;
+  par_opt.jobs = 8;
+  core::ExperimentSuite par_suite(par_opt);
+  const auto par = par_suite.run_all(specs);
+
+  ASSERT_EQ(seq.size(), par.size());
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    SCOPED_TRACE(seq[i].id);
+    EXPECT_EQ(seq[i].id, par[i].id);
+    EXPECT_EQ(seq[i].frames, par[i].frames);
+    // Bitwise equality, not EXPECT_NEAR: the parallel path must not change
+    // a single operation in any run.
+    EXPECT_EQ(seq[i].battery_life.value(), par[i].battery_life.value());
+    EXPECT_EQ(seq[i].rnorm, par[i].rnorm);
+    ASSERT_EQ(seq[i].details.nodes.size(), par[i].details.nodes.size());
+    for (std::size_t n = 0; n < seq[i].details.nodes.size(); ++n) {
+      EXPECT_EQ(seq[i].details.nodes[n].final_soc,
+                par[i].details.nodes[n].final_soc);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace deslp

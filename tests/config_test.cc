@@ -28,6 +28,24 @@ list = 1, 2.5, 3
   EXPECT_TRUE(cfg->consume_errors().empty());
 }
 
+TEST(Config, CommentMarkersInsideValuesAreKeptVerbatim) {
+  // '#'/';' only open a comment at line start or after whitespace, so
+  // values like run labels and paths survive intact.
+  const auto cfg = Config::parse(R"(
+[run]
+label = run#3
+path = /data/a;b.pgm
+note = before # after
+; full-line comment
+  # indented full-line comment
+)");
+  ASSERT_TRUE(cfg.has_value());
+  EXPECT_EQ(cfg->get_string("run", "label", ""), "run#3");
+  EXPECT_EQ(cfg->get_string("run", "path", ""), "/data/a;b.pgm");
+  EXPECT_EQ(cfg->get_string("run", "note", ""), "before");
+  EXPECT_TRUE(cfg->consume_errors().empty());
+}
+
 TEST(Config, FallbacksForMissingKeys) {
   const auto cfg = Config::parse("[s]\nk = 1\n");
   ASSERT_TRUE(cfg.has_value());

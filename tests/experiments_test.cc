@@ -4,9 +4,13 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <string>
+#include <string_view>
+#include <vector>
 
 #include "core/calibration.h"
 #include "core/experiment.h"
+#include "util/log.h"
 
 namespace deslp::core {
 namespace {
@@ -162,6 +166,23 @@ TEST_F(PaperExperiments, MetricsIdentityTEqualsFD) {
 TEST_F(PaperExperiments, BaselineRnormIsHundredPercent) {
   EXPECT_DOUBLE_EQ(get("1").rnorm, 1.0);
   EXPECT_DOUBLE_EQ(get("0A").rnorm, 0.0);  // excluded from comparison
+}
+
+TEST(Experiments, MissingBaselineWarnsAndLeavesRnormZero) {
+  std::vector<std::string> warnings;
+  log::set_sink([&](log::Level lvl, std::string_view msg) {
+    if (lvl == log::Level::kWarn) warnings.emplace_back(msg);
+  });
+  ExperimentSuite suite;
+  auto specs = paper_experiments();
+  specs.resize(2);  // only the analytic 0A/0B runs: no "1" baseline in the set
+  const auto results = suite.run_all(specs, "1");
+  log::set_sink(nullptr);
+  ASSERT_EQ(results.size(), 2u);
+  for (const auto& r : results) EXPECT_DOUBLE_EQ(r.rnorm, 0.0);
+  ASSERT_EQ(warnings.size(), 1u);
+  EXPECT_NE(warnings[0].find("baseline"), std::string::npos);
+  EXPECT_NE(warnings[0].find("'1'"), std::string::npos);
 }
 
 TEST(Experiments, SpecsDeriveThePaperLevels) {

@@ -205,6 +205,28 @@ TEST(Reliable, ReceiverReacksDuplicates) {
   EXPECT_EQ(wire_log[0].seq, 1u);
   EXPECT_EQ(wire_log[1].seq, 1u);
   EXPECT_EQ(b.stats().dup_received, 1);
+  EXPECT_EQ(b.stats().ooo_dropped, 0);
+}
+
+TEST(Reliable, FutureSegmentDroppedNotCountedAsDuplicate) {
+  sim::Engine engine;
+  ReliableOptions opt;
+  std::vector<Segment> wire_log;
+  ReliablePeer b(engine, opt,
+                 [&](const Segment& s) { wire_log.push_back(s); });
+  Segment data;
+  data.type = Segment::Type::kData;
+  data.seq = 0;
+  data.payload = payload_for(0);
+  b.on_wire(data);  // in order: delivered, cumulative position now 1
+  data.seq = 2;     // gap: segment 1 lost in flight
+  data.payload = payload_for(2);
+  b.on_wire(data);  // Go-Back-N drops it, re-acks the cumulative position
+  ASSERT_EQ(wire_log.size(), 2u);
+  EXPECT_EQ(wire_log[1].type, Segment::Type::kAck);
+  EXPECT_EQ(wire_log[1].seq, 1u);  // unchanged: still waiting for seq 1
+  EXPECT_EQ(b.stats().ooo_dropped, 1);
+  EXPECT_EQ(b.stats().dup_received, 0);  // a gap is loss, not duplication
 }
 
 }  // namespace

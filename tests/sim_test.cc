@@ -84,6 +84,30 @@ TEST(Engine, RunUntilStopsAtDeadline) {
   EXPECT_EQ(e.pending_events(), 5u);
 }
 
+TEST(Engine, RunUntilFiresEventExactlyAtDeadline) {
+  Engine e;
+  int count = 0;
+  e.schedule_at(Time{100}, [&] { ++count; });
+  e.schedule_at(Time{500}, [&] { ++count; });  // exactly at the deadline
+  e.schedule_at(Time{501}, [&] { ++count; });  // just past it
+  const Time end = e.run_until(Time{500});
+  EXPECT_EQ(count, 2);  // the deadline event itself fires
+  EXPECT_EQ(end, Time{500});
+  EXPECT_EQ(e.now(), Time{500});
+  EXPECT_EQ(e.pending_events(), 1u);
+}
+
+TEST(Engine, RunUntilLeavesClockAtLastEventWhenQueueDrains) {
+  Engine e;
+  int count = 0;
+  e.schedule_at(Time{100}, [&] { ++count; });
+  const Time end = e.run_until(Time{500});
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(end, Time{100});  // not pushed forward to the deadline
+  EXPECT_EQ(e.now(), Time{100});
+  EXPECT_EQ(e.pending_events(), 0u);
+}
+
 TEST(Engine, StopEndsRunEarly) {
   Engine e;
   int count = 0;
