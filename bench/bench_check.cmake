@@ -1,0 +1,17 @@
+# Helper for the bench-check target: bootstrap the baseline on first run,
+# otherwise invoke compare_bench.py (which fails the build on >10%
+# regression). Invoked as:
+#   cmake -DBASELINE=... -DCANDIDATE=... -DPYTHON=... -DSCRIPT=... -P this
+if(NOT EXISTS "${BASELINE}")
+  file(COPY_FILE "${CANDIDATE}" "${BASELINE}")
+  message(STATUS "No baseline found; bootstrapped ${BASELINE} from this run. "
+                 "Re-run bench-check after future changes to compare.")
+  return()
+endif()
+
+execute_process(
+  COMMAND "${PYTHON}" "${SCRIPT}" "${BASELINE}" "${CANDIDATE}"
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "benchmark regression detected (see table above)")
+endif()

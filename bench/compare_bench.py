@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Compare two google-benchmark JSON reports and fail on regression.
+
+Usage:
+    compare_bench.py BASELINE.json CANDIDATE.json [--threshold 0.10]
+
+Compares the real_time of every benchmark present in both files and exits
+non-zero if any benchmark slowed down by more than the threshold (default
+10%). Benchmarks present in only one file are reported but do not fail the
+check (new benchmarks appear, old ones get renamed).
+
+Typical workflow (see README "Benchmark regression workflow"):
+    ./bench/micro_kernels --json=BENCH_baseline.json      # before a change
+    ./bench/micro_kernels --json=BENCH_kernels.json       # after
+    python3 bench/compare_bench.py BENCH_baseline.json BENCH_kernels.json
+
+or via the build system:  cmake --build build --target bench-check
+(which bootstraps the baseline on first run).
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    out = {}
+    for b in doc.get("benchmarks", []):
+        # Skip aggregate rows (mean/median/stddev of repetitions).
+        if b.get("run_type") == "aggregate":
+            continue
+        out[b["name"]] = float(b["real_time"])
+    if not out:
+        sys.exit(f"error: no benchmark entries in {path}")
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline")
+    ap.add_argument("candidate")
+    ap.add_argument("--threshold", type=float, default=0.10,
+                    help="allowed fractional slowdown (default 0.10 = 10%%)")
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    cand = load(args.candidate)
+
+    common = sorted(set(base) & set(cand))
+    only_base = sorted(set(base) - set(cand))
+    only_cand = sorted(set(cand) - set(base))
+
+    if not common:
+        sys.exit("error: the two reports share no benchmark names")
+
+    width = max(len(n) for n in common)
+    regressions = []
+    print(f"{'benchmark':<{width}}  {'baseline':>12}  {'candidate':>12}  delta")
+    for name in common:
+        b, c = base[name], cand[name]
+        delta = (c - b) / b if b > 0 else 0.0
+        flag = ""
+        if delta > args.threshold:
+            regressions.append((name, delta))
+            flag = "  << REGRESSION"
+        print(f"{name:<{width}}  {b:>12.1f}  {c:>12.1f}  {delta:+7.1%}{flag}")
+
+    for name in only_base:
+        print(f"{name:<{width}}  (only in baseline)")
+    for name in only_cand:
+        print(f"{name:<{width}}  (only in candidate)")
+
+    if regressions:
+        print(f"\nFAIL: {len(regressions)} benchmark(s) regressed more than "
+              f"{args.threshold:.0%}:")
+        for name, delta in regressions:
+            print(f"  {name}: {delta:+.1%}")
+        return 1
+    print(f"\nOK: no benchmark regressed more than {args.threshold:.0%} "
+          f"({len(common)} compared)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

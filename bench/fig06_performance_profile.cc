@@ -5,6 +5,7 @@
 // block *ratios* should be in the same ballpark: the back half of the
 // chain dominates).
 #include <chrono>
+#include <utility>
 #include <cstdio>
 
 #include "atr/pipeline.h"
@@ -62,13 +63,13 @@ int main() {
   double t1 = 0, t2 = 0, t3 = 0, t4 = 0;
   for (int r = 0; r < reps; ++r) {
     const auto a = clock::now();
-    const auto s1 = atr::stage_target_detection(frame);
+    auto s1 = atr::stage_target_detection(frame);
     const auto b = clock::now();
-    const auto s2 = atr::stage_fft(s1);
+    auto s2 = atr::stage_fft(std::move(s1));
     const auto c = clock::now();
-    const auto s3 = atr::stage_ifft(s2);
+    auto s3 = atr::stage_ifft(std::move(s2));
     const auto d = clock::now();
-    const auto s4 = atr::stage_compute_distance(s3, {});
+    const auto s4 = atr::stage_compute_distance(std::move(s3), {});
     const auto e = clock::now();
     t1 += ms_between(a, b);
     t2 += ms_between(b, c);

@@ -2,8 +2,15 @@
 // the battery-model steps, the DES engine, the PPP codec, and one full
 // experiment run. These guard the simulator's performance (a 17-hour
 // battery-death run must stay a sub-second simulation).
+//
+// `--json[=path]` (default BENCH_kernels.json) writes the google-benchmark
+// JSON report alongside the console output; bench/compare_bench.py diffs
+// two such reports and fails on regression (see README "Benchmark
+// regression workflow").
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "atr/fft.h"
@@ -140,4 +147,36 @@ BENCHMARK(BM_FullExperiment2C)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Translate `--json[=path]` into google-benchmark's out-file flags before
+  // Initialize() sees the argument list.
+  std::vector<std::string> args;
+  std::string json_path;
+  bool json = false;
+  args.reserve(static_cast<std::size_t>(argc) + 2);
+  for (int i = 0; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strcmp(a, "--json") == 0) {
+      json = true;
+      json_path = "BENCH_kernels.json";
+    } else if (std::strncmp(a, "--json=", 7) == 0) {
+      json = true;
+      json_path = a + 7;
+    } else {
+      args.emplace_back(a);
+    }
+  }
+  if (json) {
+    args.push_back("--benchmark_out=" + json_path);
+    args.emplace_back("--benchmark_out_format=json");
+  }
+  std::vector<char*> argv2;
+  argv2.reserve(args.size());
+  for (auto& s : args) argv2.push_back(s.data());
+  int argc2 = static_cast<int>(argv2.size());
+  ::benchmark::Initialize(&argc2, argv2.data());
+  if (::benchmark::ReportUnrecognizedArguments(argc2, argv2.data())) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

@@ -4,6 +4,7 @@
 //
 //   $ ./atr_pipeline_demo [--targets=3] [--noise=0.05] [--seed=1]
 #include <cstdio>
+#include <utility>
 
 #include "atr/pgm.h"
 #include "atr/pipeline.h"
@@ -46,14 +47,14 @@ int main(int argc, char** argv) {
               static_cast<double>(spec.noise_sigma));
 
   // The four blocks, staged exactly as the distributed pipeline splits them.
-  const auto s1 = atr::stage_target_detection(frame);
+  auto s1 = atr::stage_target_detection(frame);
   std::printf("Target Detection : %zu region(s) of interest\n",
               s1.detections.size());
-  const auto s2 = atr::stage_fft(s1);
+  auto s2 = atr::stage_fft(std::move(s1));
   std::printf("FFT              : %zu spectra of %dx%d\n", s2.spectra.size(),
               s2.spectra.empty() ? 0 : s2.spectra[0].width(),
               s2.spectra.empty() ? 0 : s2.spectra[0].height());
-  const auto s3 = atr::stage_ifft(s2);
+  auto s3 = atr::stage_ifft(std::move(s2));
   std::printf("IFFT             : matched filtering done\n");
 
   const std::string prefix = flags.get_string("dump-prefix");
@@ -68,7 +69,7 @@ int main(int argc, char** argv) {
     }
     std::printf("(wrote PGM dumps with prefix '%s')\n", prefix.c_str());
   }
-  const auto result = atr::stage_compute_distance(s3, {});
+  const auto result = atr::stage_compute_distance(std::move(s3), {});
   std::printf("Compute Distance : %zu recognised target(s)\n\n",
               result.targets.size());
 

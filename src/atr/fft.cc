@@ -15,47 +15,91 @@ std::size_t next_pow2(std::size_t n) {
   return p;
 }
 
-namespace {
-
-void fft_impl(std::vector<Complex>& a, bool inverse) {
-  const std::size_t n = a.size();
+FftPlan::FftPlan(std::size_t n) : n_(n) {
   DESLP_EXPECTS(is_pow2(n));
+  bitrev_.resize(n);
+  bitrev_[0] = 0;
+  for (std::size_t i = 1; i < n; ++i) {
+    // rev(i) from rev(i >> 1): shift right, bring the dropped bit to the top.
+    bitrev_[i] = static_cast<std::uint32_t>(
+        (bitrev_[i >> 1] >> 1) | ((i & 1) ? n >> 1 : 0));
+  }
+  twiddle_.resize(n / 2);
+  twiddle_inv_.resize(n / 2);
+  for (std::size_t k = 0; k < n / 2; ++k) {
+    const double angle = -2.0 * std::numbers::pi * static_cast<double>(k) /
+                         static_cast<double>(n);
+    twiddle_[k] = Complex(std::cos(angle), std::sin(angle));
+    twiddle_inv_[k] = std::conj(twiddle_[k]);
+  }
+}
 
-  // Bit-reversal permutation.
-  for (std::size_t i = 1, j = 0; i < n; ++i) {
-    std::size_t bit = n >> 1;
-    for (; j & bit; bit >>= 1) j ^= bit;
-    j ^= bit;
+void FftPlan::transform(Complex* a, bool inverse) const {
+  const std::size_t n = n_;
+  if (n == 1) return;
+
+  for (std::size_t i = 1; i < n; ++i) {
+    const std::size_t j = bitrev_[i];
     if (i < j) std::swap(a[i], a[j]);
   }
 
+  const Complex* tw = inverse ? twiddle_inv_.data() : twiddle_.data();
   for (std::size_t len = 2; len <= n; len <<= 1) {
-    const double angle = (inverse ? 2.0 : -2.0) * std::numbers::pi /
-                         static_cast<double>(len);
-    const Complex wlen(std::cos(angle), std::sin(angle));
+    const std::size_t half = len / 2;
+    const std::size_t stride = n / len;  // w_len^k == w_n^(k*stride)
     for (std::size_t i = 0; i < n; i += len) {
-      Complex w(1.0, 0.0);
-      for (std::size_t k = 0; k < len / 2; ++k) {
-        const Complex u = a[i + k];
-        const Complex v = a[i + k + len / 2] * w;
-        a[i + k] = u + v;
-        a[i + k + len / 2] = u - v;
-        w *= wlen;
+      Complex* lo = a + i;
+      Complex* hi = lo + half;
+      for (std::size_t k = 0, t = 0; k < half; ++k, t += stride) {
+        const Complex u = lo[k];
+        const Complex v = hi[k] * tw[t];
+        lo[k] = u + v;
+        hi[k] = u - v;
       }
     }
   }
 
   if (inverse) {
     const double inv_n = 1.0 / static_cast<double>(n);
-    for (auto& x : a) x *= inv_n;
+    for (std::size_t i = 0; i < n; ++i) a[i] *= inv_n;
   }
 }
 
-}  // namespace
+const FftPlan& TransformWorkspace::plan(std::size_t n) {
+  auto it = plans_.find(n);
+  if (it == plans_.end()) it = plans_.emplace(n, FftPlan(n)).first;
+  return it->second;
+}
 
-void fft(std::vector<Complex>& data) { fft_impl(data, /*inverse=*/false); }
+std::vector<Complex>& TransformWorkspace::row_scratch(std::size_t n) {
+  if (row_.size() < n) row_.resize(n);
+  return row_;
+}
 
-void ifft(std::vector<Complex>& data) { fft_impl(data, /*inverse=*/true); }
+std::vector<Complex>& TransformWorkspace::col_scratch(std::size_t n) {
+  if (col_.size() < n) col_.resize(n);
+  return col_;
+}
+
+Spectrum& TransformWorkspace::freq_scratch(int width, int height) {
+  freq_.resize(width, height);
+  return freq_;
+}
+
+TransformWorkspace& thread_workspace() {
+  static thread_local TransformWorkspace ws;
+  return ws;
+}
+
+void fft(std::vector<Complex>& data) {
+  thread_workspace().plan(data.size()).transform(data.data(),
+                                                 /*inverse=*/false);
+}
+
+void ifft(std::vector<Complex>& data) {
+  thread_workspace().plan(data.size()).transform(data.data(),
+                                                 /*inverse=*/true);
+}
 
 Spectrum::Spectrum(int width, int height)
     : width_(width),
@@ -63,6 +107,14 @@ Spectrum::Spectrum(int width, int height)
       data_(static_cast<std::size_t>(width) *
             static_cast<std::size_t>(height)) {
   DESLP_EXPECTS(width > 0 && height > 0);
+}
+
+void Spectrum::resize(int width, int height) {
+  DESLP_EXPECTS(width > 0 && height > 0);
+  width_ = width;
+  height_ = height;
+  data_.resize(static_cast<std::size_t>(width) *
+               static_cast<std::size_t>(height));
 }
 
 Complex& Spectrum::at(int x, int y) {
@@ -77,57 +129,134 @@ Complex Spectrum::at(int x, int y) const {
                static_cast<std::size_t>(x)];
 }
 
-Spectrum fft2d(const Image& img) {
-  DESLP_EXPECTS(is_pow2(static_cast<std::size_t>(img.width())));
-  DESLP_EXPECTS(is_pow2(static_cast<std::size_t>(img.height())));
-  Spectrum spec(img.width(), img.height());
-  for (int y = 0; y < img.height(); ++y)
-    for (int x = 0; x < img.width(); ++x)
-      spec.at(x, y) = Complex(static_cast<double>(img.at(x, y)), 0.0);
+namespace {
 
-  // Rows.
-  std::vector<Complex> row(static_cast<std::size_t>(spec.width()));
-  for (int y = 0; y < spec.height(); ++y) {
-    for (int x = 0; x < spec.width(); ++x) row[static_cast<std::size_t>(x)] =
-        spec.at(x, y);
-    fft(row);
-    for (int x = 0; x < spec.width(); ++x) spec.at(x, y) =
-        row[static_cast<std::size_t>(x)];
+/// Column pass shared by the forward and inverse 2-D transforms: gather
+/// each column into contiguous scratch, transform, scatter back.
+void transform_columns(Spectrum& s, TransformWorkspace& ws, bool inverse) {
+  const int w = s.width();
+  const int h = s.height();
+  const FftPlan& plan = ws.plan(static_cast<std::size_t>(h));
+  Complex* col = ws.col_scratch(static_cast<std::size_t>(h)).data();
+  Complex* base = s.data().data();
+  for (int x = 0; x < w; ++x) {
+    Complex* p = base + x;
+    for (int y = 0; y < h; ++y) col[y] = p[static_cast<std::size_t>(y) *
+                                           static_cast<std::size_t>(w)];
+    plan.transform(col, inverse);
+    for (int y = 0; y < h; ++y)
+      p[static_cast<std::size_t>(y) * static_cast<std::size_t>(w)] = col[y];
   }
-  // Columns.
-  std::vector<Complex> col(static_cast<std::size_t>(spec.height()));
-  for (int x = 0; x < spec.width(); ++x) {
-    for (int y = 0; y < spec.height(); ++y) col[static_cast<std::size_t>(y)] =
-        spec.at(x, y);
-    fft(col);
-    for (int y = 0; y < spec.height(); ++y) spec.at(x, y) =
-        col[static_cast<std::size_t>(y)];
-  }
-  return spec;
 }
 
-Image ifft2d(const Spectrum& input) {
-  Spectrum spec = input;
-  std::vector<Complex> row(static_cast<std::size_t>(spec.width()));
-  for (int y = 0; y < spec.height(); ++y) {
-    for (int x = 0; x < spec.width(); ++x) row[static_cast<std::size_t>(x)] =
-        spec.at(x, y);
-    ifft(row);
-    for (int x = 0; x < spec.width(); ++x) spec.at(x, y) =
-        row[static_cast<std::size_t>(x)];
+}  // namespace
+
+void fft2d_into(const Image& img, Spectrum& out, TransformWorkspace& ws) {
+  const int w = img.width();
+  const int h = img.height();
+  DESLP_EXPECTS(is_pow2(static_cast<std::size_t>(w)));
+  DESLP_EXPECTS(is_pow2(static_cast<std::size_t>(h)));
+  out.resize(w, h);
+
+  const FftPlan& row_plan = ws.plan(static_cast<std::size_t>(w));
+  Complex* z = ws.row_scratch(static_cast<std::size_t>(w)).data();
+
+  // Row pass, two real rows per complex transform: pack z = r0 + i*r1,
+  // transform once, and split with the conjugate-symmetry identities
+  //   R0[k] = (Z[k] + conj(Z[n-k])) / 2,  R1[k] = (Z[k] - conj(Z[n-k])) / 2i.
+  int y = 0;
+  for (; y + 1 < h; y += 2) {
+    const float* r0 = img.row(y);
+    const float* r1 = img.row(y + 1);
+    for (int x = 0; x < w; ++x)
+      z[x] = Complex(static_cast<double>(r0[x]), static_cast<double>(r1[x]));
+    row_plan.transform(z, /*inverse=*/false);
+    Complex* o0 = out.row(y);
+    Complex* o1 = out.row(y + 1);
+    o0[0] = Complex(z[0].real(), 0.0);
+    o1[0] = Complex(z[0].imag(), 0.0);
+    for (int k = 1; k < w; ++k) {
+      const Complex zk = z[k];
+      const Complex zc = std::conj(z[w - k]);
+      o0[k] = 0.5 * (zk + zc);
+      const Complex d = zk - zc;  // R1[k] = d / 2i = (im(d) - i*re(d)) / 2
+      o1[k] = Complex(0.5 * d.imag(), -0.5 * d.real());
+    }
   }
-  std::vector<Complex> col(static_cast<std::size_t>(spec.height()));
-  for (int x = 0; x < spec.width(); ++x) {
-    for (int y = 0; y < spec.height(); ++y) col[static_cast<std::size_t>(y)] =
-        spec.at(x, y);
-    ifft(col);
-    for (int y = 0; y < spec.height(); ++y) spec.at(x, y) =
-        col[static_cast<std::size_t>(y)];
+  // Odd leftover row (only for h == 1; heights are powers of two).
+  for (; y < h; ++y) {
+    const float* r0 = img.row(y);
+    for (int x = 0; x < w; ++x)
+      z[x] = Complex(static_cast<double>(r0[x]), 0.0);
+    row_plan.transform(z, /*inverse=*/false);
+    Complex* o0 = out.row(y);
+    for (int x = 0; x < w; ++x) o0[x] = z[x];
   }
-  Image out(spec.width(), spec.height());
-  for (int y = 0; y < spec.height(); ++y)
-    for (int x = 0; x < spec.width(); ++x)
-      out.at(x, y) = static_cast<float>(spec.at(x, y).real());
+
+  transform_columns(out, ws, /*inverse=*/false);
+}
+
+void ifft2d_into(const Spectrum& spec, Image& out, TransformWorkspace& ws) {
+  const int w = spec.width();
+  const int h = spec.height();
+  DESLP_EXPECTS(is_pow2(static_cast<std::size_t>(w)));
+  DESLP_EXPECTS(is_pow2(static_cast<std::size_t>(h)));
+  out.resize(w, h);
+
+  // Column pass first (into the reusable frequency scratch), then real-
+  // output row pairs: for real results a = ifft(A), b = ifft(B), one
+  // transform of Z = A + i*B yields a = Re(z), b = Im(z). The imaginary
+  // residue each row would have discarded lands in its partner instead —
+  // bounded by the same numerical noise (see DESIGN.md).
+  Spectrum& freq = ws.freq_scratch(w, h);
+  freq.data() = spec.data();
+  transform_columns(freq, ws, /*inverse=*/true);
+
+  const FftPlan& row_plan = ws.plan(static_cast<std::size_t>(w));
+  Complex* z = ws.row_scratch(static_cast<std::size_t>(w)).data();
+  int y = 0;
+  for (; y + 1 < h; y += 2) {
+    const Complex* s0 = freq.row(y);
+    const Complex* s1 = freq.row(y + 1);
+    for (int k = 0; k < w; ++k)
+      z[k] = Complex(s0[k].real() - s1[k].imag(),
+                     s0[k].imag() + s1[k].real());  // A[k] + i*B[k]
+    row_plan.transform(z, /*inverse=*/true);
+    float* o0 = out.row(y);
+    float* o1 = out.row(y + 1);
+    for (int x = 0; x < w; ++x) {
+      o0[x] = static_cast<float>(z[x].real());
+      o1[x] = static_cast<float>(z[x].imag());
+    }
+  }
+  for (; y < h; ++y) {
+    const Complex* s0 = freq.row(y);
+    for (int k = 0; k < w; ++k) z[k] = s0[k];
+    row_plan.transform(z, /*inverse=*/true);
+    float* o0 = out.row(y);
+    for (int x = 0; x < w; ++x) o0[x] = static_cast<float>(z[x].real());
+  }
+}
+
+void multiply_into(const Spectrum& a, const Spectrum& b, Spectrum& out) {
+  DESLP_EXPECTS(a.width() == b.width() && a.height() == b.height());
+  out.resize(a.width(), a.height());
+  const Complex* pa = a.data().data();
+  const Complex* pb = b.data().data();
+  Complex* po = out.data().data();
+  const std::size_t n = a.data().size();
+  for (std::size_t i = 0; i < n; ++i) po[i] = pa[i] * pb[i];
+}
+
+Spectrum fft2d(const Image& img) {
+  Spectrum out;
+  fft2d_into(img, out, thread_workspace());
+  return out;
+}
+
+Image ifft2d(const Spectrum& spec) {
+  Image out;
+  ifft2d_into(spec, out, thread_workspace());
   return out;
 }
 

@@ -15,6 +15,14 @@ Image::Image(int width, int height, float fill)
   DESLP_EXPECTS(width > 0 && height > 0);
 }
 
+void Image::resize(int width, int height) {
+  DESLP_EXPECTS(width > 0 && height > 0);
+  width_ = width;
+  height_ = height;
+  data_.resize(static_cast<std::size_t>(width) *
+               static_cast<std::size_t>(height));
+}
+
 float& Image::at(int x, int y) {
   DESLP_EXPECTS(x >= 0 && x < width_ && y >= 0 && y < height_);
   return data_[static_cast<std::size_t>(y) * static_cast<std::size_t>(width_) +

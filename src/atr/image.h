@@ -28,6 +28,20 @@ class Image {
   /// Zero outside the bounds (used by windowed reads near edges).
   [[nodiscard]] float at_or_zero(int x, int y) const;
 
+  /// Unchecked row span: `row(y)[x]` for x < width(). The transform and
+  /// peak-scan loops use these instead of per-element bounds-checked `at`.
+  [[nodiscard]] float* row(int y) {
+    return data_.data() +
+           static_cast<std::size_t>(y) * static_cast<std::size_t>(width_);
+  }
+  [[nodiscard]] const float* row(int y) const {
+    return data_.data() +
+           static_cast<std::size_t>(y) * static_cast<std::size_t>(width_);
+  }
+
+  /// Reshape to width*height, discarding contents (no-op on same shape).
+  void resize(int width, int height);
+
   [[nodiscard]] const std::vector<float>& data() const { return data_; }
   [[nodiscard]] std::vector<float>& data() { return data_; }
 

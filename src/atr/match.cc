@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 #include <mutex>
+#include <shared_mutex>
 #include <utility>
 
 #include "util/check.h"
@@ -11,19 +12,15 @@ namespace deslp::atr {
 
 Spectrum roi_spectrum(const Image& roi) { return fft2d(roi); }
 
-const std::vector<Spectrum>& template_spectra(int roi_size) {
-  DESLP_EXPECTS(is_pow2(static_cast<std::size_t>(roi_size)));
-  DESLP_EXPECTS(roi_size >= template_size());
-  // Guarded: batch runs may fan ATR work across threads, and std::map
-  // find/emplace race otherwise. Node stability keeps returned references
-  // valid after later inserts.
-  static std::mutex cache_mutex;
-  static std::map<int, std::vector<Spectrum>> cache;
-  std::lock_guard<std::mutex> lock(cache_mutex);
-  auto it = cache.find(roi_size);
-  if (it != cache.end()) return it->second;
+namespace {
 
-  std::vector<Spectrum> spectra;
+struct TemplateCacheEntry {
+  std::vector<Spectrum> plain;
+  std::vector<Spectrum> conj;
+};
+
+TemplateCacheEntry build_template_entry(int roi_size) {
+  TemplateCacheEntry entry;
   for (const Image& tmpl : template_bank()) {
     // Embed the template at the origin (wrapped), so correlation peaks land
     // at the target centre.
@@ -35,18 +32,61 @@ const std::vector<Spectrum>& template_spectra(int roi_size) {
         const int py = (y - half + roi_size) % roi_size;
         padded.at(px, py) = tmpl.at(x, y);
       }
-    spectra.push_back(fft2d(padded));
+    Spectrum spec = fft2d(padded);
+    Spectrum conj = spec;
+    for (Complex& c : conj.data()) c = std::conj(c);
+    entry.plain.push_back(std::move(spec));
+    entry.conj.push_back(std::move(conj));
   }
-  return cache.emplace(roi_size, std::move(spectra)).first->second;
+  return entry;
+}
+
+// Batch runs fan ATR work across threads. Steady state is all readers, so
+// lookups take a shared lock; only the first touch of a new ROI size takes
+// the exclusive lock, and the spectra are built outside any lock (a losing
+// racer's copy is discarded by emplace). Node stability of std::map keeps
+// returned references valid across later inserts.
+const TemplateCacheEntry& template_cache(int roi_size) {
+  DESLP_EXPECTS(is_pow2(static_cast<std::size_t>(roi_size)));
+  DESLP_EXPECTS(roi_size >= template_size());
+  static std::shared_mutex cache_mutex;
+  static std::map<int, TemplateCacheEntry> cache;
+  {
+    std::shared_lock lock(cache_mutex);
+    auto it = cache.find(roi_size);
+    if (it != cache.end()) return it->second;
+  }
+  TemplateCacheEntry entry = build_template_entry(roi_size);
+  std::unique_lock lock(cache_mutex);
+  return cache.emplace(roi_size, std::move(entry)).first->second;
+}
+
+}  // namespace
+
+const std::vector<Spectrum>& template_spectra(int roi_size) {
+  return template_cache(roi_size).plain;
+}
+
+const std::vector<Spectrum>& template_spectra_conj(int roi_size) {
+  return template_cache(roi_size).conj;
+}
+
+MatchScratch& thread_match_scratch() {
+  static thread_local MatchScratch scratch;
+  return scratch;
 }
 
 Image correlation_surface(const Spectrum& roi_spec, int template_id) {
-  const auto& spectra = template_spectra(roi_spec.width());
+  const auto& conj = template_spectra_conj(roi_spec.width());
   DESLP_EXPECTS(template_id >= 0 &&
-                template_id < static_cast<int>(spectra.size()));
+                template_id < static_cast<int>(conj.size()));
   DESLP_EXPECTS(roi_spec.width() == roi_spec.height());
-  return ifft2d(multiply_conj(
-      roi_spec, spectra[static_cast<std::size_t>(template_id)]));
+  MatchScratch& s = thread_match_scratch();
+  multiply_into(roi_spec, conj[static_cast<std::size_t>(template_id)],
+                s.product);
+  Image out;
+  ifft2d_into(s.product, out, s.ws);
+  return out;
 }
 
 PeakRefinement refine_peak(const Image& surface, int x, int y) {
@@ -84,34 +124,54 @@ PeakRefinement refine_peak(const Image& surface, int x, int y) {
   return r;
 }
 
-MatchResult best_match(const Spectrum& roi_spec) {
-  const auto& spectra = template_spectra(roi_spec.width());
-  MatchResult best;
-  Image best_surface;
-  for (int t = 0; t < static_cast<int>(spectra.size()); ++t) {
-    Image corr = correlation_surface(roi_spec, t);
-    bool improved = false;
-    for (int y = 0; y < corr.height(); ++y)
-      for (int x = 0; x < corr.width(); ++x) {
-        const double v = static_cast<double>(corr.at(x, y));
-        if (v > best.score) {
-          best.score = v;
-          best.template_id = t;
-          best.peak_x = x;
-          best.peak_y = y;
-          improved = true;
-        }
+bool scan_correlation_peak(const Image& surface, int template_id,
+                           MatchResult& best) {
+  bool improved = false;
+  const int w = surface.width();
+  for (int y = 0; y < surface.height(); ++y) {
+    const float* row = surface.row(y);
+    for (int x = 0; x < w; ++x) {
+      const double v = static_cast<double>(row[x]);
+      if (v > best.score) {
+        best.score = v;
+        best.template_id = template_id;
+        best.peak_x = x;
+        best.peak_y = y;
+        improved = true;
       }
-    if (improved) best_surface = std::move(corr);
+    }
   }
-  if (best.template_id >= 0) {
-    const PeakRefinement r =
-        refine_peak(best_surface, best.peak_x, best.peak_y);
-    best.refined_x = best.peak_x + r.dx;
-    best.refined_y = best.peak_y + r.dy;
-    best.refined_score = r.value;
+  return improved;
+}
+
+void apply_refinement(MatchResult& best, const Image& surface) {
+  if (best.template_id < 0) return;
+  const PeakRefinement r = refine_peak(surface, best.peak_x, best.peak_y);
+  best.refined_x = best.peak_x + r.dx;
+  best.refined_y = best.peak_y + r.dy;
+  best.refined_score = r.value;
+}
+
+MatchResult best_match(const Spectrum& roi_spec, MatchScratch& scratch) {
+  const auto& conj = template_spectra_conj(roi_spec.width());
+  DESLP_EXPECTS(roi_spec.width() == roi_spec.height());
+  MatchResult best;
+  for (int t = 0; t < static_cast<int>(conj.size()); ++t) {
+    multiply_into(roi_spec, conj[static_cast<std::size_t>(t)],
+                  scratch.product);
+    ifft2d_into(scratch.product, scratch.surface, scratch.ws);
+    // Keep the winning surface for refinement without re-running an IFFT:
+    // swap it into best_surface and let the next template overwrite the
+    // loser.
+    if (scan_correlation_peak(scratch.surface, t, best))
+      std::swap(scratch.surface, scratch.best_surface);
   }
+  apply_refinement(best, scratch.best_surface);
   return best;
+}
+
+MatchResult best_match(const Spectrum& roi_spec) {
+  return best_match(roi_spec, thread_match_scratch());
 }
 
 }  // namespace deslp::atr

@@ -37,16 +37,49 @@ struct PeakRefinement {
 };
 [[nodiscard]] PeakRefinement refine_peak(const Image& surface, int x, int y);
 
+/// Peak scan over one correlation surface: raise `best` wherever `surface`
+/// beats its score, tagging hits with `template_id`. Returns true if `best`
+/// improved. Shared by `best_match` and the staged pipeline's block 4.
+bool scan_correlation_peak(const Image& surface, int template_id,
+                           MatchResult& best);
+
+/// Fill in the refined_* fields of `best` from its peak's surface (no-op if
+/// nothing matched).
+void apply_refinement(MatchResult& best, const Image& surface);
+
 /// FFT block: spectrum of the ROI. Exposed separately because the
 /// distributed pipeline can split between the FFT and IFFT blocks (Fig. 8,
 /// scheme 3), shipping the spectrum over the wire.
 [[nodiscard]] Spectrum roi_spectrum(const Image& roi);
 
-/// Spectra of the template bank, padded to `roi_size` (cached per size).
+/// Spectra of the template bank, padded to `roi_size` (cached per size,
+/// readable concurrently).
 [[nodiscard]] const std::vector<Spectrum>& template_spectra(int roi_size);
 
+/// The same spectra pre-conjugated, so the matched-filter product is a
+/// plain pointwise multiply with no `std::conj` on the hot path.
+[[nodiscard]] const std::vector<Spectrum>& template_spectra_conj(int roi_size);
+
+/// Reusable scratch for the matched filter: FFT workspace plus the product
+/// spectrum and the two correlation surfaces `best_match` ping-pongs
+/// between. One per thread; every correlate-and-scan is allocation-free
+/// once warm.
+struct MatchScratch {
+  TransformWorkspace ws;
+  Spectrum roi_spec;
+  Spectrum product;
+  Image surface;
+  Image best_surface;
+};
+
+/// The calling thread's scratch (created on first use).
+[[nodiscard]] MatchScratch& thread_match_scratch();
+
 /// IFFT block + peak scan: correlate `roi_spec` against every template and
-/// return the best match.
+/// return the best match. The scratch-less overload uses the calling
+/// thread's scratch.
+[[nodiscard]] MatchResult best_match(const Spectrum& roi_spec,
+                                     MatchScratch& scratch);
 [[nodiscard]] MatchResult best_match(const Spectrum& roi_spec);
 
 /// Correlation surface against one template (for inspection/tests).

@@ -1,5 +1,7 @@
 #include "atr/pipeline.h"
 
+#include <utility>
+
 namespace deslp::atr {
 
 Stage1Output stage_target_detection(const Image& frame, const AtrOptions& o) {
@@ -11,67 +13,71 @@ Stage1Output stage_target_detection(const Image& frame, const AtrOptions& o) {
   return out;
 }
 
-Stage2Output stage_fft(const Stage1Output& in) {
+Stage2Output stage_fft(Stage1Output in) {
   Stage2Output out;
-  out.detections = in.detections;
+  out.detections = std::move(in.detections);
   out.spectra.reserve(in.rois.size());
-  for (const auto& roi : in.rois) out.spectra.push_back(roi_spectrum(roi));
+  TransformWorkspace& ws = thread_workspace();
+  for (const auto& roi : in.rois) {
+    Spectrum spec;
+    fft2d_into(roi, spec, ws);
+    out.spectra.push_back(std::move(spec));
+  }
   return out;
 }
 
-Stage3Output stage_ifft(const Stage2Output& in) {
+Stage3Output stage_ifft(Stage2Output in) {
   Stage3Output out;
-  out.detections = in.detections;
+  out.detections = std::move(in.detections);
   out.surfaces.reserve(in.spectra.size());
-  const int templates =
-      static_cast<int>(template_bank().size());
+  const int templates = static_cast<int>(template_bank().size());
+  MatchScratch& s = thread_match_scratch();
   for (const auto& spec : in.spectra) {
+    const auto& conj = template_spectra_conj(spec.width());
     std::vector<Image> per_template;
     per_template.reserve(static_cast<std::size_t>(templates));
-    for (int t = 0; t < templates; ++t)
-      per_template.push_back(correlation_surface(spec, t));
+    for (int t = 0; t < templates; ++t) {
+      multiply_into(spec, conj[static_cast<std::size_t>(t)], s.product);
+      Image surface;
+      ifft2d_into(s.product, surface, s.ws);
+      per_template.push_back(std::move(surface));
+    }
     out.surfaces.push_back(std::move(per_template));
   }
   return out;
 }
 
-AtrResult stage_compute_distance(const Stage3Output& in, const AtrOptions& o) {
+AtrResult stage_compute_distance(Stage3Output in, const AtrOptions& o) {
   AtrResult out;
   for (std::size_t i = 0; i < in.surfaces.size(); ++i) {
-    // Peak scan across every template's correlation surface.
     MatchResult best;
-    for (int t = 0; t < static_cast<int>(in.surfaces[i].size()); ++t) {
-      const Image& corr = in.surfaces[i][static_cast<std::size_t>(t)];
-      for (int y = 0; y < corr.height(); ++y)
-        for (int x = 0; x < corr.width(); ++x) {
-          const double v = static_cast<double>(corr.at(x, y));
-          if (v > best.score) {
-            best.score = v;
-            best.template_id = t;
-            best.peak_x = x;
-            best.peak_y = y;
-          }
-        }
-    }
-    if (best.template_id >= 0) {
-      const PeakRefinement r = refine_peak(
-          in.surfaces[i][static_cast<std::size_t>(best.template_id)],
-          best.peak_x, best.peak_y);
-      best.refined_x = best.peak_x + r.dx;
-      best.refined_y = best.peak_y + r.dy;
-      best.refined_score = r.value;
-    }
+    for (int t = 0; t < static_cast<int>(in.surfaces[i].size()); ++t)
+      scan_correlation_peak(in.surfaces[i][static_cast<std::size_t>(t)], t,
+                            best);
+    if (best.template_id >= 0)
+      apply_refinement(
+          best, in.surfaces[i][static_cast<std::size_t>(best.template_id)]);
     const DistanceEstimate est = estimate_distance(best, o.distance);
     if (est.confidence <= 0.0) continue;  // matched nothing but noise
-    out.targets.push_back(AtrTarget{in.detections[i], best, est});
+    out.targets.push_back(
+        AtrTarget{std::move(in.detections[i]), best, est});
   }
   return out;
 }
 
 AtrResult run_atr(const Image& frame, const AtrOptions& o) {
-  return stage_compute_distance(stage_ifft(stage_fft(
-                                    stage_target_detection(frame, o))),
-                                o);
+  Stage1Output s1 = stage_target_detection(frame, o);
+  AtrResult out;
+  MatchScratch& s = thread_match_scratch();
+  for (std::size_t i = 0; i < s1.rois.size(); ++i) {
+    fft2d_into(s1.rois[i], s.roi_spec, s.ws);
+    const MatchResult best = best_match(s.roi_spec, s);
+    const DistanceEstimate est = estimate_distance(best, o.distance);
+    if (est.confidence <= 0.0) continue;
+    out.targets.push_back(
+        AtrTarget{std::move(s1.detections[i]), best, est});
+  }
+  return out;
 }
 
 }  // namespace deslp::atr

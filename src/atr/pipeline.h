@@ -49,14 +49,21 @@ struct AtrOptions {
   DistanceOptions distance;
 };
 
+// Stages 2-4 take their input by value and move the detection list through
+// each hop, so the per-frame detection metadata exists once instead of
+// being copied at every block boundary. Callers that are done with a stage
+// output pass `std::move(s)`; passing an lvalue still works (and copies).
 [[nodiscard]] Stage1Output stage_target_detection(const Image& frame,
                                                   const AtrOptions& o = {});
-[[nodiscard]] Stage2Output stage_fft(const Stage1Output& in);
-[[nodiscard]] Stage3Output stage_ifft(const Stage2Output& in);
-[[nodiscard]] AtrResult stage_compute_distance(const Stage3Output& in,
+[[nodiscard]] Stage2Output stage_fft(Stage1Output in);
+[[nodiscard]] Stage3Output stage_ifft(Stage2Output in);
+[[nodiscard]] AtrResult stage_compute_distance(Stage3Output in,
                                                const AtrOptions& o = {});
 
-/// All four blocks locally.
+/// All four blocks locally. Fuses the IFFT block with the peak scan: each
+/// detection x template pair streams through one thread-local scratch
+/// surface instead of materializing every correlation surface, but computes
+/// the same transforms in the same order as the staged path.
 [[nodiscard]] AtrResult run_atr(const Image& frame, const AtrOptions& o = {});
 
 }  // namespace deslp::atr

@@ -45,6 +45,16 @@ class Battery {
   /// off at zero load.
   [[nodiscard]] virtual Seconds time_to_empty(Amps i) const = 0;
 
+  /// Would drawing constant current `i` for `dt` leave the battery alive?
+  /// Equivalent to `time_to_empty(i) >= dt` but overridable: the iterative
+  /// models (KiBaM, Rakhmatov) answer with a single closed-form evaluation
+  /// — the same predicate their discharge fast path uses — instead of
+  /// running time_to_empty's bracketing bisection. Hot path for the
+  /// simulator's per-message death prechecks.
+  [[nodiscard]] virtual bool can_sustain(Amps i, Seconds dt) const {
+    return time_to_empty(i) >= dt;
+  }
+
   /// Nominal (low-rate) charge remaining; a diagnostic, not a promise of
   /// deliverable charge at high rates.
   [[nodiscard]] virtual Coulombs nominal_remaining() const = 0;

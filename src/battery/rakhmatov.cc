@@ -47,6 +47,15 @@ class RakhmatovBattery final : public Battery {
     return dead_ || sigma() >= params_.alpha.value();
   }
 
+  [[nodiscard]] bool can_sustain(Amps i, Seconds dt) const override {
+    DESLP_EXPECTS(i.value() >= 0.0);
+    DESLP_EXPECTS(dt.value() >= 0.0);
+    if (empty()) return dt.value() == 0.0;
+    // One sigma evaluation — the same predicate discharge's fast path uses
+    // — instead of time_to_empty's bracketing bisection.
+    return sigma_at(i.value(), dt.value()) < params_.alpha.value();
+  }
+
   [[nodiscard]] Seconds time_to_empty(Amps i) const override {
     DESLP_EXPECTS(i.value() >= 0.0);
     if (empty()) return seconds(0.0);
@@ -114,14 +123,27 @@ class RakhmatovBattery final : public Battery {
     return s;
   }
 
+  // The m-th series term decays as exp(-β²m²t) = d^(m²) with d = exp(-β²t).
+  // Since m² = (m-1)² + (2m-1), the whole ladder follows from one exp:
+  //   decay_m = decay_{m-1} * d^(2m-1),  d^(2m+1) = d^(2m-1) * d².
+  // This sits inside time_to_empty's bracketing bisection, so trading ten
+  // libm exp calls per evaluation for one compounds across the run. The
+  // products drift from the direct exponentials by only a few ulps (pinned
+  // by RakhmatovBattery.OneExpMatchesDirectExp).
+
   /// sigma after hypothetically drawing `current` for `t` more seconds.
   /// (Non-const scratch use on a copy; does not mutate *this's caller state.)
   [[nodiscard]] double sigma_at(double current, double t) const {
     double s = delivered_ + current * t;
     const double b2 = params_.beta_squared;
+    const double d = std::exp(-b2 * t);
+    const double d2 = d * d;
+    double odd = d;      // d^(2m-1)
+    double decay = 1.0;  // becomes d^(m²)
     for (std::size_t m = 1; m <= a_.size(); ++m) {
+      decay *= odd;
+      odd *= d2;
       const double rate = b2 * static_cast<double>(m) * static_cast<double>(m);
-      const double decay = std::exp(-rate * t);
       const double a = a_[m - 1] * decay + current * (1.0 - decay) / rate;
       s += 2.0 * a;
     }
@@ -130,9 +152,14 @@ class RakhmatovBattery final : public Battery {
 
   void advance(double current, double t) {
     const double b2 = params_.beta_squared;
+    const double d = std::exp(-b2 * t);
+    const double d2 = d * d;
+    double odd = d;
+    double decay = 1.0;
     for (std::size_t m = 1; m <= a_.size(); ++m) {
+      decay *= odd;
+      odd *= d2;
       const double rate = b2 * static_cast<double>(m) * static_cast<double>(m);
-      const double decay = std::exp(-rate * t);
       a_[m - 1] = a_[m - 1] * decay + current * (1.0 - decay) / rate;
     }
     delivered_ += current * t;

@@ -78,17 +78,21 @@ sim::ValueTask<bool> Node::send(net::Message msg, int level) {
   const Amps current = config_.cpu->current(cpu::Mode::kComm, level);
   const Seconds expected =
       hub_.expected_wire_time(config_.address, msg.size);
-  if (battery_->time_to_empty(current) < expected) {
+  if (!battery_->can_sustain(current, expected)) {
     const bool survived = co_await busy(cpu::Mode::kComm, level, expected,
                                         "SEND", "died mid-send");
     DESLP_ENSURES(!survived);
     co_return false;
   }
   const Seconds wire_time = hub_.begin_send(msg);
-  co_return co_await busy(
-      cpu::Mode::kComm, level, wire_time, "SEND",
-      std::string(net::msg_kind_name(msg.kind)) + "->" +
-          std::to_string(msg.dst));
+  // Built ahead of the co_await (and only when a trace wants it): the
+  // string was one of the per-message allocations on the no-trace path.
+  std::string detail;
+  if (trace_.recording())
+    detail = std::string(net::msg_kind_name(msg.kind)) + "->" +
+             std::to_string(msg.dst);
+  co_return co_await busy(cpu::Mode::kComm, level, wire_time, "SEND",
+                          std::move(detail));
 }
 
 sim::ValueTask<std::optional<net::Message>> Node::recv(int idle_level,
@@ -99,23 +103,19 @@ sim::ValueTask<std::optional<net::Message>> Node::recv(int idle_level,
   // Idle-wait for a delivery, with a death watch: if the battery would
   // empty under idle current before anything arrives, the node dies at
   // exactly that moment (the watch closes the mailbox via the hub, which
-  // wakes this coroutine).
+  // wakes this coroutine). The watch is staged: most waits end within
+  // milliseconds while the battery has hours left, so rather than running
+  // the full time_to_empty bisection on every recv, probe in geometrically
+  // growing horizons with one closed-form can_sustain check each — the
+  // exact death time is only computed once the death is bracketed. Battery
+  // state cannot change while the wait is armed (this coroutine drains only
+  // after waking), so the late computation lands on the identical instant.
   const sim::Time wait_start = engine_.now();
   const Amps idle_current =
       config_.cpu->current(cpu::Mode::kIdle, idle_level);
-  const Seconds idle_tte = battery_->time_to_empty(idle_current);
-  sim::EventHandle death_watch;
-  // Cap at ~3 simulated years: beyond that the watch cannot fire within
-  // any experiment, and the nanosecond clock would overflow.
-  if (idle_tte.value() < 1e8) {
-    death_watch = engine_.schedule_after(
-        sim::from_seconds(idle_tte), [this, idle_level, idle_current,
-                                      idle_tte] {
-          drain(cpu::Mode::kIdle, idle_level, idle_current, idle_tte,
-                "IDLE", "idle until battery death");
-          die("idle");
-        });
-  }
+  auto watch = std::make_shared<IdleWatch>(
+      IdleWatch{idle_level, idle_current, wait_start, {}});
+  arm_idle_watch(watch, 60.0);
 
   std::optional<net::Delivery> delivery;
   if (timeout.value() > 0.0) {
@@ -123,7 +123,7 @@ sim::ValueTask<std::optional<net::Message>> Node::recv(int idle_level,
   } else {
     delivery = co_await mailbox_.recv();
   }
-  death_watch.cancel();
+  watch->handle.cancel();
   if (!alive_) co_return std::nullopt;
 
   // Account the idle time actually spent waiting.
@@ -136,13 +136,46 @@ sim::ValueTask<std::optional<net::Message>> Node::recv(int idle_level,
   if (!delivery) co_return std::nullopt;  // timeout or mailbox closed
 
   // Read the transaction off the wire.
-  const bool ok =
-      co_await busy(cpu::Mode::kComm, comm_level, delivery->wire_time,
-                    "RECV",
-                    std::string(net::msg_kind_name(delivery->msg.kind)) +
-                        "<-" + std::to_string(delivery->msg.src));
+  std::string detail;
+  if (trace_.recording())
+    detail = std::string(net::msg_kind_name(delivery->msg.kind)) + "<-" +
+             std::to_string(delivery->msg.src);
+  const bool ok = co_await busy(cpu::Mode::kComm, comm_level,
+                                delivery->wire_time, "RECV",
+                                std::move(detail));
   if (!ok) co_return std::nullopt;
   co_return delivery->msg;
+}
+
+void Node::arm_idle_watch(const std::shared_ptr<IdleWatch>& watch,
+                          double horizon) {
+  // Cap at ~3 simulated years: beyond that the watch cannot fire within
+  // any experiment, and the nanosecond clock would overflow.
+  constexpr double kCap = 1e8;
+  if (battery_->can_sustain(watch->current, seconds(horizon))) {
+    if (horizon >= kCap) {
+      watch->handle = {};
+      return;
+    }
+    watch->handle = engine_.schedule_at(
+        watch->start + sim::from_seconds(seconds(horizon)),
+        [this, watch, horizon] {
+          if (!alive_) return;
+          arm_idle_watch(watch, horizon * 16.0);
+        });
+    return;
+  }
+  // Death is bracketed inside this horizon: one bisection, posted exactly.
+  const Seconds tte = battery_->time_to_empty(watch->current);
+  sim::Time death_at = watch->start + sim::from_seconds(tte);
+  // Bisection rounding can land a hair before the probe that bracketed it.
+  if (death_at < engine_.now()) death_at = engine_.now();
+  watch->handle = engine_.schedule_at(death_at, [this, watch, tte] {
+    if (!alive_) return;
+    drain(cpu::Mode::kIdle, watch->level, watch->current, tte, "IDLE",
+          "idle until battery death");
+    die("idle");
+  });
 }
 
 sim::ValueTask<bool> Node::idle(int level, Seconds duration,

@@ -77,11 +77,28 @@ class Node {
   [[nodiscard]] net::Hub& hub() { return hub_; }
 
  private:
+  /// Shared state between a recv idle-wait and its staged death-watch
+  /// probes. `handle` always points at the watch's single outstanding
+  /// event (probe or death); the wait cancels it on wake so a stale probe
+  /// can neither fire nor advance the clock when the queue drains.
+  struct IdleWatch {
+    int level = 0;
+    Amps current;
+    sim::Time start;
+    sim::EventHandle handle;
+  };
+
   void die(const std::string& reason);
   /// Drain `current` for `dt` (no simulated time passes here); returns the
   /// sustained duration and kills the node when the battery empties.
   Seconds drain(cpu::Mode mode, int level, Amps current, Seconds dt,
                 const char* kind, const std::string& detail);
+  /// Arm one stage of the idle death watch: if the battery sustains idle
+  /// draw to `horizon` seconds past the wait start, post a probe there that
+  /// re-arms at 16x the horizon; otherwise compute the exact death time
+  /// (the only time_to_empty bisection of the whole wait) and post it.
+  void arm_idle_watch(const std::shared_ptr<IdleWatch>& watch,
+                      double horizon);
   /// Account a pending DVS transition to `level` (PLL relock cost).
   Seconds switch_cost(int level);
 

@@ -169,9 +169,14 @@ sim::ValueTask<bool> PipelineSystem::process_and_forward(Node& node,
     // §5.4 post-migration: the survivor runs the entire chain.
     const auto& lv = config_.migrated_levels;
     const Cycles whole = config_.profile->total_work() * work_scale(frame);
+    // Detail strings are built ahead of the co_await and only when a trace
+    // wants them: they were a per-frame allocation on the no-trace path.
+    std::string detail;
+    if (trace_.recording())
+      detail = "whole chain, frame " + std::to_string(frame);
     if (!co_await node.busy(cpu::Mode::kComp, lv.comp_level,
                             node.cpu().time_for(whole, lv.comp_level), "PROC",
-                            "whole chain, frame " + std::to_string(frame)))
+                            std::move(detail)))
       co_return false;
     net::Message out;
     out.dst = net::kHostAddress;
@@ -184,13 +189,15 @@ sim::ValueTask<bool> PipelineSystem::process_and_forward(Node& node,
 
   const auto& lv = levels_of(st.role);
   const int proc_level = comp_level_for(st.role, frame);
+  std::string detail;
+  if (trace_.recording())
+    detail =
+        "stage " + std::to_string(st.role) + ", frame " + std::to_string(frame);
   if (!co_await node.busy(
           cpu::Mode::kComp, proc_level,
           node.cpu().time_for(stage_work(st.role) * work_scale(frame),
                               proc_level),
-          "PROC",
-          "stage " + std::to_string(st.role) + ", frame " +
-              std::to_string(frame)))
+          "PROC", std::move(detail)))
     co_return false;
 
   const long long rotation = config_.rotation_period;
@@ -204,13 +211,15 @@ sim::ValueTask<bool> PipelineSystem::process_and_forward(Node& node,
     const int next = st.role + 1;
     const auto& lv2 = levels_of(next);
     const int next_level = comp_level_for(next, frame);
+    std::string rotation_detail;
+    if (trace_.recording())
+      rotation_detail = "rotation: stage " + std::to_string(next) +
+                        ", frame " + std::to_string(frame);
     if (!co_await node.busy(
             cpu::Mode::kComp, next_level,
             node.cpu().time_for(stage_work(next) * work_scale(frame),
                                 next_level),
-            "PROC",
-            "rotation: stage " + std::to_string(next) + ", frame " +
-                std::to_string(frame)))
+            "PROC", std::move(rotation_detail)))
       co_return false;
     st.role = next;
     st.era += 1;

@@ -61,7 +61,7 @@ Seconds Hub::begin_send(const Message& msg) {
   // Cut-through: the receiver's window opens one forward latency later.
   sim::Channel<Delivery>* mailbox = dst->mailbox.get();
   const Message delivered = msg;
-  engine_.schedule_after(
+  engine_.post_after(
       sim::from_seconds(forward_latency_), [this, mailbox, delivered,
                                             wire_time] {
         // Re-check failure at delivery time: the destination may have died

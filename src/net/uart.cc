@@ -30,7 +30,7 @@ void Uart::transmit(const std::vector<std::uint8_t>& bytes) {
   sim::Time at = idle_at();
   for (std::uint8_t b : bytes) {
     at = at + per_byte;
-    engine_.schedule_at(at, [this, b] { on_receive_(b); });
+    engine_.post_at(at, [this, b] { on_receive_(b); });
     ++bytes_sent_;
   }
   tx_free_ = at;

@@ -97,7 +97,7 @@ class Channel {
 
   void complete(Waiter* w) {
     w->timer.cancel();
-    engine_->schedule_after(Dur{0}, [w] { w->handle.resume(); });
+    engine_->post_after(Dur{0}, [w] { w->handle.resume(); });
   }
 
   void remove_waiter(Waiter* w) {

@@ -11,6 +11,11 @@ EventHandle Engine::schedule_at(Time at, std::function<void()> fn) {
   return EventHandle{cancelled};
 }
 
+void Engine::post_at(Time at, std::function<void()> fn) {
+  DESLP_EXPECTS(at >= now_);
+  queue_.push(Entry{at, next_seq_++, std::move(fn), nullptr});
+}
+
 void Engine::spawn(Task task) {
   DESLP_EXPECTS(task.valid());
   processes_.push_back(std::move(task));
@@ -19,9 +24,11 @@ void Engine::spawn(Task task) {
 
 bool Engine::step() {
   while (!queue_.empty()) {
-    Entry e = queue_.top();
+    // Moving out of top() is safe: pop() only destroys the moved-from
+    // entry, and the heap is not otherwise touched in between.
+    Entry e = std::move(const_cast<Entry&>(queue_.top()));
     queue_.pop();
-    if (*e.cancelled) continue;
+    if (e.cancelled && *e.cancelled) continue;
     DESLP_ENSURES(e.at >= now_);
     now_ = e.at;
     e.fn();
@@ -41,11 +48,12 @@ Time Engine::run_until(Time deadline) {
   stop_requested_ = false;
   while (!stop_requested_ && !queue_.empty()) {
     // Skip cancelled entries without advancing the clock.
-    if (*queue_.top().cancelled) {
+    const Entry& top = queue_.top();
+    if (top.cancelled && *top.cancelled) {
       queue_.pop();
       continue;
     }
-    if (queue_.top().at > deadline) break;
+    if (top.at > deadline) break;
     step();
   }
   // Whether the queue drained or the next event lies past the deadline,

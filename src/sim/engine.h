@@ -61,6 +61,15 @@ class Engine {
     return schedule_at(now_ + d, std::move(fn));
   }
 
+  /// Fire-and-forget variants: same ordering guarantees as schedule_at /
+  /// schedule_after, but no cancellation token is allocated. Most events
+  /// (coroutine wakeups, transfer completions) are never cancelled, and the
+  /// shared_ptr<bool> per event was a measurable share of hot-loop time.
+  void post_at(Time at, std::function<void()> fn);
+  void post_after(Dur d, std::function<void()> fn) {
+    post_at(now_ + d, std::move(fn));
+  }
+
   /// Hand a top-level process to the engine. It starts immediately (runs
   /// until its first suspension) and is owned by the engine.
   void spawn(Task task);
@@ -84,7 +93,7 @@ class Engine {
       Dur dur;
       bool await_ready() const noexcept { return dur.nanos() <= 0; }
       void await_suspend(std::coroutine_handle<> h) {
-        engine->schedule_after(dur, [h] { h.resume(); });
+        engine->post_after(dur, [h] { h.resume(); });
       }
       void await_resume() const noexcept {}
     };

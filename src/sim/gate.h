@@ -20,7 +20,7 @@ class Gate {
     if (open_) return;
     open_ = true;
     for (auto h : waiters_)
-      engine_->schedule_after(Dur{0}, [h] { h.resume(); });
+      engine_->post_after(Dur{0}, [h] { h.resume(); });
     waiters_.clear();
   }
 

@@ -2,6 +2,9 @@
 
 #include <cmath>
 #include <complex>
+#include <numbers>
+#include <thread>
+#include <vector>
 
 #include "atr/detect.h"
 #include "atr/distance.h"
@@ -177,6 +180,66 @@ TEST(Fft2d, MultiplyConjIsCrossCorrelation) {
   EXPECT_EQ(py, 3);
 }
 
+// O(n^2) direct DFT: the textbook definition, used as the accuracy reference
+// for the fast transforms. Reduces the phase index mod n so the angle stays
+// in [0, 2*pi) and the reference itself carries no accumulated-phase error.
+std::vector<Complex> direct_dft(const std::vector<Complex>& in, bool inverse) {
+  const std::size_t n = in.size();
+  std::vector<Complex> out(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    Complex acc(0, 0);
+    for (std::size_t j = 0; j < n; ++j) {
+      const double ang = (inverse ? 2.0 : -2.0) * std::numbers::pi *
+                         static_cast<double>((j * k) % n) /
+                         static_cast<double>(n);
+      acc += in[j] * Complex(std::cos(ang), std::sin(ang));
+    }
+    out[k] = inverse ? acc / static_cast<double>(n) : acc;
+  }
+  return out;
+}
+
+TEST(Fft, MatchesDirectDft) {
+  Rng rng(77);
+  std::vector<Complex> data(256);
+  for (auto& c : data) c = Complex(rng.uniform(-1, 1), rng.uniform(-1, 1));
+  const auto ref_fwd = direct_dft(data, false);
+  auto fwd = data;
+  fft(fwd);
+  for (std::size_t i = 0; i < data.size(); ++i)
+    EXPECT_NEAR(std::abs(fwd[i] - ref_fwd[i]), 0.0, 1e-11) << "bin " << i;
+  const auto ref_inv = direct_dft(ref_fwd, true);
+  auto inv = fwd;
+  ifft(inv);
+  for (std::size_t i = 0; i < data.size(); ++i)
+    EXPECT_NEAR(std::abs(inv[i] - ref_inv[i]), 0.0, 1e-11) << "bin " << i;
+}
+
+TEST(Fft, LargeTransformStaysAccurate) {
+  // Accuracy guard for the precomputed twiddle tables. The previous
+  // butterfly generated twiddles with the `w *= wlen` recurrence, whose
+  // rounding error compounds with log2(n): at n=4096 it sat at ~6e-12
+  // against the direct DFT, while the table-driven transform stays at
+  // ~6e-13. The 1e-12 bound separates the two implementations.
+  Rng rng(77);
+  std::vector<Complex> data(4096);
+  for (auto& c : data) c = Complex(rng.uniform(-1, 1), rng.uniform(-1, 1));
+  const auto ref = direct_dft(data, false);
+  auto got = data;
+  fft(got);
+  double max_err = 0.0;
+  for (std::size_t i = 0; i < data.size(); ++i)
+    max_err = std::max(max_err, std::abs(got[i] - ref[i]));
+  EXPECT_LT(max_err, 1e-12);
+
+  // Round trip at the same size: forward+inverse error is of the same order.
+  ifft(got);
+  double rt_err = 0.0;
+  for (std::size_t i = 0; i < data.size(); ++i)
+    rt_err = std::max(rt_err, std::abs(got[i] - data[i]));
+  EXPECT_LT(rt_err, 1e-12);
+}
+
 // --- detection --------------------------------------------------------------------
 
 TEST(Detect, FindsPlantedTargets) {
@@ -262,6 +325,52 @@ TEST(Match, PeakNearRoiCenter) {
   // the ROI centre (16, 16).
   EXPECT_NEAR(m.peak_x, 16, 3);
   EXPECT_NEAR(m.peak_y, 16, 3);
+}
+
+TEST(Match, TemplateCacheConcurrentFirstTouch) {
+  // Cache-stampede check: many threads first-touch the same previously
+  // unused ROI size at once. Every thread must come back with a reference
+  // to the one cached entry (the map keeps the first insertion; losers'
+  // copies are discarded), and matching through the cache must work while
+  // the entry is being raced into existence. Run under
+  // -DDESLP_SANITIZE=thread this also proves the shared_mutex read path.
+  constexpr int kRoiSize = 64;  // no other test requests 64
+  constexpr int kThreads = 8;
+  std::vector<const std::vector<Spectrum>*> plain(kThreads, nullptr);
+  std::vector<const std::vector<Spectrum>*> conj(kThreads, nullptr);
+  std::vector<MatchResult> results(kThreads);
+
+  Rng rng(71);
+  Image roi(kRoiSize, kRoiSize);
+  roi.add_gaussian_noise(rng, 0.05f);
+  roi.at(kRoiSize / 2, kRoiSize / 2) = 4.0f;
+
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      plain[t] = &template_spectra(kRoiSize);
+      conj[t] = &template_spectra_conj(kRoiSize);
+      results[t] = best_match(roi_spectrum(roi));
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(plain[t], plain[0]);
+    EXPECT_EQ(conj[t], conj[0]);
+    EXPECT_EQ(results[t].template_id, results[0].template_id);
+    EXPECT_DOUBLE_EQ(results[t].score, results[0].score);
+  }
+  // The conjugate bank really is the conjugate of the plain bank.
+  ASSERT_EQ(plain[0]->size(), conj[0]->size());
+  for (std::size_t i = 0; i < plain[0]->size(); ++i) {
+    const auto& p = (*plain[0])[i].data();
+    const auto& c = (*conj[0])[i].data();
+    ASSERT_EQ(p.size(), c.size());
+    for (std::size_t j = 0; j < p.size(); ++j)
+      EXPECT_EQ(c[j], std::conj(p[j]));
+  }
 }
 
 // --- distance ----------------------------------------------------------------------
@@ -370,6 +479,50 @@ TEST(Pipeline, StagedEqualsMonolithic) {
               mono.targets[i].match.template_id);
     EXPECT_DOUBLE_EQ(staged.targets[i].range.distance,
                      mono.targets[i].range.distance);
+  }
+}
+
+TEST(Pipeline, GoldenRunAtrMatchesRecordedValues) {
+  // End-to-end numeric pin for the kernel fast paths: a fixed-seed scene
+  // whose full run_atr output was recorded before the workspace/real-FFT/
+  // fused-scan rewrite (the rewrite reproduced it bitwise; the 1e-9 bound
+  // leaves headroom for future FMA/vectorisation differences only).
+  Rng rng(2026);
+  SceneSpec spec;
+  spec.targets = {{40, 40, 0, 1.0}, {90, 70, 1, 1.2}, {64, 100, 2, 0.9}};
+  const Image frame = render_scene(spec, rng);
+  const AtrResult r = run_atr(frame, {});
+
+  struct Golden {
+    int det_x, det_y, tid, peak_x, peak_y;
+    double score, rx, ry, rs, dist, conf;
+  };
+  const Golden golden[] = {
+      {41, 40, 0, 15, 16, 0.93693697452545166, 14.994782705353186,
+       16.062511150211101, 0.93771008612092488, 1.0331058268584583,
+       0.88693697452545162},
+      {67, 100, 2, 13, 16, 1.2404229640960693, 13.005470944773798,
+       15.991684394241432, 1.2404592048980048, 0.89787339084842055,
+       1.1904229640960693},
+      {92, 71, 1, 14, 15, 0.74129682779312134, 14.000620234581376,
+       14.989638920045772, 0.74131270189929843, 1.1614591217967905,
+       0.69129682779312129},
+  };
+  ASSERT_EQ(r.targets.size(), std::size(golden));
+  for (std::size_t i = 0; i < std::size(golden); ++i) {
+    const auto& t = r.targets[i];
+    const auto& g = golden[i];
+    EXPECT_EQ(t.detection.x, g.det_x) << "target " << i;
+    EXPECT_EQ(t.detection.y, g.det_y) << "target " << i;
+    EXPECT_EQ(t.match.template_id, g.tid) << "target " << i;
+    EXPECT_EQ(t.match.peak_x, g.peak_x) << "target " << i;
+    EXPECT_EQ(t.match.peak_y, g.peak_y) << "target " << i;
+    EXPECT_NEAR(t.match.score, g.score, 1e-9) << "target " << i;
+    EXPECT_NEAR(t.match.refined_x, g.rx, 1e-9) << "target " << i;
+    EXPECT_NEAR(t.match.refined_y, g.ry, 1e-9) << "target " << i;
+    EXPECT_NEAR(t.match.refined_score, g.rs, 1e-9) << "target " << i;
+    EXPECT_NEAR(t.range.distance, g.dist, 1e-9) << "target " << i;
+    EXPECT_NEAR(t.range.confidence, g.conf, 1e-9) << "target " << i;
   }
 }
 

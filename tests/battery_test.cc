@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <utility>
+#include <vector>
 
 #include "battery/battery.h"
 #include "battery/calibrate.h"
@@ -42,6 +44,18 @@ TEST(IdealBattery, RateIndependentCapacity) {
     const Seconds life = b->time_to_empty(milliamps(ma));
     EXPECT_NEAR(to_milliamp_hours(charge(milliamps(ma), life)), 100.0, 1e-6);
   }
+}
+
+TEST(IdealBattery, CanSustainDefaultsToTimeToEmpty) {
+  // The base-class default is the literal predicate time_to_empty(i) >= dt.
+  auto b = make_ideal_battery(milliamp_hours(100.0));
+  EXPECT_TRUE(b->can_sustain(milliamps(100.0), hours(0.999)));
+  EXPECT_FALSE(b->can_sustain(milliamps(100.0), hours(1.001)));
+  EXPECT_TRUE(b->can_sustain(amps(0.0), hours(1e6)));
+  b->discharge(milliamps(100.0), hours(2.0));
+  ASSERT_TRUE(b->empty());
+  EXPECT_TRUE(b->can_sustain(milliamps(1.0), seconds(0.0)));
+  EXPECT_FALSE(b->can_sustain(milliamps(1.0), seconds(1.0)));
 }
 
 TEST(IdealBattery, ResetRestoresFullCharge) {
@@ -179,6 +193,23 @@ TEST(KibamBattery, PulsedOutlivesConstantPeak) {
   EXPECT_GT(lp.lifetime.value() / 2.0, tc.value());
 }
 
+TEST(KibamBattery, CanSustainBracketsTimeToEmpty) {
+  // The closed-form override (available charge still positive after dt)
+  // must agree with the bisected time_to_empty on both sides of the death
+  // instant — it is the predicate the idle death-watch trusts.
+  auto b = make_kibam_battery(test_params());
+  b->discharge(milliamps(150.0), hours(1.0));
+  ASSERT_FALSE(b->empty());
+  const double tte = b->time_to_empty(milliamps(300.0)).value();
+  EXPECT_TRUE(b->can_sustain(milliamps(300.0), seconds(tte * 0.999)));
+  EXPECT_FALSE(b->can_sustain(milliamps(300.0), seconds(tte * 1.001)));
+  EXPECT_TRUE(b->can_sustain(amps(0.0), hours(1e5)));
+  b->discharge(milliamps(300.0), hours(1000.0));
+  ASSERT_TRUE(b->empty());
+  EXPECT_TRUE(b->can_sustain(milliamps(1.0), seconds(0.0)));
+  EXPECT_FALSE(b->can_sustain(milliamps(1.0), seconds(1.0)));
+}
+
 TEST(KibamBattery, CloneIsIndependent) {
   auto a = make_kibam_battery(test_params());
   a->discharge(milliamps(100.0), hours(1.0));
@@ -221,6 +252,61 @@ TEST(RakhmatovBattery, DeathIsLatched) {
   // A long rest does not resurrect a cut-off node.
   b->discharge(amps(0.0), hours(10.0));
   EXPECT_TRUE(b->empty());
+}
+
+TEST(RakhmatovBattery, OneExpMatchesDirectExp) {
+  // The production model builds the per-term decay ladder d^(m^2) from one
+  // std::exp via decay_m = decay_{m-1} * d^(2m-1). This reference advances
+  // the same recurrence with a direct std::exp(-beta^2 m^2 t) per term;
+  // under a pulsed load the two stay within a few ulps of each other.
+  const RakhmatovParams p = rv_params();
+  auto b = make_rakhmatov_battery(p);
+
+  const double b2 = p.beta_squared;
+  const double alpha = p.alpha.value();
+  double delivered = 0.0;
+  std::vector<double> a(static_cast<std::size_t>(p.terms), 0.0);
+  auto advance_ref = [&](double current, double t) {
+    for (std::size_t m = 1; m <= a.size(); ++m) {
+      const double rate = b2 * static_cast<double>(m) * static_cast<double>(m);
+      const double e = std::exp(-rate * t);
+      a[m - 1] = a[m - 1] * e + current * (1.0 - e) / rate;
+    }
+    delivered += current * t;
+  };
+  auto sigma_ref = [&] {
+    double s = delivered;
+    for (double am : a) s += 2.0 * am;
+    return s;
+  };
+
+  const std::vector<std::pair<double, double>> pulses = {
+      {0.200, 600.0}, {0.0, 300.0},   {0.450, 120.0}, {0.080, 3600.0},
+      {0.0, 1800.0},  {0.350, 900.0}, {0.020, 7200.0}};
+  for (const auto& [current, t] : pulses) {
+    const Seconds sustained = b->discharge(amps(current), seconds(t));
+    ASSERT_DOUBLE_EQ(sustained.value(), t);  // all pulses stay above cutoff
+    advance_ref(current, t);
+    EXPECT_NEAR(b->nominal_remaining().value(), alpha - sigma_ref(),
+                alpha * 1e-12);
+    EXPECT_NEAR(b->state_of_charge(), 1.0 - sigma_ref() / alpha, 1e-12);
+  }
+  ASSERT_FALSE(b->empty());
+}
+
+TEST(RakhmatovBattery, CanSustainBracketsTimeToEmpty) {
+  // can_sustain evaluates sigma at the endpoint — the same crossing
+  // time_to_empty bisects for — so the two must agree around death.
+  auto b = make_rakhmatov_battery(rv_params());
+  b->discharge(milliamps(200.0), hours(1.0));
+  ASSERT_FALSE(b->empty());
+  const double tte = b->time_to_empty(milliamps(400.0)).value();
+  EXPECT_TRUE(b->can_sustain(milliamps(400.0), seconds(tte * 0.999)));
+  EXPECT_FALSE(b->can_sustain(milliamps(400.0), seconds(tte * 1.001)));
+  b->discharge(milliamps(400.0), seconds(tte * 2.0));
+  ASSERT_TRUE(b->empty());
+  EXPECT_TRUE(b->can_sustain(milliamps(1.0), seconds(0.0)));
+  EXPECT_FALSE(b->can_sustain(milliamps(1.0), seconds(1.0)));
 }
 
 // --- load profiles ----------------------------------------------------------------

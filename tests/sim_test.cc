@@ -108,6 +108,27 @@ TEST(Engine, RunUntilLeavesClockAtLastEventWhenQueueDrains) {
   EXPECT_EQ(e.pending_events(), 0u);
 }
 
+TEST(Engine, PostAtSharesTimeAndFifoOrderWithScheduledEvents) {
+  // post_at is the fire-and-forget path (no EventHandle allocated); it must
+  // still interleave with cancellable schedule_at events in (time, sequence)
+  // order, and cancelled handles must not disturb the posted events around
+  // them.
+  Engine e;
+  std::vector<int> order;
+  e.post_at(Time{200}, [&] { order.push_back(3); });
+  e.schedule_at(Time{100}, [&] { order.push_back(1); });
+  e.post_at(Time{100}, [&] { order.push_back(2); });  // same time, FIFO
+  EventHandle h = e.schedule_at(Time{150}, [&] { order.push_back(99); });
+  e.post_after(Dur{300}, [&] {
+    order.push_back(4);
+    e.post_after(Dur{50}, [&] { order.push_back(5); });
+  });
+  h.cancel();
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4, 5}));
+  EXPECT_EQ(e.now(), Time{350});
+}
+
 TEST(Engine, StopEndsRunEarly) {
   Engine e;
   int count = 0;
