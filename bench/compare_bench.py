@@ -6,8 +6,9 @@ Usage:
 
 Compares the real_time of every benchmark present in both files and exits
 non-zero if any benchmark slowed down by more than the threshold (default
-10%). Benchmarks present in only one file are reported but do not fail the
-check (new benchmarks appear, old ones get renamed).
+10%). Benchmarks present in only one file never fail the check (new
+benchmarks appear, old ones get renamed); each one is listed in the table
+and flagged with a warning on stderr so a stale baseline is visible.
 
 Typical workflow (see README "Benchmark regression workflow"):
     ./bench/micro_kernels --json=BENCH_baseline.json      # before a change
@@ -55,7 +56,7 @@ def main():
     if not common:
         sys.exit("error: the two reports share no benchmark names")
 
-    width = max(len(n) for n in common)
+    width = max(len(n) for n in common + only_base + only_cand)
     regressions = []
     print(f"{'benchmark':<{width}}  {'baseline':>12}  {'candidate':>12}  delta")
     for name in common:
@@ -71,6 +72,11 @@ def main():
         print(f"{name:<{width}}  (only in baseline)")
     for name in only_cand:
         print(f"{name:<{width}}  (only in candidate)")
+    if only_base or only_cand:
+        print(f"warning: {len(only_base) + len(only_cand)} benchmark(s) "
+              f"present in only one report (not compared); re-baseline with "
+              f"micro_kernels --json if the set changed on purpose",
+              file=sys.stderr)
 
     if regressions:
         print(f"\nFAIL: {len(regressions)} benchmark(s) regressed more than "

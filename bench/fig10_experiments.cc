@@ -6,16 +6,23 @@
 // Rnorm = Tnorm/T(1) — side by side with the paper's reported values —
 // followed by an ASCII rendering of Fig. 10's two bar series.
 //
-//   --csv <path>       also write the experiment series as CSV
-//   --node-csv <path>  also write per-node details as CSV
-//   --jobs N           run the experiments on N worker threads
-//                      (0 = all cores, 1 = sequential; same results)
-//   --timing           print the per-run wall-clock table
+//   --csv <path>         also write the experiment series as CSV
+//   --node-csv <path>    also write per-node details as CSV
+//   --jobs N             run the experiments on N worker threads
+//                        (0 = all cores, 1 = sequential; same results)
+//   --timing             print the per-run wall-clock table
+//   --report-json <path> write a structured run report (summary + node
+//                        detail + metrics snapshot per experiment)
+//   --trace-json <path>  re-run one experiment (--trace-exp, default 2C)
+//                        with full tracing and write a Perfetto-loadable
+//                        Chrome trace-event file
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <optional>
 
 #include "core/report.h"
+#include "obs/trace_export.h"
 #include "util/flags.h"
 
 int main(int argc, char** argv) {
@@ -28,10 +35,19 @@ int main(int argc, char** argv) {
                 "worker threads for the batch (0 = all cores, 1 = "
                 "sequential; results identical)");
   flags.add_bool("timing", false, "print the per-run wall-clock table");
+  flags.add_string("report-json", "",
+                   "write a structured run report (summary, node detail, "
+                   "metrics) to this JSON file");
+  flags.add_string("trace-json", "",
+                   "write a Perfetto-loadable Chrome trace of one "
+                   "experiment to this JSON file");
+  flags.add_string("trace-exp", "2C",
+                   "experiment id to trace for --trace-json");
   if (!flags.parse(argc, argv)) return 1;
 
   core::ExperimentSuite::Options options;
   options.jobs = static_cast<int>(flags.get_int("jobs"));
+  options.collect_metrics = !flags.get_string("report-json").empty();
   core::ExperimentSuite suite(options);
   const auto results = suite.run_all(core::paper_experiments());
 
@@ -64,6 +80,36 @@ int main(int argc, char** argv) {
     std::ofstream os(node_csv_path);
     core::write_node_csv(results, os);
     std::printf("(wrote %s)\n", node_csv_path.c_str());
+  }
+  const std::string report_path = flags.get_string("report-json");
+  if (!report_path.empty()) {
+    std::ofstream os(report_path);
+    core::write_run_report_json(results, os);
+    std::printf("(wrote %s)\n", report_path.c_str());
+  }
+
+  const std::string trace_path = flags.get_string("trace-json");
+  if (!trace_path.empty()) {
+    // Re-run the selected experiment with full tracing: the batch above
+    // runs without any recording, so lifetime numbers stay untouched.
+    const std::string trace_id = flags.get_string("trace-exp");
+    std::optional<core::ExperimentSpec> spec;
+    for (const auto& s : core::paper_experiments())
+      if (s.id == trace_id) spec = s;
+    if (!spec || spec->kind == core::ExperimentSpec::Kind::kNoIo) {
+      std::fprintf(stderr,
+                   "--trace-exp %s: unknown id or analytic (no-I/O) "
+                   "experiment; nothing to trace\n",
+                   trace_id.c_str());
+      return 1;
+    }
+    core::RunObservation capture;
+    (void)suite.run(*spec, &capture);
+    std::ofstream os(trace_path);
+    obs::write_chrome_trace(capture.trace, capture.counters, os);
+    std::printf("(wrote %s: trace of experiment %s — open in "
+                "https://ui.perfetto.dev)\n",
+                trace_path.c_str(), trace_id.c_str());
   }
   return 0;
 }

@@ -21,6 +21,7 @@
 #include "battery/rakhmatov.h"
 #include "core/experiment.h"
 #include "net/ppp.h"
+#include "obs/metrics.h"
 #include "sim/engine.h"
 #include "util/rng.h"
 
@@ -110,6 +111,67 @@ void BM_EngineEventThroughput(benchmark::State& state) {
                           10000);
 }
 BENCHMARK(BM_EngineEventThroughput);
+
+void BM_ObsCounterUnbound(benchmark::State& state) {
+  // The zero-cost-when-disabled contract: an unbound handle must be one
+  // predictable branch. This is the per-event cost every run pays.
+  obs::Counter counter;
+  for (auto _ : state) {
+    for (int i = 0; i < 1000; ++i) counter.inc();
+    benchmark::DoNotOptimize(counter);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          1000);
+}
+BENCHMARK(BM_ObsCounterUnbound);
+
+void BM_ObsCounterBound(benchmark::State& state) {
+  obs::Registry registry;
+  obs::Counter counter = registry.counter("bench.counter");
+  for (auto _ : state) {
+    for (int i = 0; i < 1000; ++i) counter.inc();
+    benchmark::DoNotOptimize(counter);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          1000);
+}
+BENCHMARK(BM_ObsCounterBound);
+
+void BM_ObsHistogramRecord(benchmark::State& state) {
+  obs::Registry registry;
+  obs::Histogram hist =
+      registry.histogram("bench.hist", {0.1, 0.5, 1.0, 5.0, 10.0});
+  double v = 0.0;
+  for (auto _ : state) {
+    for (int i = 0; i < 1000; ++i) {
+      hist.record(v, 0.001);
+      v += 0.0123;
+      if (v > 12.0) v = 0.0;
+    }
+    benchmark::DoNotOptimize(hist);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          1000);
+}
+BENCHMARK(BM_ObsHistogramRecord);
+
+void BM_EngineEventThroughputMetered(benchmark::State& state) {
+  // BM_EngineEventThroughput with a bound registry: the delta against the
+  // unmetered run is the full instrumentation cost of the event loop.
+  for (auto _ : state) {
+    sim::Engine engine;
+    obs::Registry registry;
+    engine.bind_metrics(registry);
+    long long fired = 0;
+    for (int i = 0; i < 10000; ++i)
+      engine.schedule_at(sim::Time{i * 1000}, [&fired] { ++fired; });
+    engine.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          10000);
+}
+BENCHMARK(BM_EngineEventThroughputMetered);
 
 void BM_PppEncodeDecode(benchmark::State& state) {
   Rng rng(4);

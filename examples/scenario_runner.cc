@@ -4,12 +4,15 @@
 //   $ ./scenario_runner                           # built-in (2A) scenario
 //   $ ./scenario_runner path/to/scenario.ini
 //   $ ./scenario_runner --print-default > my.ini  # starting template
+//   $ ./scenario_runner --trace-json=out.json s.ini  # Perfetto trace
 //
 // See examples/scenarios/ for ready-made files (the paper's experiments
 // and a few variations).
 #include <cstdio>
+#include <fstream>
 
 #include "core/scenario.h"
+#include "obs/trace_export.h"
 #include "util/flags.h"
 #include "util/table.h"
 
@@ -19,6 +22,9 @@ int main(int argc, char** argv) {
   Flags flags;
   flags.add_bool("print-default", false,
                  "print the built-in scenario template and exit");
+  flags.add_string("trace-json", "",
+                   "record the run and write a Perfetto-loadable Chrome "
+                   "trace to this JSON file");
   if (!flags.parse(argc, argv)) return 1;
   if (flags.get_bool("print-default")) {
     std::fputs(core::default_scenario_text().c_str(), stdout);
@@ -37,10 +43,19 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  const auto outcome = core::run_scenario(*config, &error);
+  const std::string trace_path = flags.get_string("trace-json");
+  core::RunObservation capture;
+  const auto outcome = core::run_scenario(
+      *config, trace_path.empty() ? nullptr : &capture, &error);
   if (!outcome) {
     std::fprintf(stderr, "scenario: %s\n", error.c_str());
     return 1;
+  }
+  if (!trace_path.empty()) {
+    std::ofstream os(trace_path);
+    obs::write_chrome_trace(capture.trace, capture.counters, os);
+    std::printf("(wrote %s — open in https://ui.perfetto.dev)\n\n",
+                trace_path.c_str());
   }
 
   std::printf("Scenario: %s\n\n", outcome->description.c_str());

@@ -34,6 +34,11 @@ ExperimentSuite::ExperimentSuite(Options options)
 }
 
 ExperimentResult ExperimentSuite::run(const ExperimentSpec& spec) const {
+  return run(spec, nullptr);
+}
+
+ExperimentResult ExperimentSuite::run(const ExperimentSpec& spec,
+                                      RunObservation* capture) const {
   const auto wall_start = std::chrono::steady_clock::now();
   ExperimentResult result;
   result.id = spec.id;
@@ -90,8 +95,20 @@ ExperimentResult ExperimentSuite::run(const ExperimentSpec& spec) const {
   sys.max_frames = options_.max_frames;
   sys.seed = options_.seed;
 
+  // Each run owns its registry (stack-local), so metrics collection stays
+  // safe under run_all's worker threads without any locking.
+  obs::Registry registry;
+  const bool want_metrics = options_.collect_metrics || capture != nullptr;
+  if (want_metrics) sys.metrics = &registry;
+  if (capture != nullptr) {
+    sys.record_trace = true;
+    sys.record_power_trace = true;
+  }
+
   PipelineSystem system(std::move(sys));
   result.details = system.run();
+  if (capture != nullptr) system.capture_observation(capture);
+  if (want_metrics) result.metrics = registry.snapshot();
   result.node_count = stages;
   result.frames = result.details.frames_completed;
   // §4.5: T(N) = F(N) * D (pipeline startup ignored, as in the paper).

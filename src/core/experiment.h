@@ -64,6 +64,9 @@ struct ExperimentResult {
   PaperReference paper;
   /// DES details (node reports etc.); empty for the analytic kNoIo runs.
   RunResult details;
+  /// Metrics registry snapshot (populated when Options::collect_metrics;
+  /// always empty for the analytic kNoIo runs).
+  obs::Snapshot metrics;
 };
 
 class ExperimentSuite {
@@ -81,12 +84,22 @@ class ExperimentSuite {
     /// results are identical for every value; `battery_factory` must be
     /// thread-safe when jobs != 1 (constructing a fresh battery is).
     int jobs = 1;
+    /// Attach a per-run metrics registry to every pipeline run and store
+    /// its snapshot in ExperimentResult::metrics. Each run owns its own
+    /// registry, so this stays safe under run_all's worker threads.
+    bool collect_metrics = false;
   };
 
   ExperimentSuite() : ExperimentSuite(Options{}) {}
   explicit ExperimentSuite(Options options);
 
   [[nodiscard]] ExperimentResult run(const ExperimentSpec& spec) const;
+
+  /// As run(), but also collect the run's observability artifacts (trace
+  /// spans, power-monitor counter tracks, metrics snapshot) into `capture`.
+  /// Forces record_trace / record_power_trace / metrics on for this run.
+  [[nodiscard]] ExperimentResult run(const ExperimentSpec& spec,
+                                     RunObservation* capture) const;
 
   /// Run a set of experiments — in parallel when options().jobs != 1,
   /// with results identical to the sequential path — and fill in Rnorm

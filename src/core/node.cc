@@ -18,6 +18,18 @@ Node::Node(sim::Engine& engine, net::Hub& hub, sim::Trace& trace,
       mailbox_(hub.attach(config_.address)) {
   DESLP_EXPECTS(config_.cpu != nullptr);
   DESLP_EXPECTS(battery_ != nullptr);
+  if (config_.metrics != nullptr) {
+    obs::Registry& reg = *config_.metrics;
+    const std::string base = "node." + config_.name;
+    m_soc_ = reg.gauge(base + ".soc");
+    m_soc_.set(battery_->state_of_charge());
+    m_drains_ = reg.counter(base + ".drains");
+    for (int m = 0; m < 3; ++m) {
+      m_residency_s_[m] = reg.counter(
+          base + ".residency." +
+          cpu::mode_name(static_cast<cpu::Mode>(m)) + "_s");
+    }
+  }
 }
 
 void Node::die(const std::string& reason) {
@@ -37,9 +49,16 @@ Seconds Node::drain(cpu::Mode mode, int level, Amps current, Seconds dt,
   const Seconds sustained = battery_->discharge(current, dt);
   monitor_.record(mode, level, current, sustained, engine_.now(),
                   battery_->state_of_charge());
+  m_drains_.inc();
+  m_soc_.set(battery_->state_of_charge());
+  m_residency_s_[static_cast<int>(mode)].inc(sustained.value());
   if (trace_.recording()) {
     trace_.add_span({config_.name, kind, engine_.now(),
                      engine_.now() + sim::from_seconds(sustained), detail});
+  } else {
+    // Aggregate-only accounting: no Span, no string building.
+    trace_.note_span(config_.name, kind, engine_.now(),
+                     engine_.now() + sim::from_seconds(sustained));
   }
   return sustained;
 }

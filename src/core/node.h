@@ -17,6 +17,7 @@
 #include "battery/battery.h"
 #include "cpu/cpu.h"
 #include "net/hub.h"
+#include "obs/metrics.h"
 #include "power/monitor.h"
 #include "sim/engine.h"
 #include "sim/task.h"
@@ -33,6 +34,11 @@ class Node {
     Volts pack_voltage = volts(4.0);  // Itsy's 4 V Li-ion pack
     /// Account the SA-1100 PLL relock time on level changes.
     bool model_dvs_switch_cost = true;
+    /// Optional per-run metrics registry: `node.<name>.soc` gauge,
+    /// `node.<name>.residency.<mode>_s` counters, `node.<name>.drains`.
+    /// Null (the default) leaves every instrument unbound — a single
+    /// branch per drain.
+    obs::Registry* metrics = nullptr;
   };
 
   Node(sim::Engine& engine, net::Hub& hub, sim::Trace& trace, Config config,
@@ -112,6 +118,9 @@ class Node {
   bool alive_ = true;
   sim::Time death_time_;
   int last_level_ = -1;
+  obs::Gauge m_soc_;
+  obs::Counter m_drains_;
+  obs::Counter m_residency_s_[3];  // indexed by cpu::Mode
 };
 
 }  // namespace deslp::core

@@ -3,6 +3,8 @@
 #include <ostream>
 #include <sstream>
 
+#include "obs/json.h"
+#include "obs/metrics.h"
 #include "util/csv.h"
 #include "util/table.h"
 
@@ -116,6 +118,48 @@ void write_node_csv(const std::vector<ExperimentResult>& results,
                    std::to_string(n.rotations), n.migrated ? "1" : "0"});
     }
   }
+}
+
+void write_run_report_json(const std::vector<ExperimentResult>& results,
+                           std::ostream& os) {
+  os << "{\"experiments\": [";
+  bool first = true;
+  for (const auto& r : results) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n  {\"id\": \"" << obs::json_escape(r.id) << "\","
+       << " \"title\": \"" << obs::json_escape(r.title) << "\","
+       << " \"nodes\": " << r.node_count << ","
+       << " \"frames\": " << r.frames << ","
+       << " \"T_h\": " << obs::json_number(to_hours(r.battery_life)) << ","
+       << " \"Tnorm_h\": " << obs::json_number(to_hours(r.normalized_life))
+       << "," << " \"rnorm\": " << obs::json_number(r.rnorm) << ","
+       << " \"paper\": {\"T_h\": "
+       << obs::json_number(r.paper.battery_life_hours) << ", \"frames\": "
+       << obs::json_number(r.paper.frames) << ", \"rnorm\": "
+       << obs::json_number(r.paper.rnorm) << "},\n   \"node_details\": [";
+    bool first_node = true;
+    for (const auto& n : r.details.nodes) {
+      if (!first_node) os << ",";
+      first_node = false;
+      os << "\n    {\"name\": \"" << obs::json_escape(n.name) << "\","
+         << " \"died\": " << (n.died ? "true" : "false") << ","
+         << " \"death_h\": "
+         << obs::json_number(n.died ? to_hours(n.death_time) : 0.0) << ","
+         << " \"final_soc\": " << obs::json_number(n.final_soc) << ","
+         << " \"avg_current_mA\": "
+         << obs::json_number(to_milliamps(n.average_current)) << ","
+         << " \"comm_h\": " << obs::json_number(to_hours(n.comm_time)) << ","
+         << " \"comp_h\": " << obs::json_number(to_hours(n.comp_time)) << ","
+         << " \"idle_h\": " << obs::json_number(to_hours(n.idle_time)) << ","
+         << " \"rotations\": " << n.rotations << ","
+         << " \"migrated\": " << (n.migrated ? "true" : "false") << "}";
+    }
+    os << "],\n   \"metrics\": ";
+    obs::write_snapshot_json(r.metrics, os);
+    os << "}";
+  }
+  os << "\n]}\n";
 }
 
 }  // namespace deslp::core

@@ -40,4 +40,12 @@ void write_results_csv(const std::vector<ExperimentResult>& results,
 void write_node_csv(const std::vector<ExperimentResult>& results,
                     std::ostream& os);
 
+/// Structured run report: one JSON object with an `experiments` array —
+/// per experiment the summary numbers, paper reference, per-node detail,
+/// and (when collected) the metrics-registry snapshot. A machine-readable
+/// companion to the CSVs; output is deterministic (sorted metrics, fixed
+/// field order).
+void write_run_report_json(const std::vector<ExperimentResult>& results,
+                           std::ostream& os);
+
 }  // namespace deslp::core

@@ -84,6 +84,12 @@ bool build_battery(const Config& cfg,
 
 std::optional<ScenarioOutcome> run_scenario(const Config& cfg,
                                             std::string* error) {
+  return run_scenario(cfg, nullptr, error);
+}
+
+std::optional<ScenarioOutcome> run_scenario(const Config& cfg,
+                                            RunObservation* capture,
+                                            std::string* error) {
   SystemConfig sys;
   sys.cpu = &cpu::itsy_sa1100();
   sys.profile = &atr::itsy_atr_profile();
@@ -225,8 +231,15 @@ std::optional<ScenarioOutcome> run_scenario(const Config& cfg,
   }
 
   const Seconds frame_delay = sys.frame_delay;
+  obs::Registry registry;
+  if (capture != nullptr) {
+    sys.record_trace = true;
+    sys.record_power_trace = true;
+    sys.metrics = &registry;
+  }
   PipelineSystem system(std::move(sys));
   outcome.run = system.run();
+  if (capture != nullptr) system.capture_observation(capture);
   outcome.battery_life =
       frame_delay * static_cast<double>(outcome.run.frames_completed);
   outcome.normalized_life =

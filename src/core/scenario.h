@@ -43,6 +43,13 @@ struct ScenarioOutcome {
 [[nodiscard]] std::optional<ScenarioOutcome> run_scenario(
     const Config& config, std::string* error = nullptr);
 
+/// As run_scenario(), but also collect the run's observability artifacts
+/// (trace spans, SoC/current counter tracks, metrics snapshot) into
+/// `capture` when non-null — forcing trace and power-trace recording on
+/// for the run.
+[[nodiscard]] std::optional<ScenarioOutcome> run_scenario(
+    const Config& config, RunObservation* capture, std::string* error);
+
 /// The built-in default scenario text (experiment 2A's shape), used by the
 /// runner when no file is given and by tests.
 [[nodiscard]] std::string default_scenario_text();

@@ -27,6 +27,18 @@ PipelineSystem::PipelineSystem(SystemConfig config)
   trace_.set_recording(config_.record_trace);
   host_mailbox_ = &hub_.attach(net::kHostAddress);
 
+  engine_.set_handler_timing(config_.time_handlers);
+  if (config_.metrics != nullptr) {
+    obs::Registry& reg = *config_.metrics;
+    engine_.bind_metrics(reg);
+    hub_.bind_metrics(reg, "hub");
+    m_frames_sent_ = reg.counter("system.frames_sent");
+    m_frames_completed_ = reg.counter("system.frames_completed");
+    m_rotations_ = reg.counter("system.rotations");
+    m_migrations_ = reg.counter("system.migrations");
+    m_stalls_ = reg.counter("system.stalls");
+  }
+
   // Static per-stage compute budgets for the adaptive level choice.
   net::SerialLink timer(config_.link);
   for (int s = 0; s < stages; ++s) {
@@ -44,8 +56,10 @@ PipelineSystem::PipelineSystem(SystemConfig config)
     nc.name = "Node" + std::to_string(i + 1);
     nc.cpu = config_.cpu;
     nc.pack_voltage = config_.pack_voltage;
+    nc.metrics = config_.metrics;
     nodes_.push_back(std::make_unique<Node>(engine_, hub_, trace_, nc,
                                             config_.battery_factory()));
+    if (config_.record_power_trace) nodes_.back()->monitor().set_tracing(true);
     StageState st;
     st.role = i;
     stage_states_.push_back(st);
@@ -113,6 +127,7 @@ sim::Task PipelineSystem::host_source() {
     m.stage = 0;
     m.size = config_.profile->input();
     ++frames_sent_;
+    m_frames_sent_.inc();
     hub_.begin_send(m);  // the host is mains-powered; only pacing matters
     co_await engine_.delay(config_.frame_delay);
   }
@@ -133,6 +148,7 @@ sim::Task PipelineSystem::host_sink() {
     }
     if (msg.kind != net::MsgKind::kData) continue;
     ++frames_completed_;
+    m_frames_completed_.inc();
     last_completion_ = engine_.now();
     if (frames_completed_ >= config_.max_frames) {
       stop_sourcing_ = true;
@@ -154,6 +170,7 @@ sim::Task PipelineSystem::watchdog() {
     const bool stalled =
         frames_sent_ > 0 && (engine_.now() - last_activity) >= window;
     if (all_dead || stalled) {
+      if (stalled && !all_dead) m_stalls_.inc();
       engine_.stop();
       co_return;
     }
@@ -224,6 +241,7 @@ sim::ValueTask<bool> PipelineSystem::process_and_forward(Node& node,
     st.role = next;
     st.era += 1;
     st.rotations += 1;
+    m_rotations_.inc();
     trace_.add_mark({node.name(), "rotate->role" + std::to_string(st.role),
                      engine_.now()});
     net::Message out;
@@ -263,6 +281,7 @@ sim::ValueTask<bool> PipelineSystem::process_and_forward(Node& node,
       if (!reply) {
         st.peer_dead = true;
         st.migrated = true;
+        m_migrations_.inc();
         trace_.add_mark({node.name(), "peer-timeout: migrating",
                          engine_.now()});
         log::info(node.name(), " detected downstream failure; migrating");
@@ -286,6 +305,7 @@ sim::ValueTask<bool> PipelineSystem::process_and_forward(Node& node,
     st.role = 0;
     st.era += 1;
     st.rotations += 1;
+    m_rotations_.inc();
     trace_.add_mark({node.name(), "rotate->role0", engine_.now()});
   }
   co_return true;
@@ -318,6 +338,7 @@ sim::Task PipelineSystem::node_behavior(int node_index) {
           if (hub_.failed(upstream)) {
             st.peer_dead = true;
             st.migrated = true;
+            m_migrations_.inc();
             trace_.add_mark({node.name(), "upstream-dead: migrating",
                              engine_.now()});
             net::Message ctrl;
@@ -382,6 +403,20 @@ RunResult PipelineSystem::run() {
     result.nodes.push_back(std::move(r));
   }
   return result;
+}
+
+void PipelineSystem::capture_observation(RunObservation* out) const {
+  DESLP_EXPECTS(out != nullptr);
+  out->trace = trace_;
+  out->counters.clear();
+  for (const auto& node : nodes_) {
+    const power::PowerMonitor& monitor = node->monitor();
+    if (monitor.trace().empty()) continue;
+    out->counters.push_back(obs::soc_counter_track(monitor));
+    out->counters.push_back(obs::current_counter_track(monitor));
+  }
+  out->metrics =
+      config_.metrics != nullptr ? config_.metrics->snapshot() : obs::Snapshot{};
 }
 
 }  // namespace deslp::core

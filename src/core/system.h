@@ -26,6 +26,8 @@
 #include "cpu/cpu.h"
 #include "dvs/policy.h"
 #include "net/hub.h"
+#include "obs/metrics.h"
+#include "obs/trace_export.h"
 #include "sim/engine.h"
 #include "sim/trace.h"
 #include "task/partition.h"
@@ -83,6 +85,15 @@ struct SystemConfig {
 
   /// Record per-span trace data (timeline examples; off for lifetime runs).
   bool record_trace = false;
+  /// Record per-segment power-monitor rows on every node (SoC/current
+  /// counter tracks in the exported trace; off for lifetime runs).
+  bool record_power_trace = false;
+  /// Optional per-run metrics registry. When set, the engine, hub, and
+  /// every node mirror their counters into it. Null (the default) leaves
+  /// all instruments unbound, so an unmetered run pays one branch per op.
+  obs::Registry* metrics = nullptr;
+  /// Wall-clock handler-time attribution on the engine (profiling).
+  bool time_handlers = false;
   std::uint64_t seed = 42;
 };
 
@@ -110,6 +121,15 @@ struct RunResult {
   std::vector<NodeReport> nodes;
 };
 
+/// Everything the observability exporters need from one finished run:
+/// the activity trace, per-node counter tracks (SoC, current), and a
+/// snapshot of the metrics registry.
+struct RunObservation {
+  sim::Trace trace;
+  std::vector<obs::CounterTrack> counters;
+  obs::Snapshot metrics;
+};
+
 class PipelineSystem {
  public:
   explicit PipelineSystem(SystemConfig config);
@@ -122,6 +142,16 @@ class PipelineSystem {
 
   /// Trace of the run (populated when config.record_trace).
   [[nodiscard]] const sim::Trace& trace() const { return trace_; }
+
+  [[nodiscard]] const std::vector<std::unique_ptr<Node>>& nodes() const {
+    return nodes_;
+  }
+
+  /// Collect the run's observability artifacts (call after run()): copies
+  /// the trace, builds SoC/current counter tracks from each node's power
+  /// monitor (non-empty only when record_power_trace), and snapshots the
+  /// metrics registry (empty when none was configured).
+  void capture_observation(RunObservation* out) const;
 
  private:
   struct StageState {
@@ -174,6 +204,11 @@ class PipelineSystem {
   long long frames_completed_ = 0;
   sim::Time last_completion_;
   bool stop_sourcing_ = false;
+  obs::Counter m_frames_sent_;
+  obs::Counter m_frames_completed_;
+  obs::Counter m_rotations_;
+  obs::Counter m_migrations_;
+  obs::Counter m_stalls_;
   /// Host-side routing override after a migration announcement (2B).
   net::Address source_override_ = -1;
 };

@@ -1,5 +1,7 @@
 #include "net/hub.h"
 
+#include <string>
+
 #include "util/check.h"
 
 namespace deslp::net {
@@ -23,6 +25,13 @@ Hub::Hub(sim::Engine& engine, LinkSpec link_spec, Seconds forward_latency,
       forward_latency_(forward_latency),
       seed_(seed) {
   DESLP_EXPECTS(forward_latency.value() >= 0.0);
+}
+
+void Hub::bind_metrics(obs::Registry& registry, std::string_view prefix) {
+  const std::string p(prefix);
+  m_transactions_ = registry.counter(p + ".transactions");
+  m_dropped_to_failed_ = registry.counter(p + ".dropped_to_failed");
+  m_payload_bytes_ = registry.counter(p + ".payload_bytes");
 }
 
 sim::Channel<Delivery>& Hub::attach(Address addr) {
@@ -52,10 +61,13 @@ Seconds Hub::begin_send(const Message& msg) {
 
   ++stats_.transactions;
   stats_.payload_routed += msg.size;
+  m_transactions_.inc();
+  m_payload_bytes_.inc(static_cast<double>(msg.size.count()));
 
   const Endpoint* dst = find(msg.dst);
   if (dst == nullptr || dst->failed) {
     ++stats_.dropped_to_failed;
+    m_dropped_to_failed_.inc();
     return wire_time;
   }
   // Cut-through: the receiver's window opens one forward latency later.
@@ -68,6 +80,7 @@ Seconds Hub::begin_send(const Message& msg) {
         // while the bytes were in flight.
         if (endpoints_[delivered.dst].failed) {
           ++stats_.dropped_to_failed;
+          m_dropped_to_failed_.inc();
           return;
         }
         mailbox->send(Delivery{delivered, engine_.now(), wire_time});

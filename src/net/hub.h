@@ -15,9 +15,11 @@
 
 #include <map>
 #include <memory>
+#include <string_view>
 
 #include "net/link.h"
 #include "net/message.h"
+#include "obs/metrics.h"
 #include "sim/channel.h"
 #include "sim/engine.h"
 
@@ -56,6 +58,10 @@ class Hub {
   [[nodiscard]] const HubStats& stats() const { return stats_; }
   [[nodiscard]] const LinkSpec& link_spec() const { return link_spec_; }
 
+  /// Mirror the stats into registry counters named `<prefix>.transactions`,
+  /// `.dropped_to_failed`, and `.payload_bytes`.
+  void bind_metrics(obs::Registry& registry, std::string_view prefix);
+
  private:
   struct Endpoint {
     std::unique_ptr<sim::Channel<Delivery>> mailbox;
@@ -72,6 +78,9 @@ class Hub {
   std::uint64_t seed_;
   std::map<Address, Endpoint> endpoints_;
   HubStats stats_;
+  obs::Counter m_transactions_;
+  obs::Counter m_dropped_to_failed_;
+  obs::Counter m_payload_bytes_;
 };
 
 }  // namespace deslp::net

@@ -1,11 +1,23 @@
 #include "net/reliable.h"
 #include <algorithm>
 
+#include <string>
 #include <utility>
 
 #include "util/check.h"
 
 namespace deslp::net {
+
+void ReliablePeer::bind_metrics(obs::Registry& registry,
+                                std::string_view prefix) {
+  const std::string p(prefix);
+  m_data_sent_ = registry.counter(p + ".data_sent");
+  m_data_retx_ = registry.counter(p + ".data_retx");
+  m_acks_sent_ = registry.counter(p + ".acks_sent");
+  m_dup_received_ = registry.counter(p + ".dup_received");
+  m_ooo_dropped_ = registry.counter(p + ".ooo_dropped");
+  m_goodput_bytes_ = registry.counter(p + ".goodput_bytes");
+}
 
 ReliablePeer::ReliablePeer(sim::Engine& engine, ReliableOptions options,
                            WireSend wire)
@@ -33,6 +45,7 @@ void ReliablePeer::pump() {
     send_queue_.pop_front();
     inflight_.push_back(seg);
     ++stats_.data_sent;
+    m_data_sent_.inc();
     wire_(seg);
   }
   if (!inflight_.empty() && !timer_.pending()) arm_timer();
@@ -57,6 +70,7 @@ void ReliablePeer::on_timeout() {
   // Go-Back-N: resend the whole window.
   for (const Segment& seg : inflight_) {
     ++stats_.data_retx;
+    m_data_retx_.inc();
     wire_(seg);
   }
   arm_timer();
@@ -88,11 +102,14 @@ void ReliablePeer::on_wire(const Segment& segment) {
   // lost data.
   if (segment.seq == expected_seq_) {
     ++expected_seq_;
+    m_goodput_bytes_.inc(static_cast<double>(segment.payload.size()));
     received_.send(segment.payload);
   } else if (segment.seq < expected_seq_) {
     ++stats_.dup_received;
+    m_dup_received_.inc();
   } else {
     ++stats_.ooo_dropped;
+    m_ooo_dropped_.inc();
   }
   // Always (re-)ack the cumulative position; lost acks are recovered by the
   // duplicate-data path.
@@ -100,6 +117,7 @@ void ReliablePeer::on_wire(const Segment& segment) {
   ack.type = Segment::Type::kAck;
   ack.seq = expected_seq_;
   ++stats_.acks_sent;
+  m_acks_sent_.inc();
   wire_(ack);
 }
 

@@ -15,8 +15,10 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <string_view>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "sim/channel.h"
 #include "sim/engine.h"
 #include "util/units.h"
@@ -91,6 +93,12 @@ class ReliablePeer {
 
   [[nodiscard]] const ReliableStats& stats() const { return stats_; }
 
+  /// Mirror the stats into registry counters named `<prefix>.data_sent`,
+  /// `.data_retx`, `.acks_sent`, `.dup_received`, `.ooo_dropped`, and
+  /// `.goodput_bytes` (payload bytes delivered in order). Unbound handles
+  /// are no-ops, so an unmetered peer pays one branch per event.
+  void bind_metrics(obs::Registry& registry, std::string_view prefix);
+
  private:
   void pump();             // move queued payloads into the window
   void arm_timer();
@@ -114,6 +122,12 @@ class ReliablePeer {
   sim::Channel<std::vector<std::uint8_t>> received_;
 
   ReliableStats stats_;
+  obs::Counter m_data_sent_;
+  obs::Counter m_data_retx_;
+  obs::Counter m_acks_sent_;
+  obs::Counter m_dup_received_;
+  obs::Counter m_ooo_dropped_;
+  obs::Counter m_goodput_bytes_;
 };
 
 }  // namespace deslp::net

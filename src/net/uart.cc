@@ -1,5 +1,6 @@
 #include "net/uart.h"
 
+#include <string>
 #include <utility>
 
 #include "util/check.h"
@@ -13,6 +14,10 @@ Uart::Uart(sim::Engine& engine, BitsPerSecond line_rate)
 
 void Uart::connect(ByteHandler on_receive) {
   on_receive_ = std::move(on_receive);
+}
+
+void Uart::bind_metrics(obs::Registry& registry, std::string_view prefix) {
+  m_bytes_sent_ = registry.counter(std::string(prefix) + ".bytes_sent");
 }
 
 Seconds Uart::byte_time() const {
@@ -33,6 +38,7 @@ void Uart::transmit(const std::vector<std::uint8_t>& bytes) {
     engine_.post_at(at, [this, b] { on_receive_(b); });
     ++bytes_sent_;
   }
+  m_bytes_sent_.inc(static_cast<double>(bytes.size()));
   tx_free_ = at;
 }
 

@@ -7,8 +7,10 @@
 
 #include <cstdint>
 #include <functional>
+#include <string_view>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "sim/engine.h"
 #include "util/units.h"
 
@@ -37,12 +39,16 @@ class Uart {
 
   [[nodiscard]] long long bytes_sent() const { return bytes_sent_; }
 
+  /// Mirror bytes transmitted into a `<prefix>.bytes_sent` counter.
+  void bind_metrics(obs::Registry& registry, std::string_view prefix);
+
  private:
   sim::Engine& engine_;
   BitsPerSecond line_rate_;
   ByteHandler on_receive_;
   sim::Time tx_free_;  // when the transmitter is next free
   long long bytes_sent_ = 0;
+  obs::Counter m_bytes_sent_;
 };
 
 }  // namespace deslp::net

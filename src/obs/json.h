@@ -1,0 +1,20 @@
+// Tiny JSON emission helpers shared by the metrics registry, the Chrome
+// trace exporter, and the run-report writer. Emission only — nothing here
+// parses JSON.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace deslp::obs {
+
+/// `s` with JSON string escaping applied (quotes, backslash, control
+/// characters); no surrounding quotes.
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+/// Deterministic number formatting: integers without a decimal point,
+/// everything else via %.12g; non-finite values become null (JSON has no
+/// NaN/Inf literals).
+[[nodiscard]] std::string json_number(double v);
+
+}  // namespace deslp::obs

@@ -1,0 +1,131 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <ostream>
+#include <utility>
+
+#include "obs/json.h"
+#include "util/check.h"
+
+namespace deslp::obs {
+
+const char* metric_kind_name(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kHistogram:
+      return "histogram";
+  }
+  return "?";
+}
+
+void Histogram::record(double value, double weight) {
+  if (slot_ == nullptr) return;
+  const auto it =
+      std::upper_bound(slot_->bounds.begin(), slot_->bounds.end(), value);
+  const auto idx =
+      static_cast<std::size_t>(it - slot_->bounds.begin());
+  slot_->weights[idx] += weight;
+  slot_->sum += value * weight;
+  slot_->total_weight += weight;
+  ++slot_->updates;
+}
+
+detail::Slot* Registry::slot(std::string_view name, MetricKind kind) {
+  if (!enabled_) return nullptr;
+  const auto it = slots_.find(name);
+  if (it != slots_.end()) {
+    DESLP_EXPECTS(it->second.kind == kind);
+    return &it->second;
+  }
+  detail::Slot s;
+  s.kind = kind;
+  return &slots_.emplace(std::string(name), std::move(s)).first->second;
+}
+
+Counter Registry::counter(std::string_view name) {
+  return Counter{slot(name, MetricKind::kCounter)};
+}
+
+Gauge Registry::gauge(std::string_view name) {
+  return Gauge{slot(name, MetricKind::kGauge)};
+}
+
+Histogram Registry::histogram(std::string_view name,
+                              std::vector<double> bounds) {
+  DESLP_EXPECTS(std::is_sorted(bounds.begin(), bounds.end()));
+  detail::Slot* s = slot(name, MetricKind::kHistogram);
+  if (s != nullptr && s->weights.empty()) {
+    s->bounds = std::move(bounds);
+    s->weights.assign(s->bounds.size() + 1, 0.0);
+  }
+  return Histogram{s};
+}
+
+Snapshot Registry::snapshot() const {
+  Snapshot out;
+  out.reserve(slots_.size());
+  for (const auto& [name, s] : slots_) {
+    MetricSample m;
+    m.name = name;
+    m.kind = s.kind;
+    m.value = s.value;
+    m.max = s.max;
+    m.updates = s.updates;
+    m.bounds = s.bounds;
+    m.weights = s.weights;
+    m.sum = s.sum;
+    m.total_weight = s.total_weight;
+    out.push_back(std::move(m));
+  }
+  return out;
+}
+
+namespace {
+
+void write_sample(const MetricSample& m, std::ostream& os) {
+  os << "{\"name\":\"" << json_escape(m.name) << "\",\"kind\":\""
+     << metric_kind_name(m.kind) << "\"";
+  switch (m.kind) {
+    case MetricKind::kCounter:
+      os << ",\"value\":" << json_number(m.value);
+      break;
+    case MetricKind::kGauge:
+      os << ",\"value\":" << json_number(m.value)
+         << ",\"max\":" << json_number(m.max);
+      break;
+    case MetricKind::kHistogram: {
+      os << ",\"bounds\":[";
+      for (std::size_t i = 0; i < m.bounds.size(); ++i)
+        os << (i ? "," : "") << json_number(m.bounds[i]);
+      os << "],\"weights\":[";
+      for (std::size_t i = 0; i < m.weights.size(); ++i)
+        os << (i ? "," : "") << json_number(m.weights[i]);
+      os << "],\"sum\":" << json_number(m.sum)
+         << ",\"total_weight\":" << json_number(m.total_weight);
+      break;
+    }
+  }
+  os << ",\"updates\":" << m.updates << "}";
+}
+
+}  // namespace
+
+void write_snapshot_json(const Snapshot& snapshot, std::ostream& os) {
+  os << "[";
+  for (std::size_t i = 0; i < snapshot.size(); ++i) {
+    os << (i ? "," : "") << "\n    ";
+    write_sample(snapshot[i], os);
+  }
+  os << (snapshot.empty() ? "]" : "\n  ]");
+}
+
+void Registry::write_json(std::ostream& os) const {
+  os << "{\n  \"metrics\": ";
+  write_snapshot_json(snapshot(), os);
+  os << "\n}\n";
+}
+
+}  // namespace deslp::obs

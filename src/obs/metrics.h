@@ -1,0 +1,157 @@
+// Unified metrics: a per-run registry of named instruments — counters,
+// gauges (with high-water marks), and weighted histograms (bucket weights
+// are typically simulated seconds, giving sim-time-weighted residency
+// distributions).
+//
+// Instruments are cheap value-type handles onto registry-owned slots. A
+// default-constructed (or disabled-registry) handle is unbound and every
+// operation on it is a single predictable branch — hot layers keep handles
+// as members and pay nothing until someone binds a registry, so batch
+// output stays byte-identical and benchmarks unperturbed by default.
+//
+// One registry belongs to one run on one thread (the parallel batch runner
+// gives every run its own registry); the registry itself is not locked.
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace deslp::obs {
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+[[nodiscard]] const char* metric_kind_name(MetricKind kind);
+
+namespace detail {
+
+struct Slot {
+  MetricKind kind = MetricKind::kCounter;
+  double value = 0.0;   // counter total / gauge current value
+  double max = 0.0;     // gauge high-water mark
+  long long updates = 0;
+  // Histogram state: `bounds` are bucket upper edges (last bucket open);
+  // `weights` has bounds.size() + 1 entries.
+  std::vector<double> bounds;
+  std::vector<double> weights;
+  double sum = 0.0;           // sum of value * weight
+  double total_weight = 0.0;
+};
+
+}  // namespace detail
+
+/// Monotonic counter. inc() on an unbound handle is a no-op.
+class Counter {
+ public:
+  Counter() = default;
+  void inc(double delta = 1.0) {
+    if (slot_ == nullptr) return;
+    slot_->value += delta;
+    ++slot_->updates;
+  }
+  [[nodiscard]] bool bound() const { return slot_ != nullptr; }
+  [[nodiscard]] double value() const { return slot_ ? slot_->value : 0.0; }
+
+ private:
+  friend class Registry;
+  explicit Counter(detail::Slot* slot) : slot_(slot) {}
+  detail::Slot* slot_ = nullptr;
+};
+
+/// Last-value gauge that also tracks its high-water mark.
+class Gauge {
+ public:
+  Gauge() = default;
+  void set(double v) {
+    if (slot_ == nullptr) return;
+    slot_->value = v;
+    if (v > slot_->max || slot_->updates == 0) slot_->max = v;
+    ++slot_->updates;
+  }
+  /// Raise the high-water mark without touching the current value (queue
+  /// depth style gauges that only care about the peak).
+  void set_max(double v) {
+    if (slot_ == nullptr) return;
+    if (v > slot_->max) slot_->max = v;
+    ++slot_->updates;
+  }
+  [[nodiscard]] bool bound() const { return slot_ != nullptr; }
+  [[nodiscard]] double value() const { return slot_ ? slot_->value : 0.0; }
+  [[nodiscard]] double max() const { return slot_ ? slot_->max : 0.0; }
+
+ private:
+  friend class Registry;
+  explicit Gauge(detail::Slot* slot) : slot_(slot) {}
+  detail::Slot* slot_ = nullptr;
+};
+
+/// Weighted histogram over fixed bucket upper bounds.
+class Histogram {
+ public:
+  Histogram() = default;
+  void record(double value, double weight = 1.0);
+  [[nodiscard]] bool bound() const { return slot_ != nullptr; }
+  [[nodiscard]] double total_weight() const {
+    return slot_ ? slot_->total_weight : 0.0;
+  }
+
+ private:
+  friend class Registry;
+  explicit Histogram(detail::Slot* slot) : slot_(slot) {}
+  detail::Slot* slot_ = nullptr;
+};
+
+/// One metric's state, copied out of a registry.
+struct MetricSample {
+  std::string name;
+  MetricKind kind = MetricKind::kCounter;
+  double value = 0.0;
+  double max = 0.0;
+  long long updates = 0;
+  std::vector<double> bounds;
+  std::vector<double> weights;
+  double sum = 0.0;
+  double total_weight = 0.0;
+};
+
+using Snapshot = std::vector<MetricSample>;
+
+class Registry {
+ public:
+  /// A disabled registry hands out unbound handles, so a single flag turns
+  /// a whole run's instrumentation into no-ops.
+  explicit Registry(bool enabled = true) : enabled_(enabled) {}
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  /// Get-or-create by name. Re-requesting a name returns a handle onto the
+  /// same slot; the kind must match the first registration.
+  Counter counter(std::string_view name);
+  Gauge gauge(std::string_view name);
+  Histogram histogram(std::string_view name, std::vector<double> bounds);
+
+  [[nodiscard]] std::size_t size() const { return slots_.size(); }
+
+  /// All metrics in name order (deterministic).
+  [[nodiscard]] Snapshot snapshot() const;
+
+  /// JSON object {"metrics": [...]} in name order.
+  void write_json(std::ostream& os) const;
+
+ private:
+  detail::Slot* slot(std::string_view name, MetricKind kind);
+
+  bool enabled_;
+  // std::map: stable node addresses (handles point into it) + sorted
+  // iteration for deterministic snapshots.
+  std::map<std::string, detail::Slot, std::less<>> slots_;
+};
+
+/// JSON array of metric samples, same element shape as Registry::write_json.
+void write_snapshot_json(const Snapshot& snapshot, std::ostream& os);
+
+}  // namespace deslp::obs

@@ -1,0 +1,100 @@
+#include "obs/trace_export.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <ostream>
+
+#include "obs/json.h"
+
+namespace deslp::obs {
+
+CounterTrack soc_counter_track(const power::PowerMonitor& monitor) {
+  CounterTrack track;
+  track.actor = monitor.actor();
+  track.name = "soc";
+  track.samples.reserve(monitor.trace().size());
+  for (const auto& row : monitor.trace()) {
+    // The SoC value holds from the *end* of the segment.
+    const std::int64_t end_ns =
+        row.at.nanos() + sim::from_seconds(row.duration).nanos();
+    track.samples.push_back({end_ns, row.soc});
+  }
+  return track;
+}
+
+CounterTrack current_counter_track(const power::PowerMonitor& monitor) {
+  CounterTrack track;
+  track.actor = monitor.actor();
+  track.name = "current_mA";
+  track.samples.reserve(monitor.trace().size());
+  for (const auto& row : monitor.trace())
+    track.samples.push_back({row.at.nanos(), to_milliamps(row.current)});
+  return track;
+}
+
+namespace {
+
+/// Microsecond timestamp with nanosecond precision (ns / 1000 has at most
+/// three decimals, so %.3f is exact and deterministic).
+std::string us(std::int64_t ns) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.3f", static_cast<double>(ns) / 1000.0);
+  return buf;
+}
+
+}  // namespace
+
+void write_chrome_trace(const sim::Trace& trace,
+                        const std::vector<CounterTrack>& counters,
+                        std::ostream& os) {
+  // Stable pid per actor, in sorted-name order.
+  std::map<std::string, int> pids;
+  for (const auto& s : trace.spans()) pids.emplace(s.actor, 0);
+  for (const auto& m : trace.marks()) pids.emplace(m.actor, 0);
+  for (const auto& t : counters) pids.emplace(t.actor, 0);
+  int next_pid = 1;
+  for (auto& [actor, pid] : pids) pid = next_pid++;
+
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  const auto sep = [&os, &first] {
+    os << (first ? "\n" : ",\n");
+    first = false;
+  };
+
+  for (const auto& [actor, pid] : pids) {
+    sep();
+    os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid
+       << ",\"tid\":0,\"args\":{\"name\":\"" << json_escape(actor) << "\"}}";
+  }
+  for (const auto& s : trace.spans()) {
+    sep();
+    os << "{\"name\":\"" << json_escape(s.kind)
+       << "\",\"cat\":\"span\",\"ph\":\"X\",\"ts\":" << us(s.begin.nanos())
+       << ",\"dur\":" << us((s.end - s.begin).nanos())
+       << ",\"pid\":" << pids.at(s.actor) << ",\"tid\":1";
+    if (!s.detail.empty())
+      os << ",\"args\":{\"detail\":\"" << json_escape(s.detail) << "\"}";
+    os << "}";
+  }
+  for (const auto& m : trace.marks()) {
+    sep();
+    os << "{\"name\":\"" << json_escape(m.label)
+       << "\",\"cat\":\"mark\",\"ph\":\"i\",\"ts\":" << us(m.at.nanos())
+       << ",\"pid\":" << pids.at(m.actor) << ",\"tid\":1,\"s\":\"p\"}";
+  }
+  for (const auto& track : counters) {
+    const int pid = pids.at(track.actor);
+    for (const auto& sample : track.samples) {
+      sep();
+      os << "{\"name\":\"" << json_escape(track.name)
+         << "\",\"cat\":\"counter\",\"ph\":\"C\",\"ts\":" << us(sample.at_ns)
+         << ",\"pid\":" << pid << ",\"args\":{\"" << json_escape(track.name)
+         << "\":" << json_number(sample.value) << "}}";
+    }
+  }
+  os << "\n]}\n";
+}
+
+}  // namespace deslp::obs

@@ -1,0 +1,51 @@
+// Chrome-trace-event (Perfetto-compatible) JSON export: merges one run's
+// sim::Trace spans/marks, PowerMonitor discharge segments (as counter
+// tracks), and any other per-actor counter series onto a single
+// deterministic timeline. Load the output in https://ui.perfetto.dev or
+// chrome://tracing.
+//
+// Mapping: each actor becomes a process (pid assigned by sorted actor
+// name), spans become complete ("X") events, marks become instant ("i")
+// events, and counter tracks become counter ("C") events, so per-node SoC
+// renders as a stepped counter track under the node's own process group.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "power/monitor.h"
+#include "sim/trace.h"
+
+namespace deslp::obs {
+
+struct CounterSample {
+  std::int64_t at_ns = 0;
+  double value = 0.0;
+};
+
+/// One counter series (e.g. a node's state of charge) attached to an
+/// actor's process track.
+struct CounterTrack {
+  std::string actor;
+  std::string name;
+  std::vector<CounterSample> samples;
+};
+
+/// A node's battery state of charge over the run, from the monitor's
+/// segment trace (requires PowerMonitor::set_tracing(true) for the run).
+[[nodiscard]] CounterTrack soc_counter_track(
+    const power::PowerMonitor& monitor);
+
+/// The node's drawn current (mA) over the run, same source.
+[[nodiscard]] CounterTrack current_counter_track(
+    const power::PowerMonitor& monitor);
+
+/// Write the merged timeline as Chrome trace-event JSON. Output is a pure
+/// function of the inputs: same trace + tracks => byte-identical bytes.
+void write_chrome_trace(const sim::Trace& trace,
+                        const std::vector<CounterTrack>& counters,
+                        std::ostream& os);
+
+}  // namespace deslp::obs

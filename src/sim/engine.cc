@@ -1,5 +1,6 @@
 #include "sim/engine.h"
 
+#include <chrono>
 #include <utility>
 
 namespace deslp::sim {
@@ -8,12 +9,14 @@ EventHandle Engine::schedule_at(Time at, std::function<void()> fn) {
   DESLP_EXPECTS(at >= now_);
   auto cancelled = std::make_shared<bool>(false);
   queue_.push(Entry{at, next_seq_++, std::move(fn), cancelled});
+  note_scheduled();
   return EventHandle{cancelled};
 }
 
 void Engine::post_at(Time at, std::function<void()> fn) {
   DESLP_EXPECTS(at >= now_);
   queue_.push(Entry{at, next_seq_++, std::move(fn), nullptr});
+  note_scheduled();
 }
 
 void Engine::spawn(Task task) {
@@ -22,16 +25,43 @@ void Engine::spawn(Task task) {
   processes_.back().start();
 }
 
+void Engine::bind_metrics(obs::Registry& registry) {
+  events_scheduled_ = registry.counter("sim.events.scheduled");
+  events_fired_ = registry.counter("sim.events.fired");
+  events_cancelled_ = registry.counter("sim.events.cancelled");
+  handler_wall_ns_metric_ = registry.counter("sim.handler.wall_ns");
+  queue_hwm_ = registry.gauge("sim.queue.depth");
+}
+
+void Engine::dispatch(const std::function<void()>& fn) {
+  events_fired_.inc();
+  if (!time_handlers_) {
+    fn();
+    return;
+  }
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+  handler_ns_ += ns;
+  if (ns > handler_max_ns_) handler_max_ns_ = ns;
+  handler_wall_ns_metric_.inc(static_cast<double>(ns));
+}
+
 bool Engine::step() {
   while (!queue_.empty()) {
     // Moving out of top() is safe: pop() only destroys the moved-from
     // entry, and the heap is not otherwise touched in between.
     Entry e = std::move(const_cast<Entry&>(queue_.top()));
     queue_.pop();
-    if (e.cancelled && *e.cancelled) continue;
+    if (e.cancelled && *e.cancelled) {
+      events_cancelled_.inc();
+      continue;
+    }
     DESLP_ENSURES(e.at >= now_);
     now_ = e.at;
-    e.fn();
+    dispatch(e.fn);
     return true;
   }
   return false;
@@ -50,6 +80,7 @@ Time Engine::run_until(Time deadline) {
     // Skip cancelled entries without advancing the clock.
     const Entry& top = queue_.top();
     if (top.cancelled && *top.cancelled) {
+      events_cancelled_.inc();
       queue_.pop();
       continue;
     }

@@ -11,6 +11,7 @@
 #include <queue>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "sim/task.h"
 #include "sim/time.h"
 #include "util/check.h"
@@ -86,6 +87,26 @@ class Engine {
 
   [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
 
+  /// Attach per-run metrics: `sim.events.scheduled/fired/cancelled`
+  /// counters, the `sim.queue.depth` high-water gauge, and (when handler
+  /// timing is on) the `sim.handler.wall_ns` counter. Unbound handles are
+  /// single-branch no-ops, so an engine that is never bound pays nothing.
+  void bind_metrics(obs::Registry& registry);
+
+  /// Wall-clock handler-time attribution: when on, every fired event's
+  /// handler is timed and accumulated (and fed to `sim.handler.wall_ns`
+  /// when metrics are bound). Off by default — a runtime flag, not a
+  /// compile-time one, so profiling a run needs no rebuild.
+  void set_handler_timing(bool on) { time_handlers_ = on; }
+  [[nodiscard]] bool handler_timing() const { return time_handlers_; }
+  /// Total / maximum wall-clock nanoseconds spent inside event handlers
+  /// while handler timing was on (a host-side profiling side channel; never
+  /// fed back into the simulation).
+  [[nodiscard]] std::int64_t handler_wall_ns() const { return handler_ns_; }
+  [[nodiscard]] std::int64_t handler_max_wall_ns() const {
+    return handler_max_ns_;
+  }
+
   /// Awaitable: suspend the calling process for `d`.
   auto delay(Dur d) {
     struct Awaiter {
@@ -116,10 +137,23 @@ class Engine {
   };
 
   bool step();
+  void note_scheduled() {
+    events_scheduled_.inc();
+    queue_hwm_.set_max(static_cast<double>(queue_.size()));
+  }
+  void dispatch(const std::function<void()>& fn);
 
   Time now_;
   std::uint64_t next_seq_ = 0;
   bool stop_requested_ = false;
+  bool time_handlers_ = false;
+  std::int64_t handler_ns_ = 0;
+  std::int64_t handler_max_ns_ = 0;
+  obs::Counter events_scheduled_;
+  obs::Counter events_fired_;
+  obs::Counter events_cancelled_;
+  obs::Counter handler_wall_ns_metric_;
+  obs::Gauge queue_hwm_;
   std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
   std::vector<Task> processes_;
 };

@@ -8,13 +8,39 @@
 
 namespace deslp::sim {
 
+SpanTotal& Trace::total_for(std::string_view actor, std::string_view kind) {
+  for (auto& t : span_totals_)
+    if (t.actor == actor && t.kind == kind) return t;
+  span_totals_.push_back(
+      SpanTotal{std::string(actor), std::string(kind), 0, Dur{}});
+  return span_totals_.back();
+}
+
+void Trace::note_span(std::string_view actor, std::string_view kind,
+                      Time begin, Time end) {
+  DESLP_EXPECTS(end >= begin);
+  ++span_count_;
+  SpanTotal& t = total_for(actor, kind);
+  ++t.spans;
+  t.total = t.total + (end - begin);
+}
+
 void Trace::add_span(Span span) {
-  DESLP_EXPECTS(span.end >= span.begin);
+  note_span(span.actor, span.kind, span.begin, span.end);
   if (!recording_) return;
   spans_.push_back(std::move(span));
 }
 
-void Trace::add_mark(Mark mark) { marks_.push_back(std::move(mark)); }
+void Trace::add_mark(Mark mark) {
+  ++mark_count_;
+  marks_.push_back(std::move(mark));
+}
+
+Dur Trace::total_time_in(std::string_view actor, std::string_view kind) const {
+  for (const auto& t : span_totals_)
+    if (t.actor == actor && t.kind == kind) return t.total;
+  return Dur{};
+}
 
 std::vector<Span> Trace::spans_for(const std::string& actor) const {
   std::vector<Span> out;
@@ -78,6 +104,9 @@ std::string Trace::render(std::size_t max_rows) const {
 void Trace::clear() {
   spans_.clear();
   marks_.clear();
+  span_totals_.clear();
+  span_count_ = 0;
+  mark_count_ = 0;
 }
 
 }  // namespace deslp::sim

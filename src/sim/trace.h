@@ -5,6 +5,7 @@
 #pragma once
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "sim/time.h"
@@ -25,15 +26,46 @@ struct Mark {
   Time at;
 };
 
+/// Aggregate residency for one (actor, kind) pair, maintained whether or
+/// not spans are being stored.
+struct SpanTotal {
+  std::string actor;
+  std::string kind;
+  long long spans = 0;
+  Dur total;
+};
+
 class Trace {
  public:
   /// Recording can be disabled for long lifetime runs to avoid accumulating
-  /// millions of spans; marks are always kept (they are rare).
+  /// millions of spans; marks are always kept (they are rare). Span/mark
+  /// *counts* and per-(actor, kind) time totals are maintained either way,
+  /// so a lifetime run still reports aggregate residency.
   void set_recording(bool on) { recording_ = on; }
   [[nodiscard]] bool recording() const { return recording_; }
 
   void add_span(Span span);
   void add_mark(Mark mark);
+
+  /// Aggregate-only span accounting: updates the counts and per-kind time
+  /// totals without building (or storing) a Span. Hot paths call this when
+  /// recording is off; add_span feeds the same totals, so the aggregates
+  /// are consistent whichever entry point was used.
+  void note_span(std::string_view actor, std::string_view kind, Time begin,
+                 Time end);
+
+  /// Spans ever seen (stored or merely noted) and marks ever added.
+  [[nodiscard]] long long span_count() const { return span_count_; }
+  [[nodiscard]] long long mark_count() const { return mark_count_; }
+
+  /// Aggregate residency over the whole run, independent of recording.
+  [[nodiscard]] const std::vector<SpanTotal>& span_totals() const {
+    return span_totals_;
+  }
+  /// Total time `actor` spent in `kind` spans over the whole run (aggregate
+  /// path; use time_in() for windowed queries on a recorded trace).
+  [[nodiscard]] Dur total_time_in(std::string_view actor,
+                                  std::string_view kind) const;
 
   [[nodiscard]] const std::vector<Span>& spans() const { return spans_; }
   [[nodiscard]] const std::vector<Mark>& marks() const { return marks_; }
@@ -51,7 +83,14 @@ class Trace {
   void clear();
 
  private:
+  SpanTotal& total_for(std::string_view actor, std::string_view kind);
+
   bool recording_ = true;
+  long long span_count_ = 0;
+  long long mark_count_ = 0;
+  // Few distinct (actor, kind) pairs per run; a scanned vector beats a map
+  // and keeps the aggregate path allocation-free once warm.
+  std::vector<SpanTotal> span_totals_;
   std::vector<Span> spans_;
   std::vector<Mark> marks_;
 };

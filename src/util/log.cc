@@ -1,13 +1,19 @@
 #include "util/log.h"
 
+#include <atomic>
 #include <cstdio>
+#include <mutex>
 #include <utility>
 
 namespace deslp::log {
 
 namespace {
 
-Level g_level = Level::kWarn;
+std::atomic<Level> g_level{Level::kWarn};
+// Guards the sink: both replacement (set_sink) and invocation (write) hold
+// it, so a sink is never destroyed while another thread is inside it, and
+// messages from concurrent runs are serialized rather than interleaved.
+std::mutex g_sink_mutex;
 Sink g_sink;
 
 const char* level_name(Level lvl) {
@@ -28,14 +34,20 @@ const char* level_name(Level lvl) {
 
 }  // namespace
 
-void set_level(Level level) { g_level = level; }
+void set_level(Level level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
 
-Level level() { return g_level; }
+Level level() { return g_level.load(std::memory_order_relaxed); }
 
-void set_sink(Sink sink) { g_sink = std::move(sink); }
+void set_sink(Sink sink) {
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  g_sink = std::move(sink);
+}
 
 void write(Level lvl, std::string_view message) {
-  if (lvl < g_level) return;
+  if (lvl < level()) return;
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
   if (g_sink) {
     g_sink(lvl, message);
     return;

@@ -1,7 +1,9 @@
-// Minimal leveled logger. The simulator is deterministic and single-threaded,
-// so the logger is intentionally simple: a global level, printf-style
-// formatting via std::format-like streams, and an optional sink override used
-// by tests to capture output.
+// Minimal leveled logger: a global level, stream-style formatting, and an
+// optional sink override used by tests to capture output. A single simulation
+// run is deterministic and single-threaded, but the batch runner executes
+// runs on worker threads, so the logger itself is thread-safe: the level is
+// atomic and the sink is swapped and invoked under a mutex (messages from
+// concurrent runs never interleave mid-line).
 #pragma once
 
 #include <functional>

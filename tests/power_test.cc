@@ -77,6 +77,28 @@ TEST(PowerMonitor, CsvExportHasHeaderAndRows) {
   EXPECT_NE(out.find("55.000"), std::string::npos);
 }
 
+TEST(PowerMonitor, CsvExportEmptyTraceIsHeaderOnly) {
+  PowerMonitor m("n", volts(4.0));
+  std::ostringstream os;
+  m.write_trace_csv(os);
+  EXPECT_EQ(os.str(), "time_s,mode,level,current_mA,duration_s,soc\n");
+}
+
+TEST(PowerMonitor, CsvExportGoldenRows) {
+  PowerMonitor m("n", volts(4.0));
+  m.set_tracing(true);
+  m.record(cpu::Mode::kComp, 10, milliamps(130.0), seconds(1.5),
+           sim::Time{2'500'000'000}, 0.75);
+  m.record(cpu::Mode::kIdle, 0, milliamps(40.0), seconds(0.25),
+           sim::Time{4'000'000'000}, 0.5);
+  std::ostringstream os;
+  m.write_trace_csv(os);
+  EXPECT_EQ(os.str(),
+            "time_s,mode,level,current_mA,duration_s,soc\n"
+            "2.500000,comp,10,130.000,1.500000,0.750000\n"
+            "4.000000,idle,0,40.000,0.250000,0.500000\n");
+}
+
 TEST(PowerMonitor, ResetClearsEverything) {
   PowerMonitor m("n", volts(4.0));
   m.set_tracing(true);

@@ -340,5 +340,73 @@ TEST(Trace, RenderSortsByTime) {
   EXPECT_LT(out.find("A"), out.find("B"));
 }
 
+TEST(Trace, RenderEmptyTraceIsEmptyString) {
+  Trace t;
+  EXPECT_EQ(t.render(), "");
+}
+
+TEST(Trace, RenderTruncatesAtMaxRows) {
+  Trace t;
+  for (int i = 0; i < 5; ++i)
+    t.add_span({"A", "X", Time{i * 1'000'000'000LL},
+                Time{(i + 1) * 1'000'000'000LL}, ""});
+  const std::string out = t.render(2);
+  EXPECT_NE(out.find("(3 more rows)"), std::string::npos);
+}
+
+TEST(Trace, TimeInEmptyAndReversedWindowsAreZero) {
+  Trace t;
+  t.add_span({"A", "PROC", Time{0}, Time{1'000'000'000}, ""});
+  // Empty window.
+  EXPECT_EQ(t.time_in("A", "PROC", Time{500}, Time{500}).nanos(), 0);
+  // Reversed window clips to nothing rather than going negative.
+  EXPECT_EQ(t.time_in("A", "PROC", Time{1'000'000'000}, Time{0}).nanos(), 0);
+  // No matching actor/kind.
+  EXPECT_EQ(t.time_in("B", "PROC", Time{0}, Time{1'000'000'000}).nanos(), 0);
+  EXPECT_EQ(t.time_in("A", "SEND", Time{0}, Time{1'000'000'000}).nanos(), 0);
+}
+
+TEST(Trace, AggregatesSurviveRecordingOff) {
+  Trace t;
+  t.set_recording(false);
+  t.add_span({"Node1", "PROC", Time{0}, Time{1'000'000'000}, ""});
+  t.note_span("Node1", "PROC", Time{1'000'000'000}, Time{3'000'000'000});
+  t.note_span("Node1", "SEND", Time{3'000'000'000}, Time{3'500'000'000});
+  t.add_mark({"Node1", "m", Time{0}});
+
+  EXPECT_TRUE(t.spans().empty());  // nothing stored...
+  EXPECT_EQ(t.span_count(), 3);    // ...but everything counted
+  EXPECT_EQ(t.mark_count(), 1);
+  EXPECT_EQ(t.total_time_in("Node1", "PROC").nanos(), 3'000'000'000);
+  EXPECT_EQ(t.total_time_in("Node1", "SEND").nanos(), 500'000'000);
+  EXPECT_EQ(t.total_time_in("Node1", "RECV").nanos(), 0);
+
+  ASSERT_EQ(t.span_totals().size(), 2u);
+  EXPECT_EQ(t.span_totals()[0].actor, "Node1");
+  EXPECT_EQ(t.span_totals()[0].kind, "PROC");
+  EXPECT_EQ(t.span_totals()[0].spans, 2);
+}
+
+TEST(Trace, AddSpanAndNoteSpanFeedTheSameTotals) {
+  Trace recorded, noted;
+  recorded.add_span({"A", "PROC", Time{0}, Time{2'000'000'000}, ""});
+  noted.set_recording(false);
+  noted.note_span("A", "PROC", Time{0}, Time{2'000'000'000});
+  EXPECT_EQ(recorded.span_count(), noted.span_count());
+  EXPECT_EQ(recorded.total_time_in("A", "PROC").nanos(),
+            noted.total_time_in("A", "PROC").nanos());
+}
+
+TEST(Trace, ClearResetsAggregates) {
+  Trace t;
+  t.add_span({"A", "PROC", Time{0}, Time{1'000'000'000}, ""});
+  t.add_mark({"A", "m", Time{0}});
+  t.clear();
+  EXPECT_EQ(t.span_count(), 0);
+  EXPECT_EQ(t.mark_count(), 0);
+  EXPECT_TRUE(t.span_totals().empty());
+  EXPECT_EQ(t.total_time_in("A", "PROC").nanos(), 0);
+}
+
 }  // namespace
 }  // namespace deslp::sim

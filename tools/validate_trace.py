@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event JSON file produced by the obs exporter.
+
+Checks the schema Perfetto/chrome://tracing rely on: a traceEvents array
+whose entries carry the per-phase required fields, microsecond timestamps
+that are finite and non-negative, and — because the exporter should always
+emit a non-trivial timeline — at least one complete ("X"), one instant
+("i"), and one counter ("C") event.
+
+Usage:
+  validate_trace.py TRACE.json
+  validate_trace.py --generate RUNNER SCENARIO TRACE.json
+      First run `RUNNER --trace-json=TRACE.json SCENARIO`, then validate
+      the file it wrote (used by the CMake trace-validate target).
+"""
+
+import json
+import subprocess
+import sys
+
+
+def fail(msg):
+    print(f"validate_trace: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_number(event, index, key):
+    value = event.get(key)
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        fail(f"event {index}: '{key}' must be a number, got {value!r}")
+    if value != value or value in (float("inf"), float("-inf")):
+        fail(f"event {index}: '{key}' is not finite")
+    if value < 0:
+        fail(f"event {index}: '{key}' is negative ({value})")
+
+
+def validate(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: {e}")
+
+    if not isinstance(doc, dict):
+        fail("top level must be an object")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        fail("'traceEvents' must be an array")
+
+    phase_counts = {}
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            fail(f"event {i}: not an object")
+        ph = ev.get("ph")
+        if not isinstance(ph, str) or not ph:
+            fail(f"event {i}: missing phase 'ph'")
+        phase_counts[ph] = phase_counts.get(ph, 0) + 1
+        if not isinstance(ev.get("pid"), int):
+            fail(f"event {i}: missing integer 'pid'")
+        if ph == "M":
+            if not isinstance(ev.get("name"), str):
+                fail(f"event {i}: metadata event needs a 'name'")
+            continue
+        if not isinstance(ev.get("name"), str) or not ev["name"]:
+            fail(f"event {i}: missing 'name'")
+        check_number(ev, i, "ts")
+        if ph == "X":
+            check_number(ev, i, "dur")
+        elif ph == "i":
+            if ev.get("s") not in ("g", "p", "t"):
+                fail(f"event {i}: instant event scope 's' must be g/p/t")
+        elif ph == "C":
+            args = ev.get("args")
+            if not isinstance(args, dict) or not args:
+                fail(f"event {i}: counter event needs non-empty 'args'")
+            for k, v in args.items():
+                if not isinstance(v, (int, float)) or isinstance(v, bool):
+                    fail(f"event {i}: counter value '{k}' must be a number")
+        else:
+            fail(f"event {i}: unexpected phase {ph!r}")
+
+    for required in ("X", "i", "C"):
+        if phase_counts.get(required, 0) == 0:
+            fail(f"no '{required}' events — trace is missing "
+                 f"{'spans' if required == 'X' else 'marks' if required == 'i' else 'counter tracks'}")
+
+    print(f"{path}: OK ({len(events)} events: "
+          + ", ".join(f"{k}={v}" for k, v in sorted(phase_counts.items()))
+          + ")")
+
+
+def main(argv):
+    if len(argv) == 4 and argv[0] == "--generate":
+        runner, scenario, out = argv[1:]
+        result = subprocess.run([runner, f"--trace-json={out}", scenario])
+        if result.returncode != 0:
+            fail(f"{runner} exited with {result.returncode}")
+        validate(out)
+    elif len(argv) == 1:
+        validate(argv[0])
+    else:
+        fail("usage: validate_trace.py [--generate RUNNER SCENARIO] TRACE.json")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])
