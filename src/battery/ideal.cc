@@ -20,6 +20,7 @@ class IdealBattery final : public Battery {
     DESLP_EXPECTS(i.value() >= 0.0);
     DESLP_EXPECTS(dt.value() >= 0.0);
     if (empty()) return seconds(0.0);
+    // deslp-lint: allow(float-eq): exact zero-current sentinel (no decay)
     if (i.value() == 0.0) return dt;
     const Seconds tte = discharge_time(remaining_, i);
     const Seconds sustained = tte < dt ? tte : dt;
@@ -35,6 +36,7 @@ class IdealBattery final : public Battery {
   [[nodiscard]] Seconds time_to_empty(Amps i) const override {
     DESLP_EXPECTS(i.value() >= 0.0);
     if (empty()) return seconds(0.0);
+    // deslp-lint: allow(float-eq): exact zero-current sentinel (no decay)
     if (i.value() == 0.0)
       return seconds(std::numeric_limits<double>::infinity());
     return discharge_time(remaining_, i);

@@ -47,7 +47,9 @@ class KibamBattery final : public Battery {
   [[nodiscard]] bool can_sustain(Amps i, Seconds dt) const override {
     DESLP_EXPECTS(i.value() >= 0.0);
     DESLP_EXPECTS(dt.value() >= 0.0);
+    // deslp-lint: allow(float-eq): exact zero sentinels, not tolerances
     if (empty()) return dt.value() == 0.0;
+    // deslp-lint: allow(float-eq): exact zero-current sentinel (no decay)
     if (i.value() == 0.0) return true;
     // One wells_at evaluation — the same predicate discharge's fast path
     // uses — instead of time_to_empty's ~40-evaluation bisection.
@@ -58,6 +60,7 @@ class KibamBattery final : public Battery {
     DESLP_EXPECTS(i.value() >= 0.0);
     if (empty()) return seconds(0.0);
     const double current = i.value();
+    // deslp-lint: allow(float-eq): exact zero-current sentinel (no decay)
     if (current == 0.0)
       return seconds(std::numeric_limits<double>::infinity());
 

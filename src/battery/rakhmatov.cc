@@ -50,6 +50,7 @@ class RakhmatovBattery final : public Battery {
   [[nodiscard]] bool can_sustain(Amps i, Seconds dt) const override {
     DESLP_EXPECTS(i.value() >= 0.0);
     DESLP_EXPECTS(dt.value() >= 0.0);
+    // deslp-lint: allow(float-eq): exact zero-duration sentinel
     if (empty()) return dt.value() == 0.0;
     // One sigma evaluation — the same predicate discharge's fast path uses
     // — instead of time_to_empty's bracketing bisection.
@@ -60,6 +61,7 @@ class RakhmatovBattery final : public Battery {
     DESLP_EXPECTS(i.value() >= 0.0);
     if (empty()) return seconds(0.0);
     const double current = i.value();
+    // deslp-lint: allow(float-eq): exact zero-current sentinel (no decay)
     if (current == 0.0)
       return seconds(std::numeric_limits<double>::infinity());
 

@@ -15,8 +15,10 @@ void BatchRunner::run(std::size_t n,
                       const std::function<void(std::size_t)>& fn) {
   wall_ms_.assign(n, 0.0);
   auto timed = [this, &fn](std::size_t i) {
+    // deslp-lint: allow(wall-clock): --timing measurement, not a result path
     const auto start = std::chrono::steady_clock::now();
     fn(i);
+    // deslp-lint: allow(wall-clock): --timing measurement, not a result path
     const auto end = std::chrono::steady_clock::now();
     wall_ms_[i] =
         std::chrono::duration<double, std::milli>(end - start).count();

@@ -39,6 +39,7 @@ ExperimentResult ExperimentSuite::run(const ExperimentSpec& spec) const {
 
 ExperimentResult ExperimentSuite::run(const ExperimentSpec& spec,
                                       RunObservation* capture) const {
+  // deslp-lint: allow(wall-clock): --timing measurement, not a result path
   const auto wall_start = std::chrono::steady_clock::now();
   ExperimentResult result;
   result.id = spec.id;
@@ -65,6 +66,7 @@ ExperimentResult ExperimentSuite::run(const ExperimentSpec& spec,
     result.battery_life = lr.lifetime;
     result.normalized_life = lr.lifetime;
     result.wall_ms = std::chrono::duration<double, std::milli>(
+                         // deslp-lint: allow(wall-clock): --timing only
                          std::chrono::steady_clock::now() - wall_start)
                          .count();
     return result;
@@ -117,6 +119,7 @@ ExperimentResult ExperimentSuite::run(const ExperimentSpec& spec,
   result.normalized_life =
       result.battery_life * (1.0 / static_cast<double>(stages));
   result.wall_ms = std::chrono::duration<double, std::milli>(
+                       // deslp-lint: allow(wall-clock): --timing only
                        std::chrono::steady_clock::now() - wall_start)
                        .count();
   return result;

@@ -107,6 +107,7 @@ YaoSchedule yao_schedule(std::vector<Job> jobs) {
     DESLP_EXPECTS(j.work >= 0.0);
   }
   // Drop zero-work jobs; they never affect the schedule.
+  // deslp-lint: allow(float-eq): exact zero-work sentinel, not a tolerance
   std::erase_if(jobs, [](const Job& j) { return j.work == 0.0; });
 
   std::vector<SpeedSegment> segments;
@@ -133,6 +134,7 @@ YaoSchedule yao_schedule(std::vector<Job> jobs) {
           if (done[k]) continue;
           if (jobs[k].arrival >= a && jobs[k].deadline <= d) w += jobs[k].work;
         }
+        // deslp-lint: allow(float-eq): w is an exact sum of non-zero works
         if (w == 0.0) continue;
         const double usable = (d - a) - blocked.overlap(a, d);
         DESLP_ENSURES(usable > 0.0);  // contained jobs need usable time

@@ -42,6 +42,7 @@ std::string json_escape(std::string_view s) {
 std::string json_number(double v) {
   if (!std::isfinite(v)) return "null";
   char buf[40];
+  // deslp-lint: allow(float-eq): exact integer-representability test
   if (v == static_cast<double>(static_cast<long long>(v)) &&
       std::fabs(v) < 1e15) {
     std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));

@@ -18,6 +18,7 @@ void PowerMonitor::record(cpu::Mode mode, int level, Amps current,
                           Seconds duration, sim::Time at, double soc_after) {
   DESLP_EXPECTS(current.value() >= 0.0);
   DESLP_EXPECTS(duration.value() >= 0.0);
+  // deslp-lint: allow(float-eq): zero-duration slices carry no charge
   if (duration.value() == 0.0) return;
   ModeTotals& t = totals_[static_cast<int>(mode)];
   t.time += duration;

@@ -39,9 +39,11 @@ void Engine::dispatch(const std::function<void()>& fn) {
     fn();
     return;
   }
+  // deslp-lint: allow(wall-clock): opt-in handler wall-time instrumentation
   const auto start = std::chrono::steady_clock::now();
   fn();
   const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      // deslp-lint: allow(wall-clock): instrumentation only
                       std::chrono::steady_clock::now() - start)
                       .count();
   handler_ns_ += ns;

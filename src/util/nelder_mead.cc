@@ -21,8 +21,9 @@ NelderMeadResult nelder_mead(
   verts.push_back(x0);
   for (std::size_t i = 0; i < n; ++i) {
     auto v = x0;
-    const double step =
-        v[i] != 0.0 ? opt.relative_step * std::abs(v[i]) : opt.absolute_step;
+    // deslp-lint: allow(float-eq): exact-zero coordinate needs absolute step
+    const double step = v[i] != 0.0 ? opt.relative_step * std::abs(v[i])
+                                    : opt.absolute_step;
     v[i] += step;
     verts.push_back(std::move(v));
   }

@@ -64,6 +64,7 @@ double rms_relative_error(const std::vector<double>& reference,
   DESLP_EXPECTS(!reference.empty());
   double acc = 0.0;
   for (std::size_t i = 0; i < reference.size(); ++i) {
+    // deslp-lint: allow(float-eq): precondition — relative error undefined at 0
     DESLP_EXPECTS(reference[i] != 0.0);
     const double rel = (measured[i] - reference[i]) / reference[i];
     acc += rel * rel;

@@ -1,0 +1,9 @@
+// Fixture: files under a bench/ prefix may read the wall clock without any
+// annotation — benchmarks time things by design (PATH_ALLOWLIST).
+#include <chrono>
+
+double bench_elapsed() {
+  const auto start = std::chrono::steady_clock::now();
+  const auto end = std::chrono::high_resolution_clock::now();
+  return std::chrono::duration<double>(end - start).count();
+}

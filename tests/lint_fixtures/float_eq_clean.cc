@@ -1,0 +1,18 @@
+// Fixture: integer comparisons, epsilon comparisons, operator== definitions
+// and float literals in *other* operands of the same expression are fine.
+#include <cmath>
+#include <cstdint>
+
+struct Tick {
+  std::int64_t ns = 0;
+  std::int64_t nanos() const { return ns; }
+  // An operator!= declaration is not a comparison site.
+  bool operator!=(const Tick& o) const { return ns != o.ns; }
+};
+
+bool checks(Tick a, Tick b, int n, double x) {
+  bool t1 = a.nanos() == b.nanos();      // integral sim-time compare: exact
+  bool t2 = std::abs(x - 1.5) < 1e-9;    // epsilon compare, no ==
+  bool t3 = n == 3 && x > 0.5;           // the == operands are integers
+  return t1 || t2 || t3;
+}

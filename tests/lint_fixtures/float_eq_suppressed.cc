@@ -1,0 +1,9 @@
+// Fixture: an annotated exact-sentinel comparison is not a finding.
+bool drained(double soc) {
+  // deslp-lint: allow(float-eq): exact zero-SoC sentinel, not a tolerance
+  return soc == 0.0;
+}
+
+bool idle(double current_a) {
+  return current_a == 0.0;  // deslp-lint: allow(float-eq): exact sentinel
+}

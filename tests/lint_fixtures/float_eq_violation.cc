@@ -1,0 +1,16 @@
+// Fixture: ==/!= with a textually floating operand (float literal, unit
+// .value(), or static_cast<double|float>) must be flagged.
+namespace {
+struct Sec {
+  double v = 0.0;
+  double value() const { return v; }
+};
+}  // namespace
+
+bool checks(Sec t, double energy, double x, long n) {
+  bool a = t.value() == 0.0;               // expect-lint: float-eq
+  bool b = energy != 1.5;                  // expect-lint: float-eq
+  bool c = x == static_cast<double>(n);    // expect-lint: float-eq
+  bool d = 2.5e-3 != x;                    // expect-lint: float-eq
+  return a || b || c || d;
+}

@@ -1,0 +1,6 @@
+// Fixture: the project convention — a leading comment then #pragma once.
+#pragma once
+
+namespace fixture {
+inline int answer() { return 42; }
+}  // namespace fixture

@@ -1,0 +1,11 @@
+// expect-lint: header-guard
+// Fixture: a header without #pragma once (even one with a classic #ifndef
+// guard) violates the project convention; the finding anchors to line 1.
+#ifndef DESLP_TESTS_LINT_FIXTURES_HEADER_GUARD_VIOLATION_H_
+#define DESLP_TESTS_LINT_FIXTURES_HEADER_GUARD_VIOLATION_H_
+
+namespace fixture {
+inline int answer() { return 42; }
+}  // namespace fixture
+
+#endif  // DESLP_TESTS_LINT_FIXTURES_HEADER_GUARD_VIOLATION_H_

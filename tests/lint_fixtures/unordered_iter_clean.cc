@@ -1,0 +1,19 @@
+// Fixture: ordered-map iteration, point lookups into unordered containers,
+// and the sort-the-keys-first pattern are all fine.
+#include <algorithm>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+double report(const std::map<std::string, double>& ordered,
+              const std::unordered_map<std::string, double>& fast) {
+  double acc = 0.0;
+  for (const auto& [key, value] : ordered) acc += value;
+  if (auto it = fast.find("total"); it != fast.end()) acc += it->second;
+  std::vector<std::string> keys;
+  keys.reserve(fast.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) acc += fast.at(keys[i]);
+  std::sort(keys.begin(), keys.end());
+  return acc;
+}

@@ -1,0 +1,22 @@
+// Fixture: iterating an unordered container (directly, via .begin(), or
+// through a type alias) must be flagged — the order feeds output.
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+using Index = std::unordered_map<int, int>;
+
+struct Report {
+  std::unordered_map<std::string, double> totals_;
+  std::unordered_set<int> seen_;
+  Index index_;
+
+  double sum() const {
+    double acc = 0.0;
+    for (const auto& [key, value] : totals_) acc += value;  // expect-lint: unordered-iter
+    for (int id : seen_) acc += id;                         // expect-lint: unordered-iter
+    for (const auto& [k, v] : index_) acc += v;             // expect-lint: unordered-iter
+    for (auto it = totals_.begin(); it != totals_.end(); ++it) acc += 1.0;  // expect-lint: unordered-iter
+    return acc;
+  }
+};

@@ -1,0 +1,14 @@
+// Fixture: explicitly seeded engines and the project Rng are fine; the
+// words rand() / random_device inside comments or strings must not trip.
+#include <cstdint>
+#include <random>
+#include <string>
+
+std::uint64_t draw(std::uint64_t seed) {
+  std::mt19937 seeded(static_cast<std::mt19937::result_type>(seed));
+  std::mt19937_64 seeded64{seed};
+  const std::string doc = "never calls rand() or std::random_device";
+  // A comment mentioning rand() and random_device is not a violation.
+  (void)doc;
+  return seeded() + seeded64();
+}

@@ -1,0 +1,11 @@
+// Fixture: every nondeterministic randomness source must be flagged.
+#include <cstdlib>
+#include <random>
+
+unsigned roll_the_dice() {
+  std::random_device rd;               // expect-lint: unseeded-random
+  std::mt19937 gen;                    // expect-lint: unseeded-random
+  srand(42);                           // expect-lint: unseeded-random
+  unsigned r = rand();                 // expect-lint: unseeded-random
+  return rd() + gen() + r;
+}

@@ -1,0 +1,14 @@
+// Fixture: qualified names and using-declarations are fine in headers;
+// the words "using namespace" inside a comment or string must not trip.
+#pragma once
+
+#include <string>
+
+namespace fixture {
+using std::string;  // a using-declaration, not a using-directive
+
+inline string motto() {
+  // Saying "using namespace std;" in a comment is not a violation.
+  return "never using namespace in a header";
+}
+}  // namespace fixture

@@ -1,0 +1,13 @@
+// Fixture: `using namespace` in a header leaks into every includer.
+#pragma once
+
+#include <chrono>
+
+using namespace std::chrono_literals;  // expect-lint: using-namespace-header
+
+namespace fixture {
+inline long wait_ns() {
+  using namespace std::chrono;  // expect-lint: using-namespace-header
+  return duration_cast<nanoseconds>(5ms).count();
+}
+}  // namespace fixture

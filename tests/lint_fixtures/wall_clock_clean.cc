@@ -1,0 +1,13 @@
+// Fixture: chrono *duration* arithmetic is fine — only clock reads are
+// banned. Comments and strings mentioning system_clock, steady_clock or
+// gettimeofday must not trip the stripper.
+#include <chrono>
+#include <string>
+
+std::chrono::nanoseconds budget() {
+  using namespace std::chrono_literals;  // .cc file: using namespace is fine
+  const std::string doc = "uses no system_clock, honest: gettimeofday";
+  auto d = 5ms + 3us;
+  (void)doc;
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(d);
+}

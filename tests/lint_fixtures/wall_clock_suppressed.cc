@@ -1,0 +1,10 @@
+// Fixture: inline allow() neutralises a wall-clock finding, both in the
+// trailing same-line form and on a comment-only line directly above.
+#include <chrono>
+
+double measure() {
+  // deslp-lint: allow(wall-clock): fixture for the line-above form
+  const auto start = std::chrono::steady_clock::now();
+  const auto end = std::chrono::steady_clock::now();  // deslp-lint: allow(wall-clock): same-line form
+  return std::chrono::duration<double>(end - start).count();
+}

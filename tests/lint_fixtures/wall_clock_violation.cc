@@ -1,0 +1,23 @@
+// Fixture: every banned wall-clock read must be flagged.
+#include <chrono>
+#include <ctime>
+#include <sys/time.h>
+
+double sample_host_time() {
+  auto a = std::chrono::system_clock::now();           // expect-lint: wall-clock
+  auto b = std::chrono::steady_clock::now();           // expect-lint: wall-clock
+  auto c = std::chrono::high_resolution_clock::now();  // expect-lint: wall-clock
+  std::time_t t = time(nullptr);                       // expect-lint: wall-clock
+  timeval tv;
+  gettimeofday(&tv, nullptr);                          // expect-lint: wall-clock
+  timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);                 // expect-lint: wall-clock
+  std::clock_t ticks = clock();                        // expect-lint: wall-clock
+  std::tm* local = localtime(&t);                      // expect-lint: wall-clock
+  (void)a;
+  (void)b;
+  (void)c;
+  (void)local;
+  return static_cast<double>(ticks) + static_cast<double>(tv.tv_sec) +
+         static_cast<double>(ts.tv_sec);
+}

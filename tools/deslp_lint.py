@@ -1,0 +1,709 @@
+#!/usr/bin/env python3
+"""deslp determinism & hygiene linter.
+
+The simulator's headline results (fig. 10) are trustworthy only because every
+run is bit-reproducible: the batch runner was made bitwise-identical for any
+--jobs count and the trace/report writers byte-stable. This linter enforces
+the source-level invariants that keep it that way. It walks src/, bench/ and
+examples/ and flags:
+
+  wall-clock              wall-clock reads (std::chrono::{system,steady,
+                          high_resolution}_clock, time(nullptr), gettimeofday,
+                          clock_gettime, clock(), localtime/gmtime, __rdtsc)
+                          outside the timing allowlist. Simulated time comes
+                          from sim::Engine; host time in a result path breaks
+                          replay.
+  unseeded-random         nondeterministic randomness: std::random_device,
+                          rand()/srand, arc4random, or a default-constructed
+                          std::mt19937. All randomness must flow through the
+                          seedable util::Rng.
+  unordered-iter          iteration over std::unordered_{map,set,multimap,
+                          multiset}: iteration order is unspecified and varies
+                          across libstdc++/libc++, so anything it feeds
+                          (reports, traces, metrics, totals) can differ
+                          between builds. Use std::map or sort first.
+  float-eq                == / != where an operand is textually floating
+                          (float literal, unit-wrapper .value(), or a
+                          static_cast<double|float>). Exact FP comparison on
+                          simulated time or energy is usually a latent
+                          tolerance bug; intentional sentinel checks must be
+                          annotated.
+  using-namespace-header  `using namespace` in a header leaks into every
+                          includer.
+  header-guard            every header must contain `#pragma once` (the
+                          project's include-guard convention).
+
+Suppressions: append `// deslp-lint: allow(<rule>)` (optionally
+`allow(rule): reason` or `allow(rule-a, rule-b)`) to the offending line, or
+place it on a comment-only line directly above. Path-level allowances for
+whole trees (benchmarks time things by design) live in PATH_ALLOWLIST below.
+
+Usage:
+  deslp_lint.py [--root DIR] [PATHS...]   lint (default paths: src bench examples)
+  deslp_lint.py --json                    machine-readable findings on stdout
+  deslp_lint.py --self-test               run against tests/lint_fixtures
+  deslp_lint.py --list-rules              print rule ids and one-line docs
+
+Exit codes: 0 clean, 1 findings (or self-test failure), 2 usage/IO error.
+"""
+
+import argparse
+import json
+import os
+import re
+import sys
+
+# Per-rule path prefixes (relative to the scan root, '/'-separated) where the
+# rule does not apply. Benchmarks measure host wall-clock by design; that is
+# the only blanket allowance — everything else must use an inline allow()
+# with a rationale.
+PATH_ALLOWLIST = {
+    "wall-clock": ("bench/",),
+}
+
+DEFAULT_SCAN_DIRS = ("src", "bench", "examples")
+SOURCE_EXTS = (".cc", ".cpp", ".cxx", ".h", ".hpp")
+HEADER_EXTS = (".h", ".hpp")
+
+ALLOW_RE = re.compile(r"deslp-lint:\s*allow\(([\w\-\s,]+)\)")
+EXPECT_RE = re.compile(r"expect-lint:\s*([\w\-\s,]+)")
+
+
+class Finding:
+    __slots__ = ("file", "line", "rule", "message", "snippet")
+
+    def __init__(self, file, line, rule, message, snippet=""):
+        self.file = file
+        self.line = line
+        self.rule = rule
+        self.message = message
+        self.snippet = snippet.strip()
+
+    def key(self):
+        return (self.file, self.line, self.rule)
+
+    def __str__(self):
+        loc = f"{self.file}:{self.line}"
+        out = f"{loc}: [{self.rule}] {self.message}"
+        if self.snippet:
+            out += f"\n    {self.snippet}"
+        return out
+
+
+def strip_comments_and_strings(text):
+    """Return (code, comments) with identical length/line structure to text.
+
+    `code` has comments, string literals and char literals blanked with
+    spaces (newlines kept) so rule regexes never match inside them;
+    `comments` has everything *except* comment text blanked, so suppression
+    markers are only recognised inside real comments.
+    """
+    n = len(text)
+    code = list(text)
+    comments = [" " if c != "\n" else "\n" for c in text]
+    i = 0
+    NORMAL, LINE_COMMENT, BLOCK_COMMENT, STRING, CHAR, RAW_STRING = range(6)
+    state = NORMAL
+    raw_delim = ""
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == NORMAL:
+            if c == "/" and nxt == "/":
+                state = LINE_COMMENT
+                code[i] = code[i + 1] = " "
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = BLOCK_COMMENT
+                code[i] = code[i + 1] = " "
+                i += 2
+                continue
+            if c == '"':
+                # Raw string literal?  R"delim( ... )delim"
+                m = re.match(r'R"([^\s()\\]{0,16})\(', text[i - 1 : i + 20]) if i > 0 and text[i - 1] == "R" else None
+                if m:
+                    raw_delim = ")" + m.group(1) + '"'
+                    state = RAW_STRING
+                else:
+                    state = STRING
+                code[i] = " "
+                i += 1
+                continue
+            if c == "'":
+                state = CHAR
+                code[i] = " "
+                i += 1
+                continue
+            i += 1
+        elif state == LINE_COMMENT:
+            if c == "\n":
+                state = NORMAL
+            else:
+                comments[i] = c
+                code[i] = " "
+            i += 1
+        elif state == BLOCK_COMMENT:
+            if c == "*" and nxt == "/":
+                state = NORMAL
+                code[i] = code[i + 1] = " "
+                i += 2
+                continue
+            if c != "\n":
+                comments[i] = c
+                code[i] = " "
+            i += 1
+        elif state == STRING:
+            if c == "\\":
+                if c != "\n":
+                    code[i] = " "
+                i += 1
+                if i < n and text[i] != "\n":
+                    code[i] = " "
+                i += 1
+                continue
+            if c == '"':
+                code[i] = " "
+                state = NORMAL
+            elif c != "\n":
+                code[i] = " "
+            i += 1
+        elif state == CHAR:
+            if c == "\\":
+                if c != "\n":
+                    code[i] = " "
+                i += 1
+                if i < n and text[i] != "\n":
+                    code[i] = " "
+                i += 1
+                continue
+            if c == "'":
+                code[i] = " "
+                state = NORMAL
+            elif c != "\n":
+                code[i] = " "
+            i += 1
+        elif state == RAW_STRING:
+            if text.startswith(raw_delim, i):
+                for j in range(len(raw_delim)):
+                    code[i + j] = " "
+                i += len(raw_delim)
+                state = NORMAL
+                continue
+            if c != "\n":
+                code[i] = " "
+            i += 1
+    return "".join(code), "".join(comments)
+
+
+class FileContext:
+    """Preprocessed view of one source file handed to every rule."""
+
+    def __init__(self, relpath, text):
+        self.relpath = relpath
+        self.text = text
+        self.code, self.comment_text = strip_comments_and_strings(text)
+        self.lines = text.split("\n")
+        self.code_lines = self.code.split("\n")
+        self.comment_lines = self.comment_text.split("\n")
+        self.is_header = os.path.splitext(relpath)[1] in HEADER_EXTS
+        self.allows = self._collect_allows()
+
+    def _collect_allows(self):
+        """Map 1-based line number -> set of allowed rule ids."""
+        allows = {}
+        for idx, comment in enumerate(self.comment_lines):
+            m = ALLOW_RE.search(comment)
+            if not m:
+                continue
+            rules = {r.strip() for r in m.group(1).split(",") if r.strip()}
+            lineno = idx + 1
+            allows.setdefault(lineno, set()).update(rules)
+            # A comment-only line covers the next line of code as well.
+            if self.code_lines[idx].strip() == "":
+                allows.setdefault(lineno + 1, set()).update(rules)
+        return allows
+
+    def allowed(self, lineno, rule):
+        return rule in self.allows.get(lineno, ())
+
+
+# ---------------------------------------------------------------------------
+# Rules.  Each rule is a function(ctx) -> iterable of (lineno, message).
+# ---------------------------------------------------------------------------
+
+WALL_CLOCK_PATTERNS = (
+    (re.compile(r"\bsystem_clock\b"), "std::chrono::system_clock"),
+    (re.compile(r"\bsteady_clock\b"), "std::chrono::steady_clock"),
+    (re.compile(r"\bhigh_resolution_clock\b"), "std::chrono::high_resolution_clock"),
+    (re.compile(r"\bgettimeofday\b"), "gettimeofday()"),
+    (re.compile(r"\bclock_gettime\b"), "clock_gettime()"),
+    (re.compile(r"\btime\s*\(\s*(?:nullptr|NULL|0)\s*\)"), "time(nullptr)"),
+    (re.compile(r"(?<![\w:.])clock\s*\(\s*\)"), "clock()"),
+    (re.compile(r"\blocaltime\b|\bgmtime\b"), "localtime()/gmtime()"),
+    (re.compile(r"\b__rdtsc\b"), "__rdtsc()"),
+)
+
+
+def rule_wall_clock(ctx):
+    for idx, line in enumerate(ctx.code_lines):
+        for pat, what in WALL_CLOCK_PATTERNS:
+            if pat.search(line):
+                yield (
+                    idx + 1,
+                    f"wall-clock read ({what}): host time in a simulation "
+                    "path breaks bit-reproducible replay; use sim::Engine "
+                    "time, or annotate a genuine --timing measurement path",
+                )
+                break
+
+
+RANDOM_PATTERNS = (
+    (re.compile(r"\brandom_device\b"), "std::random_device"),
+    (re.compile(r"\brand\s*\(\s*\)"), "rand()"),
+    (re.compile(r"\bsrand\s*\("), "srand()"),
+    (re.compile(r"\barc4random\b"), "arc4random()"),
+    (
+        re.compile(r"\bmt19937(?:_64)?\s+\w+\s*(?:;|\{\s*\}|\(\s*\))"),
+        "default-constructed std::mt19937",
+    ),
+)
+
+
+def rule_unseeded_random(ctx):
+    for idx, line in enumerate(ctx.code_lines):
+        for pat, what in RANDOM_PATTERNS:
+            if pat.search(line):
+                yield (
+                    idx + 1,
+                    f"nondeterministic randomness ({what}): every stochastic "
+                    "input must flow through the seedable util::Rng so runs "
+                    "replay identically",
+                )
+                break
+
+
+UNORDERED_DECL_RE = re.compile(
+    r"\bunordered_(?:map|set|multimap|multiset)\s*<[^;{}]*?>\s*[&*]?\s*(\w+)\s*[;={(),]"
+)
+UNORDERED_ALIAS_RE = re.compile(
+    r"\busing\s+(\w+)\s*=\s*(?:std::)?unordered_(?:map|set|multimap|multiset)\b"
+)
+
+
+def rule_unordered_iter(ctx):
+    # Pass 1: names of variables/members (and type aliases) of unordered type
+    # declared anywhere in this file.
+    names = set()
+    aliases = set()
+    for m in UNORDERED_ALIAS_RE.finditer(ctx.code):
+        aliases.add(m.group(1))
+    for m in UNORDERED_DECL_RE.finditer(ctx.code):
+        names.add(m.group(1))
+    for alias in aliases:
+        decl = re.compile(r"\b" + re.escape(alias) + r"\s+(\w+)\s*[;={(]")
+        for m in decl.finditer(ctx.code):
+            names.add(m.group(1))
+    if not names:
+        return
+    union = "|".join(re.escape(n) for n in sorted(names))
+    range_for = re.compile(r"for\s*\([^;()]*:\s*[\w.\->]*\b(" + union + r")\b\s*\)")
+    begin_call = re.compile(r"\b(" + union + r")\s*\.\s*c?begin\s*\(")
+    for idx, line in enumerate(ctx.code_lines):
+        m = range_for.search(line) or begin_call.search(line)
+        if m:
+            yield (
+                idx + 1,
+                f"iteration over unordered container '{m.group(1)}': order is "
+                "unspecified and varies across standard libraries, so any "
+                "output it feeds (report/trace/metrics) loses byte "
+                "reproducibility; use std::map or sort the keys first",
+            )
+
+
+# float-eq works on a token stream so the operator's actual operands are
+# examined (not the whole line — `n == 3 && x > 0.5` must not flag).
+TOKEN_RE = re.compile(
+    r"(?:\d+\.\d*|\.\d+|\d+)(?:[eE][+-]?\d+)?[fFlLuU]*"
+    r"|[A-Za-z_]\w*"
+    r"|::|->|<<=|>>=|==|!=|<=|>=|&&|\|\||<<|>>|[-+*/%&|^!~<>=(){}\[\],;?:.#]"
+)
+FLOAT_LITERAL_RE = re.compile(r"^(?:\d+\.\d*|\.\d+)(?:[eE][+-]?\d+)?[fFlL]*$|^\d+[eE][+-]?\d+[fFlL]*$")
+
+OPEN_FOR = {")": "(", "]": "[", ">": "<"}
+CLOSE_FOR = {"(": ")", "[": "]", "<": ">"}
+
+
+def _tokenize(code):
+    """Yield (token, offset) over comment/string-stripped code."""
+    return [(m.group(0), m.start()) for m in TOKEN_RE.finditer(code)]
+
+
+def _operand_left(tokens, i):
+    """Token indices of the expression ending just before tokens[i]."""
+    out = []
+    j = i - 1
+    depth_stack = []
+    while j >= 0:
+        tok = tokens[j][0]
+        if tok in (")", "]"):
+            depth_stack.append(OPEN_FOR[tok])
+            out.append(j)
+            j -= 1
+            continue
+        if tok in ("(", "["):
+            if not depth_stack:
+                break
+            if depth_stack[-1] == tok:
+                depth_stack.pop()
+            out.append(j)
+            j -= 1
+            continue
+        if depth_stack:
+            out.append(j)
+            j -= 1
+            continue
+        if tok in (".", "->", "::") or re.match(r"^[A-Za-z_\d]", tok) or FLOAT_LITERAL_RE.match(tok):
+            out.append(j)
+            j -= 1
+            continue
+        if tok == ">":
+            # could close a template argument list: scan back to matching <
+            k = j
+            depth = 0
+            ok = False
+            while k >= 0:
+                t = tokens[k][0]
+                if t == ">":
+                    depth += 1
+                elif t == "<":
+                    depth -= 1
+                    if depth == 0:
+                        ok = k > 0 and re.match(r"^[A-Za-z_]", tokens[k - 1][0]) is not None
+                        break
+                k -= 1
+            if ok:
+                out.extend(range(k, j + 1))
+                j = k - 1
+                continue
+            break
+        break
+    out.reverse()
+    return out
+
+
+def _operand_right(tokens, i):
+    """Token indices of the expression starting just after tokens[i]."""
+    out = []
+    j = i + 1
+    if j < len(tokens) and tokens[j][0] in ("-", "+", "!", "~"):
+        out.append(j)
+        j += 1
+    depth_stack = []
+    while j < len(tokens):
+        tok = tokens[j][0]
+        if tok in ("(", "["):
+            depth_stack.append(CLOSE_FOR[tok])
+            out.append(j)
+            j += 1
+            continue
+        if tok in (")", "]"):
+            if not depth_stack:
+                break
+            if depth_stack[-1] == tok:
+                depth_stack.pop()
+            out.append(j)
+            j += 1
+            continue
+        if depth_stack:
+            out.append(j)
+            j += 1
+            continue
+        if tok in (".", "->", "::") or re.match(r"^[A-Za-z_\d]", tok) or FLOAT_LITERAL_RE.match(tok):
+            out.append(j)
+            j += 1
+            continue
+        if tok == "<" and out and re.match(r"^[A-Za-z_]", tokens[j - 1][0]):
+            # template argument list (e.g. static_cast<double>)
+            depth = 0
+            k = j
+            while k < len(tokens):
+                t = tokens[k][0]
+                if t == "<":
+                    depth += 1
+                elif t == ">":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                k += 1
+            if k < len(tokens):
+                out.extend(range(j, k + 1))
+                j = k + 1
+                continue
+            break
+        break
+    return out
+
+
+def _operand_is_floaty(tokens, indices):
+    toks = [tokens[k][0] for k in indices]
+    for idx, t in enumerate(toks):
+        if FLOAT_LITERAL_RE.match(t):
+            return True
+        if t == "value" and idx >= 1 and idx + 2 < len(toks) and toks[idx - 1] == "." and toks[idx + 1] == "(" and toks[idx + 2] == ")":
+            return True
+        if t == "static_cast" and idx + 2 < len(toks) and toks[idx + 1] == "<" and toks[idx + 2] in ("double", "float"):
+            return True
+    return False
+
+
+def rule_float_eq(ctx):
+    tokens = _tokenize(ctx.code)
+    line_of = {}
+    # offset -> line number, computed lazily from newline positions
+    newlines = [i for i, c in enumerate(ctx.code) if c == "\n"]
+
+    def lineno(offset):
+        if offset not in line_of:
+            import bisect
+
+            line_of[offset] = bisect.bisect_right(newlines, offset) + 1
+        return line_of[offset]
+
+    for i, (tok, off) in enumerate(tokens):
+        if tok not in ("==", "!="):
+            continue
+        if i > 0 and tokens[i - 1][0] == "operator":
+            continue  # operator==/!= declaration
+        ln = lineno(off)
+        if ctx.lines[ln - 1].lstrip().startswith("#"):
+            continue  # preprocessor conditional
+        left = _operand_left(tokens, i)
+        right = _operand_right(tokens, i)
+        if _operand_is_floaty(tokens, left) or _operand_is_floaty(tokens, right):
+            yield (
+                ln,
+                f"floating-point {tok} comparison: exact equality on "
+                "simulated time/energy quantities is a latent tolerance bug; "
+                "compare against an epsilon, or annotate an intentional "
+                "exact-sentinel check",
+            )
+
+
+def rule_using_namespace_header(ctx):
+    if not ctx.is_header:
+        return
+    pat = re.compile(r"\busing\s+namespace\b")
+    for idx, line in enumerate(ctx.code_lines):
+        if pat.search(line):
+            yield (
+                idx + 1,
+                "`using namespace` in a header leaks the namespace into "
+                "every translation unit that includes it",
+            )
+
+
+def rule_header_guard(ctx):
+    if not ctx.is_header:
+        return
+    if re.search(r"^\s*#\s*pragma\s+once\b", ctx.code, re.MULTILINE):
+        return
+    yield (
+        1,
+        "header is missing `#pragma once` (the project's include-guard "
+        "convention; see DESIGN.md §9)",
+    )
+
+
+RULES = {
+    "wall-clock": (rule_wall_clock, "wall-clock reads outside the timing allowlist"),
+    "unseeded-random": (rule_unseeded_random, "nondeterministic randomness sources"),
+    "unordered-iter": (rule_unordered_iter, "iteration over unordered containers"),
+    "float-eq": (rule_float_eq, "floating-point ==/!= on time/energy-like operands"),
+    "using-namespace-header": (rule_using_namespace_header, "`using namespace` in a header"),
+    "header-guard": (rule_header_guard, "headers must use `#pragma once`"),
+}
+
+
+# ---------------------------------------------------------------------------
+# Driver.
+# ---------------------------------------------------------------------------
+
+
+def iter_source_files(root, paths):
+    for p in paths:
+        top = os.path.join(root, p)
+        if os.path.isfile(top):
+            if top.endswith(SOURCE_EXTS):
+                yield os.path.relpath(top, root)
+            continue
+        for dirpath, dirnames, filenames in os.walk(top):
+            dirnames.sort()
+            for name in sorted(filenames):
+                if name.endswith(SOURCE_EXTS):
+                    yield os.path.relpath(os.path.join(dirpath, name), root)
+
+
+def path_allowed(relpath, rule):
+    rel = relpath.replace(os.sep, "/")
+    for prefix in PATH_ALLOWLIST.get(rule, ()):
+        if rel.startswith(prefix):
+            return True
+    return False
+
+
+def lint_file(root, relpath):
+    path = os.path.join(root, relpath)
+    try:
+        with open(path, encoding="utf-8", errors="replace") as f:
+            text = f.read()
+    except OSError as e:
+        raise SystemExit(f"deslp_lint: cannot read {path}: {e}")
+    ctx = FileContext(relpath, text)
+    findings = []
+    for rule_id, (fn, _doc) in RULES.items():
+        if path_allowed(relpath, rule_id):
+            continue
+        for lineno, message in fn(ctx):
+            if ctx.allowed(lineno, rule_id):
+                continue
+            snippet = ctx.lines[lineno - 1] if lineno - 1 < len(ctx.lines) else ""
+            findings.append(Finding(relpath.replace(os.sep, "/"), lineno, rule_id, message, snippet))
+    return findings
+
+
+def run_lint(root, paths, as_json):
+    all_findings = []
+    files = list(iter_source_files(root, paths))
+    for rel in files:
+        all_findings.extend(lint_file(root, rel))
+    all_findings.sort(key=Finding.key)
+    if as_json:
+        doc = {
+            "version": 1,
+            "root": os.path.abspath(root),
+            "files_scanned": len(files),
+            "findings": [
+                {
+                    "file": f.file,
+                    "line": f.line,
+                    "rule": f.rule,
+                    "message": f.message,
+                    "snippet": f.snippet,
+                }
+                for f in all_findings
+            ],
+            "counts": count_by_rule(all_findings),
+        }
+        print(json.dumps(doc, indent=2))
+    else:
+        for f in all_findings:
+            print(f)
+        if all_findings:
+            counts = ", ".join(f"{k}: {v}" for k, v in sorted(count_by_rule(all_findings).items()))
+            print(f"\ndeslp_lint: {len(all_findings)} finding(s) in {len(files)} file(s) ({counts})")
+        else:
+            print(f"deslp_lint: OK ({len(files)} files clean)")
+    return 1 if all_findings else 0
+
+
+def count_by_rule(findings):
+    counts = {}
+    for f in findings:
+        counts[f.rule] = counts.get(f.rule, 0) + 1
+    return counts
+
+
+# ---------------------------------------------------------------------------
+# Self-test against tests/lint_fixtures.
+#
+# Fixture files mark each expected finding with `// expect-lint: <rule>` on
+# the offending line; clean and suppressed fixtures carry no markers and must
+# produce zero findings. Fixtures under a `bench/` subdirectory exercise the
+# PATH_ALLOWLIST exactly like the real tree.
+# ---------------------------------------------------------------------------
+
+
+def collect_expectations(root, relpath):
+    expected = set()
+    with open(os.path.join(root, relpath), encoding="utf-8") as f:
+        for lineno, line in enumerate(f, start=1):
+            m = EXPECT_RE.search(line)
+            if m:
+                for rule in (r.strip() for r in m.group(1).split(",")):
+                    if rule:
+                        expected.add((relpath.replace(os.sep, "/"), lineno, rule))
+    return expected
+
+
+def run_self_test(repo_root):
+    fixtures = os.path.join(repo_root, "tests", "lint_fixtures")
+    if not os.path.isdir(fixtures):
+        print(f"deslp_lint --self-test: fixture dir not found: {fixtures}", file=sys.stderr)
+        return 2
+    files = list(iter_source_files(fixtures, ["."]))
+    if not files:
+        print("deslp_lint --self-test: no fixture files", file=sys.stderr)
+        return 2
+    expected = set()
+    actual = set()
+    for rel in files:
+        expected |= collect_expectations(fixtures, rel)
+        for f in lint_file(fixtures, rel):
+            actual.add(f.key())
+
+    failures = []
+    for missing in sorted(expected - actual):
+        failures.append(f"MISSED  {missing[0]}:{missing[1]} expected [{missing[2]}]")
+    for spurious in sorted(actual - expected):
+        failures.append(f"SPURIOUS {spurious[0]}:{spurious[1]} flagged [{spurious[2]}]")
+
+    # Every rule must be exercised by at least one violating fixture, so a
+    # broken rule cannot rot silently.
+    covered = {rule for (_f, _l, rule) in expected}
+    for rule_id in RULES:
+        if rule_id not in covered:
+            failures.append(f"UNCOVERED rule [{rule_id}] has no violating fixture")
+
+    if failures:
+        print(f"deslp_lint --self-test: FAIL ({len(failures)} problem(s))")
+        for line in failures:
+            print("  " + line)
+        return 1
+    print(
+        f"deslp_lint --self-test: OK ({len(files)} fixtures, "
+        f"{len(expected)} expected findings, all {len(RULES)} rules covered)"
+    )
+    return 0
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        prog="deslp_lint.py", description="deslp determinism & hygiene linter"
+    )
+    parser.add_argument(
+        "--root",
+        default=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        help="repository root (default: parent of tools/)",
+    )
+    parser.add_argument("--json", action="store_true", help="machine-readable output")
+    parser.add_argument("--self-test", action="store_true", help="run the fixture self-test")
+    parser.add_argument("--list-rules", action="store_true", help="print rule ids and exit")
+    parser.add_argument("paths", nargs="*", help="paths to scan (default: src bench examples)")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule_id, (_fn, doc) in RULES.items():
+            print(f"{rule_id:24} {doc}")
+        return 0
+    if args.self_test:
+        return run_self_test(args.root)
+    paths = args.paths or [d for d in DEFAULT_SCAN_DIRS if os.path.isdir(os.path.join(args.root, d))]
+    if not paths:
+        print("deslp_lint: nothing to scan", file=sys.stderr)
+        return 2
+    return run_lint(args.root, paths, args.json)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
