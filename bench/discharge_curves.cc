@@ -56,8 +56,13 @@ void ascii_curve(const char* name, const std::vector<double>& soc,
   std::printf("%s\n", name);
   for (int row = 10; row >= 0; --row) {
     const double level = row / 10.0;
-    std::string line = "  " + Table::percent(level) + " |";
-    while (line.size() < 9) line.insert(2, " ");
+    // Front-pad via an explicit fill string: gcc 12's -Wrestrict misfires
+    // on the insert() loop over the operator+ temporary (PR105329).
+    const std::string pct = Table::percent(level);
+    std::string line = "  ";
+    line.append(pct.size() < 5 ? 5 - pct.size() : 0, ' ');
+    line += pct;
+    line += " |";
     for (std::size_t i = 0; i < soc.size(); i += 2)
       line += (soc[i] >= level - 0.05 && soc[i] < level + 0.05) ? '*' : ' ';
     std::printf("%s\n", line.c_str());

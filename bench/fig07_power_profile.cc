@@ -34,8 +34,12 @@ int main() {
   // ASCII rendering of the three curves.
   std::printf("current (mA)\n");
   for (int ma = 130; ma >= 30; ma -= 10) {
-    std::string line = Table::num(ma, 0) + " |";
-    while (line.size() < 6) line.insert(0, " ");
+    // Front-pad via an explicit fill string: gcc 12's -Wrestrict misfires
+    // on the insert(0, ...) loop over the operator+ temporary (PR105329).
+    const std::string label = Table::num(ma, 0);
+    std::string line(label.size() < 4 ? 4 - label.size() : 0, ' ');
+    line += label;
+    line += " |";
     for (int i = 0; i < c.level_count(); ++i) {
       char mark = ' ';
       auto near = [&](cpu::Mode m) {

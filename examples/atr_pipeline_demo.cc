@@ -4,6 +4,7 @@
 //
 //   $ ./atr_pipeline_demo [--targets=3] [--noise=0.05] [--seed=1]
 #include <cstdio>
+#include <string>
 #include <utility>
 
 #include "atr/pgm.h"
@@ -73,10 +74,20 @@ int main(int argc, char** argv) {
   std::printf("Compute Distance : %zu recognised target(s)\n\n",
               result.targets.size());
 
+  // Built with += rather than a chained operator+ expression: gcc 12's
+  // -Wrestrict misfires on the temporary chain at -O2 (GCC PR105329).
+  const auto coord = [](int x, int y) {
+    std::string s = "(";
+    s += std::to_string(x);
+    s += ", ";
+    s += std::to_string(y);
+    s += ")";
+    return s;
+  };
+
   Table out({"recognised at", "template", "score", "distance est."});
   for (const auto& t : result.targets) {
-    out.add_row({"(" + std::to_string(t.detection.x) + ", " +
-                     std::to_string(t.detection.y) + ")",
+    out.add_row({coord(t.detection.x, t.detection.y),
                  template_names[t.match.template_id],
                  Table::num(t.match.score, 3),
                  Table::num(t.range.distance, 2)});
@@ -85,9 +96,8 @@ int main(int argc, char** argv) {
 
   Table truth({"planted at", "template", "distance"});
   for (const auto& t : spec.targets) {
-    truth.add_row({"(" + std::to_string(t.x) + ", " + std::to_string(t.y) +
-                       ")",
-                   template_names[t.template_id], Table::num(t.distance, 2)});
+    truth.add_row({coord(t.x, t.y), template_names[t.template_id],
+                   Table::num(t.distance, 2)});
   }
   std::printf("Ground truth:\n%s", truth.render().c_str());
   return 0;

@@ -4,6 +4,7 @@
 //
 //   $ ./multi_target_tracking [--frames=12] [--seed=5]
 #include <cstdio>
+#include <string>
 
 #include "atr/tracker.h"
 #include "util/flags.h"
@@ -47,11 +48,20 @@ int main(int argc, char** argv) {
   std::printf("\n== Final tracks ==\n");
   Table t({"track", "template", "position", "velocity (px/frame)",
            "distance", "hits", "missed"});
+  // Built with += rather than a chained operator+ expression: gcc 12's
+  // -Wrestrict misfires on the temporary chain at -O2 (GCC PR105329).
+  const auto pair_str = [](const std::string& a, const std::string& b) {
+    std::string s = "(";
+    s += a;
+    s += ", ";
+    s += b;
+    s += ")";
+    return s;
+  };
   for (const auto& tr : tracker.tracks()) {
     t.add_row({std::to_string(tr.id), names[tr.template_id],
-               "(" + Table::num(tr.x, 0) + ", " + Table::num(tr.y, 0) + ")",
-               "(" + Table::num(tr.vx, 1) + ", " + Table::num(tr.vy, 1) +
-                   ")",
+               pair_str(Table::num(tr.x, 0), Table::num(tr.y, 0)),
+               pair_str(Table::num(tr.vx, 1), Table::num(tr.vy, 1)),
                Table::num(tr.distance, 2), std::to_string(tr.hits),
                std::to_string(tr.missed)});
   }
