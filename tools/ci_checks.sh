@@ -1,0 +1,130 @@
+#!/usr/bin/env bash
+# deslp CI driver: one entry point for every static-analysis and test gate
+# (DESIGN.md §9). Runs locally and from .github/workflows/ci.yml.
+#
+# Usage:
+#   tools/ci_checks.sh [STEP...]
+#
+# Steps (default: pycheck lint-selftest lint build test tidy trace bench):
+#   pycheck        python3 -m py_compile over the repo's Python tooling
+#   lint-selftest  tools/deslp_lint.py --self-test (fixture suite)
+#   lint           tools/deslp_lint.py over src/ bench/ examples/
+#   build          configure + build ${BUILD_DIR} (DESLP_WERROR=ON)
+#   test           ctest in ${BUILD_DIR}
+#   tidy           cmake --build ${BUILD_DIR} --target lint-tidy
+#   trace          cmake --build ${BUILD_DIR} --target trace-validate
+#   bench          cmake --build ${BUILD_DIR} --target bench-check
+#   asan|tsan|ubsan  full build + ctest under the given sanitizer (own
+#                    build dir ${BUILD_DIR}-<mode>; not in the default set —
+#                    the CI matrix fans them out, locally run e.g.
+#                    `tools/ci_checks.sh asan`)
+#
+# Environment:
+#   BUILD_DIR   build directory (default: build-ci)
+#   CC/CXX      respected by cmake as usual
+#   JOBS        parallelism (default: nproc)
+set -u
+
+cd "$(dirname "$0")/.."
+REPO_ROOT=$(pwd)
+BUILD_DIR=${BUILD_DIR:-build-ci}
+JOBS=${JOBS:-$(nproc 2>/dev/null || echo 4)}
+
+PASS=()
+FAIL=()
+SKIP=()
+
+note() { printf '\n== %s ==\n' "$*"; }
+
+run_step() {
+  local name=$1
+  shift
+  note "$name"
+  if "$@"; then
+    PASS+=("$name")
+  else
+    FAIL+=("$name")
+  fi
+}
+
+skip_step() {
+  note "$1 (skipped: $2)"
+  SKIP+=("$1")
+}
+
+configure_build() {
+  local dir=$1
+  shift
+  cmake -B "$dir" -S . -DCMAKE_BUILD_TYPE=Release -DDESLP_WERROR=ON "$@" &&
+    cmake --build "$dir" -j "$JOBS"
+}
+
+step_pycheck() {
+  python3 -m py_compile tools/deslp_lint.py tools/validate_trace.py \
+    bench/compare_bench.py
+}
+
+step_lint_selftest() { python3 tools/deslp_lint.py --self-test; }
+
+step_lint() { python3 tools/deslp_lint.py --root "$REPO_ROOT"; }
+
+step_build() { configure_build "$BUILD_DIR"; }
+
+step_test() { ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"; }
+
+step_tidy() { cmake --build "$BUILD_DIR" --target lint-tidy; }
+
+step_trace() { cmake --build "$BUILD_DIR" --target trace-validate; }
+
+step_bench() { cmake --build "$BUILD_DIR" --target bench-check; }
+
+step_sanitize() {
+  local mode=$1
+  local dir="$BUILD_DIR-$mode"
+  configure_build "$dir" -DDESLP_SANITIZE="$mode" &&
+    ctest --test-dir "$dir" --output-on-failure -j "$JOBS"
+}
+
+dispatch() {
+  case $1 in
+    pycheck) run_step pycheck step_pycheck ;;
+    lint-selftest) run_step lint-selftest step_lint_selftest ;;
+    lint) run_step lint step_lint ;;
+    build) run_step build step_build ;;
+    test) run_step test step_test ;;
+    tidy)
+      if command -v clang-tidy > /dev/null; then
+        run_step tidy step_tidy
+      else
+        # The lint-tidy target itself degrades to a notice without
+        # clang-tidy; record the skip honestly instead of a hollow pass.
+        skip_step tidy "clang-tidy not installed"
+      fi
+      ;;
+    trace) run_step trace step_trace ;;
+    bench) run_step bench step_bench ;;
+    asan) run_step asan step_sanitize address ;;
+    tsan) run_step tsan step_sanitize thread ;;
+    ubsan) run_step ubsan step_sanitize undefined ;;
+    *)
+      echo "ci_checks.sh: unknown step '$1'" >&2
+      exit 2
+      ;;
+  esac
+}
+
+STEPS=("$@")
+if [ ${#STEPS[@]} -eq 0 ]; then
+  STEPS=(pycheck lint-selftest lint build test tidy trace bench)
+fi
+
+for step in "${STEPS[@]}"; do
+  dispatch "$step"
+done
+
+note "summary"
+for s in "${PASS[@]:-}"; do [ -n "$s" ] && echo "  PASS  $s"; done
+for s in "${SKIP[@]:-}"; do [ -n "$s" ] && echo "  SKIP  $s"; done
+for s in "${FAIL[@]:-}"; do [ -n "$s" ] && echo "  FAIL  $s"; done
+
+[ ${#FAIL[@]} -eq 0 ]
