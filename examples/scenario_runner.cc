@@ -5,13 +5,17 @@
 //   $ ./scenario_runner path/to/scenario.ini
 //   $ ./scenario_runner --print-default > my.ini  # starting template
 //   $ ./scenario_runner --trace-json=out.json s.ini  # Perfetto trace
+//   $ ./scenario_runner --fault-plan=faults.ini s.ini  # inject faults
 //
 // See examples/scenarios/ for ready-made files (the paper's experiments
-// and a few variations).
+// and a few variations). A --fault-plan file is an INI with a [fault]
+// section (DESIGN.md §10) and overrides any [fault] section the scenario
+// itself carries.
 #include <cstdio>
 #include <fstream>
 
 #include "core/scenario.h"
+#include "fault/fault.h"
 #include "obs/trace_export.h"
 #include "util/flags.h"
 #include "util/table.h"
@@ -25,6 +29,9 @@ int main(int argc, char** argv) {
   flags.add_string("trace-json", "",
                    "record the run and write a Perfetto-loadable Chrome "
                    "trace to this JSON file");
+  flags.add_string("fault-plan", "",
+                   "INI file with a [fault] section; its plan overrides "
+                   "the scenario's own [fault] section");
   if (!flags.parse(argc, argv)) return 1;
   if (flags.get_bool("print-default")) {
     std::fputs(core::default_scenario_text().c_str(), stdout);
@@ -43,10 +50,30 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  std::optional<fault::FaultPlan> fault_plan;
+  const std::string fault_path = flags.get_string("fault-plan");
+  if (!fault_path.empty()) {
+    auto fault_cfg = Config::load(fault_path, &error);
+    if (!fault_cfg) {
+      std::fprintf(stderr, "fault-plan: %s\n", error.c_str());
+      return 1;
+    }
+    fault_plan = fault::FaultPlan::from_config(*fault_cfg, &error);
+    if (!fault_plan) {
+      std::fprintf(stderr, "fault-plan: %s\n", error.c_str());
+      return 1;
+    }
+    (void)fault_cfg->consume_errors();  // [fault] is the only section read
+    if (fault_plan->empty())
+      std::fprintf(stderr, "fault-plan: warning: %s has no [fault] events\n",
+                   fault_path.c_str());
+  }
+
   const std::string trace_path = flags.get_string("trace-json");
   core::RunObservation capture;
   const auto outcome = core::run_scenario(
-      *config, trace_path.empty() ? nullptr : &capture, &error);
+      *config, fault_plan ? &*fault_plan : nullptr,
+      trace_path.empty() ? nullptr : &capture, &error);
   if (!outcome) {
     std::fprintf(stderr, "scenario: %s\n", error.c_str());
     return 1;
@@ -63,8 +90,16 @@ int main(int argc, char** argv) {
               to_hours(outcome->battery_life));
   std::printf("Frames completed F  : %lld\n",
               outcome->run.frames_completed);
-  std::printf("Normalized life T/N : %.2f h\n\n",
+  std::printf("Normalized life T/N : %.2f h\n",
               to_hours(outcome->normalized_life));
+  if (outcome->run.fault_injections > 0) {
+    std::printf("Fault injections    : %lld\n",
+                outcome->run.fault_injections);
+    std::printf("Frames lost         : %lld\n", outcome->run.frames_lost);
+    std::printf("Migration retries   : %lld\n",
+                outcome->run.migration_retries);
+  }
+  std::printf("\n");
 
   Table t({"node", "died at (h)", "SoC left", "avg I (mA)", "comm (h)",
            "comp (h)", "idle (h)", "rotations", "migrated"});

@@ -96,6 +96,7 @@ ExperimentResult ExperimentSuite::run(const ExperimentSpec& spec,
   sys.rotation_period = spec.rotation_period;
   sys.max_frames = options_.max_frames;
   sys.seed = options_.seed;
+  sys.faults = spec.fault_plan;
 
   // Each run owns its registry (stack-local), so metrics collection stays
   // safe under run_all's worker threads without any locking.

@@ -46,6 +46,11 @@ struct ExperimentSpec {
   long long rotation_period = 0;
   dvs::LevelAssignment migrated_levels{0, 0, 0};
 
+  /// Optional fault plan injected into the run (kPipeline only; the
+  /// analytic kNoIo path has no DES to inject into). Empty by default,
+  /// which keeps every experiment byte-identical to a fault-free build.
+  fault::FaultPlan fault_plan;
+
   PaperReference paper;
 };
 

@@ -35,12 +35,35 @@ Node::Node(sim::Engine& engine, net::Hub& hub, sim::Trace& trace,
 void Node::die(const std::string& reason) {
   if (!alive_) return;
   alive_ = false;
+  ++epoch_;
   death_time_ = engine_.now();
   hub_.set_failed(config_.address, true);
   trace_.add_mark({config_.name, "battery-dead (" + reason + ")",
                    death_time_});
   log::info(config_.name, " battery exhausted at ",
             to_hours(sim::to_seconds(death_time_)), " h (", reason, ")");
+}
+
+void Node::fail(const std::string& reason) {
+  if (!alive_) return;
+  alive_ = false;
+  fault_down_ = true;
+  ++epoch_;
+  death_time_ = engine_.now();
+  hub_.set_failed(config_.address, true);
+  trace_.add_mark({config_.name, "fault-dead (" + reason + ")", death_time_});
+  log::info(config_.name, " fault-killed at ",
+            to_hours(sim::to_seconds(death_time_)), " h (", reason, ")");
+}
+
+void Node::revive() {
+  if (alive_ || !fault_down_) return;
+  alive_ = true;
+  fault_down_ = false;
+  hub_.set_failed(config_.address, false);  // reopens the mailbox, empty
+  trace_.add_mark({config_.name, "fault-revived", engine_.now()});
+  log::info(config_.name, " revived at ",
+            to_hours(sim::to_seconds(engine_.now())), " h");
 }
 
 Seconds Node::drain(cpu::Mode mode, int level, Amps current, Seconds dt,
@@ -76,10 +99,15 @@ sim::ValueTask<bool> Node::busy(cpu::Mode mode, int level, Seconds duration,
                                 const char* kind, std::string detail) {
   DESLP_EXPECTS(duration.value() >= 0.0);
   if (!alive_) co_return false;
+  const std::int64_t epoch = epoch_;
   const Seconds total = duration + switch_cost(level);
   const Amps current = config_.cpu->current(mode, level);
   const Seconds sustained = drain(mode, level, current, total, kind, detail);
   co_await engine_.delay(sustained);
+  // A fault killed (or killed and revived) the node mid-operation: this
+  // coroutine belongs to the previous incarnation and must not touch the
+  // node again.
+  if (epoch != epoch_) co_return false;
   if (sustained < total) {
     die(kind);
     co_return false;
@@ -130,10 +158,11 @@ sim::ValueTask<std::optional<net::Message>> Node::recv(int idle_level,
   // state cannot change while the wait is armed (this coroutine drains only
   // after waking), so the late computation lands on the identical instant.
   const sim::Time wait_start = engine_.now();
+  const std::int64_t epoch = epoch_;
   const Amps idle_current =
       config_.cpu->current(cpu::Mode::kIdle, idle_level);
   auto watch = std::make_shared<IdleWatch>(
-      IdleWatch{idle_level, idle_current, wait_start, {}});
+      IdleWatch{idle_level, idle_current, wait_start, {}, epoch});
   arm_idle_watch(watch, 60.0);
 
   std::optional<net::Delivery> delivery;
@@ -143,7 +172,7 @@ sim::ValueTask<std::optional<net::Message>> Node::recv(int idle_level,
     delivery = co_await mailbox_.recv();
   }
   watch->handle.cancel();
-  if (!alive_) co_return std::nullopt;
+  if (epoch != epoch_ || !alive_) co_return std::nullopt;
 
   // Account the idle time actually spent waiting.
   const Seconds waited = sim::to_seconds(engine_.now() - wait_start);
@@ -179,7 +208,7 @@ void Node::arm_idle_watch(const std::shared_ptr<IdleWatch>& watch,
     watch->handle = engine_.schedule_at(
         watch->start + sim::from_seconds(seconds(horizon)),
         [this, watch, horizon] {
-          if (!alive_) return;
+          if (!alive_ || watch->epoch != epoch_) return;
           arm_idle_watch(watch, horizon * 16.0);
         });
     return;
@@ -190,7 +219,7 @@ void Node::arm_idle_watch(const std::shared_ptr<IdleWatch>& watch,
   // Bisection rounding can land a hair before the probe that bracketed it.
   if (death_at < engine_.now()) death_at = engine_.now();
   watch->handle = engine_.schedule_at(death_at, [this, watch, tte] {
-    if (!alive_) return;
+    if (!alive_ || watch->epoch != epoch_) return;
     drain(cpu::Mode::kIdle, watch->level, watch->current, tte, "IDLE",
           "idle until battery death");
     die("idle");
@@ -200,10 +229,12 @@ void Node::arm_idle_watch(const std::shared_ptr<IdleWatch>& watch,
 sim::ValueTask<bool> Node::idle(int level, Seconds duration,
                                 const char* kind) {
   if (!alive_) co_return false;
+  const std::int64_t epoch = epoch_;
   const Amps current = config_.cpu->current(cpu::Mode::kIdle, level);
   const Seconds sustained = drain(cpu::Mode::kIdle, level, current, duration,
                                   kind, {});
   co_await engine_.delay(sustained);
+  if (epoch != epoch_) co_return false;
   if (sustained < duration) {
     die("idle");
     co_return false;

@@ -10,6 +10,7 @@
 // what the paper's nodes observe: silence.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <string>
@@ -73,6 +74,26 @@ class Node {
   /// Simulated time of death (valid once !alive()).
   [[nodiscard]] sim::Time death_time() const { return death_time_; }
 
+  // --- fault injection (DESIGN.md §10) -------------------------------------
+
+  /// Kill the node by external fault (brownout start, sudden death): marks
+  /// it failed at the hub exactly like a battery death, but with a distinct
+  /// trace mark and without touching the battery. Revivable via `revive()`.
+  void fail(const std::string& reason);
+
+  /// Return from a fault-induced outage: the node is alive again with its
+  /// remaining battery charge, an empty mailbox (state loss — the hub
+  /// reopens it), and a fresh epoch. Only meaningful after `fail()`;
+  /// battery deaths are final.
+  void revive();
+
+  /// Incarnation counter: bumped on every death. Awaitables issued by an
+  /// earlier incarnation complete as failures after a fail()+revive(), so a
+  /// stale behaviour coroutine can never act on the revived node's battery.
+  [[nodiscard]] std::int64_t epoch() const { return epoch_; }
+  /// True while the node is down due to fail() rather than an empty battery.
+  [[nodiscard]] bool fault_down() const { return fault_down_; }
+
   [[nodiscard]] net::Address address() const { return config_.address; }
   [[nodiscard]] const std::string& name() const { return config_.name; }
   [[nodiscard]] const cpu::CpuSpec& cpu() const { return *config_.cpu; }
@@ -92,6 +113,7 @@ class Node {
     Amps current;
     sim::Time start;
     sim::EventHandle handle;
+    std::int64_t epoch = 0;  // incarnation the watch belongs to
   };
 
   void die(const std::string& reason);
@@ -116,6 +138,8 @@ class Node {
   power::PowerMonitor monitor_;
   sim::Channel<net::Delivery>& mailbox_;
   bool alive_ = true;
+  bool fault_down_ = false;
+  std::int64_t epoch_ = 0;
   sim::Time death_time_;
   int last_level_ = -1;
   obs::Gauge m_soc_;

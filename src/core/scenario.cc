@@ -84,10 +84,17 @@ bool build_battery(const Config& cfg,
 
 std::optional<ScenarioOutcome> run_scenario(const Config& cfg,
                                             std::string* error) {
-  return run_scenario(cfg, nullptr, error);
+  return run_scenario(cfg, nullptr, nullptr, error);
 }
 
 std::optional<ScenarioOutcome> run_scenario(const Config& cfg,
+                                            RunObservation* capture,
+                                            std::string* error) {
+  return run_scenario(cfg, nullptr, capture, error);
+}
+
+std::optional<ScenarioOutcome> run_scenario(const Config& cfg,
+                                            const fault::FaultPlan* fault_override,
                                             RunObservation* capture,
                                             std::string* error) {
   SystemConfig sys;
@@ -207,6 +214,21 @@ std::optional<ScenarioOutcome> run_scenario(const Config& cfg,
   }
   sys.migrated_levels = {sys.cpu->top_level(), 0, 0};
 
+  // Fault plan: the override (scenario_runner --fault-plan) wins over the
+  // scenario's own [fault] section; both absent leaves the plan empty and
+  // the run byte-identical to a fault-free build.
+  if (fault_override != nullptr) {
+    sys.faults = *fault_override;
+  } else {
+    std::string fault_error;
+    auto plan = fault::FaultPlan::from_config(cfg, &fault_error);
+    if (!plan) {
+      if (error) *error = fault_error;
+      return std::nullopt;
+    }
+    sys.faults = std::move(*plan);
+  }
+
   const auto config_errors = cfg.consume_errors();
   if (!config_errors.empty()) {
     if (error) *error = config_errors.front();
@@ -227,6 +249,7 @@ std::optional<ScenarioOutcome> run_scenario(const Config& cfg,
     if (sys.use_acks) os << ", failure recovery";
     if (sys.rotation_period > 0)
       os << ", rotation every " << sys.rotation_period << " frames";
+    if (!sys.faults.empty()) os << ", " << sys.faults.summary();
     outcome.description = os.str();
   }
 

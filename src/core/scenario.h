@@ -37,6 +37,8 @@ struct ScenarioOutcome {
 ///   [workload]  min_scale, max_scale (per-frame work variation in
 ///               (0, 1]), adaptive (per-frame minimum-feasible levels)
 ///   [technique] acks, rotation_period
+///   [fault]     seed, eventN = <fault description> (DESIGN.md §10), e.g.
+///               event1 = blackout target=2 at=120 dur=30
 ///
 /// Returns nullopt with `error` filled on contradictory or infeasible
 /// configurations.
@@ -49,6 +51,13 @@ struct ScenarioOutcome {
 /// for the run.
 [[nodiscard]] std::optional<ScenarioOutcome> run_scenario(
     const Config& config, RunObservation* capture, std::string* error);
+
+/// As above, but `fault_override` (when non-null) replaces whatever [fault]
+/// section the scenario itself carries — the `scenario_runner --fault-plan`
+/// path, which stresses a stock scenario without editing it.
+[[nodiscard]] std::optional<ScenarioOutcome> run_scenario(
+    const Config& config, const fault::FaultPlan* fault_override,
+    RunObservation* capture, std::string* error);
 
 /// The built-in default scenario text (experiment 2A's shape), used by the
 /// runner when no file is given and by tests.

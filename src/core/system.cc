@@ -37,6 +37,10 @@ PipelineSystem::PipelineSystem(SystemConfig config)
     m_rotations_ = reg.counter("system.rotations");
     m_migrations_ = reg.counter("system.migrations");
     m_stalls_ = reg.counter("system.stalls");
+    m_frames_lost_ = reg.counter("system.frames_lost");
+    m_migration_retries_ = reg.counter("system.migration_retries");
+    m_detections_ = reg.counter("system.detections");
+    m_detection_latency_s_ = reg.counter("system.detection_latency_s");
   }
 
   // Static per-stage compute budgets for the adaptive level choice.
@@ -57,12 +61,50 @@ PipelineSystem::PipelineSystem(SystemConfig config)
     nc.cpu = config_.cpu;
     nc.pack_voltage = config_.pack_voltage;
     nc.metrics = config_.metrics;
+    auto battery = config_.battery_factory();
+    // Capacity variance (kCapacityScale): pre-discharge the fresh pack so
+    // only `factor` of its usable charge remains. Done through the public
+    // discharge interface — the factory's battery model stays opaque.
+    const double factor = config_.faults.capacity_factor(i + 1);
+    if (factor < 1.0) {
+      const Amps reference = milliamps(100.0);
+      const Seconds burn = battery->time_to_empty(reference) * (1.0 - factor);
+      battery->discharge(reference, burn);
+    }
     nodes_.push_back(std::make_unique<Node>(engine_, hub_, trace_, nc,
-                                            config_.battery_factory()));
+                                            std::move(battery)));
     if (config_.record_power_trace) nodes_.back()->monitor().set_tracing(true);
     StageState st;
     st.role = i;
     stage_states_.push_back(st);
+  }
+
+  if (!config_.faults.empty()) {
+    fault_runtime_ =
+        std::make_unique<fault::Runtime>(engine_, config_.faults, &trace_);
+    hub_.set_fault_runtime(fault_runtime_.get());
+    if (config_.metrics != nullptr)
+      fault_runtime_->bind_metrics(*config_.metrics);
+    for (int i = 0; i < node_count(); ++i) {
+      const std::size_t idx = static_cast<std::size_t>(i);
+      fault::Runtime::NodeHooks hooks;
+      hooks.fail = [this, idx](const fault::FaultEvent& e) {
+        nodes_[idx]->fail(fault::fault_kind_name(e.kind));
+      };
+      hooks.revive = [this, i, idx](const fault::FaultEvent&) {
+        Node& node = *nodes_[idx];
+        node.revive();
+        if (node.alive()) {
+          // State loss: whatever the old incarnation had stashed is gone,
+          // and a fresh behaviour coroutine starts from a clean slate (the
+          // old one completes as failures via the node epoch).
+          stage_states_[idx].stash.clear();
+          engine_.spawn(node_behavior(i));
+        }
+      };
+      fault_runtime_->set_node_hooks(i + 1, hooks);
+    }
+    fault_runtime_->arm();
   }
 }
 
@@ -177,6 +219,20 @@ sim::Task PipelineSystem::watchdog() {
   }
 }
 
+void PipelineSystem::note_detection(net::Address peer) {
+  m_detections_.inc();
+  std::optional<sim::Time> start;
+  if (fault_runtime_ != nullptr) start = fault_runtime_->outage_start(peer);
+  if (!start.has_value()) {
+    const Node& p = *nodes_[static_cast<std::size_t>(peer - 1)];
+    if (!p.alive()) start = p.death_time();
+  }
+  if (start.has_value()) {
+    m_detection_latency_s_.inc(
+        sim::to_seconds(engine_.now() - *start).value());
+  }
+}
+
 sim::ValueTask<bool> PipelineSystem::process_and_forward(Node& node,
                                                          StageState& st,
                                                          long long frame) {
@@ -279,9 +335,23 @@ sim::ValueTask<bool> PipelineSystem::process_and_forward(Node& node,
         reply = co_await node.recv(lv.idle_level, lv.comm_level, remaining);
       if (!node.alive()) co_return false;
       if (!reply) {
+        if (!hub_.failed(downstream)) {
+          // Transient outage: the ack timed out but the peer is back (or a
+          // link fault swallowed the traffic). §5.4's migration is for node
+          // death — write the frame off and keep detection armed for the
+          // next one.
+          ++frames_lost_;
+          m_frames_lost_.inc();
+          trace_.add_mark({node.name(),
+                           "ack-timeout: transient, frame " +
+                               std::to_string(frame) + " lost",
+                           engine_.now()});
+          co_return true;
+        }
         st.peer_dead = true;
         st.migrated = true;
         m_migrations_.inc();
+        note_detection(downstream);
         trace_.add_mark({node.name(), "peer-timeout: migrating",
                          engine_.now()});
         log::info(node.name(), " detected downstream failure; migrating");
@@ -328,17 +398,49 @@ sim::Task PipelineSystem::node_behavior(int node_index) {
       // for silence when the ack protocol is active.
       const bool watch_upstream =
           config_.use_acks && st.role > 0 && !st.migrated && !st.peer_dead;
-      const Seconds timeout =
+      // Re-announce after migration (fault runs only): the kControl message
+      // telling the host to redirect can itself be swallowed by a fault
+      // window, which would leave the survivor waiting forever for frames
+      // the host still routes to the dead node. Resend with exponential
+      // backoff until the first post-migration data frame confirms the
+      // redirect. Without faults the first announcement is guaranteed
+      // delivered (the host cannot fail), so this path stays cold and the
+      // fault-free schedule is untouched.
+      const bool reannounce = fault_runtime_ != nullptr && st.migrated &&
+                              !st.announce_confirmed;
+      Seconds timeout =
           watch_upstream ? config_.frame_delay * 3.0 : seconds(0.0);
+      if (reannounce) {
+        const int shift = st.announce_retries < 6 ? st.announce_retries : 6;
+        timeout = (config_.ack_timeout + config_.frame_delay * 2.0) *
+                  static_cast<double>(1LL << shift);
+      }
       msg = co_await node.recv(lv.idle_level, lv.comm_level, timeout);
       if (!node.alive()) co_return;
       if (!msg) {
+        if (reannounce) {
+          ++st.announce_retries;
+          ++migration_retries_;
+          m_migration_retries_.inc();
+          trace_.add_mark({node.name(),
+                           "re-announce migration (retry " +
+                               std::to_string(st.announce_retries) + ")",
+                           engine_.now()});
+          net::Message ctrl;
+          ctrl.dst = net::kHostAddress;
+          ctrl.kind = net::MsgKind::kControl;
+          ctrl.size = config_.ack_size;
+          ctrl.note = "migrated";
+          if (!co_await node.send(ctrl, lv.comm_level)) co_return;
+          continue;
+        }
         if (watch_upstream) {
           const net::Address upstream = holder_of(st.role - 1, st.era);
           if (hub_.failed(upstream)) {
             st.peer_dead = true;
             st.migrated = true;
             m_migrations_.inc();
+            note_detection(upstream);
             trace_.add_mark({node.name(), "upstream-dead: migrating",
                              engine_.now()});
             net::Message ctrl;
@@ -352,6 +454,8 @@ sim::Task PipelineSystem::node_behavior(int node_index) {
         }
         co_return;  // mailbox closed: we are dead
       }
+      if (st.migrated && msg->kind == net::MsgKind::kData)
+        st.announce_confirmed = true;
     }
 
     if (msg->kind == net::MsgKind::kAck) continue;  // stale ack
@@ -383,6 +487,10 @@ RunResult PipelineSystem::run() {
   result.frames_completed = frames_completed_;
   result.last_completion = sim::to_seconds(last_completion_);
   result.sim_end = sim::to_seconds(engine_.now());
+  result.frames_lost = frames_lost_;
+  result.migration_retries = migration_retries_;
+  result.fault_injections =
+      fault_runtime_ != nullptr ? fault_runtime_->injections() : 0;
   for (int i = 0; i < node_count(); ++i) {
     const Node& node = *nodes_[static_cast<std::size_t>(i)];
     const StageState& st = stage_states_[static_cast<std::size_t>(i)];

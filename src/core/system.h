@@ -25,6 +25,7 @@
 #include "core/node.h"
 #include "cpu/cpu.h"
 #include "dvs/policy.h"
+#include "fault/fault.h"
 #include "net/hub.h"
 #include "obs/metrics.h"
 #include "obs/trace_export.h"
@@ -60,6 +61,13 @@ struct SystemConfig {
 
   /// §5.5: rotate node roles every `rotation_period` frames (0 = off).
   long long rotation_period = 0;
+
+  /// Deterministic fault injection (DESIGN.md §10). An empty plan (the
+  /// default) installs nothing — no runtime, no scheduled events, no PRNG
+  /// draws — and the run is byte-identical to a fault-free build.
+  /// kCapacityScale events apply at battery build time; everything else is
+  /// scheduled on the engine by a per-run fault::Runtime.
+  fault::FaultPlan faults;
 
   /// §3's relaxation, implemented as the paper leaves for future work:
   /// per-frame computation varies (e.g. with the number of detected
@@ -118,6 +126,14 @@ struct RunResult {
   Seconds last_completion;
   /// Simulated time the run ended (stall/quota).
   Seconds sim_end;
+  /// Frames written off after a transient ack timeout (fault recovery;
+  /// always 0 without a fault plan).
+  long long frames_lost = 0;
+  /// Migration announcements re-sent because the first one may have been
+  /// swallowed by a fault window (always 0 without a fault plan).
+  long long migration_retries = 0;
+  /// Fault events the runtime injected (always 0 without a fault plan).
+  long long fault_injections = 0;
   std::vector<NodeReport> nodes;
 };
 
@@ -160,6 +176,11 @@ class PipelineSystem {
     long long rotations = 0;
     bool migrated = false;
     bool peer_dead = false;
+    /// A post-migration data frame has arrived, proving the host received
+    /// the migration announcement (re-announce retries stop).
+    bool announce_confirmed = false;
+    /// Re-announcements sent so far (exponential backoff exponent).
+    int announce_retries = 0;
     /// Data frames that arrived while waiting for an ack (already paid for
     /// on the wire; consumed by the main loop next).
     std::deque<net::Message> stash;
@@ -183,6 +204,11 @@ class PipelineSystem {
   sim::Task watchdog();
   sim::Task node_behavior(int node_index);
 
+  /// Record a confirmed failure detection of `peer`: bumps the detection
+  /// counter and, when the outage start is known (fault runtime or the
+  /// peer's battery death), accumulates the detection latency.
+  void note_detection(net::Address peer);
+
   /// One frame's PROC+SEND tail shared by the normal and migrated paths;
   /// returns false when the node died. Defined in system.cc.
   sim::ValueTask<bool> process_and_forward(Node& node, StageState& st,
@@ -192,6 +218,7 @@ class PipelineSystem {
   sim::Engine engine_;
   sim::Trace trace_;
   net::Hub hub_;
+  std::unique_ptr<fault::Runtime> fault_runtime_;
   sim::Channel<net::Delivery>* host_mailbox_ = nullptr;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<StageState> stage_states_;
@@ -202,6 +229,8 @@ class PipelineSystem {
 
   long long frames_sent_ = 0;
   long long frames_completed_ = 0;
+  long long frames_lost_ = 0;
+  long long migration_retries_ = 0;
   sim::Time last_completion_;
   bool stop_sourcing_ = false;
   obs::Counter m_frames_sent_;
@@ -209,6 +238,10 @@ class PipelineSystem {
   obs::Counter m_rotations_;
   obs::Counter m_migrations_;
   obs::Counter m_stalls_;
+  obs::Counter m_frames_lost_;
+  obs::Counter m_migration_retries_;
+  obs::Counter m_detections_;
+  obs::Counter m_detection_latency_s_;
   /// Host-side routing override after a migration announcement (2B).
   net::Address source_override_ = -1;
 };

@@ -1,0 +1,373 @@
+#include "fault/fault.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "util/check.h"
+
+namespace deslp::fault {
+
+namespace {
+
+bool is_window_kind(FaultKind k) {
+  switch (k) {
+    case FaultKind::kLinkBlackout:
+    case FaultKind::kRateDegrade:
+    case FaultKind::kBurstLoss:
+    case FaultKind::kAckSuppress:
+    case FaultKind::kCorrupt:
+      return true;
+    case FaultKind::kBrownout:
+    case FaultKind::kSuddenDeath:
+    case FaultKind::kCapacityScale:
+      return false;
+  }
+  return false;
+}
+
+bool is_node_kind(FaultKind k) {
+  return k == FaultKind::kBrownout || k == FaultKind::kSuddenDeath;
+}
+
+std::optional<FaultKind> kind_from_name(const std::string& name) {
+  for (int k = 0; k < kFaultKindCount; ++k) {
+    const auto kind = static_cast<FaultKind>(k);
+    if (name == fault_kind_name(kind)) return kind;
+  }
+  return std::nullopt;
+}
+
+bool fail_parse(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+  return false;
+}
+
+}  // namespace
+
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kLinkBlackout:
+      return "blackout";
+    case FaultKind::kRateDegrade:
+      return "rate_degrade";
+    case FaultKind::kBurstLoss:
+      return "burst_loss";
+    case FaultKind::kAckSuppress:
+      return "ack_suppress";
+    case FaultKind::kCorrupt:
+      return "corrupt";
+    case FaultKind::kBrownout:
+      return "brownout";
+    case FaultKind::kSuddenDeath:
+      return "sudden_death";
+    case FaultKind::kCapacityScale:
+      return "capacity_scale";
+  }
+  return "?";
+}
+
+std::optional<FaultEvent> FaultPlan::parse_event(const std::string& text,
+                                                 std::string* error) {
+  std::istringstream is(text);
+  std::string token;
+  if (!(is >> token)) {
+    fail_parse(error, "empty fault event");
+    return std::nullopt;
+  }
+  const auto kind = kind_from_name(token);
+  if (!kind) {
+    fail_parse(error, "unknown fault kind '" + token + "'");
+    return std::nullopt;
+  }
+  FaultEvent e;
+  e.kind = *kind;
+  bool have_magnitude = false;
+  while (is >> token) {
+    const auto eq = token.find('=');
+    if (eq == std::string::npos) {
+      fail_parse(error, "fault event key without '=': '" + token + "'");
+      return std::nullopt;
+    }
+    const std::string key = token.substr(0, eq);
+    const std::string value = token.substr(eq + 1);
+    double number = 0.0;
+    try {
+      std::size_t used = 0;
+      number = std::stod(value, &used);
+      if (used != value.size()) throw std::invalid_argument(value);
+    } catch (const std::exception&) {
+      fail_parse(error, "bad fault event value '" + token + "'");
+      return std::nullopt;
+    }
+    if (key == "target") {
+      e.target = static_cast<int>(number);
+    } else if (key == "at") {
+      e.at = seconds(number);
+    } else if (key == "dur") {
+      e.duration = seconds(number);
+    } else if (key == "p" || key == "factor") {
+      e.magnitude = number;
+      have_magnitude = true;
+    } else {
+      fail_parse(error, "unknown fault event key '" + key + "'");
+      return std::nullopt;
+    }
+  }
+
+  if (e.at.value() < 0.0 || e.duration.value() < 0.0) {
+    fail_parse(error, "fault event times must be non-negative");
+    return std::nullopt;
+  }
+  if (e.target < 0) {
+    fail_parse(error, "fault event target must be >= 0");
+    return std::nullopt;
+  }
+  switch (e.kind) {
+    case FaultKind::kBurstLoss:
+    case FaultKind::kCorrupt:
+      if (!have_magnitude || e.magnitude < 0.0 || e.magnitude > 1.0) {
+        fail_parse(error, std::string(fault_kind_name(e.kind)) +
+                              " needs p= in [0, 1]");
+        return std::nullopt;
+      }
+      break;
+    case FaultKind::kRateDegrade:
+    case FaultKind::kCapacityScale:
+      if (!have_magnitude || e.magnitude <= 0.0 || e.magnitude > 1.0) {
+        fail_parse(error, std::string(fault_kind_name(e.kind)) +
+                              " needs factor= in (0, 1]");
+        return std::nullopt;
+      }
+      break;
+    case FaultKind::kBrownout:
+      if (e.duration.value() <= 0.0) {
+        fail_parse(error, "brownout needs dur= > 0");
+        return std::nullopt;
+      }
+      break;
+    case FaultKind::kLinkBlackout:
+    case FaultKind::kAckSuppress:
+    case FaultKind::kSuddenDeath:
+      break;
+  }
+  if ((is_node_kind(e.kind) || e.kind == FaultKind::kCapacityScale) &&
+      e.target < 1) {
+    fail_parse(error, std::string(fault_kind_name(e.kind)) +
+                          " needs target= naming a node (>= 1)");
+    return std::nullopt;
+  }
+  return e;
+}
+
+std::optional<FaultPlan> FaultPlan::from_config(const Config& config,
+                                                std::string* error) {
+  FaultPlan plan;
+  const auto sections = config.sections();
+  if (std::find(sections.begin(), sections.end(), "fault") == sections.end())
+    return plan;  // no [fault] section: empty plan, a guaranteed no-op
+  for (const std::string& key : config.keys("fault")) {
+    if (key == "seed") {
+      plan.seed =
+          static_cast<std::uint64_t>(config.get_int("fault", "seed", 1));
+      continue;
+    }
+    if (key.rfind("event", 0) != 0) {
+      fail_parse(error, "[fault] unknown key '" + key +
+                            "' (expected seed or event*)");
+      return std::nullopt;
+    }
+    std::string event_error;
+    const auto e =
+        parse_event(config.get_string("fault", key, ""), &event_error);
+    if (!e) {
+      fail_parse(error, "[fault] " + key + ": " + event_error);
+      return std::nullopt;
+    }
+    plan.events.push_back(*e);
+  }
+  plan.normalize();
+  return plan;
+}
+
+void FaultPlan::normalize() {
+  std::stable_sort(events.begin(), events.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     if (a.at.value() < b.at.value()) return true;
+                     if (b.at.value() < a.at.value()) return false;
+                     if (a.kind != b.kind) return a.kind < b.kind;
+                     return a.target < b.target;
+                   });
+}
+
+double FaultPlan::capacity_factor(int address) const {
+  double factor = 1.0;
+  for (const FaultEvent& e : events)
+    if (e.kind == FaultKind::kCapacityScale && e.target == address)
+      factor *= e.magnitude;
+  return factor;
+}
+
+std::string FaultPlan::summary() const {
+  std::ostringstream os;
+  os << events.size() << (events.size() == 1 ? " fault: " : " faults: ");
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const FaultEvent& e = events[i];
+    if (i != 0) os << ", ";
+    os << fault_kind_name(e.kind) << "(";
+    if (e.target != 0) os << "node" << e.target << " ";
+    os << "@" << e.at.value() << "s";
+    if (e.duration.value() > 0.0) os << " +" << e.duration.value() << "s";
+    if (e.kind == FaultKind::kBurstLoss || e.kind == FaultKind::kCorrupt)
+      os << " p=" << e.magnitude;
+    if (e.kind == FaultKind::kRateDegrade ||
+        e.kind == FaultKind::kCapacityScale)
+      os << " x" << e.magnitude;
+    os << ")";
+  }
+  return os.str();
+}
+
+Runtime::Runtime(sim::Engine& engine, FaultPlan plan, sim::Trace* trace)
+    : engine_(engine), plan_(std::move(plan)), trace_(trace),
+      rng_(plan_.seed) {
+  plan_.normalize();
+  active_.assign(plan_.events.size(), 0);
+}
+
+void Runtime::set_node_hooks(int address, NodeHooks hooks) {
+  DESLP_EXPECTS(!armed_);
+  hooks_[address] = std::move(hooks);
+}
+
+void Runtime::bind_metrics(obs::Registry& registry) {
+  for (int k = 0; k < kFaultKindCount; ++k) {
+    m_injected_[k] = registry.counter(
+        std::string("fault.injected.") +
+        fault_kind_name(static_cast<FaultKind>(k)));
+  }
+}
+
+void Runtime::mark(const std::string& label) {
+  if (trace_ != nullptr) trace_->add_mark({"Fault", label, engine_.now()});
+}
+
+void Runtime::inject(std::size_t index) {
+  const FaultEvent& e = plan_.events[index];
+  ++injections_;
+  m_injected_[static_cast<int>(e.kind)].inc();
+  mark(std::string("inject ") + fault_kind_name(e.kind) +
+       (e.target != 0 ? " node" + std::to_string(e.target) : ""));
+  active_[index] = 1;
+  if (is_window_kind(e.kind)) return;
+  auto it = hooks_.find(e.target);
+  if (it != hooks_.end() && it->second.fail) it->second.fail(e);
+}
+
+void Runtime::lift(std::size_t index) {
+  const FaultEvent& e = plan_.events[index];
+  mark(std::string("lift ") + fault_kind_name(e.kind) +
+       (e.target != 0 ? " node" + std::to_string(e.target) : ""));
+  active_[index] = 0;
+  if (is_window_kind(e.kind)) return;
+  auto it = hooks_.find(e.target);
+  if (it != hooks_.end() && it->second.revive) it->second.revive(e);
+}
+
+void Runtime::arm() {
+  DESLP_EXPECTS(!armed_);
+  armed_ = true;
+  for (std::size_t i = 0; i < plan_.events.size(); ++i) {
+    const FaultEvent& e = plan_.events[i];
+    if (e.kind == FaultKind::kCapacityScale) continue;  // build-time only
+    engine_.post_at(sim::Time{0} + sim::from_seconds(e.at),
+                    [this, i] { inject(i); });
+    const bool lifts =
+        e.duration.value() > 0.0 && e.kind != FaultKind::kSuddenDeath;
+    if (lifts) {
+      engine_.post_at(sim::Time{0} + sim::from_seconds(e.at + e.duration),
+                      [this, i] { lift(i); });
+    }
+  }
+}
+
+bool Runtime::window_matches(const FaultEvent& e, int a, int b) const {
+  return e.target == 0 || e.target == a || e.target == b;
+}
+
+bool Runtime::blackout(int src, int dst) const {
+  for (std::size_t i = 0; i < plan_.events.size(); ++i) {
+    const FaultEvent& e = plan_.events[i];
+    if (active_[i] != 0 && e.kind == FaultKind::kLinkBlackout &&
+        window_matches(e, src, dst))
+      return true;
+  }
+  return false;
+}
+
+bool Runtime::ack_suppressed() const {
+  for (std::size_t i = 0; i < plan_.events.size(); ++i) {
+    if (active_[i] != 0 && plan_.events[i].kind == FaultKind::kAckSuppress)
+      return true;
+  }
+  return false;
+}
+
+double Runtime::wire_time_factor(int src, int dst) const {
+  double factor = 1.0;
+  for (std::size_t i = 0; i < plan_.events.size(); ++i) {
+    const FaultEvent& e = plan_.events[i];
+    if (active_[i] != 0 && e.kind == FaultKind::kRateDegrade &&
+        window_matches(e, src, dst))
+      factor /= e.magnitude;
+  }
+  return factor;
+}
+
+bool Runtime::lose_message(int src, int dst) {
+  bool lost = false;
+  for (std::size_t i = 0; i < plan_.events.size(); ++i) {
+    const FaultEvent& e = plan_.events[i];
+    if (active_[i] != 0 && e.kind == FaultKind::kBurstLoss &&
+        window_matches(e, src, dst)) {
+      // One draw per active window so the PRNG stream is a deterministic
+      // function of the event sequence (no short-circuiting).
+      if (rng_.chance(e.magnitude)) lost = true;
+    }
+  }
+  return lost;
+}
+
+bool Runtime::corrupt_segment() {
+  bool corrupt = false;
+  for (std::size_t i = 0; i < plan_.events.size(); ++i) {
+    const FaultEvent& e = plan_.events[i];
+    if (active_[i] != 0 && e.kind == FaultKind::kCorrupt) {
+      if (rng_.chance(e.magnitude)) corrupt = true;
+    }
+  }
+  return corrupt;
+}
+
+std::optional<sim::Time> Runtime::outage_start(int address) const {
+  // Earliest start among the outages (blackout windows, brownouts, sudden
+  // deaths) currently in force for `address`. Computed from the active
+  // flags so overlapping windows need no bookkeeping: each window's start
+  // is its own scheduled time.
+  std::optional<sim::Time> earliest;
+  for (std::size_t i = 0; i < plan_.events.size(); ++i) {
+    const FaultEvent& e = plan_.events[i];
+    if (active_[i] == 0) continue;
+    const bool covers =
+        (e.kind == FaultKind::kLinkBlackout &&
+         (e.target == 0 || e.target == address)) ||
+        (is_node_kind(e.kind) && e.target == address);
+    if (!covers) continue;
+    const sim::Time start = sim::Time{0} + sim::from_seconds(e.at);
+    if (!earliest || start < *earliest) earliest = start;
+  }
+  return earliest;
+}
+
+}  // namespace deslp::fault

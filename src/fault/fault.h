@@ -1,0 +1,178 @@
+// Deterministic fault injection (DESIGN.md §10).
+//
+// A FaultPlan is a list of scheduled or probabilistic fault events — link
+// blackouts, rate degradation, burst message loss, ack suppression, segment
+// corruption, node brownouts, sudden battery death, capacity variance —
+// parsed from a scenario's [fault] section or built programmatically. The
+// Runtime turns the plan into ordinary simulated events: window toggles and
+// node hooks are scheduled on the sim::Engine, and every probabilistic draw
+// comes from one plan-seeded PRNG consumed in event order, so a run with a
+// given plan replays bit-identically (including under the parallel batch
+// runner — each run owns its engine and runtime). An empty plan installs
+// nothing: no events, no PRNG draws, no behaviour change, byte-identical
+// output.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "sim/engine.h"
+#include "sim/trace.h"
+#include "util/config.h"
+#include "util/rng.h"
+#include "util/units.h"
+
+namespace deslp::fault {
+
+enum class FaultKind {
+  kLinkBlackout,   // window: every message to/from `target` vanishes
+  kRateDegrade,    // window: wire times divided by the throughput `magnitude`
+  kBurstLoss,      // window: each message dropped with probability `magnitude`
+  kAckSuppress,    // window: acknowledgment traffic dropped
+  kCorrupt,        // window: data segments corrupted with prob. `magnitude`
+  kBrownout,       // node `target` resets at `at`, returns after `duration`
+  kSuddenDeath,    // node `target` dies permanently at `at`
+  kCapacityScale,  // node `target` starts with `magnitude` of usable charge
+};
+
+inline constexpr int kFaultKindCount = 8;
+
+[[nodiscard]] const char* fault_kind_name(FaultKind kind);
+
+struct FaultEvent {
+  FaultKind kind = FaultKind::kLinkBlackout;
+  /// Node address the fault applies to; 0 = every endpoint (link-layer
+  /// kinds only — node-level kinds need a concrete address).
+  int target = 0;
+  /// Window start, in simulated seconds from run start.
+  Seconds at;
+  /// Window length; 0 = open-ended (never lifts). Ignored by kSuddenDeath
+  /// and kCapacityScale, required for kBrownout.
+  Seconds duration;
+  /// Probability (kBurstLoss, kCorrupt) or factor in (0, 1]
+  /// (kRateDegrade, kCapacityScale); unused by the other kinds.
+  double magnitude = 1.0;
+};
+
+/// A complete, self-contained description of every fault one run suffers.
+struct FaultPlan {
+  std::vector<FaultEvent> events;
+  /// Seed of the runtime's dedicated PRNG (probabilistic kinds only; the
+  /// plan PRNG is separate from the link/system seeds so adding faults
+  /// never perturbs the fault-free draws).
+  std::uint64_t seed = 1;
+
+  [[nodiscard]] bool empty() const { return events.empty(); }
+
+  /// Parse one event description, e.g.
+  ///   "blackout target=2 at=120 dur=30"
+  ///   "burst_loss at=200 dur=50 p=0.3"
+  ///   "rate_degrade target=1 at=100 dur=60 factor=0.25"
+  ///   "brownout target=1 at=300 dur=10"
+  ///   "sudden_death target=2 at=500"
+  ///   "capacity_scale target=1 factor=0.8"
+  /// Returns nullopt with `error` set on unknown kinds/keys or
+  /// out-of-range values.
+  static std::optional<FaultEvent> parse_event(const std::string& text,
+                                               std::string* error);
+
+  /// Build a plan from a scenario [fault] section: `seed = N` plus any
+  /// number of `eventK = <event description>` keys. A config without a
+  /// [fault] section yields an empty plan. Events are sorted by
+  /// (at, kind, target) so arming order is deterministic regardless of key
+  /// spelling.
+  static std::optional<FaultPlan> from_config(const Config& config,
+                                              std::string* error);
+
+  /// Sort events by (at, kind, target): deterministic arming order.
+  void normalize();
+
+  /// Product of kCapacityScale factors for `address` (applied at battery
+  /// build time, before the run starts).
+  [[nodiscard]] double capacity_factor(int address) const;
+
+  /// Human-readable one-line description, e.g.
+  /// "2 faults: blackout(node2 @120s +30s), sudden_death(node1 @500s)".
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Live injection state for one run. Owned by the system under test
+/// (PipelineSystem, or a test harness), consulted by the hub and the
+/// reliable transport, and driven entirely by engine events so replay is
+/// exact.
+class Runtime {
+ public:
+  /// Node-level fault delivery: `fail` fires at a brownout start or sudden
+  /// death, `revive` at a brownout end. Missing hooks are skipped (a
+  /// transport-only harness needs none).
+  struct NodeHooks {
+    std::function<void(const FaultEvent&)> fail;
+    std::function<void(const FaultEvent&)> revive;
+  };
+
+  Runtime(sim::Engine& engine, FaultPlan plan, sim::Trace* trace = nullptr);
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  void set_node_hooks(int address, NodeHooks hooks);
+
+  /// Mirror injection counts into `fault.injected.<kind>` counters.
+  void bind_metrics(obs::Registry& registry);
+
+  /// Schedule every event on the engine. Call exactly once, after node
+  /// hooks are set and before the engine runs.
+  void arm();
+
+  // --- link-layer queries (net::Hub) ---------------------------------------
+
+  /// True while an active blackout window covers `src` or `dst`.
+  [[nodiscard]] bool blackout(int src, int dst) const;
+  /// True while any ack-suppression window is active.
+  [[nodiscard]] bool ack_suppressed() const;
+  /// Wire-time multiplier (>= 1) from active rate-degradation windows
+  /// covering `src` or `dst`.
+  [[nodiscard]] double wire_time_factor(int src, int dst) const;
+  /// Burst-loss draw for one message; consumes one PRNG draw per active
+  /// matching window (none when no window is active).
+  bool lose_message(int src, int dst);
+
+  // --- transport queries (net::ReliablePeer) -------------------------------
+
+  /// Corruption draw for one outgoing data segment; consumes one PRNG draw
+  /// per active corruption window.
+  bool corrupt_segment();
+
+  // --- recovery metrics ----------------------------------------------------
+
+  /// Start of the outage (blackout window, brownout, or sudden death)
+  /// currently affecting `address`, if any; checks the address and the
+  /// global target 0. Consumers use it to compute detection latency.
+  [[nodiscard]] std::optional<sim::Time> outage_start(int address) const;
+
+  /// Total fault events injected so far (window starts and node faults).
+  [[nodiscard]] long long injections() const { return injections_; }
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+
+ private:
+  void inject(std::size_t index);
+  void lift(std::size_t index);
+  void mark(const std::string& label);
+  [[nodiscard]] bool window_matches(const FaultEvent& e, int a, int b) const;
+
+  sim::Engine& engine_;
+  FaultPlan plan_;
+  sim::Trace* trace_;
+  Rng rng_;
+  bool armed_ = false;
+  std::vector<char> active_;           // parallel to plan_.events
+  std::map<int, NodeHooks> hooks_;
+  long long injections_ = 0;
+  obs::Counter m_injected_[kFaultKindCount];
+};
+
+}  // namespace deslp::fault

@@ -2,6 +2,7 @@
 
 #include <string>
 
+#include "fault/fault.h"
 #include "util/check.h"
 
 namespace deslp::net {
@@ -31,6 +32,7 @@ void Hub::bind_metrics(obs::Registry& registry, std::string_view prefix) {
   const std::string p(prefix);
   m_transactions_ = registry.counter(p + ".transactions");
   m_dropped_to_failed_ = registry.counter(p + ".dropped_to_failed");
+  m_dropped_by_fault_ = registry.counter(p + ".dropped_by_fault");
   m_payload_bytes_ = registry.counter(p + ".payload_bytes");
 }
 
@@ -57,7 +59,10 @@ const Hub::Endpoint* Hub::find(Address addr) const {
 Seconds Hub::begin_send(const Message& msg) {
   DESLP_EXPECTS(msg.src != msg.dst);
   Endpoint& src = endpoint(msg.src);
-  const Seconds wire_time = src.link->transaction_time(msg.size);
+  Seconds wire_time = src.link->transaction_time(msg.size);
+  if (faults_ != nullptr) {
+    wire_time = wire_time * faults_->wire_time_factor(msg.src, msg.dst);
+  }
 
   ++stats_.transactions;
   stats_.payload_routed += msg.size;
@@ -69,6 +74,21 @@ Seconds Hub::begin_send(const Message& msg) {
     ++stats_.dropped_to_failed;
     m_dropped_to_failed_.inc();
     return wire_time;
+  }
+  if (faults_ != nullptr) {
+    // The sender still pays the wire time: from its side the transaction
+    // happened, the bytes just never came out of the dead line. The
+    // burst-loss draw comes after the deterministic checks, so the PRNG
+    // stream is a function of the (deterministic) window state only.
+    const bool swallowed =
+        faults_->blackout(msg.src, msg.dst) ||
+        (msg.kind == MsgKind::kAck && faults_->ack_suppressed()) ||
+        faults_->lose_message(msg.src, msg.dst);
+    if (swallowed) {
+      ++stats_.dropped_by_fault;
+      m_dropped_by_fault_.inc();
+      return wire_time;
+    }
   }
   // Cut-through: the receiver's window opens one forward latency later.
   sim::Channel<Delivery>* mailbox = dst->mailbox.get();
@@ -97,7 +117,11 @@ Seconds Hub::expected_wire_time(Address src, Bytes payload) const {
 void Hub::set_failed(Address addr, bool failed) {
   Endpoint& ep = endpoint(addr);
   ep.failed = failed;
-  if (failed) ep.mailbox->close();
+  if (failed) {
+    ep.mailbox->close();
+  } else {
+    ep.mailbox->reopen();
+  }
 }
 
 bool Hub::failed(Address addr) const {

@@ -23,11 +23,18 @@
 #include "sim/channel.h"
 #include "sim/engine.h"
 
+namespace deslp::fault {
+class Runtime;
+}  // namespace deslp::fault
+
 namespace deslp::net {
 
 struct HubStats {
   long long transactions = 0;
   long long dropped_to_failed = 0;
+  /// Messages swallowed by an injected fault (blackout window, burst loss,
+  /// ack suppression). Always 0 without a fault runtime.
+  long long dropped_by_fault = 0;
   Bytes payload_routed;
 };
 
@@ -51,9 +58,19 @@ class Hub {
   [[nodiscard]] Seconds expected_wire_time(Address src, Bytes payload) const;
 
   /// Mark/unmark an endpoint as failed. Messages routed to a failed
-  /// endpoint vanish (its PPP peer is gone).
+  /// endpoint vanish (its PPP peer is gone). Unmarking reopens the
+  /// endpoint's mailbox (brownout recovery): buffered pre-failure
+  /// deliveries are discarded with the rest of the node's state.
   void set_failed(Address addr, bool failed);
   [[nodiscard]] bool failed(Address addr) const;
+
+  /// Attach a fault-injection runtime (DESIGN.md §10): active blackout /
+  /// burst-loss / ack-suppression windows swallow matching messages at
+  /// send time (the sender still pays the wire time, like a transmission
+  /// into a dead line), and rate-degradation windows stretch wire times.
+  /// Null (the default) bypasses every check — the fault-free path is
+  /// byte-identical to a build without the fault layer.
+  void set_fault_runtime(fault::Runtime* runtime) { faults_ = runtime; }
 
   [[nodiscard]] const HubStats& stats() const { return stats_; }
   [[nodiscard]] const LinkSpec& link_spec() const { return link_spec_; }
@@ -78,8 +95,10 @@ class Hub {
   std::uint64_t seed_;
   std::map<Address, Endpoint> endpoints_;
   HubStats stats_;
+  fault::Runtime* faults_ = nullptr;
   obs::Counter m_transactions_;
   obs::Counter m_dropped_to_failed_;
+  obs::Counter m_dropped_by_fault_;
   obs::Counter m_payload_bytes_;
 };
 

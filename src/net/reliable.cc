@@ -4,9 +4,25 @@
 #include <string>
 #include <utility>
 
+#include "fault/fault.h"
 #include "util/check.h"
 
 namespace deslp::net {
+
+std::uint32_t segment_checksum(const Segment& segment) {
+  // 32-bit FNV-1a over type, little-endian seq, then payload.
+  std::uint32_t h = 2166136261u;
+  const auto mix = [&h](std::uint8_t byte) {
+    h ^= byte;
+    h *= 16777619u;
+  };
+  mix(segment.type == Segment::Type::kAck ? std::uint8_t{1} : std::uint8_t{0});
+  for (int i = 0; i < 8; ++i) {
+    mix(static_cast<std::uint8_t>((segment.seq >> (8 * i)) & 0xFFu));
+  }
+  for (std::uint8_t byte : segment.payload) mix(byte);
+  return h;
+}
 
 void ReliablePeer::bind_metrics(obs::Registry& registry,
                                 std::string_view prefix) {
@@ -16,6 +32,7 @@ void ReliablePeer::bind_metrics(obs::Registry& registry,
   m_acks_sent_ = registry.counter(p + ".acks_sent");
   m_dup_received_ = registry.counter(p + ".dup_received");
   m_ooo_dropped_ = registry.counter(p + ".ooo_dropped");
+  m_corrupt_rejected_ = registry.counter(p + ".corrupt_rejected");
   m_goodput_bytes_ = registry.counter(p + ".goodput_bytes");
 }
 
@@ -43,12 +60,32 @@ void ReliablePeer::pump() {
     seg.seq = next_seq_++;
     seg.payload = std::move(send_queue_.front());
     send_queue_.pop_front();
+    seal(seg);
     inflight_.push_back(seg);
     ++stats_.data_sent;
     m_data_sent_.inc();
-    wire_(seg);
+    transmit(seg);
   }
   if (!inflight_.empty() && !timer_.pending()) arm_timer();
+}
+
+void ReliablePeer::transmit(const Segment& segment) {
+  if (faults_ != nullptr) {
+    if (segment.type == Segment::Type::kAck && faults_->ack_suppressed()) {
+      return;  // the ack dies at this endpoint; dup-data recovery kicks in
+    }
+    if (segment.type == Segment::Type::kData && faults_->corrupt_segment()) {
+      Segment damaged = segment;
+      if (!damaged.payload.empty()) {
+        damaged.payload.front() ^= 0x01u;
+      } else {
+        damaged.checksum ^= 0x01u;
+      }
+      wire_(damaged);
+      return;
+    }
+  }
+  wire_(segment);
 }
 
 void ReliablePeer::arm_timer() {
@@ -71,13 +108,20 @@ void ReliablePeer::on_timeout() {
   for (const Segment& seg : inflight_) {
     ++stats_.data_retx;
     m_data_retx_.inc();
-    wire_(seg);
+    transmit(seg);
   }
   arm_timer();
 }
 
 void ReliablePeer::on_wire(const Segment& segment) {
   if (presumed_dead_) return;
+  if (segment.checksum != segment_checksum(segment)) {
+    // Damaged frame: discard without acking, exactly like a wire loss. The
+    // sender's Go-Back-N timeout retransmits a clean copy.
+    ++stats_.corrupt_rejected;
+    m_corrupt_rejected_.inc();
+    return;
+  }
   if (segment.type == Segment::Type::kAck) {
     // Cumulative ack: everything below segment.seq is delivered.
     bool advanced = false;
@@ -116,9 +160,10 @@ void ReliablePeer::on_wire(const Segment& segment) {
   Segment ack;
   ack.type = Segment::Type::kAck;
   ack.seq = expected_seq_;
+  seal(ack);
   ++stats_.acks_sent;
   m_acks_sent_.inc();
-  wire_(ack);
+  transmit(ack);
 }
 
 }  // namespace deslp::net

@@ -23,6 +23,10 @@
 #include "sim/engine.h"
 #include "util/units.h"
 
+namespace deslp::fault {
+class Runtime;
+}  // namespace deslp::fault
+
 namespace deslp::net {
 
 struct Segment {
@@ -32,7 +36,20 @@ struct Segment {
   /// (cumulative).
   std::uint64_t seq = 0;
   std::vector<std::uint8_t> payload;
+  /// FNV-1a over (type, seq, payload); see `segment_checksum`. A receiver
+  /// silently discards segments whose stored checksum does not match — the
+  /// Go-Back-N timeout recovers them like any other loss.
+  std::uint32_t checksum = 0;
 };
+
+/// Checksum of a segment's (type, seq, payload) fields — 32-bit FNV-1a, the
+/// stand-in for the PPP frame check the paper's links run underneath TCP.
+[[nodiscard]] std::uint32_t segment_checksum(const Segment& segment);
+
+/// Stamp `segment.checksum` so `segment_checksum(segment)` verifies.
+inline void seal(Segment& segment) {
+  segment.checksum = segment_checksum(segment);
+}
 
 struct ReliableOptions {
   /// Base retransmission timeout.
@@ -61,6 +78,9 @@ struct ReliableStats {
   /// retransmits them in order). Distinct from duplication — §5.4's
   /// failure analysis must not conflate the two.
   long long ooo_dropped = 0;
+  /// Segments discarded on arrival because the checksum did not verify
+  /// (fault-injected corruption, DESIGN.md §10). Always 0 without faults.
+  long long corrupt_rejected = 0;
 };
 
 /// One endpoint of a reliable bidirectional association. Create one peer on
@@ -91,6 +111,12 @@ class ReliablePeer {
   void set_dead_callback(DeadCallback cb) { on_dead_ = std::move(cb); }
   [[nodiscard]] bool peer_presumed_dead() const { return presumed_dead_; }
 
+  /// Attach a fault-injection runtime: active ack-suppression windows drop
+  /// this peer's outgoing acks before they reach the wire, and corruption
+  /// windows damage outgoing data segments after sealing (the receiver's
+  /// checksum check rejects them). Null (the default) bypasses every check.
+  void set_fault_runtime(fault::Runtime* runtime) { faults_ = runtime; }
+
   [[nodiscard]] const ReliableStats& stats() const { return stats_; }
 
   /// Mirror the stats into registry counters named `<prefix>.data_sent`,
@@ -103,11 +129,15 @@ class ReliablePeer {
   void pump();             // move queued payloads into the window
   void arm_timer();
   void on_timeout();
+  /// Last stop before the wire: applies the fault injectors (segments are
+  /// already sealed by this point), then calls `wire_`.
+  void transmit(const Segment& segment);
 
   sim::Engine& engine_;
   ReliableOptions options_;
   WireSend wire_;
   DeadCallback on_dead_;
+  fault::Runtime* faults_ = nullptr;
 
   // Sender state.
   std::uint64_t next_seq_ = 0;                  // next new sequence number
@@ -127,6 +157,7 @@ class ReliablePeer {
   obs::Counter m_acks_sent_;
   obs::Counter m_dup_received_;
   obs::Counter m_ooo_dropped_;
+  obs::Counter m_corrupt_rejected_;
   obs::Counter m_goodput_bytes_;
 };
 

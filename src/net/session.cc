@@ -23,11 +23,14 @@ PppSession::PppSession(sim::Engine& engine, SessionOptions options)
 }
 
 std::vector<std::uint8_t> PppSession::encode_segment(const Segment& segment) {
+  // type(1) seq(8 LE) checksum(4 LE) len(2 LE) payload(len)
   std::vector<std::uint8_t> out;
-  out.reserve(11 + segment.payload.size());
+  out.reserve(15 + segment.payload.size());
   out.push_back(segment.type == Segment::Type::kData ? 0x01 : 0x02);
   for (int shift = 0; shift < 64; shift += 8)
     out.push_back(static_cast<std::uint8_t>(segment.seq >> shift));
+  for (int shift = 0; shift < 32; shift += 8)
+    out.push_back(static_cast<std::uint8_t>(segment.checksum >> shift));
   const std::size_t len = segment.payload.size();
   DESLP_EXPECTS(len <= 0xFFFF);
   out.push_back(static_cast<std::uint8_t>(len & 0xFF));
@@ -38,7 +41,7 @@ std::vector<std::uint8_t> PppSession::encode_segment(const Segment& segment) {
 
 std::optional<Segment> PppSession::decode_segment(
     const std::vector<std::uint8_t>& bytes) {
-  if (bytes.size() < 11) return std::nullopt;
+  if (bytes.size() < 15) return std::nullopt;
   Segment seg;
   if (bytes[0] == 0x01) {
     seg.type = Segment::Type::kData;
@@ -52,10 +55,15 @@ std::optional<Segment> PppSession::decode_segment(
     seg.seq |= static_cast<std::uint64_t>(bytes[1 + static_cast<std::size_t>(
                                                       i)])
                << (8 * i);
-  const std::size_t len = static_cast<std::size_t>(bytes[9]) |
-                          (static_cast<std::size_t>(bytes[10]) << 8);
-  if (bytes.size() != 11 + len) return std::nullopt;
-  seg.payload.assign(bytes.begin() + 11, bytes.end());
+  seg.checksum = 0;
+  for (int i = 0; i < 4; ++i)
+    seg.checksum |=
+        static_cast<std::uint32_t>(bytes[9 + static_cast<std::size_t>(i)])
+        << (8 * i);
+  const std::size_t len = static_cast<std::size_t>(bytes[13]) |
+                          (static_cast<std::size_t>(bytes[14]) << 8);
+  if (bytes.size() != 15 + len) return std::nullopt;
+  seg.payload.assign(bytes.begin() + 15, bytes.end());
   return seg;
 }
 

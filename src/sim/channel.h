@@ -48,6 +48,16 @@ class Channel {
     }
   }
 
+  /// Reopen a closed channel (fault-injected brownout recovery): future
+  /// sends and receives work again. Values buffered before the close are
+  /// discarded — a revived endpoint lost its state, and its peers already
+  /// observed the silence. No-op on an open channel.
+  void reopen() {
+    if (!closed_) return;
+    closed_ = false;
+    queue_.clear();
+  }
+
   [[nodiscard]] bool closed() const { return closed_; }
   [[nodiscard]] std::size_t buffered() const { return queue_.size(); }
 

@@ -1,0 +1,288 @@
+// Recovery stress-test matrix (DESIGN.md §10): every fault archetype ×
+// pipeline shape cell must terminate with the run invariants intact — no
+// phantom frames, conserved charge, bit-reproducible replay — and the
+// fault layer must be a true no-op when no plan is given (golden values
+// pinned against the fault-free build).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "battery/kibam.h"
+#include "core/experiment.h"
+#include "core/system.h"
+#include "fault/fault.h"
+#include "task/partition.h"
+
+namespace deslp::core {
+namespace {
+
+// One pipeline shape the matrix runs every archetype against.
+struct Shape {
+  const char* name;
+  int stages;
+  bool acks;
+  long long rotation;
+};
+
+const Shape kShapes[] = {
+    {"solo", 1, false, 0},
+    {"acks", 2, true, 0},
+    {"rotation", 2, false, 50},
+};
+
+// One fault archetype: builds the plan given the cell's node count.
+struct Archetype {
+  const char* name;
+  fault::FaultPlan (*plan)(int stages);
+};
+
+fault::FaultEvent event(fault::FaultKind kind, int target, double at,
+                        double dur, double magnitude = 1.0) {
+  return {kind, target, seconds(at), seconds(dur), magnitude};
+}
+
+const Archetype kArchetypes[] = {
+    {"blackout",
+     [](int stages) {
+       fault::FaultPlan p;
+       p.events.push_back(
+           event(fault::FaultKind::kLinkBlackout, stages, 60.0, 30.0));
+       return p;
+     }},
+    {"rate_degrade",
+     [](int) {
+       fault::FaultPlan p;
+       p.events.push_back(
+           event(fault::FaultKind::kRateDegrade, 0, 30.0, 60.0, 0.25));
+       return p;
+     }},
+    {"burst_loss",
+     [](int) {
+       fault::FaultPlan p;
+       p.seed = 5;
+       p.events.push_back(
+           event(fault::FaultKind::kBurstLoss, 0, 30.0, 120.0, 0.3));
+       return p;
+     }},
+    {"ack_suppress",
+     [](int) {
+       fault::FaultPlan p;
+       p.events.push_back(
+           event(fault::FaultKind::kAckSuppress, 0, 60.0, 20.0));
+       return p;
+     }},
+    {"brownout",
+     [](int stages) {
+       fault::FaultPlan p;
+       p.events.push_back(
+           event(fault::FaultKind::kBrownout, stages, 60.0, 30.0));
+       return p;
+     }},
+    {"sudden_death",
+     [](int stages) {
+       fault::FaultPlan p;
+       p.events.push_back(
+           event(fault::FaultKind::kSuddenDeath, stages, 90.0, 0.0));
+       return p;
+     }},
+    {"capacity_scale",
+     [](int stages) {
+       fault::FaultPlan p;
+       p.events.push_back(
+           event(fault::FaultKind::kCapacityScale, stages, 0.0, 0.0, 0.5));
+       return p;
+     }},
+};
+
+constexpr double kCellMah = 8.0;  // small pack: cells run in seconds
+
+SystemConfig cell_config(const Shape& shape, const fault::FaultPlan& plan) {
+  SystemConfig sys;
+  sys.cpu = &cpu::itsy_sa1100();
+  sys.profile = &atr::itsy_atr_profile();
+  sys.link = net::itsy_serial_link();
+  sys.battery_factory = [] {
+    return battery::make_kibam_battery(
+        battery::KibamParams{milliamp_hours(kCellMah), 0.3, 5e-4});
+  };
+  sys.frame_delay = seconds(2.3);
+  sys.max_frames = 3000;
+  sys.seed = 42;
+
+  const auto analyses = task::analyze_all_partitions(
+      *sys.profile, shape.stages, *sys.cpu, sys.link, sys.frame_delay);
+  const int best = task::best_partition_index(analyses);
+  EXPECT_GE(best, 0);
+  const auto& a = analyses[static_cast<std::size_t>(best)];
+  sys.partition = a.partition;
+  for (const auto& s : a.stages) {
+    // One level of headroom above the minimum so the ack overhead never
+    // pushes a cell to the feasibility edge.
+    const int lv = std::min(s.min_level + 1, sys.cpu->level_count() - 1);
+    sys.stage_levels.push_back({lv, 0, 0});
+  }
+  sys.use_acks = shape.acks;
+  sys.rotation_period = shape.rotation;
+  sys.migrated_levels = {sys.cpu->top_level(), 0, 0};
+  sys.faults = plan;
+  return sys;
+}
+
+void expect_invariants(const RunResult& r, const Shape& shape) {
+  // No phantom frames: the host never receives more results than inputs.
+  EXPECT_LE(r.frames_completed, r.frames_sent);
+  EXPECT_GT(r.frames_completed, 0);  // faults start after warm-up
+  EXPECT_LE(r.last_completion.value(), r.sim_end.value() + 1e-9);
+  ASSERT_EQ(static_cast<int>(r.nodes.size()), shape.stages);
+  const double capacity_c = kCellMah * 3.6;  // mAh -> coulombs
+  for (const auto& n : r.nodes) {
+    // Conserved charge: the battery never sources more than was installed
+    // and the state of charge stays physical.
+    EXPECT_LE(n.charge_used.value(), capacity_c * 1.01) << n.name;
+    EXPECT_GE(n.final_soc, -1e-9) << n.name;
+    EXPECT_LE(n.final_soc, 1.0 + 1e-9) << n.name;
+    if (n.died) {
+      EXPECT_GT(n.death_time.value(), 0.0) << n.name;
+      EXPECT_LE(n.death_time.value(), r.sim_end.value() + 1e-6) << n.name;
+    }
+  }
+}
+
+void expect_identical(const RunResult& a, const RunResult& b) {
+  EXPECT_EQ(a.frames_sent, b.frames_sent);
+  EXPECT_EQ(a.frames_completed, b.frames_completed);
+  EXPECT_EQ(a.frames_lost, b.frames_lost);
+  EXPECT_EQ(a.migration_retries, b.migration_retries);
+  EXPECT_EQ(a.fault_injections, b.fault_injections);
+  EXPECT_DOUBLE_EQ(a.sim_end.value(), b.sim_end.value());
+  ASSERT_EQ(a.nodes.size(), b.nodes.size());
+  for (std::size_t i = 0; i < a.nodes.size(); ++i) {
+    EXPECT_EQ(a.nodes[i].died, b.nodes[i].died);
+    EXPECT_DOUBLE_EQ(a.nodes[i].death_time.value(),
+                     b.nodes[i].death_time.value());
+    EXPECT_DOUBLE_EQ(a.nodes[i].charge_used.value(),
+                     b.nodes[i].charge_used.value());
+    EXPECT_DOUBLE_EQ(a.nodes[i].final_soc, b.nodes[i].final_soc);
+    EXPECT_EQ(a.nodes[i].rotations, b.nodes[i].rotations);
+    EXPECT_EQ(a.nodes[i].migrated, b.nodes[i].migrated);
+  }
+}
+
+class FaultMatrix : public ::testing::TestWithParam<int> {};
+
+TEST_P(FaultMatrix, CellTerminatesWithInvariantsAndReplaysExactly) {
+  const Archetype& arch = kArchetypes[static_cast<std::size_t>(GetParam())];
+  for (const Shape& shape : kShapes) {
+    SCOPED_TRACE(std::string(arch.name) + " x " + shape.name);
+    const fault::FaultPlan plan = arch.plan(shape.stages);
+
+    SystemConfig first = cell_config(shape, plan);
+    SystemConfig second = cell_config(shape, plan);
+    PipelineSystem sys_a(std::move(first));
+    const RunResult a = sys_a.run();
+    expect_invariants(a, shape);
+    EXPECT_GT(a.fault_injections +
+                  (plan.events[0].kind == fault::FaultKind::kCapacityScale
+                       ? 1
+                       : 0),
+              0);
+
+    // Bit-reproducible replay: a second system built from the same config
+    // must retrace the first run exactly.
+    PipelineSystem sys_b(std::move(second));
+    expect_identical(a, sys_b.run());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Archetypes, FaultMatrix, ::testing::Range(0, 7),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return std::string(
+                               kArchetypes[static_cast<std::size_t>(
+                                               info.param)]
+                                   .name);
+                         });
+
+// Death faults must hand the pipeline to the survivor when the ack
+// protocol is on: the survivor migrates, announces, and keeps completing
+// frames after the victim is gone.
+TEST(FaultMatrixRecovery, SurvivorTakesOverAfterSuddenDeath) {
+  const Shape shape{"acks", 2, true, 0};
+  fault::FaultPlan plan;
+  plan.events.push_back(
+      event(fault::FaultKind::kSuddenDeath, 2, 90.0, 0.0));
+  PipelineSystem sys(cell_config(shape, plan));
+  const RunResult r = sys.run();
+  expect_invariants(r, shape);
+  EXPECT_TRUE(r.nodes[0].migrated);
+  EXPECT_TRUE(r.nodes[1].died);
+  // Completions continue past the death: the survivor runs the chain.
+  EXPECT_GT(r.last_completion.value(), 90.0);
+}
+
+// A brownout is transient: after the node returns, the upstream must keep
+// detection armed and the system keeps completing frames (either via
+// migration during the outage or re-detection after it).
+TEST(FaultMatrixRecovery, BrownoutDoesNotWedgeThePipeline) {
+  const Shape shape{"acks", 2, true, 0};
+  fault::FaultPlan plan;
+  plan.events.push_back(event(fault::FaultKind::kBrownout, 2, 60.0, 30.0));
+  PipelineSystem sys(cell_config(shape, plan));
+  const RunResult r = sys.run();
+  expect_invariants(r, shape);
+  EXPECT_GT(r.last_completion.value(), 90.0);
+}
+
+// ---------------------------------------------------------------------------
+// Golden no-op: with no fault plan the fault layer must not exist at all.
+// The frame counts below are pinned from the fault-free build's
+// fig10_experiments output; any drift means the default path changed.
+
+TEST(FaultNoop, EmptyPlanPinsFig10FrameCounts) {
+  ExperimentSuite suite;
+  const auto specs = paper_experiments();
+  auto find = [&](const std::string& id) -> const ExperimentSpec& {
+    for (const auto& s : specs)
+      if (s.id == id) return s;
+    ADD_FAILURE() << "missing spec " << id;
+    return specs.front();
+  };
+  EXPECT_EQ(suite.run(find("2A")).frames, 22368);
+  EXPECT_EQ(suite.run(find("2B")).frames, 24696);
+}
+
+TEST(FaultNoop, UntriggeredPlanIsAnExactNoop) {
+  // A plan whose only event fires long after battery death arms the
+  // runtime (hub hooks live, queries run per message) but never opens a
+  // window — the run must be *exactly* the fault-free run, not just close.
+  ExperimentSuite suite;
+  const auto specs = paper_experiments();
+  ExperimentSpec spec;
+  for (const auto& s : specs)
+    if (s.id == "2B") spec = s;
+  ASSERT_EQ(spec.id, "2B");
+
+  const ExperimentResult bare = suite.run(spec);
+  spec.fault_plan.events.push_back(
+      event(fault::FaultKind::kLinkBlackout, 0, 1e9, 0.0));
+  const ExperimentResult armed = suite.run(spec);
+
+  EXPECT_EQ(bare.frames, armed.frames);
+  EXPECT_DOUBLE_EQ(bare.battery_life.value(), armed.battery_life.value());
+  ASSERT_EQ(bare.details.nodes.size(), armed.details.nodes.size());
+  for (std::size_t i = 0; i < bare.details.nodes.size(); ++i) {
+    EXPECT_DOUBLE_EQ(bare.details.nodes[i].charge_used.value(),
+                     armed.details.nodes[i].charge_used.value());
+    EXPECT_DOUBLE_EQ(bare.details.nodes[i].death_time.value(),
+                     armed.details.nodes[i].death_time.value());
+    EXPECT_EQ(bare.details.nodes[i].migrated, armed.details.nodes[i].migrated);
+  }
+  EXPECT_EQ(armed.details.frames_lost, 0);
+  EXPECT_EQ(armed.details.migration_retries, 0);
+  EXPECT_EQ(armed.details.fault_injections, 0);
+}
+
+}  // namespace
+}  // namespace deslp::core

@@ -1,0 +1,290 @@
+// Unit tests for the deterministic fault-injection layer (DESIGN.md §10):
+// event parsing and validation, plan construction from config, and the
+// Runtime's window state machine driven by engine events.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "fault/fault.h"
+#include "sim/engine.h"
+#include "util/config.h"
+
+namespace deslp::fault {
+namespace {
+
+sim::Time at_seconds(double s) {
+  return sim::Time{0} + sim::from_seconds(seconds(s));
+}
+
+// ---------------------------------------------------------------------------
+// Parsing.
+
+TEST(FaultParse, EveryKindParses) {
+  std::string err;
+  const auto blackout =
+      FaultPlan::parse_event("blackout target=2 at=120 dur=30", &err);
+  ASSERT_TRUE(blackout.has_value()) << err;
+  EXPECT_EQ(blackout->kind, FaultKind::kLinkBlackout);
+  EXPECT_EQ(blackout->target, 2);
+  EXPECT_DOUBLE_EQ(blackout->at.value(), 120.0);
+  EXPECT_DOUBLE_EQ(blackout->duration.value(), 30.0);
+
+  const auto degrade =
+      FaultPlan::parse_event("rate_degrade at=10 dur=5 factor=0.25", &err);
+  ASSERT_TRUE(degrade.has_value()) << err;
+  EXPECT_EQ(degrade->kind, FaultKind::kRateDegrade);
+  EXPECT_EQ(degrade->target, 0);  // all links
+  EXPECT_DOUBLE_EQ(degrade->magnitude, 0.25);
+
+  const auto burst =
+      FaultPlan::parse_event("burst_loss at=200 dur=50 p=0.3", &err);
+  ASSERT_TRUE(burst.has_value()) << err;
+  EXPECT_EQ(burst->kind, FaultKind::kBurstLoss);
+  EXPECT_DOUBLE_EQ(burst->magnitude, 0.3);
+
+  ASSERT_TRUE(FaultPlan::parse_event("ack_suppress at=5 dur=1", &err)) << err;
+  ASSERT_TRUE(FaultPlan::parse_event("corrupt at=5 dur=1 p=1", &err)) << err;
+  ASSERT_TRUE(FaultPlan::parse_event("brownout target=1 at=300 dur=10", &err))
+      << err;
+  ASSERT_TRUE(FaultPlan::parse_event("sudden_death target=2 at=500", &err))
+      << err;
+  const auto cap =
+      FaultPlan::parse_event("capacity_scale target=1 factor=0.8", &err);
+  ASSERT_TRUE(cap.has_value()) << err;
+  EXPECT_EQ(cap->kind, FaultKind::kCapacityScale);
+}
+
+TEST(FaultParse, RejectsMalformedEvents) {
+  const std::vector<std::string> bad = {
+      "",                                    // empty
+      "meteor_strike at=1",                  // unknown kind
+      "blackout when=1",                     // unknown key
+      "blackout at",                         // key without '='
+      "blackout at=soon",                    // non-numeric value
+      "blackout at=1 dur=-1",                // negative duration
+      "blackout at=-1",                      // negative start
+      "blackout target=-2 at=1",             // negative target
+      "burst_loss at=1 dur=1",               // missing p
+      "burst_loss at=1 dur=1 p=1.5",         // p out of range
+      "rate_degrade at=1 dur=1 factor=0",    // factor must be > 0
+      "rate_degrade at=1 dur=1 factor=2",    // factor must be <= 1
+      "brownout target=1 at=1",              // brownout needs dur > 0
+      "brownout at=1 dur=5",                 // node kind needs target
+      "sudden_death at=1",                   // node kind needs target
+      "capacity_scale factor=0.5",           // needs a node target
+  };
+  for (const std::string& text : bad) {
+    std::string err;
+    EXPECT_FALSE(FaultPlan::parse_event(text, &err).has_value())
+        << "accepted: " << text;
+    EXPECT_FALSE(err.empty()) << text;
+  }
+}
+
+TEST(FaultPlanConfig, MissingSectionYieldsEmptyPlan) {
+  std::string err;
+  const auto cfg = Config::parse("[system]\nframe_delay = 2.3\n", &err);
+  ASSERT_TRUE(cfg.has_value()) << err;
+  const auto plan = FaultPlan::from_config(*cfg, &err);
+  ASSERT_TRUE(plan.has_value()) << err;
+  EXPECT_TRUE(plan->empty());
+}
+
+TEST(FaultPlanConfig, ParsesSeedAndEventsSorted) {
+  std::string err;
+  const auto cfg = Config::parse(
+      "[fault]\n"
+      "seed = 99\n"
+      "event1 = sudden_death target=2 at=500\n"
+      "event2 = blackout target=1 at=20 dur=5\n",
+      &err);
+  ASSERT_TRUE(cfg.has_value()) << err;
+  const auto plan = FaultPlan::from_config(*cfg, &err);
+  ASSERT_TRUE(plan.has_value()) << err;
+  EXPECT_EQ(plan->seed, 99u);
+  ASSERT_EQ(plan->events.size(), 2u);
+  // Sorted by start time regardless of key order.
+  EXPECT_EQ(plan->events[0].kind, FaultKind::kLinkBlackout);
+  EXPECT_EQ(plan->events[1].kind, FaultKind::kSuddenDeath);
+}
+
+TEST(FaultPlanConfig, RejectsUnknownKeysAndBadEvents) {
+  std::string err;
+  const auto unknown = Config::parse("[fault]\nchaos = yes\n", &err);
+  ASSERT_TRUE(unknown.has_value()) << err;
+  EXPECT_FALSE(FaultPlan::from_config(*unknown, &err).has_value());
+  EXPECT_NE(err.find("chaos"), std::string::npos);
+
+  const auto bad = Config::parse("[fault]\nevent1 = blackout at=-3\n", &err);
+  ASSERT_TRUE(bad.has_value()) << err;
+  EXPECT_FALSE(FaultPlan::from_config(*bad, &err).has_value());
+  EXPECT_NE(err.find("event1"), std::string::npos);
+}
+
+TEST(FaultPlanTest, CapacityFactorMultipliesPerNode) {
+  FaultPlan plan;
+  plan.events.push_back(
+      {FaultKind::kCapacityScale, 1, seconds(0.0), seconds(0.0), 0.5});
+  plan.events.push_back(
+      {FaultKind::kCapacityScale, 1, seconds(0.0), seconds(0.0), 0.8});
+  plan.events.push_back(
+      {FaultKind::kCapacityScale, 2, seconds(0.0), seconds(0.0), 0.9});
+  EXPECT_DOUBLE_EQ(plan.capacity_factor(1), 0.4);
+  EXPECT_DOUBLE_EQ(plan.capacity_factor(2), 0.9);
+  EXPECT_DOUBLE_EQ(plan.capacity_factor(3), 1.0);
+}
+
+TEST(FaultPlanTest, SummaryNamesEveryEvent) {
+  FaultPlan plan;
+  plan.events.push_back(
+      {FaultKind::kLinkBlackout, 2, seconds(120.0), seconds(30.0), 1.0});
+  plan.events.push_back(
+      {FaultKind::kBurstLoss, 0, seconds(200.0), seconds(50.0), 0.3});
+  const std::string s = plan.summary();
+  EXPECT_NE(s.find("2 faults"), std::string::npos);
+  EXPECT_NE(s.find("blackout(node2 @120s +30s)"), std::string::npos);
+  EXPECT_NE(s.find("burst_loss(@200s +50s p=0.3)"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Runtime windows.
+
+TEST(FaultRuntime, BlackoutWindowTogglesWithSimTime) {
+  sim::Engine engine;
+  FaultPlan plan;
+  plan.events.push_back(
+      {FaultKind::kLinkBlackout, 2, seconds(10.0), seconds(5.0), 1.0});
+  Runtime rt(engine, plan);
+  rt.arm();
+
+  EXPECT_FALSE(rt.blackout(1, 2));
+  engine.run_until(at_seconds(12.0));
+  EXPECT_TRUE(rt.blackout(1, 2));   // dst matches
+  EXPECT_TRUE(rt.blackout(2, 1));   // src matches
+  EXPECT_FALSE(rt.blackout(1, 3));  // unrelated link untouched
+  EXPECT_EQ(rt.injections(), 1);
+  ASSERT_TRUE(rt.outage_start(2).has_value());
+  EXPECT_EQ(*rt.outage_start(2), at_seconds(10.0));
+  EXPECT_FALSE(rt.outage_start(1).has_value());
+
+  engine.run_until(at_seconds(20.0));
+  EXPECT_FALSE(rt.blackout(1, 2));
+  EXPECT_FALSE(rt.outage_start(2).has_value());
+}
+
+TEST(FaultRuntime, GlobalTargetCoversEveryLink) {
+  sim::Engine engine;
+  FaultPlan plan;
+  plan.events.push_back(
+      {FaultKind::kLinkBlackout, 0, seconds(1.0), seconds(0.0), 1.0});
+  Runtime rt(engine, plan);
+  rt.arm();
+  engine.run_until(at_seconds(2.0));
+  EXPECT_TRUE(rt.blackout(1, 2));
+  EXPECT_TRUE(rt.blackout(3, 4));
+  // Open-ended window (dur=0) never lifts.
+  engine.run_until(at_seconds(1e6));
+  EXPECT_TRUE(rt.blackout(1, 2));
+}
+
+TEST(FaultRuntime, RateDegradeWindowsCompound) {
+  sim::Engine engine;
+  FaultPlan plan;
+  plan.events.push_back(
+      {FaultKind::kRateDegrade, 0, seconds(1.0), seconds(10.0), 0.5});
+  plan.events.push_back(
+      {FaultKind::kRateDegrade, 2, seconds(2.0), seconds(10.0), 0.25});
+  Runtime rt(engine, plan);
+  rt.arm();
+  EXPECT_DOUBLE_EQ(rt.wire_time_factor(1, 2), 1.0);
+  engine.run_until(at_seconds(1.5));
+  EXPECT_DOUBLE_EQ(rt.wire_time_factor(1, 2), 2.0);
+  engine.run_until(at_seconds(3.0));
+  EXPECT_DOUBLE_EQ(rt.wire_time_factor(1, 2), 8.0);  // both windows
+  EXPECT_DOUBLE_EQ(rt.wire_time_factor(3, 4), 2.0);  // only the global one
+}
+
+TEST(FaultRuntime, ProbabilisticDrawsRespectWindowsAndExtremes) {
+  sim::Engine engine;
+  FaultPlan plan;
+  plan.events.push_back(
+      {FaultKind::kBurstLoss, 0, seconds(1.0), seconds(10.0), 1.0});
+  plan.events.push_back(
+      {FaultKind::kCorrupt, 0, seconds(1.0), seconds(10.0), 0.0});
+  Runtime rt(engine, plan);
+  rt.arm();
+  // Outside every window: no draws, nothing lost.
+  EXPECT_FALSE(rt.lose_message(1, 2));
+  EXPECT_FALSE(rt.corrupt_segment());
+  engine.run_until(at_seconds(2.0));
+  EXPECT_TRUE(rt.lose_message(1, 2));   // p = 1
+  EXPECT_FALSE(rt.corrupt_segment());   // p = 0
+}
+
+TEST(FaultRuntime, AckSuppressionWindow) {
+  sim::Engine engine;
+  FaultPlan plan;
+  plan.events.push_back(
+      {FaultKind::kAckSuppress, 0, seconds(5.0), seconds(5.0), 1.0});
+  Runtime rt(engine, plan);
+  rt.arm();
+  EXPECT_FALSE(rt.ack_suppressed());
+  engine.run_until(at_seconds(6.0));
+  EXPECT_TRUE(rt.ack_suppressed());
+  engine.run_until(at_seconds(11.0));
+  EXPECT_FALSE(rt.ack_suppressed());
+}
+
+TEST(FaultRuntime, NodeHooksFireOnBrownoutAndSuddenDeath) {
+  sim::Engine engine;
+  FaultPlan plan;
+  plan.events.push_back(
+      {FaultKind::kBrownout, 1, seconds(10.0), seconds(5.0), 1.0});
+  plan.events.push_back(
+      {FaultKind::kSuddenDeath, 2, seconds(20.0), seconds(0.0), 1.0});
+  Runtime rt(engine, plan);
+  int n1_fail = 0, n1_revive = 0, n2_fail = 0, n2_revive = 0;
+  rt.set_node_hooks(1, {[&](const FaultEvent&) { ++n1_fail; },
+                        [&](const FaultEvent&) { ++n1_revive; }});
+  rt.set_node_hooks(2, {[&](const FaultEvent&) { ++n2_fail; },
+                        [&](const FaultEvent&) { ++n2_revive; }});
+  rt.arm();
+
+  engine.run_until(at_seconds(12.0));
+  EXPECT_EQ(n1_fail, 1);
+  EXPECT_EQ(n1_revive, 0);
+  ASSERT_TRUE(rt.outage_start(1).has_value());
+  EXPECT_EQ(*rt.outage_start(1), at_seconds(10.0));
+
+  engine.run_until(at_seconds(16.0));
+  EXPECT_EQ(n1_revive, 1);
+  EXPECT_FALSE(rt.outage_start(1).has_value());
+
+  engine.run_until(at_seconds(25.0));
+  EXPECT_EQ(n2_fail, 1);
+  EXPECT_EQ(n2_revive, 0);  // sudden death never lifts
+  EXPECT_TRUE(rt.outage_start(2).has_value());
+  EXPECT_EQ(rt.injections(), 2);  // lifts are not injections
+}
+
+TEST(FaultRuntime, DrawStreamIsSeedDeterministic) {
+  auto draw_pattern = [](std::uint64_t seed) {
+    sim::Engine engine;
+    FaultPlan plan;
+    plan.seed = seed;
+    plan.events.push_back(
+        {FaultKind::kBurstLoss, 0, seconds(0.0), seconds(0.0), 0.5});
+    Runtime rt(engine, plan);
+    rt.arm();
+    engine.run_until(at_seconds(1.0));
+    std::vector<bool> pattern;
+    for (int i = 0; i < 64; ++i) pattern.push_back(rt.lose_message(1, 2));
+    return pattern;
+  };
+  EXPECT_EQ(draw_pattern(7), draw_pattern(7));
+  EXPECT_NE(draw_pattern(7), draw_pattern(8));
+}
+
+}  // namespace
+}  // namespace deslp::fault

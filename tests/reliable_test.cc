@@ -182,6 +182,7 @@ TEST(Reliable, CumulativeAckAdvancesWindow) {
   Segment ack;
   ack.type = Segment::Type::kAck;
   ack.seq = 2;  // acks segments 0 and 1 cumulatively
+  seal(ack);
   a.on_wire(ack);
   EXPECT_EQ(wire_log.size(), 4u);
   EXPECT_EQ(wire_log[2].seq, 2u);
@@ -198,6 +199,7 @@ TEST(Reliable, ReceiverReacksDuplicates) {
   data.type = Segment::Type::kData;
   data.seq = 0;
   data.payload = payload_for(0);
+  seal(data);
   b.on_wire(data);
   b.on_wire(data);  // duplicate
   ASSERT_EQ(wire_log.size(), 2u);
@@ -218,9 +220,11 @@ TEST(Reliable, FutureSegmentDroppedNotCountedAsDuplicate) {
   data.type = Segment::Type::kData;
   data.seq = 0;
   data.payload = payload_for(0);
+  seal(data);
   b.on_wire(data);  // in order: delivered, cumulative position now 1
   data.seq = 2;     // gap: segment 1 lost in flight
   data.payload = payload_for(2);
+  seal(data);
   b.on_wire(data);  // Go-Back-N drops it, re-acks the cumulative position
   ASSERT_EQ(wire_log.size(), 2u);
   EXPECT_EQ(wire_log[1].type, Segment::Type::kAck);
@@ -228,6 +232,118 @@ TEST(Reliable, FutureSegmentDroppedNotCountedAsDuplicate) {
   EXPECT_EQ(b.stats().ooo_dropped, 1);
   EXPECT_EQ(b.stats().dup_received, 0);  // a gap is loss, not duplication
 }
+
+TEST(Reliable, CorruptSegmentRejectedWithoutAck) {
+  sim::Engine engine;
+  ReliableOptions opt;
+  std::vector<Segment> wire_log;
+  ReliablePeer b(engine, opt,
+                 [&](const Segment& s) { wire_log.push_back(s); });
+  Segment data;
+  data.type = Segment::Type::kData;
+  data.seq = 0;
+  data.payload = payload_for(0);
+  seal(data);
+  data.payload.front() ^= 0x10;  // damage after sealing
+  b.on_wire(data);
+  EXPECT_TRUE(wire_log.empty());  // no ack: a damaged frame is a loss
+  EXPECT_EQ(b.stats().corrupt_rejected, 1);
+  EXPECT_EQ(b.stats().dup_received, 0);
+  EXPECT_EQ(b.stats().ooo_dropped, 0);
+  // The clean copy is then accepted normally.
+  data.payload = payload_for(0);
+  seal(data);
+  b.on_wire(data);
+  ASSERT_EQ(wire_log.size(), 1u);
+  EXPECT_EQ(wire_log[0].type, Segment::Type::kAck);
+  EXPECT_EQ(wire_log[0].seq, 1u);
+}
+
+// --- ack-loss / corruption balance property ---------------------------------
+//
+// Under any seeded sequence of ack drops and data-segment corruption, the
+// receiver's delivery order equals the send order, and at quiescence every
+// data transmission is accounted for exactly once:
+//
+//   data_sent + data_retx = delivered + dup_received + ooo_dropped
+//                           + corrupt_rejected            (nothing in flight)
+
+struct AckFaultCase {
+  std::uint64_t seed;
+  double ack_drop;
+  double corrupt;
+};
+
+/// Delivers every data segment (possibly damaged after sealing), drops acks
+/// with probability `ack_drop`, and delays everything randomly so segments
+/// reorder.
+struct AckFaultWire {
+  sim::Engine& engine;
+  Rng rng;
+  double ack_drop;
+  double corrupt;
+  ReliablePeer* dst = nullptr;
+
+  AckFaultWire(sim::Engine& e, std::uint64_t seed, double ad, double co)
+      : engine(e), rng(seed), ack_drop(ad), corrupt(co) {}
+
+  void send(const Segment& seg) {
+    if (seg.type == Segment::Type::kAck && rng.chance(ack_drop)) return;
+    Segment out = seg;
+    if (out.type == Segment::Type::kData && rng.chance(corrupt)) {
+      out.payload.front() ^= 0x40;
+    }
+    const double delay_ms = rng.uniform(1.0, 20.0);
+    engine.schedule_after(
+        sim::from_seconds(milliseconds(delay_ms)),
+        [this, out = std::move(out)] { dst->on_wire(out); });
+  }
+};
+
+class ReliableAckFaultTest : public ::testing::TestWithParam<AckFaultCase> {};
+
+TEST_P(ReliableAckFaultTest, OrderPreservedAndCountersBalance) {
+  const AckFaultCase fc = GetParam();
+  sim::Engine engine;
+  ReliableOptions opt;
+  opt.rto = milliseconds(150.0);
+  opt.window = 4;
+
+  auto wire_ab =
+      std::make_unique<AckFaultWire>(engine, fc.seed, fc.ack_drop, fc.corrupt);
+  auto wire_ba = std::make_unique<AckFaultWire>(engine, fc.seed ^ 0x5A5A,
+                                                fc.ack_drop, fc.corrupt);
+  ReliablePeer a(engine, opt, [&w = *wire_ab](const Segment& s) { w.send(s); });
+  ReliablePeer b(engine, opt, [&w = *wire_ba](const Segment& s) { w.send(s); });
+  wire_ab->dst = &b;
+  wire_ba->dst = &a;
+
+  constexpr int kMessages = 40;
+  std::vector<std::vector<std::uint8_t>> got;
+  engine.spawn(collect(b, got, kMessages));
+  for (int i = 0; i < kMessages; ++i) a.send(payload_for(i));
+  engine.run();
+
+  // Delivered order equals sent order, exactly once each.
+  ASSERT_EQ(got.size(), static_cast<std::size_t>(kMessages));
+  for (int i = 0; i < kMessages; ++i)
+    EXPECT_EQ(got[static_cast<std::size_t>(i)], payload_for(i));
+
+  // Quiescent: nothing queued or in flight, so the counters must balance.
+  EXPECT_TRUE(a.idle());
+  const ReliableStats& sa = a.stats();
+  const ReliableStats& sb = b.stats();
+  EXPECT_EQ(sa.data_sent + sa.data_retx,
+            static_cast<long long>(got.size()) + sb.dup_received +
+                sb.ooo_dropped + sb.corrupt_rejected);
+  if (fc.corrupt > 0.0) EXPECT_GT(sb.corrupt_rejected, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AckFaultMatrix, ReliableAckFaultTest,
+    ::testing::Values(AckFaultCase{11, 0.0, 0.0}, AckFaultCase{12, 0.3, 0.0},
+                      AckFaultCase{13, 0.0, 0.3}, AckFaultCase{14, 0.3, 0.3},
+                      AckFaultCase{15, 0.5, 0.1}, AckFaultCase{16, 0.1, 0.5}));
 
 }  // namespace
 }  // namespace deslp::net

@@ -49,11 +49,13 @@ TEST(SegmentCodec, RoundTrip) {
   seg.type = Segment::Type::kData;
   seg.seq = 0x0123456789ABCDEFULL;
   seg.payload = {1, 2, 3, 0x7E, 0x7D};
+  seal(seg);
   const auto bytes = PppSession::encode_segment(seg);
   const auto back = PppSession::decode_segment(bytes);
   ASSERT_TRUE(back.has_value());
   EXPECT_EQ(back->type, seg.type);
   EXPECT_EQ(back->seq, seg.seq);
+  EXPECT_EQ(back->checksum, seg.checksum);
   EXPECT_EQ(back->payload, seg.payload);
 }
 

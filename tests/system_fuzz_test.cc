@@ -1,7 +1,8 @@
 // Randomized configuration fuzz for the pipeline system: random feasible
-// partitions, level assignments, rotation periods, ack settings, and
-// battery sizes must always satisfy the run invariants — no crashes, no
-// phantom frames, deterministic replay, conserved charge accounting.
+// partitions, level assignments, rotation periods, ack settings, battery
+// sizes — and random small fault plans — must always satisfy the run
+// invariants: no crashes, no phantom frames, deterministic replay,
+// conserved charge accounting.
 #include <gtest/gtest.h>
 
 #include <memory>
@@ -9,6 +10,7 @@
 #include "battery/kibam.h"
 #include "core/experiment.h"
 #include "core/system.h"
+#include "fault/fault.h"
 #include "task/partition.h"
 #include "util/rng.h"
 
@@ -57,6 +59,39 @@ SystemConfig random_config(Rng& rng) {
   sys.max_frames = 3000;
   sys.seed = rng();
   return sys;
+}
+
+// A small random fault plan sized for the short fuzz batteries: one to
+// three events drawn across every archetype, starting inside the first few
+// simulated minutes.
+fault::FaultPlan random_fault_plan(Rng& rng, int stages) {
+  fault::FaultPlan plan;
+  plan.seed = rng();
+  const int count = 1 + static_cast<int>(rng.below(3));
+  for (int i = 0; i < count; ++i) {
+    fault::FaultEvent e;
+    e.kind = static_cast<fault::FaultKind>(
+        rng.below(static_cast<std::uint64_t>(fault::kFaultKindCount)));
+    const bool node_kind = e.kind == fault::FaultKind::kBrownout ||
+                           e.kind == fault::FaultKind::kSuddenDeath ||
+                           e.kind == fault::FaultKind::kCapacityScale;
+    e.target = node_kind
+                   ? 1 + static_cast<int>(rng.below(
+                             static_cast<std::uint64_t>(stages)))
+                   : static_cast<int>(rng.below(
+                         static_cast<std::uint64_t>(stages) + 1));
+    e.at = seconds(rng.uniform(10.0, 300.0));
+    e.duration = seconds(rng.chance(0.3) ? 0.0 : rng.uniform(5.0, 120.0));
+    if (e.kind == fault::FaultKind::kBrownout && e.duration.value() <= 0.0)
+      e.duration = seconds(10.0);
+    e.magnitude = e.kind == fault::FaultKind::kRateDegrade ||
+                          e.kind == fault::FaultKind::kCapacityScale
+                      ? rng.uniform(0.25, 1.0)
+                      : rng.uniform(0.0, 1.0);
+    plan.events.push_back(e);
+  }
+  plan.normalize();
+  return plan;
 }
 
 class PipelineFuzz : public ::testing::TestWithParam<std::uint64_t> {};
@@ -113,6 +148,53 @@ TEST_P(PipelineFuzz, RunsAreDeterministic) {
     EXPECT_DOUBLE_EQ(a.nodes[i].charge_used.value(),
                      b.nodes[i].charge_used.value());
     EXPECT_EQ(a.nodes[i].rotations, b.nodes[i].rotations);
+  }
+}
+
+TEST_P(PipelineFuzz, InvariantsHoldUnderRandomFaultPlans) {
+  Rng rng(GetParam() ^ 0xFA17FA17ULL);
+  for (int round = 0; round < 3; ++round) {
+    SystemConfig sys = random_config(rng);
+    sys.faults = random_fault_plan(
+        rng, static_cast<int>(sys.stage_levels.size()));
+    const std::size_t stages = sys.stage_levels.size();
+    SystemConfig copy = sys;
+
+    PipelineSystem system(std::move(sys));
+    const RunResult r = system.run();
+
+    EXPECT_LE(r.frames_completed, r.frames_sent);
+    EXPECT_GE(r.frames_completed, 0);
+    EXPECT_GE(r.frames_lost, 0);
+    EXPECT_EQ(r.nodes.size(), stages);
+    for (const auto& n : r.nodes) {
+      EXPECT_LE(n.charge_used.value(), 70.0 * 3.6 * 1.01);
+      EXPECT_GE(n.final_soc, -1e-9);
+      EXPECT_LE(n.final_soc, 1.0 + 1e-9);
+      if (n.died) {
+        EXPECT_GT(n.death_time.value(), 0.0);
+        EXPECT_LE(n.death_time.value(), r.sim_end.value() + 1e-6);
+      }
+    }
+    EXPECT_LE(r.last_completion.value(), r.sim_end.value() + 1e-9);
+
+    // Replay determinism holds with the fault plan in the loop too.
+    PipelineSystem replay(std::move(copy));
+    const RunResult r2 = replay.run();
+    EXPECT_EQ(r.frames_completed, r2.frames_completed);
+    EXPECT_EQ(r.frames_sent, r2.frames_sent);
+    EXPECT_EQ(r.frames_lost, r2.frames_lost);
+    EXPECT_EQ(r.migration_retries, r2.migration_retries);
+    EXPECT_EQ(r.fault_injections, r2.fault_injections);
+    EXPECT_DOUBLE_EQ(r.sim_end.value(), r2.sim_end.value());
+    ASSERT_EQ(r.nodes.size(), r2.nodes.size());
+    for (std::size_t i = 0; i < r.nodes.size(); ++i) {
+      EXPECT_EQ(r.nodes[i].died, r2.nodes[i].died);
+      EXPECT_DOUBLE_EQ(r.nodes[i].charge_used.value(),
+                       r2.nodes[i].charge_used.value());
+      EXPECT_EQ(r.nodes[i].rotations, r2.nodes[i].rotations);
+      EXPECT_EQ(r.nodes[i].migrated, r2.nodes[i].migrated);
+    }
   }
 }
 

@@ -5,12 +5,15 @@
 # Usage:
 #   tools/ci_checks.sh [STEP...]
 #
-# Steps (default: pycheck lint-selftest lint build test tidy trace bench):
+# Steps (default: pycheck lint-selftest lint build test fault tidy trace
+# bench):
 #   pycheck        python3 -m py_compile over the repo's Python tooling
 #   lint-selftest  tools/deslp_lint.py --self-test (fixture suite)
 #   lint           tools/deslp_lint.py over src/ bench/ examples/
 #   build          configure + build ${BUILD_DIR} (DESLP_WERROR=ON)
 #   test           ctest in ${BUILD_DIR}
+#   fault          ctest -L fault_matrix in ${BUILD_DIR} (the recovery
+#                  stress matrix as its own gate, DESIGN.md §10)
 #   tidy           cmake --build ${BUILD_DIR} --target lint-tidy
 #   trace          cmake --build ${BUILD_DIR} --target trace-validate
 #   bench          cmake --build ${BUILD_DIR} --target bench-check
@@ -72,6 +75,11 @@ step_build() { configure_build "$BUILD_DIR"; }
 
 step_test() { ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"; }
 
+step_fault() {
+  ctest --test-dir "$BUILD_DIR" -L fault_matrix --output-on-failure \
+    -j "$JOBS"
+}
+
 step_tidy() { cmake --build "$BUILD_DIR" --target lint-tidy; }
 
 step_trace() { cmake --build "$BUILD_DIR" --target trace-validate; }
@@ -92,6 +100,7 @@ dispatch() {
     lint) run_step lint step_lint ;;
     build) run_step build step_build ;;
     test) run_step test step_test ;;
+    fault) run_step fault step_fault ;;
     tidy)
       if command -v clang-tidy > /dev/null; then
         run_step tidy step_tidy
@@ -115,7 +124,7 @@ dispatch() {
 
 STEPS=("$@")
 if [ ${#STEPS[@]} -eq 0 ]; then
-  STEPS=(pycheck lint-selftest lint build test tidy trace bench)
+  STEPS=(pycheck lint-selftest lint build test fault tidy trace bench)
 fi
 
 for step in "${STEPS[@]}"; do
