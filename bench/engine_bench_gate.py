@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Blocking performance gate for the DES engine's event loop.
+
+Usage:
+    engine_bench_gate.py CANDIDATE.json --baseline bench/BENCH_pr6.json
+                         [--min-speedup 1.5] [--warn-slowdown 0.5]
+
+The contract it enforces is machine-independent: micro_kernels runs the same
+10k-event workload through the current engine (BM_EngineEventThroughput) and
+through the faithfully preserved pre-calendar-queue implementation
+(BM_ReferenceHeapEventThroughput, see src/sim/reference_queue.h) in the same
+process, and the ratio reference/engine must stay at or above --min-speedup.
+Because both numbers come from the same run on the same machine, the check
+is immune to host speed, turbo state, and shared-runner noise — it fails
+only if the engine itself loses its lead.
+
+The committed baseline (bench/BENCH_pr6.json, regenerated with
+`micro_kernels --json=bench/BENCH_pr6.json` when perf changes land) is
+enforced two ways:
+  - it must exist and must itself satisfy the speedup floor, so nobody can
+    re-baseline away a regression;
+  - the candidate's engine benchmarks are compared against it with a
+    generous --warn-slowdown band; exceeding it prints a loud warning but
+    does not fail, since absolute times are not comparable across machines.
+
+Exit codes: 0 ok, 1 gate failed, 2 input error.
+"""
+
+import argparse
+import json
+import sys
+
+ENGINE = "BM_EngineEventThroughput"
+REFERENCE = "BM_ReferenceHeapEventThroughput"
+WATCHED = (ENGINE, REFERENCE, "BM_EngineEventThroughputMetered",
+           "BM_Fig10EventsPerSecond")
+
+
+def load(path):
+    """Map benchmark name -> best (minimum) real_time across repetitions.
+
+    The gate runs micro_kernels with --benchmark_repetitions so scheduler
+    noise (one-core boxes, shared CI runners) cannot fake a regression.
+    Noise only ever inflates a benchmark's time, so the per-name minimum is
+    the tight, stable estimator of the true cost; means and medians still
+    wobble by 10-20%% on a loaded host. Reports without repetitions (e.g.
+    the committed baseline) just yield their single run.
+    """
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        sys.exit(f"error: cannot read {path}: {e}")
+    out = {}
+    for b in doc.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        t = float(b["real_time"])
+        name = b["name"]
+        out[name] = min(out[name], t) if name in out else t
+    if not out:
+        sys.exit(f"error: no benchmark entries in {path}")
+    return out
+
+
+def speedup(report, path):
+    for name in (ENGINE, REFERENCE):
+        if name not in report:
+            sys.exit(f"error: {path} is missing {name}; run micro_kernels "
+                     f"with a filter that includes both engine benchmarks")
+    return report[REFERENCE] / report[ENGINE]
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("candidate", help="google-benchmark JSON from this run")
+    ap.add_argument("--baseline", required=True,
+                    help="committed baseline JSON (bench/BENCH_pr6.json)")
+    ap.add_argument("--min-speedup", type=float, default=1.5,
+                    help="required reference/engine ratio (default 1.5)")
+    ap.add_argument("--warn-slowdown", type=float, default=0.5,
+                    help="fractional slowdown vs the committed baseline "
+                    "that triggers a warning (default 0.5 = 50%%; never "
+                    "fails — absolute times are machine-dependent)")
+    args = ap.parse_args()
+
+    cand = load(args.candidate)
+    base = load(args.baseline)
+
+    cand_ratio = speedup(cand, args.candidate)
+    base_ratio = speedup(base, args.baseline)
+
+    print(f"{'benchmark':<34}  {'baseline':>12}  {'candidate':>12}")
+    for name in WATCHED:
+        b = f"{base[name]:.0f}" if name in base else "-"
+        c = f"{cand[name]:.0f}" if name in cand else "-"
+        print(f"{name:<34}  {b:>12}  {c:>12}")
+    print(f"{'speedup (reference/engine)':<34}  {base_ratio:>11.2f}x "
+          f"{cand_ratio:>11.2f}x")
+
+    failed = False
+    if cand_ratio < args.min_speedup:
+        print(f"\nFAIL: engine speedup {cand_ratio:.2f}x is below the "
+              f"{args.min_speedup:.2f}x floor", file=sys.stderr)
+        failed = True
+    if base_ratio < args.min_speedup:
+        print(f"\nFAIL: committed baseline {args.baseline} records only a "
+              f"{base_ratio:.2f}x speedup — it was regenerated on a "
+              f"regressed engine; fix the engine, then re-baseline",
+              file=sys.stderr)
+        failed = True
+
+    for name in WATCHED:
+        if name not in base or name not in cand or base[name] <= 0:
+            continue
+        slow = (cand[name] - base[name]) / base[name]
+        if slow > args.warn_slowdown:
+            print(f"warning: {name} is {slow:+.0%} vs the committed "
+                  f"baseline (machine difference, or a real regression — "
+                  f"check the speedup row)", file=sys.stderr)
+
+    if failed:
+        return 1
+    print(f"\nOK: engine is {cand_ratio:.2f}x the reference heap "
+          f"(floor {args.min_speedup:.2f}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

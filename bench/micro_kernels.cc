@@ -10,6 +10,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cstring>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -23,6 +24,7 @@
 #include "net/ppp.h"
 #include "obs/metrics.h"
 #include "sim/engine.h"
+#include "sim/reference_queue.h"
 #include "util/rng.h"
 
 namespace {
@@ -111,6 +113,41 @@ void BM_EngineEventThroughput(benchmark::State& state) {
                           10000);
 }
 BENCHMARK(BM_EngineEventThroughput);
+
+void BM_ReferenceHeapEventThroughput(benchmark::State& state) {
+  // The pre-calendar-queue engine's event loop, verbatim in cost: the
+  // reference heap (sim/reference_queue.h) carries the data-structure side
+  // — priority_queue entries, a std::function per event, a shared_ptr
+  // cancellation token per schedule — and the loop below replays the old
+  // Engine's per-event bookkeeping around it (scheduled/fired counters, the
+  // depth high-water gauge, the clock update). Running it next to
+  // BM_EngineEventThroughput in the same process gives a machine-independent
+  // speedup ratio; bench/engine_bench_gate.py enforces the floor on it.
+  for (auto _ : state) {
+    sim::ReferenceEventQueue queue;
+    obs::Counter scheduled, fired_counter;
+    obs::Gauge depth_hwm;
+    sim::Time now{};
+    long long fired = 0;
+    for (int i = 0; i < 10000; ++i) {
+      (void)queue.schedule(sim::Time{i * 1000}, [&fired] { ++fired; });
+      scheduled.inc();
+      depth_hwm.set_max(static_cast<double>(queue.size_with_tombstones()));
+    }
+    sim::Time at{};
+    std::function<void()> fn;
+    while (queue.pop(&at, &fn)) {
+      now = at;
+      fn();
+      fired_counter.inc();
+    }
+    benchmark::DoNotOptimize(fired);
+    benchmark::DoNotOptimize(now);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          10000);
+}
+BENCHMARK(BM_ReferenceHeapEventThroughput);
 
 void BM_ObsCounterUnbound(benchmark::State& state) {
   // The zero-cost-when-disabled contract: an unbound handle must be one
@@ -206,6 +243,30 @@ void BM_FullExperiment2C(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FullExperiment2C)->Unit(benchmark::kMillisecond);
+
+void BM_Fig10EventsPerSecond(benchmark::State& state) {
+  // End-to-end engine throughput: the full Fig. 10 batch (all eight paper
+  // experiments), reported as fired events per wall-second via items/sec —
+  // the macro number that moves when the event queue gets faster, immune to
+  // microbenchmark-only wins.
+  core::ExperimentSuite::Options options;
+  options.collect_metrics = true;
+  core::ExperimentSuite suite(options);
+  const auto specs = core::paper_experiments();
+  std::int64_t total_fired = 0;
+  for (auto _ : state) {
+    const auto results = suite.run_all(specs);
+    std::int64_t fired = 0;
+    for (const auto& r : results)
+      for (const auto& m : r.metrics)
+        if (m.name == "sim.events.fired")
+          fired += static_cast<std::int64_t>(m.value);
+    total_fired += fired;
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(total_fired);
+}
+BENCHMARK(BM_Fig10EventsPerSecond)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

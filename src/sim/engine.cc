@@ -1,23 +1,8 @@
 #include "sim/engine.h"
 
 #include <chrono>
-#include <utility>
 
 namespace deslp::sim {
-
-EventHandle Engine::schedule_at(Time at, std::function<void()> fn) {
-  DESLP_EXPECTS(at >= now_);
-  auto cancelled = std::make_shared<bool>(false);
-  queue_.push(Entry{at, next_seq_++, std::move(fn), cancelled});
-  note_scheduled();
-  return EventHandle{cancelled};
-}
-
-void Engine::post_at(Time at, std::function<void()> fn) {
-  DESLP_EXPECTS(at >= now_);
-  queue_.push(Entry{at, next_seq_++, std::move(fn), nullptr});
-  note_scheduled();
-}
 
 void Engine::spawn(Task task) {
   DESLP_EXPECTS(task.valid());
@@ -33,7 +18,7 @@ void Engine::bind_metrics(obs::Registry& registry) {
   queue_hwm_ = registry.gauge("sim.queue.depth");
 }
 
-void Engine::dispatch(const std::function<void()>& fn) {
+void Engine::dispatch(EventFn& fn) {
   events_fired_.inc();
   if (!time_handlers_) {
     fn();
@@ -52,21 +37,20 @@ void Engine::dispatch(const std::function<void()>& fn) {
 }
 
 bool Engine::step() {
-  while (!queue_.empty()) {
-    // Moving out of top() is safe: pop() only destroys the moved-from
-    // entry, and the heap is not otherwise touched in between.
-    Entry e = std::move(const_cast<Entry&>(queue_.top()));
-    queue_.pop();
-    if (e.cancelled && *e.cancelled) {
-      events_cancelled_.inc();
-      continue;
-    }
-    DESLP_ENSURES(e.at >= now_);
-    now_ = e.at;
-    dispatch(e.fn);
-    return true;
-  }
-  return false;
+  // peek() skips (and reclaims) cancelled tombstones, so a queue of pure
+  // tombstones drains here without advancing the clock.
+  EventRecord* rec = queue_.peek();
+  if (rec == nullptr) return false;
+  DESLP_ENSURES(rec->at >= now_);
+  now_ = rec->at;
+  // pop() marks the record kFiring *before* the handler runs: from here on
+  // EventHandle::pending() is false and a self-cancel from inside the
+  // handler is a no-op. The slot is only recycled after dispatch returns,
+  // so reentrant schedule/cancel through stale handles stays safe.
+  const EventId id = queue_.pop();
+  dispatch(rec->fn);
+  queue_.release(id);
+  return true;
 }
 
 Time Engine::run() {
@@ -78,15 +62,9 @@ Time Engine::run() {
 
 Time Engine::run_until(Time deadline) {
   stop_requested_ = false;
-  while (!stop_requested_ && !queue_.empty()) {
-    // Skip cancelled entries without advancing the clock.
-    const Entry& top = queue_.top();
-    if (top.cancelled && *top.cancelled) {
-      events_cancelled_.inc();
-      queue_.pop();
-      continue;
-    }
-    if (top.at > deadline) break;
+  while (!stop_requested_) {
+    EventRecord* rec = queue_.peek();
+    if (rec == nullptr || rec->at > deadline) break;
     step();
   }
   // Whether the queue drained or the next event lies past the deadline,

@@ -2,16 +2,20 @@
 // queue, and ownership of the coroutine processes that make up a simulated
 // system. Single-threaded and fully deterministic: simultaneous events fire
 // in scheduling order.
+//
+// The event queue is a slab-allocated calendar queue (sim/event_queue.h):
+// scheduling is allocation-free for the common capture sizes (EventFn's
+// inline storage), cancellation is an intrusive flag in the slab record
+// instead of a per-event shared_ptr token, and firing order is exactly
+// (at, seq) — bit-identical to the binary-heap engine this replaced.
 #pragma once
 
 #include <coroutine>
 #include <cstdint>
-#include <functional>
-#include <memory>
-#include <queue>
 #include <vector>
 
 #include "obs/metrics.h"
+#include "sim/event_queue.h"
 #include "sim/task.h"
 #include "sim/time.h"
 #include "util/check.h"
@@ -21,30 +25,38 @@ namespace deslp::sim {
 class Engine;
 
 /// Handle to a scheduled event; allows cancellation before it fires.
+///
+/// A handle is a (slot, generation) ticket into the engine's event slab:
+/// copying is trivial, and a stale handle (its event fired or was
+/// cancelled, even if the slot was since recycled) is detected by the
+/// generation check, so cancel()/pending() are always safe to call — with
+/// one contract: a handle must not outlive its Engine.
+///
+/// Lifecycle semantics (each pinned by a regression test):
+///  - pending() is false from the moment the event is popped for dispatch,
+///    including while its own handler runs.
+///  - cancel() from inside the event's own handler is a no-op: the event
+///    is already firing, so the cancellation neither "succeeds" silently
+///    nor disturbs the slot's next occupant.
+///  - cancel() is idempotent and safe on default-constructed handles.
 class EventHandle {
  public:
   EventHandle() = default;
 
-  /// Cancel the event if it has not fired yet. Safe to call repeatedly or on
-  /// a default-constructed handle.
-  void cancel() {
-    if (auto s = state_.lock()) *s = true;
-  }
+  /// Cancel the event if it has not fired (and is not currently firing).
+  void cancel();
 
-  /// True while the event can still fire (scheduled, not yet executed, not
-  /// cancelled). A cancelled event reports not-pending immediately even
-  /// though its tombstone is still queued.
-  [[nodiscard]] bool pending() const {
-    auto s = state_.lock();
-    return s != nullptr && !*s;
-  }
+  /// True while the event can still fire (scheduled, not yet dispatched,
+  /// not cancelled).
+  [[nodiscard]] bool pending() const;
 
  private:
   friend class Engine;
-  explicit EventHandle(std::weak_ptr<bool> cancelled)
-      : state_(std::move(cancelled)) {}
+  EventHandle(Engine* engine, EventQueue::Ticket ticket)
+      : engine_(engine), ticket_(ticket) {}
 
-  std::weak_ptr<bool> state_;
+  Engine* engine_ = nullptr;
+  EventQueue::Ticket ticket_{};
 };
 
 class Engine {
@@ -56,20 +68,27 @@ class Engine {
   [[nodiscard]] Time now() const { return now_; }
 
   /// Schedule `fn` to run at absolute time `at` (must not be in the past).
-  EventHandle schedule_at(Time at, std::function<void()> fn);
+  EventHandle schedule_at(Time at, EventFn fn) {
+    DESLP_EXPECTS(at >= now_);
+    const EventQueue::Ticket t = queue_.push(at, next_seq_++, std::move(fn));
+    note_scheduled();
+    return EventHandle{this, t};
+  }
   /// Schedule `fn` to run after `d`.
-  EventHandle schedule_after(Dur d, std::function<void()> fn) {
+  EventHandle schedule_after(Dur d, EventFn fn) {
     return schedule_at(now_ + d, std::move(fn));
   }
 
   /// Fire-and-forget variants: same ordering guarantees as schedule_at /
-  /// schedule_after, but no cancellation token is allocated. Most events
-  /// (coroutine wakeups, transfer completions) are never cancelled, and the
-  /// shared_ptr<bool> per event was a measurable share of hot-loop time.
-  void post_at(Time at, std::function<void()> fn);
-  void post_after(Dur d, std::function<void()> fn) {
-    post_at(now_ + d, std::move(fn));
+  /// schedule_after, but no handle is returned. With the slab queue both
+  /// paths are allocation-free; the split survives because most events
+  /// (coroutine wakeups, transfer completions) never need cancellation.
+  void post_at(Time at, EventFn fn) {
+    DESLP_EXPECTS(at >= now_);
+    queue_.push(at, next_seq_++, std::move(fn));
+    note_scheduled();
   }
+  void post_after(Dur d, EventFn fn) { post_at(now_ + d, std::move(fn)); }
 
   /// Hand a top-level process to the engine. It starts immediately (runs
   /// until its first suspension) and is owned by the engine.
@@ -85,12 +104,16 @@ class Engine {
   /// Request that run()/run_until() return after the current event.
   void stop() { stop_requested_ = true; }
 
-  [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
+  /// Live events only: cancelled events leave this count the moment
+  /// cancel() succeeds, even though their tombstones are purged lazily —
+  /// so idle detection and queue-depth observability see reality.
+  [[nodiscard]] std::size_t pending_events() const { return queue_.live(); }
 
   /// Attach per-run metrics: `sim.events.scheduled/fired/cancelled`
-  /// counters, the `sim.queue.depth` high-water gauge, and (when handler
-  /// timing is on) the `sim.handler.wall_ns` counter. Unbound handles are
-  /// single-branch no-ops, so an engine that is never bound pays nothing.
+  /// counters, the `sim.queue.depth` high-water gauge (live events, not
+  /// tombstones), and (when handler timing is on) the `sim.handler.wall_ns`
+  /// counter. Unbound handles are single-branch no-ops, so an engine that
+  /// is never bound pays nothing.
   void bind_metrics(obs::Registry& registry);
 
   /// Wall-clock handler-time attribution: when on, every fired event's
@@ -101,20 +124,31 @@ class Engine {
   [[nodiscard]] bool handler_timing() const { return time_handlers_; }
   /// Total / maximum wall-clock nanoseconds spent inside event handlers
   /// while handler timing was on (a host-side profiling side channel; never
-  /// fed back into the simulation).
+  /// fed back into the simulation). NOTE: these accumulate across
+  /// successive run()/run_until() calls — call reset_handler_stats()
+  /// between phases to attribute time per phase.
   [[nodiscard]] std::int64_t handler_wall_ns() const { return handler_ns_; }
   [[nodiscard]] std::int64_t handler_max_wall_ns() const {
     return handler_max_ns_;
   }
+  /// Zero the handler wall-time accumulators (total and max). Does not
+  /// touch the `sim.handler.wall_ns` metric counter, which is cumulative
+  /// by design like every other registry counter.
+  void reset_handler_stats() {
+    handler_ns_ = 0;
+    handler_max_ns_ = 0;
+  }
 
-  /// Awaitable: suspend the calling process for `d`.
+  /// Awaitable: suspend the calling process for `d`. The wakeup is posted
+  /// on the fire-and-forget path and the coroutine handle is stored inline
+  /// in the event record, so a delay costs no allocation.
   auto delay(Dur d) {
     struct Awaiter {
       Engine* engine;
       Dur dur;
       bool await_ready() const noexcept { return dur.nanos() <= 0; }
       void await_suspend(std::coroutine_handle<> h) {
-        engine->post_after(dur, [h] { h.resume(); });
+        engine->post_after(dur, h);  // handle is invocable: () resumes
       }
       void await_resume() const noexcept {}
     };
@@ -123,25 +157,17 @@ class Engine {
   auto delay(Seconds s) { return delay(from_seconds(s)); }
 
  private:
-  struct Entry {
-    Time at;
-    std::uint64_t seq;
-    std::function<void()> fn;
-    std::shared_ptr<bool> cancelled;
-  };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.at != b.at) return a.at > b.at;
-      return a.seq > b.seq;
-    }
-  };
+  friend class EventHandle;
 
   bool step();
   void note_scheduled() {
     events_scheduled_.inc();
-    queue_hwm_.set_max(static_cast<double>(queue_.size()));
+    queue_hwm_.set_max(static_cast<double>(queue_.live()));
   }
-  void dispatch(const std::function<void()>& fn);
+  void dispatch(EventFn& fn);
+  void cancel_event(EventQueue::Ticket t) {
+    if (queue_.cancel(t.id, t.gen)) events_cancelled_.inc();
+  }
 
   Time now_;
   std::uint64_t next_seq_ = 0;
@@ -154,8 +180,16 @@ class Engine {
   obs::Counter events_cancelled_;
   obs::Counter handler_wall_ns_metric_;
   obs::Gauge queue_hwm_;
-  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  EventQueue queue_;
   std::vector<Task> processes_;
 };
+
+inline void EventHandle::cancel() {
+  if (engine_ != nullptr) engine_->cancel_event(ticket_);
+}
+
+inline bool EventHandle::pending() const {
+  return engine_ != nullptr && engine_->queue_.pending(ticket_.id, ticket_.gen);
+}
 
 }  // namespace deslp::sim

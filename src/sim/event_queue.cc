@@ -1,0 +1,250 @@
+#include "sim/event_queue.h"
+
+#include <algorithm>
+#include <bit>
+#include <limits>
+
+namespace deslp::sim {
+
+namespace {
+
+using State = EventRecord::State;
+
+/// Strict (at, seq) order — the one and only firing order.
+bool before(const EventRecord& a, const EventRecord& b) {
+  return a.at != b.at ? a.at < b.at : a.seq < b.seq;
+}
+
+}  // namespace
+
+EventQueue::EventQueue()
+    : buckets_(kMinBuckets, kNoEvent), tails_(kMinBuckets, kNoEvent) {}
+
+EventQueue::~EventQueue() = default;
+
+EventId EventQueue::alloc_slot() {
+  if (free_head_ != kNoEvent) {
+    const EventId id = free_head_;
+    free_head_ = rec(id).next;
+    return id;
+  }
+  if ((next_fresh_ >> kChunkShift) == chunks_.size())
+    chunks_.push_back(std::make_unique<EventRecord[]>(1u << kChunkShift));
+  return next_fresh_++;
+}
+
+void EventQueue::free_slot(EventId id) {
+  EventRecord& r = rec(id);
+  r.fn.reset();
+  r.state = State::kFree;
+  ++r.gen;  // invalidate outstanding tickets to this slot
+  r.next = free_head_;
+  free_head_ = id;
+}
+
+void EventQueue::insert(EventId id) {
+  EventRecord& r = rec(id);
+  const std::size_t b = bucket_of(vbucket(r.at));
+  const EventId head = buckets_[b];
+  if (head == kNoEvent) {
+    r.next = kNoEvent;
+    buckets_[b] = tails_[b] = id;
+    return;
+  }
+  // Tail-append fast path: `seq` is monotonic, so bursts scheduled in
+  // nondecreasing time order (per-byte UART events, simultaneous init
+  // events) always append in O(1).
+  EventRecord& tail = rec(tails_[b]);
+  if (!before(r, tail)) {
+    r.next = kNoEvent;
+    tail.next = id;
+    tails_[b] = id;
+    return;
+  }
+  if (before(r, rec(head))) {
+    r.next = head;
+    buckets_[b] = id;
+    return;
+  }
+  EventId prev = head;
+  for (;;) {
+    const EventId nxt = rec(prev).next;  // != kNoEvent: r < tail
+    if (before(r, rec(nxt))) {
+      r.next = nxt;
+      rec(prev).next = id;
+      return;
+    }
+    prev = nxt;
+  }
+}
+
+void EventQueue::purge_head(std::size_t b) {
+  const EventId id = buckets_[b];
+  buckets_[b] = rec(id).next;
+  if (buckets_[b] == kNoEvent) tails_[b] = kNoEvent;
+  --stored_;
+  free_slot(id);
+}
+
+EventQueue::Ticket EventQueue::push(Time at, std::uint64_t seq, EventFn fn) {
+  DESLP_EXPECTS(at.nanos() >= 0);
+  const EventId id = alloc_slot();
+  EventRecord& r = rec(id);
+  r.at = at;
+  r.seq = seq;
+  r.state = State::kLive;
+  r.fn = std::move(fn);
+  r.next = kNoEvent;
+  ++stored_;
+  ++live_;
+
+  const std::uint64_t vb = vbucket(at);
+  if (live_ == 1) {
+    // Queue was empty: teleport the cursor so the next peek starts at this
+    // event's window instead of lap-scanning forward to it.
+    cur_vb_ = vb;
+  } else if (vb < cur_vb_) {
+    // New earliest window: pull the cursor back to keep the invariant that
+    // every live event's window is at or ahead of the cursor.
+    cur_vb_ = vb;
+  }
+  if (peeked_ != kNoEvent && r.at < record(peeked_).at) peeked_ = kNoEvent;
+
+  insert(id);
+  const std::uint32_t gen = r.gen;
+  if (stored_ > 2 * buckets_.size()) resize(2 * buckets_.size());
+  return {id, gen};
+}
+
+EventRecord* EventQueue::peek() {
+  if (live_ == 0) return nullptr;
+  if (peeked_ != kNoEvent) return &rec(peeked_);
+  const std::size_t n = buckets_.size();
+  for (std::size_t scanned = 0; scanned < n; ++scanned, ++cur_vb_) {
+    const std::size_t b = bucket_of(cur_vb_);
+    while (buckets_[b] != kNoEvent &&
+           rec(buckets_[b]).state == State::kCancelled)
+      purge_head(b);
+    const EventId head = buckets_[b];
+    if (head != kNoEvent && vbucket(rec(head).at) <= cur_vb_) {
+      // The head is inside the current window. Every live event's window
+      // is >= cur_vb_, all events in this window live in this bucket, and
+      // the chain is (at, seq)-sorted — so this is the global minimum.
+      peeked_ = head;
+      return &rec(head);
+    }
+  }
+  // A whole lap without a hit: every live event is at least a "year"
+  // (bucket_count * width) ahead. Direct-search the bucket heads for the
+  // global minimum and jump the cursor to its window.
+  EventId best = kNoEvent;
+  for (std::size_t b = 0; b < n; ++b) {
+    while (buckets_[b] != kNoEvent &&
+           rec(buckets_[b]).state == State::kCancelled)
+      purge_head(b);
+    const EventId head = buckets_[b];
+    if (head == kNoEvent) continue;
+    if (best == kNoEvent || before(rec(head), rec(best))) best = head;
+  }
+  DESLP_ENSURES(best != kNoEvent);  // live_ > 0 guarantees a live head
+  cur_vb_ = vbucket(rec(best).at);
+  peeked_ = best;
+  return &rec(best);
+}
+
+EventId EventQueue::pop() {
+  EventRecord* r = peek();
+  DESLP_EXPECTS(r != nullptr);
+  const EventId id = peeked_;
+  const std::size_t b = bucket_of(vbucket(r->at));
+  DESLP_ENSURES(buckets_[b] == id);
+  buckets_[b] = r->next;
+  if (buckets_[b] == kNoEvent) tails_[b] = kNoEvent;
+  r->next = kNoEvent;
+  r->state = State::kFiring;
+  --stored_;
+  --live_;
+  peeked_ = kNoEvent;
+  if (buckets_.size() > kMinBuckets && stored_ < buckets_.size() / 4)
+    resize(buckets_.size() / 2);
+  return id;
+}
+
+void EventQueue::release(EventId id) {
+  DESLP_EXPECTS(rec(id).state == State::kFiring);
+  free_slot(id);
+}
+
+bool EventQueue::cancel(EventId id, std::uint32_t gen) {
+  if (id == kNoEvent || id >= next_fresh_) return false;
+  EventRecord& r = rec(id);
+  if (r.gen != gen || r.state != State::kLive) return false;
+  r.state = State::kCancelled;
+  r.fn.reset();  // drop captured state at cancel time, not at purge time
+  --live_;
+  if (peeked_ == id) peeked_ = kNoEvent;
+  return true;
+}
+
+bool EventQueue::pending(EventId id, std::uint32_t gen) const {
+  if (id == kNoEvent || id >= next_fresh_) return false;
+  const EventRecord& r = record(id);
+  return r.gen == gen && r.state == State::kLive;
+}
+
+void EventQueue::resize(std::size_t nbuckets) {
+  // Collect every stored record (purging tombstones along the way), then
+  // rebucket under the new geometry.
+  std::vector<EventId> ids;
+  ids.reserve(stored_);
+  Time min_at{std::numeric_limits<std::int64_t>::max()};
+  for (std::size_t b = 0; b < buckets_.size(); ++b) {
+    EventId id = buckets_[b];
+    while (id != kNoEvent) {
+      const EventId nxt = rec(id).next;
+      if (rec(id).state == State::kCancelled) {
+        --stored_;
+        free_slot(id);
+      } else {
+        ids.push_back(id);
+        if (rec(id).at < min_at) min_at = rec(id).at;
+      }
+      id = nxt;
+    }
+  }
+  buckets_.assign(nbuckets, kNoEvent);
+  tails_.assign(nbuckets, kNoEvent);
+  peeked_ = kNoEvent;
+  if (ids.empty()) {
+    cur_vb_ = 0;
+    return;
+  }
+
+  // Bucket-width policy: the power of two nearest 3x the median gap
+  // between time-sorted neighbours. The median (unlike span/count) is
+  // robust against one far-future outlier — e.g. a battery death-watch
+  // hours ahead of a burst of microsecond-spaced byte events — which
+  // would otherwise collapse the whole burst into a single bucket; the
+  // power-of-two rounding keeps the hot-path window math a shift. Derived
+  // from the full contents, so it is a pure function of the schedule
+  // history (deterministic replay).
+  if (ids.size() >= 2) {
+    std::vector<std::int64_t> ats;
+    ats.reserve(ids.size());
+    for (const EventId id : ids) ats.push_back(rec(id).at.nanos());
+    std::sort(ats.begin(), ats.end());
+    std::vector<std::int64_t> gaps;
+    gaps.reserve(ats.size() - 1);
+    for (std::size_t i = 1; i < ats.size(); ++i)
+      gaps.push_back(ats[i] - ats[i - 1]);
+    auto mid = gaps.begin() + static_cast<std::ptrdiff_t>(gaps.size() / 2);
+    std::nth_element(gaps.begin(), mid, gaps.end());
+    const std::uint64_t target =
+        3 * static_cast<std::uint64_t>(*mid) + 1;  // >= 1
+    width_shift_ = static_cast<unsigned>(std::bit_width(target)) - 1;
+  }
+  cur_vb_ = vbucket(min_at);
+  for (const EventId id : ids) insert(id);
+}
+
+}  // namespace deslp::sim

@@ -1,0 +1,269 @@
+// The DES hot-loop data structures: a small-buffer-optimized callback type
+// (`EventFn`) and a slab-allocated calendar event queue (`EventQueue`).
+//
+// Together they remove the three per-event heap allocations the old
+// `std::priority_queue<Entry>` engine paid — the `std::function` closure,
+// the `shared_ptr<bool>` cancellation token, and the heap churn itself —
+// while keeping the firing order bit-identical: events fire strictly by
+// `(at, seq)`, exactly like the reference binary heap (see
+// `sim/reference_queue.h`, which the property tests replay against).
+//
+// Determinism argument: `pop()` always returns the global minimum by
+// `(at, seq)`. Within one bucket the intrusive list is kept sorted by
+// `(at, seq)`; across buckets the scan visits virtual bucket windows
+// `[v*w, (v+1)*w)` in increasing `v`, and an event is only accepted from
+// the bucket whose window contains it, so the first accepted event is the
+// global minimum (two events with equal `at` always hash to the same
+// bucket, where `seq` breaks the tie). Bucket count and width adapt only
+// to the deterministic push/cancel/pop sequence — never to wall-clock or
+// sampling randomness — so replays are exact.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "sim/time.h"
+#include "util/check.h"
+
+namespace deslp::sim {
+
+/// Move-only callable wrapper for event handlers. Callables up to
+/// `kInlineSize` bytes that are nothrow-move-constructible live inline in
+/// the event record (zero heap traffic — this covers every wakeup lambda
+/// and transfer completion in the tree); anything larger or throwing-move
+/// falls back to a single heap box, the same cost `std::function` paid.
+class EventFn {
+ public:
+  /// Inline capture budget. 72 bytes covers `this`-plus-a-few-scalars
+  /// captures and a by-value `net::Message` (the hub's delivery lambda);
+  /// `std::function<void()>` itself (32 bytes on libstdc++) also fits, so
+  /// wrapping a pre-built function never double-allocates.
+  static constexpr std::size_t kInlineSize = 72;
+
+  EventFn() noexcept = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, EventFn> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  EventFn(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineSize &&
+                  alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      vt_ = &kInlineVTable<Fn>;
+    } else {
+      ::new (static_cast<void*>(buf_)) Fn*(new Fn(std::forward<F>(f)));
+      vt_ = &kHeapVTable<Fn>;
+    }
+  }
+
+  EventFn(EventFn&& o) noexcept : vt_(o.vt_) {
+    if (vt_ != nullptr) {
+      vt_->relocate(buf_, o.buf_);
+      o.vt_ = nullptr;
+    }
+  }
+  EventFn& operator=(EventFn&& o) noexcept {
+    if (this != &o) {
+      reset();
+      vt_ = o.vt_;
+      if (vt_ != nullptr) {
+        vt_->relocate(buf_, o.buf_);
+        o.vt_ = nullptr;
+      }
+    }
+    return *this;
+  }
+  EventFn(const EventFn&) = delete;
+  EventFn& operator=(const EventFn&) = delete;
+  ~EventFn() { reset(); }
+
+  /// Destroy the held callable (if any) and become empty.
+  void reset() noexcept {
+    if (vt_ != nullptr) {
+      vt_->destroy(buf_);
+      vt_ = nullptr;
+    }
+  }
+
+  void operator()() {
+    DESLP_EXPECTS(vt_ != nullptr);
+    vt_->invoke(buf_);
+  }
+
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return vt_ != nullptr;
+  }
+
+ private:
+  struct VTable {
+    void (*invoke)(void*);
+    void (*relocate)(void* dst, void* src) noexcept;  // move-construct + kill
+    void (*destroy)(void*) noexcept;
+  };
+
+  template <typename Fn>
+  static constexpr VTable kInlineVTable{
+      [](void* p) { (*std::launder(static_cast<Fn*>(p)))(); },
+      [](void* dst, void* src) noexcept {
+        Fn* s = std::launder(static_cast<Fn*>(src));
+        ::new (dst) Fn(std::move(*s));
+        s->~Fn();
+      },
+      [](void* p) noexcept { std::launder(static_cast<Fn*>(p))->~Fn(); }};
+
+  template <typename Fn>
+  static constexpr VTable kHeapVTable{
+      [](void* p) { (**std::launder(static_cast<Fn**>(p)))(); },
+      [](void* dst, void* src) noexcept {
+        ::new (dst) Fn*(*std::launder(static_cast<Fn**>(src)));
+      },
+      [](void* p) noexcept { delete *std::launder(static_cast<Fn**>(p)); }};
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineSize];
+  const VTable* vt_ = nullptr;
+};
+
+/// Slab slot index of an event record. Records are addressed by index (not
+/// pointer) so handles stay trivially copyable and slab growth never moves
+/// a live record.
+using EventId = std::uint32_t;
+inline constexpr EventId kNoEvent = 0xFFFFFFFFu;
+
+/// One scheduled event, recycled through the slab freelist. `gen` is
+/// bumped every time the slot is freed, so a stale `EventHandle` (id, gen)
+/// pair can never cancel an unrelated event that reused the slot.
+struct EventRecord {
+  enum class State : std::uint8_t {
+    kFree,       // on the freelist
+    kLive,       // queued, will fire
+    kCancelled,  // queued tombstone, purged lazily
+    kFiring,     // popped, handler running (or about to); cancel is a no-op
+  };
+
+  Time at{};
+  std::uint64_t seq = 0;
+  EventId next = kNoEvent;  // intrusive bucket chain / freelist link
+  std::uint32_t gen = 0;
+  State state = State::kFree;
+  EventFn fn;
+};
+
+/// Deterministic calendar event queue over a slab of `EventRecord`s.
+///
+/// Buckets are intrusive singly-linked lists (head+tail, sorted by
+/// `(at, seq)`; the tail pointer makes the common append-in-order and
+/// many-events-same-instant cases O(1)). The bucket array doubles when the
+/// stored count exceeds 2x the bucket count and halves below 1/4, and the
+/// bucket width is recomputed at each resize as the power of two nearest
+/// 3x the median inter-event gap — the classic calendar-queue sizing rule
+/// made outlier-robust (median, not mean) and deterministic (derived from
+/// the full contents, not a sample; and a power of two, so the hot-path
+/// window math is shift+mask). There is no separate ladder: far-future
+/// simply wait in their modulo bucket for a later lap, and a whole-lap
+/// miss triggers a direct min-scan that teleports the cursor to the next
+/// occupied window, so sparse queues skip empty years in O(buckets).
+class EventQueue {
+ public:
+  EventQueue();
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+  ~EventQueue();
+
+  struct Ticket {
+    EventId id = kNoEvent;
+    std::uint32_t gen = 0;
+  };
+
+  /// Insert an event. `seq` must be unique (the engine passes a monotonic
+  /// counter); ordering is by `(at, seq)`.
+  Ticket push(Time at, std::uint64_t seq, EventFn fn);
+
+  /// The minimum live event, or nullptr when none remain. Purges cancelled
+  /// tombstones encountered along the way. The pointer is valid until the
+  /// next push/pop/cancel.
+  [[nodiscard]] EventRecord* peek();
+
+  /// Unlink the minimum live event and mark it `kFiring`. The slot stays
+  /// allocated (so handles see "not pending" and self-cancel is a no-op
+  /// while the handler runs) until `release()` returns it to the freelist.
+  EventId pop();
+
+  /// Return a popped slot to the freelist, destroying its callable and
+  /// invalidating outstanding handles to it.
+  void release(EventId id);
+
+  /// Cancel a live event. Returns true when this call transitioned it from
+  /// live to cancelled; false for stale tickets, already-cancelled events,
+  /// and events currently firing (self-cancel). The callable is destroyed
+  /// eagerly; the record itself is purged lazily.
+  bool cancel(EventId id, std::uint32_t gen);
+
+  /// True while the event can still fire: valid ticket, not cancelled, not
+  /// currently dispatching.
+  [[nodiscard]] bool pending(EventId id, std::uint32_t gen) const;
+
+  /// Live events only — cancelled tombstones are excluded, which is what
+  /// queue-depth observability and idle-detection want.
+  [[nodiscard]] std::size_t live() const { return live_; }
+  [[nodiscard]] bool empty() const { return live_ == 0; }
+
+  /// Records currently held by the slab (live + unpurged tombstones);
+  /// exposed for tests and capacity diagnostics.
+  [[nodiscard]] std::size_t stored() const { return stored_; }
+  [[nodiscard]] std::size_t bucket_count() const { return buckets_.size(); }
+
+  [[nodiscard]] const EventRecord& record(EventId id) const {
+    return chunks_[id >> kChunkShift][id & kChunkMask];
+  }
+
+ private:
+  static constexpr std::size_t kChunkShift = 8;  // 256 records per chunk
+  static constexpr std::size_t kChunkMask = (1u << kChunkShift) - 1;
+  static constexpr std::size_t kMinBuckets = 16;
+
+  [[nodiscard]] EventRecord& rec(EventId id) {
+    return chunks_[id >> kChunkShift][id & kChunkMask];
+  }
+  /// Bucket widths are powers of two and the bucket count is a power of
+  /// two, so the two hottest address computations — time window and bucket
+  /// index — are a shift and a mask, never a 64-bit divide.
+  [[nodiscard]] std::uint64_t vbucket(Time at) const {
+    return static_cast<std::uint64_t>(at.nanos()) >> width_shift_;
+  }
+  [[nodiscard]] std::size_t bucket_of(std::uint64_t vb) const {
+    return static_cast<std::size_t>(vb) & (buckets_.size() - 1);
+  }
+
+  EventId alloc_slot();
+  void free_slot(EventId id);
+  void insert(EventId id);
+  /// Unlink a cancelled head and free it. `b` is the bucket holding it.
+  void purge_head(std::size_t b);
+  void resize(std::size_t nbuckets);
+  void maybe_resize();
+
+  std::vector<std::unique_ptr<EventRecord[]>> chunks_;
+  EventId free_head_ = kNoEvent;
+  EventId next_fresh_ = 0;  // first never-allocated slot
+
+  std::vector<EventId> buckets_;  // heads, sorted by (at, seq); size is a
+                                  // power of two (doubling/halving resizes)
+  std::vector<EventId> tails_;
+  unsigned width_shift_ = 10;  // bucket width = 2^width_shift_ ns
+  std::uint64_t cur_vb_ = 0;   // current virtual bucket (monotonic scan
+                               // cursor; lowered by push, jumped by scans)
+  EventId peeked_ = kNoEvent;   // cached min (head of bucket cur_vb_ % n)
+
+  std::size_t live_ = 0;
+  std::size_t stored_ = 0;
+};
+
+}  // namespace deslp::sim

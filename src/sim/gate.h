@@ -19,8 +19,9 @@ class Gate {
   void open() {
     if (open_) return;
     open_ = true;
-    for (auto h : waiters_)
-      engine_->post_after(Dur{0}, [h] { h.resume(); });
+    // A coroutine handle is itself invocable (() resumes), so the wakeup
+    // is stored inline in the event record — no closure, no allocation.
+    for (auto h : waiters_) engine_->post_after(Dur{0}, h);
     waiters_.clear();
   }
 

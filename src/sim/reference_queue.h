@@ -1,0 +1,106 @@
+// The pre-calendar-queue event queue, kept as an executable specification.
+//
+// This is, verbatim in structure and cost, the queue `sim::Engine` used
+// before the slab-allocated calendar queue (sim/event_queue.h) replaced
+// it: a `std::priority_queue` of entries ordered by `(at, seq)`, a
+// heap-allocated `std::function` per event, and a `shared_ptr<bool>`
+// cancellation token on the cancellable path, with cancelled entries left
+// in the heap as tombstones.
+//
+// Two consumers keep it alive:
+//  - the event-queue property tests replay random schedule / cancel /
+//    fire interleavings against it to prove the calendar queue's firing
+//    order is bit-identical, and
+//  - `bench/micro_kernels` runs the same workload through both queues so
+//    the engine's speedup over this baseline is measured on every machine
+//    (`bench/engine_bench_gate.py` enforces the floor).
+//
+// It is NOT part of the engine; do not use it outside tests and benches.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "sim/time.h"
+#include "util/check.h"
+
+namespace deslp::sim {
+
+class ReferenceEventQueue {
+ public:
+  /// Weak cancellation token, exactly like the old engine's EventHandle.
+  class Handle {
+   public:
+    Handle() = default;
+    void cancel() {
+      if (auto s = state_.lock()) *s = true;
+    }
+    [[nodiscard]] bool pending() const {
+      auto s = state_.lock();
+      return s != nullptr && !*s;
+    }
+
+   private:
+    friend class ReferenceEventQueue;
+    explicit Handle(std::weak_ptr<bool> cancelled)
+        : state_(std::move(cancelled)) {}
+    std::weak_ptr<bool> state_;
+  };
+
+  Handle schedule(Time at, std::function<void()> fn) {
+    auto cancelled = std::make_shared<bool>(false);
+    queue_.push(Entry{at, next_seq_++, std::move(fn), cancelled});
+    return Handle{cancelled};
+  }
+
+  void post(Time at, std::function<void()> fn) {
+    queue_.push(Entry{at, next_seq_++, std::move(fn), nullptr});
+  }
+
+  /// Pop the minimum live entry, skipping cancelled tombstones. Returns
+  /// false when the queue is (effectively) empty. The popped entry's time
+  /// and callback come back through the out-parameters; the caller runs
+  /// the callback (mirroring the old engine's step()).
+  bool pop(Time* at, std::function<void()>* fn) {
+    while (!queue_.empty()) {
+      // Moving out of top() is safe: pop() only destroys the moved-from
+      // entry, and the heap is not otherwise touched in between.
+      Entry e = std::move(const_cast<Entry&>(queue_.top()));
+      queue_.pop();
+      if (e.cancelled && *e.cancelled) continue;
+      *at = e.at;
+      *fn = std::move(e.fn);
+      return true;
+    }
+    return false;
+  }
+
+  /// Entries still queued, tombstones included — the old engine's
+  /// pending_events() bug, preserved faithfully.
+  [[nodiscard]] std::size_t size_with_tombstones() const {
+    return queue_.size();
+  }
+
+ private:
+  struct Entry {
+    Time at;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    std::shared_ptr<bool> cancelled;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+};
+
+}  // namespace deslp::sim

@@ -68,11 +68,15 @@ class [[nodiscard]] Task {
   }
 
   /// Awaiting a Task starts it and resumes the awaiter when it finishes.
+  /// Suspension points inside the child (Engine::delay, gate/channel
+  /// waits) park the raw coroutine handle in the engine's event slab —
+  /// the whole wakeup path is allocation-free (see sim/event_queue.h).
   auto operator co_await() && noexcept {
     struct Awaiter {
       std::coroutine_handle<promise_type> child;
       bool await_ready() noexcept { return !child || child.done(); }
-      std::coroutine_handle<> await_suspend(std::coroutine_handle<> cont) {
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<> cont) noexcept {
         child.promise().continuation = cont;
         return child;  // symmetric transfer: start the child now
       }
@@ -144,7 +148,8 @@ class [[nodiscard]] ValueTask {
     struct Awaiter {
       std::coroutine_handle<promise_type> child;
       bool await_ready() noexcept { return !child || child.done(); }
-      std::coroutine_handle<> await_suspend(std::coroutine_handle<> cont) {
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<> cont) noexcept {
         child.promise().continuation = cont;
         return child;
       }

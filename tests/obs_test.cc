@@ -3,6 +3,7 @@
 #include <limits>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "core/experiment.h"
 #include "core/report.h"
@@ -173,6 +174,36 @@ TEST(ObsEngine, QueueDepthHighWaterMark) {
   engine.run();
   obs::Gauge g = reg.gauge("sim.queue.depth");
   EXPECT_DOUBLE_EQ(g.max(), 5.0);
+}
+
+TEST(ObsEngine, CancelledCounterTicksAtCancelTime) {
+  // Regression: the heap engine only counted a cancellation when the
+  // tombstone surfaced during a run; a cancelled-then-never-run engine
+  // reported zero. The counter now ticks when cancel() succeeds, and a
+  // second cancel of the same handle does not double-count.
+  sim::Engine engine;
+  obs::Registry reg;
+  engine.bind_metrics(reg);
+  auto h = engine.schedule_at(sim::Time{100}, [] {});
+  h.cancel();
+  h.cancel();
+  EXPECT_DOUBLE_EQ(reg.counter("sim.events.cancelled").value(), 1.0);
+}
+
+TEST(ObsEngine, QueueDepthHighWaterIgnoresTombstones) {
+  // Regression: the depth gauge used to read the raw queue size, so
+  // cancelled tombstones inflated the high-water mark.
+  sim::Engine engine;
+  obs::Registry reg;
+  engine.bind_metrics(reg);
+  std::vector<sim::EventHandle> hs;
+  for (int i = 0; i < 3; ++i)
+    hs.push_back(engine.schedule_at(sim::Time{(i + 1) * 10}, [] {}));
+  for (auto& h : hs) h.cancel();
+  for (int i = 0; i < 2; ++i) engine.post_at(sim::Time{100 + i}, [] {});
+  engine.run();
+  // Live depth never exceeded 3 (the old gauge would have reported 5).
+  EXPECT_DOUBLE_EQ(reg.gauge("sim.queue.depth").max(), 3.0);
 }
 
 TEST(ObsEngine, HandlerTimingAccumulatesWallTime) {

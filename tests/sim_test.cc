@@ -129,6 +129,87 @@ TEST(Engine, PostAtSharesTimeAndFifoOrderWithScheduledEvents) {
   EXPECT_EQ(e.now(), Time{350});
 }
 
+TEST(Engine, CancelledEventsLeavePendingCountImmediately) {
+  // Regression: the heap engine left cancelled tombstones in the queue, so
+  // pending_events() overcounted until the tombstone surfaced and was
+  // skipped. Cancellation must be visible in the count at cancel() time.
+  Engine e;
+  std::vector<EventHandle> hs;
+  hs.reserve(8);
+  for (int i = 0; i < 8; ++i)
+    hs.push_back(e.schedule_at(Time{(i + 1) * 100}, [] {}));
+  EXPECT_EQ(e.pending_events(), 8u);
+  for (auto& h : hs) h.cancel();
+  EXPECT_EQ(e.pending_events(), 0u);
+  for (auto& h : hs) h.cancel();  // idempotent: no double-decrement
+  EXPECT_EQ(e.pending_events(), 0u);
+  e.run();
+  EXPECT_EQ(e.now(), Time{});  // nothing fired, the clock never moved
+}
+
+TEST(Engine, PendingIsFalseInsideOwnHandler) {
+  // Regression: the heap engine popped the entry but left the cancellation
+  // token alive during dispatch, so a handler asking about its own event
+  // saw pending() == true while it was already running.
+  Engine e;
+  bool pending_inside = true;
+  EventHandle h;
+  h = e.schedule_at(Time{100}, [&] { pending_inside = h.pending(); });
+  EXPECT_TRUE(h.pending());
+  e.run();
+  EXPECT_FALSE(pending_inside);
+  EXPECT_FALSE(h.pending());
+}
+
+TEST(Engine, SelfCancelInsideHandlerIsNoOp) {
+  // Regression: self-cancel used to "succeed" silently (setting a flag on
+  // an event that had already fired). It is now defined as a no-op, and the
+  // stale handle must not be able to touch the recycled slot afterwards.
+  Engine e;
+  int fired = 0;
+  EventHandle h;
+  h = e.schedule_at(Time{100}, [&] {
+    ++fired;
+    h.cancel();
+  });
+  e.run();
+  EXPECT_EQ(fired, 1);
+  bool second = false;
+  EventHandle h2 = e.schedule_after(Dur{10}, [&] { second = true; });
+  h.cancel();  // stale ticket: must not hit h2's (possibly reused) slot
+  EXPECT_TRUE(h2.pending());
+  e.run();
+  EXPECT_TRUE(second);
+}
+
+TEST(Engine, DefaultConstructedHandleIsInert) {
+  EventHandle h;
+  EXPECT_FALSE(h.pending());
+  h.cancel();  // must be safe
+}
+
+TEST(Engine, ResetHandlerStatsZeroesAccumulators) {
+  // Regression: handler_wall_ns accumulated silently across run() phases,
+  // so per-phase attribution double-counted earlier phases.
+  Engine e;
+  e.set_handler_timing(true);
+  volatile double sink = 0.0;
+  e.post_at(Time{0}, [&sink] {
+    for (int i = 0; i < 20000; ++i) sink = sink + 1.0;
+  });
+  e.run();
+  ASSERT_GT(e.handler_wall_ns(), 0);
+  ASSERT_GT(e.handler_max_wall_ns(), 0);
+  e.reset_handler_stats();
+  EXPECT_EQ(e.handler_wall_ns(), 0);
+  EXPECT_EQ(e.handler_max_wall_ns(), 0);
+  e.post_after(Dur{1}, [&sink] {
+    for (int i = 0; i < 20000; ++i) sink = sink + 1.0;
+  });
+  e.run();
+  EXPECT_GT(e.handler_wall_ns(), 0);  // second phase counted from zero
+}
+
 TEST(Engine, StopEndsRunEarly) {
   Engine e;
   int count = 0;

@@ -6,7 +6,7 @@
 #   tools/ci_checks.sh [STEP...]
 #
 # Steps (default: pycheck lint-selftest lint build test fault tidy trace
-# bench):
+# bench bench-check):
 #   pycheck        python3 -m py_compile over the repo's Python tooling
 #   lint-selftest  tools/deslp_lint.py --self-test (fixture suite)
 #   lint           tools/deslp_lint.py over src/ bench/ examples/
@@ -17,6 +17,11 @@
 #   tidy           cmake --build ${BUILD_DIR} --target lint-tidy
 #   trace          cmake --build ${BUILD_DIR} --target trace-validate
 #   bench          cmake --build ${BUILD_DIR} --target bench-check
+#   bench-check    cmake --build ${BUILD_DIR} --target bench-gate — the
+#                  blocking engine-throughput floor (engine must beat the
+#                  in-tree reference heap by 1.5x, measured in-process, so
+#                  the check is machine-independent; baseline:
+#                  bench/BENCH_pr6.json)
 #   asan|tsan|ubsan  full build + ctest under the given sanitizer (own
 #                    build dir ${BUILD_DIR}-<mode>; not in the default set —
 #                    the CI matrix fans them out, locally run e.g.
@@ -64,7 +69,7 @@ configure_build() {
 
 step_pycheck() {
   python3 -m py_compile tools/deslp_lint.py tools/validate_trace.py \
-    bench/compare_bench.py
+    bench/compare_bench.py bench/engine_bench_gate.py
 }
 
 step_lint_selftest() { python3 tools/deslp_lint.py --self-test; }
@@ -85,6 +90,8 @@ step_tidy() { cmake --build "$BUILD_DIR" --target lint-tidy; }
 step_trace() { cmake --build "$BUILD_DIR" --target trace-validate; }
 
 step_bench() { cmake --build "$BUILD_DIR" --target bench-check; }
+
+step_bench_gate() { cmake --build "$BUILD_DIR" --target bench-gate; }
 
 step_sanitize() {
   local mode=$1
@@ -112,6 +119,7 @@ dispatch() {
       ;;
     trace) run_step trace step_trace ;;
     bench) run_step bench step_bench ;;
+    bench-check) run_step bench-check step_bench_gate ;;
     asan) run_step asan step_sanitize address ;;
     tsan) run_step tsan step_sanitize thread ;;
     ubsan) run_step ubsan step_sanitize undefined ;;
@@ -124,7 +132,8 @@ dispatch() {
 
 STEPS=("$@")
 if [ ${#STEPS[@]} -eq 0 ]; then
-  STEPS=(pycheck lint-selftest lint build test fault tidy trace bench)
+  STEPS=(pycheck lint-selftest lint build test fault tidy trace bench
+    bench-check)
 fi
 
 for step in "${STEPS[@]}"; do
