@@ -1,27 +1,36 @@
 #!/usr/bin/env python3
-"""Blocking performance gate for the DES engine's event loop.
+"""Blocking performance gate for the simulator's hot paths.
 
 Usage:
-    engine_bench_gate.py CANDIDATE.json --baseline bench/BENCH_pr6.json
-                         [--min-speedup 1.5] [--warn-slowdown 0.5]
+    engine_bench_gate.py CANDIDATE.json --baseline bench/BENCH_pr7.json
+                         [--min-speedup 1.5] [--min-battery-speedup 3.0]
+                         [--warn-slowdown 0.5]
 
-The contract it enforces is machine-independent: micro_kernels runs the same
-10k-event workload through the current engine (BM_EngineEventThroughput) and
-through the faithfully preserved pre-calendar-queue implementation
-(BM_ReferenceHeapEventThroughput, see src/sim/reference_queue.h) in the same
-process, and the ratio reference/engine must stay at or above --min-speedup.
-Because both numbers come from the same run on the same machine, the check
-is immune to host speed, turbo state, and shared-runner noise — it fails
-only if the engine itself loses its lead.
+Three machine-independent contracts, each measured as a same-process ratio
+or counter so host speed, turbo state, and shared-runner noise cannot fake
+a pass or a failure:
 
-The committed baseline (bench/BENCH_pr6.json, regenerated with
-`micro_kernels --json=bench/BENCH_pr6.json` when perf changes land) is
-enforced two ways:
-  - it must exist and must itself satisfy the speedup floor, so nobody can
-    re-baseline away a regression;
-  - the candidate's engine benchmarks are compared against it with a
-    generous --warn-slowdown band; exceeding it prints a loud warning but
-    does not fail, since absolute times are not comparable across machines.
+  1. Engine event loop: micro_kernels runs the same 10k-event workload
+     through the current engine (BM_EngineEventThroughput) and through the
+     faithfully preserved pre-calendar-queue implementation
+     (BM_ReferenceHeapEventThroughput, see src/sim/reference_queue.h); the
+     ratio reference/engine must stay at or above --min-speedup.
+  2. Fleet battery stepping: the same 256-slot fleet update through
+     battery::BatteryBank::advance_all and through a loop over scalar
+     batteries (BM_BatteryBankAdvance* / BM_BatteryScalarAdvance*); the
+     scalar/bank ratio must stay at or above --min-battery-speedup for
+     both models.
+  3. Steady-state allocations: BM_FramePathAllocs (hub delivery path) and
+     BM_StackFramePathAllocs (pooled PPP byte stack) report an
+     `allocs_per_frame` counter from a global operator-new hook; it must
+     be exactly zero.
+
+The committed baseline (bench/BENCH_pr7.json, regenerated with the
+bench-gate filter when perf changes land) is enforced the same three ways,
+so nobody can re-baseline away a regression; additionally the candidate's
+absolute times are compared against it with a generous --warn-slowdown
+band that prints a loud warning but never fails (absolute times are not
+comparable across machines).
 
 Exit codes: 0 ok, 1 gate failed, 2 input error.
 """
@@ -32,83 +41,127 @@ import sys
 
 ENGINE = "BM_EngineEventThroughput"
 REFERENCE = "BM_ReferenceHeapEventThroughput"
+BATTERY_PAIRS = (
+    ("BM_BatteryScalarAdvanceKibam", "BM_BatteryBankAdvanceKibam"),
+    ("BM_BatteryScalarAdvanceRakhmatov", "BM_BatteryBankAdvanceRakhmatov"),
+)
+ALLOC_BENCHES = ("BM_FramePathAllocs", "BM_StackFramePathAllocs")
+ALLOC_COUNTER = "allocs_per_frame"
 WATCHED = (ENGINE, REFERENCE, "BM_EngineEventThroughputMetered",
-           "BM_Fig10EventsPerSecond")
+           "BM_Fig10EventsPerSecond") + tuple(
+               name for pair in BATTERY_PAIRS for name in pair) + ALLOC_BENCHES
 
 
 def load(path):
-    """Map benchmark name -> best (minimum) real_time across repetitions.
+    """Parse a google-benchmark JSON report.
+
+    Returns (times, allocs): benchmark name -> best (minimum) real_time
+    across repetitions, and benchmark name -> worst (maximum)
+    `allocs_per_frame` counter.
 
     The gate runs micro_kernels with --benchmark_repetitions so scheduler
     noise (one-core boxes, shared CI runners) cannot fake a regression.
     Noise only ever inflates a benchmark's time, so the per-name minimum is
     the tight, stable estimator of the true cost; means and medians still
-    wobble by 10-20%% on a loaded host. Reports without repetitions (e.g.
-    the committed baseline) just yield their single run.
+    wobble by 10-20%% on a loaded host. The allocation counter takes the
+    maximum instead: a single leaked allocation in any repetition is a
+    real bug, not noise. Reports without repetitions (e.g. a committed
+    baseline) just yield their single run.
     """
     try:
         with open(path) as f:
             doc = json.load(f)
     except (OSError, ValueError) as e:
         sys.exit(f"error: cannot read {path}: {e}")
-    out = {}
+    times = {}
+    allocs = {}
     for b in doc.get("benchmarks", []):
         if b.get("run_type") == "aggregate":
             continue
         t = float(b["real_time"])
         name = b["name"]
-        out[name] = min(out[name], t) if name in out else t
-    if not out:
+        times[name] = min(times[name], t) if name in times else t
+        if ALLOC_COUNTER in b:
+            a = float(b[ALLOC_COUNTER])
+            allocs[name] = max(allocs.get(name, 0.0), a)
+    if not times:
         sys.exit(f"error: no benchmark entries in {path}")
-    return out
+    return times, allocs
 
 
-def speedup(report, path):
-    for name in (ENGINE, REFERENCE):
+def ratio_of(report, slow, fast, path):
+    for name in (slow, fast):
         if name not in report:
             sys.exit(f"error: {path} is missing {name}; run micro_kernels "
-                     f"with a filter that includes both engine benchmarks")
-    return report[REFERENCE] / report[ENGINE]
+                     f"with a filter that includes it")
+    return report[slow] / report[fast]
 
 
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("candidate", help="google-benchmark JSON from this run")
     ap.add_argument("--baseline", required=True,
-                    help="committed baseline JSON (bench/BENCH_pr6.json)")
+                    help="committed baseline JSON (bench/BENCH_pr7.json)")
     ap.add_argument("--min-speedup", type=float, default=1.5,
                     help="required reference/engine ratio (default 1.5)")
+    ap.add_argument("--min-battery-speedup", type=float, default=3.0,
+                    help="required scalar/bank fleet-stepping ratio, per "
+                    "battery model (default 3.0)")
     ap.add_argument("--warn-slowdown", type=float, default=0.5,
                     help="fractional slowdown vs the committed baseline "
                     "that triggers a warning (default 0.5 = 50%%; never "
                     "fails — absolute times are machine-dependent)")
     args = ap.parse_args()
 
-    cand = load(args.candidate)
-    base = load(args.baseline)
+    cand, cand_allocs = load(args.candidate)
+    base, base_allocs = load(args.baseline)
 
-    cand_ratio = speedup(cand, args.candidate)
-    base_ratio = speedup(base, args.baseline)
-
-    print(f"{'benchmark':<34}  {'baseline':>12}  {'candidate':>12}")
+    print(f"{'benchmark':<36}  {'baseline':>12}  {'candidate':>12}")
     for name in WATCHED:
         b = f"{base[name]:.0f}" if name in base else "-"
         c = f"{cand[name]:.0f}" if name in cand else "-"
-        print(f"{name:<34}  {b:>12}  {c:>12}")
-    print(f"{'speedup (reference/engine)':<34}  {base_ratio:>11.2f}x "
-          f"{cand_ratio:>11.2f}x")
+        print(f"{name:<36}  {b:>12}  {c:>12}")
 
     failed = False
-    if cand_ratio < args.min_speedup:
-        print(f"\nFAIL: engine speedup {cand_ratio:.2f}x is below the "
-              f"{args.min_speedup:.2f}x floor", file=sys.stderr)
-        failed = True
-    if base_ratio < args.min_speedup:
-        print(f"\nFAIL: committed baseline {args.baseline} records only a "
-              f"{base_ratio:.2f}x speedup — it was regenerated on a "
-              f"regressed engine; fix the engine, then re-baseline",
-              file=sys.stderr)
-        failed = True
+
+    def check_ratio(label, slow, fast, floor):
+        nonlocal failed
+        c = ratio_of(cand, slow, fast, args.candidate)
+        b = ratio_of(base, slow, fast, args.baseline)
+        print(f"{label:<36}  {b:>11.2f}x {c:>11.2f}x")
+        if c < floor:
+            print(f"\nFAIL: {label} {c:.2f}x is below the {floor:.2f}x "
+                  f"floor", file=sys.stderr)
+            failed = True
+        if b < floor:
+            print(f"\nFAIL: committed baseline {args.baseline} records only "
+                  f"a {b:.2f}x {label} — it was regenerated on a regressed "
+                  f"build; fix the regression, then re-baseline",
+                  file=sys.stderr)
+            failed = True
+
+    check_ratio("speedup (reference/engine)", REFERENCE, ENGINE,
+                args.min_speedup)
+    for slow, fast in BATTERY_PAIRS:
+        model = fast.removeprefix("BM_BatteryBankAdvance")
+        check_ratio(f"battery speedup ({model})", slow, fast,
+                    args.min_battery_speedup)
+
+    for name in ALLOC_BENCHES:
+        for which, report in (("candidate", cand_allocs),
+                              ("baseline", base_allocs)):
+            if name not in report:
+                sys.exit(f"error: {name} ({which}) has no {ALLOC_COUNTER} "
+                         f"counter; run micro_kernels with a filter that "
+                         f"includes it")
+            a = report[name]
+            print(f"{name + ' ' + ALLOC_COUNTER:<36}  {which:>12}  "
+                  f"{a:>12.2f}")
+            if a != 0.0:
+                print(f"\nFAIL: {name} ({which}) leaks {a:.2f} allocations "
+                      f"per frame; the steady-state frame path must not "
+                      f"touch the allocator", file=sys.stderr)
+                failed = True
 
     for name in WATCHED:
         if name not in base or name not in cand or base[name] <= 0:
@@ -117,12 +170,12 @@ def main():
         if slow > args.warn_slowdown:
             print(f"warning: {name} is {slow:+.0%} vs the committed "
                   f"baseline (machine difference, or a real regression — "
-                  f"check the speedup row)", file=sys.stderr)
+                  f"check the ratio rows)", file=sys.stderr)
 
     if failed:
         return 1
-    print(f"\nOK: engine is {cand_ratio:.2f}x the reference heap "
-          f"(floor {args.min_speedup:.2f}x)")
+    print("\nOK: every same-process ratio is above its floor and the "
+          "frame paths allocate nothing")
     return 0
 
 

@@ -1,0 +1,482 @@
+#include "battery/bank.h"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <utility>
+
+#include "util/check.h"
+
+namespace deslp::battery {
+
+namespace {
+
+// Same cutoff as kibam.cc's KibamBattery.
+constexpr double kDead = 1e-9;
+
+/// Borrowing Battery adapter over one bank slot. `owned_` is only set on
+/// clone-produced views, which carry their private single-slot bank.
+class BankView final : public Battery {
+ public:
+  BankView(BatteryBank* bank, std::size_t slot) : bank_(bank), slot_(slot) {}
+  BankView(std::unique_ptr<BatteryBank> owned, std::size_t slot)
+      : owned_(std::move(owned)), bank_(owned_.get()), slot_(slot) {}
+
+  Seconds discharge(Amps i, Seconds dt) override {
+    return bank_->discharge(slot_, i, dt);
+  }
+  [[nodiscard]] bool empty() const override { return bank_->empty(slot_); }
+  [[nodiscard]] bool can_sustain(Amps i, Seconds dt) const override {
+    return bank_->can_sustain(slot_, i, dt);
+  }
+  [[nodiscard]] Seconds time_to_empty(Amps i) const override {
+    return bank_->time_to_empty(slot_, i);
+  }
+  [[nodiscard]] Coulombs nominal_remaining() const override {
+    return bank_->nominal_remaining(slot_);
+  }
+  [[nodiscard]] double state_of_charge() const override {
+    return bank_->state_of_charge(slot_);
+  }
+  void reset() override { bank_->reset(slot_); }
+  [[nodiscard]] std::string describe() const override {
+    return bank_->describe();
+  }
+  [[nodiscard]] std::unique_ptr<Battery> clone() const override {
+    return std::make_unique<BankView>(bank_->clone_slot_bank(slot_), 0);
+  }
+
+ private:
+  std::unique_ptr<BatteryBank> owned_;
+  BatteryBank* bank_;
+  std::size_t slot_;
+};
+
+}  // namespace
+
+BatteryBank::BatteryBank(const KibamParams& params)
+    : model_(Model::kKibam), kparams_(params) {
+  DESLP_EXPECTS(params.capacity.value() > 0.0);
+  DESLP_EXPECTS(params.c > 0.0 && params.c < 1.0);
+  DESLP_EXPECTS(params.k_prime > 0.0);
+}
+
+BatteryBank::BatteryBank(const RakhmatovParams& params)
+    : model_(Model::kRakhmatov), rparams_(params) {
+  DESLP_EXPECTS(params.alpha.value() > 0.0);
+  DESLP_EXPECTS(params.beta_squared > 0.0);
+  DESLP_EXPECTS(params.terms >= 1);
+  rate_.resize(terms());
+  for (std::size_t m = 1; m <= terms(); ++m)
+    // Same order as rakhmatov.cc: b2 * m * m, left to right.
+    rate_[m - 1] = rparams_.beta_squared * static_cast<double>(m) *
+                   static_cast<double>(m);
+  decay_scratch_.resize(terms());
+  one_minus_decay_scratch_.resize(terms());
+  new_a_scratch_.resize(terms());
+}
+
+std::size_t BatteryBank::add_slot() {
+  const std::size_t slot = size_;
+  ++size_;
+  if (model_ == Model::kKibam) {
+    y1_.push_back(kparams_.capacity.value() * kparams_.c);
+    y2_.push_back(kparams_.capacity.value() * (1.0 - kparams_.c));
+  } else {
+    delivered_.push_back(0.0);
+    dead_.push_back(0);
+    a_.resize(a_.size() + terms(), 0.0);
+  }
+  return slot;
+}
+
+// ---------------------------------------------------------------------------
+// Batched stepping
+// ---------------------------------------------------------------------------
+
+void BatteryBank::advance_all(std::span<const Amps> loads, Seconds dt) {
+  advance_all(loads, dt, std::span<Seconds>{});
+}
+
+void BatteryBank::advance_all(std::span<const Amps> loads, Seconds dt,
+                              std::span<Seconds> sustained) {
+  DESLP_EXPECTS(loads.size() == size_);
+  DESLP_EXPECTS(sustained.empty() || sustained.size() == size_);
+  DESLP_EXPECTS(dt.value() >= 0.0);
+  const double t = dt.value();
+
+  if (model_ == Model::kKibam) {
+    // Batch-invariant closed-form pieces (kibam.cc wells_at): everything
+    // that depends only on (k, c, dt) is hoisted; the per-slot loop is
+    // pure array arithmetic until a slot fails the fast-path predicate.
+    const double k = kparams_.k_prime;
+    const double c = kparams_.c;
+    const double x = k * t;
+    const double em = std::expm1(-x);  // e^{-x} - 1
+    const double one_minus_e = -em;    // 1 - e^{-x}
+    const double ramp = x + em;        // x - 1 + e^{-x}
+    const double one_plus_em = 1.0 + em;
+    for (std::size_t s = 0; s < size_; ++s) {
+      if (y1_[s] <= kDead) {  // empty(): sustains nothing, state untouched
+        if (!sustained.empty()) sustained[s] = seconds(0.0);
+        continue;
+      }
+      const double current = loads[s].value();
+      DESLP_EXPECTS(current >= 0.0);
+      const double y0 = y1_[s] + y2_[s];
+      const double ny1 = y1_[s] * one_plus_em +
+                         (y0 * k * c - current) * one_minus_e / k -
+                         current * c * ramp / k;
+      if (ny1 > kDead) {
+        // Fast path: commit the same doubles the scalar advance computes.
+        y2_[s] = y0 - current * t - ny1;
+        y1_[s] = ny1;
+        if (!sustained.empty()) sustained[s] = dt;
+      } else {
+        // Death inside the step: the scalar slow path (bracketing
+        // bisection to the exact time-to-empty, then clamp).
+        const Seconds got = kibam_discharge(s, loads[s], dt);
+        if (!sustained.empty()) sustained[s] = got;
+      }
+    }
+    return;
+  }
+
+  // Rakhmatov: the whole one-exp decay ladder is load-independent, so it
+  // is computed once per batch (rakhmatov.cc computes it per battery).
+  const double alpha = rparams_.alpha.value();
+  const double b2 = rparams_.beta_squared;
+  const double d = std::exp(-b2 * t);
+  const double d2 = d * d;
+  const std::size_t nterms = terms();
+  {
+    double odd = d;      // d^(2m-1)
+    double decay = 1.0;  // becomes d^(m²)
+    for (std::size_t m = 1; m <= nterms; ++m) {
+      decay *= odd;
+      odd *= d2;
+      decay_scratch_[m - 1] = decay;
+      one_minus_decay_scratch_[m - 1] = 1.0 - decay;
+    }
+  }
+  for (std::size_t s = 0; s < size_; ++s) {
+    if (dead_[s] != 0 || rak_sigma(s) >= alpha) {  // empty()
+      if (!sustained.empty()) sustained[s] = seconds(0.0);
+      continue;
+    }
+    const double current = loads[s].value();
+    DESLP_EXPECTS(current >= 0.0);
+    // Fused sigma_at + advance: the scalar fast path evaluates sigma_at
+    // (computing each new A_m, discarded) and then advance (recomputing
+    // them); here the new A_m are computed once and committed on success.
+    const double* a = &a_[s * nterms];
+    double sum = delivered_[s] + current * t;
+    for (std::size_t m = 1; m <= nterms; ++m) {
+      const double na = a[m - 1] * decay_scratch_[m - 1] +
+                        current * one_minus_decay_scratch_[m - 1] /
+                            rate_[m - 1];
+      new_a_scratch_[m - 1] = na;
+      sum += 2.0 * na;
+    }
+    if (sum < alpha) {
+      double* aw = &a_[s * nterms];
+      for (std::size_t m = 0; m < nterms; ++m) aw[m] = new_a_scratch_[m];
+      delivered_[s] += current * t;
+      if (!sustained.empty()) sustained[s] = dt;
+    } else {
+      const Seconds got = rak_discharge(s, loads[s], dt);
+      if (!sustained.empty()) sustained[s] = got;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// KiBaM scalar mirrors (kibam.cc, bit-for-bit)
+// ---------------------------------------------------------------------------
+
+void BatteryBank::kibam_wells_at(std::size_t slot, double current, double t,
+                                 double& y1, double& y2) const {
+  const double k = kparams_.k_prime;
+  const double c = kparams_.c;
+  const double y0 = y1_[slot] + y2_[slot];
+  const double x = k * t;
+  const double em = std::expm1(-x);  // e^{-x} - 1
+  const double one_minus_e = -em;    // 1 - e^{-x}
+  const double ramp = x + em;        // x - 1 + e^{-x}
+  y1 = y1_[slot] * (1.0 + em) + (y0 * k * c - current) * one_minus_e / k -
+       current * c * ramp / k;
+  y2 = y0 - current * t - y1;
+}
+
+double BatteryBank::kibam_y1_at(std::size_t slot, double current,
+                                double t) const {
+  double y1 = 0.0, y2 = 0.0;
+  kibam_wells_at(slot, current, t, y1, y2);
+  return y1;
+}
+
+Seconds BatteryBank::kibam_discharge(std::size_t slot, Amps i, Seconds dt) {
+  if (y1_[slot] <= kDead) return seconds(0.0);
+  const auto advance = [&](double current, double t) {
+    double y1 = 0.0, y2 = 0.0;
+    kibam_wells_at(slot, current, t, y1, y2);
+    y1_[slot] = y1;
+    y2_[slot] = y2;
+  };
+  if (kibam_y1_at(slot, i.value(), dt.value()) > kDead) {
+    advance(i.value(), dt.value());
+    return dt;
+  }
+  const Seconds tte = kibam_time_to_empty(slot, i);
+  if (tte < dt) {
+    advance(i.value(), tte.value());
+    y1_[slot] = 0.0;  // clamp the bisection residue; the battery is dead
+    return tte;
+  }
+  advance(i.value(), dt.value());
+  return dt;
+}
+
+Seconds BatteryBank::kibam_time_to_empty(std::size_t slot, Amps i) const {
+  if (y1_[slot] <= kDead) return seconds(0.0);
+  const double current = i.value();
+  // deslp-lint: allow(float-eq): exact zero-current sentinel (no decay)
+  if (current == 0.0)
+    return seconds(std::numeric_limits<double>::infinity());
+
+  const double ideal = (y1_[slot] + y2_[slot]) / current;
+  double lo = 0.0;
+  double hi = ideal / 64.0;
+  while (kibam_y1_at(slot, current, hi) > 0.0) {
+    lo = hi;
+    hi *= 2.0;
+    if (hi > ideal * 1.0001) {
+      hi = ideal * 1.0001;
+      break;
+    }
+  }
+  if (kibam_y1_at(slot, current, hi) > 0.0) return seconds(ideal);
+  for (int iter = 0; iter < 100 && (hi - lo) > 1e-9 * hi; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (kibam_y1_at(slot, current, mid) > 0.0)
+      lo = mid;
+    else
+      hi = mid;
+  }
+  return seconds(0.5 * (lo + hi));
+}
+
+// ---------------------------------------------------------------------------
+// Rakhmatov scalar mirrors (rakhmatov.cc, bit-for-bit)
+// ---------------------------------------------------------------------------
+
+double BatteryBank::rak_sigma(std::size_t slot) const {
+  const std::size_t nterms = terms();
+  const double* a = &a_[slot * nterms];
+  double s = delivered_[slot];
+  for (std::size_t m = 0; m < nterms; ++m) s += 2.0 * a[m];
+  return s;
+}
+
+double BatteryBank::rak_sigma_at(std::size_t slot, double current,
+                                 double t) const {
+  const std::size_t nterms = terms();
+  const double* a = &a_[slot * nterms];
+  double s = delivered_[slot] + current * t;
+  const double b2 = rparams_.beta_squared;
+  const double d = std::exp(-b2 * t);
+  const double d2 = d * d;
+  double odd = d;      // d^(2m-1)
+  double decay = 1.0;  // becomes d^(m²)
+  for (std::size_t m = 1; m <= nterms; ++m) {
+    decay *= odd;
+    odd *= d2;
+    const double rate = b2 * static_cast<double>(m) * static_cast<double>(m);
+    const double na = a[m - 1] * decay + current * (1.0 - decay) / rate;
+    s += 2.0 * na;
+  }
+  return s;
+}
+
+void BatteryBank::rak_advance(std::size_t slot, double current, double t) {
+  const std::size_t nterms = terms();
+  double* a = &a_[slot * nterms];
+  const double b2 = rparams_.beta_squared;
+  const double d = std::exp(-b2 * t);
+  const double d2 = d * d;
+  double odd = d;
+  double decay = 1.0;
+  for (std::size_t m = 1; m <= nterms; ++m) {
+    decay *= odd;
+    odd *= d2;
+    const double rate = b2 * static_cast<double>(m) * static_cast<double>(m);
+    a[m - 1] = a[m - 1] * decay + current * (1.0 - decay) / rate;
+  }
+  delivered_[slot] += current * t;
+}
+
+Seconds BatteryBank::rak_discharge(std::size_t slot, Amps i, Seconds dt) {
+  if (dead_[slot] != 0 || rak_sigma(slot) >= rparams_.alpha.value())
+    return seconds(0.0);
+  if (rak_sigma_at(slot, i.value(), dt.value()) < rparams_.alpha.value()) {
+    rak_advance(slot, i.value(), dt.value());
+    return dt;
+  }
+  const Seconds tte = rak_time_to_empty(slot, i);
+  if (tte < dt) {
+    rak_advance(slot, i.value(), tte.value());
+    dead_[slot] = 1;
+    return tte;
+  }
+  rak_advance(slot, i.value(), dt.value());
+  return dt;
+}
+
+Seconds BatteryBank::rak_time_to_empty(std::size_t slot, Amps i) const {
+  if (dead_[slot] != 0 || rak_sigma(slot) >= rparams_.alpha.value())
+    return seconds(0.0);
+  const double current = i.value();
+  // deslp-lint: allow(float-eq): exact zero-current sentinel (no decay)
+  if (current == 0.0)
+    return seconds(std::numeric_limits<double>::infinity());
+
+  const double alpha = rparams_.alpha.value();
+  const double headroom = alpha - delivered_[slot];  // sigma >= delivered
+  double lo = 0.0;
+  double hi = headroom / current / 1024.0;
+  double sigma_hi = rak_sigma_at(slot, current, hi);
+  int guard = 0;
+  while (sigma_hi < alpha) {
+    lo = hi;
+    hi *= 2.0;
+    sigma_hi = rak_sigma_at(slot, current, hi);
+    DESLP_ENSURES(++guard < 200);  // delivered charge alone must cross α
+  }
+  for (int iter = 0; iter < 100 && (hi - lo) > 1e-9 * hi; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (rak_sigma_at(slot, current, mid) < alpha)
+      lo = mid;
+    else
+      hi = mid;
+  }
+  return seconds(0.5 * (lo + hi));
+}
+
+// ---------------------------------------------------------------------------
+// Per-slot Battery interface
+// ---------------------------------------------------------------------------
+
+Seconds BatteryBank::discharge(std::size_t slot, Amps i, Seconds dt) {
+  DESLP_EXPECTS(slot < size_);
+  DESLP_EXPECTS(i.value() >= 0.0);
+  DESLP_EXPECTS(dt.value() >= 0.0);
+  return model_ == Model::kKibam ? kibam_discharge(slot, i, dt)
+                                 : rak_discharge(slot, i, dt);
+}
+
+bool BatteryBank::empty(std::size_t slot) const {
+  DESLP_EXPECTS(slot < size_);
+  if (model_ == Model::kKibam) return y1_[slot] <= kDead;
+  return dead_[slot] != 0 || rak_sigma(slot) >= rparams_.alpha.value();
+}
+
+bool BatteryBank::can_sustain(std::size_t slot, Amps i, Seconds dt) const {
+  DESLP_EXPECTS(slot < size_);
+  DESLP_EXPECTS(i.value() >= 0.0);
+  DESLP_EXPECTS(dt.value() >= 0.0);
+  // deslp-lint: allow(float-eq): exact zero sentinels, not tolerances
+  if (empty(slot)) return dt.value() == 0.0;
+  if (model_ == Model::kKibam) {
+    // deslp-lint: allow(float-eq): exact zero-current sentinel (no decay)
+    if (i.value() == 0.0) return true;
+    return kibam_y1_at(slot, i.value(), dt.value()) > kDead;
+  }
+  return rak_sigma_at(slot, i.value(), dt.value()) < rparams_.alpha.value();
+}
+
+Seconds BatteryBank::time_to_empty(std::size_t slot, Amps i) const {
+  DESLP_EXPECTS(slot < size_);
+  DESLP_EXPECTS(i.value() >= 0.0);
+  return model_ == Model::kKibam ? kibam_time_to_empty(slot, i)
+                                 : rak_time_to_empty(slot, i);
+}
+
+Coulombs BatteryBank::nominal_remaining(std::size_t slot) const {
+  DESLP_EXPECTS(slot < size_);
+  if (model_ == Model::kKibam) return coulombs(y1_[slot] + y2_[slot]);
+  return coulombs(std::max(0.0, rparams_.alpha.value() - rak_sigma(slot)));
+}
+
+double BatteryBank::state_of_charge(std::size_t slot) const {
+  DESLP_EXPECTS(slot < size_);
+  if (model_ == Model::kKibam)
+    return (y1_[slot] + y2_[slot]) / kparams_.capacity.value();
+  return std::max(0.0, 1.0 - rak_sigma(slot) / rparams_.alpha.value());
+}
+
+void BatteryBank::reset(std::size_t slot) {
+  DESLP_EXPECTS(slot < size_);
+  if (model_ == Model::kKibam) {
+    y1_[slot] = kparams_.capacity.value() * kparams_.c;
+    y2_[slot] = kparams_.capacity.value() * (1.0 - kparams_.c);
+    return;
+  }
+  delivered_[slot] = 0.0;
+  dead_[slot] = 0;
+  const std::size_t nterms = terms();
+  double* a = &a_[slot * nterms];
+  for (std::size_t m = 0; m < nterms; ++m) a[m] = 0.0;
+}
+
+void BatteryBank::reset_all() {
+  for (std::size_t s = 0; s < size_; ++s) reset(s);
+}
+
+std::string BatteryBank::describe() const {
+  std::ostringstream os;
+  if (model_ == Model::kKibam) {
+    os << "kibam(" << to_milliamp_hours(kparams_.capacity) << " mAh, c="
+       << kparams_.c << ", k'=" << kparams_.k_prime << "/s)";
+  } else {
+    os << "rakhmatov(alpha=" << to_milliamp_hours(rparams_.alpha)
+       << " mAh, beta^2=" << rparams_.beta_squared << "/s, terms="
+       << rparams_.terms << ")";
+  }
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Views and clones
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<Battery> BatteryBank::view(std::size_t slot) {
+  DESLP_EXPECTS(slot < size_);
+  return std::make_unique<BankView>(this, slot);
+}
+
+std::unique_ptr<Battery> BatteryBank::add_view() {
+  return view(add_slot());
+}
+
+std::unique_ptr<BatteryBank> BatteryBank::clone_slot_bank(
+    std::size_t slot) const {
+  DESLP_EXPECTS(slot < size_);
+  std::unique_ptr<BatteryBank> out;
+  if (model_ == Model::kKibam) {
+    out = std::make_unique<BatteryBank>(kparams_);
+    out->add_slot();
+    out->y1_[0] = y1_[slot];
+    out->y2_[0] = y2_[slot];
+  } else {
+    out = std::make_unique<BatteryBank>(rparams_);
+    out->add_slot();
+    out->delivered_[0] = delivered_[slot];
+    out->dead_[0] = dead_[slot];
+    const std::size_t nterms = terms();
+    for (std::size_t m = 0; m < nterms; ++m)
+      out->a_[m] = a_[slot * nterms + m];
+  }
+  return out;
+}
+
+}  // namespace deslp::battery

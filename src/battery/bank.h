@@ -1,0 +1,136 @@
+// Struct-of-arrays battery bank: every node's battery state in contiguous
+// arrays, steppable in one batched pass.
+//
+// The scalar models (`kibam.cc`, `rakhmatov.cc`) advance one battery at a
+// time, and each advance pays a libm exponential. But the exponentials
+// depend only on the step length: when a fleet of nodes steps by the same
+// dt — exactly what a synchronized fleet scan or a lockstep power-state
+// sweep does — KiBaM's expm1(-k·dt) and Rakhmatov's whole one-exp decay
+// ladder (PR 2) are shared across every node. `advance_all` hoists that
+// batch-invariant work out of the per-node loop and then walks plain
+// `double` arrays, so stepping N nodes costs one exp plus N fused
+// array passes instead of N virtual calls each with its own exp.
+//
+// Bit-identity contract: every per-slot operation reproduces the scalar
+// model's expression order exactly (the build uses no -march/-ffast-math,
+// so there is no contraction or reassociation to diverge under), and
+// `advance_all` commits the same doubles the scalar fast path would. The
+// lockstep property test (tests/battery_bank_test.cc) pins this bit-for-
+// bit against N independent scalar instances, death paths included.
+//
+// The per-node `Battery` interface survives as a thin view (`view()`,
+// `add_view()`): `core::Node`, `PowerMonitor`, and calibration code keep
+// operating on `Battery&` while the state lives here. Views borrow the
+// bank — the bank must outlive them (PipelineSystem declares its bank
+// before its nodes).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "battery/battery.h"
+#include "battery/kibam.h"
+#include "battery/rakhmatov.h"
+#include "util/units.h"
+
+namespace deslp::battery {
+
+class BatteryBank {
+ public:
+  enum class Model { kKibam, kRakhmatov };
+
+  explicit BatteryBank(const KibamParams& params);
+  explicit BatteryBank(const RakhmatovParams& params);
+
+  [[nodiscard]] Model model() const { return model_; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+  /// Append a factory-fresh slot; returns its index.
+  std::size_t add_slot();
+
+  /// Step every slot by its own load for a shared `dt`, hoisting the
+  /// batch-invariant exponentials out of the per-node loop. Equivalent to
+  /// calling `discharge(slot, loads[slot], dt)` on every slot (already-
+  /// empty slots sustain 0 s and stay untouched; slots that would die
+  /// mid-step take the scalar death path: advance to the exact
+  /// time-to-empty, then clamp). `loads.size()` must equal `size()`.
+  void advance_all(std::span<const Amps> loads, Seconds dt);
+
+  /// As above, also reporting each slot's sustained duration (the scalar
+  /// `discharge` return value). `sustained.size()` must equal `size()`.
+  void advance_all(std::span<const Amps> loads, Seconds dt,
+                   std::span<Seconds> sustained);
+
+  // Scalar mirror of the per-node `Battery` interface, operating on one
+  // slot. Each reproduces the corresponding scalar model member
+  // bit-for-bit.
+  Seconds discharge(std::size_t slot, Amps i, Seconds dt);
+  [[nodiscard]] bool empty(std::size_t slot) const;
+  [[nodiscard]] bool can_sustain(std::size_t slot, Amps i, Seconds dt) const;
+  [[nodiscard]] Seconds time_to_empty(std::size_t slot, Amps i) const;
+  [[nodiscard]] Coulombs nominal_remaining(std::size_t slot) const;
+  [[nodiscard]] double state_of_charge(std::size_t slot) const;
+  void reset(std::size_t slot);
+  void reset_all();
+  [[nodiscard]] std::string describe() const;
+
+  /// Borrowing `Battery` adapter over an existing slot. The bank must
+  /// outlive the view. The view's clone() detaches: it returns a
+  /// self-contained battery backed by a private single-slot bank copy.
+  [[nodiscard]] std::unique_ptr<Battery> view(std::size_t slot);
+  /// add_slot() + view() in one step.
+  [[nodiscard]] std::unique_ptr<Battery> add_view();
+
+  /// Standalone single-slot bank initialised with a copy of `slot`'s
+  /// state (the backing store for view clones).
+  [[nodiscard]] std::unique_ptr<BatteryBank> clone_slot_bank(
+      std::size_t slot) const;
+
+ private:
+  // KiBaM per-slot closed-form helpers (exact mirrors of kibam.cc).
+  void kibam_wells_at(std::size_t slot, double current, double t, double& y1,
+                      double& y2) const;
+  [[nodiscard]] double kibam_y1_at(std::size_t slot, double current,
+                                   double t) const;
+  // Rakhmatov per-slot helpers (exact mirrors of rakhmatov.cc).
+  [[nodiscard]] double rak_sigma(std::size_t slot) const;
+  [[nodiscard]] double rak_sigma_at(std::size_t slot, double current,
+                                    double t) const;
+  void rak_advance(std::size_t slot, double current, double t);
+
+  Seconds kibam_discharge(std::size_t slot, Amps i, Seconds dt);
+  Seconds rak_discharge(std::size_t slot, Amps i, Seconds dt);
+  [[nodiscard]] Seconds kibam_time_to_empty(std::size_t slot, Amps i) const;
+  [[nodiscard]] Seconds rak_time_to_empty(std::size_t slot, Amps i) const;
+
+  [[nodiscard]] std::size_t terms() const {
+    return static_cast<std::size_t>(rparams_.terms);
+  }
+
+  Model model_;
+  std::size_t size_ = 0;
+
+  // KiBaM SoA state: available / bound well contents per slot (coulombs).
+  KibamParams kparams_{};
+  std::vector<double> y1_;
+  std::vector<double> y2_;
+
+  // Rakhmatov SoA state: delivered charge per slot, the A_m convolution
+  // accumulators slot-major (stride = terms), and the dead latch.
+  RakhmatovParams rparams_{};
+  std::vector<double> delivered_;
+  std::vector<double> a_;
+  std::vector<std::uint8_t> dead_;
+  // Batch-invariant precomputes: rate_[m-1] = β²m² (fixed per bank);
+  // decay ladder scratch refilled once per advance_all batch.
+  std::vector<double> rate_;
+  std::vector<double> decay_scratch_;
+  std::vector<double> one_minus_decay_scratch_;
+  std::vector<double> new_a_scratch_;
+};
+
+}  // namespace deslp::battery

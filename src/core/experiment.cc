@@ -22,6 +22,13 @@ void apply_defaults(ExperimentSuite::Options& o) {
     o.battery_factory = [] {
       return battery::make_kibam_battery(battery::itsy_kibam_params());
     };
+    // Default pack: known model, so pipeline runs can use the SoA fleet
+    // bank (bit-identical to the scalar path). A caller-supplied factory
+    // is opaque and keeps the scalar per-node path.
+    o.battery_bank_factory = [] {
+      return std::make_unique<battery::BatteryBank>(
+          battery::itsy_kibam_params());
+    };
   }
 }
 
@@ -80,6 +87,7 @@ ExperimentResult ExperimentSuite::run(const ExperimentSpec& spec,
   sys.profile = options_.profile;
   sys.link = options_.link;
   sys.battery_factory = options_.battery_factory;
+  sys.battery_bank_factory = options_.battery_bank_factory;
   sys.frame_delay = options_.frame_delay;
   if (stages == 1) {
     sys.partition = task::Partition({0}, options_.profile->block_count());

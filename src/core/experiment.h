@@ -81,6 +81,12 @@ class ExperimentSuite {
     const atr::AtrProfile* profile = nullptr;   // default: itsy_atr_profile()
     net::LinkSpec link;
     std::function<std::unique_ptr<battery::Battery>()> battery_factory;
+    /// Optional SoA fleet bank (battery/bank.h) for the pipeline runs.
+    /// Defaulted alongside battery_factory (same itsy KiBaM pack) when
+    /// neither is set; a custom battery_factory leaves it unset since the
+    /// factory's model is opaque.
+    std::function<std::unique_ptr<battery::BatteryBank>()>
+        battery_bank_factory;
     Seconds frame_delay = seconds(2.3);
     long long max_frames = 2'000'000;
     std::uint64_t seed = 42;

@@ -15,14 +15,16 @@ Node::Node(sim::Engine& engine, net::Hub& hub, sim::Trace& trace,
       config_(std::move(config)),
       battery_(std::move(battery)),
       monitor_(config_.name, config_.pack_voltage),
-      mailbox_(hub.attach(config_.address)) {
+      mailbox_(hub.attach(config_.address)),
+      hot_(config_.hot != nullptr ? config_.hot : &inline_hot_) {
   DESLP_EXPECTS(config_.cpu != nullptr);
   DESLP_EXPECTS(battery_ != nullptr);
+  hot_->soc = battery_->state_of_charge();
   if (config_.metrics != nullptr) {
     obs::Registry& reg = *config_.metrics;
     const std::string base = "node." + config_.name;
     m_soc_ = reg.gauge(base + ".soc");
-    m_soc_.set(battery_->state_of_charge());
+    m_soc_.set(hot_->soc);
     m_drains_ = reg.counter(base + ".drains");
     for (int m = 0; m < 3; ++m) {
       m_residency_s_[m] = reg.counter(
@@ -33,33 +35,34 @@ Node::Node(sim::Engine& engine, net::Hub& hub, sim::Trace& trace,
 }
 
 void Node::die(const std::string& reason) {
-  if (!alive_) return;
-  alive_ = false;
-  ++epoch_;
-  death_time_ = engine_.now();
+  if (!hot_->alive) return;
+  hot_->alive = false;
+  ++hot_->epoch;
+  hot_->death_time = engine_.now();
   hub_.set_failed(config_.address, true);
   trace_.add_mark({config_.name, "battery-dead (" + reason + ")",
-                   death_time_});
+                   hot_->death_time});
   log::info(config_.name, " battery exhausted at ",
-            to_hours(sim::to_seconds(death_time_)), " h (", reason, ")");
+            to_hours(sim::to_seconds(hot_->death_time)), " h (", reason, ")");
 }
 
 void Node::fail(const std::string& reason) {
-  if (!alive_) return;
-  alive_ = false;
-  fault_down_ = true;
-  ++epoch_;
-  death_time_ = engine_.now();
+  if (!hot_->alive) return;
+  hot_->alive = false;
+  hot_->fault_down = true;
+  ++hot_->epoch;
+  hot_->death_time = engine_.now();
   hub_.set_failed(config_.address, true);
-  trace_.add_mark({config_.name, "fault-dead (" + reason + ")", death_time_});
+  trace_.add_mark({config_.name, "fault-dead (" + reason + ")",
+                   hot_->death_time});
   log::info(config_.name, " fault-killed at ",
-            to_hours(sim::to_seconds(death_time_)), " h (", reason, ")");
+            to_hours(sim::to_seconds(hot_->death_time)), " h (", reason, ")");
 }
 
 void Node::revive() {
-  if (alive_ || !fault_down_) return;
-  alive_ = true;
-  fault_down_ = false;
+  if (hot_->alive || !hot_->fault_down) return;
+  hot_->alive = true;
+  hot_->fault_down = false;
   hub_.set_failed(config_.address, false);  // reopens the mailbox, empty
   trace_.add_mark({config_.name, "fault-revived", engine_.now()});
   log::info(config_.name, " revived at ",
@@ -68,12 +71,15 @@ void Node::revive() {
 
 Seconds Node::drain(cpu::Mode mode, int level, Amps current, Seconds dt,
                     const char* kind, const std::string& detail) {
-  DESLP_EXPECTS(alive_);
+  DESLP_EXPECTS(hot_->alive);
   const Seconds sustained = battery_->discharge(current, dt);
-  monitor_.record(mode, level, current, sustained, engine_.now(),
-                  battery_->state_of_charge());
+  // One state_of_charge() evaluation per drain, cached in the hot slot
+  // (the monitor row, the gauge, and fleet scans all read the cache).
+  const double soc = battery_->state_of_charge();
+  hot_->soc = soc;
+  monitor_.record(mode, level, current, sustained, engine_.now(), soc);
   m_drains_.inc();
-  m_soc_.set(battery_->state_of_charge());
+  m_soc_.set(soc);
   m_residency_s_[static_cast<int>(mode)].inc(sustained.value());
   if (trace_.recording()) {
     trace_.add_span({config_.name, kind, engine_.now(),
@@ -88,18 +94,18 @@ Seconds Node::drain(cpu::Mode mode, int level, Amps current, Seconds dt,
 
 Seconds Node::switch_cost(int level) {
   if (!config_.model_dvs_switch_cost) return seconds(0.0);
-  if (last_level_ == level) return seconds(0.0);
-  const Seconds cost =
-      last_level_ < 0 ? seconds(0.0) : config_.cpu->dvs_switch_latency();
-  last_level_ = level;
+  if (hot_->last_level == level) return seconds(0.0);
+  const Seconds cost = hot_->last_level < 0 ? seconds(0.0)
+                                            : config_.cpu->dvs_switch_latency();
+  hot_->last_level = level;
   return cost;
 }
 
 sim::ValueTask<bool> Node::busy(cpu::Mode mode, int level, Seconds duration,
                                 const char* kind, std::string detail) {
   DESLP_EXPECTS(duration.value() >= 0.0);
-  if (!alive_) co_return false;
-  const std::int64_t epoch = epoch_;
+  if (!hot_->alive) co_return false;
+  const std::int64_t epoch = hot_->epoch;
   const Seconds total = duration + switch_cost(level);
   const Amps current = config_.cpu->current(mode, level);
   const Seconds sustained = drain(mode, level, current, total, kind, detail);
@@ -107,7 +113,7 @@ sim::ValueTask<bool> Node::busy(cpu::Mode mode, int level, Seconds duration,
   // A fault killed (or killed and revived) the node mid-operation: this
   // coroutine belongs to the previous incarnation and must not touch the
   // node again.
-  if (epoch != epoch_) co_return false;
+  if (epoch != hot_->epoch) co_return false;
   if (sustained < total) {
     die(kind);
     co_return false;
@@ -116,7 +122,7 @@ sim::ValueTask<bool> Node::busy(cpu::Mode mode, int level, Seconds duration,
 }
 
 sim::ValueTask<bool> Node::send(net::Message msg, int level) {
-  if (!alive_) co_return false;
+  if (!hot_->alive) co_return false;
   msg.src = config_.address;
   // Pre-check against the *expected* wire time: a node that cannot survive
   // the transaction must not deliver it (the peer's TCP stream would be cut
@@ -145,7 +151,7 @@ sim::ValueTask<bool> Node::send(net::Message msg, int level) {
 sim::ValueTask<std::optional<net::Message>> Node::recv(int idle_level,
                                                        int comm_level,
                                                        Seconds timeout) {
-  if (!alive_) co_return std::nullopt;
+  if (!hot_->alive) co_return std::nullopt;
 
   // Idle-wait for a delivery, with a death watch: if the battery would
   // empty under idle current before anything arrives, the node dies at
@@ -158,7 +164,7 @@ sim::ValueTask<std::optional<net::Message>> Node::recv(int idle_level,
   // state cannot change while the wait is armed (this coroutine drains only
   // after waking), so the late computation lands on the identical instant.
   const sim::Time wait_start = engine_.now();
-  const std::int64_t epoch = epoch_;
+  const std::int64_t epoch = hot_->epoch;
   const Amps idle_current =
       config_.cpu->current(cpu::Mode::kIdle, idle_level);
   auto watch = std::make_shared<IdleWatch>(
@@ -172,7 +178,7 @@ sim::ValueTask<std::optional<net::Message>> Node::recv(int idle_level,
     delivery = co_await mailbox_.recv();
   }
   watch->handle.cancel();
-  if (epoch != epoch_ || !alive_) co_return std::nullopt;
+  if (epoch != hot_->epoch || !hot_->alive) co_return std::nullopt;
 
   // Account the idle time actually spent waiting.
   const Seconds waited = sim::to_seconds(engine_.now() - wait_start);
@@ -208,7 +214,7 @@ void Node::arm_idle_watch(const std::shared_ptr<IdleWatch>& watch,
     watch->handle = engine_.schedule_at(
         watch->start + sim::from_seconds(seconds(horizon)),
         [this, watch, horizon] {
-          if (!alive_ || watch->epoch != epoch_) return;
+          if (!hot_->alive || watch->epoch != hot_->epoch) return;
           arm_idle_watch(watch, horizon * 16.0);
         });
     return;
@@ -219,7 +225,7 @@ void Node::arm_idle_watch(const std::shared_ptr<IdleWatch>& watch,
   // Bisection rounding can land a hair before the probe that bracketed it.
   if (death_at < engine_.now()) death_at = engine_.now();
   watch->handle = engine_.schedule_at(death_at, [this, watch, tte] {
-    if (!alive_ || watch->epoch != epoch_) return;
+    if (!hot_->alive || watch->epoch != hot_->epoch) return;
     drain(cpu::Mode::kIdle, watch->level, watch->current, tte, "IDLE",
           "idle until battery death");
     die("idle");
@@ -228,13 +234,13 @@ void Node::arm_idle_watch(const std::shared_ptr<IdleWatch>& watch,
 
 sim::ValueTask<bool> Node::idle(int level, Seconds duration,
                                 const char* kind) {
-  if (!alive_) co_return false;
-  const std::int64_t epoch = epoch_;
+  if (!hot_->alive) co_return false;
+  const std::int64_t epoch = hot_->epoch;
   const Amps current = config_.cpu->current(cpu::Mode::kIdle, level);
   const Seconds sustained = drain(cpu::Mode::kIdle, level, current, duration,
                                   kind, {});
   co_await engine_.delay(sustained);
-  if (epoch != epoch_) co_return false;
+  if (epoch != hot_->epoch) co_return false;
   if (sustained < duration) {
     die("idle");
     co_return false;

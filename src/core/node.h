@@ -16,6 +16,7 @@
 #include <string>
 
 #include "battery/battery.h"
+#include "core/node_state.h"
 #include "cpu/cpu.h"
 #include "net/hub.h"
 #include "obs/metrics.h"
@@ -40,6 +41,11 @@ class Node {
     /// Null (the default) leaves every instrument unbound — a single
     /// branch per drain.
     obs::Registry* metrics = nullptr;
+    /// Optional externally-owned hot-state slot (a `NodeHotTable` entry;
+    /// see node_state.h). The slot must outlive the node. Null (the
+    /// default): the node uses an inline slot of its own — semantics are
+    /// identical, fleet scans just can't walk it contiguously.
+    NodeHot* hot = nullptr;
   };
 
   Node(sim::Engine& engine, net::Hub& hub, sim::Trace& trace, Config config,
@@ -70,9 +76,12 @@ class Node {
 
   // --- state ---------------------------------------------------------------
 
-  [[nodiscard]] bool alive() const { return alive_; }
+  [[nodiscard]] bool alive() const { return hot_->alive; }
   /// Simulated time of death (valid once !alive()).
-  [[nodiscard]] sim::Time death_time() const { return death_time_; }
+  [[nodiscard]] sim::Time death_time() const { return hot_->death_time; }
+  /// Battery state-of-charge as of the last drain (cached in the hot
+  /// slot; no battery-model evaluation).
+  [[nodiscard]] double cached_soc() const { return hot_->soc; }
 
   // --- fault injection (DESIGN.md §10) -------------------------------------
 
@@ -90,9 +99,9 @@ class Node {
   /// Incarnation counter: bumped on every death. Awaitables issued by an
   /// earlier incarnation complete as failures after a fail()+revive(), so a
   /// stale behaviour coroutine can never act on the revived node's battery.
-  [[nodiscard]] std::int64_t epoch() const { return epoch_; }
+  [[nodiscard]] std::int64_t epoch() const { return hot_->epoch; }
   /// True while the node is down due to fail() rather than an empty battery.
-  [[nodiscard]] bool fault_down() const { return fault_down_; }
+  [[nodiscard]] bool fault_down() const { return hot_->fault_down; }
 
   [[nodiscard]] net::Address address() const { return config_.address; }
   [[nodiscard]] const std::string& name() const { return config_.name; }
@@ -137,11 +146,10 @@ class Node {
   std::unique_ptr<battery::Battery> battery_;
   power::PowerMonitor monitor_;
   sim::Channel<net::Delivery>& mailbox_;
-  bool alive_ = true;
-  bool fault_down_ = false;
-  std::int64_t epoch_ = 0;
-  sim::Time death_time_;
-  int last_level_ = -1;
+  /// Per-event-touched state, either borrowed from a fleet-wide
+  /// NodeHotTable (config.hot) or the inline fallback below.
+  NodeHot* hot_;
+  NodeHot inline_hot_;
   obs::Gauge m_soc_;
   obs::Counter m_drains_;
   obs::Counter m_residency_s_[3];  // indexed by cpu::Mode

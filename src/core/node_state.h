@@ -1,0 +1,82 @@
+// Hot/cold split of per-node state.
+//
+// Fleet-wide scans — the stall watchdog's liveness sweep, death-detection
+// latency lookups, rotation checks — touch a handful of per-node fields
+// (liveness, incarnation epoch, death time, cached SoC) thousands of
+// times per run. Keeping those fields inside `core::Node` means every
+// sweep chases one `unique_ptr<Node>` per node and pulls a whole Node
+// (config strings, monitor, coroutine plumbing) through the cache to read
+// a bool. `NodeHot` packs exactly the per-event-touched fields; a
+// `NodeHotTable` owns one slot per node id so sweeps walk a contiguous
+// array instead.
+//
+// Ownership: the table (owned by `PipelineSystem`, declared before the
+// nodes) hands each Node a stable `NodeHot*`; a standalone Node (tests,
+// calibration solo runs) falls back to an inline slot of its own. The
+// table's storage is reserved up front — slots must not move, since nodes
+// keep raw pointers into it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.h"
+#include "util/check.h"
+
+namespace deslp::core {
+
+/// The per-node fields every fleet scan and every drain touches. One
+/// cache line holds two nodes' worth.
+struct NodeHot {
+  std::int64_t epoch = 0;     ///< incarnation counter (bumped per death)
+  sim::Time death_time{};     ///< valid once !alive
+  double soc = 1.0;           ///< cached battery state-of-charge
+  int last_level = -1;        ///< last DVS level (switch-cost tracking)
+  bool alive = true;
+  bool fault_down = false;    ///< down due to fail(), not battery death
+};
+
+/// Contiguous per-node-id NodeHot slots with stable addresses.
+class NodeHotTable {
+ public:
+  NodeHotTable() = default;
+  explicit NodeHotTable(std::size_t capacity) { reserve(capacity); }
+
+  /// Pre-size the storage. Must be called (with the final node count)
+  /// before the first add(); adding past the reservation would move
+  /// slots out from under the nodes holding pointers to them.
+  void reserve(std::size_t capacity) { slots_.reserve(capacity); }
+
+  /// Append a fresh slot and return its stable address.
+  NodeHot* add() {
+    DESLP_EXPECTS(slots_.size() < slots_.capacity());
+    slots_.push_back(NodeHot{});
+    return &slots_.back();
+  }
+
+  [[nodiscard]] std::size_t size() const { return slots_.size(); }
+  [[nodiscard]] NodeHot& operator[](std::size_t i) {
+    DESLP_EXPECTS(i < slots_.size());
+    return slots_[i];
+  }
+  [[nodiscard]] const NodeHot& operator[](std::size_t i) const {
+    DESLP_EXPECTS(i < slots_.size());
+    return slots_[i];
+  }
+
+  [[nodiscard]] auto begin() const { return slots_.begin(); }
+  [[nodiscard]] auto end() const { return slots_.end(); }
+
+  /// Contiguous liveness sweep: true when no slot is alive.
+  [[nodiscard]] bool all_dead() const {
+    for (const NodeHot& h : slots_)
+      if (h.alive) return false;
+    return true;
+  }
+
+ private:
+  std::vector<NodeHot> slots_;
+};
+
+}  // namespace deslp::core

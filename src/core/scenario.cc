@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "battery/bank.h"
 #include "battery/kibam.h"
 #include "battery/rakhmatov.h"
 #include "core/experiment.h"
@@ -43,6 +44,8 @@ bool build_link(const Config& cfg, net::LinkSpec* link, std::string* error) {
 
 bool build_battery(const Config& cfg,
                    std::function<std::unique_ptr<battery::Battery>()>* out,
+                   std::function<std::unique_ptr<battery::BatteryBank>()>*
+                       bank_out,
                    std::string* description, std::string* error) {
   const std::string model = cfg.get_string("battery", "model", "kibam");
   if (model == "kibam") {
@@ -53,12 +56,16 @@ bool build_battery(const Config& cfg,
     p.c = cfg.get_double("battery", "c", p.c);
     p.k_prime = cfg.get_double("battery", "k_prime", p.k_prime);
     *out = [p] { return battery::make_kibam_battery(p); };
+    // SoA fleet bank (battery/bank.h): bit-identical to the scalar model,
+    // so scenario runs route through it unconditionally.
+    *bank_out = [p] { return std::make_unique<battery::BatteryBank>(p); };
   } else if (model == "rakhmatov") {
     battery::RakhmatovParams p = battery::itsy_rakhmatov_params();
     p.alpha = milliamp_hours(cfg.get_double(
         "battery", "capacity_mah", to_milliamp_hours(p.alpha)));
     p.beta_squared = cfg.get_double("battery", "beta2", p.beta_squared);
     *out = [p] { return battery::make_rakhmatov_battery(p); };
+    *bank_out = [p] { return std::make_unique<battery::BatteryBank>(p); };
   } else if (model == "ideal") {
     const Coulombs cap =
         milliamp_hours(cfg.get_double("battery", "capacity_mah", 1096.0));
@@ -110,7 +117,8 @@ std::optional<ScenarioOutcome> run_scenario(const Config& cfg,
 
   if (!build_link(cfg, &sys.link, error)) return std::nullopt;
   std::string battery_desc;
-  if (!build_battery(cfg, &sys.battery_factory, &battery_desc, error))
+  if (!build_battery(cfg, &sys.battery_factory, &sys.battery_bank_factory,
+                     &battery_desc, error))
     return std::nullopt;
 
   // Partition: explicit cut list, or the best partition at `stages`.

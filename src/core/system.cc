@@ -12,7 +12,8 @@ PipelineSystem::PipelineSystem(SystemConfig config)
       hub_(engine_, config_.link, milliseconds(5.0), config_.seed) {
   DESLP_EXPECTS(config_.cpu != nullptr);
   DESLP_EXPECTS(config_.profile != nullptr);
-  DESLP_EXPECTS(config_.battery_factory != nullptr);
+  DESLP_EXPECTS(config_.battery_factory != nullptr ||
+                config_.battery_bank_factory != nullptr);
   DESLP_EXPECTS(config_.partition.has_value());
   DESLP_EXPECTS(config_.frame_delay.value() > 0.0);
   const int stages = config_.partition->stage_count();
@@ -54,6 +55,11 @@ PipelineSystem::PipelineSystem(SystemConfig config)
                              timer.expected_transaction_time(out));
   }
 
+  if (config_.battery_bank_factory) {
+    battery_bank_ = config_.battery_bank_factory();
+    DESLP_EXPECTS(battery_bank_ != nullptr);
+  }
+  hot_.reserve(static_cast<std::size_t>(stages));
   for (int i = 0; i < stages; ++i) {
     Node::Config nc;
     nc.address = i + 1;
@@ -61,7 +67,9 @@ PipelineSystem::PipelineSystem(SystemConfig config)
     nc.cpu = config_.cpu;
     nc.pack_voltage = config_.pack_voltage;
     nc.metrics = config_.metrics;
-    auto battery = config_.battery_factory();
+    nc.hot = hot_.add();
+    auto battery = battery_bank_ != nullptr ? battery_bank_->add_view()
+                                            : config_.battery_factory();
     // Capacity variance (kCapacityScale): pre-discharge the fresh pack so
     // only `factor` of its usable charge remains. Done through the public
     // discharge interface — the factory's battery model stays opaque.
@@ -205,9 +213,9 @@ sim::Task PipelineSystem::watchdog() {
       config_.frame_delay * config_.stall_frames);
   for (;;) {
     co_await engine_.delay(window);
-    bool all_dead = true;
-    for (const auto& n : nodes_)
-      if (n->alive()) all_dead = false;
+    // Liveness sweep over the contiguous hot table — no per-node pointer
+    // chase (node_state.h).
+    const bool all_dead = hot_.all_dead();
     const sim::Time last_activity = last_completion_;
     const bool stalled =
         frames_sent_ > 0 && (engine_.now() - last_activity) >= window;
@@ -224,8 +232,8 @@ void PipelineSystem::note_detection(net::Address peer) {
   std::optional<sim::Time> start;
   if (fault_runtime_ != nullptr) start = fault_runtime_->outage_start(peer);
   if (!start.has_value()) {
-    const Node& p = *nodes_[static_cast<std::size_t>(peer - 1)];
-    if (!p.alive()) start = p.death_time();
+    const NodeHot& p = hot_[static_cast<std::size_t>(peer - 1)];
+    if (!p.alive) start = p.death_time;
   }
   if (start.has_value()) {
     m_detection_latency_s_.inc(
@@ -391,8 +399,7 @@ sim::Task PipelineSystem::node_behavior(int node_index) {
 
     std::optional<net::Message> msg;
     if (!st.stash.empty()) {
-      msg = st.stash.front();
-      st.stash.pop_front();
+      msg = st.stash.pop_front();
     } else {
       // Upstream failure detection (§5.4): stages fed by another node watch
       // for silence when the ack protocol is active.

@@ -13,7 +13,6 @@
 // frame quota is reached.
 #pragma once
 
-#include <deque>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -21,8 +20,10 @@
 #include <vector>
 
 #include "atr/profile.h"
+#include "battery/bank.h"
 #include "battery/battery.h"
 #include "core/node.h"
+#include "core/node_state.h"
 #include "cpu/cpu.h"
 #include "dvs/policy.h"
 #include "fault/fault.h"
@@ -32,6 +33,7 @@
 #include "sim/engine.h"
 #include "sim/trace.h"
 #include "task/partition.h"
+#include "util/ring.h"
 
 namespace deslp::core {
 
@@ -43,6 +45,12 @@ struct SystemConfig {
   Volts pack_voltage = volts(4.0);
   /// Factory for each node's battery (each node gets its own pack).
   std::function<std::unique_ptr<battery::Battery>()> battery_factory;
+  /// Optional struct-of-arrays battery bank (battery/bank.h): when set,
+  /// the system builds one bank for the whole fleet and hands each node a
+  /// per-slot view instead of calling `battery_factory`. Bit-identical to
+  /// the scalar path (the bank mirrors the scalar models exactly); keeps
+  /// every node's battery state contiguous for fleet-wide stepping.
+  std::function<std::unique_ptr<battery::BatteryBank>()> battery_bank_factory;
 
   /// Frame delay D; the host emits one frame every D.
   Seconds frame_delay = seconds(2.3);
@@ -183,7 +191,7 @@ class PipelineSystem {
     int announce_retries = 0;
     /// Data frames that arrived while waiting for an ack (already paid for
     /// on the wire; consumed by the main loop next).
-    std::deque<net::Message> stash;
+    util::RingBuffer<net::Message> stash;
   };
 
   [[nodiscard]] int node_count() const {
@@ -220,6 +228,11 @@ class PipelineSystem {
   net::Hub hub_;
   std::unique_ptr<fault::Runtime> fault_runtime_;
   sim::Channel<net::Delivery>* host_mailbox_ = nullptr;
+  /// Fleet-contiguous state. Declared before nodes_: the nodes hold
+  /// borrowed pointers (battery views, hot slots) into both, so they must
+  /// be destroyed first.
+  std::unique_ptr<battery::BatteryBank> battery_bank_;
+  NodeHotTable hot_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<StageState> stage_states_;
 

@@ -91,20 +91,30 @@ Seconds Hub::begin_send(const Message& msg) {
     }
   }
   // Cut-through: the receiver's window opens one forward latency later.
-  sim::Channel<Delivery>* mailbox = dst->mailbox.get();
-  const Message delivered = msg;
-  engine_.post_after(
-      sim::from_seconds(forward_latency_), [this, mailbox, delivered,
-                                            wire_time] {
-        // Re-check failure at delivery time: the destination may have died
-        // while the bytes were in flight.
-        if (endpoints_[delivered.dst].failed) {
-          ++stats_.dropped_to_failed;
-          m_dropped_to_failed_.inc();
-          return;
-        }
-        mailbox->send(Delivery{delivered, engine_.now(), wire_time});
-      });
+  // The in-flight message parks in the pending slab; the event captures
+  // two words and stays inside the event queue's inline storage.
+  const auto handle = pending_.acquire();
+  {
+    PendingDelivery& pd = pending_.get(handle);
+    pd.msg = msg;
+    pd.wire_time = wire_time;
+  }
+  engine_.post_after(sim::from_seconds(forward_latency_), [this, handle] {
+    PendingDelivery& pd = pending_.get(handle);
+    const Address to = pd.msg.dst;
+    // Re-check failure at delivery time: the destination may have died
+    // while the bytes were in flight.
+    if (endpoints_[to].failed) {
+      ++stats_.dropped_to_failed;
+      m_dropped_to_failed_.inc();
+      pending_.release(handle);
+      return;
+    }
+    sim::Channel<Delivery>* mailbox = endpoints_[to].mailbox.get();
+    Delivery delivery{std::move(pd.msg), engine_.now(), pd.wire_time};
+    pending_.release(handle);
+    mailbox->send(std::move(delivery));
+  });
   return wire_time;
 }
 

@@ -22,6 +22,7 @@
 #include "obs/metrics.h"
 #include "sim/channel.h"
 #include "sim/engine.h"
+#include "util/arena.h"
 
 namespace deslp::fault {
 class Runtime;
@@ -89,11 +90,22 @@ class Hub {
   Endpoint& endpoint(Address addr);
   [[nodiscard]] const Endpoint* find(Address addr) const;
 
+  /// An in-flight message parked between begin_send and delivery. Slab-
+  /// allocated (util/arena.h): the delivery event captures only {this,
+  /// handle} — small enough for the event queue's inline storage — so a
+  /// steady-state transaction allocates nothing (the old path boxed a
+  /// by-value Message capture on the heap for every message).
+  struct PendingDelivery {
+    Message msg;
+    Seconds wire_time;
+  };
+
   sim::Engine& engine_;
   LinkSpec link_spec_;
   Seconds forward_latency_;
   std::uint64_t seed_;
   std::map<Address, Endpoint> endpoints_;
+  util::Arena<PendingDelivery> pending_;
   HubStats stats_;
   fault::Runtime* faults_ = nullptr;
   obs::Counter m_transactions_;

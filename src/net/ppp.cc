@@ -49,6 +49,13 @@ std::uint16_t PppCodec::fcs16(std::span<const std::uint8_t> data) {
 std::vector<std::uint8_t> PppCodec::encode(
     std::span<const std::uint8_t> payload) {
   std::vector<std::uint8_t> out;
+  encode_into(payload, out);
+  return out;
+}
+
+void PppCodec::encode_into(std::span<const std::uint8_t> payload,
+                           std::vector<std::uint8_t>& out) {
+  out.clear();
   out.reserve(payload.size() + payload.size() / 4 + 8);
   out.push_back(kFlag);
   for (std::uint8_t b : payload) push_escaped(out, b);
@@ -56,7 +63,6 @@ std::vector<std::uint8_t> PppCodec::encode(
   push_escaped(out, static_cast<std::uint8_t>(fcs & 0xFF));
   push_escaped(out, static_cast<std::uint8_t>(fcs >> 8));
   out.push_back(kFlag);
-  return out;
 }
 
 std::optional<std::vector<std::uint8_t>> PppCodec::decode(
@@ -109,48 +115,53 @@ double PppCodec::expected_expansion(std::size_t payload_size) {
 }
 
 std::optional<std::vector<std::uint8_t>> PppDeframer::feed(std::uint8_t byte) {
+  std::vector<std::uint8_t> out;
+  if (feed(byte, out)) return out;
+  return std::nullopt;
+}
+
+bool PppDeframer::feed(std::uint8_t byte, std::vector<std::uint8_t>& out) {
   if (byte == PppCodec::kFlag) {
     if (!in_frame_) {
       in_frame_ = true;
       buffer_.clear();
       escaped_ = false;
-      return std::nullopt;
+      return false;
     }
     // Closing flag (which also opens the next frame).
     if (buffer_.empty() && !escaped_) {
       // Back-to-back flags: stay in frame, nothing accumulated.
-      return std::nullopt;
+      return false;
     }
-    std::vector<std::uint8_t> body;
     bool ok = !escaped_ && buffer_.size() >= 2;
     if (ok) {
-      body.assign(buffer_.begin(), buffer_.end() - 2);
+      out.assign(buffer_.begin(), buffer_.end() - 2);
       const std::uint16_t got = static_cast<std::uint16_t>(
           buffer_[buffer_.size() - 2] | (buffer_[buffer_.size() - 1] << 8));
-      ok = PppCodec::fcs16(body) == got;
+      ok = PppCodec::fcs16(out) == got;
     }
     buffer_.clear();
     escaped_ = false;
     in_frame_ = true;  // the same flag opens the next frame
     if (ok) {
       ++frames_ok_;
-      return body;
+      return true;
     }
     ++frames_bad_;
-    return std::nullopt;
+    return false;
   }
 
-  if (!in_frame_) return std::nullopt;  // inter-frame garbage
+  if (!in_frame_) return false;  // inter-frame garbage
   if (byte == PppCodec::kEscape) {
     if (escaped_) {  // escape-escape is a protocol error; drop the frame
       in_frame_ = false;
       buffer_.clear();
       escaped_ = false;
       ++frames_bad_;
-      return std::nullopt;
+      return false;
     }
     escaped_ = true;
-    return std::nullopt;
+    return false;
   }
   if (escaped_) {
     buffer_.push_back(byte ^ PppCodec::kXor);
@@ -158,7 +169,7 @@ std::optional<std::vector<std::uint8_t>> PppDeframer::feed(std::uint8_t byte) {
   } else {
     buffer_.push_back(byte);
   }
-  return std::nullopt;
+  return false;
 }
 
 void PppDeframer::reset() {

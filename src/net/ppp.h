@@ -25,6 +25,12 @@ class PppCodec {
   [[nodiscard]] static std::vector<std::uint8_t> encode(
       std::span<const std::uint8_t> payload);
 
+  /// As `encode`, but writes into `out` (cleared first), reusing its
+  /// capacity — the hot-path variant for callers that keep a scratch
+  /// buffer across frames.
+  static void encode_into(std::span<const std::uint8_t> payload,
+                          std::vector<std::uint8_t>& out);
+
   /// Unframe one complete frame (leading/trailing flags required).
   /// Returns nullopt on malformed framing, bad escape sequence, or FCS
   /// mismatch.
@@ -53,6 +59,12 @@ class PppDeframer {
   /// Feed one wire byte; returns a completed, validated payload when this
   /// byte closes a frame.
   std::optional<std::vector<std::uint8_t>> feed(std::uint8_t byte);
+
+  /// As `feed`, but assigns the completed payload into `out` (reusing its
+  /// capacity) and returns true when this byte closes a valid frame. `out`
+  /// is untouched otherwise — the hot-path variant for callers that keep a
+  /// receive buffer across frames.
+  bool feed(std::uint8_t byte, std::vector<std::uint8_t>& out);
 
   [[nodiscard]] std::size_t frames_ok() const { return frames_ok_; }
   [[nodiscard]] std::size_t frames_bad() const { return frames_bad_; }

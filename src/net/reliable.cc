@@ -58,13 +58,12 @@ void ReliablePeer::pump() {
     Segment seg;
     seg.type = Segment::Type::kData;
     seg.seq = next_seq_++;
-    seg.payload = std::move(send_queue_.front());
-    send_queue_.pop_front();
+    seg.payload = send_queue_.pop_front();
     seal(seg);
-    inflight_.push_back(seg);
+    inflight_.push_back(std::move(seg));
     ++stats_.data_sent;
     m_data_sent_.inc();
-    transmit(seg);
+    transmit(inflight_.back());
   }
   if (!inflight_.empty() && !timer_.pending()) arm_timer();
 }
@@ -105,10 +104,10 @@ void ReliablePeer::on_timeout() {
     return;
   }
   // Go-Back-N: resend the whole window.
-  for (const Segment& seg : inflight_) {
+  for (std::size_t i = 0; i < inflight_.size(); ++i) {
     ++stats_.data_retx;
     m_data_retx_.inc();
-    transmit(seg);
+    transmit(inflight_[i]);
   }
   arm_timer();
 }
@@ -126,7 +125,12 @@ void ReliablePeer::on_wire(const Segment& segment) {
     // Cumulative ack: everything below segment.seq is delivered.
     bool advanced = false;
     while (!inflight_.empty() && inflight_.front().seq < segment.seq) {
-      inflight_.pop_front();
+      Segment acked = inflight_.pop_front();
+      // The payload's job is done; hand its heap block back to the pool so
+      // the next send reuses it instead of allocating.
+      if (options_.pool != nullptr) {
+        options_.pool->release(std::move(acked.payload));
+      }
       advanced = true;
     }
     if (advanced) {
@@ -147,7 +151,15 @@ void ReliablePeer::on_wire(const Segment& segment) {
   if (segment.seq == expected_seq_) {
     ++expected_seq_;
     m_goodput_bytes_.inc(static_cast<double>(segment.payload.size()));
-    received_.send(segment.payload);
+    if (options_.pool != nullptr) {
+      // Copy into a recycled buffer: the wire segment stays untouched for
+      // the caller, and the consumer returns the buffer after reassembly.
+      std::vector<std::uint8_t> buf = options_.pool->acquire();
+      buf.assign(segment.payload.begin(), segment.payload.end());
+      received_.send(std::move(buf));
+    } else {
+      received_.send(segment.payload);
+    }
   } else if (segment.seq < expected_seq_) {
     ++stats_.dup_received;
     m_dup_received_.inc();

@@ -13,7 +13,6 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <string_view>
 #include <vector>
@@ -21,6 +20,8 @@
 #include "obs/metrics.h"
 #include "sim/channel.h"
 #include "sim/engine.h"
+#include "util/arena.h"
+#include "util/ring.h"
 #include "util/units.h"
 
 namespace deslp::fault {
@@ -63,6 +64,14 @@ struct ReliableOptions {
   /// retry up to rto * 2^backoff_cap (prevents flooding a wire slower
   /// than the retransmission rate). 0 disables backoff.
   int backoff_cap = 6;
+  /// Optional payload-buffer pool (caller-owned, must outlive the peer).
+  /// When set, acknowledged send payloads are released back to it and
+  /// delivered payloads are copied into pool-acquired buffers, so the
+  /// steady-state data path recycles a fixed working set instead of
+  /// allocating per segment. Null (the default) keeps the plain
+  /// allocate-per-payload behavior; wire traffic and delivery contents are
+  /// identical either way.
+  util::BufferPool* pool = nullptr;
 };
 
 struct ReliableStats {
@@ -140,9 +149,9 @@ class ReliablePeer {
   fault::Runtime* faults_ = nullptr;
 
   // Sender state.
-  std::uint64_t next_seq_ = 0;                  // next new sequence number
-  std::deque<std::vector<std::uint8_t>> send_queue_;
-  std::deque<Segment> inflight_;                // window, oldest first
+  std::uint64_t next_seq_ = 0;  // next new sequence number
+  util::RingBuffer<std::vector<std::uint8_t>> send_queue_;
+  util::RingBuffer<Segment> inflight_;  // window, oldest first
   sim::EventHandle timer_;
   int retries_ = 0;
   bool presumed_dead_ = false;

@@ -23,8 +23,15 @@ PppSession::PppSession(sim::Engine& engine, SessionOptions options)
 }
 
 std::vector<std::uint8_t> PppSession::encode_segment(const Segment& segment) {
-  // type(1) seq(8 LE) checksum(4 LE) len(2 LE) payload(len)
   std::vector<std::uint8_t> out;
+  encode_segment_into(segment, out);
+  return out;
+}
+
+void PppSession::encode_segment_into(const Segment& segment,
+                                     std::vector<std::uint8_t>& out) {
+  // type(1) seq(8 LE) checksum(4 LE) len(2 LE) payload(len)
+  out.clear();
   out.reserve(15 + segment.payload.size());
   out.push_back(segment.type == Segment::Type::kData ? 0x01 : 0x02);
   for (int shift = 0; shift < 64; shift += 8)
@@ -36,42 +43,51 @@ std::vector<std::uint8_t> PppSession::encode_segment(const Segment& segment) {
   out.push_back(static_cast<std::uint8_t>(len & 0xFF));
   out.push_back(static_cast<std::uint8_t>(len >> 8));
   out.insert(out.end(), segment.payload.begin(), segment.payload.end());
-  return out;
 }
 
 std::optional<Segment> PppSession::decode_segment(
     const std::vector<std::uint8_t>& bytes) {
-  if (bytes.size() < 15) return std::nullopt;
   Segment seg;
+  if (!decode_segment_into(bytes, seg)) return std::nullopt;
+  return seg;
+}
+
+bool PppSession::decode_segment_into(const std::vector<std::uint8_t>& bytes,
+                                     Segment& out) {
+  if (bytes.size() < 15) return false;
   if (bytes[0] == 0x01) {
-    seg.type = Segment::Type::kData;
+    out.type = Segment::Type::kData;
   } else if (bytes[0] == 0x02) {
-    seg.type = Segment::Type::kAck;
+    out.type = Segment::Type::kAck;
   } else {
-    return std::nullopt;
+    return false;
   }
-  seg.seq = 0;
+  out.seq = 0;
   for (int i = 0; i < 8; ++i)
-    seg.seq |= static_cast<std::uint64_t>(bytes[1 + static_cast<std::size_t>(
-                                                      i)])
+    out.seq |= static_cast<std::uint64_t>(bytes[1 + static_cast<std::size_t>(
+                                                     i)])
                << (8 * i);
-  seg.checksum = 0;
+  out.checksum = 0;
   for (int i = 0; i < 4; ++i)
-    seg.checksum |=
+    out.checksum |=
         static_cast<std::uint32_t>(bytes[9 + static_cast<std::size_t>(i)])
         << (8 * i);
   const std::size_t len = static_cast<std::size_t>(bytes[13]) |
                           (static_cast<std::size_t>(bytes[14]) << 8);
-  if (bytes.size() != 15 + len) return std::nullopt;
-  seg.payload.assign(bytes.begin() + 15, bytes.end());
-  return seg;
+  if (bytes.size() != 15 + len) return false;
+  out.payload.assign(bytes.begin() + 15, bytes.end());
+  return true;
 }
 
 void PppSession::attach_uarts(Uart& tx, Uart& rx) {
   DESLP_EXPECTS(tx_ == nullptr);
   tx_ = &tx;
-  transport_.emplace(engine_, options_.reliable, [this](const Segment& seg) {
-    tx_->transmit(PppCodec::encode(encode_segment(seg)));
+  ReliableOptions transport_options = options_.reliable;
+  transport_options.pool = options_.pool;
+  transport_.emplace(engine_, transport_options, [this](const Segment& seg) {
+    encode_segment_into(seg, tx_segment_);
+    PppCodec::encode_into(tx_segment_, tx_frame_);
+    tx_->transmit(tx_frame_);
   });
   rx.connect([this](std::uint8_t byte) { receive_byte(byte); });
   engine_.spawn(reassembly_loop());
@@ -85,7 +101,7 @@ void PppSession::send_message(std::vector<std::uint8_t> message) {
   do {
     const std::size_t n =
         std::min(chunk_payload, message.size() - offset);
-    std::vector<std::uint8_t> chunk;
+    std::vector<std::uint8_t> chunk = acquire_buffer();
     chunk.reserve(n + 1);
     const bool final_chunk = offset + n == message.size();
     chunk.push_back(final_chunk ? kFinalChunk : kMoreChunks);
@@ -95,14 +111,16 @@ void PppSession::send_message(std::vector<std::uint8_t> message) {
     transport_->send(std::move(chunk));
     offset += n;
   } while (offset < message.size());
+  // The message was copied into chunks; recycle its heap block so a pooled
+  // sender (acquire -> fill -> send_message) cycles a fixed working set.
+  release_buffer(std::move(message));
 }
 
 void PppSession::receive_byte(std::uint8_t byte) {
-  auto frame = deframer_.feed(byte);
-  if (!frame) return;
-  auto segment = decode_segment(*frame);
-  if (!segment) return;  // malformed header: drop like a bad FCS
-  transport_->on_wire(*segment);
+  if (!deframer_.feed(byte, rx_frame_)) return;
+  // malformed header: drop like a bad FCS
+  if (!decode_segment_into(rx_frame_, rx_segment_)) return;
+  transport_->on_wire(rx_segment_);
 }
 
 sim::Task PppSession::reassembly_loop() {
@@ -112,9 +130,10 @@ sim::Task PppSession::reassembly_loop() {
     DESLP_ENSURES(!chunk->empty());
     const bool final_chunk = (*chunk)[0] == kFinalChunk;
     partial_.insert(partial_.end(), chunk->begin() + 1, chunk->end());
+    release_buffer(std::move(*chunk));
     if (final_chunk) {
       received_.send(std::move(partial_));
-      partial_.clear();
+      partial_ = acquire_buffer();
     }
   }
 }

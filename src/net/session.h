@@ -25,6 +25,7 @@
 #include "net/uart.h"
 #include "sim/channel.h"
 #include "sim/engine.h"
+#include "util/arena.h"
 
 namespace deslp::net {
 
@@ -32,6 +33,16 @@ struct SessionOptions {
   /// Maximum payload bytes per PPP frame (larger messages are segmented).
   std::size_t mtu = 512;
   ReliableOptions reliable;
+  /// Optional buffer pool (caller-owned, must outlive the session) shared
+  /// by the whole byte stack: chunk buffers, transport payloads, and
+  /// reassembled messages are acquired from and released to it, so after
+  /// warm-up the frame -> segment -> wire -> reassembly path allocates
+  /// nothing. Messages popped from `received()` are pool buffers — the
+  /// consumer should `pool->release(std::move(*msg))` when done to close
+  /// the loop. Propagated into `reliable.pool` on attach. Null (the
+  /// default) keeps plain per-message allocation; wire traffic and
+  /// delivered bytes are identical either way.
+  util::BufferPool* pool = nullptr;
 };
 
 /// One endpoint of a bidirectional PPP session. Construct two, then wire
@@ -66,8 +77,24 @@ class PppSession {
   [[nodiscard]] static std::optional<Segment> decode_segment(
       const std::vector<std::uint8_t>& bytes);
 
+  /// Hot-path variants reusing the caller's buffers: `encode_segment_into`
+  /// clears and fills `out`; `decode_segment_into` returns false on a
+  /// malformed header, reusing `out.payload`'s capacity otherwise.
+  static void encode_segment_into(const Segment& segment,
+                                  std::vector<std::uint8_t>& out);
+  static bool decode_segment_into(const std::vector<std::uint8_t>& bytes,
+                                  Segment& out);
+
  private:
   sim::Task reassembly_loop();
+
+  [[nodiscard]] std::vector<std::uint8_t> acquire_buffer() {
+    return options_.pool != nullptr ? options_.pool->acquire()
+                                    : std::vector<std::uint8_t>{};
+  }
+  void release_buffer(std::vector<std::uint8_t>&& buffer) {
+    if (options_.pool != nullptr) options_.pool->release(std::move(buffer));
+  }
 
   sim::Engine& engine_;
   SessionOptions options_;
@@ -76,6 +103,12 @@ class PppSession {
   PppDeframer deframer_;
   sim::Channel<std::vector<std::uint8_t>> received_;
   std::vector<std::uint8_t> partial_;  // message being reassembled
+  // Scratch buffers reused across segments/frames (grow to the high-water
+  // mark once, then steady-state allocation-free).
+  std::vector<std::uint8_t> tx_segment_;  // encoded segment header+payload
+  std::vector<std::uint8_t> tx_frame_;    // PPP-framed wire bytes
+  std::vector<std::uint8_t> rx_frame_;    // deframed frame body
+  Segment rx_segment_;                    // decoded segment
 };
 
 }  // namespace deslp::net

@@ -4,15 +4,22 @@
 // not in buffer space); `recv` suspends until a value, a timeout, or close.
 // Delivery resumes receivers through the event queue at the current time so
 // that coroutine stacks never nest.
+//
+// Hot-path storage: buffered values live in a grow-only ring
+// (util/ring.h), and waiting receivers form an intrusive FIFO linked
+// through the awaiter frames themselves — awaiter frames are pinned on
+// their coroutine stacks for the whole suspension, so the channel borrows
+// them instead of tracking them in a heap-backed deque. After warm-up a
+// send/recv cycle touches no allocator.
 #pragma once
 
 #include <coroutine>
-#include <deque>
 #include <optional>
 #include <utility>
 
 #include "sim/engine.h"
 #include "util/check.h"
+#include "util/ring.h"
 
 namespace deslp::sim {
 
@@ -26,9 +33,7 @@ class Channel {
   /// Enqueue a value; wakes the oldest waiting receiver, if any.
   void send(T value) {
     DESLP_EXPECTS(!closed_);
-    if (!waiters_.empty()) {
-      Waiter* w = waiters_.front();
-      waiters_.pop_front();
+    if (Waiter* w = pop_waiter()) {
       w->value = std::move(value);
       complete(w);
       return;
@@ -41,11 +46,7 @@ class Channel {
   void close() {
     if (closed_) return;
     closed_ = true;
-    while (!waiters_.empty()) {
-      Waiter* w = waiters_.front();
-      waiters_.pop_front();
-      complete(w);
-    }
+    while (Waiter* w = pop_waiter()) complete(w);
   }
 
   /// Reopen a closed channel (fault-injected brownout recovery): future
@@ -70,10 +71,13 @@ class Channel {
   }
 
  private:
+  /// Intrusive FIFO node. Lives inside a suspended RecvAwaiter frame; the
+  /// channel only holds pointers while the receive is pending.
   struct Waiter {
     std::coroutine_handle<> handle;
     std::optional<T> value;
     EventHandle timer;
+    Waiter* next = nullptr;
   };
 
   struct RecvAwaiter : Waiter {
@@ -86,15 +90,14 @@ class Channel {
 
     bool await_ready() {
       if (!ch->queue_.empty()) {
-        this->value = std::move(ch->queue_.front());
-        ch->queue_.pop_front();
+        this->value = ch->queue_.pop_front();
         return true;
       }
       return ch->closed_;
     }
     void await_suspend(std::coroutine_handle<> h) {
       this->handle = h;
-      ch->waiters_.push_back(this);
+      ch->push_waiter(this);
       if (has_timeout) {
         this->timer = ch->engine_->schedule_after(timeout, [this] {
           ch->remove_waiter(this);
@@ -105,23 +108,50 @@ class Channel {
     std::optional<T> await_resume() { return std::move(this->value); }
   };
 
+  void push_waiter(Waiter* w) {
+    w->next = nullptr;
+    if (waiter_tail_ != nullptr) {
+      waiter_tail_->next = w;
+    } else {
+      waiter_head_ = w;
+    }
+    waiter_tail_ = w;
+  }
+
+  Waiter* pop_waiter() {
+    Waiter* w = waiter_head_;
+    if (w == nullptr) return nullptr;
+    waiter_head_ = w->next;
+    if (waiter_head_ == nullptr) waiter_tail_ = nullptr;
+    w->next = nullptr;
+    return w;
+  }
+
   void complete(Waiter* w) {
     w->timer.cancel();
     engine_->post_after(Dur{0}, [w] { w->handle.resume(); });
   }
 
   void remove_waiter(Waiter* w) {
-    for (auto it = waiters_.begin(); it != waiters_.end(); ++it) {
-      if (*it == w) {
-        waiters_.erase(it);
+    Waiter* prev = nullptr;
+    for (Waiter* it = waiter_head_; it != nullptr; it = it->next) {
+      if (it == w) {
+        if (prev != nullptr)
+          prev->next = it->next;
+        else
+          waiter_head_ = it->next;
+        if (waiter_tail_ == it) waiter_tail_ = prev;
+        it->next = nullptr;
         return;
       }
+      prev = it;
     }
   }
 
   Engine* engine_;
-  std::deque<T> queue_;
-  std::deque<Waiter*> waiters_;
+  util::RingBuffer<T> queue_;
+  Waiter* waiter_head_ = nullptr;
+  Waiter* waiter_tail_ = nullptr;
   bool closed_ = false;
 };
 

@@ -112,7 +112,11 @@ EventQueue::Ticket EventQueue::push(Time at, std::uint64_t seq, EventFn fn) {
 
   insert(id);
   const std::uint32_t gen = r.gen;
-  if (stored_ > 2 * buckets_.size()) resize(2 * buckets_.size());
+  // Quadruple (not double) on growth: each resize is an O(stored)
+  // rebucket, so growing in 4x steps halves the number of rebuckets a
+  // large burst pays while landing at 0.5 occupancy — well inside the
+  // calendar sweet spot.
+  if (stored_ > 2 * buckets_.size()) resize(4 * buckets_.size());
   return {id, gen};
 }
 
@@ -135,10 +139,21 @@ EventRecord* EventQueue::peek() {
     }
   }
   // A whole lap without a hit: every live event is at least a "year"
-  // (bucket_count * width) ahead. Direct-search the bucket heads for the
-  // global minimum and jump the cursor to its window.
+  // (bucket_count * width) ahead. This is also the one trustworthy
+  // "queue went sparse" signal, so shrink the geometry to fit here —
+  // and only here — before the rescue scan: resize() retunes the bucket
+  // width to the surviving events' spacing and teleports the cursor,
+  // and because bursts never lap-miss, a fill-and-drain cycle can never
+  // thrash grow/shrink resizes the way an eager shrink-on-pop did.
+  if (buckets_.size() > kMinBuckets && stored_ < buckets_.size() / 4) {
+    std::size_t target = buckets_.size();
+    while (target > kMinBuckets && stored_ < target / 4) target /= 2;
+    resize(target);
+  }
+  // Direct-search the bucket heads for the global minimum and jump the
+  // cursor to its window.
   EventId best = kNoEvent;
-  for (std::size_t b = 0; b < n; ++b) {
+  for (std::size_t b = 0; b < buckets_.size(); ++b) {
     while (buckets_[b] != kNoEvent &&
            rec(buckets_[b]).state == State::kCancelled)
       purge_head(b);
@@ -165,8 +180,11 @@ EventId EventQueue::pop() {
   --stored_;
   --live_;
   peeked_ = kNoEvent;
-  if (buckets_.size() > kMinBuckets && stored_ < buckets_.size() / 4)
-    resize(buckets_.size() / 2);
+  // No shrink here: bursty workloads fill and drain the queue every few
+  // hundred events, and an eager halving rule would thrash grow/shrink
+  // resizes (and their scratch allocations) on every burst. The geometry
+  // shrinks only when a whole-lap miss in peek() shows the queue has
+  // actually gone sparse.
   return id;
 }
 
@@ -229,9 +247,19 @@ void EventQueue::resize(std::size_t nbuckets) {
   // from the full contents, so it is a pure function of the schedule
   // history (deterministic replay).
   if (ids.size() >= 2) {
+    // Cap the estimation cost: sorting all 8k+ timestamps of a large
+    // burst made resize the hot loop's single biggest line item. A
+    // deterministic stride sample (~1k events) estimates the median gap
+    // instead — a sorted every-k-th sample spaces neighbours ~k true
+    // gaps apart, so dividing the sample's median gap by the stride
+    // recovers the population median to well within the power-of-two
+    // rounding applied below. Queues under 2k events keep stride 1 and
+    // are bit-for-bit unchanged.
+    const std::size_t stride = ids.size() / 1024 + 1;
     std::vector<std::int64_t> ats;
-    ats.reserve(ids.size());
-    for (const EventId id : ids) ats.push_back(rec(id).at.nanos());
+    ats.reserve(ids.size() / stride + 1);
+    for (std::size_t i = 0; i < ids.size(); i += stride)
+      ats.push_back(rec(ids[i]).at.nanos());
     std::sort(ats.begin(), ats.end());
     std::vector<std::int64_t> gaps;
     gaps.reserve(ats.size() - 1);
@@ -240,7 +268,7 @@ void EventQueue::resize(std::size_t nbuckets) {
     auto mid = gaps.begin() + static_cast<std::ptrdiff_t>(gaps.size() / 2);
     std::nth_element(gaps.begin(), mid, gaps.end());
     const std::uint64_t target =
-        3 * static_cast<std::uint64_t>(*mid) + 1;  // >= 1
+        3 * (static_cast<std::uint64_t>(*mid) / stride) + 1;  // >= 1
     width_shift_ = static_cast<unsigned>(std::bit_width(target)) - 1;
   }
   cur_vb_ = vbucket(min_at);

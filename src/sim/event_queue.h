@@ -160,16 +160,24 @@ struct EventRecord {
 ///
 /// Buckets are intrusive singly-linked lists (head+tail, sorted by
 /// `(at, seq)`; the tail pointer makes the common append-in-order and
-/// many-events-same-instant cases O(1)). The bucket array doubles when the
-/// stored count exceeds 2x the bucket count and halves below 1/4, and the
-/// bucket width is recomputed at each resize as the power of two nearest
-/// 3x the median inter-event gap — the classic calendar-queue sizing rule
-/// made outlier-robust (median, not mean) and deterministic (derived from
-/// the full contents, not a sample; and a power of two, so the hot-path
-/// window math is shift+mask). There is no separate ladder: far-future
-/// simply wait in their modulo bucket for a later lap, and a whole-lap
-/// miss triggers a direct min-scan that teleports the cursor to the next
-/// occupied window, so sparse queues skip empty years in O(buckets).
+/// many-events-same-instant cases O(1)). The bucket array quadruples when
+/// the stored count exceeds 2x the bucket count; it shrinks back to fit only
+/// when a whole-lap miss shows the queue has actually gone sparse. That
+/// deliberately lazy rule matters for steady-state allocation: bursty
+/// workloads (a frame's worth of byte events scheduled and drained per
+/// message) would otherwise thrash grow/shrink resizes — and the resize
+/// scratch allocations — on every single burst. The bucket width is
+/// recomputed at each resize as the power of two nearest 3x the median
+/// inter-event gap — the classic calendar-queue sizing rule made
+/// outlier-robust (median, not mean) and deterministic (computed over
+/// the full contents up to 2k events and over a fixed-stride subset of
+/// them beyond that — a pure function of the queue state, never a random
+/// sample; and a power of two, so the hot-path window math is
+/// shift+mask). There is no separate ladder: far-future
+/// events simply wait in their modulo bucket for a later lap, and a
+/// whole-lap miss triggers a direct min-scan that teleports the cursor to
+/// the next occupied window, so sparse queues skip empty years in
+/// O(buckets).
 class EventQueue {
  public:
   EventQueue();

@@ -126,7 +126,11 @@ class [[nodiscard]] ValueTask {
     };
     FinalAwaiter final_suspend() noexcept { return {}; }
 
-    void return_value(T v) { value = std::move(v); }
+    // emplace, not operator=: the converting-assignment path trips GCC 12's
+    // -Wmaybe-uninitialized on the disengaged payload when T is itself an
+    // optional and the sanitizers change coroutine inlining; direct
+    // construction is equivalent here (value starts empty) and warning-clean.
+    void return_value(T v) { value.emplace(std::move(v)); }
     [[noreturn]] void unhandled_exception() { std::terminate(); }
   };
 

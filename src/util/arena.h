@@ -1,0 +1,243 @@
+// Object pool / arena primitives for the steady-state frame path.
+//
+// `Arena<T>` is the general-purpose sibling of the event queue's slab
+// (`sim/event_queue.h`): chunked storage that never moves, a freelist of
+// recycled slots, and generation-checked handles so a stale handle held
+// across a release aborts instead of silently aliasing the slot's next
+// occupant. Unlike the event slab, released slots keep their `T` alive —
+// recycling an object that owns heap capacity (a `net::Message` note
+// string, a payload vector) hands that capacity to the next acquirer,
+// which is the whole point: after warm-up the hot path touches the slab,
+// never the allocator.
+//
+// `BufferPool` recycles `std::vector<std::uint8_t>` byte buffers for the
+// frame → segment → PPP → reassembly stack, retaining capacity across
+// acquire/release cycles and counting how often it had to fall through to
+// the upstream allocator (the steady-state assertion is: never).
+//
+// Debug teeth: under AddressSanitizer, released `Arena` slots are poisoned
+// so a use-after-release of recycled memory faults in CI instead of
+// corrupting the next occupant.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "util/check.h"
+
+#if defined(__SANITIZE_ADDRESS__)
+#define DESLP_ARENA_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define DESLP_ARENA_ASAN 1
+#endif
+#endif
+
+#if defined(DESLP_ARENA_ASAN)
+#include <sanitizer/asan_interface.h>
+#endif
+
+namespace deslp::util {
+
+namespace detail {
+
+inline void poison_slot(const void* ptr, std::size_t size) {
+#if defined(DESLP_ARENA_ASAN)
+  __asan_poison_memory_region(ptr, size);
+#else
+  static_cast<void>(ptr);
+  static_cast<void>(size);
+#endif
+}
+
+inline void unpoison_slot(const void* ptr, std::size_t size) {
+#if defined(DESLP_ARENA_ASAN)
+  __asan_unpoison_memory_region(ptr, size);
+#else
+  static_cast<void>(ptr);
+  static_cast<void>(size);
+#endif
+}
+
+}  // namespace detail
+
+/// Slab object pool with generation-checked handles.
+///
+/// Slots live in fixed chunks so `T&` references stay stable for the life
+/// of the arena. `release` parks the object (still constructed, heap
+/// capacity intact) on a freelist and bumps the slot's generation; `get`
+/// with a stale handle trips a contract failure. Under ASan the parked
+/// slot's memory is additionally poisoned, so even raw-pointer
+/// use-after-release is caught.
+template <typename T>
+class Arena {
+ public:
+  using Index = std::uint32_t;
+
+  struct Handle {
+    Index slot = kNoneIndex;
+    std::uint32_t gen = 0;
+
+    [[nodiscard]] bool valid() const { return slot != kNoneIndex; }
+  };
+
+  Arena() = default;
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  ~Arena() {
+    // Unpoison everything before the chunk vectors run destructors over
+    // parked objects.
+    for (auto& chunk : chunks_)
+      for (auto& slot : *chunk)
+        detail::unpoison_slot(&slot.value, sizeof(T));
+  }
+
+  /// Take a slot, recycling the most recently released one when
+  /// available. The returned object is either freshly default-constructed
+  /// (new slot) or a parked previous occupant with its heap capacity
+  /// intact — callers must reset whatever fields they care about.
+  [[nodiscard]] Handle acquire() {
+    ++acquired_;
+    if (free_head_ != kNoneIndex) {
+      ++recycled_;
+      const Index idx = free_head_;
+      Slot& s = slot_at(idx);
+      detail::unpoison_slot(&s.value, sizeof(T));
+      free_head_ = s.next_free;
+      s.live = true;
+      ++live_;
+      return Handle{idx, s.gen};
+    }
+    const Index idx = static_cast<Index>(size_);
+    if (size_ == chunks_.size() * kChunkSize)
+      chunks_.push_back(std::make_unique<Chunk>(kChunkSize));
+    ++size_;
+    Slot& s = slot_at(idx);
+    s.live = true;
+    ++live_;
+    return Handle{idx, s.gen};
+  }
+
+  [[nodiscard]] T& get(Handle h) {
+    Slot& s = checked_slot(h);
+    return s.value;
+  }
+  [[nodiscard]] const T& get(Handle h) const {
+    const Slot& s = checked_slot(h);
+    return s.value;
+  }
+
+  /// Park the slot on the freelist. The object stays constructed; its
+  /// generation bumps so every outstanding handle to it goes stale.
+  void release(Handle h) {
+    Slot& s = checked_slot(h);
+    s.live = false;
+    ++s.gen;
+    s.next_free = free_head_;
+    free_head_ = h.slot;
+    DESLP_ENSURES(live_ > 0);
+    --live_;
+    detail::poison_slot(&s.value, sizeof(T));
+  }
+
+  [[nodiscard]] bool alive(Handle h) const {
+    if (h.slot >= size_) return false;
+    const Slot& s = slot_at(h.slot);
+    return s.live && s.gen == h.gen;
+  }
+
+  /// Currently acquired slots.
+  [[nodiscard]] std::size_t live() const { return live_; }
+  /// Total slots ever created (live + parked).
+  [[nodiscard]] std::size_t size() const { return size_; }
+  /// Lifetime acquire count.
+  [[nodiscard]] std::uint64_t acquired() const { return acquired_; }
+  /// Acquires served from the freelist instead of fresh slots.
+  [[nodiscard]] std::uint64_t recycled() const { return recycled_; }
+
+ private:
+  struct Slot {
+    T value{};
+    std::uint32_t gen = 0;
+    Index next_free = kNoneIndex;
+    bool live = false;
+  };
+
+  static constexpr Index kNoneIndex = 0xFFFFFFFFu;
+  static constexpr std::size_t kChunkSize = 256;
+  using Chunk = std::vector<Slot>;
+
+  [[nodiscard]] Slot& slot_at(Index idx) {
+    return (*chunks_[idx / kChunkSize])[idx % kChunkSize];
+  }
+  [[nodiscard]] const Slot& slot_at(Index idx) const {
+    return (*chunks_[idx / kChunkSize])[idx % kChunkSize];
+  }
+
+  [[nodiscard]] Slot& checked_slot(Handle h) {
+    DESLP_EXPECTS(h.slot < size_);
+    Slot& s = slot_at(h.slot);
+    DESLP_EXPECTS(s.live && s.gen == h.gen);
+    return s;
+  }
+  [[nodiscard]] const Slot& checked_slot(Handle h) const {
+    DESLP_EXPECTS(h.slot < size_);
+    const Slot& s = slot_at(h.slot);
+    DESLP_EXPECTS(s.live && s.gen == h.gen);
+    return s;
+  }
+
+  std::vector<std::unique_ptr<Chunk>> chunks_;
+  Index free_head_ = kNoneIndex;
+  std::size_t size_ = 0;
+  std::size_t live_ = 0;
+  std::uint64_t acquired_ = 0;
+  std::uint64_t recycled_ = 0;
+};
+
+/// Recycler for byte buffers on the frame path. `acquire` returns an
+/// empty vector whose heap capacity came from a previously released
+/// buffer whenever one is parked; `release` parks a buffer (cleared, but
+/// capacity retained). `upstream_allocs()` counts how many acquires had
+/// to build a fresh vector — zero growth of that counter is the
+/// steady-state no-allocation invariant the benchmarks gate on.
+class BufferPool {
+ public:
+  using Buffer = std::vector<std::uint8_t>;
+
+  [[nodiscard]] Buffer acquire() {
+    ++acquires_;
+    if (!parked_.empty()) {
+      ++reuses_;
+      Buffer b = std::move(parked_.back());
+      parked_.pop_back();
+      return b;
+    }
+    ++upstream_allocs_;
+    return Buffer{};
+  }
+
+  void release(Buffer&& b) {
+    b.clear();
+    parked_.push_back(std::move(b));
+  }
+
+  [[nodiscard]] std::size_t parked() const { return parked_.size(); }
+  [[nodiscard]] std::uint64_t acquires() const { return acquires_; }
+  [[nodiscard]] std::uint64_t reuses() const { return reuses_; }
+  [[nodiscard]] std::uint64_t upstream_allocs() const {
+    return upstream_allocs_;
+  }
+
+ private:
+  std::vector<Buffer> parked_;
+  std::uint64_t acquires_ = 0;
+  std::uint64_t reuses_ = 0;
+  std::uint64_t upstream_allocs_ = 0;
+};
+
+}  // namespace deslp::util

@@ -1,0 +1,109 @@
+// Growable ring buffer: the steady-state-allocation-free replacement for
+// the `std::deque` FIFOs on the frame hot path (channel mailboxes, the
+// Go-Back-N send queue and window, the ack-wait stash).
+//
+// libstdc++'s deque allocates and frees a 512-byte block every time the
+// cursor marches across a block boundary, so even a FIFO that never holds
+// more than one element pays a heap round-trip every few dozen messages.
+// A ring buffer grows geometrically to the high-water mark and then never
+// touches the allocator again; elements popped from the front leave their
+// moved-from shells parked in the storage, so payload capacity (e.g. a
+// `std::vector` element's heap block) is recycled by the next occupant of
+// the slot only via explicit pool logic at the call sites — the ring itself
+// neither shrinks nor releases.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "util/check.h"
+
+namespace deslp::util {
+
+template <typename T>
+class RingBuffer {
+ public:
+  RingBuffer() = default;
+
+  [[nodiscard]] std::size_t size() const { return count_; }
+  [[nodiscard]] bool empty() const { return count_ == 0; }
+  [[nodiscard]] std::size_t capacity() const { return buf_.size(); }
+
+  void push_back(T value) {
+    if (count_ == buf_.size()) grow();
+    buf_[index_of(count_)] = std::move(value);
+    ++count_;
+  }
+
+  [[nodiscard]] T& front() {
+    DESLP_EXPECTS(count_ > 0);
+    return buf_[head_];
+  }
+  [[nodiscard]] const T& front() const {
+    DESLP_EXPECTS(count_ > 0);
+    return buf_[head_];
+  }
+
+  [[nodiscard]] T& back() {
+    DESLP_EXPECTS(count_ > 0);
+    return buf_[index_of(count_ - 1)];
+  }
+  [[nodiscard]] const T& back() const {
+    DESLP_EXPECTS(count_ > 0);
+    return buf_[index_of(count_ - 1)];
+  }
+
+  /// i-th element counted from the front (0 = front).
+  [[nodiscard]] T& operator[](std::size_t i) {
+    DESLP_EXPECTS(i < count_);
+    return buf_[index_of(i)];
+  }
+  [[nodiscard]] const T& operator[](std::size_t i) const {
+    DESLP_EXPECTS(i < count_);
+    return buf_[index_of(i)];
+  }
+
+  /// Remove and return the front element. The vacated slot keeps a
+  /// moved-from shell; storage is never returned to the allocator.
+  T pop_front() {
+    DESLP_EXPECTS(count_ > 0);
+    T out = std::move(buf_[head_]);
+    head_ = next_index(head_);
+    --count_;
+    return out;
+  }
+
+  /// Drop every element (shells stay parked in the storage; capacity is
+  /// retained).
+  void clear() {
+    head_ = 0;
+    count_ = 0;
+  }
+
+ private:
+  [[nodiscard]] std::size_t index_of(std::size_t offset) const {
+    // Capacity is a power of two (see grow), so modulo is a mask.
+    return (head_ + offset) & (buf_.size() - 1);
+  }
+  [[nodiscard]] std::size_t next_index(std::size_t i) const {
+    return (i + 1) & (buf_.size() - 1);
+  }
+
+  void grow() {
+    const std::size_t ncap = buf_.empty() ? kInitialCapacity : buf_.size() * 2;
+    std::vector<T> nbuf(ncap);
+    for (std::size_t i = 0; i < count_; ++i)
+      nbuf[i] = std::move(buf_[index_of(i)]);
+    buf_ = std::move(nbuf);
+    head_ = 0;
+  }
+
+  static constexpr std::size_t kInitialCapacity = 8;
+
+  std::vector<T> buf_;
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+};
+
+}  // namespace deslp::util

@@ -1,0 +1,274 @@
+// Lockstep property tests for battery::BatteryBank.
+//
+// The bank's contract is bitwise equivalence with the scalar models: a
+// fleet of N slots stepped through `advance_all` (or through per-slot
+// `Battery` views) must track N independent scalar `Battery` instances
+// bit-for-bit — fast paths, mid-step deaths, and post-death stepping
+// alike. Every comparison below is EXPECT_EQ on raw doubles, not
+// EXPECT_NEAR: any divergence in expression order between bank.cc and
+// kibam.cc/rakhmatov.cc shows up here as a hard failure.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "battery/bank.h"
+#include "battery/battery.h"
+#include "battery/kibam.h"
+#include "battery/rakhmatov.h"
+#include "util/rng.h"
+#include "util/units.h"
+
+namespace {
+
+using deslp::battery::Battery;
+using deslp::battery::BatteryBank;
+using deslp::battery::itsy_kibam_params;
+using deslp::battery::itsy_rakhmatov_params;
+using deslp::battery::make_kibam_battery;
+using deslp::battery::make_rakhmatov_battery;
+using deslp::milliamps;
+using deslp::seconds;
+using deslp::Amps;
+using deslp::Seconds;
+using deslp::Rng;
+
+enum class Model { kKibam, kRakhmatov };
+
+std::unique_ptr<Battery> make_scalar(Model m) {
+  return m == Model::kKibam
+             ? make_kibam_battery(itsy_kibam_params())
+             : make_rakhmatov_battery(itsy_rakhmatov_params());
+}
+
+std::unique_ptr<BatteryBank> make_bank(Model m) {
+  return m == Model::kKibam
+             ? std::make_unique<BatteryBank>(itsy_kibam_params())
+             : std::make_unique<BatteryBank>(itsy_rakhmatov_params());
+}
+
+/// Assert one slot agrees with its scalar reference on every observable,
+/// bit for bit (doubles compared by value; infinities compare equal).
+void expect_slot_matches(const BatteryBank& bank, std::size_t slot,
+                         const Battery& ref, Amps probe) {
+  EXPECT_EQ(bank.empty(slot), ref.empty());
+  EXPECT_EQ(bank.state_of_charge(slot), ref.state_of_charge());
+  EXPECT_EQ(bank.nominal_remaining(slot).value(),
+            ref.nominal_remaining().value());
+  EXPECT_EQ(bank.time_to_empty(slot, probe).value(),
+            ref.time_to_empty(probe).value());
+  EXPECT_EQ(bank.can_sustain(slot, probe, seconds(40.0)),
+            ref.can_sustain(probe, seconds(40.0)));
+}
+
+class BankLockstepTest : public ::testing::TestWithParam<Model> {};
+
+// The core property: seeded random load schedules (current spikes, rests,
+// long steps — enough cumulative charge to kill several slots mid-run)
+// stepped via advance_all track N independent scalar batteries exactly.
+TEST_P(BankLockstepTest, AdvanceAllTracksScalarBatteriesBitForBit) {
+  const Model model = GetParam();
+  constexpr std::size_t kNodes = 24;
+  constexpr int kSteps = 400;
+
+  auto bank = make_bank(model);
+  std::vector<std::unique_ptr<Battery>> refs;
+  for (std::size_t n = 0; n < kNodes; ++n) {
+    bank->add_slot();
+    refs.push_back(make_scalar(model));
+  }
+
+  Rng rng(model == Model::kKibam ? 0xB4771u : 0xB4772u);
+  std::vector<Amps> loads(kNodes, milliamps(0.0));
+  std::vector<Seconds> sustained(kNodes, seconds(0.0));
+  int deaths_seen = 0;
+
+  for (int step = 0; step < kSteps; ++step) {
+    // Mixed schedule: mostly heavy draws (to reach death paths within the
+    // step budget), occasional rests to exercise the recovery terms.
+    const double dt = rng.uniform(1.0, 2000.0);
+    for (std::size_t n = 0; n < kNodes; ++n) {
+      const double mode = rng.uniform();
+      const double ma = mode < 0.15 ? 0.0 : rng.uniform(20.0, 4000.0);
+      loads[n] = milliamps(ma);
+    }
+    bank->advance_all(loads, seconds(dt), sustained);
+    for (std::size_t n = 0; n < kNodes; ++n) {
+      const Seconds got = refs[n]->discharge(loads[n], seconds(dt));
+      EXPECT_EQ(sustained[n].value(), got.value())
+          << "slot " << n << " step " << step;
+      if (refs[n]->empty()) ++deaths_seen;
+    }
+  }
+
+  const Amps probe = milliamps(85.0);
+  for (std::size_t n = 0; n < kNodes; ++n) {
+    SCOPED_TRACE(n);
+    expect_slot_matches(*bank, n, *refs[n], probe);
+  }
+  // The schedule above must actually have exercised the death path.
+  EXPECT_GT(deaths_seen, 0) << "schedule too gentle: no mid-step deaths";
+}
+
+// Same property driven through the per-slot Battery views — the interface
+// core::Node holds — including discharge on already-dead slots.
+TEST_P(BankLockstepTest, ViewsTrackScalarBatteriesBitForBit) {
+  const Model model = GetParam();
+  constexpr std::size_t kNodes = 8;
+  constexpr int kSteps = 300;
+
+  auto bank = make_bank(model);
+  std::vector<std::unique_ptr<Battery>> views;
+  std::vector<std::unique_ptr<Battery>> refs;
+  for (std::size_t n = 0; n < kNodes; ++n) {
+    views.push_back(bank->add_view());
+    refs.push_back(make_scalar(model));
+  }
+
+  Rng rng(model == Model::kKibam ? 0x51DE1u : 0x51DE2u);
+  for (int step = 0; step < kSteps; ++step) {
+    for (std::size_t n = 0; n < kNodes; ++n) {
+      const Amps i = milliamps(rng.uniform() < 0.2
+                                   ? 0.0
+                                   : rng.uniform(10.0, 5000.0));
+      const Seconds dt = seconds(rng.uniform(0.5, 3000.0));
+      const double got = views[n]->discharge(i, dt).value();
+      const double want = refs[n]->discharge(i, dt).value();
+      EXPECT_EQ(got, want) << "slot " << n << " step " << step;
+      EXPECT_EQ(views[n]->empty(), refs[n]->empty());
+      EXPECT_EQ(views[n]->state_of_charge(), refs[n]->state_of_charge());
+    }
+  }
+}
+
+// Death and revive: a killed slot reports empty and sustains nothing, and
+// reset() through the view restores the factory state exactly (how
+// fault-injection revives a node's pack).
+TEST_P(BankLockstepTest, DeathAndResetMatchScalar) {
+  const Model model = GetParam();
+  auto bank = make_bank(model);
+  auto view = bank->add_view();
+  auto ref = make_scalar(model);
+
+  // Drain to death with a heavy constant load.
+  const Amps heavy = milliamps(6000.0);
+  for (int step = 0; step < 10000 && !ref->empty(); ++step) {
+    const double got = view->discharge(heavy, seconds(3600.0)).value();
+    const double want = ref->discharge(heavy, seconds(3600.0)).value();
+    ASSERT_EQ(got, want);
+  }
+  ASSERT_TRUE(ref->empty());
+  EXPECT_TRUE(view->empty());
+  EXPECT_EQ(view->discharge(heavy, seconds(10.0)).value(),
+            ref->discharge(heavy, seconds(10.0)).value());
+  EXPECT_EQ(view->time_to_empty(heavy).value(),
+            ref->time_to_empty(heavy).value());
+
+  // Revive.
+  view->reset();
+  ref->reset();
+  expect_slot_matches(*bank, 0, *ref, milliamps(120.0));
+  EXPECT_EQ(view->discharge(heavy, seconds(100.0)).value(),
+            ref->discharge(heavy, seconds(100.0)).value());
+}
+
+// Views clone() into self-contained batteries: the clone matches the
+// source state, then evolves independently of the bank.
+TEST_P(BankLockstepTest, ViewCloneDetachesFromBank) {
+  const Model model = GetParam();
+  auto bank = make_bank(model);
+  auto view = bank->add_view();
+  auto ref = make_scalar(model);
+
+  view->discharge(milliamps(500.0), seconds(1000.0));
+  ref->discharge(milliamps(500.0), seconds(1000.0));
+
+  auto clone = view->clone();
+  EXPECT_EQ(clone->state_of_charge(), ref->state_of_charge());
+  EXPECT_EQ(clone->describe(), ref->describe());
+
+  // Diverge the original; the clone must not move.
+  const double soc_before = clone->state_of_charge();
+  view->discharge(milliamps(500.0), seconds(1000.0));
+  EXPECT_EQ(clone->state_of_charge(), soc_before);
+
+  // And the clone still steps like the scalar from the cloned state.
+  ref->reset();
+  auto scalar_twin = make_scalar(model);
+  scalar_twin->discharge(milliamps(500.0), seconds(1000.0));
+  EXPECT_EQ(clone->discharge(milliamps(300.0), seconds(500.0)).value(),
+            scalar_twin->discharge(milliamps(300.0), seconds(500.0)).value());
+  EXPECT_EQ(clone->state_of_charge(), scalar_twin->state_of_charge());
+}
+
+// Zero-length and zero-current steps are exact no-ops/identities, same as
+// the scalar sentinels.
+TEST_P(BankLockstepTest, ZeroSentinelsMatchScalar) {
+  const Model model = GetParam();
+  auto bank = make_bank(model);
+  bank->add_slot();
+  auto ref = make_scalar(model);
+
+  std::vector<Amps> zero{milliamps(0.0)};
+  bank->advance_all(zero, seconds(12345.0));
+  ref->discharge(milliamps(0.0), seconds(12345.0));
+  expect_slot_matches(*bank, 0, *ref, milliamps(0.0));
+  EXPECT_TRUE(std::isinf(bank->time_to_empty(0, milliamps(0.0)).value()));
+
+  std::vector<Amps> load{milliamps(250.0)};
+  bank->advance_all(load, seconds(0.0));
+  ref->discharge(milliamps(250.0), seconds(0.0));
+  expect_slot_matches(*bank, 0, *ref, milliamps(250.0));
+}
+
+TEST_P(BankLockstepTest, DescribeMatchesScalar) {
+  const Model model = GetParam();
+  auto bank = make_bank(model);
+  EXPECT_EQ(bank->describe(), make_scalar(model)->describe());
+}
+
+INSTANTIATE_TEST_SUITE_P(BothModels, BankLockstepTest,
+                         ::testing::Values(Model::kKibam, Model::kRakhmatov),
+                         [](const auto& info) {
+                           return info.param == Model::kKibam ? "Kibam"
+                                                              : "Rakhmatov";
+                         });
+
+// Capacity-variance wiring: pre-discharging a view (how PipelineSystem
+// applies kCapacityScale faults through the public interface) leaves the
+// slot in exactly the state the scalar path would produce.
+TEST(BatteryBankTest, PreDischargeMatchesScalarCapacityScaling) {
+  auto bank = std::make_unique<BatteryBank>(itsy_kibam_params());
+  auto view = bank->add_view();
+  auto ref = make_kibam_battery(itsy_kibam_params());
+
+  const double factor = 0.6;
+  const Amps reference = milliamps(100.0);
+  const Seconds burn_v = view->time_to_empty(reference) * (1.0 - factor);
+  const Seconds burn_r = ref->time_to_empty(reference) * (1.0 - factor);
+  EXPECT_EQ(burn_v.value(), burn_r.value());
+  view->discharge(reference, burn_v);
+  ref->discharge(reference, burn_r);
+  EXPECT_EQ(view->state_of_charge(), ref->state_of_charge());
+}
+
+TEST(BatteryBankTest, ResetAllRestoresEverySlot) {
+  auto bank = std::make_unique<BatteryBank>(itsy_rakhmatov_params());
+  std::vector<Amps> loads;
+  for (int n = 0; n < 4; ++n) {
+    bank->add_slot();
+    loads.push_back(milliamps(400.0 * (n + 1)));
+  }
+  bank->advance_all(loads, seconds(5000.0));
+  bank->reset_all();
+  auto fresh = make_rakhmatov_battery(itsy_rakhmatov_params());
+  for (std::size_t n = 0; n < 4; ++n) {
+    EXPECT_EQ(bank->state_of_charge(n), fresh->state_of_charge());
+    EXPECT_FALSE(bank->empty(n));
+  }
+}
+
+}  // namespace

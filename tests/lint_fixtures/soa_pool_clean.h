@@ -1,0 +1,63 @@
+// Clean fixture mirroring the PR 7 hot-path headers (battery/bank.h,
+// util/arena.h, util/ring.h, core/node_state.h): SoA arrays stepped in
+// bulk, a recycling pool over a slab arena, and packed per-node state.
+// Pins that the linter stays quiet on these idioms:
+//   - float arithmetic on time/energy-like names without ==/!= (float-eq
+//     must not fire on <, *, or fma-style updates);
+//   - comment/string mentions of banned tokens — std::steady_clock reads
+//     and std::random_device belong in prose here, not findings;
+//   - placement new, alignas, and power-of-two mask math.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <vector>
+
+namespace lintfix {
+
+// "We considered timing this with std::chrono::steady_clock::now()" is a
+// sentence, not a wall-clock read.
+struct SoaBank {
+  std::vector<double> charge_available;
+  std::vector<double> charge_bound;
+
+  void advance_all(const std::vector<double>& loads, double dt) {
+    const char* note = "seeded, never std::random_device";
+    (void)note;
+    for (std::size_t i = 0; i < charge_available.size(); ++i) {
+      const double drawn = loads[i] * dt;
+      // Threshold comparisons on floating state are fine; only ==/!= are
+      // flagged.
+      if (charge_available[i] < drawn) {
+        charge_available[i] = 0.0;
+      } else {
+        charge_available[i] -= drawn;
+        charge_bound[i] += 0.5 * drawn;
+      }
+    }
+  }
+};
+
+class SlotPool {
+ public:
+  static constexpr std::size_t kSlots = 16;  // power of two: index is a mask
+
+  void* acquire() {
+    const std::size_t slot = next_++ & (kSlots - 1);
+    return ::new (static_cast<void*>(&storage_[slot * kStride])) char[kStride];
+  }
+
+ private:
+  static constexpr std::size_t kStride = 64;
+  alignas(std::max_align_t) char storage_[kSlots * kStride]{};
+  std::size_t next_ = 0;
+};
+
+struct PackedNodeHot {
+  std::uint32_t pending_frames = 0;
+  std::uint16_t dvs_level = 0;
+  std::uint8_t powered = 1;
+};
+
+}  // namespace lintfix

@@ -26,6 +26,12 @@
 #                    build dir ${BUILD_DIR}-<mode>; not in the default set —
 #                    the CI matrix fans them out, locally run e.g.
 #                    `tools/ci_checks.sh asan`)
+#   asan-arena     AddressSanitizer build + ctest -L arena only — the
+#                  arena/pool recycling suite (buffer reuse, steady-state
+#                  zero-allocation paths) is exactly where a lifetime bug
+#                  would hide, so it gets its own targeted ASan gate that
+#                  a CI lane can run without paying for the full suite
+#                  (shares the ${BUILD_DIR}-address tree with asan)
 #
 # Environment:
 #   BUILD_DIR   build directory (default: build-ci)
@@ -100,6 +106,12 @@ step_sanitize() {
     ctest --test-dir "$dir" --output-on-failure -j "$JOBS"
 }
 
+step_asan_arena() {
+  local dir="$BUILD_DIR-address"
+  configure_build "$dir" -DDESLP_SANITIZE=address &&
+    ctest --test-dir "$dir" -L arena --output-on-failure -j "$JOBS"
+}
+
 dispatch() {
   case $1 in
     pycheck) run_step pycheck step_pycheck ;;
@@ -121,6 +133,7 @@ dispatch() {
     bench) run_step bench step_bench ;;
     bench-check) run_step bench-check step_bench_gate ;;
     asan) run_step asan step_sanitize address ;;
+    asan-arena) run_step asan-arena step_asan_arena ;;
     tsan) run_step tsan step_sanitize thread ;;
     ubsan) run_step ubsan step_sanitize undefined ;;
     *)
