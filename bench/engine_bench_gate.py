@@ -24,9 +24,15 @@ a pass or a failure:
      BM_StackFramePathAllocs (pooled PPP byte stack) report an
      `allocs_per_frame` counter from a global operator-new hook; it must
      be exactly zero.
+  4. Unarmed monitor overhead: the same metered 10k-event workload with a
+     zero-monitor MonitorSet armed on the registry
+     (BM_EngineEventThroughputUnarmedMonitors); its time must stay within
+     --max-monitor-overhead of BM_EngineEventThroughputMetered and its
+     event loop must report `allocs_per_event` of exactly zero — monitors
+     you did not ask for cost nothing.
 
-The committed baseline (bench/BENCH_pr7.json, regenerated with the
-bench-gate filter when perf changes land) is enforced the same three ways,
+The committed baseline (bench/BENCH_pr8.json, regenerated with the
+bench-gate filter when perf changes land) is enforced the same four ways,
 so nobody can re-baseline away a regression; additionally the candidate's
 absolute times are compared against it with a generous --warn-slowdown
 band that prints a loud warning but never fails (absolute times are not
@@ -41,15 +47,23 @@ import sys
 
 ENGINE = "BM_EngineEventThroughput"
 REFERENCE = "BM_ReferenceHeapEventThroughput"
+METERED = "BM_EngineEventThroughputMetered"
+UNARMED = "BM_EngineEventThroughputUnarmedMonitors"
 BATTERY_PAIRS = (
     ("BM_BatteryScalarAdvanceKibam", "BM_BatteryBankAdvanceKibam"),
     ("BM_BatteryScalarAdvanceRakhmatov", "BM_BatteryBankAdvanceRakhmatov"),
 )
-ALLOC_BENCHES = ("BM_FramePathAllocs", "BM_StackFramePathAllocs")
-ALLOC_COUNTER = "allocs_per_frame"
-WATCHED = (ENGINE, REFERENCE, "BM_EngineEventThroughputMetered",
+# bench name -> the per-item allocation counter it reports; every one must
+# read exactly zero.
+ALLOC_BENCHES = {
+    "BM_FramePathAllocs": "allocs_per_frame",
+    "BM_StackFramePathAllocs": "allocs_per_frame",
+    UNARMED: "allocs_per_event",
+}
+WATCHED = (ENGINE, REFERENCE, METERED, UNARMED,
            "BM_Fig10EventsPerSecond") + tuple(
-               name for pair in BATTERY_PAIRS for name in pair) + ALLOC_BENCHES
+               name for pair in BATTERY_PAIRS for name in pair) + tuple(
+               ALLOC_BENCHES)
 
 
 def load(path):
@@ -81,8 +95,9 @@ def load(path):
         t = float(b["real_time"])
         name = b["name"]
         times[name] = min(times[name], t) if name in times else t
-        if ALLOC_COUNTER in b:
-            a = float(b[ALLOC_COUNTER])
+        counter = ALLOC_BENCHES.get(name)
+        if counter is not None and counter in b:
+            a = float(b[counter])
             allocs[name] = max(allocs.get(name, 0.0), a)
     if not times:
         sys.exit(f"error: no benchmark entries in {path}")
@@ -101,12 +116,15 @@ def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("candidate", help="google-benchmark JSON from this run")
     ap.add_argument("--baseline", required=True,
-                    help="committed baseline JSON (bench/BENCH_pr7.json)")
+                    help="committed baseline JSON (bench/BENCH_pr8.json)")
     ap.add_argument("--min-speedup", type=float, default=1.5,
                     help="required reference/engine ratio (default 1.5)")
     ap.add_argument("--min-battery-speedup", type=float, default=3.0,
                     help="required scalar/bank fleet-stepping ratio, per "
                     "battery model (default 3.0)")
+    ap.add_argument("--max-monitor-overhead", type=float, default=1.02,
+                    help="ceiling on the unarmed-monitors/metered engine "
+                    "time ratio (default 1.02 = 2%% overhead)")
     ap.add_argument("--warn-slowdown", type=float, default=0.5,
                     help="fractional slowdown vs the committed baseline "
                     "that triggers a warning (default 0.5 = 50%%; never "
@@ -140,27 +158,45 @@ def main():
                   file=sys.stderr)
             failed = True
 
+    def check_overhead(label, extra, base_name, ceiling):
+        nonlocal failed
+        c = ratio_of(cand, extra, base_name, args.candidate)
+        b = ratio_of(base, extra, base_name, args.baseline)
+        print(f"{label:<36}  {b:>11.2f}x {c:>11.2f}x")
+        if c > ceiling:
+            print(f"\nFAIL: {label} {c:.3f}x exceeds the {ceiling:.3f}x "
+                  f"ceiling", file=sys.stderr)
+            failed = True
+        if b > ceiling:
+            print(f"\nFAIL: committed baseline {args.baseline} records a "
+                  f"{b:.3f}x {label} — it was regenerated on a regressed "
+                  f"build; fix the regression, then re-baseline",
+                  file=sys.stderr)
+            failed = True
+
     check_ratio("speedup (reference/engine)", REFERENCE, ENGINE,
                 args.min_speedup)
     for slow, fast in BATTERY_PAIRS:
         model = fast.removeprefix("BM_BatteryBankAdvance")
         check_ratio(f"battery speedup ({model})", slow, fast,
                     args.min_battery_speedup)
+    check_overhead("monitor overhead (unarmed/metered)", UNARMED, METERED,
+                   args.max_monitor_overhead)
 
-    for name in ALLOC_BENCHES:
+    for name, counter in ALLOC_BENCHES.items():
         for which, report in (("candidate", cand_allocs),
                               ("baseline", base_allocs)):
             if name not in report:
-                sys.exit(f"error: {name} ({which}) has no {ALLOC_COUNTER} "
+                sys.exit(f"error: {name} ({which}) has no {counter} "
                          f"counter; run micro_kernels with a filter that "
                          f"includes it")
             a = report[name]
-            print(f"{name + ' ' + ALLOC_COUNTER:<36}  {which:>12}  "
+            print(f"{name + ' ' + counter:<36}  {which:>12}  "
                   f"{a:>12.2f}")
             if a != 0.0:
                 print(f"\nFAIL: {name} ({which}) leaks {a:.2f} allocations "
-                      f"per frame; the steady-state frame path must not "
-                      f"touch the allocator", file=sys.stderr)
+                      f"per item; this steady-state path must not touch "
+                      f"the allocator", file=sys.stderr)
                 failed = True
 
     for name in WATCHED:
@@ -174,8 +210,8 @@ def main():
 
     if failed:
         return 1
-    print("\nOK: every same-process ratio is above its floor and the "
-          "frame paths allocate nothing")
+    print("\nOK: every same-process ratio is inside its bound and the "
+          "steady-state paths allocate nothing")
     return 0
 
 

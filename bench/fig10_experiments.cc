@@ -16,13 +16,26 @@
 //   --trace-json <path>  re-run one experiment (--trace-exp, default 2C)
 //                        with full tracing and write a Perfetto-loadable
 //                        Chrome trace-event file
+//   --monitors <path>    arm runtime monitors from a [monitor] INI section
+//                        on every run; prints a violation summary and exits
+//                        non-zero when a fail/abort monitor fired
+//   --profile-json <path> re-run one experiment (--profile-exp, default 2C)
+//                        with the sim-time profiler and write the
+//                        flame-style scope JSON
+//   --aggregate-json <path> write streaming fleet-level statistics
+//                        (count/mean/min/max/p50/p95 per series) across
+//                        all experiments
 #include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <optional>
 
 #include "core/report.h"
+#include "obs/aggregate.h"
+#include "obs/monitor.h"
+#include "obs/profiler.h"
 #include "obs/trace_export.h"
+#include "util/config.h"
 #include "util/flags.h"
 
 int main(int argc, char** argv) {
@@ -43,11 +56,42 @@ int main(int argc, char** argv) {
                    "experiment to this JSON file");
   flags.add_string("trace-exp", "2C",
                    "experiment id to trace for --trace-json");
+  flags.add_string("monitors", "",
+                   "arm runtime monitors from this INI file's [monitor] "
+                   "section on every experiment");
+  flags.add_string("profile-json", "",
+                   "re-run one experiment (--profile-exp) with the "
+                   "sim-time profiler and write its scope JSON here");
+  flags.add_string("profile-exp", "2C",
+                   "experiment id to profile for --profile-json");
+  flags.add_string("aggregate-json", "",
+                   "write streaming fleet-level statistics across all "
+                   "experiments to this JSON file");
   if (!flags.parse(argc, argv)) return 1;
 
   core::ExperimentSuite::Options options;
   options.jobs = static_cast<int>(flags.get_int("jobs"));
-  options.collect_metrics = !flags.get_string("report-json").empty();
+  options.collect_metrics = !flags.get_string("report-json").empty() ||
+                            !flags.get_string("aggregate-json").empty();
+  const std::string monitors_path = flags.get_string("monitors");
+  if (!monitors_path.empty()) {
+    std::string error;
+    const auto config = Config::load(monitors_path, &error);
+    if (!config) {
+      std::fprintf(stderr, "--monitors %s: %s\n", monitors_path.c_str(),
+                   error.c_str());
+      return 1;
+    }
+    auto specs = obs::monitor_specs_from_config(*config, &error);
+    if (!specs) {
+      std::fprintf(stderr, "--monitors %s: %s\n", monitors_path.c_str(),
+                   error.c_str());
+      return 1;
+    }
+    options.monitors = std::move(*specs);
+    options.monitor_checkpoint_s =
+        obs::monitor_checkpoint_from_config(*config, 0.0);
+  }
   core::ExperimentSuite suite(options);
   const auto results = suite.run_all(core::paper_experiments());
 
@@ -110,6 +154,66 @@ int main(int argc, char** argv) {
     std::printf("(wrote %s: trace of experiment %s — open in "
                 "https://ui.perfetto.dev)\n",
                 trace_path.c_str(), trace_id.c_str());
+  }
+
+  const std::string profile_path = flags.get_string("profile-json");
+  if (!profile_path.empty()) {
+    // Same pattern as --trace-json: the batch above runs unprofiled, so
+    // the table numbers are untouched; one experiment is re-run with the
+    // sim-time profiler attached.
+    const std::string profile_id = flags.get_string("profile-exp");
+    std::optional<core::ExperimentSpec> spec;
+    for (const auto& s : core::paper_experiments())
+      if (s.id == profile_id) spec = s;
+    if (!spec || spec->kind == core::ExperimentSpec::Kind::kNoIo) {
+      std::fprintf(stderr,
+                   "--profile-exp %s: unknown id or analytic (no-I/O) "
+                   "experiment; nothing to profile\n",
+                   profile_id.c_str());
+      return 1;
+    }
+    obs::Profiler profiler;
+    (void)suite.run(*spec, nullptr, &profiler);
+    std::ofstream os(profile_path);
+    profiler.write_json(os);
+    std::printf("(wrote %s: %zu profile scopes of experiment %s, "
+                "%.1f J attributed)\n",
+                profile_path.c_str(), profiler.size(), profile_id.c_str(),
+                profiler.total_energy_j());
+  }
+
+  const std::string aggregate_path = flags.get_string("aggregate-json");
+  if (!aggregate_path.empty()) {
+    obs::Aggregator agg;
+    core::aggregate_results(results, agg);
+    std::ofstream os(aggregate_path);
+    agg.write_json(os);
+    os << '\n';
+    std::printf("(wrote %s: %zu aggregated series over %lld runs)\n",
+                aggregate_path.c_str(), agg.size(), agg.runs());
+  }
+
+  if (!monitors_path.empty()) {
+    long long total = 0;
+    long long checks = 0;
+    bool failed = false;
+    for (const auto& r : results) {
+      total += r.details.violations_total;
+      checks += r.details.monitor_checks;
+      failed = failed || r.details.monitors_failed;
+      for (const auto& v : r.details.violations) {
+        std::printf("[monitor] %s %s: %s at t=%.3fs (%s)\n", r.id.c_str(),
+                    obs::severity_name(v.severity), v.monitor.c_str(),
+                    v.at_s, v.values.c_str());
+      }
+    }
+    std::printf("\n== Monitors: %lld violation(s) across %lld check(s) ==\n",
+                total, checks);
+    if (failed) {
+      std::fprintf(stderr, "monitors: at least one fail/abort monitor "
+                           "fired\n");
+      return 2;
+    }
   }
   return 0;
 }

@@ -29,7 +29,9 @@
 #include "net/hub.h"
 #include "net/ppp.h"
 #include "net/session.h"
+#include "obs/aggregate.h"
 #include "obs/metrics.h"
+#include "obs/monitor.h"
 #include "sim/engine.h"
 #include "sim/reference_queue.h"
 #include "util/arena.h"
@@ -339,6 +341,102 @@ void BM_EngineEventThroughputMetered(benchmark::State& state) {
                           10000);
 }
 BENCHMARK(BM_EngineEventThroughputMetered);
+
+void BM_EngineEventThroughputUnarmedMonitors(benchmark::State& state) {
+  // BM_EngineEventThroughputMetered with the monitor layer present but
+  // unarmed: a MonitorSet bound to the registry with zero monitors — no
+  // watchers installed, no checkpoint events posted. The gate
+  // (bench/engine_bench_gate.py) holds this within 2% of the metered run
+  // and requires the event loop itself to stay allocation-free
+  // (`allocs_per_event` == 0): monitors you did not ask for must cost
+  // nothing.
+  std::uint64_t allocs = 0;
+  std::int64_t events = 0;
+  for (auto _ : state) {
+    sim::Engine engine;
+    obs::Registry registry;
+    engine.bind_metrics(registry);
+    obs::MonitorSet monitors;
+    monitors.arm(registry,
+                 [&engine] { return sim::to_seconds(engine.now()).value(); });
+    long long fired = 0;
+    for (int i = 0; i < 10000; ++i)
+      engine.schedule_at(sim::Time{i * 1000}, [&fired] { ++fired; });
+    const std::uint64_t before = g_allocs.load(std::memory_order_relaxed);
+    engine.run();
+    allocs += g_allocs.load(std::memory_order_relaxed) - before;
+    events += 10000;
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          10000);
+  state.counters["allocs_per_event"] = benchmark::Counter(
+      events > 0 ? static_cast<double>(allocs) / static_cast<double>(events)
+                 : 0.0);
+}
+BENCHMARK(BM_EngineEventThroughputUnarmedMonitors);
+
+void BM_MonitorCheckpointEval(benchmark::State& state) {
+  // One checkpoint sweep over a representative armed monitor set: a
+  // threshold, a cross-metric predicate, a rate(), and an hwm() cap —
+  // all true, so this prices the evaluation path, not emission.
+  obs::Registry registry;
+  obs::Counter sent = registry.counter("bench.sent");
+  obs::Counter done = registry.counter("bench.done");
+  obs::Gauge depth = registry.gauge("bench.depth");
+  sent.inc(100.0);
+  done.inc(60.0);
+  depth.set(3.0);
+
+  obs::MonitorSet monitors;
+  const auto add = [&monitors](const char* name, const char* expr) {
+    obs::MonitorSpec spec;
+    spec.name = name;
+    spec.expression = expr;
+    const bool ok = monitors.add(std::move(spec));
+    if (!ok) std::abort();
+  };
+  add("threshold", "bench.depth < 100");
+  add("cross", "bench.done <= bench.sent");
+  add("rate", "rate(bench.done) >= 0");
+  add("hwm", "hwm(bench.depth) <= 1000");
+  double now_s = 0.0;
+  monitors.arm(registry, [&now_s] { return now_s; });
+
+  for (auto _ : state) {
+    for (int i = 0; i < 1000; ++i) {
+      now_s += 1.0;
+      done.inc();
+      monitors.check(now_s);
+    }
+    benchmark::DoNotOptimize(monitors);
+  }
+  if (monitors.violation_total() != 0) std::abort();
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          1000);
+}
+BENCHMARK(BM_MonitorCheckpointEval);
+
+void BM_AggregatorObserve(benchmark::State& state) {
+  // Streaming constant-memory aggregation: one observation into a
+  // three-series Aggregator, values sweeping four decades so the
+  // log-binned histogram path (not just min/max bookkeeping) is priced.
+  obs::Aggregator agg;
+  double v = 0.001;
+  for (auto _ : state) {
+    for (int i = 0; i < 1000; ++i) {
+      agg.observe("bench.a", v);
+      agg.observe("bench.b", 10.0 * v);
+      agg.observe("bench.c", static_cast<double>(i));
+      v *= 1.01;
+      if (v > 10.0) v = 0.001;
+    }
+    benchmark::DoNotOptimize(agg);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          3000);
+}
+BENCHMARK(BM_AggregatorObserve);
 
 void BM_PppEncodeDecode(benchmark::State& state) {
   Rng rng(4);

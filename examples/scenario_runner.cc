@@ -6,19 +6,46 @@
 //   $ ./scenario_runner --print-default > my.ini  # starting template
 //   $ ./scenario_runner --trace-json=out.json s.ini  # Perfetto trace
 //   $ ./scenario_runner --fault-plan=faults.ini s.ini  # inject faults
+//   $ ./scenario_runner --monitors=monitors.ini s.ini  # arm monitors
+//   $ ./scenario_runner --report-json=report.json s.ini
 //
 // See examples/scenarios/ for ready-made files (the paper's experiments
 // and a few variations). A --fault-plan file is an INI with a [fault]
 // section (DESIGN.md §10) and overrides any [fault] section the scenario
-// itself carries.
+// itself carries. A --monitors file carries a [monitor] section
+// (DESIGN.md §11) whose monitors are added to the scenario's own —
+// reusing a monitor name the scenario already defines is a duplicate-key
+// error.
 #include <cstdio>
 #include <fstream>
+#include <sstream>
 
+#include "core/report.h"
 #include "core/scenario.h"
 #include "fault/fault.h"
+#include "obs/aggregate.h"
+#include "obs/monitor.h"
+#include "obs/profiler.h"
 #include "obs/trace_export.h"
 #include "util/flags.h"
 #include "util/table.h"
+
+namespace {
+
+bool read_file(const std::string& path, std::string* out,
+               std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    *error = "cannot open '" + path + "'";
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  *out = buf.str();
+  return true;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace deslp;
@@ -32,6 +59,18 @@ int main(int argc, char** argv) {
   flags.add_string("fault-plan", "",
                    "INI file with a [fault] section; its plan overrides "
                    "the scenario's own [fault] section");
+  flags.add_string("monitors", "",
+                   "INI file with a [monitor] section; its monitors are "
+                   "added to the scenario's own");
+  flags.add_string("report-json", "",
+                   "write the structured scenario report (summary, node "
+                   "detail, violations, metrics) to this JSON file");
+  flags.add_string("profile-json", "",
+                   "attach the sim-time profiler and write its scope "
+                   "JSON (energy + wall time per node/stage) here");
+  flags.add_string("aggregate-json", "",
+                   "write streaming statistics (count/mean/min/max/"
+                   "p50/p95 per series) for this run to this JSON file");
   if (!flags.parse(argc, argv)) return 1;
   if (flags.get_bool("print-default")) {
     std::fputs(core::default_scenario_text().c_str(), stdout);
@@ -39,12 +78,25 @@ int main(int argc, char** argv) {
   }
 
   std::string error;
-  std::optional<Config> config;
+  std::string text;
   if (flags.positional().empty()) {
-    config = Config::parse(core::default_scenario_text(), &error);
-  } else {
-    config = Config::load(flags.positional()[0], &error);
+    text = core::default_scenario_text();
+  } else if (!read_file(flags.positional()[0], &text, &error)) {
+    std::fprintf(stderr, "scenario: %s\n", error.c_str());
+    return 1;
   }
+  const std::string monitors_path = flags.get_string("monitors");
+  if (!monitors_path.empty()) {
+    // The scenario and monitor files share one INI namespace, so the
+    // parser's duplicate-key check applies across both.
+    std::string monitors_text;
+    if (!read_file(monitors_path, &monitors_text, &error)) {
+      std::fprintf(stderr, "monitors: %s\n", error.c_str());
+      return 1;
+    }
+    text += "\n" + monitors_text;
+  }
+  const auto config = Config::parse(text, &error);
   if (!config) {
     std::fprintf(stderr, "scenario: %s\n", error.c_str());
     return 1;
@@ -70,10 +122,13 @@ int main(int argc, char** argv) {
   }
 
   const std::string trace_path = flags.get_string("trace-json");
+  const std::string profile_path = flags.get_string("profile-json");
   core::RunObservation capture;
+  obs::Profiler profiler;
   const auto outcome = core::run_scenario(
       *config, fault_plan ? &*fault_plan : nullptr,
-      trace_path.empty() ? nullptr : &capture, &error);
+      trace_path.empty() ? nullptr : &capture,
+      profile_path.empty() ? nullptr : &profiler, &error);
   if (!outcome) {
     std::fprintf(stderr, "scenario: %s\n", error.c_str());
     return 1;
@@ -83,6 +138,47 @@ int main(int argc, char** argv) {
     obs::write_chrome_trace(capture.trace, capture.counters, os);
     std::printf("(wrote %s — open in https://ui.perfetto.dev)\n\n",
                 trace_path.c_str());
+  }
+  if (!profile_path.empty()) {
+    std::ofstream os(profile_path);
+    profiler.write_json(os);
+    std::printf("(wrote %s — %zu profile scopes, %.1f J attributed)\n\n",
+                profile_path.c_str(), profiler.size(),
+                profiler.total_energy_j());
+  }
+  const std::string report_path = flags.get_string("report-json");
+  if (!report_path.empty()) {
+    std::ofstream os(report_path);
+    core::write_scenario_report_json(*outcome, os);
+    std::printf("(wrote %s)\n\n", report_path.c_str());
+  }
+  const std::string aggregate_path = flags.get_string("aggregate-json");
+  if (!aggregate_path.empty()) {
+    obs::Aggregator agg;
+    agg.observe("run.frames",
+                static_cast<double>(outcome->run.frames_completed));
+    agg.observe("run.T_h", to_hours(outcome->battery_life));
+    agg.observe("run.Tnorm_h", to_hours(outcome->normalized_life));
+    agg.observe("run.frames_lost",
+                static_cast<double>(outcome->run.frames_lost));
+    for (const auto& n : outcome->run.nodes) {
+      agg.observe("node.final_soc", n.final_soc);
+      agg.observe("node.energy_j", n.energy_used.value());
+      agg.observe("node.avg_current_mA", to_milliamps(n.average_current));
+    }
+    for (const auto& m : outcome->metrics) {
+      if (m.kind == obs::MetricKind::kHistogram)
+        agg.observe_histogram(m);
+      else
+        agg.observe(m.name, m.value);
+    }
+    agg.note_run(outcome->run.violations_total,
+                 outcome->run.monitors_failed);
+    std::ofstream os(aggregate_path);
+    agg.write_json(os);
+    os << '\n';
+    std::printf("(wrote %s — %zu aggregated series)\n\n",
+                aggregate_path.c_str(), agg.size());
   }
 
   std::printf("Scenario: %s\n\n", outcome->description.c_str());
@@ -114,5 +210,20 @@ int main(int argc, char** argv) {
                std::to_string(n.rotations), n.migrated ? "yes" : "no"});
   }
   std::printf("%s", t.render().c_str());
+
+  if (outcome->run.monitor_checks > 0) {
+    for (const auto& v : outcome->run.violations) {
+      std::printf("[monitor] %s: %s at t=%.3fs (%s)\n",
+                  obs::severity_name(v.severity), v.monitor.c_str(), v.at_s,
+                  v.values.c_str());
+    }
+    std::printf("\nMonitors: %lld violation(s) across %lld check(s)\n",
+                outcome->run.violations_total, outcome->run.monitor_checks);
+    if (outcome->run.monitors_failed) {
+      std::fprintf(stderr,
+                   "monitors: at least one fail/abort monitor fired\n");
+      return 2;
+    }
+  }
   return 0;
 }

@@ -46,6 +46,12 @@ ExperimentResult ExperimentSuite::run(const ExperimentSpec& spec) const {
 
 ExperimentResult ExperimentSuite::run(const ExperimentSpec& spec,
                                       RunObservation* capture) const {
+  return run(spec, capture, nullptr);
+}
+
+ExperimentResult ExperimentSuite::run(const ExperimentSpec& spec,
+                                      RunObservation* capture,
+                                      obs::Profiler* profiler) const {
   // deslp-lint: allow(wall-clock): --timing measurement, not a result path
   const auto wall_start = std::chrono::steady_clock::now();
   ExperimentResult result;
@@ -105,11 +111,22 @@ ExperimentResult ExperimentSuite::run(const ExperimentSpec& spec,
   sys.max_frames = options_.max_frames;
   sys.seed = options_.seed;
   sys.faults = spec.fault_plan;
+  sys.monitors = options_.monitors;
+  sys.builtin_monitors = options_.builtin_monitors;
+  sys.builtin_monitor_severity = options_.builtin_monitor_severity;
+  sys.monitor_checkpoint_s = options_.monitor_checkpoint_s;
+  sys.profiler = profiler;
 
   // Each run owns its registry (stack-local), so metrics collection stays
-  // safe under run_all's worker threads without any locking.
+  // safe under run_all's worker threads without any locking. Monitors read
+  // metrics, so requesting any (or the builtin set on a fault run) binds a
+  // registry too — but the snapshot is only *stored* when asked for, and a
+  // plain run still binds nothing.
   obs::Registry registry;
-  const bool want_metrics = options_.collect_metrics || capture != nullptr;
+  const bool store_metrics = options_.collect_metrics || capture != nullptr;
+  const bool want_metrics =
+      store_metrics || !options_.monitors.empty() ||
+      (options_.builtin_monitors && !spec.fault_plan.empty());
   if (want_metrics) sys.metrics = &registry;
   if (capture != nullptr) {
     sys.record_trace = true;
@@ -119,7 +136,7 @@ ExperimentResult ExperimentSuite::run(const ExperimentSpec& spec,
   PipelineSystem system(std::move(sys));
   result.details = system.run();
   if (capture != nullptr) system.capture_observation(capture);
-  if (want_metrics) result.metrics = registry.snapshot();
+  if (store_metrics) result.metrics = registry.snapshot();
   result.node_count = stages;
   result.frames = result.details.frames_completed;
   // §4.5: T(N) = F(N) * D (pipeline startup ignored, as in the paper).

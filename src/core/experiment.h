@@ -99,6 +99,16 @@ class ExperimentSuite {
     /// its snapshot in ExperimentResult::metrics. Each run owns its own
     /// registry, so this stays safe under run_all's worker threads.
     bool collect_metrics = false;
+    /// Runtime monitors (obs/monitor.h) armed on every pipeline run. A
+    /// non-empty list binds a per-run registry even when collect_metrics
+    /// is off; the snapshot is still only *stored* when asked for.
+    std::vector<obs::MonitorSpec> monitors;
+    /// Arm the built-in invariant set on runs with a fault plan (see
+    /// SystemConfig::builtin_monitors).
+    bool builtin_monitors = true;
+    obs::Severity builtin_monitor_severity = obs::Severity::kWarn;
+    /// Monitor checkpoint period (0 = SystemConfig default).
+    double monitor_checkpoint_s = 0.0;
   };
 
   ExperimentSuite() : ExperimentSuite(Options{}) {}
@@ -111,6 +121,12 @@ class ExperimentSuite {
   /// Forces record_trace / record_power_trace / metrics on for this run.
   [[nodiscard]] ExperimentResult run(const ExperimentSpec& spec,
                                      RunObservation* capture) const;
+
+  /// As above, plus attach `profiler` to the run (scope-attributed energy
+  /// and handler wall-time; obs/profiler.h). Either pointer may be null.
+  [[nodiscard]] ExperimentResult run(const ExperimentSpec& spec,
+                                     RunObservation* capture,
+                                     obs::Profiler* profiler) const;
 
   /// Run a set of experiments — in parallel when options().jobs != 1,
   /// with results identical to the sequential path — and fill in Rnorm

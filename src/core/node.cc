@@ -81,6 +81,11 @@ Seconds Node::drain(cpu::Mode mode, int level, Amps current, Seconds dt,
   m_drains_.inc();
   m_soc_.set(soc);
   m_residency_s_[static_cast<int>(mode)].inc(sustained.value());
+  if (config_.profiler != nullptr) {
+    config_.profiler->record(
+        config_.name, kind, sustained.value(),
+        current.value() * config_.pack_voltage.value() * sustained.value());
+  }
   if (trace_.recording()) {
     trace_.add_span({config_.name, kind, engine_.now(),
                      engine_.now() + sim::from_seconds(sustained), detail});

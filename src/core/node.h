@@ -20,6 +20,7 @@
 #include "cpu/cpu.h"
 #include "net/hub.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "power/monitor.h"
 #include "sim/engine.h"
 #include "sim/task.h"
@@ -41,6 +42,10 @@ class Node {
     /// Null (the default) leaves every instrument unbound — a single
     /// branch per drain.
     obs::Registry* metrics = nullptr;
+    /// Optional profiler (obs/profiler.h): every drain attributes its
+    /// sustained sim time and drained energy (I·V·t at the pack voltage)
+    /// to this node's current scope path. Null: one branch per drain.
+    obs::Profiler* profiler = nullptr;
     /// Optional externally-owned hot-state slot (a `NodeHotTable` entry;
     /// see node_state.h). The slot must outlive the node. Null (the
     /// default): the node uses an inline slot of its own — semantics are

@@ -5,6 +5,7 @@
 
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/monitor.h"
 #include "util/csv.h"
 #include "util/table.h"
 
@@ -15,6 +16,38 @@ namespace {
 std::string bar(double hours, double scale) {
   const int n = static_cast<int>(hours * scale + 0.5);
   return std::string(static_cast<std::size_t>(n > 0 ? n : 0), '#');
+}
+
+/// Shared JSON tail of one run: node details, monitor outcome, metrics.
+/// Emitted identically by the experiment and scenario report writers so
+/// tools/validate_report.py checks one shape.
+void write_run_details_json(const RunResult& details,
+                            const obs::Snapshot& metrics, std::ostream& os) {
+  os << "\"node_details\": [";
+  bool first_node = true;
+  for (const auto& n : details.nodes) {
+    if (!first_node) os << ",";
+    first_node = false;
+    os << "\n    {\"name\": \"" << obs::json_escape(n.name) << "\","
+       << " \"died\": " << (n.died ? "true" : "false") << ","
+       << " \"death_h\": "
+       << obs::json_number(n.died ? to_hours(n.death_time) : 0.0) << ","
+       << " \"final_soc\": " << obs::json_number(n.final_soc) << ","
+       << " \"avg_current_mA\": "
+       << obs::json_number(to_milliamps(n.average_current)) << ","
+       << " \"comm_h\": " << obs::json_number(to_hours(n.comm_time)) << ","
+       << " \"comp_h\": " << obs::json_number(to_hours(n.comp_time)) << ","
+       << " \"idle_h\": " << obs::json_number(to_hours(n.idle_time)) << ","
+       << " \"rotations\": " << n.rotations << ","
+       << " \"migrated\": " << (n.migrated ? "true" : "false") << "}";
+  }
+  os << "],\n   \"violations\": ";
+  obs::write_violations_json(details.violations, os);
+  os << ",\n   \"violations_total\": " << details.violations_total
+     << ", \"monitor_checks\": " << details.monitor_checks
+     << ", \"monitors_failed\": "
+     << (details.monitors_failed ? "true" : "false") << ",\n   \"metrics\": ";
+  obs::write_snapshot_json(metrics, os);
 }
 
 }  // namespace
@@ -137,29 +170,51 @@ void write_run_report_json(const std::vector<ExperimentResult>& results,
        << " \"paper\": {\"T_h\": "
        << obs::json_number(r.paper.battery_life_hours) << ", \"frames\": "
        << obs::json_number(r.paper.frames) << ", \"rnorm\": "
-       << obs::json_number(r.paper.rnorm) << "},\n   \"node_details\": [";
-    bool first_node = true;
-    for (const auto& n : r.details.nodes) {
-      if (!first_node) os << ",";
-      first_node = false;
-      os << "\n    {\"name\": \"" << obs::json_escape(n.name) << "\","
-         << " \"died\": " << (n.died ? "true" : "false") << ","
-         << " \"death_h\": "
-         << obs::json_number(n.died ? to_hours(n.death_time) : 0.0) << ","
-         << " \"final_soc\": " << obs::json_number(n.final_soc) << ","
-         << " \"avg_current_mA\": "
-         << obs::json_number(to_milliamps(n.average_current)) << ","
-         << " \"comm_h\": " << obs::json_number(to_hours(n.comm_time)) << ","
-         << " \"comp_h\": " << obs::json_number(to_hours(n.comp_time)) << ","
-         << " \"idle_h\": " << obs::json_number(to_hours(n.idle_time)) << ","
-         << " \"rotations\": " << n.rotations << ","
-         << " \"migrated\": " << (n.migrated ? "true" : "false") << "}";
-    }
-    os << "],\n   \"metrics\": ";
-    obs::write_snapshot_json(r.metrics, os);
+       << obs::json_number(r.paper.rnorm) << "},\n   ";
+    write_run_details_json(r.details, r.metrics, os);
     os << "}";
   }
   os << "\n]}\n";
+}
+
+void write_scenario_report_json(const ScenarioOutcome& outcome,
+                                std::ostream& os) {
+  os << "{\"scenario\": {\"description\": \""
+     << obs::json_escape(outcome.description) << "\","
+     << " \"frames\": " << outcome.run.frames_completed << ","
+     << " \"frames_sent\": " << outcome.run.frames_sent << ","
+     << " \"frames_lost\": " << outcome.run.frames_lost << ","
+     << " \"T_h\": " << obs::json_number(to_hours(outcome.battery_life))
+     << "," << " \"Tnorm_h\": "
+     << obs::json_number(to_hours(outcome.normalized_life)) << ","
+     << " \"sim_end_h\": "
+     << obs::json_number(to_hours(outcome.run.sim_end)) << ","
+     << " \"fault_injections\": " << outcome.run.fault_injections << ",\n   ";
+  write_run_details_json(outcome.run, outcome.metrics, os);
+  os << "}}\n";
+}
+
+void aggregate_results(const std::vector<ExperimentResult>& results,
+                       obs::Aggregator& agg) {
+  for (const auto& r : results) {
+    agg.observe("run.frames", static_cast<double>(r.frames));
+    agg.observe("run.T_h", to_hours(r.battery_life));
+    agg.observe("run.Tnorm_h", to_hours(r.normalized_life));
+    agg.observe("run.frames_lost",
+                static_cast<double>(r.details.frames_lost));
+    for (const auto& n : r.details.nodes) {
+      agg.observe("node.final_soc", n.final_soc);
+      agg.observe("node.energy_j", n.energy_used.value());
+      agg.observe("node.avg_current_mA", to_milliamps(n.average_current));
+    }
+    for (const auto& m : r.metrics) {
+      if (m.kind == obs::MetricKind::kHistogram)
+        agg.observe_histogram(m);
+      else
+        agg.observe(m.name, m.value);
+    }
+    agg.note_run(r.details.violations_total, r.details.monitors_failed);
+  }
 }
 
 }  // namespace deslp::core

@@ -8,6 +8,8 @@
 #include <vector>
 
 #include "core/experiment.h"
+#include "core/scenario.h"
+#include "obs/aggregate.h"
 
 namespace deslp::core {
 
@@ -47,5 +49,21 @@ void write_node_csv(const std::vector<ExperimentResult>& results,
 /// field order).
 void write_run_report_json(const std::vector<ExperimentResult>& results,
                            std::ostream& os);
+
+/// Structured scenario report: one JSON object with a `scenario` object —
+/// the summary numbers, per-node detail, monitor violations, and metrics
+/// snapshot. Same field shapes as write_run_report_json's experiments, so
+/// tools/validate_report.py checks both.
+void write_scenario_report_json(const ScenarioOutcome& outcome,
+                                std::ostream& os);
+
+/// Fold a finished campaign into `agg`: per experiment one observation of
+/// frames / T_h / Tnorm_h, per node final_soc / energy / average current,
+/// every metric snapshot value (histograms merged bucket-wise via
+/// StreamingStat::add_histogram), and one note_run() with the violation
+/// outcome. Excludes wall_ms (host-dependent), so aggregate output is
+/// deterministic.
+void aggregate_results(const std::vector<ExperimentResult>& results,
+                       obs::Aggregator& agg);
 
 }  // namespace deslp::core

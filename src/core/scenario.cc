@@ -104,6 +104,14 @@ std::optional<ScenarioOutcome> run_scenario(const Config& cfg,
                                             const fault::FaultPlan* fault_override,
                                             RunObservation* capture,
                                             std::string* error) {
+  return run_scenario(cfg, fault_override, capture, nullptr, error);
+}
+
+std::optional<ScenarioOutcome> run_scenario(const Config& cfg,
+                                            const fault::FaultPlan* fault_override,
+                                            RunObservation* capture,
+                                            obs::Profiler* profiler,
+                                            std::string* error) {
   SystemConfig sys;
   sys.cpu = &cpu::itsy_sa1100();
   sys.profile = &atr::itsy_atr_profile();
@@ -237,6 +245,19 @@ std::optional<ScenarioOutcome> run_scenario(const Config& cfg,
     sys.faults = std::move(*plan);
   }
 
+  // Runtime monitors ([monitor] section; DESIGN.md §11).
+  {
+    std::string monitor_error;
+    auto specs = obs::monitor_specs_from_config(cfg, &monitor_error);
+    if (!specs) {
+      if (error) *error = monitor_error;
+      return std::nullopt;
+    }
+    sys.monitors = std::move(*specs);
+    sys.monitor_checkpoint_s = obs::monitor_checkpoint_from_config(cfg, 0.0);
+  }
+  sys.profiler = profiler;
+
   const auto config_errors = cfg.consume_errors();
   if (!config_errors.empty()) {
     if (error) *error = config_errors.front();
@@ -262,15 +283,21 @@ std::optional<ScenarioOutcome> run_scenario(const Config& cfg,
   }
 
   const Seconds frame_delay = sys.frame_delay;
+  // Monitors (explicit or builtin-under-faults) need a registry to read,
+  // so those runs bind one even without a capture request; a plain run
+  // still binds nothing and stays byte-identical.
   obs::Registry registry;
+  const bool want_metrics = capture != nullptr || !sys.monitors.empty() ||
+                            (sys.builtin_monitors && !sys.faults.empty());
+  if (want_metrics) sys.metrics = &registry;
   if (capture != nullptr) {
     sys.record_trace = true;
     sys.record_power_trace = true;
-    sys.metrics = &registry;
   }
   PipelineSystem system(std::move(sys));
   outcome.run = system.run();
   if (capture != nullptr) system.capture_observation(capture);
+  if (want_metrics) outcome.metrics = registry.snapshot();
   outcome.battery_life =
       frame_delay * static_cast<double>(outcome.run.frames_completed);
   outcome.normalized_life =

@@ -20,6 +20,9 @@ struct ScenarioOutcome {
   /// The paper's T metric: frames * frame delay.
   Seconds battery_life;
   Seconds normalized_life;
+  /// Metrics snapshot (non-empty when the run bound a registry: capture,
+  /// [monitor] section, or builtin invariants under a fault plan).
+  obs::Snapshot metrics;
 };
 
 /// Scenario schema (all sections/keys optional; defaults reproduce the
@@ -39,6 +42,10 @@ struct ScenarioOutcome {
 ///   [technique] acks, rotation_period
 ///   [fault]     seed, eventN = <fault description> (DESIGN.md §10), e.g.
 ///               event1 = blackout target=2 at=120 dur=30
+///   [monitor]   checkpoint_s, plus one monitor per plain key with dotted
+///               option sub-keys (DESIGN.md §11), e.g.
+///               latency = system.frame_latency_s <= 3.0
+///               latency.severity = fail
 ///
 /// Returns nullopt with `error` filled on contradictory or infeasible
 /// configurations.
@@ -58,6 +65,12 @@ struct ScenarioOutcome {
 [[nodiscard]] std::optional<ScenarioOutcome> run_scenario(
     const Config& config, const fault::FaultPlan* fault_override,
     RunObservation* capture, std::string* error);
+
+/// As above, plus attach `profiler` (obs/profiler.h) to the run when
+/// non-null — the `scenario_runner --profile-json` path.
+[[nodiscard]] std::optional<ScenarioOutcome> run_scenario(
+    const Config& config, const fault::FaultPlan* fault_override,
+    RunObservation* capture, obs::Profiler* profiler, std::string* error);
 
 /// The built-in default scenario text (experiment 2A's shape), used by the
 /// runner when no file is given and by tests.

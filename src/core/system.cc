@@ -28,7 +28,6 @@ PipelineSystem::PipelineSystem(SystemConfig config)
   trace_.set_recording(config_.record_trace);
   host_mailbox_ = &hub_.attach(net::kHostAddress);
 
-  engine_.set_handler_timing(config_.time_handlers);
   if (config_.metrics != nullptr) {
     obs::Registry& reg = *config_.metrics;
     engine_.bind_metrics(reg);
@@ -42,7 +41,10 @@ PipelineSystem::PipelineSystem(SystemConfig config)
     m_migration_retries_ = reg.counter("system.migration_retries");
     m_detections_ = reg.counter("system.detections");
     m_detection_latency_s_ = reg.counter("system.detection_latency_s");
+    m_frame_latency_s_ = reg.gauge("system.frame_latency_s");
   }
+  engine_.set_handler_timing(config_.time_handlers ||
+                             config_.profiler != nullptr);
 
   // Static per-stage compute budgets for the adaptive level choice.
   net::SerialLink timer(config_.link);
@@ -67,6 +69,7 @@ PipelineSystem::PipelineSystem(SystemConfig config)
     nc.cpu = config_.cpu;
     nc.pack_voltage = config_.pack_voltage;
     nc.metrics = config_.metrics;
+    nc.profiler = config_.profiler;
     nc.hot = hot_.add();
     auto battery = battery_bank_ != nullptr ? battery_bank_->add_view()
                                             : config_.battery_factory();
@@ -113,6 +116,32 @@ PipelineSystem::PipelineSystem(SystemConfig config)
       fault_runtime_->set_node_hooks(i + 1, hooks);
     }
     fault_runtime_->arm();
+  }
+
+  // Invariant monitors need a registry to read; without one nothing is
+  // built (no set, no watchers, no checkpoint events). The builtin set
+  // rides along automatically on fault runs.
+  const bool arm_builtins = config_.builtin_monitors && !config_.faults.empty();
+  if (config_.metrics != nullptr &&
+      (!config_.monitors.empty() || arm_builtins)) {
+    monitors_ = std::make_unique<obs::MonitorSet>();
+    if (arm_builtins) {
+      std::vector<std::string> names;
+      names.reserve(nodes_.size());
+      for (const auto& node : nodes_) names.push_back(node->name());
+      monitors_->add_builtin_invariants(names,
+                                        config_.builtin_monitor_severity);
+    }
+    for (const auto& spec : config_.monitors) {
+      std::string error;
+      const bool ok = monitors_->add(spec, &error);
+      if (!ok) log::info("monitor rejected: ", error);
+      DESLP_EXPECTS(ok);  // CLI/scenario paths validate at parse time
+    }
+    monitors_->set_on_abort([this] { engine_.stop(); });
+    monitors_->arm(*config_.metrics, [this] {
+      return sim::to_seconds(engine_.now()).value();
+    });
   }
 }
 
@@ -198,6 +227,15 @@ sim::Task PipelineSystem::host_sink() {
     }
     if (msg.kind != net::MsgKind::kData) continue;
     ++frames_completed_;
+    // Frame latency = completion time − the host's paced emission time
+    // (frame f leaves the host at f·D). Set *before* the completion
+    // counter ticks so an on-update monitor reading both sees a coherent
+    // (latency, count) pair.
+    if (m_frame_latency_s_.bound()) {
+      m_frame_latency_s_.set(
+          sim::to_seconds(engine_.now()).value() -
+          static_cast<double>(msg.frame) * config_.frame_delay.value());
+    }
     m_frames_completed_.inc();
     last_completion_ = engine_.now();
     if (frames_completed_ >= config_.max_frames) {
@@ -245,6 +283,15 @@ sim::ValueTask<bool> PipelineSystem::process_and_forward(Node& node,
                                                          StageState& st,
                                                          long long frame) {
   const int n = node_count();
+
+  // Pipeline-stage attribution scope: every drain this frame causes on
+  // this node lands under <node>/<stage>/<component> in the profile. The
+  // string is built only when a profiler is attached.
+  std::string stage_scope;
+  if (config_.profiler != nullptr)
+    stage_scope =
+        st.migrated ? "migrated" : "stage" + std::to_string(st.role);
+  obs::ProfileSpan profile_span(config_.profiler, node.name(), stage_scope);
 
   if (st.migrated) {
     // §5.4 post-migration: the survivor runs the entire chain.
@@ -422,7 +469,10 @@ sim::Task PipelineSystem::node_behavior(int node_index) {
         timeout = (config_.ack_timeout + config_.frame_delay * 2.0) *
                   static_cast<double>(1LL << shift);
       }
-      msg = co_await node.recv(lv.idle_level, lv.comm_level, timeout);
+      {
+        obs::ProfileSpan wait_span(config_.profiler, node.name(), "acquire");
+        msg = co_await node.recv(lv.idle_level, lv.comm_level, timeout);
+      }
       if (!node.alive()) co_return;
       if (!msg) {
         if (reannounce) {
@@ -487,7 +537,22 @@ RunResult PipelineSystem::run() {
   engine_.spawn(host_sink());
   engine_.spawn(watchdog());
   for (int i = 0; i < node_count(); ++i) engine_.spawn(node_behavior(i));
+  if (monitors_ != nullptr) {
+    // Checkpoint sweep: read-only, so the extra events consume seq numbers
+    // without reordering the simulation (sim outcomes stay bit-identical).
+    // The watchdog guarantees the engine stops, bounding the repost chain.
+    const double period_s = config_.monitor_checkpoint_s > 0.0
+                                ? config_.monitor_checkpoint_s
+                                : config_.frame_delay.value() * 10.0;
+    engine_.post_every(sim::from_seconds(seconds(period_s)), [this] {
+      monitors_->check(sim::to_seconds(engine_.now()).value());
+    });
+  }
   engine_.run();
+  // Final sweep at end-of-run time, so a violation in the last partial
+  // checkpoint window is still caught.
+  if (monitors_ != nullptr)
+    monitors_->check(sim::to_seconds(engine_.now()).value());
 
   RunResult result;
   result.frames_sent = frames_sent_;
@@ -498,6 +563,14 @@ RunResult PipelineSystem::run() {
   result.migration_retries = migration_retries_;
   result.fault_injections =
       fault_runtime_ != nullptr ? fault_runtime_->injections() : 0;
+  if (monitors_ != nullptr) {
+    result.violations = monitors_->violations();
+    result.violations_total = monitors_->violation_total();
+    result.monitor_checks = monitors_->checks();
+    result.monitors_failed = monitors_->failed();
+  }
+  if (config_.profiler != nullptr)
+    config_.profiler->set_handler_wall_ns(engine_.handler_wall_ns());
   for (int i = 0; i < node_count(); ++i) {
     const Node& node = *nodes_[static_cast<std::size_t>(i)];
     const StageState& st = stage_states_[static_cast<std::size_t>(i)];

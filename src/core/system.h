@@ -29,6 +29,8 @@
 #include "fault/fault.h"
 #include "net/hub.h"
 #include "obs/metrics.h"
+#include "obs/monitor.h"
+#include "obs/profiler.h"
 #include "obs/trace_export.h"
 #include "sim/engine.h"
 #include "sim/trace.h"
@@ -110,6 +112,25 @@ struct SystemConfig {
   obs::Registry* metrics = nullptr;
   /// Wall-clock handler-time attribution on the engine (profiling).
   bool time_handlers = false;
+
+  /// Runtime invariant monitors (DESIGN.md §11). Evaluated only when
+  /// `metrics` is set — without a registry there is nothing to read, no
+  /// MonitorSet is built, no checkpoint events are scheduled, and the run
+  /// is byte-identical to a monitor-free build.
+  std::vector<obs::MonitorSpec> monitors;
+  /// Arm the built-in invariant set (frame conservation, per-node SoC
+  /// monotonicity) automatically when a fault plan is present — fault runs
+  /// are exactly where silent conservation bugs would hide.
+  bool builtin_monitors = true;
+  obs::Severity builtin_monitor_severity = obs::Severity::kWarn;
+  /// Monitor checkpoint period in sim seconds (0 = every 10 frame delays).
+  double monitor_checkpoint_s = 0.0;
+
+  /// Optional sim-time profiler: nodes attribute every drain's energy and
+  /// simulated time to (node, stage, component) scopes, and the engine's
+  /// handler wall-time is attached after the run. Null (the default) costs
+  /// one branch per drain and keeps outputs byte-identical.
+  obs::Profiler* profiler = nullptr;
   std::uint64_t seed = 42;
 };
 
@@ -142,6 +163,15 @@ struct RunResult {
   long long migration_retries = 0;
   /// Fault events the runtime injected (always 0 without a fault plan).
   long long fault_injections = 0;
+  /// Monitor outcome (all empty/zero when no monitors were armed).
+  std::vector<obs::Violation> violations;
+  /// Violations emitted in total (>= violations.size(); the stored list is
+  /// capped at MonitorSet::kMaxViolations).
+  long long violations_total = 0;
+  /// Monitor evaluations performed (checkpoint + on-update).
+  long long monitor_checks = 0;
+  /// True when any fail/abort-severity monitor violated.
+  bool monitors_failed = false;
   std::vector<NodeReport> nodes;
 };
 
@@ -227,6 +257,8 @@ class PipelineSystem {
   sim::Trace trace_;
   net::Hub hub_;
   std::unique_ptr<fault::Runtime> fault_runtime_;
+  /// Armed invariant monitors (null unless configured; see SystemConfig).
+  std::unique_ptr<obs::MonitorSet> monitors_;
   sim::Channel<net::Delivery>* host_mailbox_ = nullptr;
   /// Fleet-contiguous state. Declared before nodes_: the nodes hold
   /// borrowed pointers (battery views, hot slots) into both, so they must
@@ -255,6 +287,9 @@ class PipelineSystem {
   obs::Counter m_migration_retries_;
   obs::Counter m_detections_;
   obs::Counter m_detection_latency_s_;
+  /// Latency of the last completed frame (completion − emission time);
+  /// the gauge's high-water mark is the worst frame of the run.
+  obs::Gauge m_frame_latency_s_;
   /// Host-side routing override after a migration announcement (2B).
   net::Address source_override_ = -1;
 };

@@ -1,0 +1,198 @@
+#include "obs/aggregate.h"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "util/check.h"
+
+namespace deslp::obs {
+
+namespace {
+
+/// Finite-bin index for v in [kLo, kHi), or -1 below / kBins above.
+int bin_index(double v) {
+  if (v < StreamingStat::kLo) return -1;
+  if (v >= StreamingStat::kHi) return StreamingStat::kBins;
+  const int i = static_cast<int>(std::floor(
+      std::log10(v / StreamingStat::kLo) * StreamingStat::kBinsPerDecade));
+  return std::clamp(i, 0, StreamingStat::kBins - 1);
+}
+
+double bin_lower(int i) {
+  return StreamingStat::kLo *
+         std::pow(10.0, static_cast<double>(i) /
+                            StreamingStat::kBinsPerDecade);
+}
+
+}  // namespace
+
+void StreamingStat::add(double value, double weight) {
+  if (weight <= 0.0 || !std::isfinite(value)) return;
+  // deslp-lint: allow(float-eq): exact empty-stat sentinel
+  if (count_ == 0.0 || value < min_) min_ = value;
+  // deslp-lint: allow(float-eq): exact empty-stat sentinel
+  if (count_ == 0.0 || value > max_) max_ = value;
+  count_ += weight;
+  sum_ += value * weight;
+  if (value < 0.0) {
+    negative_ += weight;
+    return;
+  }
+  // deslp-lint: allow(float-eq): the zero side-bin holds exact zeros only
+  if (value == 0.0) {
+    zero_ += weight;
+    return;
+  }
+  const int i = bin_index(value);
+  if (i < 0) {
+    underflow_ += weight;
+    return;
+  }
+  if (i >= kBins) {
+    overflow_ += weight;
+    return;
+  }
+  if (bins_.empty()) bins_.assign(kBins, 0.0);
+  bins_[static_cast<std::size_t>(i)] += weight;
+}
+
+void StreamingStat::add_histogram(const MetricSample& sample) {
+  if (sample.total_weight <= 0.0) return;
+  // Bucket i spans (lower, upper]; the open first/last buckets take their
+  // missing edge from the exact observed range, so out-of-range samples
+  // contribute at (approximately) their true values instead of being
+  // clamped to the finite edges.
+  for (std::size_t i = 0; i < sample.weights.size(); ++i) {
+    const double w = sample.weights[i];
+    if (w <= 0.0) continue;
+    double lower = i == 0 ? sample.vmin : sample.bounds[i - 1];
+    double upper =
+        i == sample.bounds.size() ? sample.vmax : sample.bounds[i];
+    lower = std::min(lower, upper);
+    add(0.5 * (lower + upper), w);
+  }
+  // Exact extremes beat bucket midpoints.
+  if (sample.vmin < min_) min_ = sample.vmin;
+  if (sample.vmax > max_) max_ = sample.vmax;
+}
+
+void StreamingStat::merge(const StreamingStat& other) {
+  // deslp-lint: allow(float-eq): exact empty-stat sentinel
+  if (other.count_ == 0.0) return;
+  // deslp-lint: allow(float-eq): exact empty-stat sentinel
+  if (count_ == 0.0 || other.min_ < min_) min_ = other.min_;
+  // deslp-lint: allow(float-eq): exact empty-stat sentinel
+  if (count_ == 0.0 || other.max_ > max_) max_ = other.max_;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  negative_ += other.negative_;
+  zero_ += other.zero_;
+  underflow_ += other.underflow_;
+  overflow_ += other.overflow_;
+  if (!other.bins_.empty()) {
+    if (bins_.empty()) bins_.assign(kBins, 0.0);
+    for (int i = 0; i < kBins; ++i)
+      bins_[static_cast<std::size_t>(i)] +=
+          other.bins_[static_cast<std::size_t>(i)];
+  }
+}
+
+double StreamingStat::quantile(double q) const {
+  if (count_ <= 0.0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * count_;
+  double cum = 0.0;
+  const auto clamp_obs = [this](double v) {
+    return std::clamp(v, min_, max_);
+  };
+  // Side regions interpolate linearly across their (approximate) span;
+  // finite bins interpolate geometrically, matching the log spacing.
+  if (target <= cum + negative_ && negative_ > 0.0) {
+    const double hi = std::min(0.0, max_);
+    const double f = (target - cum) / negative_;
+    return clamp_obs(min_ + f * (hi - min_));
+  }
+  cum += negative_;
+  if (target <= cum + zero_ && zero_ > 0.0) return 0.0;
+  cum += zero_;
+  if (target <= cum + underflow_ && underflow_ > 0.0) {
+    const double lo = std::max(min_, 0.0);
+    const double f = (target - cum) / underflow_;
+    return clamp_obs(lo + f * (kLo - lo));
+  }
+  cum += underflow_;
+  if (!bins_.empty()) {
+    for (int i = 0; i < kBins; ++i) {
+      const double w = bins_[static_cast<std::size_t>(i)];
+      if (w <= 0.0) continue;
+      if (target <= cum + w) {
+        const double lo = bin_lower(i);
+        const double hi = bin_lower(i + 1);
+        const double f = (target - cum) / w;
+        return clamp_obs(lo * std::pow(hi / lo, f));
+      }
+      cum += w;
+    }
+  }
+  return max_;  // remaining weight is in the overflow bin
+}
+
+void StreamingStat::write_json(std::ostream& os) const {
+  os << "\"count\":" << json_number(count_)
+     << ",\"mean\":" << json_number(mean())
+     << ",\"min\":" << json_number(min())
+     << ",\"max\":" << json_number(max())
+     << ",\"p50\":" << json_number(quantile(0.5))
+     << ",\"p95\":" << json_number(quantile(0.95));
+}
+
+void Aggregator::observe(std::string_view name, double value, double weight) {
+  auto it = stats_.find(name);
+  if (it == stats_.end())
+    it = stats_.emplace(std::string(name), StreamingStat{}).first;
+  it->second.add(value, weight);
+}
+
+void Aggregator::observe_histogram(const MetricSample& sample) {
+  auto it = stats_.find(sample.name);
+  if (it == stats_.end())
+    it = stats_.emplace(sample.name, StreamingStat{}).first;
+  it->second.add_histogram(sample);
+}
+
+void Aggregator::note_run(long long violations, bool failed) {
+  ++runs_;
+  violations_ += violations;
+  if (failed) ++failed_runs_;
+}
+
+void Aggregator::merge(const Aggregator& other) {
+  runs_ += other.runs_;
+  violations_ += other.violations_;
+  failed_runs_ += other.failed_runs_;
+  for (const auto& [name, stat] : other.stats_) stats_[name].merge(stat);
+}
+
+const StreamingStat* Aggregator::find(std::string_view name) const {
+  const auto it = stats_.find(name);
+  return it != stats_.end() ? &it->second : nullptr;
+}
+
+void Aggregator::write_json(std::ostream& os) const {
+  os << "{\"runs\":" << runs_ << ",\"violations\":" << violations_
+     << ",\"failed_runs\":" << failed_runs_ << ",\"stats\":[";
+  bool first = true;
+  for (const auto& [name, stat] : stats_) {
+    os << (first ? "" : ",") << "\n    {\"name\":\"" << json_escape(name)
+       << "\",";
+    stat.write_json(os);
+    os << "}";
+    first = false;
+  }
+  os << (stats_.empty() ? "]}" : "\n  ]}");
+}
+
+}  // namespace deslp::obs

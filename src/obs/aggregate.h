@@ -1,0 +1,115 @@
+// Streaming campaign aggregation (DESIGN.md §11): constant-memory,
+// mergeable statistics over per-run observations, so ablation sweeps and
+// the fault matrix report fleet-level distributions (count / mean / min /
+// max / p50 / p95) plus total violation counts instead of per-run files.
+//
+// Merge guarantee: every StreamingStat uses the same *static* bin layout
+// (log-spaced bins, ~16 per decade across [1e-9, 1e12), plus explicit
+// negative / zero / underflow / overflow side bins), so merging is always
+// a bin-wise weight add — no resampling, no bin-boundary negotiation, and
+// merge(a, b) == the stat that would have seen both streams. Quantiles are
+// therefore identical whether runs are aggregated one-by-one, sharded and
+// merged, or merged in any order.
+//
+// Accuracy: min/max/count/mean are exact; quantiles interpolate inside a
+// bin (geometric, matching the log spacing) and are clamped to the exact
+// observed [min, max], so relative error is bounded by the bin width
+// (~15% of a decade) and extremes are never clamped away.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace deslp::obs {
+
+struct MetricSample;
+
+/// One metric's streaming distribution. Value-type, mergeable, O(1) per
+/// observation, fixed ~3 KB footprint once any positive value lands.
+class StreamingStat {
+ public:
+  static constexpr int kBinsPerDecade = 16;
+  static constexpr double kLo = 1e-9;   // first finite bin edge
+  static constexpr double kHi = 1e12;   // last finite bin edge
+  static constexpr int kDecades = 21;   // log10(kHi / kLo)
+  static constexpr int kBins = kBinsPerDecade * kDecades;
+
+  void add(double value, double weight = 1.0);
+
+  /// Fold a registry histogram (obs/metrics.h MetricSample) in: each bucket
+  /// contributes its weight at the bucket's representative value. The open
+  /// first/last buckets are bounded by the sample's exact observed
+  /// [vmin, vmax] instead of being clamped to the finite edges, so
+  /// percentiles over merged campaigns are not biased by out-of-range
+  /// samples (the underflow/overflow accounting this layer exists for).
+  void add_histogram(const MetricSample& sample);
+
+  /// Bin-wise merge (see header comment for the guarantee).
+  void merge(const StreamingStat& other);
+
+  [[nodiscard]] double count() const { return count_; }
+  [[nodiscard]] double mean() const { return count_ > 0 ? sum_ / count_ : 0.0; }
+  [[nodiscard]] double min() const { return count_ > 0 ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return count_ > 0 ? max_ : 0.0; }
+  /// Weight that landed outside the finite bin range (diagnostic: how much
+  /// of the distribution rides on the approximate side bins).
+  [[nodiscard]] double underflow_weight() const {
+    return negative_ + underflow_;
+  }
+  [[nodiscard]] double overflow_weight() const { return overflow_; }
+
+  /// Weighted quantile estimate, q in [0, 1]; exact-extreme clamped.
+  [[nodiscard]] double quantile(double q) const;
+
+  /// {"count":..,"mean":..,"min":..,"max":..,"p50":..,"p95":..}
+  void write_json(std::ostream& os) const;
+
+ private:
+  double count_ = 0.0;  // total weight
+  double sum_ = 0.0;    // Σ value·weight
+  double min_ = 0.0;    // exact extremes (valid when count_ > 0)
+  double max_ = 0.0;
+  double negative_ = 0.0;   // weight at value < 0
+  double zero_ = 0.0;       // weight at value == 0
+  double underflow_ = 0.0;  // weight at 0 < value < kLo
+  double overflow_ = 0.0;   // weight at value >= kHi
+  std::vector<double> bins_;  // kBins entries, allocated on first finite add
+};
+
+/// Campaign-level sink: named StreamingStats plus run/violation tallies.
+/// One Aggregator per worker, merged at the end — same result as one
+/// global sink, without sharing.
+class Aggregator {
+ public:
+  /// Record one scalar observation for `name`.
+  void observe(std::string_view name, double value, double weight = 1.0);
+  /// Fold a registry histogram into the stat named after the sample.
+  void observe_histogram(const MetricSample& sample);
+
+  /// Account one finished run and its violation outcome.
+  void note_run(long long violations, bool failed);
+
+  void merge(const Aggregator& other);
+
+  [[nodiscard]] long long runs() const { return runs_; }
+  [[nodiscard]] long long violations() const { return violations_; }
+  [[nodiscard]] long long failed_runs() const { return failed_runs_; }
+  [[nodiscard]] std::size_t size() const { return stats_.size(); }
+  [[nodiscard]] const StreamingStat* find(std::string_view name) const;
+
+  /// {"runs":..,"violations":..,"failed_runs":..,
+  ///  "stats":[{"name":..,<StreamingStat fields>},...]} in name order.
+  void write_json(std::ostream& os) const;
+
+ private:
+  std::map<std::string, StreamingStat, std::less<>> stats_;
+  long long runs_ = 0;
+  long long violations_ = 0;
+  long long failed_runs_ = 0;
+};
+
+}  // namespace deslp::obs

@@ -30,7 +30,13 @@ void Histogram::record(double value, double weight) {
   slot_->weights[idx] += weight;
   slot_->sum += value * weight;
   slot_->total_weight += weight;
+  // Out-of-range samples land in the open first/last buckets; tracking the
+  // true extremes keeps downstream quantile estimates (obs/aggregate.h)
+  // unbiased instead of silently clamping to the finite edges.
+  if (slot_->updates == 0 || value < slot_->vmin) slot_->vmin = value;
+  if (slot_->updates == 0 || value > slot_->vmax) slot_->vmax = value;
   ++slot_->updates;
+  if (slot_->watch_fn != nullptr) slot_->watch_fn(slot_->watch_ctx);
 }
 
 detail::Slot* Registry::slot(std::string_view name, MetricKind kind) {
@@ -43,6 +49,20 @@ detail::Slot* Registry::slot(std::string_view name, MetricKind kind) {
   detail::Slot s;
   s.kind = kind;
   return &slots_.emplace(std::string(name), std::move(s)).first->second;
+}
+
+const detail::Slot* Registry::find(std::string_view name) const {
+  const auto it = slots_.find(name);
+  return it != slots_.end() ? &it->second : nullptr;
+}
+
+bool Registry::set_watcher(std::string_view name, void (*fn)(void*),
+                           void* ctx) {
+  const auto it = slots_.find(name);
+  if (it == slots_.end()) return false;
+  it->second.watch_fn = fn;
+  it->second.watch_ctx = fn != nullptr ? ctx : nullptr;
+  return true;
 }
 
 Counter Registry::counter(std::string_view name) {
@@ -78,6 +98,8 @@ Snapshot Registry::snapshot() const {
     m.weights = s.weights;
     m.sum = s.sum;
     m.total_weight = s.total_weight;
+    m.vmin = s.vmin;
+    m.vmax = s.vmax;
     out.push_back(std::move(m));
   }
   return out;
@@ -104,7 +126,9 @@ void write_sample(const MetricSample& m, std::ostream& os) {
       for (std::size_t i = 0; i < m.weights.size(); ++i)
         os << (i ? "," : "") << json_number(m.weights[i]);
       os << "],\"sum\":" << json_number(m.sum)
-         << ",\"total_weight\":" << json_number(m.total_weight);
+         << ",\"total_weight\":" << json_number(m.total_weight)
+         << ",\"min\":" << json_number(m.vmin)
+         << ",\"max\":" << json_number(m.vmax);
       break;
     }
   }

@@ -33,11 +33,23 @@ struct Slot {
   double max = 0.0;     // gauge high-water mark
   long long updates = 0;
   // Histogram state: `bounds` are bucket upper edges (last bucket open);
-  // `weights` has bounds.size() + 1 entries.
+  // `weights` has bounds.size() + 1 entries. The first and last buckets
+  // have no finite edge, so the recorded value range [vmin, vmax] is
+  // tracked too (valid when updates > 0) — consumers estimating quantiles
+  // (obs/aggregate.h) bound the open buckets with the true extremes
+  // instead of silently clamping out-of-range samples.
   std::vector<double> bounds;
   std::vector<double> weights;
   double sum = 0.0;           // sum of value * weight
   double total_weight = 0.0;
+  double vmin = 0.0;
+  double vmax = 0.0;
+  // Update watcher (obs/monitor.h): fired after every mutation. Installed
+  // only on metrics referenced by an armed on-update monitor, so every
+  // unwatched slot pays one predictable extra branch per op and nothing
+  // else; unbound handles are unchanged.
+  void (*watch_fn)(void* ctx) = nullptr;
+  void* watch_ctx = nullptr;
 };
 
 }  // namespace detail
@@ -50,6 +62,7 @@ class Counter {
     if (slot_ == nullptr) return;
     slot_->value += delta;
     ++slot_->updates;
+    if (slot_->watch_fn != nullptr) slot_->watch_fn(slot_->watch_ctx);
   }
   [[nodiscard]] bool bound() const { return slot_ != nullptr; }
   [[nodiscard]] double value() const { return slot_ ? slot_->value : 0.0; }
@@ -69,6 +82,7 @@ class Gauge {
     slot_->value = v;
     if (v > slot_->max || slot_->updates == 0) slot_->max = v;
     ++slot_->updates;
+    if (slot_->watch_fn != nullptr) slot_->watch_fn(slot_->watch_ctx);
   }
   /// Raise the high-water mark without touching the current value (queue
   /// depth style gauges that only care about the peak).
@@ -76,6 +90,7 @@ class Gauge {
     if (slot_ == nullptr) return;
     if (v > slot_->max) slot_->max = v;
     ++slot_->updates;
+    if (slot_->watch_fn != nullptr) slot_->watch_fn(slot_->watch_ctx);
   }
   [[nodiscard]] bool bound() const { return slot_ != nullptr; }
   [[nodiscard]] double value() const { return slot_ ? slot_->value : 0.0; }
@@ -114,6 +129,9 @@ struct MetricSample {
   std::vector<double> weights;
   double sum = 0.0;
   double total_weight = 0.0;
+  /// Histogram value range actually observed (valid when updates > 0).
+  double vmin = 0.0;
+  double vmax = 0.0;
 };
 
 using Snapshot = std::vector<MetricSample>;
@@ -135,6 +153,17 @@ class Registry {
   Histogram histogram(std::string_view name, std::vector<double> bounds);
 
   [[nodiscard]] std::size_t size() const { return slots_.size(); }
+
+  /// Non-creating lookup: the slot registered under `name`, or nullptr
+  /// when absent (or the registry is disabled). The monitor layer
+  /// (obs/monitor.h) resolves referenced metrics through this, so arming a
+  /// monitor never creates phantom slots.
+  [[nodiscard]] const detail::Slot* find(std::string_view name) const;
+
+  /// Install an update watcher on `name` (see detail::Slot::watch_fn).
+  /// Returns false when the metric does not exist yet. `ctx` must outlive
+  /// the registry's last update. Passing fn == nullptr clears the watcher.
+  bool set_watcher(std::string_view name, void (*fn)(void*), void* ctx);
 
   /// All metrics in name order (deterministic).
   [[nodiscard]] Snapshot snapshot() const;

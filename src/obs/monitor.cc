@@ -1,0 +1,699 @@
+#include "obs/monitor.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <map>
+#include <ostream>
+#include <utility>
+
+#include "obs/json.h"
+#include "util/check.h"
+#include "util/config.h"
+
+namespace deslp::obs {
+
+const char* severity_name(Severity severity) {
+  switch (severity) {
+    case Severity::kWarn:
+      return "warn";
+    case Severity::kFail:
+      return "fail";
+    case Severity::kAbort:
+      return "abort";
+  }
+  return "?";
+}
+
+std::optional<Severity> parse_severity(std::string_view text) {
+  if (text == "warn") return Severity::kWarn;
+  if (text == "fail") return Severity::kFail;
+  if (text == "abort") return Severity::kAbort;
+  return std::nullopt;
+}
+
+namespace {
+
+// --- expression tree ---------------------------------------------------------
+
+struct ExprNode {
+  enum class Op {
+    kConst,
+    kMetric,  // current value (counter total / gauge value / hist weight)
+    kHwm,     // gauge high-water mark
+    kRate,    // d(metric)/d(sim seconds) since this monitor's previous eval
+    kDelta,   // change since this monitor's previous evaluation
+    kNeg,
+    kAbs,
+    kAdd,
+    kSub,
+    kMul,
+    kDiv,
+    kLt,
+    kLe,
+    kGt,
+    kGe,
+    kEq,
+    kNe,
+    kAnd,
+    kOr,
+  };
+  Op op = Op::kConst;
+  double constant = 0.0;
+  int metric = -1;  // index into the monitor's MetricRef table
+  std::unique_ptr<ExprNode> a, b;
+  // kRate/kDelta evaluation state (per occurrence, so the same metric can
+  // appear under several rate()s without aliasing).
+  double prev_value = 0.0;
+  double prev_time = 0.0;
+  bool has_prev = false;
+};
+
+struct MetricRef {
+  std::string name;
+  const detail::Slot* slot = nullptr;  // resolved lazily against the registry
+};
+
+// Recursive-descent parser over the grammar in DESIGN.md §11. Identifiers
+// are dotted metric names; intern() collapses repeated references into one
+// MetricRef so the rendered `values` string lists each metric once.
+class Parser {
+ public:
+  Parser(std::string_view text, std::vector<MetricRef>* refs)
+      : text_(text), refs_(refs) {}
+
+  std::unique_ptr<ExprNode> parse(std::string* error) {
+    auto expr = parse_or();
+    skip_ws();
+    if (expr == nullptr || pos_ != text_.size()) {
+      if (error != nullptr) {
+        *error = error_.empty()
+                     ? "unexpected '" + std::string(text_.substr(pos_)) + "'"
+                     : error_;
+      }
+      return nullptr;
+    }
+    return expr;
+  }
+
+ private:
+  using Op = ExprNode::Op;
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0)
+      ++pos_;
+  }
+
+  bool eat(std::string_view token) {
+    skip_ws();
+    if (text_.substr(pos_, token.size()) != token) return false;
+    // Keep `<` from swallowing the head of `<=` (callers try the longer
+    // token first) and `=` from matching inside `==`.
+    pos_ += token.size();
+    return true;
+  }
+
+  [[nodiscard]] char peek() {
+    skip_ws();
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  std::unique_ptr<ExprNode> fail(const std::string& message) {
+    if (error_.empty()) error_ = message;
+    return nullptr;
+  }
+
+  static std::unique_ptr<ExprNode> make(Op op, std::unique_ptr<ExprNode> a,
+                                        std::unique_ptr<ExprNode> b = nullptr) {
+    auto n = std::make_unique<ExprNode>();
+    n->op = op;
+    n->a = std::move(a);
+    n->b = std::move(b);
+    return n;
+  }
+
+  int intern(const std::string& name) {
+    for (std::size_t i = 0; i < refs_->size(); ++i)
+      if ((*refs_)[i].name == name) return static_cast<int>(i);
+    refs_->push_back(MetricRef{name, nullptr});
+    return static_cast<int>(refs_->size() - 1);
+  }
+
+  std::optional<std::string> parse_ident() {
+    skip_ws();
+    const std::size_t start = pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_' ||
+          c == '.')
+        ++pos_;
+      else
+        break;
+    }
+    if (pos_ == start) return std::nullopt;
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  std::unique_ptr<ExprNode> parse_or() {
+    auto a = parse_and();
+    while (a != nullptr && eat("||")) {
+      auto b = parse_and();
+      if (b == nullptr) return fail("expected expression after '||'");
+      a = make(Op::kOr, std::move(a), std::move(b));
+    }
+    return a;
+  }
+
+  std::unique_ptr<ExprNode> parse_and() {
+    auto a = parse_cmp();
+    while (a != nullptr && eat("&&")) {
+      auto b = parse_cmp();
+      if (b == nullptr) return fail("expected expression after '&&'");
+      a = make(Op::kAnd, std::move(a), std::move(b));
+    }
+    return a;
+  }
+
+  std::unique_ptr<ExprNode> parse_cmp() {
+    auto a = parse_sum();
+    if (a == nullptr) return nullptr;
+    static constexpr struct {
+      const char* token;
+      Op op;
+    } kCmps[] = {{"<=", Op::kLe}, {">=", Op::kGe}, {"==", Op::kEq},
+                 {"!=", Op::kNe}, {"<", Op::kLt},  {">", Op::kGt}};
+    for (const auto& c : kCmps) {
+      if (eat(c.token)) {
+        auto b = parse_sum();
+        if (b == nullptr)
+          return fail(std::string("expected expression after '") + c.token +
+                      "'");
+        return make(c.op, std::move(a), std::move(b));
+      }
+    }
+    return a;
+  }
+
+  std::unique_ptr<ExprNode> parse_sum() {
+    auto a = parse_term();
+    for (;;) {
+      if (a == nullptr) return nullptr;
+      if (eat("+")) {
+        auto b = parse_term();
+        if (b == nullptr) return fail("expected expression after '+'");
+        a = make(Op::kAdd, std::move(a), std::move(b));
+      } else if (peek() == '-' && !is_cmp_tail()) {
+        ++pos_;
+        auto b = parse_term();
+        if (b == nullptr) return fail("expected expression after '-'");
+        a = make(Op::kSub, std::move(a), std::move(b));
+      } else {
+        return a;
+      }
+    }
+  }
+
+  // A '-' here is always binary (parse_sum runs after a complete term).
+  [[nodiscard]] bool is_cmp_tail() const { return false; }
+
+  std::unique_ptr<ExprNode> parse_term() {
+    auto a = parse_factor();
+    for (;;) {
+      if (a == nullptr) return nullptr;
+      if (eat("*")) {
+        auto b = parse_factor();
+        if (b == nullptr) return fail("expected expression after '*'");
+        a = make(Op::kMul, std::move(a), std::move(b));
+      } else if (eat("/")) {
+        auto b = parse_factor();
+        if (b == nullptr) return fail("expected expression after '/'");
+        a = make(Op::kDiv, std::move(a), std::move(b));
+      } else {
+        return a;
+      }
+    }
+  }
+
+  std::unique_ptr<ExprNode> parse_factor() {
+    skip_ws();
+    if (eat("(")) {
+      auto e = parse_or();
+      if (e == nullptr || !eat(")")) return fail("expected ')'");
+      return e;
+    }
+    if (peek() == '-') {
+      ++pos_;
+      auto e = parse_factor();
+      if (e == nullptr) return fail("expected expression after unary '-'");
+      return make(Op::kNeg, std::move(e));
+    }
+    const char c = peek();
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0 || c == '.') {
+      const char* begin = text_.data() + pos_;
+      char* end = nullptr;
+      const double v = std::strtod(begin, &end);
+      if (end == begin) return fail("malformed number");
+      pos_ += static_cast<std::size_t>(end - begin);
+      auto n = std::make_unique<ExprNode>();
+      n->op = Op::kConst;
+      n->constant = v;
+      return n;
+    }
+    auto ident = parse_ident();
+    if (!ident.has_value()) return fail("expected number, metric, or '('");
+    // Metric functions take a bare metric name; abs() takes an expression.
+    if (*ident == "abs" && eat("(")) {
+      auto e = parse_or();
+      if (e == nullptr || !eat(")")) return fail("expected ')' after abs(");
+      return make(Op::kAbs, std::move(e));
+    }
+    static constexpr struct {
+      const char* name;
+      Op op;
+    } kFns[] = {{"rate", Op::kRate}, {"delta", Op::kDelta}, {"hwm", Op::kHwm}};
+    for (const auto& fn : kFns) {
+      if (*ident == fn.name && peek() == '(') {
+        ++pos_;  // '('
+        auto arg = parse_ident();
+        if (!arg.has_value() || !eat(")"))
+          return fail(std::string(fn.name) + "() takes one metric name");
+        auto n = std::make_unique<ExprNode>();
+        n->op = fn.op;
+        n->metric = intern(*arg);
+        return n;
+      }
+    }
+    auto n = std::make_unique<ExprNode>();
+    n->op = Op::kMetric;
+    n->metric = intern(*ident);
+    return n;
+  }
+
+  std::string_view text_;
+  std::vector<MetricRef>* refs_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+// Tolerant equality for ==/!=: counters hold exact integral doubles, but
+// derived values (rates, residency sums) accumulate rounding.
+bool nearly_equal(double a, double b) {
+  const double scale = std::max({1.0, std::fabs(a), std::fabs(b)});
+  return std::fabs(a - b) <= 1e-9 * scale;
+}
+
+double slot_value(const detail::Slot& slot) {
+  return slot.kind == MetricKind::kHistogram ? slot.total_weight : slot.value;
+}
+
+}  // namespace
+
+// --- MonitorSet --------------------------------------------------------------
+
+struct MonitorSet::Impl {
+  struct Monitor {
+    MonitorSpec spec;
+    std::unique_ptr<ExprNode> expr;
+    std::vector<MetricRef> refs;
+    bool violated = false;  // edge-trigger state
+  };
+
+  /// One per watched metric name; Slot::watch_ctx points here.
+  struct WatchHook {
+    Impl* impl = nullptr;
+    std::vector<std::size_t> monitors;
+  };
+
+  Registry* registry = nullptr;
+  std::function<double()> clock;
+  std::function<void()> on_abort;
+  std::vector<Monitor> monitors;
+  std::map<std::string, std::unique_ptr<WatchHook>> hooks;
+  std::vector<Violation> violations;
+  long long total_violations = 0;
+  long long checks = 0;
+  bool failed = false;
+  bool abort_requested = false;
+  bool in_eval = false;  // re-entrancy guard for update watchers
+
+  static void watch_fire(void* ctx) {
+    auto* hook = static_cast<WatchHook*>(ctx);
+    Impl& impl = *hook->impl;
+    if (impl.in_eval || impl.registry == nullptr) return;
+    impl.in_eval = true;
+    const double now = impl.clock ? impl.clock() : 0.0;
+    for (const std::size_t idx : hook->monitors) {
+      ++impl.checks;
+      impl.evaluate(impl.monitors[idx], now);
+    }
+    impl.in_eval = false;
+  }
+
+  std::optional<double> eval(ExprNode& n, Monitor& m, double now) {
+    using Op = ExprNode::Op;
+    const auto metric_slot =
+        [this, &m](int index) -> const detail::Slot* {
+      MetricRef& ref = m.refs[static_cast<std::size_t>(index)];
+      if (ref.slot == nullptr && registry != nullptr)
+        ref.slot = registry->find(ref.name);
+      return ref.slot;
+    };
+    switch (n.op) {
+      case Op::kConst:
+        return n.constant;
+      case Op::kMetric: {
+        const detail::Slot* s = metric_slot(n.metric);
+        if (s == nullptr) return std::nullopt;
+        return slot_value(*s);
+      }
+      case Op::kHwm: {
+        const detail::Slot* s = metric_slot(n.metric);
+        if (s == nullptr) return std::nullopt;
+        return s->kind == MetricKind::kGauge ? s->max : slot_value(*s);
+      }
+      case Op::kRate:
+      case Op::kDelta: {
+        const detail::Slot* s = metric_slot(n.metric);
+        if (s == nullptr) return std::nullopt;
+        const double v = slot_value(*s);
+        if (!n.has_prev) {
+          n.has_prev = true;
+          n.prev_value = v;
+          n.prev_time = now;
+          return 0.0;  // no previous evaluation: no change yet
+        }
+        const double dv = v - n.prev_value;
+        const double dt = now - n.prev_time;
+        n.prev_value = v;
+        n.prev_time = now;
+        if (n.op == Op::kDelta) return dv;
+        return dt > 0.0 ? dv / dt : 0.0;
+      }
+      default:
+        break;
+    }
+    const auto a = eval(*n.a, m, now);
+    if (!a.has_value()) return std::nullopt;
+    if (n.op == Op::kNeg) return -*a;
+    if (n.op == Op::kAbs) return std::fabs(*a);
+    const auto b = eval(*n.b, m, now);
+    if (!b.has_value()) return std::nullopt;
+    switch (n.op) {
+      case Op::kAdd:
+        return *a + *b;
+      case Op::kSub:
+        return *a - *b;
+      case Op::kMul:
+        return *a * *b;
+      case Op::kDiv:
+        // deslp-lint: allow(float-eq): exact-zero divisor guard
+        if (*b == 0.0) return std::nullopt;
+        return *a / *b;
+      case Op::kLt:
+        return *a < *b ? 1.0 : 0.0;
+      case Op::kLe:
+        return *a <= *b || nearly_equal(*a, *b) ? 1.0 : 0.0;
+      case Op::kGt:
+        return *a > *b ? 1.0 : 0.0;
+      case Op::kGe:
+        return *a >= *b || nearly_equal(*a, *b) ? 1.0 : 0.0;
+      case Op::kEq:
+        return nearly_equal(*a, *b) ? 1.0 : 0.0;
+      case Op::kNe:
+        return nearly_equal(*a, *b) ? 0.0 : 1.0;
+      case Op::kAnd:
+        // deslp-lint: allow(float-eq): truthiness of an exact 0/1 boolean
+        return (*a != 0.0 && *b != 0.0) ? 1.0 : 0.0;
+      case Op::kOr:
+        // deslp-lint: allow(float-eq): truthiness of an exact 0/1 boolean
+        return (*a != 0.0 || *b != 0.0) ? 1.0 : 0.0;
+      default:
+        return std::nullopt;
+    }
+  }
+
+  void evaluate(Monitor& m, double now) {
+    if (now < m.spec.window_start_s || now > m.spec.window_end_s) return;
+    const auto result = eval(*m.expr, m, now);
+    if (!result.has_value()) return;  // a referenced metric does not exist yet
+    // deslp-lint: allow(float-eq): truthiness of an exact 0/1 boolean
+    const bool ok = *result != 0.0;
+    if (ok) {
+      m.violated = false;
+      return;
+    }
+    if (m.violated) return;  // edge-triggered: already reported this episode
+    m.violated = true;
+    emit(m, now);
+  }
+
+  void emit(const Monitor& m, double now) {
+    ++total_violations;
+    if (m.spec.severity == Severity::kFail ||
+        m.spec.severity == Severity::kAbort)
+      failed = true;
+    if (m.spec.severity == Severity::kAbort && !abort_requested) {
+      abort_requested = true;
+      if (on_abort) on_abort();
+    }
+    if (violations.size() >= kMaxViolations) return;
+    Violation v;
+    v.monitor = m.spec.name;
+    v.expression = m.spec.expression;
+    v.severity = m.spec.severity;
+    v.at_s = now;
+    v.node = m.spec.node;
+    std::string values;
+    for (const auto& ref : m.refs) {
+      if (!values.empty()) values += ' ';
+      values += ref.name;
+      values += '=';
+      values += ref.slot != nullptr ? json_number(slot_value(*ref.slot))
+                                    : "?";
+    }
+    v.values = std::move(values);
+    violations.push_back(std::move(v));
+  }
+};
+
+MonitorSet::MonitorSet() : impl_(std::make_unique<Impl>()) {}
+MonitorSet::~MonitorSet() = default;
+
+bool MonitorSet::add(MonitorSpec spec, std::string* error) {
+  DESLP_EXPECTS(impl_->registry == nullptr);  // add before arm
+  Impl::Monitor m;
+  Parser parser(spec.expression, &m.refs);
+  std::string parse_error;
+  m.expr = parser.parse(&parse_error);
+  if (m.expr == nullptr) {
+    if (error != nullptr)
+      *error = "monitor '" + spec.name + "': " + parse_error;
+    return false;
+  }
+  if (m.refs.empty()) {
+    if (error != nullptr)
+      *error = "monitor '" + spec.name + "' references no metric";
+    return false;
+  }
+  m.spec = std::move(spec);
+  impl_->monitors.push_back(std::move(m));
+  return true;
+}
+
+void MonitorSet::add_builtin_invariants(
+    const std::vector<std::string>& node_names, Severity severity) {
+  for (auto& spec : builtin_invariant_specs(node_names, severity)) {
+    const bool ok = add(std::move(spec));
+    DESLP_ENSURES(ok);
+  }
+}
+
+void MonitorSet::arm(Registry& registry, std::function<double()> clock) {
+  DESLP_EXPECTS(impl_->registry == nullptr);
+  impl_->registry = &registry;
+  impl_->clock = std::move(clock);
+  for (std::size_t i = 0; i < impl_->monitors.size(); ++i) {
+    Impl::Monitor& m = impl_->monitors[i];
+    for (auto& ref : m.refs) ref.slot = registry.find(ref.name);
+    if (!m.spec.on_update) continue;
+    for (const auto& ref : m.refs) {
+      auto& hook = impl_->hooks[ref.name];
+      if (hook == nullptr) {
+        hook = std::make_unique<Impl::WatchHook>();
+        hook->impl = impl_.get();
+      }
+      hook->monitors.push_back(i);
+      // A metric that does not exist yet cannot be watched; the monitor
+      // still evaluates at every checkpoint once the metric appears.
+      (void)registry.set_watcher(ref.name, &Impl::watch_fire, hook.get());
+    }
+  }
+}
+
+void MonitorSet::set_on_abort(std::function<void()> fn) {
+  impl_->on_abort = std::move(fn);
+}
+
+void MonitorSet::check(double now_s) {
+  impl_->in_eval = true;
+  for (auto& m : impl_->monitors) {
+    ++impl_->checks;
+    impl_->evaluate(m, now_s);
+  }
+  impl_->in_eval = false;
+}
+
+bool MonitorSet::armed() const { return impl_->registry != nullptr; }
+std::size_t MonitorSet::size() const { return impl_->monitors.size(); }
+const std::vector<Violation>& MonitorSet::violations() const {
+  return impl_->violations;
+}
+long long MonitorSet::violation_total() const {
+  return impl_->total_violations;
+}
+long long MonitorSet::dropped_violations() const {
+  return impl_->total_violations -
+         static_cast<long long>(impl_->violations.size());
+}
+long long MonitorSet::checks() const { return impl_->checks; }
+bool MonitorSet::failed() const { return impl_->failed; }
+bool MonitorSet::abort_requested() const { return impl_->abort_requested; }
+
+// --- builtin invariants ------------------------------------------------------
+
+std::vector<MonitorSpec> builtin_invariant_specs(
+    const std::vector<std::string>& node_names, Severity severity) {
+  std::vector<MonitorSpec> specs;
+  {
+    MonitorSpec s;
+    // Write-offs are bounded by sends, not a partition of them: an
+    // ack-suppression fault makes the sender presume a delivered frame
+    // lost, so `lost` can overlap `completed` — but each write-off still
+    // consumes a distinct sent frame.
+    s.name = "builtin.losses_bounded";
+    s.expression = "system.frames_lost <= system.frames_sent";
+    s.severity = severity;
+    s.on_update = true;
+    specs.push_back(std::move(s));
+  }
+  {
+    MonitorSpec s;
+    s.name = "builtin.completions_bounded";
+    s.expression = "system.frames_completed <= system.frames_sent";
+    s.severity = severity;
+    s.on_update = true;
+    specs.push_back(std::move(s));
+  }
+  for (const auto& name : node_names) {
+    MonitorSpec s;
+    s.name = "builtin.soc_monotone." + name;
+    // A battery never recovers charge: every SoC update moves down (or a
+    // revive leaves it unchanged).
+    s.expression = "delta(node." + name + ".soc) <= 0";
+    s.severity = severity;
+    s.on_update = true;
+    s.node = name;
+    specs.push_back(std::move(s));
+  }
+  return specs;
+}
+
+// --- [monitor] INI parsing ---------------------------------------------------
+
+std::optional<std::vector<MonitorSpec>> monitor_specs_from_config(
+    const Config& config, std::string* error) {
+  const auto fail = [error](const std::string& message) {
+    if (error != nullptr) *error = "[monitor] " + message;
+    return std::nullopt;
+  };
+
+  std::vector<MonitorSpec> specs;
+  const auto keys = config.keys("monitor");  // sorted: base before sub-keys
+  const auto find_spec = [&specs](const std::string& name) -> MonitorSpec* {
+    for (auto& s : specs)
+      if (s.name == name) return &s;
+    return nullptr;
+  };
+
+  for (const auto& key : keys) {
+    if (key == "checkpoint_s") continue;
+    const std::string value = config.get_string("monitor", key, "");
+    const auto dot = key.find('.');
+    if (dot == std::string::npos) {
+      MonitorSpec s;
+      s.name = key;
+      s.expression = value;
+      // Validate eagerly so a typo fails at parse time, not mid-run.
+      MonitorSet probe;
+      std::string parse_error;
+      MonitorSpec copy = s;
+      if (!probe.add(std::move(copy), &parse_error)) return fail(parse_error);
+      specs.push_back(std::move(s));
+      continue;
+    }
+    const std::string base = key.substr(0, dot);
+    const std::string option = key.substr(dot + 1);
+    MonitorSpec* spec = find_spec(base);
+    if (spec == nullptr)
+      return fail("option '" + key + "' has no monitor '" + base + "'");
+    if (option == "severity") {
+      const auto sev = parse_severity(value);
+      if (!sev.has_value())
+        return fail("'" + key + "' must be warn, fail, or abort");
+      spec->severity = *sev;
+    } else if (option == "window") {
+      const auto sep = value.find("..");
+      if (sep == std::string::npos)
+        return fail("'" + key + "' must be 'start..end' (either optional)");
+      const std::string lo = value.substr(0, sep);
+      const std::string hi = value.substr(sep + 2);
+      try {
+        if (!lo.empty()) spec->window_start_s = std::stod(lo);
+        if (!hi.empty()) spec->window_end_s = std::stod(hi);
+      } catch (...) {
+        return fail("'" + key + "' has a malformed bound");
+      }
+      if (spec->window_end_s < spec->window_start_s)
+        return fail("'" + key + "' window ends before it starts");
+    } else if (option == "on") {
+      if (value == "update")
+        spec->on_update = true;
+      else if (value == "checkpoint")
+        spec->on_update = false;
+      else
+        return fail("'" + key + "' must be update or checkpoint");
+    } else if (option == "node") {
+      spec->node = value;
+    } else {
+      return fail("unknown option '" + key + "'");
+    }
+  }
+  return specs;
+}
+
+double monitor_checkpoint_from_config(const Config& config, double fallback) {
+  return config.get_double("monitor", "checkpoint_s", fallback);
+}
+
+// --- JSON --------------------------------------------------------------------
+
+void write_violations_json(const std::vector<Violation>& violations,
+                           std::ostream& os) {
+  os << "[";
+  for (std::size_t i = 0; i < violations.size(); ++i) {
+    const Violation& v = violations[i];
+    os << (i ? "," : "") << "\n    "
+       << "{\"monitor\":\"" << json_escape(v.monitor) << "\",\"severity\":\""
+       << severity_name(v.severity) << "\",\"at_s\":" << json_number(v.at_s)
+       << ",\"node\":\"" << json_escape(v.node) << "\",\"expression\":\""
+       << json_escape(v.expression) << "\",\"values\":\""
+       << json_escape(v.values) << "\"";
+    if (!v.message.empty())
+      os << ",\"message\":\"" << json_escape(v.message) << "\"";
+    os << "}";
+  }
+  os << (violations.empty() ? "]" : "\n  ]");
+}
+
+}  // namespace deslp::obs

@@ -1,0 +1,170 @@
+// Declarative runtime invariant monitors over the metrics registry
+// (DESIGN.md §11).
+//
+// A monitor is a named boolean expression over registered metrics —
+// thresholds (`system.frame_latency_s <= 3.0`), rates of change
+// (`rate(system.frames_completed) >= 0`), sim-time-windowed checks, and
+// cross-metric predicates (`system.frames_lost <= system.frames_sent`).
+// Monitors are registered from code or parsed
+// from a scenario's [monitor] INI section, evaluated at engine-driven
+// sim-time checkpoints and (opt-in per monitor) on every update of a
+// referenced metric, and emit structured Violation records with a
+// configurable warn/fail/abort severity when their expression turns false.
+//
+// Determinism contract: monitors only *read* metric slots — evaluation
+// never mutates simulation state, draws randomness, or reads wall time —
+// so an armed monitor set replays bit-identically and an unarmed one costs
+// nothing (no registry, no watchers, no checkpoint events).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace deslp {
+class Config;
+}
+
+namespace deslp::obs {
+
+/// What a violation means for the run: `kWarn` records it, `kFail` records
+/// it and marks the run failed (CI gates and tests exit non-zero), `kAbort`
+/// additionally requests that the simulation stop at the next event
+/// boundary.
+enum class Severity { kWarn, kFail, kAbort };
+
+[[nodiscard]] const char* severity_name(Severity severity);
+[[nodiscard]] std::optional<Severity> parse_severity(std::string_view text);
+
+/// One emitted invariant violation (edge-triggered: a monitor that stays
+/// false re-emits only after its expression has recovered to true).
+struct Violation {
+  std::string monitor;     // monitor name
+  std::string expression;  // armed expression text
+  Severity severity = Severity::kWarn;
+  double at_s = 0.0;       // simulated seconds
+  std::string node;        // attributed node ("" = system-wide)
+  std::string values;      // "name=value" of every metric the expression reads
+  std::string message;     // optional free-form context
+};
+
+/// Declarative description of one monitor (parse target of the [monitor]
+/// INI section and the programmatic registration API).
+struct MonitorSpec {
+  std::string name;
+  /// Boolean expression over metric names; grammar in DESIGN.md §11:
+  /// comparisons (< <= > >= == !=) over +,-,*,/ arithmetic on numbers,
+  /// dotted metric names, parentheses, unary minus, `abs(expr)`, and the
+  /// metric functions `rate(m)`, `delta(m)` (change since this monitor's
+  /// previous evaluation) and `hwm(m)` (gauge high-water mark). `&&`/`||`
+  /// combine comparisons. The monitor *violates* when the expression
+  /// evaluates to false (0).
+  std::string expression;
+  Severity severity = Severity::kWarn;
+  /// Sim-time window [start, end] outside which the monitor is dormant.
+  double window_start_s = 0.0;
+  double window_end_s = std::numeric_limits<double>::infinity();
+  /// Also evaluate on every update of a referenced metric (installs slot
+  /// watchers), not just at checkpoints.
+  bool on_update = false;
+  /// Optional node attribution copied into emitted violations.
+  std::string node;
+};
+
+/// The built-in pipeline invariant set armed under fault plans: frame
+/// accounting (completions and loss write-offs are each bounded by sends —
+/// they are not a partition, since an ack-suppression fault can write off
+/// a frame that still completes) plus per-node SoC monotonicity (a
+/// battery never recovers charge), one monitor per node name.
+[[nodiscard]] std::vector<MonitorSpec> builtin_invariant_specs(
+    const std::vector<std::string>& node_names, Severity severity);
+
+/// A set of armed monitors over one run's registry. Owned by the system
+/// under test; violations are collected here and copied into the run
+/// result. Not thread-safe (one set belongs to one run on one thread, like
+/// the registry it watches).
+class MonitorSet {
+ public:
+  /// Stored-violation cap: emission beyond it still counts (and still
+  /// drives failed()/abort) but only bumps dropped_violations(), so a
+  /// pathological monitor cannot make the run report unbounded.
+  static constexpr std::size_t kMaxViolations = 256;
+
+  MonitorSet();
+  ~MonitorSet();
+  MonitorSet(const MonitorSet&) = delete;
+  MonitorSet& operator=(const MonitorSet&) = delete;
+
+  /// Parse and register one monitor. Returns false (with *error set) on a
+  /// malformed expression; the set is left unchanged.
+  bool add(MonitorSpec spec, std::string* error = nullptr);
+
+  /// Register builtin_invariant_specs() (all expressions are known-good).
+  void add_builtin_invariants(const std::vector<std::string>& node_names,
+                              Severity severity);
+
+  /// Bind the set to a registry and a sim-time source (seconds). Resolves
+  /// every referenced metric (monitors whose metrics do not exist yet
+  /// re-resolve at each later evaluation) and installs update watchers for
+  /// on_update monitors. Call once, before the run starts.
+  void arm(Registry& registry, std::function<double()> clock);
+
+  /// Invoked when a kAbort monitor fires (typically sim::Engine::stop).
+  void set_on_abort(std::function<void()> fn);
+
+  /// Checkpoint evaluation of every armed monitor at sim time `now_s`.
+  void check(double now_s);
+
+  [[nodiscard]] bool armed() const;
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] const std::vector<Violation>& violations() const;
+  /// Total violations emitted, including any dropped past kMaxViolations.
+  [[nodiscard]] long long violation_total() const;
+  [[nodiscard]] long long dropped_violations() const;
+  /// Checkpoint + on-update evaluations performed so far.
+  [[nodiscard]] long long checks() const;
+  /// True once any kFail or kAbort monitor has violated.
+  [[nodiscard]] bool failed() const;
+  [[nodiscard]] bool abort_requested() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Parse a `[monitor]` INI section into specs. Every key that is not
+/// reserved (`checkpoint_s`) and contains no '.' names one monitor whose
+/// value is the expression; dotted sub-keys attach options to it:
+///
+///   [monitor]
+///   checkpoint_s = 25              ; checkpoint period (consumer-defined)
+///   latency = system.frame_latency_s <= 3.0
+///   latency.severity = fail        ; warn (default) | fail | abort
+///   latency.window = 10..200       ; sim-time window, either end optional
+///   latency.on = update            ; update | checkpoint (default)
+///   latency.node = Node1           ; violation attribution
+///
+/// Returns nullopt with *error set on an unknown sub-key, a sub-key
+/// without a base monitor, a bad severity/window, or a malformed
+/// expression. A config without a [monitor] section yields an empty list.
+[[nodiscard]] std::optional<std::vector<MonitorSpec>>
+monitor_specs_from_config(const Config& config, std::string* error);
+
+/// The [monitor] checkpoint_s value (fallback when absent; 0 lets the
+/// consumer pick its default period).
+[[nodiscard]] double monitor_checkpoint_from_config(const Config& config,
+                                                    double fallback);
+
+/// JSON array of violations (deterministic field order), shared by the run
+/// report and scenario report writers.
+void write_violations_json(const std::vector<Violation>& violations,
+                           std::ostream& os);
+
+}  // namespace deslp::obs

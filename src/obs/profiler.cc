@@ -1,0 +1,70 @@
+#include "obs/profiler.h"
+
+#include <ostream>
+
+#include "obs/json.h"
+#include "util/check.h"
+
+namespace deslp::obs {
+
+ProfileSpan::ProfileSpan(Profiler* profiler, std::string_view actor,
+                         std::string_view stage)
+    : profiler_(profiler) {
+  if (profiler_ == nullptr) return;
+  actor_ = std::string(actor);
+  profiler_->push(actor_, stage);
+}
+
+ProfileSpan::~ProfileSpan() {
+  if (profiler_ != nullptr) profiler_->pop(actor_);
+}
+
+void Profiler::push(std::string_view actor, std::string_view stage) {
+  auto it = stacks_.find(actor);
+  if (it == stacks_.end())
+    it = stacks_.emplace(std::string(actor), std::vector<std::string>{}).first;
+  it->second.emplace_back(stage);
+}
+
+void Profiler::pop(std::string_view actor) {
+  const auto it = stacks_.find(actor);
+  DESLP_EXPECTS(it != stacks_.end() && !it->second.empty());
+  it->second.pop_back();
+}
+
+void Profiler::record(std::string_view node, std::string_view component,
+                      double sim_s, double energy_j) {
+  std::string path(node);
+  const auto it = stacks_.find(node);
+  if (it != stacks_.end()) {
+    for (const auto& stage : it->second) {
+      path += '/';
+      path += stage;
+    }
+  }
+  path += '/';
+  path += component;
+  Entry& e = entries_[std::move(path)];
+  e.sim_s += sim_s;
+  e.energy_j += energy_j;
+  ++e.samples;
+  total_sim_s_ += sim_s;
+  total_energy_j_ += energy_j;
+}
+
+void Profiler::write_json(std::ostream& os) const {
+  os << "{\"handler_wall_ns\":" << handler_wall_ns_
+     << ",\"total_energy_j\":" << json_number(total_energy_j_)
+     << ",\"total_sim_s\":" << json_number(total_sim_s_) << ",\"spans\":[";
+  bool first = true;
+  for (const auto& [path, e] : entries_) {
+    os << (first ? "" : ",") << "\n    {\"path\":\"" << json_escape(path)
+       << "\",\"energy_j\":" << json_number(e.energy_j)
+       << ",\"sim_s\":" << json_number(e.sim_s) << ",\"samples\":" << e.samples
+       << "}";
+    first = false;
+  }
+  os << (entries_.empty() ? "]}" : "\n  ]}");
+}
+
+}  // namespace deslp::obs

@@ -1,0 +1,102 @@
+// Sim-time energy/latency profiler (DESIGN.md §11): attributes battery
+// energy drained and simulated seconds to (node, pipeline-stage, component)
+// scopes and emits a flame-style JSON breakdown.
+//
+// Attribution model: each *actor* (a node's behaviour coroutine) owns a
+// stack of named pipeline-stage scopes, pushed/popped by RAII ProfileSpan
+// guards. Every drain recorded for that actor lands under the '/'-joined
+// path `actor/stage/.../component`. Coroutine interleaving is safe because
+// an actor's behaviour is sequential in sim time — its stack mutates only
+// from its own frames — and actors never share a stack.
+//
+// Handler wall-time comes from the engine's handler-timing side channel
+// (sim::Engine::handler_wall_ns) and is attached to the profile as a
+// host-side total; it never feeds back into simulated results.
+//
+// A null Profiler* is the off state: call sites guard with one branch, and
+// no scope, map, or string exists — the default run stays byte-identical.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace deslp::obs {
+
+class Profiler;
+
+/// RAII pipeline-stage scope: pushes `stage` onto `actor`'s scope stack for
+/// its lifetime. A span constructed with a null profiler is a no-op, so
+/// behaviour code can unconditionally open spans.
+class ProfileSpan {
+ public:
+  ProfileSpan(Profiler* profiler, std::string_view actor,
+              std::string_view stage);
+  ~ProfileSpan();
+  ProfileSpan(const ProfileSpan&) = delete;
+  ProfileSpan& operator=(const ProfileSpan&) = delete;
+
+ private:
+  Profiler* profiler_ = nullptr;
+  std::string actor_;
+};
+
+class Profiler {
+ public:
+  /// One leaf scope's accumulated attribution.
+  struct Entry {
+    double sim_s = 0.0;     // simulated seconds attributed
+    double energy_j = 0.0;  // battery energy drained (joules)
+    long long samples = 0;  // drains recorded
+  };
+
+  Profiler() = default;
+  Profiler(const Profiler&) = delete;
+  Profiler& operator=(const Profiler&) = delete;
+
+  /// Scope-stack manipulation (prefer ProfileSpan).
+  void push(std::string_view actor, std::string_view stage);
+  void pop(std::string_view actor);
+
+  /// Attribute one drain of `sim_s` simulated seconds and `energy_j`
+  /// joules to `node`'s current scope path plus trailing `component` (the
+  /// drain kind: COMP/COMM/IDLE/...).
+  void record(std::string_view node, std::string_view component, double sim_s,
+              double energy_j);
+
+  /// Attach the engine's accumulated handler wall-time (host profiling
+  /// side channel, reported but never attributed to scopes).
+  void set_handler_wall_ns(std::int64_t ns) { handler_wall_ns_ = ns; }
+  [[nodiscard]] std::int64_t handler_wall_ns() const {
+    return handler_wall_ns_;
+  }
+
+  [[nodiscard]] double total_energy_j() const { return total_energy_j_; }
+  [[nodiscard]] double total_sim_s() const { return total_sim_s_; }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  /// Leaf scopes keyed by '/'-joined path, in path order (deterministic).
+  [[nodiscard]] const std::map<std::string, Entry, std::less<>>& entries()
+      const {
+    return entries_;
+  }
+
+  /// Flame-style JSON object:
+  ///   {"handler_wall_ns":N,"total_energy_j":E,"total_sim_s":S,
+  ///    "spans":[{"path":"Node1/frame/COMP","energy_j":...,
+  ///              "sim_s":...,"samples":...},...]}
+  /// Span paths sort lexicographically, so a parent prefix groups its
+  /// children contiguously — trace_export-style tooling can fold on '/'.
+  void write_json(std::ostream& os) const;
+
+ private:
+  std::map<std::string, std::vector<std::string>, std::less<>> stacks_;
+  std::map<std::string, Entry, std::less<>> entries_;
+  std::int64_t handler_wall_ns_ = 0;
+  double total_energy_j_ = 0.0;
+  double total_sim_s_ = 0.0;
+};
+
+}  // namespace deslp::obs

@@ -53,6 +53,20 @@ bool Engine::step() {
   return true;
 }
 
+void Engine::post_every(Dur period, std::function<void()> fn) {
+  DESLP_EXPECTS(period.nanos() > 0);
+  repost_every(period,
+               std::make_shared<std::function<void()>>(std::move(fn)));
+}
+
+void Engine::repost_every(Dur period,
+                          const std::shared_ptr<std::function<void()>>& fn) {
+  post_after(period, [this, period, fn] {
+    (*fn)();
+    repost_every(period, fn);
+  });
+}
+
 Time Engine::run() {
   stop_requested_ = false;
   while (!stop_requested_ && step()) {

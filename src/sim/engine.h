@@ -12,6 +12,8 @@
 
 #include <coroutine>
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <vector>
 
 #include "obs/metrics.h"
@@ -90,6 +92,18 @@ class Engine {
   }
   void post_after(Dur d, EventFn fn) { post_at(now_ + d, std::move(fn)); }
 
+  /// Recurring fire-and-forget event: `fn` runs every `period`, first at
+  /// now + period, reposting itself until run()/run_until() returns (the
+  /// driver loop, not the queue, bounds its lifetime — callers must have a
+  /// stop condition such as a watchdog or deadline, as every system here
+  /// does). The callback is held once behind a shared_ptr and each repost
+  /// captures only {engine, period, ptr}, which fits EventFn's inline
+  /// storage — a checkpoint tick costs no allocation. Extra ticks consume
+  /// seq numbers but never reorder other same-instant events relative to
+  /// each other, so a read-only observer (obs::MonitorSet checkpoints)
+  /// leaves sim outcomes bit-identical.
+  void post_every(Dur period, std::function<void()> fn);
+
   /// Hand a top-level process to the engine. It starts immediately (runs
   /// until its first suspension) and is owned by the engine.
   void spawn(Task task);
@@ -160,6 +174,8 @@ class Engine {
   friend class EventHandle;
 
   bool step();
+  void repost_every(Dur period,
+                    const std::shared_ptr<std::function<void()>>& fn);
   void note_scheduled() {
     events_scheduled_.inc();
     queue_hwm_.set_max(static_cast<double>(queue_.live()));

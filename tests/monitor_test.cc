@@ -1,0 +1,499 @@
+// Runtime invariant monitors (DESIGN.md §11): expression grammar, severity
+// and window semantics, edge-triggered emission, on-update watchers — and
+// the two end-to-end guarantees the design leans on: the builtin invariant
+// set stays clean (and outcome-neutral) across the whole fault matrix, and
+// a deliberately tightened monitor reproduces a bit-identical violation
+// stream across replays.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "battery/kibam.h"
+#include "core/experiment.h"
+#include "core/system.h"
+#include "fault/fault.h"
+#include "obs/metrics.h"
+#include "obs/monitor.h"
+#include "task/partition.h"
+#include "util/config.h"
+
+namespace deslp::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Unit layer: MonitorSet over a hand-driven registry and clock.
+
+struct Bench {
+  Registry registry;
+  MonitorSet monitors;
+  double now_s = 0.0;
+
+  void arm() {
+    monitors.arm(registry, [this] { return now_s; });
+  }
+  bool add(const std::string& name, const std::string& expr,
+           Severity severity = Severity::kWarn, bool on_update = false) {
+    MonitorSpec spec;
+    spec.name = name;
+    spec.expression = expr;
+    spec.severity = severity;
+    spec.on_update = on_update;
+    return monitors.add(std::move(spec));
+  }
+};
+
+TEST(MonitorSeverity, ParsesAndNames) {
+  EXPECT_EQ(parse_severity("warn"), Severity::kWarn);
+  EXPECT_EQ(parse_severity("fail"), Severity::kFail);
+  EXPECT_EQ(parse_severity("abort"), Severity::kAbort);
+  EXPECT_FALSE(parse_severity("fatal").has_value());
+  EXPECT_STREQ(severity_name(Severity::kWarn), "warn");
+  EXPECT_STREQ(severity_name(Severity::kFail), "fail");
+  EXPECT_STREQ(severity_name(Severity::kAbort), "abort");
+}
+
+TEST(MonitorParser, RejectsMalformedExpressions) {
+  MonitorSet set;
+  const char* kBad[] = {"",       "1 +",       "a.b <",  "(a.b > 1",
+                        "rate()", "rate(1+2)", "a.b ? 1", "abs(a.b"};
+  for (const char* expr : kBad) {
+    MonitorSpec spec;
+    spec.name = "bad";
+    spec.expression = expr;
+    std::string error;
+    EXPECT_FALSE(set.add(std::move(spec), &error)) << expr;
+    EXPECT_FALSE(error.empty()) << expr;
+  }
+  EXPECT_EQ(set.size(), 0u);
+}
+
+TEST(MonitorSet, ThresholdViolatesAndEdgeTriggers) {
+  Bench b;
+  auto g = b.registry.gauge("test.latency");
+  ASSERT_TRUE(b.add("latency", "test.latency < 5"));
+  b.arm();
+
+  g.set(3.0);
+  b.now_s = 1.0;
+  b.monitors.check(b.now_s);
+  EXPECT_EQ(b.monitors.violation_total(), 0);
+
+  g.set(7.0);
+  b.now_s = 2.0;
+  b.monitors.check(b.now_s);
+  b.monitors.check(b.now_s);  // still false: edge-triggered, no re-emit
+  ASSERT_EQ(b.monitors.violation_total(), 1);
+  const Violation& v = b.monitors.violations()[0];
+  EXPECT_EQ(v.monitor, "latency");
+  EXPECT_EQ(v.severity, Severity::kWarn);
+  EXPECT_DOUBLE_EQ(v.at_s, 2.0);
+  EXPECT_NE(v.values.find("test.latency=7"), std::string::npos);
+
+  g.set(2.0);  // recover...
+  b.now_s = 3.0;
+  b.monitors.check(b.now_s);
+  g.set(9.0);  // ...then violate again: second emission
+  b.now_s = 4.0;
+  b.monitors.check(b.now_s);
+  EXPECT_EQ(b.monitors.violation_total(), 2);
+  EXPECT_FALSE(b.monitors.failed());  // warn never fails the run
+}
+
+TEST(MonitorSet, OnUpdateFiresWithoutCheckpoints) {
+  Bench b;
+  auto c = b.registry.counter("test.count");
+  ASSERT_TRUE(b.add("bounded", "test.count <= 2", Severity::kFail,
+                    /*on_update=*/true));
+  b.arm();
+
+  c.inc();
+  c.inc();
+  EXPECT_EQ(b.monitors.violation_total(), 0);
+  b.now_s = 7.5;
+  c.inc();  // 3 > 2: the slot watcher fires, no check() involved
+  ASSERT_EQ(b.monitors.violation_total(), 1);
+  EXPECT_DOUBLE_EQ(b.monitors.violations()[0].at_s, 7.5);
+  EXPECT_TRUE(b.monitors.failed());
+  EXPECT_FALSE(b.monitors.abort_requested());
+  EXPECT_GE(b.monitors.checks(), 3);
+}
+
+TEST(MonitorSet, WindowSuppressesOutsideItsSpan) {
+  Bench b;
+  auto g = b.registry.gauge("test.g");
+  MonitorSpec spec;
+  spec.name = "windowed";
+  spec.expression = "test.g < 0";
+  spec.window_start_s = 10.0;
+  spec.window_end_s = 20.0;
+  ASSERT_TRUE(b.monitors.add(std::move(spec)));
+  b.arm();
+
+  g.set(1.0);  // expression is false throughout
+  b.now_s = 5.0;
+  b.monitors.check(b.now_s);  // before the window: dormant
+  EXPECT_EQ(b.monitors.violation_total(), 0);
+  b.now_s = 15.0;
+  b.monitors.check(b.now_s);  // inside: fires
+  EXPECT_EQ(b.monitors.violation_total(), 1);
+  b.now_s = 25.0;
+  b.monitors.check(b.now_s);  // after: dormant again
+  EXPECT_EQ(b.monitors.violation_total(), 1);
+}
+
+TEST(MonitorSet, RateDeltaAndHwmHistoryOperators) {
+  Bench b;
+  auto g = b.registry.gauge("test.g");
+  ASSERT_TRUE(b.add("never_drops", "delta(test.g) >= 0"));
+  ASSERT_TRUE(b.add("slow_rise", "rate(test.g) <= 2"));
+  ASSERT_TRUE(b.add("hwm_cap", "hwm(test.g) <= 10"));
+  b.arm();
+
+  g.set(1.0);
+  b.now_s = 1.0;
+  b.monitors.check(b.now_s);  // first eval: rate/delta see "no change yet"
+  EXPECT_EQ(b.monitors.violation_total(), 0);
+
+  g.set(2.0);  // +1 over 1 s: delta +1, rate 1 — both fine
+  b.now_s = 2.0;
+  b.monitors.check(b.now_s);
+  EXPECT_EQ(b.monitors.violation_total(), 0);
+
+  g.set(12.0);  // +10 over 1 s: rate 10 > 2, and the hwm cap breaks too
+  b.now_s = 3.0;
+  b.monitors.check(b.now_s);
+  EXPECT_EQ(b.monitors.violation_total(), 2);
+
+  g.set(4.0);  // drop: delta < 0 fires; hwm stays latched at 12
+  b.now_s = 4.0;
+  b.monitors.check(b.now_s);
+  EXPECT_EQ(b.monitors.violation_total(), 3);
+  std::vector<std::string> fired;
+  for (const auto& v : b.monitors.violations()) fired.push_back(v.monitor);
+  EXPECT_EQ(std::count(fired.begin(), fired.end(), "never_drops"), 1);
+  EXPECT_EQ(std::count(fired.begin(), fired.end(), "slow_rise"), 1);
+  EXPECT_EQ(std::count(fired.begin(), fired.end(), "hwm_cap"), 1);
+}
+
+TEST(MonitorSet, MissingMetricAndDivisionByZeroAreIndeterminate) {
+  Bench b;
+  auto g = b.registry.gauge("test.denominator");
+  ASSERT_TRUE(b.add("ghost", "test.absent > 0"));
+  ASSERT_TRUE(b.add("ratio", "1 / test.denominator < 10"));
+  b.arm();
+
+  b.monitors.check(1.0);  // absent metric, zero denominator: no verdict
+  EXPECT_EQ(b.monitors.violation_total(), 0);
+
+  g.set(0.05);  // 1/0.05 = 20 >= 10: the ratio monitor now has a verdict
+  b.monitors.check(2.0);
+  ASSERT_EQ(b.monitors.violation_total(), 1);
+  EXPECT_EQ(b.monitors.violations()[0].monitor, "ratio");
+}
+
+TEST(MonitorSet, AbortSeverityRequestsStop) {
+  Bench b;
+  auto g = b.registry.gauge("test.g");
+  ASSERT_TRUE(b.add("hard_stop", "test.g < 1", Severity::kAbort));
+  bool stopped = false;
+  b.monitors.set_on_abort([&stopped] { stopped = true; });
+  b.arm();
+
+  g.set(2.0);
+  b.monitors.check(1.0);
+  ASSERT_TRUE(stopped);
+  EXPECT_TRUE(b.monitors.abort_requested());
+  EXPECT_TRUE(b.monitors.failed());
+}
+
+TEST(MonitorSet, ViolationStorageIsCappedButCountsEverything) {
+  Bench b;
+  auto g = b.registry.gauge("test.g");
+  ASSERT_TRUE(b.add("flappy", "test.g < 1"));
+  b.arm();
+
+  const int kRounds = 300;  // alternate violate/recover past the cap
+  for (int i = 0; i < kRounds; ++i) {
+    g.set(2.0);
+    b.monitors.check(2.0 * i);
+    g.set(0.0);
+    b.monitors.check(2.0 * i + 1.0);
+  }
+  EXPECT_EQ(b.monitors.violations().size(), MonitorSet::kMaxViolations);
+  EXPECT_EQ(b.monitors.violation_total(), kRounds);
+  EXPECT_EQ(b.monitors.dropped_violations(),
+            kRounds - static_cast<long long>(MonitorSet::kMaxViolations));
+}
+
+// ---------------------------------------------------------------------------
+// [monitor] INI parsing.
+
+TEST(MonitorConfig, ParsesSpecsWithDottedSubKeys) {
+  const auto cfg = Config::parse(
+      "[monitor]\n"
+      "checkpoint_s = 25\n"
+      "latency = system.frame_latency_s <= 3.0\n"
+      "latency.severity = fail\n"
+      "latency.window = 10..200\n"
+      "latency.on = update\n"
+      "latency.node = Node1\n"
+      "soc = delta(node.Node1.soc) <= 0\n",
+      nullptr);
+  ASSERT_TRUE(cfg.has_value());
+  std::string error;
+  const auto specs = obs::monitor_specs_from_config(*cfg, &error);
+  ASSERT_TRUE(specs.has_value()) << error;
+  ASSERT_EQ(specs->size(), 2u);
+  const auto latency = std::find_if(
+      specs->begin(), specs->end(),
+      [](const MonitorSpec& s) { return s.name == "latency"; });
+  ASSERT_NE(latency, specs->end());
+  EXPECT_EQ(latency->expression, "system.frame_latency_s <= 3.0");
+  EXPECT_EQ(latency->severity, Severity::kFail);
+  EXPECT_DOUBLE_EQ(latency->window_start_s, 10.0);
+  EXPECT_DOUBLE_EQ(latency->window_end_s, 200.0);
+  EXPECT_TRUE(latency->on_update);
+  EXPECT_EQ(latency->node, "Node1");
+  EXPECT_DOUBLE_EQ(obs::monitor_checkpoint_from_config(*cfg, 0.0), 25.0);
+}
+
+TEST(MonitorConfig, NoSectionYieldsEmptyAndErrorsAreReported) {
+  const auto none = Config::parse("[system]\nframes = 1\n", nullptr);
+  ASSERT_TRUE(none.has_value());
+  std::string error;
+  const auto empty = obs::monitor_specs_from_config(*none, &error);
+  ASSERT_TRUE(empty.has_value()) << error;
+  EXPECT_TRUE(empty->empty());
+
+  const char* kBad[] = {
+      "[monitor]\nm = 1 +\n",                     // malformed expression
+      "[monitor]\nm = a.b > 0\nm.severity = x\n", // bad severity
+      "[monitor]\nm.severity = fail\n",           // sub-key without a base
+      "[monitor]\nm = a.b > 0\nm.bogus = 1\n",    // unknown sub-key
+      "[monitor]\nm = a.b > 0\nm.window = z..9\n" // bad window
+  };
+  for (const char* text : kBad) {
+    const auto cfg = Config::parse(text, nullptr);
+    ASSERT_TRUE(cfg.has_value());
+    error.clear();
+    EXPECT_FALSE(obs::monitor_specs_from_config(*cfg, &error).has_value())
+        << text;
+    EXPECT_FALSE(error.empty()) << text;
+  }
+}
+
+}  // namespace
+}  // namespace deslp::obs
+
+// ---------------------------------------------------------------------------
+// Integration layer: monitors riding a real PipelineSystem run.
+
+namespace deslp::core {
+namespace {
+
+struct Shape {
+  const char* name;
+  int stages;
+  bool acks;
+  long long rotation;
+};
+
+const Shape kShapes[] = {
+    {"solo", 1, false, 0},
+    {"acks", 2, true, 0},
+    {"rotation", 2, false, 50},
+};
+
+fault::FaultEvent event(fault::FaultKind kind, int target, double at,
+                        double dur, double magnitude = 1.0) {
+  return {kind, target, seconds(at), seconds(dur), magnitude};
+}
+
+struct Archetype {
+  const char* name;
+  fault::FaultPlan (*plan)(int stages);
+};
+
+// Mirrors tests/fault_matrix_test.cc so the builtin invariants face every
+// recovery path the matrix exercises.
+const Archetype kArchetypes[] = {
+    {"blackout",
+     [](int stages) {
+       fault::FaultPlan p;
+       p.events.push_back(
+           event(fault::FaultKind::kLinkBlackout, stages, 60.0, 30.0));
+       return p;
+     }},
+    {"rate_degrade",
+     [](int) {
+       fault::FaultPlan p;
+       p.events.push_back(
+           event(fault::FaultKind::kRateDegrade, 0, 30.0, 60.0, 0.25));
+       return p;
+     }},
+    {"burst_loss",
+     [](int) {
+       fault::FaultPlan p;
+       p.seed = 5;
+       p.events.push_back(
+           event(fault::FaultKind::kBurstLoss, 0, 30.0, 120.0, 0.3));
+       return p;
+     }},
+    {"ack_suppress",
+     [](int) {
+       fault::FaultPlan p;
+       p.events.push_back(
+           event(fault::FaultKind::kAckSuppress, 0, 60.0, 20.0));
+       return p;
+     }},
+    {"brownout",
+     [](int stages) {
+       fault::FaultPlan p;
+       p.events.push_back(
+           event(fault::FaultKind::kBrownout, stages, 60.0, 30.0));
+       return p;
+     }},
+    {"sudden_death",
+     [](int stages) {
+       fault::FaultPlan p;
+       p.events.push_back(
+           event(fault::FaultKind::kSuddenDeath, stages, 90.0, 0.0));
+       return p;
+     }},
+    {"capacity_scale",
+     [](int stages) {
+       fault::FaultPlan p;
+       p.events.push_back(
+           event(fault::FaultKind::kCapacityScale, stages, 0.0, 0.0, 0.5));
+       return p;
+     }},
+};
+
+constexpr double kCellMah = 8.0;  // small pack: cells run in seconds
+
+SystemConfig cell_config(const Shape& shape, const fault::FaultPlan& plan) {
+  SystemConfig sys;
+  sys.cpu = &cpu::itsy_sa1100();
+  sys.profile = &atr::itsy_atr_profile();
+  sys.link = net::itsy_serial_link();
+  sys.battery_factory = [] {
+    return battery::make_kibam_battery(
+        battery::KibamParams{milliamp_hours(kCellMah), 0.3, 5e-4});
+  };
+  sys.frame_delay = seconds(2.3);
+  sys.max_frames = 3000;
+  sys.seed = 42;
+
+  const auto analyses = task::analyze_all_partitions(
+      *sys.profile, shape.stages, *sys.cpu, sys.link, sys.frame_delay);
+  const int best = task::best_partition_index(analyses);
+  EXPECT_GE(best, 0);
+  const auto& a = analyses[static_cast<std::size_t>(best)];
+  sys.partition = a.partition;
+  for (const auto& s : a.stages) {
+    const int lv = std::min(s.min_level + 1, sys.cpu->level_count() - 1);
+    sys.stage_levels.push_back({lv, 0, 0});
+  }
+  sys.use_acks = shape.acks;
+  sys.rotation_period = shape.rotation;
+  sys.migrated_levels = {sys.cpu->top_level(), 0, 0};
+  sys.faults = plan;
+  return sys;
+}
+
+// Tentpole guarantee #1: the builtin invariant set is clean across the
+// whole fault matrix — and arming it (registry + watchers + checkpoint
+// events) does not perturb the simulation outcome by one bit.
+class BuiltinInvariants : public ::testing::TestWithParam<int> {};
+
+TEST_P(BuiltinInvariants, FaultMatrixRunsCleanAndUnperturbed) {
+  const Archetype& arch = kArchetypes[static_cast<std::size_t>(GetParam())];
+  for (const Shape& shape : kShapes) {
+    SCOPED_TRACE(std::string(arch.name) + " x " + shape.name);
+    const fault::FaultPlan plan = arch.plan(shape.stages);
+
+    PipelineSystem plain_sys(cell_config(shape, plan));
+    const RunResult plain = plain_sys.run();
+
+    obs::Registry registry;
+    SystemConfig armed_cfg = cell_config(shape, plan);
+    armed_cfg.metrics = &registry;  // builtins auto-arm: fault plan present
+    PipelineSystem armed_sys(std::move(armed_cfg));
+    const RunResult armed = armed_sys.run();
+
+    EXPECT_GT(armed.monitor_checks, 0);
+    EXPECT_EQ(armed.violations_total, 0)
+        << (armed.violations.empty() ? "" : armed.violations[0].monitor);
+    EXPECT_FALSE(armed.monitors_failed);
+
+    // Read-only observation: outcomes match the unmonitored run exactly.
+    EXPECT_EQ(plain.frames_sent, armed.frames_sent);
+    EXPECT_EQ(plain.frames_completed, armed.frames_completed);
+    EXPECT_EQ(plain.frames_lost, armed.frames_lost);
+    EXPECT_EQ(plain.fault_injections, armed.fault_injections);
+    EXPECT_DOUBLE_EQ(plain.sim_end.value(), armed.sim_end.value());
+    ASSERT_EQ(plain.nodes.size(), armed.nodes.size());
+    for (std::size_t i = 0; i < plain.nodes.size(); ++i) {
+      EXPECT_DOUBLE_EQ(plain.nodes[i].charge_used.value(),
+                       armed.nodes[i].charge_used.value());
+      EXPECT_DOUBLE_EQ(plain.nodes[i].final_soc, armed.nodes[i].final_soc);
+      EXPECT_EQ(plain.nodes[i].died, armed.nodes[i].died);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Archetypes, BuiltinInvariants,
+                         ::testing::Range(0, 7),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return std::string(
+                               kArchetypes[static_cast<std::size_t>(
+                                               info.param)]
+                                   .name);
+                         });
+
+// Tentpole guarantee #2: a deliberately tightened monitor fires, marks the
+// run failed, and replays to a bit-identical violation stream.
+TEST(MonitorReplay, TightenedThroughputMonitorIsDeterministic) {
+  const Shape shape{"acks", 2, true, 0};
+  const fault::FaultPlan plan = kArchetypes[0].plan(shape.stages);  // blackout
+
+  const auto run_once = [&] {
+    obs::Registry registry;
+    SystemConfig sys = cell_config(shape, plan);
+    sys.metrics = &registry;
+    {
+      obs::MonitorSpec spec;
+      // The blackout starves completions, so checkpoint throughput drops
+      // under 0.1 frames/s inside the outage — a guaranteed violation.
+      spec.name = "throughput_floor";
+      spec.expression = "rate(system.frames_completed) >= 0.1";
+      spec.severity = obs::Severity::kFail;
+      spec.window_start_s = 30.0;  // skip the first-eval warm-up
+      sys.monitors.push_back(std::move(spec));
+    }
+    sys.monitor_checkpoint_s = 10.0;
+    PipelineSystem system(std::move(sys));
+    return system.run();
+  };
+
+  const RunResult a = run_once();
+  const RunResult b = run_once();
+
+  ASSERT_GE(a.violations_total, 1);
+  EXPECT_TRUE(a.monitors_failed);
+  EXPECT_EQ(a.violations_total, b.violations_total);
+  EXPECT_EQ(a.monitor_checks, b.monitor_checks);
+  ASSERT_EQ(a.violations.size(), b.violations.size());
+  for (std::size_t i = 0; i < a.violations.size(); ++i) {
+    EXPECT_EQ(a.violations[i].monitor, b.violations[i].monitor);
+    EXPECT_EQ(a.violations[i].severity, b.violations[i].severity);
+    EXPECT_DOUBLE_EQ(a.violations[i].at_s, b.violations[i].at_s);
+    EXPECT_EQ(a.violations[i].values, b.violations[i].values);
+  }
+}
+
+}  // namespace
+}  // namespace deslp::core

@@ -9,6 +9,7 @@
 #include "core/report.h"
 #include "core/scenario.h"
 #include "net/reliable.h"
+#include "obs/aggregate.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/trace_export.h"
@@ -375,6 +376,132 @@ TEST(ObsCapture, ScenarioCaptureOverloadRecords) {
   EXPECT_FALSE(capture.trace.spans().empty());
   EXPECT_FALSE(capture.counters.empty());
   EXPECT_FALSE(capture.metrics.empty());
+}
+
+// --- slot watchers and true histogram extremes ------------------------------
+
+TEST(Metrics, WatcherFiresOnEveryMutationAndClears) {
+  obs::Registry reg;
+  obs::Counter c = reg.counter("watched");
+  int fires = 0;
+  EXPECT_FALSE(reg.set_watcher("absent", nullptr, nullptr));
+  ASSERT_TRUE(reg.set_watcher(
+      "watched", [](void* ctx) { ++*static_cast<int*>(ctx); }, &fires));
+  c.inc();
+  c.inc(2.0);
+  EXPECT_EQ(fires, 2);
+  ASSERT_TRUE(reg.set_watcher("watched", nullptr, nullptr));
+  c.inc();
+  EXPECT_EQ(fires, 2);
+}
+
+TEST(Metrics, HistogramSnapshotCarriesTrueExtremes) {
+  obs::Registry reg;
+  obs::Histogram h = reg.histogram("h", {1.0, 2.0});
+  h.record(0.25, 2.0);  // below the first edge
+  h.record(1.5);
+  h.record(40.0);  // deep in the open overflow bucket
+  const auto snap = reg.snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_DOUBLE_EQ(snap[0].vmin, 0.25);
+  EXPECT_DOUBLE_EQ(snap[0].vmax, 40.0);
+  std::ostringstream os;
+  obs::write_snapshot_json(snap, os);
+  EXPECT_NE(os.str().find("\"min\":0.25"), std::string::npos);
+  EXPECT_NE(os.str().find("\"max\":40"), std::string::npos);
+}
+
+// --- streaming aggregation ---------------------------------------------------
+
+TEST(Aggregate, StreamingStatTracksMomentsAndQuantiles) {
+  obs::StreamingStat s;
+  for (int i = 1; i <= 100; ++i) s.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(s.count(), 100.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 50.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 100.0);
+  // Log-binned estimates: ~7% relative error at 16 bins/decade.
+  EXPECT_NEAR(s.quantile(0.5), 50.0, 5.0);
+  EXPECT_NEAR(s.quantile(0.95), 95.0, 9.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 100.0);
+}
+
+TEST(Aggregate, MergeMatchesSingleStreamAndStaysInRange) {
+  obs::StreamingStat a, b, whole;
+  for (int i = 1; i <= 200; ++i) {
+    const double v = 0.01 * i * i;  // spans three decades
+    (i % 2 == 0 ? a : b).add(v);
+    whole.add(v);
+  }
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.count(), whole.count());
+  EXPECT_DOUBLE_EQ(a.mean(), whole.mean());
+  EXPECT_DOUBLE_EQ(a.min(), whole.min());
+  EXPECT_DOUBLE_EQ(a.max(), whole.max());
+  EXPECT_DOUBLE_EQ(a.quantile(0.5), whole.quantile(0.5));
+  EXPECT_DOUBLE_EQ(a.quantile(0.95), whole.quantile(0.95));
+}
+
+TEST(Aggregate, OutOfRangeSamplesAreAccountedNotClamped) {
+  // Regression: the old histogram path silently clamped out-of-range
+  // samples to the finite bin edges, biasing merged percentiles. Side
+  // bins + exact extremes keep them accounted.
+  obs::StreamingStat s;
+  s.add(-3.0);    // negative side bin
+  s.add(0.0);     // exact-zero side bin
+  s.add(1e-12);   // below kLo: underflow side bin
+  s.add(5e13);    // above kHi: overflow side bin
+  EXPECT_DOUBLE_EQ(s.count(), 4.0);
+  EXPECT_DOUBLE_EQ(s.min(), -3.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5e13);
+  EXPECT_DOUBLE_EQ(s.underflow_weight(), 2.0);  // negative + below-kLo
+  EXPECT_DOUBLE_EQ(s.overflow_weight(), 1.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 5e13);  // not clamped to kHi
+  EXPECT_LE(s.quantile(0.01), 0.0);         // not clamped to kLo
+}
+
+TEST(Aggregate, HistogramSamplesUseTrueExtremesForOpenBuckets) {
+  obs::Registry reg;
+  obs::Histogram h = reg.histogram("lat", {1.0, 2.0});
+  h.record(0.5, 10.0);
+  h.record(1.5, 10.0);
+  h.record(80.0, 10.0);  // open bucket: true edge is 80, not 2
+  const auto snap = reg.snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+
+  obs::StreamingStat s;
+  s.add_histogram(snap[0]);
+  EXPECT_DOUBLE_EQ(s.count(), 30.0);
+  EXPECT_DOUBLE_EQ(s.min(), 0.5);
+  EXPECT_DOUBLE_EQ(s.max(), 80.0);
+  // The top-weight midpoint sits at (2+80)/2, far above the clamped
+  // value 2.0 the biased path would produce.
+  EXPECT_GT(s.quantile(0.95), 10.0);
+}
+
+TEST(Aggregate, AggregatorMergesRunsAndSeries) {
+  obs::Aggregator a, b;
+  a.observe("x", 1.0);
+  a.note_run(0, false);
+  b.observe("x", 3.0);
+  b.observe("y", 5.0);
+  b.note_run(2, true);
+  a.merge(b);
+  EXPECT_EQ(a.runs(), 2);
+  EXPECT_EQ(a.violations(), 2);
+  EXPECT_EQ(a.failed_runs(), 1);
+  ASSERT_EQ(a.size(), 2u);
+  const obs::StreamingStat* x = a.find("x");
+  ASSERT_NE(x, nullptr);
+  EXPECT_DOUBLE_EQ(x->count(), 2.0);
+  EXPECT_DOUBLE_EQ(x->mean(), 2.0);
+  std::ostringstream j1, j2;
+  a.write_json(j1);
+  a.write_json(j2);
+  EXPECT_EQ(j1.str(), j2.str());
+  EXPECT_NE(j1.str().find("\"runs\":2"), std::string::npos);
+  EXPECT_NE(j1.str().find("\"name\":\"y\""), std::string::npos);
 }
 
 TEST(ObsReport, RunReportJsonIsWellFormedAndDeterministic) {

@@ -222,6 +222,30 @@ TEST(Engine, StopEndsRunEarly) {
   EXPECT_EQ(count, 1);
 }
 
+TEST(Engine, PostEveryRepeatsAtFixedPeriodUntilStop) {
+  Engine e;
+  std::vector<long long> ticks;
+  e.post_every(Dur{100}, [&] { ticks.push_back(e.now().nanos()); });
+  e.schedule_at(Time{450}, [&] { e.stop(); });
+  e.run();
+  EXPECT_EQ(ticks, (std::vector<long long>{100, 200, 300, 400}));
+}
+
+TEST(Engine, PostEveryTicksInterleaveAfterOtherEventsAtTheSameTime) {
+  // The repost happens inside the tick handler, so a tick shares its
+  // instant with same-time events but fires after ones scheduled earlier
+  // (FIFO by schedule order) — a read-only observer never reorders them.
+  Engine e;
+  std::vector<int> order;
+  e.schedule_at(Time{100}, [&] { order.push_back(1); });
+  e.post_every(Dur{100}, [&] {
+    order.push_back(2);
+    if (order.size() >= 3) e.stop();
+  });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 2}));
+}
+
 // --- coroutines -------------------------------------------------------------------
 
 Task counting_process(Engine& e, std::vector<double>& at) {

@@ -5,8 +5,8 @@
 # Usage:
 #   tools/ci_checks.sh [STEP...]
 #
-# Steps (default: pycheck lint-selftest lint build test fault tidy trace
-# bench bench-check):
+# Steps (default: pycheck lint-selftest lint build test fault monitors tidy
+# trace report bench bench-check):
 #   pycheck        python3 -m py_compile over the repo's Python tooling
 #   lint-selftest  tools/deslp_lint.py --self-test (fixture suite)
 #   lint           tools/deslp_lint.py over src/ bench/ examples/
@@ -14,14 +14,20 @@
 #   test           ctest in ${BUILD_DIR}
 #   fault          ctest -L fault_matrix in ${BUILD_DIR} (the recovery
 #                  stress matrix as its own gate, DESIGN.md §10)
+#   monitors       ctest -L monitors in ${BUILD_DIR} (runtime invariant
+#                  monitors: parser/eval unit layer plus the builtin
+#                  invariants run clean-and-unperturbed over the fault
+#                  matrix, DESIGN.md §11)
 #   tidy           cmake --build ${BUILD_DIR} --target lint-tidy
 #   trace          cmake --build ${BUILD_DIR} --target trace-validate
+#   report         cmake --build ${BUILD_DIR} --target report-validate
+#                  (fig10 report/profile/aggregate JSON schema check)
 #   bench          cmake --build ${BUILD_DIR} --target bench-check
 #   bench-check    cmake --build ${BUILD_DIR} --target bench-gate — the
 #                  blocking engine-throughput floor (engine must beat the
 #                  in-tree reference heap by 1.5x, measured in-process, so
 #                  the check is machine-independent; baseline:
-#                  bench/BENCH_pr6.json)
+#                  bench/BENCH_pr8.json)
 #   asan|tsan|ubsan  full build + ctest under the given sanitizer (own
 #                    build dir ${BUILD_DIR}-<mode>; not in the default set —
 #                    the CI matrix fans them out, locally run e.g.
@@ -75,7 +81,8 @@ configure_build() {
 
 step_pycheck() {
   python3 -m py_compile tools/deslp_lint.py tools/validate_trace.py \
-    bench/compare_bench.py bench/engine_bench_gate.py
+    tools/validate_report.py bench/compare_bench.py \
+    bench/engine_bench_gate.py
 }
 
 step_lint_selftest() { python3 tools/deslp_lint.py --self-test; }
@@ -91,9 +98,15 @@ step_fault() {
     -j "$JOBS"
 }
 
+step_monitors() {
+  ctest --test-dir "$BUILD_DIR" -L monitors --output-on-failure -j "$JOBS"
+}
+
 step_tidy() { cmake --build "$BUILD_DIR" --target lint-tidy; }
 
 step_trace() { cmake --build "$BUILD_DIR" --target trace-validate; }
+
+step_report() { cmake --build "$BUILD_DIR" --target report-validate; }
 
 step_bench() { cmake --build "$BUILD_DIR" --target bench-check; }
 
@@ -120,6 +133,7 @@ dispatch() {
     build) run_step build step_build ;;
     test) run_step test step_test ;;
     fault) run_step fault step_fault ;;
+    monitors) run_step monitors step_monitors ;;
     tidy)
       if command -v clang-tidy > /dev/null; then
         run_step tidy step_tidy
@@ -130,6 +144,7 @@ dispatch() {
       fi
       ;;
     trace) run_step trace step_trace ;;
+    report) run_step report step_report ;;
     bench) run_step bench step_bench ;;
     bench-check) run_step bench-check step_bench_gate ;;
     asan) run_step asan step_sanitize address ;;
@@ -145,8 +160,8 @@ dispatch() {
 
 STEPS=("$@")
 if [ ${#STEPS[@]} -eq 0 ]; then
-  STEPS=(pycheck lint-selftest lint build test fault tidy trace bench
-    bench-check)
+  STEPS=(pycheck lint-selftest lint build test fault monitors tidy trace
+    report bench bench-check)
 fi
 
 for step in "${STEPS[@]}"; do

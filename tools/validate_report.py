@@ -1,0 +1,254 @@
+#!/usr/bin/env python3
+"""Validate the structured JSON artifacts the run reporters emit.
+
+Four shapes, auto-detected by top-level key:
+
+  run report      {"experiments": [...]}   (fig10_experiments --report-json)
+  scenario report {"scenario": {...}}      (scenario_runner --report-json)
+  profile         {"spans": [...]}         (--profile-json)
+  aggregate       {"stats": [...]}         (--aggregate-json)
+
+Checks the field inventory downstream tooling relies on: per-run summary
+numbers, node details, the violations array (monitor/severity/at_s/values
+per entry, total >= stored count), the metrics snapshot (counter/gauge/
+histogram shapes, histogram weights = bounds + 1, min <= max), profile
+span paths and non-negative energy, and aggregate stats whose quantiles
+sit inside [min, max].
+
+Usage:
+  validate_report.py FILE...
+  validate_report.py --generate FIG10_BINARY OUTDIR
+      First run FIG10_BINARY with --report-json/--profile-json/
+      --aggregate-json into OUTDIR, then validate all three files (used
+      by the CMake report-validate target).
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+SEVERITIES = ("warn", "fail", "abort")
+
+
+def fail(msg):
+    print(f"validate_report: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def is_num(v):
+    return isinstance(v, (int, float)) and not isinstance(v, bool)
+
+
+def need(obj, key, kind, where):
+    if key not in obj:
+        fail(f"{where}: missing '{key}'")
+    v = obj[key]
+    ok = {
+        "num": is_num(v),
+        "int": isinstance(v, int) and not isinstance(v, bool),
+        "str": isinstance(v, str),
+        "bool": isinstance(v, bool),
+        "list": isinstance(v, list),
+        "obj": isinstance(v, dict),
+    }[kind]
+    if not ok:
+        fail(f"{where}: '{key}' must be {kind}, got {v!r}")
+    return v
+
+
+def check_metrics(metrics, where):
+    if not isinstance(metrics, list):
+        fail(f"{where}: 'metrics' must be an array")
+    prev = ""
+    for i, m in enumerate(metrics):
+        w = f"{where} metric {i}"
+        name = need(m, "name", "str", w)
+        if name < prev:
+            fail(f"{w}: snapshot not name-sorted ({name!r} after {prev!r})")
+        prev = name
+        kind = need(m, "kind", "str", w)
+        need(m, "updates", "int", w)
+        if kind == "counter":
+            need(m, "value", "num", w)
+        elif kind == "gauge":
+            need(m, "value", "num", w)
+            need(m, "max", "num", w)
+        elif kind == "histogram":
+            bounds = need(m, "bounds", "list", w)
+            weights = need(m, "weights", "list", w)
+            if len(weights) != len(bounds) + 1:
+                fail(f"{w}: weights must have bounds+1 entries")
+            need(m, "sum", "num", w)
+            need(m, "total_weight", "num", w)
+            lo, hi = need(m, "min", "num", w), need(m, "max", "num", w)
+            if m["updates"] > 0 and lo > hi:
+                fail(f"{w}: histogram min {lo} > max {hi}")
+        else:
+            fail(f"{w}: unknown kind {kind!r}")
+
+
+def check_violations(details, where):
+    violations = need(details, "violations", "list", where)
+    total = need(details, "violations_total", "int", where)
+    need(details, "monitor_checks", "int", where)
+    need(details, "monitors_failed", "bool", where)
+    if total < len(violations):
+        fail(f"{where}: violations_total {total} < stored "
+             f"{len(violations)}")
+    for i, v in enumerate(violations):
+        w = f"{where} violation {i}"
+        need(v, "monitor", "str", w)
+        if need(v, "severity", "str", w) not in SEVERITIES:
+            fail(f"{w}: severity must be one of {SEVERITIES}")
+        if need(v, "at_s", "num", w) < 0:
+            fail(f"{w}: at_s is negative")
+        need(v, "node", "str", w)
+        need(v, "expression", "str", w)
+        need(v, "values", "str", w)
+    return len(violations)
+
+
+def check_run_details(obj, where):
+    nodes = need(obj, "node_details", "list", where)
+    for i, n in enumerate(nodes):
+        w = f"{where} node {i}"
+        need(n, "name", "str", w)
+        need(n, "died", "bool", w)
+        for key in ("death_h", "final_soc", "avg_current_mA", "comm_h",
+                    "comp_h", "idle_h"):
+            need(n, key, "num", w)
+        need(n, "rotations", "int", w)
+        need(n, "migrated", "bool", w)
+    check_violations(obj, where)
+    check_metrics(need(obj, "metrics", "list", where), where)
+    return len(nodes)
+
+
+def validate_run_report(doc, path):
+    experiments = need(doc, "experiments", "list", path)
+    if not experiments:
+        fail(f"{path}: empty experiments array")
+    nodes = 0
+    for i, e in enumerate(experiments):
+        w = f"experiment {i}"
+        need(e, "id", "str", w)
+        need(e, "title", "str", w)
+        need(e, "nodes", "int", w)
+        need(e, "frames", "int", w)
+        for key in ("T_h", "Tnorm_h", "rnorm"):
+            need(e, key, "num", w)
+        paper = need(e, "paper", "obj", w)
+        for key in ("T_h", "frames", "rnorm"):
+            need(paper, key, "num", f"{w} paper")
+        nodes += check_run_details(e, w)
+    print(f"{path}: OK (run report, {len(experiments)} experiments, "
+          f"{nodes} node rows)")
+
+
+def validate_scenario_report(doc, path):
+    s = need(doc, "scenario", "obj", path)
+    need(s, "description", "str", "scenario")
+    for key in ("frames", "frames_sent", "frames_lost", "fault_injections"):
+        need(s, key, "int", "scenario")
+    for key in ("T_h", "Tnorm_h", "sim_end_h"):
+        need(s, key, "num", "scenario")
+    nodes = check_run_details(s, "scenario")
+    print(f"{path}: OK (scenario report, {nodes} node rows)")
+
+
+def validate_profile(doc, path):
+    need(doc, "handler_wall_ns", "int", path)
+    total = need(doc, "total_energy_j", "num", path)
+    need(doc, "total_sim_s", "num", path)
+    spans = need(doc, "spans", "list", path)
+    attributed = 0.0
+    for i, s in enumerate(spans):
+        w = f"span {i}"
+        p = need(s, "path", "str", w)
+        if not p or p != p.strip("/"):
+            fail(f"{w}: malformed path {p!r}")
+        e = need(s, "energy_j", "num", w)
+        if e < 0:
+            fail(f"{w}: negative energy")
+        if need(s, "sim_s", "num", w) < 0:
+            fail(f"{w}: negative sim time")
+        need(s, "samples", "int", w)
+        attributed += e
+    if spans and abs(attributed - total) > 1e-6 * max(1.0, abs(total)):
+        fail(f"{path}: span energies sum to {attributed}, "
+             f"total_energy_j says {total}")
+    print(f"{path}: OK (profile, {len(spans)} spans, "
+          f"{total:.1f} J attributed)")
+
+
+def validate_aggregate(doc, path):
+    runs = need(doc, "runs", "int", path)
+    need(doc, "violations", "int", path)
+    failed = need(doc, "failed_runs", "int", path)
+    if failed > runs:
+        fail(f"{path}: failed_runs {failed} > runs {runs}")
+    stats = need(doc, "stats", "list", path)
+    for i, s in enumerate(stats):
+        w = f"stat {i}"
+        need(s, "name", "str", w)
+        count = need(s, "count", "num", w)
+        lo, hi = need(s, "min", "num", w), need(s, "max", "num", w)
+        mean = need(s, "mean", "num", w)
+        p50, p95 = need(s, "p50", "num", w), need(s, "p95", "num", w)
+        if count > 0:
+            if lo > hi:
+                fail(f"{w}: min > max")
+            for key, v in (("mean", mean), ("p50", p50), ("p95", p95)):
+                if not lo - 1e-9 <= v <= hi + 1e-9:
+                    fail(f"{w}: {key} {v} outside [{lo}, {hi}]")
+    print(f"{path}: OK (aggregate, {runs} runs, {len(stats)} series)")
+
+
+def validate(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: {e}")
+    if not isinstance(doc, dict):
+        fail(f"{path}: top level must be an object")
+    if "experiments" in doc:
+        validate_run_report(doc, path)
+    elif "scenario" in doc:
+        validate_scenario_report(doc, path)
+    elif "spans" in doc:
+        validate_profile(doc, path)
+    elif "stats" in doc:
+        validate_aggregate(doc, path)
+    else:
+        fail(f"{path}: unrecognized report shape "
+             f"(keys: {sorted(doc.keys())})")
+
+
+def main(argv):
+    if len(argv) == 3 and argv[0] == "--generate":
+        binary, outdir = argv[1:]
+        os.makedirs(outdir, exist_ok=True)
+        paths = {kind: os.path.join(outdir, f"{kind}.json")
+                 for kind in ("report", "profile", "aggregate")}
+        result = subprocess.run(
+            [binary,
+             f"--report-json={paths['report']}",
+             f"--profile-json={paths['profile']}",
+             f"--aggregate-json={paths['aggregate']}"],
+            stdout=subprocess.DEVNULL)
+        if result.returncode != 0:
+            fail(f"{binary} exited with {result.returncode}")
+        for path in paths.values():
+            validate(path)
+    elif argv and argv[0] != "--generate":
+        for path in argv:
+            validate(path)
+    else:
+        fail("usage: validate_report.py [--generate FIG10_BINARY OUTDIR] "
+             "FILE...")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])
