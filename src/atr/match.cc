@@ -2,11 +2,11 @@
 
 #include <algorithm>
 #include <map>
-#include <mutex>
-#include <shared_mutex>
 #include <utility>
 
 #include "util/check.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace deslp::atr {
 
@@ -46,22 +46,49 @@ TemplateCacheEntry build_template_entry(int roi_size) {
 // the exclusive lock, and the spectra are built outside any lock (a losing
 // racer's copy is discarded by emplace). Node stability of std::map keeps
 // returned references valid across later inserts.
+//
+// The cache is an explicit object (not function-local statics) so its
+// lifetime and lock discipline are visible: entries_ is GUARDED_BY the
+// annotated SharedMutex, and reset() gives tests / per-run isolation a way
+// back to a cold cache instead of hidden process-global state.
+class SpectrumCache {
+ public:
+  const TemplateCacheEntry& entry(int roi_size) {
+    {
+      util::SharedReaderLock lock(mutex_);
+      auto it = entries_.find(roi_size);
+      if (it != entries_.end()) return it->second;
+    }
+    TemplateCacheEntry fresh = build_template_entry(roi_size);
+    util::SharedMutexLock lock(mutex_);
+    return entries_.emplace(roi_size, std::move(fresh)).first->second;
+  }
+
+  /// Precondition: no concurrent readers (see spectrum_cache_reset()).
+  void reset() {
+    util::SharedMutexLock lock(mutex_);
+    entries_.clear();
+  }
+
+ private:
+  util::SharedMutex mutex_;
+  std::map<int, TemplateCacheEntry> entries_ GUARDED_BY(mutex_);
+};
+
+// Explicitly resettable via spectrum_cache_reset(), so no hidden state
+// outlives a run unless the caller wants it to.
+// deslp-lint: allow(shared-mutable-static): internally synchronized (annotated SharedMutex above)
+SpectrumCache g_spectrum_cache;
+
 const TemplateCacheEntry& template_cache(int roi_size) {
   DESLP_EXPECTS(is_pow2(static_cast<std::size_t>(roi_size)));
   DESLP_EXPECTS(roi_size >= template_size());
-  static std::shared_mutex cache_mutex;
-  static std::map<int, TemplateCacheEntry> cache;
-  {
-    std::shared_lock lock(cache_mutex);
-    auto it = cache.find(roi_size);
-    if (it != cache.end()) return it->second;
-  }
-  TemplateCacheEntry entry = build_template_entry(roi_size);
-  std::unique_lock lock(cache_mutex);
-  return cache.emplace(roi_size, std::move(entry)).first->second;
+  return g_spectrum_cache.entry(roi_size);
 }
 
 }  // namespace
+
+void spectrum_cache_reset() { g_spectrum_cache.reset(); }
 
 const std::vector<Spectrum>& template_spectra(int roi_size) {
   return template_cache(roi_size).plain;

@@ -56,6 +56,16 @@ void apply_refinement(MatchResult& best, const Image& surface);
 /// readable concurrently).
 [[nodiscard]] const std::vector<Spectrum>& template_spectra(int roi_size);
 
+/// Drop every cached template-spectrum entry. The cache is an explicit,
+/// capability-annotated object (not a hidden function-local static), and
+/// this is its isolation hook: tests and future per-run isolation can
+/// return the process to a cold-cache state instead of sharing whatever
+/// earlier work happened to build. Must not run concurrently with ATR work
+/// — references returned by template_spectra()/template_spectra_conj()
+/// before the reset are invalidated. Rebuilt entries are bit-identical to
+/// the originals (pinned by Match.SpectrumCacheResetRebuildsIdentically).
+void spectrum_cache_reset();
+
 /// The same spectra pre-conjugated, so the matched-filter product is a
 /// plain pointwise multiply with no `std::conj` on the hot path.
 [[nodiscard]] const std::vector<Spectrum>& template_spectra_conj(int roi_size);

@@ -12,6 +12,12 @@
 // battery instances from a thread-safe factory — so no mutable state
 // crosses threads. Results land in index order; per-run wall-clock is
 // captured on the side (host time, never fed back into the simulation).
+//
+// The only shared state the fan-out touches is capability-annotated and
+// inventoried (DESIGN.md §12): the pool's GUARDED_BY queue, the log sink
+// mutex, and the atr template-spectrum cache. wall_ms_ needs no lock —
+// distinct items write distinct indices, and the pool's completion barrier
+// orders those writes before any read.
 #pragma once
 
 #include <chrono>

@@ -10,7 +10,11 @@
 // output stays byte-identical and benchmarks unperturbed by default.
 //
 // One registry belongs to one run on one thread (the parallel batch runner
-// gives every run its own registry); the registry itself is not locked.
+// gives every run its own registry); the registry itself is deliberately
+// not locked — ownership, not locking, is the synchronization strategy
+// (DESIGN.md §12's shared-state inventory records it as thread-confined).
+// The same ownership rule covers watcher hooks (set_watcher / watch_fn):
+// they are installed and fired on the registry's owning thread only.
 #pragma once
 
 #include <iosfwd>

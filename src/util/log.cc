@@ -2,8 +2,10 @@
 
 #include <atomic>
 #include <cstdio>
-#include <mutex>
 #include <utility>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace deslp::log {
 
@@ -13,8 +15,8 @@ std::atomic<Level> g_level{Level::kWarn};
 // Guards the sink: both replacement (set_sink) and invocation (write) hold
 // it, so a sink is never destroyed while another thread is inside it, and
 // messages from concurrent runs are serialized rather than interleaved.
-std::mutex g_sink_mutex;
-Sink g_sink;
+util::Mutex g_sink_mutex;
+Sink g_sink GUARDED_BY(g_sink_mutex);
 
 const char* level_name(Level lvl) {
   switch (lvl) {
@@ -41,13 +43,13 @@ void set_level(Level level) {
 Level level() { return g_level.load(std::memory_order_relaxed); }
 
 void set_sink(Sink sink) {
-  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  util::MutexLock lock(g_sink_mutex);
   g_sink = std::move(sink);
 }
 
 void write(Level lvl, std::string_view message) {
   if (lvl < level()) return;
-  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  util::MutexLock lock(g_sink_mutex);
   if (g_sink) {
     g_sink(lvl, message);
     return;

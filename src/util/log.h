@@ -2,8 +2,10 @@
 // optional sink override used by tests to capture output. A single simulation
 // run is deterministic and single-threaded, but the batch runner executes
 // runs on worker threads, so the logger itself is thread-safe: the level is
-// atomic and the sink is swapped and invoked under a mutex (messages from
-// concurrent runs never interleave mid-line).
+// atomic and the sink is swapped and invoked under a capability-annotated
+// util::Mutex (messages from concurrent runs never interleave mid-line; the
+// GUARDED_BY contract on the sink is compiler-checked under Clang, see
+// DESIGN.md §12).
 #pragma once
 
 #include <functional>

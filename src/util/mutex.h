@@ -1,0 +1,142 @@
+// Capability-annotated synchronization primitives (DESIGN.md §12).
+//
+// Thin wrappers over the std primitives that carry the Clang thread-safety
+// annotations from util/thread_annotations.h, so every lock in the tree has
+// a compiler-checked relationship to the state it guards:
+//
+//   util::Mutex mu;
+//   int shared_counter GUARDED_BY(mu);
+//   void bump() EXCLUDES(mu) { MutexLock lock(mu); ++shared_counter; }
+//
+// Conventions:
+//  - Declare the data a mutex protects with GUARDED_BY in the same class /
+//    namespace as the mutex, so the inventory is local and greppable
+//    (`deslp_lint.py --shared-state-report` collects it).
+//  - Prefer the scoped guards (MutexLock / SharedMutexLock /
+//    SharedReaderLock) over manual lock()/unlock().
+//  - Condition waits use CondVar with an explicit `while (!predicate)`
+//    loop, NOT a predicate lambda: the analysis cannot see through a
+//    lambda's capture, but it fully checks guarded reads in a loop
+//    condition that runs while the MutexLock is in scope.
+//  - Raw std::mutex / std::shared_mutex / std::condition_variable outside
+//    this header are rejected by the `raw-lock-decl` lint rule.
+//
+// The wrappers add no state and no behavior — on GCC (no analysis) they
+// compile to exactly the std primitive underneath.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#include "util/thread_annotations.h"
+
+namespace deslp::util {
+
+/// std::mutex with capability annotations.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ACQUIRE() { m_.lock(); }
+  void unlock() RELEASE() { m_.unlock(); }
+  bool try_lock() TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex m_;
+};
+
+/// std::shared_mutex with capability annotations: exclusive writers,
+/// shared readers.
+class CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void lock() ACQUIRE() { m_.lock(); }
+  void unlock() RELEASE() { m_.unlock(); }
+  bool try_lock() TRY_ACQUIRE(true) { return m_.try_lock(); }
+  void lock_shared() ACQUIRE_SHARED() { m_.lock_shared(); }
+  void unlock_shared() RELEASE_SHARED() { m_.unlock_shared(); }
+  bool try_lock_shared() TRY_ACQUIRE(true) { return m_.try_lock_shared(); }
+
+ private:
+  std::shared_mutex m_;
+};
+
+/// Scoped exclusive lock on a Mutex (std::lock_guard shape).
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() RELEASE() { mu_.unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  friend class CondVar;
+  Mutex& mu_;
+};
+
+/// Scoped exclusive (writer) lock on a SharedMutex.
+class SCOPED_CAPABILITY SharedMutexLock {
+ public:
+  explicit SharedMutexLock(SharedMutex& mu) ACQUIRE(mu) : mu_(mu) {
+    mu_.lock();
+  }
+  ~SharedMutexLock() RELEASE() { mu_.unlock(); }
+  SharedMutexLock(const SharedMutexLock&) = delete;
+  SharedMutexLock& operator=(const SharedMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// Scoped shared (reader) lock on a SharedMutex.
+class SCOPED_CAPABILITY SharedReaderLock {
+ public:
+  explicit SharedReaderLock(SharedMutex& mu) ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_.lock_shared();
+  }
+  ~SharedReaderLock() RELEASE() { mu_.unlock_shared(); }
+  SharedReaderLock(const SharedReaderLock&) = delete;
+  SharedReaderLock& operator=(const SharedReaderLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// Condition variable bound to util::Mutex. wait() REQUIRES the mutex held
+/// and re-acquires it before returning, so from the analysis' viewpoint the
+/// capability is held across the wait — which matches the caller-visible
+/// contract. Callers loop on their guarded predicate:
+///
+///   MutexLock lock(mu);
+///   while (!ready) cv.wait(mu);
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically release `mu`, block, and re-acquire `mu` before returning.
+  /// Spurious wakeups happen; always wrap in a predicate loop.
+  void wait(Mutex& mu) REQUIRES(mu) {
+    // Adopt the already-held native handle so the std wait can unlock and
+    // relock it without the analysis seeing a release of the capability.
+    std::unique_lock<std::mutex> relock(mu.m_, std::adopt_lock);
+    cv_.wait(relock);
+    relock.release();
+  }
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace deslp::util

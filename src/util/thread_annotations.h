@@ -1,0 +1,78 @@
+// Clang thread-safety capability annotations (DESIGN.md §12).
+//
+// These macros attach compile-time ownership contracts to mutexes and the
+// state they guard: which capability a declaration is (CAPABILITY), which
+// data a lock protects (GUARDED_BY), which functions demand the lock held
+// (REQUIRES) or held shared (REQUIRES_SHARED), which acquire/release it
+// (ACQUIRE/RELEASE and the _SHARED forms), and which must be entered
+// lock-free (EXCLUDES). Under Clang the analysis runs as part of normal
+// compilation — `deslp_warnings` adds `-Wthread-safety
+// -Werror=thread-safety`, so a lock-discipline violation is a build break,
+// not a code-review hope. Under GCC (which has no capability analysis)
+// every macro expands to nothing, so annotated code compiles identically;
+// the runtime truth is then covered by the TSan concurrency stress suite
+// (ctest label `concurrency`).
+//
+// Use the annotated wrappers in util/mutex.h rather than raw std::mutex —
+// the `raw-lock-decl` lint rule enforces that, because a bare std::mutex
+// carries no machine-checked relationship to the state it guards.
+#pragma once
+
+#if defined(__clang__) && !defined(DESLP_NO_THREAD_SAFETY_ANALYSIS)
+#define DESLP_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define DESLP_THREAD_ANNOTATION__(x)  // no-op: GCC has no capability analysis
+#endif
+
+/// Marks a class as a capability (e.g. CAPABILITY("mutex")).
+#define CAPABILITY(x) DESLP_THREAD_ANNOTATION__(capability(x))
+
+/// Marks an RAII class that acquires in its constructor and releases in its
+/// destructor.
+#define SCOPED_CAPABILITY DESLP_THREAD_ANNOTATION__(scoped_lockable)
+
+/// Data member / global protected by the given capability.
+#define GUARDED_BY(x) DESLP_THREAD_ANNOTATION__(guarded_by(x))
+
+/// Pointer whose *pointee* is protected by the given capability.
+#define PT_GUARDED_BY(x) DESLP_THREAD_ANNOTATION__(pt_guarded_by(x))
+
+/// Function precondition: the listed capabilities are held exclusively.
+#define REQUIRES(...) \
+  DESLP_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+
+/// Function precondition: the listed capabilities are held at least shared.
+#define REQUIRES_SHARED(...) \
+  DESLP_THREAD_ANNOTATION__(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the listed capabilities (exclusively) before returning.
+#define ACQUIRE(...) \
+  DESLP_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+
+/// Function acquires the listed capabilities shared before returning.
+#define ACQUIRE_SHARED(...) \
+  DESLP_THREAD_ANNOTATION__(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases the listed capabilities (exclusive or shared).
+#define RELEASE(...) \
+  DESLP_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+
+/// Function releases capabilities that were held shared.
+#define RELEASE_SHARED(...) \
+  DESLP_THREAD_ANNOTATION__(release_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability iff it returns `b`.
+#define TRY_ACQUIRE(b, ...) \
+  DESLP_THREAD_ANNOTATION__(try_acquire_capability(b, __VA_ARGS__))
+
+/// Function must be entered with the listed capabilities NOT held (guards
+/// against self-deadlock on a non-recursive mutex).
+#define EXCLUDES(...) DESLP_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+
+/// Function returns a reference to the given capability.
+#define RETURN_CAPABILITY(x) DESLP_THREAD_ANNOTATION__(lock_returned(x))
+
+/// Escape hatch: the function's locking is intentionally invisible to the
+/// analysis. Every use needs a comment justifying why.
+#define NO_THREAD_SAFETY_ANALYSIS \
+  DESLP_THREAD_ANNOTATION__(no_thread_safety_analysis)

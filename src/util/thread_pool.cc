@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "util/check.h"
+#include "util/mutex.h"
 
 namespace deslp::util {
 
@@ -20,7 +21,7 @@ ThreadPool::ThreadPool(int threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stopping_ = true;
   }
   work_available_.notify_all();
@@ -30,7 +31,7 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::submit(std::function<void()> fn) {
   DESLP_EXPECTS(fn != nullptr);
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     DESLP_EXPECTS(!stopping_);
     queue_.push_back(std::move(fn));
   }
@@ -41,9 +42,11 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_available_.wait(lock,
-                           [this] { return stopping_ || !queue_.empty(); });
+      // Explicit predicate loop (not a wait-with-lambda): the thread-safety
+      // analysis checks guarded reads in the loop condition, but cannot see
+      // into a predicate lambda's captures (DESIGN.md §12).
+      MutexLock lock(mutex_);
+      while (!stopping_ && queue_.empty()) work_available_.wait(mutex_);
       if (queue_.empty()) return;  // stopping_ and drained
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -56,7 +59,7 @@ void ThreadPool::worker_loop() {
       error = std::current_exception();
     }
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       if (error && !first_error_) first_error_ = error;
       --active_;
       if (queue_.empty() && active_ == 0) all_done_.notify_all();
@@ -67,8 +70,8 @@ void ThreadPool::worker_loop() {
 void ThreadPool::wait_idle() {
   std::exception_ptr error;
   {
-    std::unique_lock<std::mutex> lock(mutex_);
-    all_done_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+    MutexLock lock(mutex_);
+    while (!queue_.empty() || active_ != 0) all_done_.wait(mutex_);
     error = std::exchange(first_error_, nullptr);
   }
   if (error) std::rethrow_exception(error);

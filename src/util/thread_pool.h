@@ -11,16 +11,21 @@
 // indexes its work items, so callers write into pre-sized slots and
 // observe exactly the sequential outcome regardless of completion order;
 // the first exception (by item index, not by time) is rethrown.
+//
+// All queue state is GUARDED_BY(mutex_) — the lock discipline is checked
+// at compile time under Clang (-Werror=thread-safety, DESIGN.md §12) and
+// at runtime by the TSan concurrency stress suite.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace deslp::util {
 
@@ -39,32 +44,33 @@ class ThreadPool {
   /// Enqueue one task. Tasks must not block on other tasks (no
   /// dependencies); an exception escaping a task is captured and rethrown
   /// by wait_idle().
-  void submit(std::function<void()> fn);
+  void submit(std::function<void()> fn) EXCLUDES(mutex_);
 
   /// Block until every submitted task has finished. Rethrows the first
   /// captured task exception, if any. Prefer parallel_for, whose exception
   /// choice is deterministic (by index, not by completion time).
-  void wait_idle();
+  void wait_idle() EXCLUDES(mutex_);
 
   /// Run fn(0) .. fn(n-1) across the pool and block until all complete.
   /// Item i's exception (lowest i wins) is rethrown after all items have
   /// settled, so no work is silently half-done.
-  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn)
+      EXCLUDES(mutex_);
 
   /// hardware_concurrency() with a floor of 1.
   [[nodiscard]] static int default_thread_count();
 
  private:
-  void worker_loop();
+  void worker_loop() EXCLUDES(mutex_);
 
-  std::mutex mutex_;
-  std::condition_variable work_available_;
-  std::condition_variable all_done_;
-  std::deque<std::function<void()>> queue_;
+  Mutex mutex_;
+  CondVar work_available_;
+  CondVar all_done_;
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mutex_);
   std::vector<std::thread> workers_;
-  std::exception_ptr first_error_;
-  std::size_t active_ = 0;
-  bool stopping_ = false;
+  std::exception_ptr first_error_ GUARDED_BY(mutex_);
+  std::size_t active_ GUARDED_BY(mutex_) = 0;
+  bool stopping_ GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace deslp::util

@@ -373,6 +373,49 @@ TEST(Match, TemplateCacheConcurrentFirstTouch) {
   }
 }
 
+TEST(Match, SpectrumCacheResetRebuildsIdentically) {
+  // Pin for the explicit cache object (DESIGN.md §12): resetting the
+  // template-spectrum cache and re-touching it rebuilds entries that are
+  // bit-identical to the originals — the cache is a pure memoisation of
+  // template_bank(), so dropping it can never change results, and tests
+  // that reset it for isolation get exactly the same spectra back.
+  const int roi_size = template_size();
+  const std::vector<Spectrum> plain_before = template_spectra(roi_size);
+  const std::vector<Spectrum> conj_before = template_spectra_conj(roi_size);
+
+  spectrum_cache_reset();
+
+  const std::vector<Spectrum>& plain_after = template_spectra(roi_size);
+  const std::vector<Spectrum>& conj_after = template_spectra_conj(roi_size);
+  ASSERT_EQ(plain_after.size(), plain_before.size());
+  ASSERT_EQ(conj_after.size(), conj_before.size());
+  for (std::size_t i = 0; i < plain_before.size(); ++i) {
+    const auto& pb = plain_before[i].data();
+    const auto& pa = plain_after[i].data();
+    const auto& cb = conj_before[i].data();
+    const auto& ca = conj_after[i].data();
+    ASSERT_EQ(pa.size(), pb.size());
+    ASSERT_EQ(ca.size(), cb.size());
+    for (std::size_t j = 0; j < pb.size(); ++j) {
+      EXPECT_EQ(pa[j], pb[j]) << "plain spectrum " << i << " bin " << j;
+      EXPECT_EQ(ca[j], cb[j]) << "conj spectrum " << i << " bin " << j;
+    }
+  }
+
+  // And matching through the rebuilt cache still behaves.
+  Rng rng(72);
+  Image roi(roi_size, roi_size);
+  roi.add_gaussian_noise(rng, 0.05f);
+  roi.at(roi_size / 2, roi_size / 2) = 4.0f;
+  const MatchResult before = best_match(roi_spectrum(roi));
+  spectrum_cache_reset();
+  const MatchResult after = best_match(roi_spectrum(roi));
+  EXPECT_EQ(after.template_id, before.template_id);
+  EXPECT_DOUBLE_EQ(after.score, before.score);
+  EXPECT_EQ(after.peak_x, before.peak_x);
+  EXPECT_EQ(after.peak_y, before.peak_y);
+}
+
 // --- distance ----------------------------------------------------------------------
 
 TEST(Distance, InverseSquareLawRecoversRange) {

@@ -1,0 +1,25 @@
+// pointer-keyed-container clean fixture: pointers as mapped values are fine
+// (iteration order follows the key); stable-id keys are the fix the rule
+// message prescribes. The comment mentions std::map<Node*, int> to pin the
+// stripper.
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace deslp::fixture {
+
+struct Node {
+  int id = 0;
+};
+
+std::map<int, Node*> node_by_id;
+std::map<std::string, const Node*> node_by_name;
+std::unordered_map<std::string, std::vector<int>> ids_by_tag;
+
+int lookup(int id) {
+  auto it = node_by_id.find(id);
+  return it == node_by_id.end() ? -1 : it->second->id;
+}
+
+}  // namespace deslp::fixture

@@ -1,0 +1,22 @@
+// pointer-keyed-container fixtures: ordering or hashing on an address makes
+// iteration order allocator-dependent, which breaks bit-determinism.
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace deslp::fixture {
+
+struct Node {
+  int id = 0;
+};
+
+std::map<const Node*, int> rank_by_node;  // expect-lint: pointer-keyed-container
+
+std::unordered_set<Node*> visited;  // expect-lint: pointer-keyed-container
+
+std::set<Node*> frontier;  // expect-lint: pointer-keyed-container
+
+std::unordered_map<Node*, double> weight;  // expect-lint: pointer-keyed-container
+
+}  // namespace deslp::fixture

@@ -1,0 +1,29 @@
+// raw-lock-decl clean fixture: the annotated util wrappers are the
+// sanctioned spelling. The comment and string mention std::mutex and
+// std::lock_guard<std::mutex> to pin the stripper.
+namespace util {
+class Mutex {
+ public:
+  void lock() {}
+  void unlock() {}
+};
+class MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() { mu_.unlock(); }
+
+ private:
+  Mutex& mu_;
+};
+}  // namespace util
+
+namespace deslp::fixture {
+
+util::Mutex g_state_mutex;
+
+const char* describe() {
+  util::MutexLock lock(g_state_mutex);
+  return "annotated wrapper instead of std::lock_guard<std::mutex>";
+}
+
+}  // namespace deslp::fixture

@@ -1,0 +1,26 @@
+// raw-lock-decl fixtures: bare std synchronization primitives carry no
+// compiler-checked relationship to the state they guard; util/mutex.h's
+// annotated wrappers do.
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+namespace deslp::fixture {
+
+std::mutex queue_mutex;  // expect-lint: raw-lock-decl
+
+std::shared_mutex table_mutex;  // expect-lint: raw-lock-decl
+
+std::condition_variable queue_cv;  // expect-lint: raw-lock-decl
+
+int drain() {
+  std::lock_guard<std::mutex> lock(queue_mutex);  // expect-lint: raw-lock-decl
+  return 0;
+}
+
+int peek() {
+  std::shared_lock lock(table_mutex);  // expect-lint: raw-lock-decl
+  return 1;
+}
+
+}  // namespace deslp::fixture

@@ -1,0 +1,12 @@
+// layer-dag fixture: a clean core-layer header. core sits at the top of the
+// DAG, so anything may be included from here — and nothing below core may
+// include this file (layer_violation.h tries and is flagged).
+#pragma once
+
+namespace deslp::core {
+
+struct ReportStub {
+  int rows = 0;
+};
+
+}  // namespace deslp::core

@@ -1,0 +1,40 @@
+// shared-mutable-static clean fixture: every static/global here is either
+// immutable, thread-confined, internally synchronized, or carries a
+// compiler-checked GUARDED_BY relationship. The comment and string below
+// deliberately mention `static int leaky = 0;` to pin the stripper.
+#include <atomic>
+#include <map>
+#include <string>
+
+namespace util {
+class Mutex {};
+}  // namespace util
+#define GUARDED_BY(x)
+
+namespace deslp::fixture {
+
+static const int kTableSize = 64;
+static constexpr double kScale = 1.5;
+static thread_local int scratch_depth = 0;
+static std::atomic<long> op_count{0};
+static std::atomic_bool armed{false};
+
+util::Mutex g_registry_mutex;
+static std::map<int, double> g_registry GUARDED_BY(g_registry_mutex);
+
+static int parse_flags(const std::string& text);
+
+int use_all(const std::string& text) {
+  const char* banner = "static int leaky = 0;";
+  ++scratch_depth;
+  op_count.fetch_add(1);
+  armed.store(true);
+  return kTableSize + static_cast<int>(kScale) + parse_flags(text) +
+         static_cast<int>(banner[0]);
+}
+
+static int parse_flags(const std::string& text) {
+  return static_cast<int>(text.size());
+}
+
+}  // namespace deslp::fixture

@@ -1,0 +1,18 @@
+// shared-mutable-static suppressed fixture: real violations neutralised by
+// inline allows (same-line and line-above forms), mirroring the justified
+// allow on the atr template-spectrum cache singleton.
+#include <map>
+
+namespace deslp::fixture {
+
+static long fallback_count = 0;  // deslp-lint: allow(shared-mutable-static): test-only tally
+
+// deslp-lint: allow(shared-mutable-static): internally synchronized singleton
+static std::map<int, double> g_spectrum_cache_stub;
+
+long touch() {
+  g_spectrum_cache_stub[0] = 1.0;
+  return ++fallback_count;
+}
+
+}  // namespace deslp::fixture

@@ -1,0 +1,22 @@
+// shared-mutable-static fixtures: writable statics/globals with no
+// compiler-checked guard relationship. (Scoped rule: this file lives under
+// a src/ prefix so the PATH_SCOPE entry applies.)
+#include <map>
+#include <vector>
+
+namespace deslp::fixture {
+
+static long total_energy = 0;  // expect-lint: shared-mutable-static
+
+static std::map<int, double> cache_by_size;  // expect-lint: shared-mutable-static
+
+double g_scale_factor = 1.0;  // expect-lint: shared-mutable-static
+
+std::vector<int> g_pending_ids;  // expect-lint: shared-mutable-static
+
+long bump() {
+  static long calls = 0;  // expect-lint: shared-mutable-static
+  return ++calls;
+}
+
+}  // namespace deslp::fixture

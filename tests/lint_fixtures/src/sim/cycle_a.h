@@ -1,0 +1,15 @@
+// layer-dag fixture: cycle_a.h and cycle_b.h include each other. Same-layer
+// includes pass the layer-edge check, but the file-level cycle check must
+// still reject them; the finding anchors here (lexicographically smallest
+// member of the cycle, at its first include into it).
+#pragma once
+
+#include "sim/cycle_b.h"  // expect-lint: layer-dag
+
+namespace deslp::sim {
+
+struct CycleA {
+  int a = 0;
+};
+
+}  // namespace deslp::sim

@@ -1,0 +1,13 @@
+// layer-dag fixture: second half of the cycle_a.h <-> cycle_b.h include
+// cycle. The single cycle finding anchors in cycle_a.h, so no marker here.
+#pragma once
+
+#include "sim/cycle_a.h"
+
+namespace deslp::sim {
+
+struct CycleB {
+  int b = 0;
+};
+
+}  // namespace deslp::sim

@@ -1,0 +1,11 @@
+// layer-dag fixture: util is the bottom layer and may include nothing from
+// the project, so reaching up into core/ is a layer violation.
+#pragma once
+
+#include "core/report_stub.h"  // expect-lint: layer-dag
+
+namespace deslp::util {
+
+inline int stub_rows(const core::ReportStub& r) { return r.rows; }
+
+}  // namespace deslp::util

@@ -6,7 +6,7 @@
 #   tools/ci_checks.sh [STEP...]
 #
 # Steps (default: pycheck lint-selftest lint build test fault monitors tidy
-# trace report bench bench-check):
+# thread-safety trace report bench bench-check):
 #   pycheck        python3 -m py_compile over the repo's Python tooling
 #   lint-selftest  tools/deslp_lint.py --self-test (fixture suite)
 #   lint           tools/deslp_lint.py over src/ bench/ examples/
@@ -38,6 +38,18 @@
 #                  would hide, so it gets its own targeted ASan gate that
 #                  a CI lane can run without paying for the full suite
 #                  (shares the ${BUILD_DIR}-address tree with asan)
+#   thread-safety  clang build in ${BUILD_DIR}-clang with the capability
+#                  annotations enforced (-Werror=thread-safety, DESIGN.md
+#                  §12), then the linter's cross-TU tier against that
+#                  build's compile_commands.json (layer-dag + orphan-TU
+#                  check). Skipped honestly when clang++ is not installed —
+#                  GCC has no equivalent analysis; the tsan-concurrency
+#                  step covers the same contracts at runtime
+#   tsan-concurrency  ThreadSanitizer build + ctest -L concurrency only —
+#                  the stress suite that hammers every shared structure
+#                  (ThreadPool queue, log sink, atr spectrum cache) on real
+#                  interleavings (shares the ${BUILD_DIR}-thread tree with
+#                  tsan)
 #
 # Environment:
 #   BUILD_DIR   build directory (default: build-ci)
@@ -125,6 +137,20 @@ step_asan_arena() {
     ctest --test-dir "$dir" -L arena --output-on-failure -j "$JOBS"
 }
 
+step_thread_safety() {
+  local dir="$BUILD_DIR-clang"
+  configure_build "$dir" -DCMAKE_C_COMPILER=clang \
+    -DCMAKE_CXX_COMPILER=clang++ &&
+    python3 tools/deslp_lint.py --root "$REPO_ROOT" \
+      --compile-commands "$dir/compile_commands.json"
+}
+
+step_tsan_concurrency() {
+  local dir="$BUILD_DIR-thread"
+  configure_build "$dir" -DDESLP_SANITIZE=thread &&
+    ctest --test-dir "$dir" -L concurrency --output-on-failure -j "$JOBS"
+}
+
 dispatch() {
   case $1 in
     pycheck) run_step pycheck step_pycheck ;;
@@ -150,7 +176,18 @@ dispatch() {
     asan) run_step asan step_sanitize address ;;
     asan-arena) run_step asan-arena step_asan_arena ;;
     tsan) run_step tsan step_sanitize thread ;;
+    tsan-concurrency) run_step tsan-concurrency step_tsan_concurrency ;;
     ubsan) run_step ubsan step_sanitize undefined ;;
+    thread-safety)
+      if command -v clang++ > /dev/null; then
+        run_step thread-safety step_thread_safety
+      else
+        # No clang, no -Wthread-safety: record the skip honestly. The
+        # annotations still compile (no-op macros under GCC) and the
+        # tsan-concurrency step checks the same contracts at runtime.
+        skip_step thread-safety "clang++ not installed"
+      fi
+      ;;
     *)
       echo "ci_checks.sh: unknown step '$1'" >&2
       exit 2
@@ -160,8 +197,8 @@ dispatch() {
 
 STEPS=("$@")
 if [ ${#STEPS[@]} -eq 0 ]; then
-  STEPS=(pycheck lint-selftest lint build test fault monitors tidy trace
-    report bench bench-check)
+  STEPS=(pycheck lint-selftest lint build test fault monitors tidy
+    thread-safety trace report bench bench-check)
 fi
 
 for step in "${STEPS[@]}"; do

@@ -33,14 +33,55 @@ examples/ and flags:
   header-guard            every header must contain `#pragma once` (the
                           project's include-guard convention).
 
+Cross-TU tier (DESIGN.md §12) — the concurrency/determinism contracts that
+a single file cannot prove. These rules back the thread-safety capability
+annotations (src/util/thread_annotations.h): the compiler checks lock
+discipline under Clang, and this tier checks what the compiler cannot see —
+hidden shared state, address-dependent ordering, unannotated primitives and
+the layer graph itself:
+
+  shared-mutable-static   a non-const, non-thread_local, non-atomic static
+                          (function-local or namespace-scope, incl. the
+                          g_* global naming convention) in src/ without a
+                          GUARDED_BY annotation: hidden process-global
+                          state leaks across runs and threads. Guard it,
+                          confine it, or justify with an inline allow.
+  pointer-keyed-container map/set (ordered or unordered) keyed on pointer
+                          values: comparison/hash is the address, so
+                          iteration order varies run-to-run and anything it
+                          feeds loses bit-determinism. Key on a stable id.
+  raw-lock-decl           bare std::mutex/std::shared_mutex/
+                          std::condition_variable (or std lock guards)
+                          outside src/util/mutex.h: a raw primitive carries
+                          no compiler-checked relationship to the state it
+                          guards. Use the annotated util wrappers.
+  layer-dag               the include graph must match the declared layer
+                          DAG (util at the bottom, core/obs on top, the
+                          obs-base split for metrics plumbing — see
+                          LAYER_DEPS below and DESIGN.md §12): no downward
+                          or undeclared cross-layer includes, no include
+                          cycles, and — when --compile-commands is given —
+                          no src/ TU missing from the build (an unbuilt TU
+                          escapes every compiler-enforced check).
+
+The cross-TU tier also produces a machine-readable inventory of all shared
+state via --shared-state-report: every GUARDED_BY-annotated member, every
+capability object, every atomic / thread_local / justified static, so the
+concurrency surface of the tree is enumerable instead of folklore.
+
 Suppressions: append `// deslp-lint: allow(<rule>)` (optionally
 `allow(rule): reason` or `allow(rule-a, rule-b)`) to the offending line, or
 place it on a comment-only line directly above. Path-level allowances for
-whole trees (benchmarks time things by design) live in PATH_ALLOWLIST below.
+whole trees (benchmarks time things by design; util/mutex.h owns the raw
+primitives) live in PATH_ALLOWLIST below; rules that only apply under a
+subtree (src/) are scoped in PATH_SCOPE.
 
 Usage:
   deslp_lint.py [--root DIR] [PATHS...]   lint (default paths: src bench examples)
   deslp_lint.py --json                    machine-readable findings on stdout
+  deslp_lint.py --compile-commands F      also cross-check src/ TUs against
+                                          an exported compile_commands.json
+  deslp_lint.py --shared-state-report     JSON inventory of guarded state
   deslp_lint.py --self-test               run against tests/lint_fixtures
   deslp_lint.py --list-rules              print rule ids and one-line docs
 
@@ -54,12 +95,118 @@ import re
 import sys
 
 # Per-rule path prefixes (relative to the scan root, '/'-separated) where the
-# rule does not apply. Benchmarks measure host wall-clock by design; that is
-# the only blanket allowance — everything else must use an inline allow()
-# with a rationale.
+# rule does not apply. Benchmarks measure host wall-clock by design, and
+# util/mutex.h + util/thread_annotations.h are the one sanctioned home of
+# the raw std primitives they wrap — everything else must use an inline
+# allow() with a rationale.
 PATH_ALLOWLIST = {
     "wall-clock": ("bench/",),
+    "raw-lock-decl": (
+        "src/util/mutex.h",
+        "src/util/thread_annotations.h",
+    ),
 }
+
+# Per-rule path prefixes a rule is restricted TO (the inverse of
+# PATH_ALLOWLIST): outside these prefixes the rule never fires. The shared-
+# state and layering contracts bind the library tree; bench/ and examples/
+# are leaf consumers.
+PATH_SCOPE = {
+    "shared-mutable-static": ("src/",),
+    "layer-dag": ("src/",),
+}
+
+# ---------------------------------------------------------------------------
+# Layer DAG (DESIGN.md §12). Key: layer (= subdirectory of src/); value: the
+# layers it may include *directly*. Transitive closure is taken below, so a
+# layer may also include anything its dependencies may include. The obs
+# layer is split: the instrumentation plumbing (metrics / json / aggregate /
+# monitor / profiler — `obs-base`) sits just above util so the sim engine
+# can carry metric handles, while the exporter (trace_export) reads power
+# and sim state and sits with obs proper, above them.
+# ---------------------------------------------------------------------------
+
+LAYER_DEPS = {
+    "util": set(),
+    "obs-base": {"util"},
+    "atr": {"util"},
+    "battery": {"util"},
+    "cpu": {"util"},
+    "sim": {"util", "obs-base"},
+    "dvs": {"cpu", "util"},
+    "power": {"cpu", "sim"},
+    "fault": {"sim", "obs-base"},
+    "net": {"fault", "sim", "obs-base"},
+    "task": {"atr", "battery", "cpu", "net"},
+    "obs": {"power", "sim", "obs-base"},
+    "core": {
+        "atr", "battery", "cpu", "dvs", "fault", "net",
+        "obs", "obs-base", "power", "sim", "task", "util",
+    },
+}
+
+# obs/ files that belong to the obs-base sub-layer (stem names).
+OBS_BASE_STEMS = frozenset({"metrics", "json", "aggregate", "monitor", "profiler"})
+
+
+def _layer_closure():
+    """LAYER_DEPS closed under transitivity; exits 2 on a declared cycle."""
+    closure = {}
+
+    def visit(layer, stack):
+        if layer in closure:
+            return closure[layer]
+        if layer in stack:
+            raise SystemExit(
+                f"deslp_lint: LAYER_DEPS is cyclic at '{layer}' "
+                f"(via {' -> '.join(stack)})"
+            )
+        stack.append(layer)
+        deps = set(LAYER_DEPS[layer])
+        for dep in LAYER_DEPS[layer]:
+            deps |= visit(dep, stack)
+        stack.pop()
+        closure[layer] = deps
+        return deps
+
+    for name in LAYER_DEPS:
+        visit(name, [])
+    return closure
+
+
+LAYER_CLOSURE = _layer_closure()
+
+LAYER_RE = re.compile(r"(?:^|/)src/([a-z_]+)/")
+
+
+def layer_of(relpath):
+    """Layer of a scanned file ('/'-separated relpath), or None."""
+    m = LAYER_RE.search(relpath)
+    if not m:
+        return None
+    layer = m.group(1)
+    if layer not in LAYER_DEPS:
+        return None
+    if layer == "obs":
+        stem = os.path.splitext(os.path.basename(relpath))[0]
+        if stem in OBS_BASE_STEMS:
+            return "obs-base"
+    return layer
+
+
+def include_layer(include_path):
+    """Layer of an `#include "..."` target, or None for non-layer includes."""
+    parts = include_path.split("/")
+    if len(parts) < 2:
+        return None
+    layer = parts[0]
+    if layer not in LAYER_DEPS:
+        return None
+    if layer == "obs":
+        stem = os.path.splitext(parts[-1])[0]
+        if stem in OBS_BASE_STEMS:
+            return "obs-base"
+    return layer
 
 DEFAULT_SCAN_DIRS = ("src", "bench", "examples")
 SOURCE_EXTS = (".cc", ".cpp", ".cxx", ".h", ".hpp")
@@ -208,6 +355,25 @@ class FileContext:
         self.comment_lines = self.comment_text.split("\n")
         self.is_header = os.path.splitext(relpath)[1] in HEADER_EXTS
         self.allows = self._collect_allows()
+        self.includes = self._collect_includes()
+
+    def _collect_includes(self):
+        """[(lineno, path)] for `#include "..."` lines (quoted form only).
+
+        The include keyword is verified against the comment-stripped view
+        (so a commented-out include does not count), but the path itself
+        must come from the raw text — string contents are blanked in
+        `code`.
+        """
+        out = []
+        raw_re = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
+        for idx, code_line in enumerate(self.code_lines):
+            if not re.match(r"^\s*#\s*include\b", code_line):
+                continue
+            m = raw_re.match(self.lines[idx])
+            if m:
+                out.append((idx + 1, m.group(1)))
+        return out
 
     def _collect_allows(self):
         """Map 1-based line number -> set of allowed rule ids."""
@@ -515,6 +681,252 @@ def rule_header_guard(ctx):
     )
 
 
+# ---------------------------------------------------------------------------
+# Cross-TU tier rules (DESIGN.md §12).
+# ---------------------------------------------------------------------------
+
+# Leading qualifiers that make a static immutable or thread-confined.
+_SAFE_QUALIFIERS = ("const", "constexpr", "constinit", "thread_local")
+# Self-synchronizing / capability types a static may legitimately be.
+_SYNC_TYPE_RE = re.compile(
+    r"^(?:(?:deslp::)?util\s*::\s*)?(?:Mutex|SharedMutex|CondVar)\b"
+    r"|^std\s*::\s*(?:atomic\b|atomic_\w+|once_flag\b)"
+)
+_GUARD_ANNOT_RE = re.compile(r"\b(?:PT_)?GUARDED_BY\s*\(")
+
+
+def _declared_name(decl):
+    """(name, delimiter) of the first declarator in `decl`, or (None, None).
+
+    Walks to the first of `= ; { ( [` outside angle brackets; the identifier
+    immediately before it is the declared name. A '(' delimiter means a
+    function declaration. Multi-line declarations (type on one line, name on
+    the next) are not resolved — the heuristic trades those for zero parse
+    infrastructure.
+    """
+    depth = 0
+    for i, c in enumerate(decl):
+        if c == "<":
+            depth += 1
+        elif c == ">":
+            depth = max(0, depth - 1)
+        elif depth == 0 and c in "=;{([":
+            before = decl[:i].rstrip()
+            m = re.search(r"(\w+)$", before)
+            return (m.group(1), c) if m else (None, None)
+    return (None, None)
+
+
+# Namespace-scope mutable globals follow the g_* naming convention (the
+# convention is itself part of the contract: a global that hides behind a
+# plain name also hides from this rule, so reviewers hold the line on g_*).
+_GLOBAL_DECL_RE = re.compile(
+    r"^\s*(?!return\b|delete\b|new\b|case\b|using\b|typedef\b|goto\b)"
+    r"(?P<type>[\w:]+(?:\s*<[^;={}]*>)?(?:\s*[*&])*)\s+(?P<name>g_\w+)\s*[=;{]"
+)
+
+
+def rule_shared_mutable_static(ctx):
+    msg = (
+        "shared mutable static state ('{name}'): writable and visible "
+        "across threads and runs, so it can leak state between "
+        "simulations; guard it with an annotated util::Mutex + GUARDED_BY, "
+        "make it const/constexpr/thread_local/std::atomic, or justify an "
+        "inline allow"
+    )
+    for idx, line in enumerate(ctx.code_lines):
+        if _GUARD_ANNOT_RE.search(line):
+            continue  # annotated: the guard relationship is compiler-checked
+        m = re.search(r"\bstatic\s+(?P<rest>\S.*)$", line)
+        if m:
+            rest = m.group("rest")
+            qualified_safe = False
+            while True:
+                q = re.match(r"(?:inline\s+)?(\w+)\s+", rest)
+                if q and q.group(1) in _SAFE_QUALIFIERS:
+                    qualified_safe = True
+                    break
+                if q and q.group(1) == "inline":
+                    rest = rest[q.end() :]
+                    continue
+                break
+            if qualified_safe or _SYNC_TYPE_RE.match(rest):
+                continue
+            name, delim = _declared_name(rest)
+            if name is None or delim == "(":
+                continue  # function declaration / unresolvable
+            yield (idx + 1, msg.format(name=name))
+            continue
+        g = _GLOBAL_DECL_RE.match(line)
+        if g and not _SYNC_TYPE_RE.match(g.group("type")):
+            yield (idx + 1, msg.format(name=g.group("name")))
+
+
+_PTR_KEY_RE = re.compile(
+    r"\b(?:std\s*::\s*)?"
+    r"(?:map|set|multimap|multiset|"
+    r"unordered_map|unordered_set|unordered_multimap|unordered_multiset)"
+    r"\s*<\s*(?P<key>[\w:\s]+?\*+(?:\s*const)?)\s*[,>]"
+)
+
+
+def rule_pointer_keyed_container(ctx):
+    for idx, line in enumerate(ctx.code_lines):
+        m = _PTR_KEY_RE.search(line)
+        if m:
+            yield (
+                idx + 1,
+                f"pointer-keyed container (key '{m.group('key').strip()}'): "
+                "ordering/hashing on an address makes iteration order "
+                "depend on the allocator, so any output it feeds loses "
+                "bit-determinism across runs and builds; key on a stable "
+                "id (index, name, handle) instead",
+            )
+
+
+_RAW_LOCK_RE = re.compile(
+    r"\bstd\s*::\s*(?:mutex|shared_mutex|recursive_mutex|timed_mutex|"
+    r"recursive_timed_mutex|shared_timed_mutex|condition_variable|"
+    r"condition_variable_any)\b"
+    r"|\b(?:std\s*::\s*)?(?:lock_guard|unique_lock|shared_lock|scoped_lock)\s*<"
+    r"|\bstd\s*::\s*(?:lock_guard|unique_lock|shared_lock|scoped_lock)\b"
+)
+
+
+def rule_raw_lock_decl(ctx):
+    for idx, line in enumerate(ctx.code_lines):
+        if _RAW_LOCK_RE.search(line):
+            yield (
+                idx + 1,
+                "raw std synchronization primitive: a bare mutex/lock "
+                "carries no compiler-checked relationship to the state it "
+                "guards; use the capability-annotated util::Mutex / "
+                "util::SharedMutex / scoped guards from util/mutex.h "
+                "(DESIGN.md §12)",
+            )
+
+
+# --- layer-dag: whole-corpus analysis --------------------------------------
+
+
+def _resolve_include(relpath, include_path):
+    """Corpus-relative path an include resolves to, assuming the project
+    convention that quoted includes are rooted at src/."""
+    m = re.match(r"(.*?(?:^|/))src/", relpath)
+    if m is None:
+        return None
+    return m.group(0) + include_path
+
+
+def rule_layer_dag(ctxs, compile_commands_sources=None, root=None):
+    """Corpus rule: yields (relpath, lineno, message).
+
+    Checks three things across the whole scanned tree: (1) every
+    cross-layer include follows a declared LAYER_DEPS edge (transitively
+    closed), (2) the file-level include graph is acyclic, and (3) when a
+    compile_commands.json was supplied, every src/ TU is actually built —
+    an unbuilt TU silently escapes -Wthread-safety and every other
+    compiler-enforced contract.
+    """
+    by_path = {ctx.relpath: ctx for ctx in ctxs}
+    edges = {}
+    for ctx in ctxs:
+        layer = layer_of(ctx.relpath)
+        if layer is None:
+            continue
+        targets = []
+        for lineno, inc in ctx.includes:
+            target_layer = include_layer(inc)
+            resolved = _resolve_include(ctx.relpath, inc)
+            if resolved in by_path:
+                targets.append((lineno, resolved))
+            if target_layer is None:
+                continue
+            if target_layer != layer and target_layer not in LAYER_CLOSURE[layer]:
+                yield (
+                    ctx.relpath,
+                    lineno,
+                    f"layer violation: '{layer}' may not include "
+                    f"'{target_layer}' ({inc}); allowed from '{layer}': "
+                    f"{', '.join(sorted(LAYER_CLOSURE[layer] | {layer}))} "
+                    "(DESIGN.md §12 layer DAG)",
+                )
+        edges[ctx.relpath] = targets
+
+    # File-level cycle detection (iterative DFS, deterministic order). Every
+    # distinct cycle is reported once, at its lexicographically smallest
+    # member's first include into the cycle.
+    color = {}  # path -> 1 (on stack) / 2 (done)
+    cycles = []
+    for start in sorted(edges):
+        if color.get(start):
+            continue
+        stack = [(start, iter(sorted(t for _ln, t in edges.get(start, ())))) ]
+        color[start] = 1
+        path_stack = [start]
+        while stack:
+            node, it = stack[-1]
+            advanced = False
+            for target in it:
+                if target not in edges:
+                    continue
+                state = color.get(target)
+                if state == 1:
+                    cycle = path_stack[path_stack.index(target) :]
+                    cycles.append(tuple(cycle))
+                elif state is None:
+                    color[target] = 1
+                    stack.append(
+                        (target, iter(sorted(t for _ln, t in edges.get(target, ()))))
+                    )
+                    path_stack.append(target)
+                    advanced = True
+                    break
+            if not advanced:
+                color[node] = 2
+                stack.pop()
+                path_stack.pop()
+    seen_cycles = set()
+    for cycle in cycles:
+        key = frozenset(cycle)
+        if key in seen_cycles:
+            continue
+        seen_cycles.add(key)
+        members = set(cycle)
+        anchor = min(cycle)
+        lineno = 1
+        for ln, target in edges.get(anchor, ()):
+            if target in members:
+                lineno = ln
+                break
+        ordered = list(cycle)
+        while ordered[0] != anchor:
+            ordered.append(ordered.pop(0))
+        chain = " -> ".join(ordered + [anchor])
+        yield (
+            anchor,
+            lineno,
+            f"include cycle: {chain}; the layer DAG requires an acyclic "
+            "include graph (DESIGN.md §12)",
+        )
+
+    # Orphan-TU check against the exported compile database.
+    if compile_commands_sources is not None and root is not None:
+        for ctx in ctxs:
+            rel = ctx.relpath
+            if not rel.startswith("src/") or not rel.endswith((".cc", ".cpp", ".cxx")):
+                continue
+            abspath = os.path.realpath(os.path.join(root, rel))
+            if abspath not in compile_commands_sources:
+                yield (
+                    rel,
+                    1,
+                    "TU missing from compile_commands.json: this file is "
+                    "never built, so -Wthread-safety and every other "
+                    "compiler-enforced contract silently skip it",
+                )
+
+
 RULES = {
     "wall-clock": (rule_wall_clock, "wall-clock reads outside the timing allowlist"),
     "unseeded-random": (rule_unseeded_random, "nondeterministic randomness sources"),
@@ -522,6 +934,27 @@ RULES = {
     "float-eq": (rule_float_eq, "floating-point ==/!= on time/energy-like operands"),
     "using-namespace-header": (rule_using_namespace_header, "`using namespace` in a header"),
     "header-guard": (rule_header_guard, "headers must use `#pragma once`"),
+    "shared-mutable-static": (
+        rule_shared_mutable_static,
+        "mutable static/global state without an annotated guard",
+    ),
+    "pointer-keyed-container": (
+        rule_pointer_keyed_container,
+        "containers keyed on pointer values (address-dependent order)",
+    ),
+    "raw-lock-decl": (
+        rule_raw_lock_decl,
+        "raw std lock primitives outside util/mutex.h",
+    ),
+}
+
+# Whole-corpus rules: fn(ctxs, compile_commands_sources, root) -> iterable of
+# (relpath, lineno, message). They see every scanned file at once.
+CORPUS_RULES = {
+    "layer-dag": (
+        rule_layer_dag,
+        "include graph must match the declared layer DAG (and be acyclic)",
+    ),
 }
 
 
@@ -549,34 +982,83 @@ def path_allowed(relpath, rule):
     for prefix in PATH_ALLOWLIST.get(rule, ()):
         if rel.startswith(prefix):
             return True
+    scope = PATH_SCOPE.get(rule)
+    if scope is not None and not any(rel.startswith(p) for p in scope):
+        return True
     return False
 
 
-def lint_file(root, relpath):
+def load_context(root, relpath):
     path = os.path.join(root, relpath)
     try:
         with open(path, encoding="utf-8", errors="replace") as f:
             text = f.read()
     except OSError as e:
         raise SystemExit(f"deslp_lint: cannot read {path}: {e}")
-    ctx = FileContext(relpath, text)
+    return FileContext(relpath.replace(os.sep, "/"), text)
+
+
+def lint_context(ctx):
     findings = []
     for rule_id, (fn, _doc) in RULES.items():
-        if path_allowed(relpath, rule_id):
+        if path_allowed(ctx.relpath, rule_id):
             continue
         for lineno, message in fn(ctx):
             if ctx.allowed(lineno, rule_id):
                 continue
             snippet = ctx.lines[lineno - 1] if lineno - 1 < len(ctx.lines) else ""
-            findings.append(Finding(relpath.replace(os.sep, "/"), lineno, rule_id, message, snippet))
+            findings.append(Finding(ctx.relpath, lineno, rule_id, message, snippet))
     return findings
 
 
-def run_lint(root, paths, as_json):
-    all_findings = []
+def lint_corpus(ctxs, compile_commands_sources=None, root=None):
+    """Run the whole-corpus rules; returns Findings."""
+    by_path = {ctx.relpath: ctx for ctx in ctxs}
+    findings = []
+    for rule_id, (fn, _doc) in CORPUS_RULES.items():
+        for relpath, lineno, message in fn(
+            ctxs, compile_commands_sources=compile_commands_sources, root=root
+        ):
+            if path_allowed(relpath, rule_id):
+                continue
+            ctx = by_path.get(relpath)
+            if ctx is not None and ctx.allowed(lineno, rule_id):
+                continue
+            snippet = ""
+            if ctx is not None and lineno - 1 < len(ctx.lines):
+                snippet = ctx.lines[lineno - 1]
+            findings.append(Finding(relpath, lineno, rule_id, message, snippet))
+    return findings
+
+
+def load_compile_commands(path):
+    """Set of realpath'd source files from a compile_commands.json."""
+    try:
+        with open(path, encoding="utf-8") as f:
+            entries = json.load(f)
+    except (OSError, ValueError) as e:
+        raise SystemExit(f"deslp_lint: cannot read compile database {path}: {e}")
+    sources = set()
+    for entry in entries:
+        file_path = entry.get("file", "")
+        if not os.path.isabs(file_path):
+            file_path = os.path.join(entry.get("directory", ""), file_path)
+        sources.add(os.path.realpath(file_path))
+    return sources
+
+
+def run_lint(root, paths, as_json, compile_commands=None):
+    cc_sources = None
+    if compile_commands is not None:
+        cc_sources = load_compile_commands(compile_commands)
     files = list(iter_source_files(root, paths))
-    for rel in files:
-        all_findings.extend(lint_file(root, rel))
+    ctxs = [load_context(root, rel) for rel in files]
+    all_findings = []
+    for ctx in ctxs:
+        all_findings.extend(lint_context(ctx))
+    all_findings.extend(
+        lint_corpus(ctxs, compile_commands_sources=cc_sources, root=root)
+    )
     all_findings.sort(key=Finding.key)
     if as_json:
         doc = {
@@ -647,10 +1129,17 @@ def run_self_test(repo_root):
         return 2
     expected = set()
     actual = set()
+    ctxs = []
     for rel in files:
         expected |= collect_expectations(fixtures, rel)
-        for f in lint_file(fixtures, rel):
+        ctx = load_context(fixtures, rel)
+        ctxs.append(ctx)
+        for f in lint_context(ctx):
             actual.add(f.key())
+    # Corpus rules run over the fixture tree exactly like a real scan; the
+    # fixtures' src/ subtree stands in for the repository's.
+    for f in lint_corpus(ctxs, root=fixtures):
+        actual.add(f.key())
 
     failures = []
     for missing in sorted(expected - actual):
@@ -658,10 +1147,11 @@ def run_self_test(repo_root):
     for spurious in sorted(actual - expected):
         failures.append(f"SPURIOUS {spurious[0]}:{spurious[1]} flagged [{spurious[2]}]")
 
-    # Every rule must be exercised by at least one violating fixture, so a
-    # broken rule cannot rot silently.
+    # Every rule — per-file and corpus tier alike — must be exercised by at
+    # least one violating fixture, so a broken rule cannot rot silently.
     covered = {rule for (_f, _l, rule) in expected}
-    for rule_id in RULES:
+    all_rules = list(RULES) + list(CORPUS_RULES)
+    for rule_id in all_rules:
         if rule_id not in covered:
             failures.append(f"UNCOVERED rule [{rule_id}] has no violating fixture")
 
@@ -672,8 +1162,108 @@ def run_self_test(repo_root):
         return 1
     print(
         f"deslp_lint --self-test: OK ({len(files)} fixtures, "
-        f"{len(expected)} expected findings, all {len(RULES)} rules covered)"
+        f"{len(expected)} expected findings, all {len(all_rules)} rules covered)"
     )
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Shared-state inventory (--shared-state-report): a machine-readable census
+# of every synchronization-relevant declaration in src/, so "what state is
+# shared, and what guards it" is a generated artifact (embedded in
+# DESIGN.md §12) instead of folklore.
+# ---------------------------------------------------------------------------
+
+_REPORT_GUARDED_RE = re.compile(r"(\w+)\s+(PT_)?GUARDED_BY\s*\(\s*([^)]*?)\s*\)")
+_REPORT_CAPABILITY_RE = re.compile(
+    r"\b(?:util\s*::\s*)?(Mutex|SharedMutex|CondVar)\s+(\w+)\s*(?:;|\{|=)"
+)
+_REPORT_ATOMIC_RE = re.compile(r"\bstd\s*::\s*atomic(?:<[^;=]*>|_\w+)\s+(\w+)")
+_REPORT_TLS_RE = re.compile(r"\bthread_local\b(?P<rest>.*)$")
+_REPORT_ALLOW_RE = re.compile(
+    r"deslp-lint:\s*allow\(\s*shared-mutable-static\s*\)\s*:?\s*(?P<reason>.*)"
+)
+
+
+def shared_state_report(root, paths):
+    files = [
+        rel
+        for rel in iter_source_files(root, paths)
+        if rel.replace(os.sep, "/").startswith("src/")
+    ]
+    entries = []
+
+    def add(ctx, lineno, kind, name, **extra):
+        entries.append(
+            dict(
+                {
+                    "file": ctx.relpath,
+                    "line": lineno,
+                    "kind": kind,
+                    "name": name,
+                },
+                **extra,
+            )
+        )
+
+    for rel in files:
+        ctx = load_context(root, rel)
+        pending_reason = None
+        for idx, line in enumerate(ctx.code_lines):
+            if re.match(r"\s*#", line):
+                continue  # the annotation macros' own definitions
+            comment = ctx.comment_lines[idx]
+            allow_m = _REPORT_ALLOW_RE.search(comment)
+            for m in _REPORT_GUARDED_RE.finditer(line):
+                add(
+                    ctx,
+                    idx + 1,
+                    "pt-guarded" if m.group(2) else "guarded",
+                    m.group(1),
+                    guard=m.group(3),
+                )
+            for m in _REPORT_CAPABILITY_RE.finditer(line):
+                add(ctx, idx + 1, "capability", m.group(2), type=m.group(1))
+            for m in _REPORT_ATOMIC_RE.finditer(line):
+                add(ctx, idx + 1, "atomic", m.group(1))
+            tls = _REPORT_TLS_RE.search(line)
+            if tls:
+                name, delim = _declared_name(tls.group("rest"))
+                if name is not None and delim != "(":
+                    add(ctx, idx + 1, "thread-local", name)
+            if allow_m is not None:
+                reason = allow_m.group("reason").strip()
+                if line.strip() == "":
+                    # Comment-only line: the allow covers the next decl.
+                    pending_reason = (idx + 1, reason)
+                else:
+                    name, _delim = _declared_name(line)
+                    add(ctx, idx + 1, "allowed-static", name or "?", reason=reason)
+                continue
+            if pending_reason is not None and line.strip():
+                name, _delim = _declared_name(line)
+                add(
+                    ctx,
+                    idx + 1,
+                    "allowed-static",
+                    name or "?",
+                    reason=pending_reason[1],
+                )
+                pending_reason = None
+    # A multi-line allow comment ends on its last line; carry the reason
+    # forward only across blank/comment lines (handled above by line.strip()).
+    entries.sort(key=lambda e: (e["file"], e["line"], e["kind"], e["name"]))
+    counts = {}
+    for e in entries:
+        counts[e["kind"]] = counts.get(e["kind"], 0) + 1
+    doc = {
+        "version": 1,
+        "root": os.path.abspath(root),
+        "files_scanned": len(files),
+        "entries": entries,
+        "counts": counts,
+    }
+    print(json.dumps(doc, indent=2))
     return 0
 
 
@@ -689,11 +1279,24 @@ def main(argv):
     parser.add_argument("--json", action="store_true", help="machine-readable output")
     parser.add_argument("--self-test", action="store_true", help="run the fixture self-test")
     parser.add_argument("--list-rules", action="store_true", help="print rule ids and exit")
+    parser.add_argument(
+        "--compile-commands",
+        metavar="FILE",
+        help="exported compile_commands.json; enables the orphan-TU check "
+        "of the layer-dag rule (a src/ TU absent from the build escapes "
+        "all compiler-enforced contracts)",
+    )
+    parser.add_argument(
+        "--shared-state-report",
+        action="store_true",
+        help="print the JSON inventory of guarded/atomic/thread-local/"
+        "allowed shared state in src/ and exit",
+    )
     parser.add_argument("paths", nargs="*", help="paths to scan (default: src bench examples)")
     args = parser.parse_args(argv)
 
     if args.list_rules:
-        for rule_id, (_fn, doc) in RULES.items():
+        for rule_id, (_fn, doc) in list(RULES.items()) + list(CORPUS_RULES.items()):
             print(f"{rule_id:24} {doc}")
         return 0
     if args.self_test:
@@ -702,7 +1305,9 @@ def main(argv):
     if not paths:
         print("deslp_lint: nothing to scan", file=sys.stderr)
         return 2
-    return run_lint(args.root, paths, args.json)
+    if args.shared_state_report:
+        return shared_state_report(args.root, paths)
+    return run_lint(args.root, paths, args.json, compile_commands=args.compile_commands)
 
 
 if __name__ == "__main__":
