@@ -23,9 +23,12 @@
 #include "atr/match.h"
 #include "atr/pipeline.h"
 #include "battery/bank.h"
+#include "battery/battery.h"
 #include "battery/kibam.h"
 #include "battery/rakhmatov.h"
 #include "core/experiment.h"
+#include "core/fleet.h"
+#include "core/topology.h"
 #include "net/hub.h"
 #include "net/ppp.h"
 #include "net/session.h"
@@ -598,6 +601,43 @@ void BM_Fig10EventsPerSecond(benchmark::State& state) {
   state.SetItemsProcessed(total_fired);
 }
 BENCHMARK(BM_Fig10EventsPerSecond)->Unit(benchmark::kMillisecond);
+
+void BM_FleetEventsPerSecond(benchmark::State& state) {
+  // Fleet-path engine throughput: a 64-node / 8-cluster fleet (core/fleet.h)
+  // run to its round quota, reported as fired events per wall-second. This
+  // is the N-node counterpart of BM_Fig10EventsPerSecond — it moves when
+  // the hub fan-in, the per-round coordinator, or the election path gets
+  // slower, which the 2-node fig10 batch cannot see.
+  std::int64_t total_fired = 0;
+  for (auto _ : state) {
+    obs::Registry reg;
+    core::FleetConfig fc;
+    fc.cpu = &cpu::itsy_sa1100();
+    fc.link.line_rate = kilobits_per_second(2304.0);
+    fc.link.effective_rate = kilobits_per_second(2000.0);
+    fc.link.startup_min = milliseconds(1.0);
+    fc.link.startup_max = milliseconds(2.0);
+    fc.battery_factory = [] {
+      return battery::make_ideal_battery(milliamp_hours(5.0));
+    };
+    fc.topology = core::Topology::fleet(64, 8);
+    fc.round_period = seconds(0.5);
+    fc.epoch_rounds = 5;
+    fc.head_levels = {fc.cpu->top_level(), 0, 0};
+    fc.max_rounds = 40;
+    fc.metrics = &reg;
+    core::FleetSystem sys(std::move(fc));
+    const auto result = sys.run();
+    std::int64_t fired = 0;
+    for (const auto& m : reg.snapshot())
+      if (m.name == "sim.events.fired")
+        fired += static_cast<std::int64_t>(m.value);
+    total_fired += fired;
+    benchmark::DoNotOptimize(result.rounds);
+  }
+  state.SetItemsProcessed(total_fired);
+}
+BENCHMARK(BM_FleetEventsPerSecond)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -161,6 +161,18 @@ int main(int argc, char** argv) {
     agg.observe("run.Tnorm_h", to_hours(outcome->normalized_life));
     agg.observe("run.frames_lost",
                 static_cast<double>(outcome->run.frames_lost));
+    if (outcome->fleet.has_value()) {
+      // Fleet-lifetime milestones (registry counters like fleet.rounds
+      // already flow in through the metrics loop below).
+      const auto& f = *outcome->fleet;
+      agg.observe("fleet.died", static_cast<double>(f.died));
+      if (f.first_death_s >= 0.0)
+        agg.observe("fleet.first_death_h", to_hours(seconds(f.first_death_s)));
+      if (f.half_alive_s >= 0.0)
+        agg.observe("fleet.half_alive_h", to_hours(seconds(f.half_alive_s)));
+      if (f.last_alive_s >= 0.0)
+        agg.observe("fleet.last_alive_h", to_hours(seconds(f.last_alive_s)));
+    }
     for (const auto& n : outcome->run.nodes) {
       agg.observe("node.final_soc", n.final_soc);
       agg.observe("node.energy_j", n.energy_used.value());
@@ -188,6 +200,24 @@ int main(int argc, char** argv) {
               outcome->run.frames_completed);
   std::printf("Normalized life T/N : %.2f h\n",
               to_hours(outcome->normalized_life));
+  if (outcome->fleet.has_value()) {
+    const auto& f = *outcome->fleet;
+    std::printf("Fleet               : %d nodes / %d cluster(s)\n", f.nodes,
+                f.clusters);
+    std::printf("Rounds / epochs     : %lld / %lld\n", f.rounds, f.epochs);
+    std::printf("Elections           : %lld (%lld head switches)\n",
+                f.elections, f.head_switches);
+    std::printf("Nodes died          : %d of %d\n", f.died, f.nodes);
+    if (f.first_death_s >= 0.0)
+      std::printf("First death         : %.2f h\n",
+                  to_hours(seconds(f.first_death_s)));
+    if (f.half_alive_s >= 0.0)
+      std::printf("Half-alive          : %.2f h\n",
+                  to_hours(seconds(f.half_alive_s)));
+    if (f.last_alive_s >= 0.0)
+      std::printf("Last death          : %.2f h\n",
+                  to_hours(seconds(f.last_alive_s)));
+  }
   if (outcome->run.fault_injections > 0) {
     std::printf("Fault injections    : %lld\n",
                 outcome->run.fault_injections);

@@ -1,0 +1,516 @@
+#include "core/fleet.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/check.h"
+#include "util/log.h"
+
+namespace deslp::core {
+
+FleetSystem::FleetSystem(FleetConfig config)
+    : config_(std::move(config)),
+      hub_(engine_, config_.link, milliseconds(5.0), config_.seed) {
+  DESLP_EXPECTS(config_.cpu != nullptr);
+  DESLP_EXPECTS(config_.battery_factory != nullptr ||
+                config_.battery_bank_factory != nullptr);
+  DESLP_EXPECTS(config_.topology.validate());
+  // Fleet shapes are pure clusterings: no pipeline stages, every node a
+  // member of exactly one cluster (Topology::fleet, or hand-built).
+  DESLP_EXPECTS(config_.topology.stage_count() == 0);
+  DESLP_EXPECTS(config_.topology.cluster_count() >= 1);
+  DESLP_EXPECTS(config_.round_period.value() > 0.0);
+  DESLP_EXPECTS(config_.epoch_rounds >= 1);
+  DESLP_EXPECTS(config_.max_rounds >= 1);
+
+  trace_.set_recording(config_.record_trace);
+  host_mailbox_ = &hub_.attach(net::kHostAddress);
+
+  if (config_.metrics != nullptr) {
+    obs::Registry& reg = *config_.metrics;
+    engine_.bind_metrics(reg);
+    hub_.bind_metrics(reg, "hub");
+    // The frame counters share PipelineSystem's names on purpose: one
+    // reading sent / aggregated / written off is one frame, and the
+    // builtin frame-conservation monitors read these exact slots.
+    m_frames_sent_ = reg.counter("system.frames_sent");
+    m_frames_completed_ = reg.counter("system.frames_completed");
+    m_frames_lost_ = reg.counter("system.frames_lost");
+    m_stalls_ = reg.counter("system.stalls");
+    m_rounds_ = reg.counter("fleet.rounds");
+    m_epochs_ = reg.counter("fleet.epochs");
+    m_elections_ = reg.counter("fleet.elections");
+    m_head_switches_ = reg.counter("fleet.head_switches");
+    m_head_conflicts_ = reg.counter("fleet.head_conflicts");
+    m_alive_ = reg.gauge("fleet.alive");
+  }
+
+  if (config_.battery_bank_factory) {
+    battery_bank_ = config_.battery_bank_factory();
+    DESLP_EXPECTS(battery_bank_ != nullptr);
+  }
+  const int n = node_count();
+  hot_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    Node::Config nc;
+    nc.address = address_of(i);
+    nc.name = "Node" + std::to_string(i + 1);
+    nc.cpu = config_.cpu;
+    nc.pack_voltage = config_.pack_voltage;
+    nc.metrics = config_.metrics;
+    nc.hot = hot_.add();
+    auto battery = battery_bank_ != nullptr ? battery_bank_->add_view()
+                                            : config_.battery_factory();
+    // Capacity variance (kCapacityScale), same pre-discharge scheme as
+    // PipelineSystem: only `factor` of the usable charge remains.
+    const double factor = config_.faults.capacity_factor(i + 1);
+    if (factor < 1.0) {
+      const Amps reference = milliamps(100.0);
+      const Seconds burn = battery->time_to_empty(reference) * (1.0 - factor);
+      battery->discharge(reference, burn);
+    }
+    nodes_.push_back(std::make_unique<Node>(engine_, hub_, trace_, nc,
+                                            std::move(battery)));
+  }
+
+  const int clusters = topology().cluster_count();
+  members_.reserve(static_cast<std::size_t>(clusters));
+  for (int c = 0; c < clusters; ++c) members_.push_back(topology().members_of(c));
+  head_of_.assign(static_cast<std::size_t>(clusters), -1);
+  rr_cursor_.assign(static_cast<std::size_t>(clusters), -1);
+  pending_.assign(static_cast<std::size_t>(clusters), 0);
+  head_epochs_.assign(static_cast<std::size_t>(n), 0);
+
+  if (!config_.faults.empty()) {
+    fault_runtime_ =
+        std::make_unique<fault::Runtime>(engine_, config_.faults, &trace_);
+    hub_.set_fault_runtime(fault_runtime_.get());
+    if (config_.metrics != nullptr)
+      fault_runtime_->bind_metrics(*config_.metrics);
+    for (int i = 0; i < n; ++i) {
+      const std::size_t idx = static_cast<std::size_t>(i);
+      fault::Runtime::NodeHooks hooks;
+      hooks.fail = [this, idx](const fault::FaultEvent& e) {
+        nodes_[idx]->fail(fault::fault_kind_name(e.kind));
+      };
+      hooks.revive = [this, i, idx](const fault::FaultEvent&) {
+        Node& node = *nodes_[idx];
+        node.revive();
+        if (node.alive()) {
+          // The revived incarnation rejoins the cadence at the next round
+          // boundary (the coordinator tick there runs first and can elect
+          // it); the stale coroutine dies via the node epoch.
+          const double elapsed =
+              sim::to_seconds(engine_.now()).value() /
+              config_.round_period.value();
+          engine_.spawn(node_behavior(
+              i, static_cast<long long>(elapsed) + 1));
+        }
+      };
+      fault_runtime_->set_node_hooks(i + 1, hooks);
+    }
+    // Role-targeted events: "head" = head of cluster 0, "head<k>" = head
+    // of cluster k, resolved to whoever holds the role at injection time.
+    fault_runtime_->set_role_resolver([this](const std::string& role) -> int {
+      if (role.rfind("head", 0) != 0) return 0;
+      int cluster = 0;
+      if (role.size() > 4) {
+        cluster = 0;
+        for (std::size_t p = 4; p < role.size(); ++p) {
+          const char ch = role[p];
+          if (ch < '0' || ch > '9') return 0;
+          cluster = cluster * 10 + (ch - '0');
+        }
+      }
+      if (cluster < 0 || cluster >= topology().cluster_count()) return 0;
+      const int head = head_of_[static_cast<std::size_t>(cluster)];
+      if (head < 0 || !hot_[static_cast<std::size_t>(head)].alive) return 0;
+      return address_of(head);
+    });
+    fault_runtime_->arm();
+  }
+
+  const bool arm_builtins = config_.builtin_monitors && !config_.faults.empty();
+  if (config_.metrics != nullptr &&
+      (!config_.monitors.empty() || arm_builtins)) {
+    monitors_ = std::make_unique<obs::MonitorSet>();
+    if (arm_builtins) {
+      // Liveness can only decrease unless the plan contains brownouts
+      // (their revive hook brings nodes back).
+      bool alive_monotone = true;
+      for (const auto& e : config_.faults.events)
+        if (e.kind == fault::FaultKind::kBrownout) alive_monotone = false;
+      for (auto& spec : obs::builtin_fleet_invariant_specs(
+               alive_monotone, config_.builtin_monitor_severity)) {
+        std::string error;
+        const bool ok = monitors_->add(std::move(spec), &error);
+        DESLP_EXPECTS(ok);  // builtin expressions are known-good
+      }
+    }
+    for (const auto& spec : config_.monitors) {
+      std::string error;
+      const bool ok = monitors_->add(spec, &error);
+      if (!ok) log::info("monitor rejected: ", error);
+      DESLP_EXPECTS(ok);  // CLI/scenario paths validate at parse time
+    }
+    monitors_->set_on_abort([this] { engine_.stop(); });
+    monitors_->arm(*config_.metrics, [this] {
+      return sim::to_seconds(engine_.now()).value();
+    });
+  }
+}
+
+FleetSystem::~FleetSystem() = default;
+
+void FleetSystem::elect(int cluster) {
+  const std::size_t c = static_cast<std::size_t>(cluster);
+  const std::vector<int>& members = members_[c];
+  const int prev = head_of_[c];
+  int winner = -1;
+  switch (config_.election) {
+    case FleetConfig::Election::kMaxSoc: {
+      // LEACH-style energy-aware rule on the cached SoC (hot table, no
+      // battery-model evaluation): highest charge wins, ties to the lowest
+      // index — fully deterministic, and naturally rotating because last
+      // epoch's head drained the most.
+      double best = -1.0;
+      for (const int m : members) {
+        const NodeHot& h = hot_[static_cast<std::size_t>(m)];
+        if (!h.alive) continue;
+        if (h.soc > best) {
+          best = h.soc;
+          winner = m;
+        }
+      }
+      break;
+    }
+    case FleetConfig::Election::kRoundRobin: {
+      const int count = static_cast<int>(members.size());
+      for (int step = 1; step <= count; ++step) {
+        const int pos = ((rr_cursor_[c] + step) % count + count) % count;
+        const int candidate = members[static_cast<std::size_t>(pos)];
+        if (hot_[static_cast<std::size_t>(candidate)].alive) {
+          winner = candidate;
+          rr_cursor_[c] = pos;
+          break;
+        }
+      }
+      break;
+    }
+    case FleetConfig::Election::kFixed: {
+      for (const int m : members) {
+        if (hot_[static_cast<std::size_t>(m)].alive) {
+          winner = m;
+          break;
+        }
+      }
+      break;
+    }
+  }
+  head_of_[c] = winner;
+  ++elections_;
+  m_elections_.inc();
+  head_sequence_.push_back(winner);
+  if (winner != prev && winner >= 0) {
+    ++head_switches_;
+    m_head_switches_.inc();
+    trace_.add_mark({"Host",
+                     "elect cluster" + std::to_string(cluster) + " head->" +
+                         nodes_[static_cast<std::size_t>(winner)]->name(),
+                     engine_.now()});
+  }
+}
+
+void FleetSystem::on_round_boundary() {
+  ++rounds_completed_;
+  m_rounds_.inc();
+  const int alive = hot_.alive_count();
+  m_alive_.set(static_cast<double>(alive));
+  if (alive == 0) {
+    engine_.stop();
+    return;
+  }
+
+  const int clusters = topology().cluster_count();
+  // Dead-head sweep: write off the readings that died with the head and
+  // re-elect immediately (well within the one-epoch recovery bound).
+  for (int c = 0; c < clusters; ++c) {
+    const std::size_t ci = static_cast<std::size_t>(c);
+    const int head = head_of_[ci];
+    const bool head_ok =
+        head >= 0 && hot_[static_cast<std::size_t>(head)].alive;
+    if (head_ok) continue;
+    if (pending_[ci] > 0) {
+      frames_lost_ += pending_[ci];
+      m_frames_lost_.inc(static_cast<double>(pending_[ci]));
+      pending_[ci] = 0;
+    }
+    bool any_alive = false;
+    for (const int m : members_[ci])
+      if (hot_[static_cast<std::size_t>(m)].alive) any_alive = true;
+    if (any_alive)
+      elect(c);
+    else
+      head_of_[ci] = -1;
+  }
+
+  // Epoch rollover: rotate every cluster's head.
+  if (rounds_completed_ % config_.epoch_rounds == 0) begin_epoch();
+
+  // Stall: readings are being produced but nothing reaches the host.
+  const sim::Dur window =
+      sim::from_seconds(config_.round_period * config_.stall_rounds);
+  if (frames_sent_ > 0 && (engine_.now() - last_completion_) >= window) {
+    m_stalls_.inc();
+    engine_.stop();
+    return;
+  }
+  if (rounds_completed_ >= config_.max_rounds) engine_.stop();
+}
+
+void FleetSystem::begin_epoch() {
+  ++epochs_;
+  m_epochs_.inc();
+  const int clusters = topology().cluster_count();
+  for (int c = 0; c < clusters; ++c) elect(c);
+  // Head census: per-node head-epoch counts, and the uniqueness invariant
+  // (clusters partition the fleet, so conflicts are impossible by
+  // construction — the counter exists so the builtin monitor can prove it).
+  std::vector<char> heads_seen(static_cast<std::size_t>(node_count()), 0);
+  for (int c = 0; c < clusters; ++c) {
+    const int head = head_of_[static_cast<std::size_t>(c)];
+    if (head < 0) continue;
+    const std::size_t h = static_cast<std::size_t>(head);
+    if (heads_seen[h]) {
+      ++head_conflicts_;
+      m_head_conflicts_.inc();
+    }
+    heads_seen[h] = 1;
+    ++head_epochs_[h];
+  }
+}
+
+sim::Task FleetSystem::host_sink() {
+  for (;;) {
+    auto delivery = co_await host_mailbox_->recv();
+    if (!delivery) co_return;
+    const net::Message& msg = delivery->msg;
+    if (msg.kind == net::MsgKind::kControl) {
+      trace_.add_mark({"Host", "head-announce<-" + std::to_string(msg.src),
+                       engine_.now()});
+      continue;
+    }
+    if (msg.kind != net::MsgKind::kData) continue;
+    // One aggregate uplink completes `stage` readings at once.
+    frames_completed_ += msg.stage;
+    m_frames_completed_.inc(static_cast<double>(msg.stage));
+    last_completion_ = engine_.now();
+  }
+}
+
+sim::Task FleetSystem::node_behavior(int node_index, long long start_round) {
+  Node& node = *nodes_[static_cast<std::size_t>(node_index)];
+  const std::size_t cluster =
+      static_cast<std::size_t>(topology().cluster_of[
+          static_cast<std::size_t>(node_index)]);
+  bool was_head = false;
+
+  for (long long round = start_round; node.alive(); ++round) {
+    // Rounds are anchored to absolute boundaries (round r starts at r·P):
+    // a node that overran its previous round rejoins the cadence instead
+    // of drifting.
+    const sim::Time round_start =
+        sim::Time{0} +
+        sim::from_seconds(config_.round_period * static_cast<double>(round));
+    if (engine_.now() < round_start) {
+      if (!co_await node.idle(config_.member_levels.idle_level,
+                              sim::to_seconds(round_start - engine_.now())))
+        co_return;
+    }
+
+    const int head = head_of_[cluster];
+    const bool is_head = head == node_index;
+    if (is_head && !was_head) {
+      // Announce headship to the host (control uplink; pays real energy,
+      // so frequent rotation is not free).
+      net::Message announce;
+      announce.dst = net::kHostAddress;
+      announce.kind = net::MsgKind::kControl;
+      announce.frame = round;
+      announce.stage = static_cast<int>(cluster);
+      announce.size = config_.reading_size;
+      if (!co_await node.send(announce, config_.head_levels.comm_level))
+        co_return;
+    }
+    was_head = is_head;
+
+    if (!is_head) {
+      // --- member round: sense one reading, send it to the head ----------
+      const auto& lv = config_.member_levels;
+      if (head < 0) continue;  // no live head this round; skip sensing
+      std::string detail;
+      if (trace_.recording()) detail = "round " + std::to_string(round);
+      if (!co_await node.busy(
+              cpu::Mode::kComp, lv.comp_level,
+              node.cpu().time_for(config_.sense_work, lv.comp_level), "SENSE",
+              std::move(detail)))
+        co_return;
+      net::Message reading;
+      reading.dst = address_of(head);
+      reading.kind = net::MsgKind::kData;
+      reading.frame = round;
+      reading.stage = 0;
+      reading.size = config_.reading_size;
+      ++frames_sent_;
+      m_frames_sent_.inc();
+      if (!co_await node.send(reading, lv.comm_level)) co_return;
+      if (hub_.failed(address_of(head))) {
+        // The head died under us: the reading can never be aggregated.
+        ++frames_lost_;
+        m_frames_lost_.inc();
+      }
+      continue;
+    }
+
+    // --- head round: sense, collect until the boundary, aggregate, uplink -
+    const auto& lv = config_.head_levels;
+    std::string detail;
+    if (trace_.recording()) detail = "head round " + std::to_string(round);
+    if (!co_await node.busy(
+            cpu::Mode::kComp, lv.comp_level,
+            node.cpu().time_for(config_.sense_work, lv.comp_level), "SENSE",
+            std::move(detail)))
+      co_return;
+    ++frames_sent_;  // the head's own reading
+    m_frames_sent_.inc();
+    pending_[cluster] += 1;
+
+    const sim::Time round_end =
+        round_start + sim::from_seconds(config_.round_period);
+    for (;;) {
+      const Seconds remaining = sim::to_seconds(round_end - engine_.now());
+      if (remaining.value() <= 0.0) break;
+      auto msg = co_await node.recv(lv.idle_level, lv.comm_level, remaining);
+      if (!node.alive()) co_return;
+      if (!msg) break;  // boundary timeout
+      if (msg->kind == net::MsgKind::kData) pending_[cluster] += 1;
+    }
+
+    const long long got = pending_[cluster];
+    std::string aggregate_detail;
+    if (trace_.recording())
+      aggregate_detail = std::to_string(got) + " readings, round " +
+                         std::to_string(round);
+    if (!co_await node.busy(
+            cpu::Mode::kComp, lv.comp_level,
+            node.cpu().time_for(
+                config_.aggregate_work_per_reading * static_cast<double>(got),
+                lv.comp_level),
+            "AGGR", std::move(aggregate_detail)))
+      co_return;  // pending readings die with the head; coordinator writes off
+    net::Message up;
+    up.dst = net::kHostAddress;
+    up.kind = net::MsgKind::kData;
+    up.frame = round;
+    up.stage = static_cast<int>(got);  // readings folded into this uplink
+    up.size = config_.aggregate_size;
+    if (!co_await node.send(up, lv.comm_level)) co_return;
+    pending_[cluster] = 0;
+  }
+}
+
+FleetResult FleetSystem::run() {
+  engine_.spawn(host_sink());
+  // Epoch 1 is elected at t=0, before any node acts, so every member knows
+  // its head from the first round.
+  begin_epoch();
+  m_alive_.set(static_cast<double>(node_count()));
+  for (int i = 0; i < node_count(); ++i) engine_.spawn(node_behavior(i, 0));
+  // Coordinator tick at every round boundary. The repost happens at the
+  // previous boundary, so the tick always fires before any node event
+  // scheduled for the same instant — elections are visible to the round
+  // they open.
+  engine_.post_every(sim::from_seconds(config_.round_period),
+                     [this] { on_round_boundary(); });
+  if (monitors_ != nullptr) {
+    const double period_s = config_.monitor_checkpoint_s > 0.0
+                                ? config_.monitor_checkpoint_s
+                                : config_.round_period.value() * 10.0;
+    engine_.post_every(sim::from_seconds(seconds(period_s)), [this] {
+      monitors_->check(sim::to_seconds(engine_.now()).value());
+    });
+  }
+  engine_.run();
+  if (monitors_ != nullptr)
+    monitors_->check(sim::to_seconds(engine_.now()).value());
+
+  FleetResult result;
+  result.run.frames_sent = frames_sent_;
+  result.run.frames_completed = frames_completed_;
+  result.run.frames_lost = frames_lost_;
+  result.run.last_completion = sim::to_seconds(last_completion_);
+  result.run.sim_end = sim::to_seconds(engine_.now());
+  result.run.fault_injections =
+      fault_runtime_ != nullptr ? fault_runtime_->injections() : 0;
+  if (monitors_ != nullptr) {
+    result.run.violations = monitors_->violations();
+    result.run.violations_total = monitors_->violation_total();
+    result.run.monitor_checks = monitors_->checks();
+    result.run.monitors_failed = monitors_->failed();
+  }
+  std::vector<double> deaths;
+  for (int i = 0; i < node_count(); ++i) {
+    const Node& node = *nodes_[static_cast<std::size_t>(i)];
+    NodeReport r;
+    r.name = node.name();
+    r.address = node.address();
+    r.died = !node.alive();
+    r.death_time = r.died ? sim::to_seconds(node.death_time()) : seconds(0.0);
+    r.final_soc = node.battery().state_of_charge();
+    r.charge_used = node.monitor().total_charge();
+    r.energy_used = node.monitor().total_energy();
+    r.comm_time = node.monitor().totals(cpu::Mode::kComm).time;
+    r.comp_time = node.monitor().totals(cpu::Mode::kComp).time;
+    r.idle_time = node.monitor().totals(cpu::Mode::kIdle).time;
+    r.average_current = node.monitor().average_current();
+    if (r.died) deaths.push_back(r.death_time.value());
+    result.run.nodes.push_back(std::move(r));
+  }
+
+  result.rounds = rounds_completed_;
+  result.epochs = epochs_;
+  result.elections = elections_;
+  result.head_switches = head_switches_;
+  result.head_conflicts = head_conflicts_;
+  result.nodes_died = static_cast<int>(deaths.size());
+  result.head_epochs = head_epochs_;
+  result.head_sequence = head_sequence_;
+  // Fleet-lifetime milestones from the sorted death times: first death,
+  // the death that left at most half the fleet alive, and the last.
+  std::sort(deaths.begin(), deaths.end());
+  const int n = node_count();
+  const int half_deaths = (n + 1) / 2;  // alive <= n/2 after this many
+  if (!deaths.empty()) result.first_death = seconds(deaths.front());
+  if (static_cast<int>(deaths.size()) >= half_deaths)
+    result.half_alive =
+        seconds(deaths[static_cast<std::size_t>(half_deaths - 1)]);
+  if (static_cast<int>(deaths.size()) == n)
+    result.last_alive = seconds(deaths.back());
+  return result;
+}
+
+void FleetSystem::capture_observation(RunObservation* out) const {
+  DESLP_EXPECTS(out != nullptr);
+  out->trace = trace_;
+  out->counters.clear();
+  for (const auto& node : nodes_) {
+    const power::PowerMonitor& monitor = node->monitor();
+    if (monitor.trace().empty()) continue;
+    out->counters.push_back(obs::soc_counter_track(monitor));
+    out->counters.push_back(obs::current_counter_track(monitor));
+  }
+  out->metrics =
+      config_.metrics != nullptr ? config_.metrics->snapshot() : obs::Snapshot{};
+}
+
+}  // namespace deslp::core

@@ -1,0 +1,210 @@
+// N-node fleet with LEACH-style cluster-head rotation — the paper's
+// two-node rotation result (§5.5) generalized along ROADMAP item 1.
+//
+// Shape: N battery-powered sensor nodes partitioned into C clusters
+// (core/topology.h) behind the mains-powered host hub. Every round each
+// member senses one reading and sends it to its cluster head; the head
+// listens for the round, aggregates what arrived (plus its own reading),
+// and uplinks one summary frame to the host. Heads burn energy much
+// faster than members, so a host-side coordinator re-elects each
+// cluster's head every epoch — deterministically, from the BatteryBank-
+// backed cached SoC (highest charge wins, ties to the lowest index) —
+// and immediately when a head dies mid-epoch. Rotation spreads the head
+// tax across the cluster, extending fleet lifetime exactly as the
+// paper's 2-node rotation extends pipeline lifetime.
+//
+// Determinism contract (same as PipelineSystem): everything runs on one
+// sim::Engine, elections read only cached per-node state at round
+// boundaries, and an empty fault plan or unbound registry changes
+// nothing — same seed ⇒ bit-identical FleetResult, on any host, under
+// any BatchRunner job count.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "battery/bank.h"
+#include "battery/battery.h"
+#include "core/node.h"
+#include "core/node_state.h"
+#include "core/system.h"
+#include "core/topology.h"
+#include "cpu/cpu.h"
+#include "dvs/policy.h"
+#include "fault/fault.h"
+#include "net/hub.h"
+#include "obs/metrics.h"
+#include "obs/monitor.h"
+#include "sim/engine.h"
+
+namespace deslp::core {
+
+/// Everything that defines one fleet run.
+struct FleetConfig {
+  const cpu::CpuSpec* cpu = nullptr;
+  net::LinkSpec link;
+  Volts pack_voltage = volts(4.0);
+  std::function<std::unique_ptr<battery::Battery>()> battery_factory;
+  /// Struct-of-arrays fleet bank (battery/bank.h); preferred at scale,
+  /// bit-identical to the scalar path.
+  std::function<std::unique_ptr<battery::BatteryBank>()> battery_bank_factory;
+
+  /// Fleet shape: node count and cluster partition (Topology::fleet or a
+  /// hand-built clustering). Must validate.
+  Topology topology;
+
+  /// One sensing round: members produce a reading per round; heads
+  /// aggregate per round.
+  Seconds round_period = seconds(1.0);
+  /// Re-elect every cluster's head after this many rounds (one epoch).
+  long long epoch_rounds = 10;
+
+  /// Head election policy. kMaxSoc is the LEACH-style energy-aware rule
+  /// (highest cached SoC among the cluster's live members, ties to the
+  /// lowest index); kRoundRobin rotates through live members in index
+  /// order; kFixed keeps the first live member (the no-rotation baseline
+  /// the energy-balance tests compare against).
+  enum class Election { kMaxSoc, kRoundRobin, kFixed };
+  Election election = Election::kMaxSoc;
+
+  /// Payload sizes: one member reading, and the head's per-round uplink.
+  Bytes reading_size = bytes(64);
+  Bytes aggregate_size = bytes(256);
+  /// Per-round member sensing work, and the head's per-reading aggregation
+  /// work (scaled by the number of readings folded that round).
+  Cycles sense_work = cycles(2.0e6);
+  Cycles aggregate_work_per_reading = cycles(1.0e5);
+  /// DVS levels for members and for the current head.
+  dvs::LevelAssignment member_levels{0, 0, 0};
+  dvs::LevelAssignment head_levels{0, 0, 0};
+
+  /// Stop conditions: round quota, and a stall window (no completed
+  /// uplink for this many rounds while readings are still being sent).
+  long long max_rounds = 100;
+  double stall_rounds = 25.0;
+
+  /// Deterministic fault injection (DESIGN.md §10); empty = exact no-op.
+  /// Node-level events may target roles ("head", "head<k>") — resolved to
+  /// the current cluster head at injection time.
+  fault::FaultPlan faults;
+
+  /// Optional metrics/monitors, same contract as SystemConfig: null
+  /// registry leaves every instrument unbound; builtin fleet invariants
+  /// (obs::builtin_fleet_invariant_specs) arm automatically on fault runs.
+  obs::Registry* metrics = nullptr;
+  std::vector<obs::MonitorSpec> monitors;
+  bool builtin_monitors = true;
+  obs::Severity builtin_monitor_severity = obs::Severity::kWarn;
+  double monitor_checkpoint_s = 0.0;
+
+  bool record_trace = false;
+  std::uint64_t seed = 42;
+};
+
+/// One fleet run's outcome: the familiar RunResult (readings sent /
+/// aggregated / written off, per-node detail, monitor verdicts) plus the
+/// fleet-lifetime milestones and election history.
+struct FleetResult {
+  RunResult run;
+  long long rounds = 0;
+  long long epochs = 0;
+  /// Elections performed (epoch boundaries + mid-epoch head deaths).
+  long long elections = 0;
+  /// Elections that changed a cluster's head.
+  long long head_switches = 0;
+  /// Epochs in which one node headed two clusters (always 0 by
+  /// construction; monitored by builtin.heads_unique_per_epoch).
+  long long head_conflicts = 0;
+  int nodes_died = 0;
+  /// Fleet-lifetime milestones (paper-style mission metrics): time of the
+  /// first node death, of the death that left at most half the fleet
+  /// alive, and of the last death. Each is -1 until reached.
+  Seconds first_death = seconds(-1.0);
+  Seconds half_alive = seconds(-1.0);
+  Seconds last_alive = seconds(-1.0);
+  /// Per-node count of epochs served as a cluster head (index = node - 1).
+  std::vector<long long> head_epochs;
+  /// Every election winner in order (node indices, clusters interleaved
+  /// in cluster order) — the determinism fingerprint the tests compare.
+  std::vector<int> head_sequence;
+};
+
+class FleetSystem {
+ public:
+  explicit FleetSystem(FleetConfig config);
+  ~FleetSystem();
+  FleetSystem(const FleetSystem&) = delete;
+  FleetSystem& operator=(const FleetSystem&) = delete;
+
+  FleetResult run();
+
+  /// Collect observability artifacts after run() (trace + metrics
+  /// snapshot), mirroring PipelineSystem::capture_observation.
+  void capture_observation(RunObservation* out) const;
+
+ private:
+  [[nodiscard]] int node_count() const { return topology().nodes; }
+  [[nodiscard]] const Topology& topology() const { return config_.topology; }
+  [[nodiscard]] net::Address address_of(int node_index) const {
+    return node_index + 1;
+  }
+
+  /// Deterministic head election for one cluster; records the winner in
+  /// the head sequence and updates switch counters. `-1` when the cluster
+  /// has no live member.
+  void elect(int cluster);
+  /// Start a new epoch: re-elect every cluster and take the head census
+  /// (per-node head-epoch counts, uniqueness invariant).
+  void begin_epoch();
+  /// Round-boundary coordinator tick (mains-powered host logic): liveness
+  /// gauge, dead-head write-offs and re-elections, epoch rollover, quota
+  /// and stall stops.
+  void on_round_boundary();
+
+  sim::Task host_sink();
+  sim::Task node_behavior(int node_index, long long start_round);
+
+  FleetConfig config_;
+  sim::Engine engine_;
+  sim::Trace trace_;
+  net::Hub hub_;
+  std::unique_ptr<fault::Runtime> fault_runtime_;
+  std::unique_ptr<obs::MonitorSet> monitors_;
+  sim::Channel<net::Delivery>* host_mailbox_ = nullptr;
+  std::unique_ptr<battery::BatteryBank> battery_bank_;
+  NodeHotTable hot_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+
+  /// Cluster state (coordinator-owned role data; index = cluster id).
+  std::vector<std::vector<int>> members_;   // node indices per cluster
+  std::vector<int> head_of_;                // current head (-1 = none)
+  std::vector<int> rr_cursor_;              // kRoundRobin position
+  std::vector<long long> pending_;          // readings received, unaggregated
+
+  long long frames_sent_ = 0;
+  long long frames_completed_ = 0;
+  long long frames_lost_ = 0;
+  long long rounds_completed_ = 0;
+  long long epochs_ = 0;
+  long long elections_ = 0;
+  long long head_switches_ = 0;
+  long long head_conflicts_ = 0;
+  std::vector<long long> head_epochs_;
+  std::vector<int> head_sequence_;
+  sim::Time last_completion_;
+
+  obs::Counter m_frames_sent_;
+  obs::Counter m_frames_completed_;
+  obs::Counter m_frames_lost_;
+  obs::Counter m_rounds_;
+  obs::Counter m_epochs_;
+  obs::Counter m_elections_;
+  obs::Counter m_head_switches_;
+  obs::Counter m_head_conflicts_;
+  obs::Counter m_stalls_;
+  obs::Gauge m_alive_;
+};
+
+}  // namespace deslp::core

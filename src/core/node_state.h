@@ -75,6 +75,14 @@ class NodeHotTable {
     return true;
   }
 
+  /// Contiguous liveness count (fleet-lifetime gauges and election scans).
+  [[nodiscard]] int alive_count() const {
+    int alive = 0;
+    for (const NodeHot& h : slots_)
+      if (h.alive) ++alive;
+    return alive;
+  }
+
  private:
   std::vector<NodeHot> slots_;
 };

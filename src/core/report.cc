@@ -190,6 +190,31 @@ void write_scenario_report_json(const ScenarioOutcome& outcome,
      << " \"sim_end_h\": "
      << obs::json_number(to_hours(outcome.run.sim_end)) << ","
      << " \"fault_injections\": " << outcome.run.fault_injections << ",\n   ";
+  if (outcome.fleet.has_value()) {
+    // Fleet-lifetime block ([fleet] scenarios only): mission milestones in
+    // hours (-1 = not reached) plus the election history census.
+    const FleetSummary& f = *outcome.fleet;
+    os << "\"fleet\": {\"nodes\": " << f.nodes << ", \"clusters\": "
+       << f.clusters << ", \"rounds\": " << f.rounds << ", \"epochs\": "
+       << f.epochs << ", \"elections\": " << f.elections
+       << ", \"head_switches\": " << f.head_switches
+       << ", \"head_conflicts\": " << f.head_conflicts << ", \"died\": "
+       << f.died << ", \"first_death_h\": "
+       << obs::json_number(
+              f.first_death_s < 0.0 ? -1.0 : to_hours(seconds(f.first_death_s)))
+       << ", \"half_alive_h\": "
+       << obs::json_number(
+              f.half_alive_s < 0.0 ? -1.0 : to_hours(seconds(f.half_alive_s)))
+       << ", \"last_alive_h\": "
+       << obs::json_number(
+              f.last_alive_s < 0.0 ? -1.0 : to_hours(seconds(f.last_alive_s)))
+       << ", \"head_epochs\": [";
+    for (std::size_t i = 0; i < f.head_epochs.size(); ++i) {
+      if (i) os << ", ";
+      os << f.head_epochs[i];
+    }
+    os << "]},\n   ";
+  }
   write_run_details_json(outcome.run, outcome.metrics, os);
   os << "}}\n";
 }

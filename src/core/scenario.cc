@@ -1,5 +1,6 @@
 #include "core/scenario.h"
 
+#include <cmath>
 #include <sstream>
 
 #include "battery/bank.h"
@@ -87,6 +88,151 @@ bool build_battery(const Config& cfg,
   return true;
 }
 
+/// SA-1100 level index for a frequency given in an INI file; -1 when the
+/// part has no such level (sa1100_level_mhz() aborts, which is fine for
+/// code but not for user input).
+int level_for_mhz(const cpu::CpuSpec& spec, double mhz) {
+  for (int i = 0; i < spec.level_count(); ++i)
+    if (std::abs(to_megahertz(spec.level(i).frequency) - mhz) < 0.05) return i;
+  return -1;
+}
+
+/// The [fleet] scenario path: N clustered sensor nodes with cluster-head
+/// rotation (core/fleet.h) instead of the K-stage pipeline.
+std::optional<ScenarioOutcome> run_fleet_scenario(
+    const Config& cfg, const net::LinkSpec& link,
+    std::function<std::unique_ptr<battery::Battery>()> battery_factory,
+    std::function<std::unique_ptr<battery::BatteryBank>()> bank_factory,
+    const std::string& battery_desc, const fault::FaultPlan* fault_override,
+    RunObservation* capture, std::string* error) {
+  auto bail = [error](const std::string& message) {
+    if (error) *error = message;
+    return std::nullopt;
+  };
+
+  FleetConfig fc;
+  fc.cpu = &cpu::itsy_sa1100();
+  fc.link = link;
+  fc.battery_factory = std::move(battery_factory);
+  fc.battery_bank_factory = std::move(bank_factory);
+  fc.seed = static_cast<std::uint64_t>(cfg.get_int("system", "seed", 42));
+
+  const int nodes = static_cast<int>(cfg.get_int("fleet", "nodes", 4));
+  const int clusters = static_cast<int>(cfg.get_int("fleet", "clusters", 1));
+  if (nodes < 1) return bail("[fleet] nodes must be >= 1");
+  if (clusters < 1 || clusters > nodes)
+    return bail("[fleet] clusters must be in [1, nodes]");
+  fc.topology = Topology::fleet(nodes, clusters);
+
+  fc.round_period = seconds(cfg.get_double("fleet", "round_s", 1.0));
+  if (fc.round_period.value() <= 0.0)
+    return bail("[fleet] round_s must be positive");
+  fc.epoch_rounds = cfg.get_int("fleet", "epoch_rounds", 10);
+  if (fc.epoch_rounds < 1) return bail("[fleet] epoch_rounds must be >= 1");
+
+  const std::string election =
+      cfg.get_string("fleet", "election", "max_soc");
+  if (election == "max_soc") {
+    fc.election = FleetConfig::Election::kMaxSoc;
+  } else if (election == "round_robin") {
+    fc.election = FleetConfig::Election::kRoundRobin;
+  } else if (election == "fixed") {
+    fc.election = FleetConfig::Election::kFixed;
+  } else {
+    return bail("[fleet] election must be max_soc, round_robin, or fixed");
+  }
+
+  fc.reading_size = bytes(cfg.get_int("fleet", "reading_bytes", 64));
+  fc.aggregate_size = bytes(cfg.get_int("fleet", "aggregate_bytes", 256));
+  fc.sense_work =
+      cycles(cfg.get_double("fleet", "sense_kcycles", 2000.0) * 1000.0);
+  fc.aggregate_work_per_reading = cycles(
+      cfg.get_double("fleet", "aggregate_kcycles_per_reading", 100.0) *
+      1000.0);
+  if (fc.reading_size.count() <= 0 || fc.aggregate_size.count() <= 0)
+    return bail("[fleet] reading/aggregate sizes must be positive");
+  if (fc.sense_work.value() < 0.0 ||
+      fc.aggregate_work_per_reading.value() < 0.0)
+    return bail("[fleet] work amounts must be non-negative");
+
+  const double member_mhz = cfg.get_double("fleet", "member_mhz", 59.0);
+  const double head_mhz = cfg.get_double("fleet", "head_mhz", 206.4);
+  const int member_level = level_for_mhz(*fc.cpu, member_mhz);
+  const int head_level = level_for_mhz(*fc.cpu, head_mhz);
+  if (member_level < 0)
+    return bail("[fleet] member_mhz is not an SA-1100 frequency level");
+  if (head_level < 0)
+    return bail("[fleet] head_mhz is not an SA-1100 frequency level");
+  fc.member_levels = {member_level, 0, 0};
+  fc.head_levels = {head_level, 0, 0};
+
+  fc.max_rounds = cfg.get_int("fleet", "max_rounds", 100);
+  if (fc.max_rounds < 1) return bail("[fleet] max_rounds must be >= 1");
+  fc.stall_rounds = cfg.get_double("fleet", "stall_rounds", 25.0);
+  if (fc.stall_rounds <= 0.0)
+    return bail("[fleet] stall_rounds must be positive");
+
+  if (fault_override != nullptr) {
+    fc.faults = *fault_override;
+  } else {
+    std::string fault_error;
+    auto plan = fault::FaultPlan::from_config(cfg, &fault_error);
+    if (!plan) return bail(fault_error);
+    fc.faults = std::move(*plan);
+  }
+  {
+    std::string monitor_error;
+    auto specs = obs::monitor_specs_from_config(cfg, &monitor_error);
+    if (!specs) return bail(monitor_error);
+    fc.monitors = std::move(*specs);
+    fc.monitor_checkpoint_s = obs::monitor_checkpoint_from_config(cfg, 0.0);
+  }
+
+  const auto config_errors = cfg.consume_errors();
+  if (!config_errors.empty()) return bail(config_errors.front());
+
+  ScenarioOutcome outcome;
+  {
+    std::ostringstream os;
+    os << "fleet: " << nodes << " nodes / " << clusters << " cluster"
+       << (clusters == 1 ? "" : "s") << ", election=" << election << ", "
+       << member_mhz << " MHz members + " << head_mhz << " MHz heads"
+       << ", battery=" << battery_desc;
+    if (!fc.faults.empty()) os << ", " << fc.faults.summary();
+    outcome.description = os.str();
+  }
+
+  obs::Registry registry;
+  const bool want_metrics = capture != nullptr || !fc.monitors.empty() ||
+                            (fc.builtin_monitors && !fc.faults.empty());
+  if (want_metrics) fc.metrics = &registry;
+  if (capture != nullptr) fc.record_trace = true;
+  FleetSystem system(std::move(fc));
+  const FleetResult result = system.run();
+  if (capture != nullptr) system.capture_observation(capture);
+  if (want_metrics) outcome.metrics = registry.snapshot();
+  outcome.run = result.run;
+  // A fleet's mission metric is how long it kept reporting, not frames·D.
+  outcome.battery_life = result.run.sim_end;
+  outcome.normalized_life = result.run.sim_end;
+
+  FleetSummary fs;
+  fs.nodes = nodes;
+  fs.clusters = clusters;
+  fs.rounds = result.rounds;
+  fs.epochs = result.epochs;
+  fs.elections = result.elections;
+  fs.head_switches = result.head_switches;
+  fs.head_conflicts = result.head_conflicts;
+  fs.died = result.nodes_died;
+  fs.first_death_s = result.first_death.value();
+  fs.half_alive_s = result.half_alive.value();
+  fs.last_alive_s = result.last_alive.value();
+  fs.head_epochs = result.head_epochs;
+  outcome.fleet = std::move(fs);
+  return outcome;
+}
+
 }  // namespace
 
 std::optional<ScenarioOutcome> run_scenario(const Config& cfg,
@@ -129,12 +275,41 @@ std::optional<ScenarioOutcome> run_scenario(const Config& cfg,
                      &battery_desc, error))
     return std::nullopt;
 
+  // A [fleet] section selects the clustered N-node system instead of the
+  // pipeline; the pipeline-shaped sections make no sense there.
+  bool has_fleet = false;
+  bool has_pipeline_shape = false;
+  for (const auto& s : cfg.sections()) {
+    if (s == "fleet") has_fleet = true;
+    if (s == "pipeline" || s == "technique" || s == "workload")
+      has_pipeline_shape = true;
+  }
+  if (has_fleet) {
+    if (has_pipeline_shape) {
+      if (error)
+        *error = "[fleet] cannot be combined with [pipeline], [technique], "
+                 "or [workload]";
+      return std::nullopt;
+    }
+    if (profiler != nullptr) {
+      if (error) *error = "fleet scenarios do not support --profile-json yet";
+      return std::nullopt;
+    }
+    return run_fleet_scenario(cfg, sys.link, std::move(sys.battery_factory),
+                              std::move(sys.battery_bank_factory),
+                              battery_desc, fault_override, capture, error);
+  }
+
   // Partition: explicit cut list, or the best partition at `stages`.
   const int stages =
       static_cast<int>(cfg.get_int("pipeline", "stages", 2));
   const int blocks = sys.profile->block_count();
   if (stages < 1 || stages > blocks) {
-    if (error) *error = "[pipeline] stages must be in [1, 4]";
+    // The bound is the profile's block count, not a literal: a profile
+    // with more blocks admits more stages.
+    if (error)
+      *error = "[pipeline] stages must be in [1, " + std::to_string(blocks) +
+               "]";
     return std::nullopt;
   }
   std::optional<task::PartitionAnalysis> analysis;

@@ -6,23 +6,47 @@
 
 #include <optional>
 #include <string>
+#include <vector>
 
+#include "core/fleet.h"
 #include "core/system.h"
 #include "util/config.h"
 
 namespace deslp::core {
+
+/// Fleet-level outcome of a `[fleet]` scenario (absent for pipeline
+/// scenarios): lifetime milestones and election history, flattened for
+/// reports (plain doubles, -1 = milestone not reached).
+struct FleetSummary {
+  int nodes = 0;
+  int clusters = 0;
+  long long rounds = 0;
+  long long epochs = 0;
+  long long elections = 0;
+  long long head_switches = 0;
+  long long head_conflicts = 0;
+  int died = 0;
+  double first_death_s = -1.0;
+  double half_alive_s = -1.0;
+  double last_alive_s = -1.0;
+  /// Epochs each node served as a cluster head (index = node - 1).
+  std::vector<long long> head_epochs;
+};
 
 struct ScenarioOutcome {
   /// Human-readable description of what was built (levels, partition,
   /// battery, technique).
   std::string description;
   RunResult run;
-  /// The paper's T metric: frames * frame delay.
+  /// The paper's T metric: frames * frame delay (pipeline scenarios); the
+  /// simulated mission length for fleet scenarios.
   Seconds battery_life;
   Seconds normalized_life;
   /// Metrics snapshot (non-empty when the run bound a registry: capture,
   /// [monitor] section, or builtin invariants under a fault plan).
   obs::Snapshot metrics;
+  /// Present exactly when the scenario had a [fleet] section.
+  std::optional<FleetSummary> fleet;
 };
 
 /// Scenario schema (all sections/keys optional; defaults reproduce the
@@ -42,10 +66,18 @@ struct ScenarioOutcome {
 ///   [technique] acks, rotation_period
 ///   [fault]     seed, eventN = <fault description> (DESIGN.md §10), e.g.
 ///               event1 = blackout target=2 at=120 dur=30
+///               (fleet scenarios may target roles: sudden_death role=head)
 ///   [monitor]   checkpoint_s, plus one monitor per plain key with dotted
 ///               option sub-keys (DESIGN.md §11), e.g.
 ///               latency = system.frame_latency_s <= 3.0
 ///               latency.severity = fail
+///   [fleet]     N-node cluster fleet instead of the pipeline (DESIGN.md
+///               §13; mutually exclusive with [pipeline]/[technique]/
+///               [workload]): nodes, clusters, round_s, epoch_rounds,
+///               election=max_soc|round_robin|fixed, reading_bytes,
+///               aggregate_bytes, sense_kcycles,
+///               aggregate_kcycles_per_reading, member_mhz, head_mhz,
+///               max_rounds, stall_rounds
 ///
 /// Returns nullopt with `error` filled on contradictory or infeasible
 /// configurations.

@@ -9,6 +9,12 @@ namespace deslp::core {
 
 PipelineSystem::PipelineSystem(SystemConfig config)
     : config_(std::move(config)),
+      topology_(config_.topology.has_value()
+                    ? *config_.topology
+                    : Topology::pipeline(
+                          config_.partition.has_value()
+                              ? config_.partition->stage_count()
+                              : 1)),
       hub_(engine_, config_.link, milliseconds(5.0), config_.seed) {
   DESLP_EXPECTS(config_.cpu != nullptr);
   DESLP_EXPECTS(config_.profile != nullptr);
@@ -18,6 +24,12 @@ PipelineSystem::PipelineSystem(SystemConfig config)
   DESLP_EXPECTS(config_.frame_delay.value() > 0.0);
   const int stages = config_.partition->stage_count();
   DESLP_EXPECTS(static_cast<int>(config_.stage_levels.size()) == stages);
+  // PipelineSystem is the dense special case of the topology layer: every
+  // stage on its own node, roles a bijection. Sparser shapes (clusters,
+  // spare nodes) are FleetSystem's domain.
+  DESLP_EXPECTS(topology_.validate());
+  DESLP_EXPECTS(topology_.stage_count() == stages);
+  DESLP_EXPECTS(topology_.nodes == stages);
   DESLP_EXPECTS(!(config_.use_acks && config_.rotation_period > 0));
   DESLP_EXPECTS(config_.rotation_period == 0 || stages >= 2);
 
@@ -61,8 +73,15 @@ PipelineSystem::PipelineSystem(SystemConfig config)
     battery_bank_ = config_.battery_bank_factory();
     DESLP_EXPECTS(battery_bank_ != nullptr);
   }
-  hot_.reserve(static_cast<std::size_t>(stages));
-  for (int i = 0; i < stages; ++i) {
+  // Initial role of each node: the inverse of the topology's stage→node
+  // assignment (identity for the default pipeline topology).
+  std::vector<int> role_of(static_cast<std::size_t>(topology_.nodes), 0);
+  for (int s = 0; s < stages; ++s)
+    role_of[static_cast<std::size_t>(
+        topology_.stage_holder[static_cast<std::size_t>(s)])] = s;
+
+  hot_.reserve(static_cast<std::size_t>(topology_.nodes));
+  for (int i = 0; i < topology_.nodes; ++i) {
     Node::Config nc;
     nc.address = i + 1;
     nc.name = "Node" + std::to_string(i + 1);
@@ -86,7 +105,7 @@ PipelineSystem::PipelineSystem(SystemConfig config)
                                             std::move(battery)));
     if (config_.record_power_trace) nodes_.back()->monitor().set_tracing(true);
     StageState st;
-    st.role = i;
+    st.role = role_of[static_cast<std::size_t>(i)];
     stage_states_.push_back(st);
   }
 
@@ -148,10 +167,7 @@ PipelineSystem::PipelineSystem(SystemConfig config)
 PipelineSystem::~PipelineSystem() = default;
 
 net::Address PipelineSystem::holder_of(int role, long long era) const {
-  const int n = node_count();
-  const long long idx =
-      ((static_cast<long long>(role) - era) % n + n) % n;
-  return static_cast<net::Address>(idx) + 1;
+  return topology_.holder_of(role, era);
 }
 
 Cycles PipelineSystem::stage_work(int stage) const {
@@ -282,7 +298,11 @@ void PipelineSystem::note_detection(net::Address peer) {
 sim::ValueTask<bool> PipelineSystem::process_and_forward(Node& node,
                                                          StageState& st,
                                                          long long frame) {
-  const int n = node_count();
+  // "Last role" is a property of the stage chain, not the node count —
+  // the two only coincide in this dense special case, and leaning on
+  // node_count() here was the latent N-vs-K assumption the topology layer
+  // exists to remove.
+  const int n = stage_count();
 
   // Pipeline-stage attribution scope: every drain this frame causes on
   // this node lands under <node>/<stage>/<component> in the profile. The

@@ -24,6 +24,7 @@
 #include "battery/battery.h"
 #include "core/node.h"
 #include "core/node_state.h"
+#include "core/topology.h"
 #include "cpu/cpu.h"
 #include "dvs/policy.h"
 #include "fault/fault.h"
@@ -58,6 +59,12 @@ struct SystemConfig {
   Seconds frame_delay = seconds(2.3);
   /// Blocks-to-stages assignment; stage count = node count.
   std::optional<task::Partition> partition;
+  /// Stage→node mapping (core/topology.h). Unset (the default) uses the
+  /// identity pipeline topology — stage s on node s — which reproduces the
+  /// pre-topology behaviour byte for byte. A custom topology must pass
+  /// Topology::validate(), hold every stage, and (PipelineSystem being the
+  /// dense special case) map stages onto nodes one to one.
+  std::optional<Topology> topology;
   /// Per-stage DVS levels (comp/comm/idle), same order as stages.
   std::vector<dvs::LevelAssignment> stage_levels;
 
@@ -227,7 +234,12 @@ class PipelineSystem {
   [[nodiscard]] int node_count() const {
     return static_cast<int>(nodes_.size());
   }
-  /// Address of the node holding `role` in `era` (rotation bookkeeping).
+  /// Pipeline stage count — equal to node_count() in this dense special
+  /// case, but kept distinct so "last stage" logic never leans on the node
+  /// count (the latent N-vs-K conflation a fleet topology would expose).
+  [[nodiscard]] int stage_count() const { return topology_.stage_count(); }
+  /// Address of the node holding `role` in `era` (rotation bookkeeping;
+  /// delegates to the topology's rotation ring).
   [[nodiscard]] net::Address holder_of(int role, long long era) const;
   [[nodiscard]] Cycles stage_work(int stage) const;
   [[nodiscard]] Bytes stage_output(int stage) const;
@@ -253,6 +265,8 @@ class PipelineSystem {
                                            long long frame);
 
   SystemConfig config_;
+  /// Resolved stage→node mapping (config.topology or the identity default).
+  Topology topology_;
   sim::Engine engine_;
   sim::Trace trace_;
   net::Hub hub_;

@@ -1,0 +1,115 @@
+#include "core/topology.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace deslp::core {
+
+namespace {
+
+bool fail(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+  return false;
+}
+
+}  // namespace
+
+Topology Topology::pipeline(int stages) {
+  DESLP_EXPECTS(stages >= 1);
+  Topology t;
+  t.nodes = stages;
+  t.stage_holder.resize(static_cast<std::size_t>(stages));
+  for (int s = 0; s < stages; ++s)
+    t.stage_holder[static_cast<std::size_t>(s)] = s;
+  return t;
+}
+
+Topology Topology::fleet(int nodes, int clusters) {
+  DESLP_EXPECTS(nodes >= 1);
+  DESLP_EXPECTS(clusters >= 1 && clusters <= nodes);
+  Topology t;
+  t.nodes = nodes;
+  t.cluster_of.resize(static_cast<std::size_t>(nodes));
+  for (int i = 0; i < nodes; ++i)
+    t.cluster_of[static_cast<std::size_t>(i)] = i % clusters;
+  return t;
+}
+
+int Topology::cluster_count() const {
+  int max_id = -1;
+  for (int c : cluster_of) max_id = std::max(max_id, c);
+  return max_id + 1;
+}
+
+std::vector<int> Topology::members_of(int cluster) const {
+  std::vector<int> members;
+  for (int i = 0; i < static_cast<int>(cluster_of.size()); ++i)
+    if (cluster_of[static_cast<std::size_t>(i)] == cluster)
+      members.push_back(i);
+  return members;
+}
+
+net::Address Topology::holder_of(int role, long long era) const {
+  const int k = stage_count();
+  DESLP_EXPECTS(k > 0);
+  DESLP_EXPECTS(role >= 0 && role < k);
+  const long long idx = ((static_cast<long long>(role) - era) % k + k) % k;
+  return static_cast<net::Address>(
+             stage_holder[static_cast<std::size_t>(idx)]) +
+         1;
+}
+
+bool Topology::validate(std::string* error) const {
+  if (nodes < 1) return fail(error, "topology needs at least one node");
+  std::vector<char> holds_stage(static_cast<std::size_t>(nodes), 0);
+  for (std::size_t s = 0; s < stage_holder.size(); ++s) {
+    const int holder = stage_holder[s];
+    if (holder < 0 || holder >= nodes) {
+      return fail(error, "orphan stage " + std::to_string(s) +
+                             ": holder " + std::to_string(holder) +
+                             " is not a node in [0, " +
+                             std::to_string(nodes) + ")");
+    }
+    if (holds_stage[static_cast<std::size_t>(holder)] != 0) {
+      return fail(error, "duplicate role: node " + std::to_string(holder) +
+                             " holds more than one stage");
+    }
+    holds_stage[static_cast<std::size_t>(holder)] = 1;
+  }
+  if (!cluster_of.empty() &&
+      static_cast<int>(cluster_of.size()) != nodes) {
+    return fail(error, "cluster_of must assign every node (got " +
+                           std::to_string(cluster_of.size()) + " of " +
+                           std::to_string(nodes) + ")");
+  }
+  const int clusters = cluster_count();
+  std::vector<char> cluster_used(
+      static_cast<std::size_t>(std::max(clusters, 0)), 0);
+  for (std::size_t i = 0; i < cluster_of.size(); ++i) {
+    const int c = cluster_of[i];
+    if (c < 0 || c >= clusters) {
+      return fail(error, "node " + std::to_string(i) +
+                             " has cluster id " + std::to_string(c) +
+                             " outside [0, " + std::to_string(clusters) +
+                             ")");
+    }
+    cluster_used[static_cast<std::size_t>(c)] = 1;
+  }
+  for (int c = 0; c < clusters; ++c) {
+    if (cluster_used[static_cast<std::size_t>(c)] == 0) {
+      return fail(error,
+                  "cluster " + std::to_string(c) + " has no members");
+    }
+  }
+  for (int i = 0; i < nodes; ++i) {
+    const bool in_cluster = !cluster_of.empty();
+    if (holds_stage[static_cast<std::size_t>(i)] == 0 && !in_cluster) {
+      return fail(error, "unreachable node " + std::to_string(i) +
+                             ": holds no stage and belongs to no cluster");
+    }
+  }
+  return true;
+}
+
+}  // namespace deslp::core

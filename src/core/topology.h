@@ -1,0 +1,63 @@
+// Topology: the fleet shape as data, not code.
+//
+// The paper's system is one special case — K pipeline stages mapped 1:1
+// onto K nodes behind a star hub. A Topology generalizes the mapping: N
+// nodes, K stages with an explicit stage→node assignment (so role layout
+// is data the systems interpret, not arithmetic baked into behaviour
+// coroutines), and an optional cluster partition for fleet systems where
+// nodes group around rotating cluster heads (core/fleet.h).
+//
+// `holder_of` reproduces PipelineSystem's rotation ring exactly: under the
+// identity assignment (stage s held by node s) it reduces to the legacy
+// closed form ((role - era) mod n) + 1, so wiring PipelineSystem through a
+// Topology is byte-identical to the pre-topology code.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "net/message.h"
+
+namespace deslp::core {
+
+struct Topology {
+  /// Node count N. Node addresses are 1..N (the host is net::kHostAddress).
+  int nodes = 0;
+  /// Stage→node assignment: stage_holder[s] is the 0-based index of the
+  /// node holding pipeline role `s` at era 0. Empty for pure fleet
+  /// topologies (no pipeline roles).
+  std::vector<int> stage_holder;
+  /// Cluster partition: cluster_of[i] is node i's cluster id. Empty means
+  /// "no clusters" (the pipeline case). Cluster ids must be dense 0..C-1.
+  std::vector<int> cluster_of;
+
+  /// The paper's shape: `stages` nodes, identity stage assignment, no
+  /// clusters. PipelineSystem's default.
+  [[nodiscard]] static Topology pipeline(int stages);
+
+  /// A fleet of `nodes` nodes striped round-robin over `clusters`
+  /// clusters (node i in cluster i % clusters), no pipeline stages.
+  [[nodiscard]] static Topology fleet(int nodes, int clusters);
+
+  [[nodiscard]] int stage_count() const {
+    return static_cast<int>(stage_holder.size());
+  }
+  [[nodiscard]] int cluster_count() const;
+  /// All node indices in `cluster`, ascending.
+  [[nodiscard]] std::vector<int> members_of(int cluster) const;
+
+  /// Address of the node holding pipeline role `role` after `era`
+  /// rotations: roles rotate through the stage_holder ring, so the node
+  /// that held role r at era e holds role r+1 at era e+1 (Fig. 9).
+  /// Requires a non-empty stage assignment.
+  [[nodiscard]] net::Address holder_of(int role, long long era) const;
+
+  /// Structural checks: every stage held by a real node (no orphan
+  /// stage), no two stages on the same node (no duplicate role), every
+  /// node reachable (holds a stage or belongs to a cluster), and dense
+  /// non-empty clusters. Returns false with *error set on the first
+  /// violation.
+  [[nodiscard]] bool validate(std::string* error = nullptr) const;
+};
+
+}  // namespace deslp::core

@@ -92,6 +92,16 @@ std::optional<FaultEvent> FaultPlan::parse_event(const std::string& text,
     }
     const std::string key = token.substr(0, eq);
     const std::string value = token.substr(eq + 1);
+    if (key == "role") {
+      // A role target is a name, not a number; it resolves to an address
+      // at injection time (Runtime::set_role_resolver).
+      if (value.empty()) {
+        fail_parse(error, "role= needs a role name");
+        return std::nullopt;
+      }
+      e.role = value;
+      continue;
+    }
     double number = 0.0;
     try {
       std::size_t used = 0;
@@ -152,10 +162,16 @@ std::optional<FaultEvent> FaultPlan::parse_event(const std::string& text,
     case FaultKind::kSuddenDeath:
       break;
   }
-  if ((is_node_kind(e.kind) || e.kind == FaultKind::kCapacityScale) &&
-      e.target < 1) {
+  if (!e.role.empty() && !is_node_kind(e.kind)) {
     fail_parse(error, std::string(fault_kind_name(e.kind)) +
-                          " needs target= naming a node (>= 1)");
+                          " cannot target a role (role= is for brownout "
+                          "and sudden_death)");
+    return std::nullopt;
+  }
+  if ((is_node_kind(e.kind) || e.kind == FaultKind::kCapacityScale) &&
+      e.target < 1 && e.role.empty()) {
+    fail_parse(error, std::string(fault_kind_name(e.kind)) +
+                          " needs target= naming a node (>= 1) or role=");
     return std::nullopt;
   }
   return e;
@@ -197,7 +213,8 @@ void FaultPlan::normalize() {
                      if (a.at.value() < b.at.value()) return true;
                      if (b.at.value() < a.at.value()) return false;
                      if (a.kind != b.kind) return a.kind < b.kind;
-                     return a.target < b.target;
+                     if (a.target != b.target) return a.target < b.target;
+                     return a.role < b.role;
                    });
 }
 
@@ -216,7 +233,10 @@ std::string FaultPlan::summary() const {
     const FaultEvent& e = events[i];
     if (i != 0) os << ", ";
     os << fault_kind_name(e.kind) << "(";
-    if (e.target != 0) os << "node" << e.target << " ";
+    if (!e.role.empty())
+      os << "role=" << e.role << " ";
+    else if (e.target != 0)
+      os << "node" << e.target << " ";
     os << "@" << e.at.value() << "s";
     if (e.duration.value() > 0.0) os << " +" << e.duration.value() << "s";
     if (e.kind == FaultKind::kBurstLoss || e.kind == FaultKind::kCorrupt)
@@ -234,11 +254,24 @@ Runtime::Runtime(sim::Engine& engine, FaultPlan plan, sim::Trace* trace)
       rng_(plan_.seed) {
   plan_.normalize();
   active_.assign(plan_.events.size(), 0);
+  resolved_target_.resize(plan_.events.size());
+  for (std::size_t i = 0; i < plan_.events.size(); ++i)
+    resolved_target_[i] = plan_.events[i].target;
 }
 
 void Runtime::set_node_hooks(int address, NodeHooks hooks) {
   DESLP_EXPECTS(!armed_);
   hooks_[address] = std::move(hooks);
+}
+
+void Runtime::set_role_resolver(
+    std::function<int(const std::string&)> resolver) {
+  DESLP_EXPECTS(!armed_);
+  role_resolver_ = std::move(resolver);
+}
+
+int Runtime::target_of(std::size_t index) const {
+  return resolved_target_[index];
 }
 
 void Runtime::bind_metrics(obs::Registry& registry) {
@@ -255,23 +288,38 @@ void Runtime::mark(const std::string& label) {
 
 void Runtime::inject(std::size_t index) {
   const FaultEvent& e = plan_.events[index];
+  // Role targets bind to a concrete address now, at injection time: "the
+  // head" means whoever holds the role at this simulated instant. The
+  // binding is remembered so the matching lift hits the same node.
+  if (!e.role.empty() && role_resolver_ != nullptr)
+    resolved_target_[index] = role_resolver_(e.role);
+  const int target = resolved_target_[index];
+  if (!e.role.empty() && target < 1) {
+    // Unresolvable role (no live holder): the event degrades to a no-op
+    // rather than hitting node 0 (the host).
+    mark(std::string("skip ") + fault_kind_name(e.kind) + " role=" +
+         e.role + " (unresolved)");
+    return;
+  }
   ++injections_;
   m_injected_[static_cast<int>(e.kind)].inc();
   mark(std::string("inject ") + fault_kind_name(e.kind) +
-       (e.target != 0 ? " node" + std::to_string(e.target) : ""));
+       (target != 0 ? " node" + std::to_string(target) : ""));
   active_[index] = 1;
   if (is_window_kind(e.kind)) return;
-  auto it = hooks_.find(e.target);
+  auto it = hooks_.find(target);
   if (it != hooks_.end() && it->second.fail) it->second.fail(e);
 }
 
 void Runtime::lift(std::size_t index) {
   const FaultEvent& e = plan_.events[index];
+  const int target = resolved_target_[index];
+  if (active_[index] == 0) return;  // unresolved role: nothing to lift
   mark(std::string("lift ") + fault_kind_name(e.kind) +
-       (e.target != 0 ? " node" + std::to_string(e.target) : ""));
+       (target != 0 ? " node" + std::to_string(target) : ""));
   active_[index] = 0;
   if (is_window_kind(e.kind)) return;
-  auto it = hooks_.find(e.target);
+  auto it = hooks_.find(target);
   if (it != hooks_.end() && it->second.revive) it->second.revive(e);
 }
 
@@ -292,15 +340,16 @@ void Runtime::arm() {
   }
 }
 
-bool Runtime::window_matches(const FaultEvent& e, int a, int b) const {
-  return e.target == 0 || e.target == a || e.target == b;
+bool Runtime::window_matches(std::size_t index, int a, int b) const {
+  const int target = resolved_target_[index];
+  return target == 0 || target == a || target == b;
 }
 
 bool Runtime::blackout(int src, int dst) const {
   for (std::size_t i = 0; i < plan_.events.size(); ++i) {
     const FaultEvent& e = plan_.events[i];
     if (active_[i] != 0 && e.kind == FaultKind::kLinkBlackout &&
-        window_matches(e, src, dst))
+        window_matches(i, src, dst))
       return true;
   }
   return false;
@@ -319,7 +368,7 @@ double Runtime::wire_time_factor(int src, int dst) const {
   for (std::size_t i = 0; i < plan_.events.size(); ++i) {
     const FaultEvent& e = plan_.events[i];
     if (active_[i] != 0 && e.kind == FaultKind::kRateDegrade &&
-        window_matches(e, src, dst))
+        window_matches(i, src, dst))
       factor /= e.magnitude;
   }
   return factor;
@@ -330,7 +379,7 @@ bool Runtime::lose_message(int src, int dst) {
   for (std::size_t i = 0; i < plan_.events.size(); ++i) {
     const FaultEvent& e = plan_.events[i];
     if (active_[i] != 0 && e.kind == FaultKind::kBurstLoss &&
-        window_matches(e, src, dst)) {
+        window_matches(i, src, dst)) {
       // One draw per active window so the PRNG stream is a deterministic
       // function of the event sequence (no short-circuiting).
       if (rng_.chance(e.magnitude)) lost = true;
@@ -359,10 +408,11 @@ std::optional<sim::Time> Runtime::outage_start(int address) const {
   for (std::size_t i = 0; i < plan_.events.size(); ++i) {
     const FaultEvent& e = plan_.events[i];
     if (active_[i] == 0) continue;
+    const int target = resolved_target_[i];
     const bool covers =
         (e.kind == FaultKind::kLinkBlackout &&
-         (e.target == 0 || e.target == address)) ||
-        (is_node_kind(e.kind) && e.target == address);
+         (target == 0 || target == address)) ||
+        (is_node_kind(e.kind) && target == address);
     if (!covers) continue;
     const sim::Time start = sim::Time{0} + sim::from_seconds(e.at);
     if (!earliest || start < *earliest) earliest = start;

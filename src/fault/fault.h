@@ -47,7 +47,7 @@ inline constexpr int kFaultKindCount = 8;
 struct FaultEvent {
   FaultKind kind = FaultKind::kLinkBlackout;
   /// Node address the fault applies to; 0 = every endpoint (link-layer
-  /// kinds only — node-level kinds need a concrete address).
+  /// kinds only — node-level kinds need a concrete address or a role).
   int target = 0;
   /// Window start, in simulated seconds from run start.
   Seconds at;
@@ -57,6 +57,13 @@ struct FaultEvent {
   /// Probability (kBurstLoss, kCorrupt) or factor in (0, 1]
   /// (kRateDegrade, kCapacityScale); unused by the other kinds.
   double magnitude = 1.0;
+  /// Node-count-agnostic target: a role name (e.g. "head", "head2")
+  /// resolved to a concrete address at injection time via the Runtime's
+  /// role resolver. Empty (the default) targets `target` directly. Only
+  /// node-level kinds (brownout, sudden_death) may target a role — the
+  /// plan then works unchanged at any fleet size. Declared last so the
+  /// positional aggregate initializers predating roles stay valid.
+  std::string role;
 };
 
 /// A complete, self-contained description of every fault one run suffers.
@@ -75,6 +82,7 @@ struct FaultPlan {
   ///   "rate_degrade target=1 at=100 dur=60 factor=0.25"
   ///   "brownout target=1 at=300 dur=10"
   ///   "sudden_death target=2 at=500"
+  ///   "sudden_death role=head at=500"
   ///   "capacity_scale target=1 factor=0.8"
   /// Returns nullopt with `error` set on unknown kinds/keys or
   /// out-of-range values.
@@ -121,6 +129,15 @@ class Runtime {
 
   void set_node_hooks(int address, NodeHooks hooks);
 
+  /// Install the role→address resolver for role-targeted events
+  /// (FaultEvent::role). Called by systems that know the live role
+  /// assignment (FleetSystem resolves "head"/"head<k>" to the current
+  /// cluster head). Resolution happens at injection time, so "the head"
+  /// means whoever holds the role when the fault fires; the resolved
+  /// address is remembered so the matching lift (brownout end) revives
+  /// the same node. A resolver returning < 1 makes the event a no-op.
+  void set_role_resolver(std::function<int(const std::string&)> resolver);
+
   /// Mirror injection counts into `fault.injected.<kind>` counters.
   void bind_metrics(obs::Registry& registry);
 
@@ -162,7 +179,10 @@ class Runtime {
   void inject(std::size_t index);
   void lift(std::size_t index);
   void mark(const std::string& label);
-  [[nodiscard]] bool window_matches(const FaultEvent& e, int a, int b) const;
+  [[nodiscard]] bool window_matches(std::size_t index, int a, int b) const;
+  /// Concrete target of event `index`: the role resolution made at
+  /// injection time, or the event's static target.
+  [[nodiscard]] int target_of(std::size_t index) const;
 
   sim::Engine& engine_;
   FaultPlan plan_;
@@ -170,6 +190,8 @@ class Runtime {
   Rng rng_;
   bool armed_ = false;
   std::vector<char> active_;           // parallel to plan_.events
+  std::vector<int> resolved_target_;   // parallel; role targets bind here
+  std::function<int(const std::string&)> role_resolver_;
   std::map<int, NodeHooks> hooks_;
   long long injections_ = 0;
   obs::Counter m_injected_[kFaultKindCount];

@@ -37,8 +37,11 @@ void Hub::bind_metrics(obs::Registry& registry, std::string_view prefix) {
 }
 
 sim::Channel<Delivery>& Hub::attach(Address addr) {
-  DESLP_EXPECTS(endpoints_.find(addr) == endpoints_.end());
-  Endpoint& ep = endpoints_[addr];
+  DESLP_EXPECTS(addr >= 0);
+  if (static_cast<std::size_t>(addr) >= endpoints_.size())
+    endpoints_.resize(static_cast<std::size_t>(addr) + 1);
+  Endpoint& ep = endpoints_[static_cast<std::size_t>(addr)];
+  DESLP_EXPECTS(!ep.attached());
   ep.mailbox = std::make_unique<sim::Channel<Delivery>>(engine_);
   ep.link = std::make_unique<SerialLink>(
       link_spec_, seed_ + static_cast<std::uint64_t>(addr) * 7919);
@@ -46,14 +49,21 @@ sim::Channel<Delivery>& Hub::attach(Address addr) {
 }
 
 Hub::Endpoint& Hub::endpoint(Address addr) {
-  auto it = endpoints_.find(addr);
-  DESLP_EXPECTS(it != endpoints_.end());
-  return it->second;
+  Endpoint* ep = find(addr);
+  DESLP_EXPECTS(ep != nullptr);
+  return *ep;
 }
 
 const Hub::Endpoint* Hub::find(Address addr) const {
-  auto it = endpoints_.find(addr);
-  return it == endpoints_.end() ? nullptr : &it->second;
+  if (addr < 0 || static_cast<std::size_t>(addr) >= endpoints_.size())
+    return nullptr;
+  const Endpoint& ep = endpoints_[static_cast<std::size_t>(addr)];
+  return ep.attached() ? &ep : nullptr;
+}
+
+Hub::Endpoint* Hub::find(Address addr) {
+  return const_cast<Endpoint*>(
+      static_cast<const Hub*>(this)->find(addr));
 }
 
 Seconds Hub::begin_send(const Message& msg) {
@@ -101,16 +111,18 @@ Seconds Hub::begin_send(const Message& msg) {
   }
   engine_.post_after(sim::from_seconds(forward_latency_), [this, handle] {
     PendingDelivery& pd = pending_.get(handle);
-    const Address to = pd.msg.dst;
+    // The destination was attached when the send was admitted, so the
+    // dense-table index is in range for the delivery too.
+    Endpoint& to = endpoints_[static_cast<std::size_t>(pd.msg.dst)];
     // Re-check failure at delivery time: the destination may have died
     // while the bytes were in flight.
-    if (endpoints_[to].failed) {
+    if (to.failed) {
       ++stats_.dropped_to_failed;
       m_dropped_to_failed_.inc();
       pending_.release(handle);
       return;
     }
-    sim::Channel<Delivery>* mailbox = endpoints_[to].mailbox.get();
+    sim::Channel<Delivery>* mailbox = to.mailbox.get();
     Delivery delivery{std::move(pd.msg), engine_.now(), pd.wire_time};
     pending_.release(handle);
     mailbox->send(std::move(delivery));

@@ -13,9 +13,9 @@
 // the message.
 #pragma once
 
-#include <map>
 #include <memory>
 #include <string_view>
+#include <vector>
 
 #include "net/link.h"
 #include "net/message.h"
@@ -85,10 +85,12 @@ class Hub {
     std::unique_ptr<sim::Channel<Delivery>> mailbox;
     std::unique_ptr<SerialLink> link;  // the node's own serial line
     bool failed = false;
+    [[nodiscard]] bool attached() const { return mailbox != nullptr; }
   };
 
   Endpoint& endpoint(Address addr);
   [[nodiscard]] const Endpoint* find(Address addr) const;
+  [[nodiscard]] Endpoint* find(Address addr);
 
   /// An in-flight message parked between begin_send and delivery. Slab-
   /// allocated (util/arena.h): the delivery event captures only {this,
@@ -104,7 +106,12 @@ class Hub {
   LinkSpec link_spec_;
   Seconds forward_latency_;
   std::uint64_t seed_;
-  std::map<Address, Endpoint> endpoints_;
+  /// Dense endpoint table indexed by address (host = 0, nodes 1..N).
+  /// Addresses are small contiguous ints, so every per-message lookup —
+  /// the hottest routing operation at fleet scale — is one bounds check
+  /// and an index instead of a std::map descent. A slot with no mailbox
+  /// is "never attached".
+  std::vector<Endpoint> endpoints_;
   util::Arena<PendingDelivery> pending_;
   HubStats stats_;
   fault::Runtime* faults_ = nullptr;

@@ -599,6 +599,36 @@ std::vector<MonitorSpec> builtin_invariant_specs(
   return specs;
 }
 
+std::vector<MonitorSpec> builtin_fleet_invariant_specs(bool alive_monotone,
+                                                       Severity severity) {
+  // Fleet runs reuse the pipeline's frame-conservation builtins (same
+  // system.* metric names, same overlap semantics for lost vs completed)
+  // and add the election invariants.
+  std::vector<MonitorSpec> specs = builtin_invariant_specs({}, severity);
+  {
+    MonitorSpec s;
+    // The election assigns each cluster's head from that cluster's own
+    // members, so one node can never head two clusters in the same epoch;
+    // the counter only moves if that construction is ever broken.
+    s.name = "builtin.heads_unique_per_epoch";
+    s.expression = "fleet.head_conflicts == 0";
+    s.severity = severity;
+    s.on_update = true;
+    specs.push_back(std::move(s));
+  }
+  if (alive_monotone) {
+    MonitorSpec s;
+    // Without revive-capable faults (brownouts) a dead node stays dead,
+    // so the per-round alive gauge may only move down.
+    s.name = "builtin.alive_count_monotone_under_sudden_death";
+    s.expression = "delta(fleet.alive) <= 0";
+    s.severity = severity;
+    s.on_update = true;
+    specs.push_back(std::move(s));
+  }
+  return specs;
+}
+
 // --- [monitor] INI parsing ---------------------------------------------------
 
 std::optional<std::vector<MonitorSpec>> monitor_specs_from_config(

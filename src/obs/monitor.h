@@ -86,6 +86,15 @@ struct MonitorSpec {
 [[nodiscard]] std::vector<MonitorSpec> builtin_invariant_specs(
     const std::vector<std::string>& node_names, Severity severity);
 
+/// The built-in fleet invariant set (core/fleet.h): the pipeline frame
+/// bounds (no per-node SoC monitors — at 1000 nodes the per-node set is
+/// its own hot path) plus election invariants: `heads_unique_per_epoch`
+/// (fleet.head_conflicts never moves) and, when `alive_monotone` (no
+/// revive-capable faults in the plan), the per-round alive count only
+/// decreases.
+[[nodiscard]] std::vector<MonitorSpec> builtin_fleet_invariant_specs(
+    bool alive_monotone, Severity severity);
+
 /// A set of armed monitors over one run's registry. Owned by the system
 /// under test; violations are collected here and copied into the run
 /// result. Not thread-safe (one set belongs to one run on one thread, like

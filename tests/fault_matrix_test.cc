@@ -10,10 +10,14 @@
 #include <string>
 #include <vector>
 
+#include "battery/battery.h"
 #include "battery/kibam.h"
 #include "core/experiment.h"
+#include "core/fleet.h"
 #include "core/system.h"
+#include "core/topology.h"
 #include "fault/fault.h"
+#include "obs/metrics.h"
 #include "task/partition.h"
 
 namespace deslp::core {
@@ -233,6 +237,59 @@ TEST(FaultMatrixRecovery, BrownoutDoesNotWedgeThePipeline) {
   const RunResult r = sys.run();
   expect_invariants(r, shape);
   EXPECT_GT(r.last_completion.value(), 90.0);
+}
+
+// Fleet row: sudden-death of the *current* cluster head, targeted by role
+// rather than address, mid-epoch. The coordinator must write off the dead
+// head's pending readings, re-elect within the same epoch (an extra
+// election beyond the per-epoch schedule), and keep completing uplinks —
+// all under the builtin fleet invariants armed at fail severity.
+TEST(FaultMatrixRecovery, FleetReelectsAfterHeadRoleSuddenDeath) {
+  obs::Registry reg;
+  FleetConfig fc;
+  fc.cpu = &cpu::itsy_sa1100();
+  fc.link.line_rate = kilobits_per_second(2304.0);
+  fc.link.effective_rate = kilobits_per_second(2000.0);
+  fc.link.startup_min = milliseconds(1.0);
+  fc.link.startup_max = milliseconds(2.0);
+  fc.battery_factory = [] {
+    return battery::make_ideal_battery(milliamp_hours(5.0));
+  };
+  fc.topology = Topology::fleet(12, 2);
+  fc.round_period = seconds(0.5);
+  fc.epoch_rounds = 10;
+  fc.head_levels = {fc.cpu->top_level(), 0, 0};
+  fc.max_rounds = 60;
+  fc.metrics = &reg;
+  fc.builtin_monitor_severity = obs::Severity::kFail;
+  // Mid-epoch (round 5 of 10): whoever heads cluster 0 dies for good.
+  fault::FaultEvent death =
+      event(fault::FaultKind::kSuddenDeath, 0, 2.75, 0.0);
+  death.role = "head0";
+  fc.faults.events.push_back(death);
+
+  FleetSystem sys(std::move(fc));
+  const FleetResult r = sys.run();
+
+  EXPECT_EQ(r.run.fault_injections, 1);
+  EXPECT_EQ(r.nodes_died, 1);
+  EXPECT_GT(r.first_death.value(), 0.0);
+  // One election per cluster per epoch, plus the mid-epoch replacement.
+  EXPECT_EQ(r.elections, r.epochs * 2 + 1);
+  EXPECT_EQ(r.head_conflicts, 0);
+  // Uplinks keep landing after the death: the replacement head runs the
+  // cluster for the rest of the run.
+  EXPECT_GT(r.run.last_completion.value(), r.first_death.value());
+  // The dead head's unforwarded readings are written off, never phantom-
+  // completed; accounting stays conservative.
+  EXPECT_GT(r.run.frames_lost, 0);
+  EXPECT_LE(r.run.frames_lost, r.run.frames_sent);
+  EXPECT_LE(r.run.frames_completed, r.run.frames_sent);
+  // Builtin fleet invariants (head uniqueness, alive-count monotone under
+  // sudden death) held at fail severity.
+  EXPECT_GT(r.run.monitor_checks, 0);
+  EXPECT_FALSE(r.run.monitors_failed);
+  EXPECT_TRUE(r.run.violations.empty());
 }
 
 // ---------------------------------------------------------------------------

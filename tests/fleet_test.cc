@@ -1,0 +1,190 @@
+// Fleet-scale conformance suite (core/fleet.h, ctest label `fleet`):
+// election determinism, bit-identical replay at N = 100, the energy
+// balance rotation buys over a fixed head, fleet-lifetime milestone
+// ordering, 1000-node determinism, and invariance under the batch
+// runner's worker count.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "battery/battery.h"
+#include "core/batch.h"
+#include "core/fleet.h"
+#include "core/topology.h"
+
+namespace deslp::core {
+namespace {
+
+/// Short-range fast link: keeps head mailbox drain well inside a round
+/// even with dozens of members per cluster.
+net::LinkSpec fast_link() {
+  net::LinkSpec link;
+  link.line_rate = kilobits_per_second(2304.0);
+  link.effective_rate = kilobits_per_second(2000.0);
+  link.startup_min = milliseconds(1.0);
+  link.startup_max = milliseconds(2.0);
+  return link;
+}
+
+/// The ideal battery model keeps every test bit-stable across libm builds
+/// (no exp/expm1); capacity in mAh sets how fast nodes die.
+FleetConfig fleet_config(int nodes, int clusters, long long max_rounds,
+                         double capacity_mah) {
+  FleetConfig fc;
+  fc.cpu = &cpu::itsy_sa1100();
+  fc.link = fast_link();
+  const Coulombs cap = milliamp_hours(capacity_mah);
+  fc.battery_factory = [cap] { return battery::make_ideal_battery(cap); };
+  fc.topology = Topology::fleet(nodes, clusters);
+  fc.round_period = seconds(0.5);
+  fc.epoch_rounds = 5;
+  fc.member_levels = {0, 0, 0};
+  fc.head_levels = {cpu::itsy_sa1100().top_level(), 0, 0};
+  fc.max_rounds = max_rounds;
+  fc.stall_rounds = 20.0;
+  fc.seed = 42;
+  return fc;
+}
+
+void expect_identical(const FleetResult& a, const FleetResult& b) {
+  EXPECT_EQ(a.run.frames_sent, b.run.frames_sent);
+  EXPECT_EQ(a.run.frames_completed, b.run.frames_completed);
+  EXPECT_EQ(a.run.frames_lost, b.run.frames_lost);
+  EXPECT_DOUBLE_EQ(a.run.sim_end.value(), b.run.sim_end.value());
+  EXPECT_DOUBLE_EQ(a.run.last_completion.value(),
+                   b.run.last_completion.value());
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.epochs, b.epochs);
+  EXPECT_EQ(a.elections, b.elections);
+  EXPECT_EQ(a.head_switches, b.head_switches);
+  EXPECT_EQ(a.head_conflicts, b.head_conflicts);
+  EXPECT_EQ(a.nodes_died, b.nodes_died);
+  EXPECT_DOUBLE_EQ(a.first_death.value(), b.first_death.value());
+  EXPECT_DOUBLE_EQ(a.half_alive.value(), b.half_alive.value());
+  EXPECT_DOUBLE_EQ(a.last_alive.value(), b.last_alive.value());
+  EXPECT_EQ(a.head_sequence, b.head_sequence);
+  EXPECT_EQ(a.head_epochs, b.head_epochs);
+  ASSERT_EQ(a.run.nodes.size(), b.run.nodes.size());
+  for (std::size_t i = 0; i < a.run.nodes.size(); ++i) {
+    EXPECT_EQ(a.run.nodes[i].died, b.run.nodes[i].died);
+    EXPECT_DOUBLE_EQ(a.run.nodes[i].death_time.value(),
+                     b.run.nodes[i].death_time.value());
+    EXPECT_DOUBLE_EQ(a.run.nodes[i].final_soc, b.run.nodes[i].final_soc);
+    EXPECT_DOUBLE_EQ(a.run.nodes[i].charge_used.value(),
+                     b.run.nodes[i].charge_used.value());
+    EXPECT_DOUBLE_EQ(a.run.nodes[i].energy_used.value(),
+                     b.run.nodes[i].energy_used.value());
+  }
+}
+
+// Same seed, same config: the full election history (every winner of
+// every election, in order) must replay exactly.
+TEST(FleetElection, SameSeedSameHeadSequence) {
+  FleetSystem a(fleet_config(20, 4, 40, 5.0));
+  FleetSystem b(fleet_config(20, 4, 40, 5.0));
+  const FleetResult ra = a.run();
+  const FleetResult rb = b.run();
+  ASSERT_FALSE(ra.head_sequence.empty());
+  EXPECT_EQ(ra.head_sequence, rb.head_sequence);
+  EXPECT_GT(ra.head_switches, 0);  // rotation actually rotated
+  EXPECT_EQ(ra.head_conflicts, 0);
+}
+
+// Bit-identical replay at fleet scale: every scalar of the result,
+// including per-node energy doubles, must match across two fresh systems.
+TEST(FleetDeterminism, BitIdenticalReplayAt100Nodes) {
+  FleetSystem a(fleet_config(100, 5, 30, 5.0));
+  FleetSystem b(fleet_config(100, 5, 30, 5.0));
+  const FleetResult ra = a.run();
+  EXPECT_GT(ra.run.frames_completed, 0);
+  expect_identical(ra, b.run());
+}
+
+// A 1000-node fleet must complete and replay exactly — the scenario the
+// paper's two-node case study scales toward.
+TEST(FleetDeterminism, ThousandNodeFleetReplaysExactly) {
+  FleetSystem a(fleet_config(1000, 25, 10, 5.0));
+  FleetSystem b(fleet_config(1000, 25, 10, 5.0));
+  const FleetResult ra = a.run();
+  EXPECT_EQ(ra.rounds, 10);
+  EXPECT_GT(ra.run.frames_completed, 0);
+  expect_identical(ra, b.run());
+}
+
+// Fleet runs inside the batch runner must not depend on the worker count:
+// the same four configurations mapped at jobs=1 and jobs=4 give the same
+// results in the same order.
+TEST(FleetDeterminism, BatchResultsInvariantUnderJobCount) {
+  auto run_batch = [](int jobs) {
+    BatchRunner runner(BatchOptions{jobs});
+    return runner.map<FleetResult>(4, [](std::size_t i) {
+      FleetConfig fc = fleet_config(30, 3, 25, 5.0);
+      fc.seed = 42 + static_cast<std::uint64_t>(i);
+      FleetSystem sys(std::move(fc));
+      return sys.run();
+    });
+  };
+  const auto sequential = run_batch(1);
+  const auto parallel = run_batch(4);
+  ASSERT_EQ(sequential.size(), parallel.size());
+  for (std::size_t i = 0; i < sequential.size(); ++i) {
+    SCOPED_TRACE("item " + std::to_string(i));
+    expect_identical(sequential[i], parallel[i]);
+  }
+}
+
+// Energy balance (the point of rotation): with max-SoC rotation the
+// per-node energy spread must stay strictly below the fixed-head
+// baseline, where cluster leaders burn while members coast.
+TEST(FleetEnergyBalance, RotationSpreadsHeadTaxBelowFixedHead) {
+  auto spread = [](FleetConfig fc) {
+    FleetSystem sys(std::move(fc));
+    const FleetResult r = sys.run();
+    double lo = 1e300;
+    double hi = 0.0;
+    for (const auto& n : r.run.nodes) {
+      lo = std::min(lo, n.energy_used.value());
+      hi = std::max(hi, n.energy_used.value());
+    }
+    return hi - lo;
+  };
+  FleetConfig rotating = fleet_config(24, 3, 60, 10.0);
+  rotating.election = FleetConfig::Election::kMaxSoc;
+  FleetConfig fixed = fleet_config(24, 3, 60, 10.0);
+  fixed.election = FleetConfig::Election::kFixed;
+  const double rotating_spread = spread(std::move(rotating));
+  const double fixed_spread = spread(std::move(fixed));
+  EXPECT_LT(rotating_spread, fixed_spread);
+  EXPECT_GT(fixed_spread, 0.0);
+}
+
+// Lifetime milestones must be reached in order once the whole fleet runs
+// its packs dry: first death <= half alive <= last death, all positive.
+TEST(FleetLifetime, MilestonesOrderedWhenFleetDies) {
+  FleetConfig fc = fleet_config(12, 3, 100000, 0.2);  // tiny packs, no quota
+  FleetSystem sys(std::move(fc));
+  const FleetResult r = sys.run();
+  EXPECT_EQ(r.nodes_died, 12);
+  EXPECT_GT(r.first_death.value(), 0.0);
+  EXPECT_LE(r.first_death.value(), r.half_alive.value());
+  EXPECT_LE(r.half_alive.value(), r.last_alive.value());
+  EXPECT_LE(r.last_alive.value(), r.run.sim_end.value() + 1e-9);
+}
+
+// Round-robin rotation is the degenerate deterministic policy: every live
+// member takes the head role in index order, so over C clusters and E
+// epochs every node heads at least once when epochs >= cluster size.
+TEST(FleetElection, RoundRobinVisitsEveryMember) {
+  FleetConfig fc = fleet_config(12, 3, 45, 10.0);  // 9 epochs, clusters of 4
+  fc.election = FleetConfig::Election::kRoundRobin;
+  FleetSystem sys(std::move(fc));
+  const FleetResult r = sys.run();
+  for (std::size_t i = 0; i < r.head_epochs.size(); ++i)
+    EXPECT_GT(r.head_epochs[i], 0) << "node " << i + 1 << " never led";
+}
+
+}  // namespace
+}  // namespace deslp::core

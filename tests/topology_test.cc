@@ -1,0 +1,173 @@
+// Topology layer conformance (core/topology.h): the identity pipeline
+// topology must reproduce the legacy PipelineSystem bit for bit (N = 1
+// and N = 2, the paper's shapes), holder_of must match the closed-form
+// rotation ring the pre-topology code used, and malformed topologies must
+// be rejected with a specific reason rather than misrouting frames.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+
+#include "atr/profile.h"
+#include "battery/kibam.h"
+#include "core/scenario.h"
+#include "core/system.h"
+#include "core/topology.h"
+#include "task/partition.h"
+
+namespace deslp::core {
+namespace {
+
+SystemConfig base_config(int stages, long long rotation) {
+  SystemConfig sys;
+  sys.cpu = &cpu::itsy_sa1100();
+  sys.profile = &atr::itsy_atr_profile();
+  sys.link = net::itsy_serial_link();
+  sys.battery_factory = [] {
+    return battery::make_kibam_battery(
+        battery::KibamParams{milliamp_hours(8.0), 0.3, 5e-4});
+  };
+  sys.frame_delay = seconds(2.3);
+  sys.max_frames = 2000;
+  sys.seed = 42;
+  sys.rotation_period = rotation;
+
+  const auto analyses = task::analyze_all_partitions(
+      *sys.profile, stages, *sys.cpu, sys.link, sys.frame_delay);
+  const int best = task::best_partition_index(analyses);
+  EXPECT_GE(best, 0);
+  const auto& a = analyses[static_cast<std::size_t>(best)];
+  sys.partition = a.partition;
+  for (const auto& s : a.stages) sys.stage_levels.push_back({s.min_level, 0, 0});
+  return sys;
+}
+
+void expect_identical(const RunResult& a, const RunResult& b) {
+  EXPECT_EQ(a.frames_sent, b.frames_sent);
+  EXPECT_EQ(a.frames_completed, b.frames_completed);
+  EXPECT_EQ(a.frames_lost, b.frames_lost);
+  EXPECT_DOUBLE_EQ(a.sim_end.value(), b.sim_end.value());
+  EXPECT_DOUBLE_EQ(a.last_completion.value(), b.last_completion.value());
+  ASSERT_EQ(a.nodes.size(), b.nodes.size());
+  for (std::size_t i = 0; i < a.nodes.size(); ++i) {
+    EXPECT_EQ(a.nodes[i].died, b.nodes[i].died);
+    EXPECT_DOUBLE_EQ(a.nodes[i].death_time.value(),
+                     b.nodes[i].death_time.value());
+    EXPECT_DOUBLE_EQ(a.nodes[i].charge_used.value(),
+                     b.nodes[i].charge_used.value());
+    EXPECT_DOUBLE_EQ(a.nodes[i].energy_used.value(),
+                     b.nodes[i].energy_used.value());
+    EXPECT_DOUBLE_EQ(a.nodes[i].final_soc, b.nodes[i].final_soc);
+    EXPECT_EQ(a.nodes[i].rotations, b.nodes[i].rotations);
+  }
+}
+
+// The explicit identity topology must be indistinguishable — bit for bit,
+// in every metric — from leaving SystemConfig::topology unset, at both of
+// the paper's node counts and with rotation exercising holder_of.
+TEST(TopologyConformance, IdentityTopologyIsBitIdenticalToLegacy) {
+  const struct {
+    int stages;
+    long long rotation;
+  } kShapes[] = {{1, 0}, {2, 0}, {2, 40}};
+  for (const auto& shape : kShapes) {
+    SCOPED_TRACE("stages=" + std::to_string(shape.stages) +
+                 " rotation=" + std::to_string(shape.rotation));
+    SystemConfig legacy = base_config(shape.stages, shape.rotation);
+    SystemConfig topo = base_config(shape.stages, shape.rotation);
+    topo.topology = Topology::pipeline(shape.stages);
+
+    PipelineSystem sys_a(std::move(legacy));
+    const RunResult a = sys_a.run();
+    PipelineSystem sys_b(std::move(topo));
+    expect_identical(a, sys_b.run());
+  }
+}
+
+// holder_of is the rotation ring the pre-topology code computed inline:
+// role r in era e lives on node ((r - e) mod n) + 1. Sweep the property
+// well past one full rotation cycle at every pipeline width.
+TEST(TopologyConformance, HolderOfMatchesClosedFormRotationRing) {
+  for (int n = 1; n <= 6; ++n) {
+    const Topology t = Topology::pipeline(n);
+    for (long long era = 0; era <= 3 * n + 1; ++era) {
+      for (int role = 0; role < n; ++role) {
+        const int expected = static_cast<int>(((role - era) % n + n) % n) + 1;
+        EXPECT_EQ(t.holder_of(role, era), expected)
+            << "n=" << n << " role=" << role << " era=" << era;
+      }
+    }
+  }
+}
+
+TEST(TopologyValidate, AcceptsPipelineAndFleetShapes) {
+  std::string error;
+  EXPECT_TRUE(Topology::pipeline(1).validate(&error)) << error;
+  EXPECT_TRUE(Topology::pipeline(4).validate(&error)) << error;
+  EXPECT_TRUE(Topology::fleet(10, 3).validate(&error)) << error;
+  EXPECT_TRUE(Topology::fleet(1, 1).validate(&error)) << error;
+}
+
+TEST(TopologyValidate, RejectsOrphanStage) {
+  Topology t = Topology::pipeline(2);
+  t.stage_holder[1] = 5;  // no such node
+  std::string error;
+  EXPECT_FALSE(t.validate(&error));
+  EXPECT_NE(error.find("orphan stage"), std::string::npos) << error;
+}
+
+TEST(TopologyValidate, RejectsDuplicateRole) {
+  Topology t = Topology::pipeline(2);
+  t.stage_holder[1] = 0;  // node 0 would hold both stages
+  std::string error;
+  EXPECT_FALSE(t.validate(&error));
+  EXPECT_NE(error.find("duplicate role"), std::string::npos) << error;
+}
+
+TEST(TopologyValidate, RejectsUnreachableNode) {
+  Topology t = Topology::pipeline(2);
+  t.nodes = 3;  // node 2 holds no stage and belongs to no cluster
+  std::string error;
+  EXPECT_FALSE(t.validate(&error));
+  EXPECT_NE(error.find("unreachable node"), std::string::npos) << error;
+}
+
+TEST(TopologyValidate, RejectsEmptyCluster) {
+  Topology t = Topology::fleet(4, 2);
+  // Cluster ids are a dense range [0, max+1); pushing cluster 1's members
+  // to a new cluster 2 leaves id 1 as a memberless gap.
+  for (auto& c : t.cluster_of)
+    if (c == 1) c = 2;
+  std::string error;
+  EXPECT_FALSE(t.validate(&error));
+  EXPECT_NE(error.find("no members"), std::string::npos) << error;
+}
+
+// PipelineSystem is the dense special case: a sparse fleet topology (or a
+// stage count that disagrees with the partition) must be refused at
+// construction, not silently misrouted.
+TEST(TopologyConformance, PipelineRejectsNonPipelineTopology) {
+  SystemConfig sys = base_config(2, 0);
+  sys.topology = Topology::fleet(2, 1);  // clusters, no stages
+  EXPECT_DEATH(
+      { PipelineSystem rejected(std::move(sys)); }, "");
+}
+
+// Regression for the hard-coded "[1, 4]" in the scenario stage check: the
+// upper bound is the ATR profile's block count, not a literal.
+TEST(TopologyScenario, StageBoundMessageTracksProfileBlockCount) {
+  const std::string text = R"([pipeline]
+stages = 99
+)";
+  auto cfg = Config::parse(text);
+  ASSERT_TRUE(cfg.has_value());
+  std::string error;
+  EXPECT_FALSE(run_scenario(*cfg, &error).has_value());
+  const int blocks = atr::itsy_atr_profile().block_count();
+  EXPECT_NE(error.find("[1, " + std::to_string(blocks) + "]"),
+            std::string::npos)
+      << error;
+}
+
+}  // namespace
+}  // namespace deslp::core

@@ -5,8 +5,8 @@
 # Usage:
 #   tools/ci_checks.sh [STEP...]
 #
-# Steps (default: pycheck lint-selftest lint build test fault monitors tidy
-# thread-safety trace report bench bench-check):
+# Steps (default: pycheck lint-selftest lint build test fault monitors
+# fleet tidy thread-safety trace report bench bench-check):
 #   pycheck        python3 -m py_compile over the repo's Python tooling
 #   lint-selftest  tools/deslp_lint.py --self-test (fixture suite)
 #   lint           tools/deslp_lint.py over src/ bench/ examples/
@@ -18,6 +18,12 @@
 #                  monitors: parser/eval unit layer plus the builtin
 #                  invariants run clean-and-unperturbed over the fault
 #                  matrix, DESIGN.md §11)
+#   fleet          ctest -L fleet in ${BUILD_DIR} (N-node election /
+#                  determinism / lifetime suite, DESIGN.md §13), then the
+#                  200-node smoke: scenario_runner --report-json over
+#                  examples/scenarios/fleet_200.ini diffed byte-for-byte
+#                  against tests/golden/fleet_200_report.json (the ideal
+#                  battery model keeps the golden machine-independent)
 #   tidy           cmake --build ${BUILD_DIR} --target lint-tidy
 #   trace          cmake --build ${BUILD_DIR} --target trace-validate
 #   report         cmake --build ${BUILD_DIR} --target report-validate
@@ -27,7 +33,7 @@
 #                  blocking engine-throughput floor (engine must beat the
 #                  in-tree reference heap by 1.5x, measured in-process, so
 #                  the check is machine-independent; baseline:
-#                  bench/BENCH_pr8.json)
+#                  bench/BENCH_pr10.json)
 #   asan|tsan|ubsan  full build + ctest under the given sanitizer (own
 #                    build dir ${BUILD_DIR}-<mode>; not in the default set —
 #                    the CI matrix fans them out, locally run e.g.
@@ -114,6 +120,15 @@ step_monitors() {
   ctest --test-dir "$BUILD_DIR" -L monitors --output-on-failure -j "$JOBS"
 }
 
+step_fleet() {
+  ctest --test-dir "$BUILD_DIR" -L fleet --output-on-failure -j "$JOBS" &&
+    "$BUILD_DIR"/examples/scenario_runner \
+      --report-json="$BUILD_DIR"/fleet_200_report.json \
+      examples/scenarios/fleet_200.ini &&
+    diff -u tests/golden/fleet_200_report.json \
+      "$BUILD_DIR"/fleet_200_report.json
+}
+
 step_tidy() { cmake --build "$BUILD_DIR" --target lint-tidy; }
 
 step_trace() { cmake --build "$BUILD_DIR" --target trace-validate; }
@@ -160,6 +175,7 @@ dispatch() {
     test) run_step test step_test ;;
     fault) run_step fault step_fault ;;
     monitors) run_step monitors step_monitors ;;
+    fleet) run_step fleet step_fleet ;;
     tidy)
       if command -v clang-tidy > /dev/null; then
         run_step tidy step_tidy
@@ -197,7 +213,7 @@ dispatch() {
 
 STEPS=("$@")
 if [ ${#STEPS[@]} -eq 0 ]; then
-  STEPS=(pycheck lint-selftest lint build test fault monitors tidy
+  STEPS=(pycheck lint-selftest lint build test fault monitors fleet tidy
     thread-safety trace report bench bench-check)
 fi
 
